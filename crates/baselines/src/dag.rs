@@ -1,0 +1,245 @@
+//! A scheduler-agnostic task DAG description.
+//!
+//! Benchmark workloads (wavefront, graph traversal, timing graphs, DNN
+//! pipelines) build one [`Dag`] and hand it to each scheduler under test:
+//! the sequential executor here, the levelized executor
+//! ([`crate::levelized`]), the TBB-style flow graph
+//! ([`crate::flowgraph::FlowGraphBuilder::from_dag`]), or rustflow (adapter in
+//! the `tf-workloads` crate). Payloads are `Arc<dyn Fn()>` so one built
+//! DAG can be executed repeatedly and by multiple schedulers.
+
+use std::sync::Arc;
+
+/// A task payload: shareable, repeatable.
+pub type Payload = Arc<dyn Fn() + Send + Sync + 'static>;
+
+/// A directed acyclic task graph with closure payloads.
+#[derive(Clone, Default)]
+pub struct Dag {
+    pub(crate) payloads: Vec<Payload>,
+    pub(crate) successors: Vec<Vec<u32>>,
+    pub(crate) in_degree: Vec<u32>,
+    pub(crate) num_edges: usize,
+}
+
+impl Dag {
+    /// Creates an empty DAG.
+    pub fn new() -> Dag {
+        Dag::default()
+    }
+
+    /// Creates an empty DAG with room for `n` nodes.
+    pub fn with_capacity(n: usize) -> Dag {
+        Dag {
+            payloads: Vec::with_capacity(n),
+            successors: Vec::with_capacity(n),
+            in_degree: Vec::with_capacity(n),
+            num_edges: 0,
+        }
+    }
+
+    /// Adds a task, returning its id.
+    pub fn add(&mut self, f: impl Fn() + Send + Sync + 'static) -> usize {
+        self.add_payload(Arc::new(f))
+    }
+
+    /// Adds a task from an existing shared payload.
+    pub fn add_payload(&mut self, f: Payload) -> usize {
+        let id = self.payloads.len();
+        self.payloads.push(f);
+        self.successors.push(Vec::new());
+        self.in_degree.push(0);
+        id
+    }
+
+    /// Adds a dependency edge: `from` runs before `to`.
+    pub fn edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.len() && to < self.len(), "edge out of range");
+        self.successors[from].push(to as u32);
+        self.in_degree[to] += 1;
+        self.num_edges += 1;
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// `true` when the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Number of dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Successor ids of node `v`.
+    pub fn successors_of(&self, v: usize) -> &[u32] {
+        &self.successors[v]
+    }
+
+    /// In-degree of node `v`.
+    pub fn in_degree_of(&self, v: usize) -> u32 {
+        self.in_degree[v]
+    }
+
+    /// Runs payload `v` (used by scheduler adapters).
+    pub fn invoke(&self, v: usize) {
+        (self.payloads[v])();
+    }
+
+    /// Shared payload of node `v`.
+    pub fn payload_of(&self, v: usize) -> Payload {
+        Arc::clone(&self.payloads[v])
+    }
+
+    /// Kahn topological sort. Returns `None` if the graph has a cycle.
+    pub fn topological_order(&self) -> Option<Vec<u32>> {
+        let mut degree = self.in_degree.clone();
+        let mut order: Vec<u32> = Vec::with_capacity(self.len());
+        let mut frontier: Vec<u32> = (0..self.len() as u32)
+            .filter(|&v| degree[v as usize] == 0)
+            .collect();
+        while let Some(v) = frontier.pop() {
+            order.push(v);
+            for &s in &self.successors[v as usize] {
+                degree[s as usize] -= 1;
+                if degree[s as usize] == 0 {
+                    frontier.push(s);
+                }
+            }
+        }
+        (order.len() == self.len()).then_some(order)
+    }
+
+    /// Partitions the nodes into dependency levels: level `k` holds every
+    /// node whose longest path from a source has length `k`. All nodes in
+    /// one level are mutually independent — this is "levelize the circuit
+    /// graph into a topological order and apply parallel_for level by
+    /// level" (§II-D of the paper). Returns `None` on a cycle.
+    pub fn levelize(&self) -> Option<Vec<Vec<u32>>> {
+        let order = self.topological_order()?;
+        let mut level = vec![0u32; self.len()];
+        let mut max_level = 0;
+        for &v in &order {
+            let lv = level[v as usize];
+            for &s in &self.successors[v as usize] {
+                if level[s as usize] < lv + 1 {
+                    level[s as usize] = lv + 1;
+                    max_level = max_level.max(lv + 1);
+                }
+            }
+        }
+        let mut levels: Vec<Vec<u32>> = vec![Vec::new(); max_level as usize + 1];
+        for v in 0..self.len() as u32 {
+            levels[level[v as usize] as usize].push(v);
+        }
+        Some(levels)
+    }
+
+    /// Executes the whole DAG on the calling thread in topological order —
+    /// the sequential baseline of Tables I and III.
+    pub fn run_sequential(&self) {
+        let order = self
+            .topological_order()
+            .expect("run_sequential: graph has a cycle");
+        for v in order {
+            self.invoke(v as usize);
+        }
+    }
+}
+
+impl std::fmt::Debug for Dag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dag")
+            .field("nodes", &self.len())
+            .field("edges", &self.num_edges)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn diamond() -> (Dag, Arc<AtomicUsize>) {
+        // a -> b, a -> c, b -> d, c -> d ; payloads record order bits.
+        let seen = Arc::new(AtomicUsize::new(0));
+        let mut dag = Dag::new();
+        for bit in 0..4 {
+            let seen = Arc::clone(&seen);
+            dag.add(move || {
+                seen.fetch_or(1 << bit, Ordering::SeqCst);
+            });
+        }
+        dag.edge(0, 1);
+        dag.edge(0, 2);
+        dag.edge(1, 3);
+        dag.edge(2, 3);
+        (dag, seen)
+    }
+
+    #[test]
+    fn sequential_runs_everything() {
+        let (dag, seen) = diamond();
+        dag.run_sequential();
+        assert_eq!(seen.load(Ordering::SeqCst), 0b1111);
+        assert_eq!(dag.len(), 4);
+        assert_eq!(dag.num_edges(), 4);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let (dag, _) = diamond();
+        let order = dag.topological_order().unwrap();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                pos[v as usize] = i;
+            }
+            pos
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut dag = Dag::new();
+        let a = dag.add(|| {});
+        let b = dag.add(|| {});
+        dag.edge(a, b);
+        dag.edge(b, a);
+        assert!(dag.topological_order().is_none());
+        assert!(dag.levelize().is_none());
+    }
+
+    #[test]
+    fn levelize_diamond() {
+        let (dag, _) = diamond();
+        let levels = dag.levelize().unwrap();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0], vec![0]);
+        let mut mid = levels[1].clone();
+        mid.sort_unstable();
+        assert_eq!(mid, vec![1, 2]);
+        assert_eq!(levels[2], vec![3]);
+    }
+
+    #[test]
+    fn levelize_empty() {
+        let dag = Dag::new();
+        assert_eq!(dag.levelize().unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge out of range")]
+    fn edge_bounds_checked() {
+        let mut dag = Dag::new();
+        dag.add(|| {});
+        dag.edge(0, 5);
+    }
+}

@@ -1,0 +1,323 @@
+//! A TBB-FlowGraph-style message-passing executor — the "Intel TBB
+//! FlowGraph" stand-in of the paper's evaluation.
+//!
+//! The programming model mirrors `tbb::flow`: a [`FlowGraph`] holds
+//! `continue_node`s; `make_edge` wires them; execution starts only when
+//! the user explicitly `try_put`s a continue message into each source
+//! node; `wait_for_all` blocks until no messages are in flight
+//! (Listings 5 and 8 of the paper show how verbose this gets).
+//!
+//! The execution machinery reproduces the *costs* the paper attributes to
+//! TBB's flow-graph model:
+//!
+//! * every edge delivery is a heap-allocated continue message consumed by
+//!   the target node (TBB's dynamic task allocation per message),
+//! * every node keeps an atomic received-message counter checked against
+//!   its predecessor count,
+//! * node bodies are dispatched through a shared central-queue pool
+//!   ([`crate::pool::Pool`]) rather than per-worker deques.
+
+use crate::dag::Dag;
+use crate::pool::Pool;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The nominal message flowing along edges; heap-allocated per delivery to
+/// model TBB's per-message task traffic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ContinueMsg;
+
+type Body = Arc<dyn Fn(&ContinueMsg) + Send + Sync + 'static>;
+
+struct NodeState {
+    body: Body,
+    successors: Vec<u32>,
+    /// Messages required before the body fires (TBB: predecessor count).
+    required: AtomicUsize,
+    /// Messages received so far in the current wave.
+    received: AtomicUsize,
+}
+
+struct GraphInner {
+    nodes: Vec<NodeState>,
+    /// Node executions scheduled but not yet finished.
+    in_flight: AtomicUsize,
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// A handle to a `continue_node`, returned by
+/// [`FlowGraphBuilder::continue_node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContinueNode(u32);
+
+/// Builder phase of a flow graph; call [`FlowGraphBuilder::build`] to
+/// freeze it for execution.
+#[derive(Default)]
+pub struct FlowGraphBuilder {
+    bodies: Vec<Body>,
+    successors: Vec<Vec<u32>>,
+    required: Vec<usize>,
+}
+
+impl FlowGraphBuilder {
+    /// Creates an empty graph builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a `continue_node` executing `body` once all its predecessor
+    /// messages arrived.
+    pub fn continue_node(
+        &mut self,
+        body: impl Fn(&ContinueMsg) + Send + Sync + 'static,
+    ) -> ContinueNode {
+        let id = self.bodies.len() as u32;
+        self.bodies.push(Arc::new(body));
+        self.successors.push(Vec::new());
+        self.required.push(0);
+        ContinueNode(id)
+    }
+
+    /// Wires `from` to `to`: when `from`'s body finishes, it sends a
+    /// continue message to `to`.
+    pub fn make_edge(&mut self, from: ContinueNode, to: ContinueNode) {
+        self.successors[from.0 as usize].push(to.0);
+        self.required[to.0 as usize] += 1;
+    }
+
+    /// Freezes the graph for execution.
+    pub fn build(self) -> FlowGraph {
+        let nodes = self
+            .bodies
+            .into_iter()
+            .zip(self.successors)
+            .zip(self.required)
+            .map(|((body, successors), required)| NodeState {
+                body,
+                successors,
+                required: AtomicUsize::new(required),
+                received: AtomicUsize::new(0),
+            })
+            .collect();
+        FlowGraph {
+            inner: Arc::new(GraphInner {
+                nodes,
+                in_flight: AtomicUsize::new(0),
+                idle: Mutex::new(()),
+                idle_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Builds a flow graph straight from a scheduler-agnostic [`Dag`],
+    /// returning the graph and its source nodes (which the caller must
+    /// `try_put`, as TBB requires).
+    pub fn from_dag(dag: &Dag) -> (FlowGraph, Vec<ContinueNode>) {
+        let mut builder = FlowGraphBuilder::new();
+        let handles: Vec<ContinueNode> = (0..dag.len())
+            .map(|v| {
+                let payload = dag.payload_of(v);
+                builder.continue_node(move |_msg| payload())
+            })
+            .collect();
+        for v in 0..dag.len() {
+            for &s in dag.successors_of(v) {
+                builder.make_edge(handles[v], handles[s as usize]);
+            }
+        }
+        let sources: Vec<ContinueNode> = (0..dag.len())
+            .filter(|&v| dag.in_degree_of(v) == 0)
+            .map(|v| handles[v])
+            .collect();
+        (builder.build(), sources)
+    }
+}
+
+/// An executable flow graph (the TBB `graph` object).
+pub struct FlowGraph {
+    inner: Arc<GraphInner>,
+}
+
+impl FlowGraph {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.nodes.is_empty()
+    }
+
+    /// Injects a continue message into `node` — TBB's explicit source
+    /// activation (`node.try_put(continue_msg())`).
+    pub fn try_put(&self, node: ContinueNode, pool: &Pool) {
+        // The injected message, like edge messages, is heap traffic.
+        let msg = Box::new(ContinueMsg);
+        deliver(&self.inner, node.0, msg, &pool.handle());
+    }
+
+    /// Blocks until no node executions or messages are in flight.
+    /// Nodes that never received all their messages simply do not run
+    /// (TBB semantics).
+    pub fn wait_for_all(&self) {
+        let mut guard = self.inner.idle.lock();
+        while self.inner.in_flight.load(Ordering::SeqCst) != 0 {
+            self.inner.idle_cv.wait(&mut guard);
+        }
+    }
+
+    /// Re-arms every node's message counter so the same graph can run
+    /// again (our benches reuse graphs; TBB does the equivalent reset
+    /// internally per wave).
+    pub fn reset(&self) {
+        for n in &self.inner.nodes {
+            n.received.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Delivers one continue message to `node`; fires the body when the
+/// required count is reached.
+fn deliver(inner: &Arc<GraphInner>, node: u32, msg: Box<ContinueMsg>, pool: &crate::pool::PoolHandle) {
+    let state = &inner.nodes[node as usize];
+    let required = state.required.load(Ordering::Relaxed);
+    let got = state.received.fetch_add(1, Ordering::AcqRel) + 1;
+    // Consume the message (models TBB freeing the task carrying it).
+    drop(msg);
+    if got < required.max(1) {
+        return;
+    }
+    // All inputs arrived: dispatch the body to the pool.
+    inner.in_flight.fetch_add(1, Ordering::SeqCst);
+    let inner2 = Arc::clone(inner);
+    // Successor fan-out re-submits through a clone of the same handle.
+    let pool2 = pool.clone();
+    pool.submit(move || {
+        let state = &inner2.nodes[node as usize];
+        (state.body)(&ContinueMsg);
+        for &succ in &state.successors {
+            let msg = Box::new(ContinueMsg);
+            deliver(&inner2, succ, msg, &pool2);
+        }
+        if inner2.in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = inner2.idle.lock();
+            inner2.idle_cv.notify_all();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing5_static_graph() {
+        // The paper's Figure 2 graph, written TBB-style (Listing 5).
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut g = FlowGraphBuilder::new();
+        let mk = |name: &'static str, order: &Arc<Mutex<Vec<&'static str>>>| {
+            let order = Arc::clone(order);
+            move |_: &ContinueMsg| order.lock().push(name)
+        };
+        let a0 = g.continue_node(mk("a0", &order));
+        let a1 = g.continue_node(mk("a1", &order));
+        let a2 = g.continue_node(mk("a2", &order));
+        let a3 = g.continue_node(mk("a3", &order));
+        let b0 = g.continue_node(mk("b0", &order));
+        let b1 = g.continue_node(mk("b1", &order));
+        let b2 = g.continue_node(mk("b2", &order));
+        g.make_edge(a0, a1);
+        g.make_edge(a1, a2);
+        g.make_edge(a1, b2);
+        g.make_edge(a2, a3);
+        g.make_edge(b0, b1);
+        g.make_edge(b1, b2);
+        g.make_edge(b1, a2);
+        g.make_edge(b2, a3);
+        let g = g.build();
+        let pool = Pool::new(4);
+        g.try_put(a0, &pool);
+        g.try_put(b0, &pool);
+        g.wait_for_all();
+        let order = order.lock();
+        assert_eq!(order.len(), 7);
+        let pos = |n: &str| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos("a0") < pos("a1"));
+        assert!(pos("a1") < pos("a2") && pos("b1") < pos("a2"));
+        assert!(pos("a1") < pos("b2") && pos("b1") < pos("b2"));
+        assert!(pos("a2") < pos("a3") && pos("b2") < pos("a3"));
+        assert!(pos("b0") < pos("b1"));
+    }
+
+    #[test]
+    fn unsourced_nodes_do_not_run() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let mut g = FlowGraphBuilder::new();
+        let r1 = Arc::clone(&ran);
+        let a = g.continue_node(move |_| {
+            r1.fetch_add(1, Ordering::SeqCst);
+        });
+        let r2 = Arc::clone(&ran);
+        let _b = g.continue_node(move |_| {
+            r2.fetch_add(100, Ordering::SeqCst);
+        });
+        let g = g.build();
+        let pool = Pool::new(2);
+        g.try_put(a, &pool);
+        g.wait_for_all();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn from_dag_runs_everything() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut dag = Dag::new();
+        let mut prev = None;
+        for _ in 0..64 {
+            let c = Arc::clone(&count);
+            let v = dag.add(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            if let Some(p) = prev {
+                dag.edge(p, v);
+            }
+            prev = Some(v);
+        }
+        let (g, sources) = FlowGraphBuilder::from_dag(&dag);
+        assert_eq!(sources.len(), 1);
+        let pool = Pool::new(3);
+        for s in &sources {
+            g.try_put(*s, &pool);
+        }
+        g.wait_for_all();
+        assert_eq!(count.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn reset_allows_rerun() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut dag = Dag::new();
+        let c = Arc::clone(&count);
+        let a = dag.add(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let c = Arc::clone(&count);
+        let b = dag.add(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        dag.edge(a, b);
+        let (g, sources) = FlowGraphBuilder::from_dag(&dag);
+        let pool = Pool::new(2);
+        for _ in 0..3 {
+            for s in &sources {
+                g.try_put(*s, &pool);
+            }
+            g.wait_for_all();
+            g.reset();
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 6);
+    }
+}

@@ -1,0 +1,37 @@
+//! # tf-baselines — the comparison schedulers of the Cpp-Taskflow paper
+//!
+//! The paper (IPDPS 2019) evaluates Cpp-Taskflow against two
+//! industrial-strength baselines that we rebuild here as faithful Rust
+//! substrates:
+//!
+//! * [`levelized`] — the levelize-and-barrier discipline of **OpenTimer
+//!   v1** (§II-D: "levelize the circuit graph into a topological order,
+//!   and apply parallel_for level by level"), the v1 engine of
+//!   Figures 9 and 10.
+//! * [`flowgraph`] — the **Intel TBB FlowGraph** stand-in: explicit
+//!   `continue_node`s, `make_edge`, `try_put` sources and per-message heap
+//!   traffic over a central-queue pool (Listings 5/8).
+//! * [`taskdep`] — the **OpenMP 4.5 `task depend`** runtime model:
+//!   sequential-order task submission with per-clause address hashing and
+//!   anti-dependence tracking (Listing 4), used for the micro-benchmark
+//!   and DNN "OpenMP" columns;
+//! * [`dag::Dag::run_sequential`] — the sequential baseline of
+//!   Tables I and III.
+//!
+//! All of them execute the same scheduler-agnostic [`dag::Dag`]
+//! description, so a benchmark builds one workload and measures every
+//! scheduler on identical task graphs.
+
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod flowgraph;
+pub mod levelized;
+pub mod pool;
+pub mod taskdep;
+
+pub use dag::Dag;
+pub use flowgraph::{ContinueMsg, ContinueNode, FlowGraph, FlowGraphBuilder};
+pub use levelized::{run_levelized, LevelizedRunner};
+pub use pool::{Pool, PoolHandle};
+pub use taskdep::TaskDepRegion;

@@ -1,0 +1,75 @@
+//! Property test of the OpenMP-`task depend` runtime model: for any
+//! random program of tasks with random in/out address sets, any two tasks
+//! that *conflict* (share an address that at least one writes) must
+//! execute in submission order — the sequential-consistency guarantee the
+//! OpenMP spec gives `depend` clauses.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use tf_baselines::{Pool, TaskDepRegion};
+
+#[derive(Debug, Clone)]
+struct TaskSpec {
+    ins: Vec<u64>,
+    outs: Vec<u64>,
+}
+
+fn arb_program() -> impl Strategy<Value = Vec<TaskSpec>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0u64..6, 0..3),
+            proptest::collection::vec(0u64..6, 0..2),
+        )
+            .prop_map(|(ins, outs)| TaskSpec { ins, outs }),
+        1..25,
+    )
+}
+
+fn conflicts(a: &TaskSpec, b: &TaskSpec) -> bool {
+    let writes = |t: &TaskSpec, addr: u64| t.outs.contains(&addr);
+    let touches = |t: &TaskSpec, addr: u64| t.ins.contains(&addr) || t.outs.contains(&addr);
+    for addr in 0..6u64 {
+        if touches(a, addr) && touches(b, addr) && (writes(a, addr) || writes(b, addr)) {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conflicting_tasks_run_in_submission_order(program in arb_program(), workers in 1usize..5) {
+        let pool = Pool::new(workers);
+        let region = TaskDepRegion::new(&pool);
+        let clock = Arc::new(AtomicUsize::new(0));
+        let stamps: Vec<Arc<AtomicUsize>> = (0..program.len())
+            .map(|_| Arc::new(AtomicUsize::new(0)))
+            .collect();
+        for (i, spec) in program.iter().enumerate() {
+            let clock = Arc::clone(&clock);
+            let stamp = Arc::clone(&stamps[i]);
+            region.task(&spec.ins, &spec.outs, move || {
+                stamp.store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+            });
+        }
+        region.wait_all();
+        let s: Vec<usize> = stamps.iter().map(|x| x.load(Ordering::SeqCst)).collect();
+        for (i, x) in s.iter().enumerate() {
+            prop_assert!(*x > 0, "task {} never ran", i);
+        }
+        for i in 0..program.len() {
+            for j in (i + 1)..program.len() {
+                if conflicts(&program[i], &program[j]) {
+                    prop_assert!(
+                        s[i] < s[j],
+                        "conflicting tasks {} and {} ran out of order ({} !< {})",
+                        i, j, s[i], s[j]
+                    );
+                }
+            }
+        }
+    }
+}

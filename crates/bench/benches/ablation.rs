@@ -1,0 +1,71 @@
+//! Ablation benches for the executor heuristics of Algorithm 1 (§III-E):
+//!
+//! * the **per-worker cache slot** ("per-thread local cache enables
+//!   speculative execution and ensures no context switch for tasks with
+//!   linear task dependency") — toggled via
+//!   [`rustflow::ExecutorBuilder::cache_slot`];
+//! * the **probabilistic load-balancing wake-up** (Algorithm 1 lines
+//!   26–28) — tuned via [`rustflow::ExecutorBuilder::wake_ratio`].
+//!
+//! The chain workload isolates the cache slot (a pure linear dependency);
+//! the wavefront workload exercises both heuristics together.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rustflow::ExecutorBuilder;
+use tf_workloads::run::run_rustflow;
+use tf_workloads::wavefront::{self, WavefrontSpec};
+
+fn chain_dag(n: usize) -> tf_baselines::Dag {
+    let mut dag = tf_baselines::Dag::with_capacity(n);
+    let mut prev = None;
+    for _ in 0..n {
+        let v = dag.add(|| {});
+        if let Some(p) = prev {
+            dag.edge(p, v);
+        }
+        prev = Some(v);
+    }
+    dag
+}
+
+fn bench_cache_slot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/cache_slot");
+    let n = 20_000;
+    group.throughput(Throughput::Elements(n as u64));
+    let dag = chain_dag(n);
+    for enabled in [true, false] {
+        let ex = ExecutorBuilder::new().workers(4).cache_slot(enabled).build();
+        group.bench_function(BenchmarkId::new("chain", enabled), |b| {
+            b.iter(|| run_rustflow(&dag, &ex))
+        });
+    }
+    let (wf, _sink) = wavefront::build(WavefrontSpec::new(64));
+    group.throughput(Throughput::Elements(wf.len() as u64));
+    for enabled in [true, false] {
+        let ex = ExecutorBuilder::new().workers(4).cache_slot(enabled).build();
+        group.bench_function(BenchmarkId::new("wavefront", enabled), |b| {
+            b.iter(|| run_rustflow(&wf, &ex))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wake_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/wake_ratio");
+    let (wf, _sink) = wavefront::build(WavefrontSpec::new(64));
+    group.throughput(Throughput::Elements(wf.len() as u64));
+    for ratio in [0u64, 16, 64, 256] {
+        let ex = ExecutorBuilder::new().workers(4).wake_ratio(ratio).build();
+        group.bench_function(BenchmarkId::new("wavefront", ratio), |b| {
+            b.iter(|| run_rustflow(&wf, &ex))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache_slot, bench_wake_ratio
+}
+criterion_main!(benches);

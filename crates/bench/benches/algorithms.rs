@@ -1,0 +1,79 @@
+//! Criterion benches of the built-in algorithm collection (§III-F):
+//! `parallel_for`, `reduce`, `transform` against their sequential
+//! equivalents.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rustflow::algorithm::{parallel_for, reduce, transform};
+use rustflow::{Executor, SharedVec, Taskflow};
+use std::sync::Arc;
+
+fn bench_parallel_for(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/parallel_for");
+    let n = 100_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    let ex = Executor::new(4);
+    group.bench_function("rustflow", |b| {
+        b.iter(|| {
+            let tf = Taskflow::with_executor(Arc::clone(&ex));
+            parallel_for(&tf, 0..n, 1024, |i| {
+                std::hint::black_box(i * 3);
+            });
+            tf.wait_for_all();
+        })
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            for i in 0..n {
+                std::hint::black_box(i * 3);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/reduce");
+    let n = 100_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    let ex = Executor::new(4);
+    group.bench_function("rustflow", |b| {
+        b.iter(|| {
+            let tf = Taskflow::with_executor(Arc::clone(&ex));
+            let (_s, _t, r) = reduce(&tf, 0..n, 1024, 0usize, |a, i| a + i, |a, b| a + b);
+            tf.wait_for_all();
+            r.take().expect("reduced")
+        })
+    });
+    group.bench_function("sequential", |b| b.iter(|| (0..n).sum::<usize>()));
+    group.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/transform");
+    let n = 100_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    let ex = Executor::new(4);
+    let src = SharedVec::from_fn(n, |i| i as f64);
+    let dst = SharedVec::new(vec![0f64; n]);
+    group.bench_function("rustflow", |b| {
+        b.iter(|| {
+            let tf = Taskflow::with_executor(Arc::clone(&ex));
+            transform(&tf, &src, &dst, 1024, |&x| x.sqrt() + 1.0);
+            tf.wait_for_all();
+        })
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let v: Vec<f64> = (0..n).map(|i| (i as f64).sqrt() + 1.0).collect();
+            std::hint::black_box(v.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parallel_for, bench_reduce, bench_transform
+}
+criterion_main!(benches);

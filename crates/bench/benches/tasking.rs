@@ -1,0 +1,131 @@
+//! Criterion micro-benches: pure per-task scheduling overhead of each
+//! execution model on three canonical graph shapes (linear chain, wide
+//! fan-out, binary tree). These complement Figure 7 with
+//! statistically-sound per-task costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rustflow::{Executor, Taskflow};
+use std::sync::Arc;
+use tf_baselines::{FlowGraphBuilder, Pool, TaskDepRegion};
+use tf_workloads::shapes::{chain as chain_dag, fan as fan_dag, tree as tree_dag};
+
+fn bench_shapes(c: &mut Criterion) {
+    let threads = 4;
+    let n = 10_000;
+    for (shape, dag) in [
+        ("chain", chain_dag(n)),
+        ("fan", fan_dag(n)),
+        ("tree", tree_dag(n)),
+    ] {
+        let mut group = c.benchmark_group(format!("tasking/{shape}"));
+        group.throughput(Throughput::Elements(dag.len() as u64));
+
+        let ex = Executor::new(threads);
+        group.bench_function(BenchmarkId::new("rustflow", dag.len()), |b| {
+            b.iter(|| tf_workloads::run::run_rustflow(&dag, &ex))
+        });
+        let pool = Pool::new(threads);
+        group.bench_function(BenchmarkId::new("flowgraph", dag.len()), |b| {
+            b.iter(|| tf_workloads::run::run_flowgraph(&dag, &pool))
+        });
+        group.bench_function(BenchmarkId::new("levelized", dag.len()), |b| {
+            b.iter(|| tf_workloads::run::run_levelized(&dag, &pool))
+        });
+        // Precompute depend(in:) lists once; the bench measures the
+        // runtime's clause resolution, not this setup.
+        let mut pred_lists: Vec<Vec<u64>> = vec![Vec::new(); dag.len()];
+        for u in 0..dag.len() {
+            for &v in dag.successors_of(u) {
+                pred_lists[v as usize].push(u as u64);
+            }
+        }
+        group.bench_function(BenchmarkId::new("openmp_taskdep", dag.len()), |b| {
+            b.iter(|| {
+                let region = TaskDepRegion::new(&pool);
+                for v in 0..dag.len() {
+                    let payload = dag.payload_of(v);
+                    // depend(in: predecessors) depend(out: self)
+                    region.task(&pred_lists[v], &[v as u64], move || payload());
+                }
+                region.wait_all();
+            })
+        });
+        group.bench_function(BenchmarkId::new("sequential", dag.len()), |b| {
+            b.iter(|| dag.run_sequential())
+        });
+        group.finish();
+    }
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    // Graph-description cost alone: emplace + precede for 10k tasks.
+    let mut group = c.benchmark_group("tasking/construction");
+    let n = 10_000;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("rustflow_emplace_precede", |b| {
+        b.iter(|| {
+            let tf = Taskflow::new();
+            let tasks: Vec<_> = (0..n).map(|_| tf.emplace(|| {})).collect();
+            for w in tasks.windows(2) {
+                w[0].precede(w[1]);
+            }
+            tf.num_nodes()
+            // Taskflow dropped without dispatch: graph discarded.
+        })
+    });
+    group.bench_function("flowgraph_build", |b| {
+        b.iter(|| {
+            let mut builder = FlowGraphBuilder::new();
+            let nodes: Vec<_> = (0..n).map(|_| builder.continue_node(|_| {})).collect();
+            for w in nodes.windows(2) {
+                builder.make_edge(w[0], w[1]);
+            }
+            builder.build().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_subflow(c: &mut Criterion) {
+    // Dynamic tasking: each of 1000 parent tasks spawns a 3-task subflow.
+    let mut group = c.benchmark_group("tasking/subflow");
+    let parents = 1_000;
+    group.throughput(Throughput::Elements(parents as u64 * 4));
+    let ex = Executor::new(4);
+    group.bench_function("spawn_join", |b| {
+        b.iter(|| {
+            let tf = Taskflow::with_executor(Arc::clone(&ex));
+            for _ in 0..parents {
+                tf.emplace_subflow(|sf| {
+                    let a = sf.emplace(|| {});
+                    let b2 = sf.emplace(|| {});
+                    let c2 = sf.emplace(|| {});
+                    a.precede([b2, c2]);
+                });
+            }
+            tf.wait_for_all();
+        })
+    });
+    group.bench_function("spawn_detach", |b| {
+        b.iter(|| {
+            let tf = Taskflow::with_executor(Arc::clone(&ex));
+            for _ in 0..parents {
+                tf.emplace_subflow(|sf| {
+                    let a = sf.emplace(|| {});
+                    let b2 = sf.emplace(|| {});
+                    a.precede(b2);
+                    sf.detach();
+                });
+            }
+            tf.wait_for_all();
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_shapes, bench_graph_construction, bench_subflow
+}
+criterion_main!(benches);

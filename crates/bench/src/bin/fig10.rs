@@ -1,0 +1,136 @@
+//! Figure 10 — Scalability and CPU profile on million-gate designs.
+//!
+//! * `--part scaling`: full-timing runtime vs thread count on
+//!   netcard-shaped (1.4M gates, paper) and leon3mp-shaped (1.2M gates)
+//!   circuits, v1 (levelized) vs v2 (rustflow). The default scales the
+//!   designs down (`--full` for paper scale).
+//! * `--part util`: CPU-utilization profile over time while v2 runs
+//!   repeated full updates on leon3mp, sampled from a
+//!   [`rustflow::BusyCounter`] observer at several worker counts.
+
+use rustflow::{BusyCounter, Executor};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tf_baselines::Pool;
+use tf_bench::harness::{time_ms, Cli, Report};
+use tf_timer::{CircuitSpec, Engine, Timer};
+
+fn main() {
+    let cli = Cli::parse();
+    if cli.wants_part("scaling") {
+        scaling(&cli);
+    }
+    if cli.wants_part("util") {
+        utilization(&cli);
+    }
+}
+
+fn scaling(cli: &Cli) {
+    let scale = if cli.full { 1.0 } else { 0.02 };
+    let threads = cli.thread_sweep(if cli.full {
+        &[1, 2, 4, 8, 16, 32, 64]
+    } else {
+        &[1, 2, 4, 8]
+    });
+    println!("Figure 10 (left): full-timing runtime vs threads");
+    let mut report = Report::new(
+        cli,
+        "fig10_scaling",
+        &["circuit", "gates", "threads", "v1_ms", "v2_ms"],
+    );
+    report.print_header();
+    for spec in [
+        CircuitSpec::netcard().scaled(scale),
+        CircuitSpec::leon3mp().scaled(scale),
+    ] {
+        let circuit = spec.generate();
+        let timer = Timer::new(circuit);
+        for &t in &threads {
+            let pool = Pool::new(t);
+            let v1_ms = time_ms(|| {
+                timer.full_update(&Engine::V1Levelized(&pool));
+            });
+            let executor = Executor::new(t);
+            let v2_ms = time_ms(|| {
+                timer.full_update(&Engine::V2Rustflow(&executor));
+            });
+            report.row(&[
+                spec.name.to_string(),
+                spec.gates.to_string(),
+                t.to_string(),
+                format!("{v1_ms:.1}"),
+                format!("{v2_ms:.1}"),
+            ]);
+        }
+    }
+    report.save();
+    println!(
+        "\nShape note: the paper reports v2 within 3-4% of v1 at 1 CPU and \
+         faster at >=2 CPUs. Reproducing that ratio requires (a) per-pin \
+         compute that dwarfs per-task overhead (the authors' full NLDM \
+         timer) and (b) real cores for the barrier elimination to pay off; \
+         on few-core containers v2's per-update graph construction \
+         (~0.4us/gate) is visible. The incremental experiment (fig9) is \
+         where the paper's v1-vs-v2 story lives, and it reproduces."
+    );
+}
+
+fn utilization(cli: &Cli) {
+    let scale = if cli.full { 1.0 } else { 0.02 };
+    let spec = CircuitSpec::leon3mp().scaled(scale);
+    let circuit = spec.generate();
+    let timer = Arc::new(Timer::new(circuit));
+    let worker_counts = cli.thread_sweep(if cli.full {
+        &[8, 16, 32, 64]
+    } else {
+        &[2, 4, 8]
+    });
+    println!("Figure 10 (right): busy-worker percentage over time (leon3mp)");
+    let mut report = Report::new(
+        cli,
+        "fig10_util",
+        &["workers", "sample_ms", "busy_pct", "tasks_done"],
+    );
+    report.print_header();
+    for &workers in &worker_counts {
+        let executor = Executor::new(workers);
+        let counter = Arc::new(BusyCounter::new());
+        executor.observe(Arc::clone(&counter) as Arc<dyn rustflow::ExecutorObserver>);
+
+        // Sample in a side thread while v2 runs repeated full updates
+        // (the paper profiles utilization over the run's lifetime).
+        let stop = Arc::new(AtomicBool::new(false));
+        let sampler = {
+            let counter = Arc::clone(&counter);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut samples = Vec::new();
+                let start = std::time::Instant::now();
+                while !stop.load(Ordering::Acquire) {
+                    samples.push((
+                        start.elapsed().as_secs_f64() * 1e3,
+                        counter.busy(),
+                        counter.executed(),
+                    ));
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                samples
+            })
+        };
+        let updates = if cli.full { 4 } else { 3 };
+        for _ in 0..updates {
+            timer.full_update(&Engine::V2Rustflow(&executor));
+        }
+        stop.store(true, Ordering::Release);
+        let samples = sampler.join().expect("sampler panicked");
+        for (ms, busy, done) in samples {
+            report.row(&[
+                workers.to_string(),
+                format!("{ms:.1}"),
+                format!("{:.1}", 100.0 * busy as f64 / workers as f64),
+                done.to_string(),
+            ]);
+        }
+    }
+    report.save();
+}

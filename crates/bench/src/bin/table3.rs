@@ -1,0 +1,54 @@
+//! Table III — Software Costs Comparison on Machine Learning.
+//!
+//! Measures the four DNN-training drivers (Figure 11's decomposition in
+//! each programming model) with the SLOCCount/Lizard-equivalent analyzer.
+//! Development time (the paper's T column) is a human measurement we
+//! cannot reproduce; the paper's values are printed for reference.
+
+use tf_bench::harness::{Cli, Report};
+use tf_bench::impls::source_path;
+use tf_metrics::SoftwareCost;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("Table III: software costs on machine learning (ours vs paper)");
+    let mut report = Report::new(
+        &cli,
+        "table3",
+        &[
+            "model",
+            "loc",
+            "cc_total",
+            "functions",
+            "paper_loc",
+            "paper_cc",
+            "paper_devtime_h",
+        ],
+    );
+    report.print_header();
+    let rows: [(&str, &str, u32, u32, u32); 5] = [
+        ("rustflow", "dnn_rustflow.rs", 59, 11, 3),
+        ("openmp-style", "dnn_openmp.rs", 162, 23, 9),
+        ("tbb-style", "dnn_flowgraph.rs", 90, 12, 3),
+        ("sequential", "dnn_seq.rs", 33, 9, 2),
+        ("levelized*", "dnn_levelized.rs", 0, 0, 0),
+    ];
+    for (model, file, p_loc, p_cc, p_t) in rows {
+        let cost = SoftwareCost::measure_files(model, [source_path(file)]);
+        report.row(&[
+            model.to_string(),
+            cost.sloc.to_string(),
+            cost.cc_total().to_string(),
+            cost.complexity.num_functions().to_string(),
+            p_loc.to_string(),
+            p_cc.to_string(),
+            p_t.to_string(),
+        ]);
+    }
+    report.save();
+    println!(
+        "\nShape check: sequential < rustflow < tbb-style < openmp-style \
+         LOC ordering; dev-time column is the paper's human measurement \
+         (not reproducible mechanically)."
+    );
+}

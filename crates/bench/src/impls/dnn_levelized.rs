@@ -1,0 +1,228 @@
+//! DNN training in the OpenMP-style static model (Table III's OpenMP
+//! column).
+//!
+//! The static model has no runtime graph object: to get the Figure-11
+//! pipeline (shuffle overlap, per-layer gradient/update concurrency) the
+//! programmer must (1) enumerate every task and its dependencies by hand
+//! — the Rust analog of the paper's "hard-code an order of task
+//! dependency clauses that is only specific to a DNN architecture" —
+//! and (2) derive a valid barrier schedule (levelization) from those
+//! hand-written dependencies before anything can run. Most of this file
+//! is exactly that bookkeeping; compare with the rustflow driver where
+//! the library owns all of it.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tf_baselines::Pool;
+use tf_dnn::net::{activate_inplace, backward_layer_math, output_delta, LayerGrad};
+use tf_dnn::pipeline::TrainSpec;
+use tf_dnn::{Dataset, Matrix, Mlp};
+
+struct Shared {
+    weights: Vec<Mutex<Matrix>>,
+    biases: Vec<Mutex<Vec<f32>>>,
+    acts: Mutex<Vec<Matrix>>,
+    delta: Mutex<Matrix>,
+    grads: Vec<Mutex<Option<LayerGrad>>>,
+    storages: Vec<Mutex<Option<Dataset>>>,
+    losses: Mutex<Vec<f64>>,
+}
+
+type TaskFn = Arc<dyn Fn() + Send + Sync>;
+
+/// Trains an MLP by hand-building the Figure-11 task list, hand-deriving
+/// its barrier schedule, and executing level by level.
+pub fn train(
+    dataset: &Dataset,
+    arch: &[usize],
+    spec: TrainSpec,
+    seed: u64,
+    pool: &Pool,
+) -> (Mlp, Vec<f64>) {
+    let init = Mlp::new(arch, seed);
+    let layers = init.num_layers();
+    let shared = Arc::new(Shared {
+        weights: init.weights.iter().cloned().map(Mutex::new).collect(),
+        biases: init.biases.iter().cloned().map(Mutex::new).collect(),
+        acts: Mutex::new(Vec::new()),
+        delta: Mutex::new(Matrix::zeros(0, 0)),
+        grads: (0..layers).map(|_| Mutex::new(None)).collect(),
+        storages: (0..spec.storages.max(1)).map(|_| Mutex::new(None)).collect(),
+        losses: Mutex::new(Vec::new()),
+    });
+    let batch = spec.batch.max(1);
+    let num_batches = dataset.len() / batch;
+    let slots = spec.storages.max(1);
+    let dataset = Arc::new(dataset.clone());
+
+    // --- 1. Enumerate every task and its dependency list by hand -------
+    let mut tasks: Vec<TaskFn> = Vec::new();
+    let mut preds: Vec<Vec<usize>> = Vec::new();
+    let add = |task: TaskFn, deps: Vec<usize>, tasks: &mut Vec<TaskFn>,
+                   preds: &mut Vec<Vec<usize>>| {
+        tasks.push(task);
+        preds.push(deps);
+        tasks.len() - 1
+    };
+    let mut last_forward_of_epoch: Vec<usize> = Vec::new();
+    let mut prev_updates: Vec<usize> = Vec::new();
+    for e in 0..spec.epochs {
+        let slot = e % slots;
+        let shuffle_deps = if e >= slots {
+            vec![last_forward_of_epoch[e - slots]]
+        } else {
+            Vec::new()
+        };
+        let shuffle = {
+            let shared = Arc::clone(&shared);
+            let dataset = Arc::clone(&dataset);
+            let shuffle_seed = spec.shuffle_seed(e);
+            add(
+                Arc::new(move || {
+                    *shared.storages[slot].lock() = Some(dataset.shuffled(shuffle_seed));
+                }),
+                shuffle_deps,
+                &mut tasks,
+                &mut preds,
+            )
+        };
+        for j in 0..num_batches {
+            let mut forward_deps = vec![shuffle];
+            forward_deps.append(&mut prev_updates);
+            let forward = {
+                let shared = Arc::clone(&shared);
+                let lo = j * batch;
+                add(
+                    Arc::new(move || {
+                        let (images, labels) = {
+                            let guard = shared.storages[slot].lock();
+                            let ds = guard.as_ref().expect("storage empty");
+                            let (images, labels) = ds.batch(lo, lo + batch);
+                            (images, labels.to_vec())
+                        };
+                        let mut acts = vec![images];
+                        for i in 0..layers {
+                            let mut z = acts[i].matmul_bt(&shared.weights[i].lock());
+                            z.add_row_vector(&shared.biases[i].lock());
+                            activate_inplace(&mut z, i + 1 == layers);
+                            acts.push(z);
+                        }
+                        let (delta, loss) =
+                            output_delta(acts.last().expect("nonempty"), &labels);
+                        *shared.delta.lock() = delta;
+                        *shared.acts.lock() = acts;
+                        shared.losses.lock().push(loss);
+                    }),
+                    forward_deps,
+                    &mut tasks,
+                    &mut preds,
+                )
+            };
+            let mut prev_g = forward;
+            for i in (0..layers).rev() {
+                let g_task = {
+                    let shared = Arc::clone(&shared);
+                    add(
+                        Arc::new(move || {
+                            let delta = shared.delta.lock().clone();
+                            let a_prev = shared.acts.lock()[i].clone();
+                            let (grad, dprev) = if i > 0 {
+                                backward_layer_math(
+                                    Some(&shared.weights[i].lock()),
+                                    &delta,
+                                    &a_prev,
+                                )
+                            } else {
+                                backward_layer_math(None, &delta, &a_prev)
+                            };
+                            *shared.grads[i].lock() = Some(grad);
+                            if let Some(d) = dprev {
+                                *shared.delta.lock() = d;
+                            }
+                        }),
+                        vec![prev_g],
+                        &mut tasks,
+                        &mut preds,
+                    )
+                };
+                let u_task = {
+                    let shared = Arc::clone(&shared);
+                    let lr = spec.lr;
+                    add(
+                        Arc::new(move || {
+                            let grad =
+                                shared.grads[i].lock().take().expect("gradient missing");
+                            shared.weights[i].lock().add_scaled(&grad.dw, -lr);
+                            for (b, &g) in
+                                shared.biases[i].lock().iter_mut().zip(&grad.db)
+                            {
+                                *b -= lr * g;
+                            }
+                        }),
+                        vec![g_task],
+                        &mut tasks,
+                        &mut preds,
+                    )
+                };
+                prev_updates.push(u_task);
+                prev_g = g_task;
+            }
+            if j + 1 == num_batches {
+                last_forward_of_epoch.push(forward);
+            }
+        }
+    }
+
+    // --- 2. Hand-derive the barrier schedule (Kahn levelization) -------
+    let n = tasks.len();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut remaining: Vec<usize> = vec![0; n];
+    for (v, deps) in preds.iter().enumerate() {
+        remaining[v] = deps.len();
+        for &u in deps {
+            succs[u].push(v);
+        }
+    }
+    let mut frontier: Vec<usize> = (0..n).filter(|&v| remaining[v] == 0).collect();
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &s in &succs[v] {
+                remaining[s] -= 1;
+                if remaining[s] == 0 {
+                    next.push(s);
+                }
+            }
+        }
+        levels.push(std::mem::replace(&mut frontier, next));
+    }
+    assert_eq!(levels.iter().map(|l| l.len()).sum::<usize>(), n, "cycle");
+
+    // --- 3. Execute level by level with implicit barriers --------------
+    for level in levels {
+        if level.len() == 1 {
+            (tasks[level[0]])();
+            continue;
+        }
+        let level = Arc::new(level);
+        let tasks_ref: Arc<Vec<TaskFn>> = Arc::new(
+            level.iter().map(|&v| Arc::clone(&tasks[v])).collect(),
+        );
+        pool.parallel_for(
+            level.len(),
+            1,
+            Arc::new(move |i| {
+                (tasks_ref[i])();
+            }),
+        );
+    }
+
+    let trained = Mlp {
+        sizes: arch.to_vec(),
+        weights: shared.weights.iter().map(|w| w.lock().clone()).collect(),
+        biases: shared.biases.iter().map(|b| b.lock().clone()).collect(),
+    };
+    let losses = shared.losses.lock().clone();
+    (trained, losses)
+}

@@ -1,0 +1,238 @@
+//! DNN training in the OpenMP-`task depend` model (Table III's OpenMP
+//! column).
+//!
+//! "In order to ensure proper dependencies between tasks, we need to
+//! hard-code an order of task dependency clauses that is only specific to
+//! a DNN architecture" (§IV-C). Exactly that happens here: the depend
+//! clauses per layer cannot be generated in a loop of pragmas, so the
+//! 3-layer and 5-layer networks each get a hand-unrolled submission body
+//! with explicit per-layer address lists — and getting the clause order
+//! wrong deadlocks or corrupts training, which is where the paper's 9
+//! development hours went.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tf_baselines::{Pool, TaskDepRegion};
+use tf_dnn::net::{activate_inplace, backward_layer_math, output_delta, LayerGrad};
+use tf_dnn::pipeline::TrainSpec;
+use tf_dnn::{Dataset, Matrix, Mlp};
+
+// Dependence addresses (one per shared buffer, as OpenMP depend lists
+// name variables).
+const ADDR_DELTA: u64 = 1;
+const ADDR_ACTS: u64 = 2;
+const fn addr_slot(s: usize) -> u64 {
+    1000 + s as u64
+}
+const fn addr_w(i: usize) -> u64 {
+    2000 + i as u64
+}
+const fn addr_grad(i: usize) -> u64 {
+    3000 + i as u64
+}
+
+struct Shared {
+    weights: Vec<Mutex<Matrix>>,
+    biases: Vec<Mutex<Vec<f32>>>,
+    acts: Mutex<Vec<Matrix>>,
+    delta: Mutex<Matrix>,
+    grads: Vec<Mutex<Option<LayerGrad>>>,
+    storages: Vec<Mutex<Option<Dataset>>>,
+    losses: Mutex<Vec<f64>>,
+}
+
+impl Shared {
+    fn forward(&self, slot: usize, lo: usize, hi: usize, layers: usize) {
+        let (images, labels) = {
+            let guard = self.storages[slot].lock();
+            let ds = guard.as_ref().expect("storage empty");
+            let (images, labels) = ds.batch(lo, hi);
+            (images, labels.to_vec())
+        };
+        let mut acts = vec![images];
+        for i in 0..layers {
+            let mut z = acts[i].matmul_bt(&self.weights[i].lock());
+            z.add_row_vector(&self.biases[i].lock());
+            activate_inplace(&mut z, i + 1 == layers);
+            acts.push(z);
+        }
+        let (delta, loss) = output_delta(acts.last().expect("nonempty"), &labels);
+        *self.delta.lock() = delta;
+        *self.acts.lock() = acts;
+        self.losses.lock().push(loss);
+    }
+
+    fn gradient(&self, i: usize) {
+        let delta = self.delta.lock().clone();
+        let a_prev = self.acts.lock()[i].clone();
+        let (grad, dprev) = if i > 0 {
+            backward_layer_math(Some(&self.weights[i].lock()), &delta, &a_prev)
+        } else {
+            backward_layer_math(None, &delta, &a_prev)
+        };
+        *self.grads[i].lock() = Some(grad);
+        if let Some(d) = dprev {
+            *self.delta.lock() = d;
+        }
+    }
+
+    fn update(&self, i: usize, lr: f32) {
+        let grad = self.grads[i].lock().take().expect("gradient missing");
+        self.weights[i].lock().add_scaled(&grad.dw, -lr);
+        for (b, &g) in self.biases[i].lock().iter_mut().zip(&grad.db) {
+            *b -= lr * g;
+        }
+    }
+}
+
+/// Trains an MLP with OpenMP-style dependent tasks; only the paper's two
+/// architectures are supported because each needs its own hand-coded
+/// clause order.
+pub fn train(
+    dataset: Arc<Dataset>,
+    arch: &[usize],
+    spec: TrainSpec,
+    seed: u64,
+    pool: &Pool,
+) -> (Mlp, Vec<f64>) {
+    match arch.len() - 1 {
+        3 => train_3layer(dataset, arch, spec, seed, pool),
+        5 => train_5layer(dataset, arch, spec, seed, pool),
+        n => panic!("no hand-coded clause order for a {n}-layer network"),
+    }
+}
+
+fn make_shared(init: &Mlp, spec: &TrainSpec) -> Arc<Shared> {
+    Arc::new(Shared {
+        weights: init.weights.iter().cloned().map(Mutex::new).collect(),
+        biases: init.biases.iter().cloned().map(Mutex::new).collect(),
+        acts: Mutex::new(Vec::new()),
+        delta: Mutex::new(Matrix::zeros(0, 0)),
+        grads: (0..init.num_layers()).map(|_| Mutex::new(None)).collect(),
+        storages: (0..spec.storages.max(1)).map(|_| Mutex::new(None)).collect(),
+        losses: Mutex::new(Vec::new()),
+    })
+}
+
+fn extract(shared: &Shared, arch: &[usize]) -> (Mlp, Vec<f64>) {
+    (
+        Mlp {
+            sizes: arch.to_vec(),
+            weights: shared.weights.iter().map(|w| w.lock().clone()).collect(),
+            biases: shared.biases.iter().map(|b| b.lock().clone()).collect(),
+        },
+        shared.losses.lock().clone(),
+    )
+}
+
+macro_rules! shuffle_task {
+    ($region:expr, $shared:expr, $dataset:expr, $spec:expr, $e:expr, $slot:expr) => {{
+        let shared = Arc::clone(&$shared);
+        let dataset = Arc::clone(&$dataset);
+        let sd = $spec.shuffle_seed($e);
+        let slot = $slot;
+        // depend(out: slot) — the anti-dependence on the previous
+        // epoch's readers is what delays reuse of the storage.
+        $region.task(&[], &[addr_slot(slot)], move || {
+            *shared.storages[slot].lock() = Some(dataset.shuffled(sd));
+        });
+    }};
+}
+
+macro_rules! grad_update_tasks {
+    ($region:expr, $shared:expr, $lr:expr, $i:expr) => {{
+        let shared = Arc::clone(&$shared);
+        // depend(in: acts, W_i) depend(inout: delta) depend(out: grad_i)
+        $region.task(
+            &[ADDR_ACTS, addr_w($i), ADDR_DELTA],
+            &[ADDR_DELTA, addr_grad($i)],
+            move || shared.gradient($i),
+        );
+        let shared = Arc::clone(&$shared);
+        let lr = $lr;
+        // depend(in: grad_i) depend(out: W_i)
+        $region.task(&[addr_grad($i)], &[addr_w($i)], move || {
+            shared.update($i, lr)
+        });
+    }};
+}
+
+fn train_3layer(
+    dataset: Arc<Dataset>,
+    arch: &[usize],
+    spec: TrainSpec,
+    seed: u64,
+    pool: &Pool,
+) -> (Mlp, Vec<f64>) {
+    let init = Mlp::new(arch, seed);
+    let shared = make_shared(&init, &spec);
+    let batch = spec.batch.max(1);
+    let num_batches = dataset.len() / batch;
+    let slots = spec.storages.max(1);
+    let region = TaskDepRegion::new(pool);
+    for e in 0..spec.epochs {
+        let slot = e % slots;
+        shuffle_task!(region, shared, dataset, spec, e, slot);
+        for j in 0..num_batches {
+            let sh = Arc::clone(&shared);
+            let lo = j * batch;
+            // depend(in: slot, W0, W1, W2) depend(out: delta, acts)
+            region.task(
+                &[addr_slot(slot), addr_w(0), addr_w(1), addr_w(2)],
+                &[ADDR_DELTA, ADDR_ACTS],
+                move || sh.forward(slot, lo, lo + batch, 3),
+            );
+            // The clause order below is architecture-specific: G2 U2 G1
+            // U1 G0 U0 — swapping any pair breaks the delta chain.
+            grad_update_tasks!(region, shared, spec.lr, 2);
+            grad_update_tasks!(region, shared, spec.lr, 1);
+            grad_update_tasks!(region, shared, spec.lr, 0);
+        }
+    }
+    region.wait_all();
+    extract(&shared, arch)
+}
+
+fn train_5layer(
+    dataset: Arc<Dataset>,
+    arch: &[usize],
+    spec: TrainSpec,
+    seed: u64,
+    pool: &Pool,
+) -> (Mlp, Vec<f64>) {
+    let init = Mlp::new(arch, seed);
+    let shared = make_shared(&init, &spec);
+    let batch = spec.batch.max(1);
+    let num_batches = dataset.len() / batch;
+    let slots = spec.storages.max(1);
+    let region = TaskDepRegion::new(pool);
+    for e in 0..spec.epochs {
+        let slot = e % slots;
+        shuffle_task!(region, shared, dataset, spec, e, slot);
+        for j in 0..num_batches {
+            let sh = Arc::clone(&shared);
+            let lo = j * batch;
+            // depend(in: slot, W0..W4) depend(out: delta, acts)
+            region.task(
+                &[
+                    addr_slot(slot),
+                    addr_w(0),
+                    addr_w(1),
+                    addr_w(2),
+                    addr_w(3),
+                    addr_w(4),
+                ],
+                &[ADDR_DELTA, ADDR_ACTS],
+                move || sh.forward(slot, lo, lo + batch, 5),
+            );
+            // Architecture-specific clause order: G4 U4 ... G0 U0.
+            grad_update_tasks!(region, shared, spec.lr, 4);
+            grad_update_tasks!(region, shared, spec.lr, 3);
+            grad_update_tasks!(region, shared, spec.lr, 2);
+            grad_update_tasks!(region, shared, spec.lr, 1);
+            grad_update_tasks!(region, shared, spec.lr, 0);
+        }
+    }
+    region.wait_all();
+    extract(&shared, arch)
+}

@@ -1,0 +1,144 @@
+//! DNN training in rustflow (Table III's Cpp-Taskflow column): the
+//! Figure-11 decomposition written against rustflow's native API.
+
+use parking_lot::Mutex;
+use rustflow::{Executor, Taskflow};
+use std::sync::Arc;
+use tf_dnn::net::{activate_inplace, backward_layer_math, output_delta, LayerGrad};
+use tf_dnn::pipeline::TrainSpec;
+use tf_dnn::{Dataset, Matrix, Mlp};
+
+struct Shared {
+    weights: Vec<Mutex<Matrix>>,
+    biases: Vec<Mutex<Vec<f32>>>,
+    acts: Mutex<Vec<Matrix>>,
+    delta: Mutex<Matrix>,
+    grads: Vec<Mutex<Option<LayerGrad>>>,
+    storages: Vec<Mutex<Option<Dataset>>>,
+    losses: Mutex<Vec<f64>>,
+}
+
+impl Shared {
+    fn forward(&self, slot: usize, lo: usize, hi: usize, layers: usize) {
+        let (images, labels) = {
+            let guard = self.storages[slot].lock();
+            let ds = guard.as_ref().expect("storage empty");
+            let (images, labels) = ds.batch(lo, hi);
+            (images, labels.to_vec())
+        };
+        let mut acts = vec![images];
+        for i in 0..layers {
+            let mut z = acts[i].matmul_bt(&self.weights[i].lock());
+            z.add_row_vector(&self.biases[i].lock());
+            activate_inplace(&mut z, i + 1 == layers);
+            acts.push(z);
+        }
+        let (delta, loss) = output_delta(acts.last().expect("nonempty"), &labels);
+        *self.delta.lock() = delta;
+        *self.acts.lock() = acts;
+        self.losses.lock().push(loss);
+    }
+
+    fn gradient(&self, i: usize) {
+        let delta = self.delta.lock().clone();
+        let a_prev = self.acts.lock()[i].clone();
+        let (grad, dprev) = if i > 0 {
+            backward_layer_math(Some(&self.weights[i].lock()), &delta, &a_prev)
+        } else {
+            backward_layer_math(None, &delta, &a_prev)
+        };
+        *self.grads[i].lock() = Some(grad);
+        if let Some(d) = dprev {
+            *self.delta.lock() = d;
+        }
+    }
+
+    fn update(&self, i: usize, lr: f32) {
+        let grad = self.grads[i].lock().take().expect("gradient missing");
+        self.weights[i].lock().add_scaled(&grad.dw, -lr);
+        for (b, &g) in self.biases[i].lock().iter_mut().zip(&grad.db) {
+            *b -= lr * g;
+        }
+    }
+}
+
+/// Trains an MLP with the Figure-11 task graph on rustflow.
+pub fn train(
+    dataset: Arc<Dataset>,
+    arch: &[usize],
+    spec: TrainSpec,
+    seed: u64,
+    executor: &Arc<Executor>,
+) -> (Mlp, Vec<f64>) {
+    let init = Mlp::new(arch, seed);
+    let layers = init.num_layers();
+    let shared = Arc::new(Shared {
+        weights: init.weights.iter().cloned().map(Mutex::new).collect(),
+        biases: init.biases.iter().cloned().map(Mutex::new).collect(),
+        acts: Mutex::new(Vec::new()),
+        delta: Mutex::new(Matrix::zeros(0, 0)),
+        grads: (0..layers).map(|_| Mutex::new(None)).collect(),
+        storages: (0..spec.storages.max(1)).map(|_| Mutex::new(None)).collect(),
+        losses: Mutex::new(Vec::new()),
+    });
+    let batch = spec.batch.max(1);
+    let num_batches = dataset.len() / batch;
+    let slots = spec.storages.max(1);
+
+    let tf = Taskflow::with_executor(Arc::clone(executor));
+    let mut last_forward_of_epoch = Vec::new();
+    let mut prev_updates: Vec<rustflow::Task<'_>> = Vec::new();
+    for e in 0..spec.epochs {
+        let slot = e % slots;
+        let shuffle = {
+            let shared = Arc::clone(&shared);
+            let dataset = Arc::clone(&dataset);
+            let shuffle_seed = spec.shuffle_seed(e);
+            tf.emplace(move || {
+                *shared.storages[slot].lock() = Some(dataset.shuffled(shuffle_seed));
+            })
+        };
+        if e >= slots {
+            let prev: rustflow::Task<'_> = last_forward_of_epoch[e - slots];
+            prev.precede(shuffle);
+        }
+        for j in 0..num_batches {
+            let forward = {
+                let shared = Arc::clone(&shared);
+                let lo = j * batch;
+                tf.emplace(move || shared.forward(slot, lo, lo + batch, layers))
+            };
+            shuffle.precede(forward);
+            forward.succeed(&prev_updates);
+            prev_updates.clear();
+            let mut prev_g = forward;
+            for i in (0..layers).rev() {
+                let g_task = {
+                    let shared = Arc::clone(&shared);
+                    tf.emplace(move || shared.gradient(i))
+                };
+                prev_g.precede(g_task);
+                let u_task = {
+                    let shared = Arc::clone(&shared);
+                    let lr = spec.lr;
+                    tf.emplace(move || shared.update(i, lr))
+                };
+                g_task.precede(u_task);
+                prev_updates.push(u_task);
+                prev_g = g_task;
+            }
+            if j + 1 == num_batches {
+                last_forward_of_epoch.push(forward);
+            }
+        }
+    }
+    tf.wait_for_all();
+
+    let trained = Mlp {
+        sizes: arch.to_vec(),
+        weights: shared.weights.iter().map(|w| w.lock().clone()).collect(),
+        biases: shared.biases.iter().map(|b| b.lock().clone()).collect(),
+    };
+    let losses = shared.losses.lock().clone();
+    (trained, losses)
+}

@@ -1,0 +1,20 @@
+//! DNN training, sequential baseline (Table III's Sequential column).
+
+use tf_dnn::pipeline::TrainSpec;
+use tf_dnn::{Dataset, Mlp};
+
+/// Trains an MLP with plain mini-batch SGD.
+pub fn train(dataset: &Dataset, arch: &[usize], spec: TrainSpec, seed: u64) -> (Mlp, Vec<f64>) {
+    let mut net = Mlp::new(arch, seed);
+    let batch = spec.batch.max(1);
+    let num_batches = dataset.len() / batch;
+    let mut losses = Vec::with_capacity(spec.epochs * num_batches);
+    for epoch in 0..spec.epochs {
+        let shuffled = dataset.shuffled(spec.shuffle_seed(epoch));
+        for j in 0..num_batches {
+            let (images, labels) = shuffled.batch(j * batch, (j + 1) * batch);
+            losses.push(net.train_batch(&images, labels, spec.lr));
+        }
+    }
+    (net, losses)
+}

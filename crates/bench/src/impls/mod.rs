@@ -1,0 +1,36 @@
+//! Per-model implementations of the paper's three coding-cost subjects
+//! (wavefront, graph traversal, DNN training), written the way a user of
+//! each programming model would write them.
+//!
+//! These files are **measurement subjects**: `table1` and `table3` run
+//! the SLOC / cyclomatic-complexity analyzer (`tf-metrics`) over their
+//! sources, reproducing the paper's Tables I and III methodology on our
+//! Rust implementations. They are therefore deliberately *not* factored
+//! through the shared `Dag` abstraction — each uses its model's native
+//! graph-description API, because that API's verbosity is exactly what
+//! the experiment quantifies. They are all tested for correctness against
+//! the order-independent checksums / the sequential SGD oracle.
+
+pub mod dnn_flowgraph;
+pub mod dnn_levelized;
+pub mod dnn_openmp;
+pub mod dnn_rustflow;
+pub mod dnn_seq;
+pub mod traversal_flowgraph;
+pub mod traversal_levelized;
+pub mod traversal_openmp;
+pub mod traversal_rustflow;
+pub mod traversal_seq;
+pub mod wavefront_flowgraph;
+pub mod wavefront_levelized;
+pub mod wavefront_openmp;
+pub mod wavefront_rustflow;
+pub mod wavefront_seq;
+
+/// Source-file paths of each implementation, grouped per experiment row:
+/// (model label, path). `table1`/`table3` feed these to `tf-metrics`.
+pub fn source_path(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("src/impls")
+        .join(file)
+}

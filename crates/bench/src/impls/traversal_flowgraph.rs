@@ -1,0 +1,37 @@
+//! Graph traversal in the TBB-FlowGraph-style model (Table I's TBB
+//! column). The user must track in-degrees to find the sources and
+//! `try_put` each one explicitly.
+
+use std::sync::Arc;
+use tf_baselines::{FlowGraphBuilder, Pool};
+use tf_workloads::kernels::{nominal_work, Sink};
+use tf_workloads::randdag::{generate_edges, RandDagSpec};
+
+/// Casts a random graph to a flow graph and traverses it.
+pub fn run(spec: RandDagSpec, pool: &Pool) -> u64 {
+    let sink = Arc::new(Sink::new());
+    let mut builder = FlowGraphBuilder::new();
+    let mut nodes = Vec::with_capacity(spec.nodes);
+    for v in 0..spec.nodes {
+        let sink = Arc::clone(&sink);
+        let iters = spec.work_iters;
+        let node = builder.continue_node(move |_msg| {
+            sink.consume(nominal_work(v as u64 + 1, iters));
+        });
+        nodes.push(node);
+    }
+    let mut in_degree = vec![0usize; spec.nodes];
+    for (u, v) in generate_edges(spec) {
+        builder.make_edge(nodes[u as usize], nodes[v as usize]);
+        in_degree[v as usize] += 1;
+    }
+    let graph = builder.build();
+    // Every zero-in-degree node is a source the user must activate.
+    for v in 0..spec.nodes {
+        if in_degree[v] == 0 {
+            graph.try_put(nodes[v], pool);
+        }
+    }
+    graph.wait_for_all();
+    sink.value()
+}

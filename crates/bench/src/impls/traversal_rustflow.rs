@@ -1,0 +1,24 @@
+//! Graph traversal in rustflow (Table I's Cpp-Taskflow column).
+
+use rustflow::{Executor, Taskflow};
+use std::sync::Arc;
+use tf_workloads::kernels::{nominal_work, Sink};
+use tf_workloads::randdag::{generate_edges, RandDagSpec};
+
+/// Casts a random graph to a task dependency graph and traverses it.
+pub fn run(spec: RandDagSpec, executor: &Arc<Executor>) -> u64 {
+    let sink = Arc::new(Sink::new());
+    let tf = Taskflow::with_executor(Arc::clone(executor));
+    let tasks: Vec<_> = (0..spec.nodes)
+        .map(|v| {
+            let sink = Arc::clone(&sink);
+            let iters = spec.work_iters;
+            tf.emplace(move || sink.consume(nominal_work(v as u64 + 1, iters)))
+        })
+        .collect();
+    for (u, v) in generate_edges(spec) {
+        tasks[u as usize].precede(tasks[v as usize]);
+    }
+    tf.wait_for_all();
+    sink.value()
+}

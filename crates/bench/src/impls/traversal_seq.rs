@@ -1,0 +1,14 @@
+//! Graph traversal, sequential baseline (Table I's Sequential column).
+
+use tf_workloads::kernels::{nominal_work, Sink};
+use tf_workloads::randdag::RandDagSpec;
+
+/// Visits every node once (any topological order works; ids suffice
+/// because the generator issues them topologically).
+pub fn run(spec: RandDagSpec) -> u64 {
+    let sink = Sink::new();
+    for v in 0..spec.nodes {
+        sink.consume(nominal_work(v as u64 + 1, spec.work_iters));
+    }
+    sink.value()
+}

@@ -1,0 +1,40 @@
+//! Wavefront in the TBB-FlowGraph-style model (the paper's TBB column).
+//!
+//! Note the extra machinery a flow-graph user must write: building
+//! `continue_node`s, wiring `make_edge`s, explicitly activating the
+//! source with `try_put`, and finally `wait_for_all` on the graph object
+//! (Listing 5 of the paper shows the same shape in C++).
+
+use std::sync::Arc;
+use tf_baselines::{FlowGraphBuilder, Pool};
+use tf_workloads::kernels::{nominal_work, Sink};
+
+/// Runs a `dim`×`dim` block wavefront; returns the checksum.
+pub fn run(dim: usize, iters: u32, pool: &Pool) -> u64 {
+    let sink = Arc::new(Sink::new());
+    let mut builder = FlowGraphBuilder::new();
+    let mut nodes = Vec::with_capacity(dim * dim);
+    for id in 0..dim * dim {
+        let sink = Arc::clone(&sink);
+        let node = builder.continue_node(move |_msg| {
+            sink.consume(nominal_work(id as u64 + 1, iters));
+        });
+        nodes.push(node);
+    }
+    for r in 0..dim {
+        for c in 0..dim {
+            let id = r * dim + c;
+            if c + 1 < dim {
+                builder.make_edge(nodes[id], nodes[id + 1]);
+            }
+            if r + 1 < dim {
+                builder.make_edge(nodes[id], nodes[id + dim]);
+            }
+        }
+    }
+    let graph = builder.build();
+    // The top-left block is the only source; it must be fed explicitly.
+    graph.try_put(nodes[0], pool);
+    graph.wait_for_all();
+    sink.value()
+}

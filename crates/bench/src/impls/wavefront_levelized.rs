@@ -1,0 +1,35 @@
+//! Wavefront in the OpenMP-style levelized model (the paper's OpenMP
+//! column).
+//!
+//! With static task annotations, the programmer must derive a valid
+//! schedule — here the anti-diagonal structure — by hand, and express the
+//! computation as one barrier-synchronized parallel region per level;
+//! this is the burden the paper's Listing 4 illustrates with explicit
+//! `depend` clauses.
+
+use std::sync::Arc;
+use tf_baselines::Pool;
+use tf_workloads::kernels::{nominal_work, Sink};
+
+/// Runs a `dim`×`dim` block wavefront; returns the checksum.
+pub fn run(dim: usize, iters: u32, pool: &Pool) -> u64 {
+    let sink = Arc::new(Sink::new());
+    // The programmer must know that blocks on one anti-diagonal are
+    // independent, and enumerate the diagonals in order.
+    for diag in 0..(2 * dim - 1) {
+        let r_lo = diag.saturating_sub(dim - 1);
+        let r_hi = diag.min(dim - 1);
+        let count = r_hi - r_lo + 1;
+        let sink = Arc::clone(&sink);
+        let body = Arc::new(move |i: usize| {
+            let r = r_lo + i;
+            let c = diag - r;
+            let id = r * dim + c;
+            sink.consume(nominal_work(id as u64 + 1, iters));
+        });
+        let chunk = (count / (4 * pool.num_workers())).max(1);
+        pool.parallel_for(count, chunk, body);
+        // Implicit barrier at the end of every diagonal.
+    }
+    sink.value()
+}

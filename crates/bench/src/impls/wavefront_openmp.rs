@@ -1,0 +1,38 @@
+//! Wavefront in the OpenMP-`task depend` model (the paper's OpenMP
+//! column, Listing 4 style).
+//!
+//! Every block must declare `depend(in: ...)` / `depend(out: ...)` lists
+//! over per-block dependence addresses, and blocks must be submitted in
+//! an order consistent with sequential execution — here row-major, which
+//! the programmer has to know is valid.
+
+use tf_baselines::{Pool, TaskDepRegion};
+use tf_workloads::kernels::{nominal_work, Sink};
+use std::sync::Arc;
+
+/// Runs a `dim`×`dim` block wavefront; returns the checksum.
+pub fn run(dim: usize, iters: u32, pool: &Pool) -> u64 {
+    let sink = Arc::new(Sink::new());
+    let region = TaskDepRegion::new(pool);
+    for r in 0..dim {
+        for c in 0..dim {
+            let id = r * dim + c;
+            // One dependence address per block: a block reads its left
+            // and top neighbours' addresses and writes its own.
+            let mut ins = Vec::with_capacity(2);
+            if c > 0 {
+                ins.push((id - 1) as u64);
+            }
+            if r > 0 {
+                ins.push((id - dim) as u64);
+            }
+            let outs = [id as u64];
+            let sink = Arc::clone(&sink);
+            region.task(&ins, &outs, move || {
+                sink.consume(nominal_work(id as u64 + 1, iters));
+            });
+        }
+    }
+    region.wait_all();
+    sink.value()
+}

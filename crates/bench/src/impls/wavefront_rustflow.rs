@@ -1,0 +1,30 @@
+//! Wavefront in rustflow (the paper's Cpp-Taskflow column, Table I).
+
+use rustflow::{Executor, Taskflow};
+use std::sync::Arc;
+use tf_workloads::kernels::{nominal_work, Sink};
+
+/// Runs a `dim`×`dim` block wavefront; returns the checksum.
+pub fn run(dim: usize, iters: u32, executor: &Arc<Executor>) -> u64 {
+    let sink = Arc::new(Sink::new());
+    let tf = Taskflow::with_executor(Arc::clone(executor));
+    let tasks: Vec<_> = (0..dim * dim)
+        .map(|id| {
+            let sink = Arc::clone(&sink);
+            tf.emplace(move || sink.consume(nominal_work(id as u64 + 1, iters)))
+        })
+        .collect();
+    for r in 0..dim {
+        for c in 0..dim {
+            let id = r * dim + c;
+            if c + 1 < dim {
+                tasks[id].precede(tasks[id + 1]);
+            }
+            if r + 1 < dim {
+                tasks[id].precede(tasks[id + dim]);
+            }
+        }
+    }
+    tf.wait_for_all();
+    sink.value()
+}

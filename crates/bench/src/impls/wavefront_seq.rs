@@ -1,0 +1,12 @@
+//! Wavefront, sequential baseline (Table I's Sequential column).
+
+use tf_workloads::kernels::{nominal_work, Sink};
+
+/// Runs a `dim`×`dim` block wavefront; returns the checksum.
+pub fn run(dim: usize, iters: u32) -> u64 {
+    let sink = Sink::new();
+    for id in 0..dim * dim {
+        sink.consume(nominal_work(id as u64 + 1, iters));
+    }
+    sink.value()
+}

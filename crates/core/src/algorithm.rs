@@ -1,0 +1,625 @@
+//! Built-in algorithm collection (§III-F of the paper).
+//!
+//! "Cpp-Taskflow has a built-in algorithm collection that implemented
+//! common parallel workloads such as `parallel_for`, `reduce`, and
+//! `transform`." Each algorithm here *builds a task-graph module* into the
+//! caller's [`Taskflow`] and returns a `(source, target)` pair of
+//! synchronization tasks, so the module can be spliced into a larger task
+//! dependency graph with ordinary `precede` calls — the composition idiom
+//! the paper advocates for building large applications from smaller,
+//! structurally correct patterns.
+
+use crate::shared_vec::SharedVec;
+use crate::task::Task;
+use crate::taskflow::Taskflow;
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Chooses a chunk size: explicit, or `len / (4 * workers)` when `chunk`
+/// is 0 (enough chunks for stealing to balance, few enough to amortize
+/// per-task overhead).
+fn effective_chunk(tf: &Taskflow, len: usize, chunk: usize) -> usize {
+    if chunk > 0 {
+        return chunk;
+    }
+    let workers = tf.executor().num_workers();
+    (len / (4 * workers)).max(1)
+}
+
+/// Splits `range` into `[lo, hi)` chunks of size `chunk`.
+fn chunks(range: Range<usize>, chunk: usize) -> impl Iterator<Item = Range<usize>> {
+    let end = range.end;
+    range.step_by(chunk.max(1)).map(move |lo| Range {
+        start: lo,
+        end: (lo + chunk).min(end),
+    })
+}
+
+/// Runs `f(i)` for every `i` in `range`, in parallel chunks.
+///
+/// Returns `(source, target)` placeholder tasks bracketing the module:
+/// make predecessors `precede` the source and the target `precede`
+/// successors to splice the loop into a larger graph.
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// let tf = rustflow::Taskflow::new();
+/// let sum = Arc::new(AtomicUsize::new(0));
+/// let s = Arc::clone(&sum);
+/// rustflow::algorithm::parallel_for(&tf, 0..100, 8, move |i| {
+///     s.fetch_add(i, Ordering::Relaxed);
+/// });
+/// tf.wait_for_all();
+/// assert_eq!(sum.load(Ordering::Relaxed), 4950);
+/// ```
+pub fn parallel_for<'g, F>(
+    tf: &'g Taskflow,
+    range: Range<usize>,
+    chunk: usize,
+    f: F,
+) -> (Task<'g>, Task<'g>)
+where
+    F: Fn(usize) + Send + Sync + 'static,
+{
+    let source = tf.placeholder().name("pfor_source");
+    let target = tf.placeholder().name("pfor_target");
+    let chunk = effective_chunk(tf, range.len(), chunk);
+    let f = Arc::new(f);
+    let mut any = false;
+    for c in chunks(range, chunk) {
+        let f = Arc::clone(&f);
+        let body = tf
+            .emplace(move || {
+                for i in c.clone() {
+                    f(i);
+                }
+            })
+            .name("pfor_body");
+        source.precede(body);
+        body.precede(target);
+        any = true;
+    }
+    if !any {
+        source.precede(target);
+    }
+    (source, target)
+}
+
+/// Mutates every element of `data` in parallel: `f(i, &mut data[i])`.
+/// Each index is visited by exactly one task, so the closure gets a true
+/// `&mut` with no locking.
+pub fn for_each_mut<'g, T, F>(
+    tf: &'g Taskflow,
+    data: &SharedVec<T>,
+    chunk: usize,
+    f: F,
+) -> (Task<'g>, Task<'g>)
+where
+    T: Send + 'static,
+    F: Fn(usize, &mut T) + Send + Sync + 'static,
+{
+    let len = data.len();
+    let f = Arc::new(f);
+    let data = data.clone();
+    parallel_for(tf, 0..len, chunk, move |i| {
+        // SAFETY: parallel_for assigns each index to exactly one chunk
+        // task, so this is the unique accessor of element i.
+        let elem = unsafe { data.get_mut_raw(i) };
+        f(i, elem);
+    })
+}
+
+/// Handle to a reduction's result, readable after the graph completes.
+#[derive(Clone)]
+pub struct ReduceResult<T> {
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> ReduceResult<T> {
+    fn new() -> Self {
+        ReduceResult {
+            slot: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Takes the result, leaving `None`. Returns `None` if the reduction
+    /// has not run yet.
+    pub fn take(&self) -> Option<T> {
+        self.slot.lock().take()
+    }
+
+    /// Clones the result out.
+    pub fn get(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        self.slot.lock().clone()
+    }
+}
+
+/// Parallel reduction over an index range.
+///
+/// Each chunk folds its indices into a private accumulator seeded with a
+/// clone of `init`; a final task joins the partials (plus `init`) with
+/// `join` and publishes the result.
+///
+/// ```
+/// let tf = rustflow::Taskflow::new();
+/// let (_s, _t, result) = rustflow::algorithm::reduce(
+///     &tf, 0..1000, 64, 0usize, |acc, i| acc + i, |a, b| a + b);
+/// tf.wait_for_all();
+/// assert_eq!(result.take(), Some(499_500));
+/// ```
+pub fn reduce<'g, T, F, J>(
+    tf: &'g Taskflow,
+    range: Range<usize>,
+    chunk: usize,
+    init: T,
+    fold: F,
+    join: J,
+) -> (Task<'g>, Task<'g>, ReduceResult<T>)
+where
+    T: Send + Clone + 'static,
+    F: Fn(T, usize) -> T + Send + Sync + 'static,
+    J: Fn(T, T) -> T + Send + Sync + 'static,
+{
+    let source = tf.placeholder().name("reduce_source");
+    let target = tf.placeholder().name("reduce_target");
+    let result = ReduceResult::new();
+    let chunk = effective_chunk(tf, range.len(), chunk);
+    let fold = Arc::new(fold);
+    let partials: Arc<Mutex<Vec<T>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut bodies = Vec::new();
+    for c in chunks(range, chunk) {
+        let fold = Arc::clone(&fold);
+        let partials = Arc::clone(&partials);
+        let init = init.clone();
+        let body = tf
+            .emplace(move || {
+                let mut acc = init.clone();
+                for i in c.clone() {
+                    acc = fold(acc, i);
+                }
+                partials.lock().push(acc);
+            })
+            .name("reduce_body");
+        source.precede(body);
+        bodies.push(body);
+    }
+
+    let merge = {
+        let partials = Arc::clone(&partials);
+        let slot = Arc::clone(&result.slot);
+        tf.emplace(move || {
+            let mut parts = partials.lock();
+            let mut acc: Option<T> = None;
+            for p in parts.drain(..) {
+                acc = Some(match acc {
+                    None => p,
+                    Some(a) => join(a, p),
+                });
+            }
+            *slot.lock() = acc.or_else(|| Some(init.clone()));
+        })
+        .name("reduce_merge")
+    };
+    merge.succeed(&bodies);
+    if bodies.is_empty() {
+        source.precede(merge);
+    }
+    merge.precede(target);
+    (source, target, result)
+}
+
+/// Parallel element-wise transform: `dst[i] = f(&src[i])`.
+///
+/// `src` and `dst` must have equal lengths and must be distinct
+/// allocations (enforced by type: different element types; for same-typed
+/// in-place transforms use [`for_each_mut`]).
+pub fn transform<'g, A, B, F>(
+    tf: &'g Taskflow,
+    src: &SharedVec<A>,
+    dst: &SharedVec<B>,
+    chunk: usize,
+    f: F,
+) -> (Task<'g>, Task<'g>)
+where
+    A: Send + 'static,
+    B: Send + 'static,
+    F: Fn(&A) -> B + Send + Sync + 'static,
+{
+    assert_eq!(
+        src.len(),
+        dst.len(),
+        "transform: src and dst lengths differ"
+    );
+    let src = src.clone();
+    let dst = dst.clone();
+    let f = Arc::new(f);
+    parallel_for(tf, 0..src.len(), chunk, move |i| {
+        // SAFETY: one task per index writes dst[i]; src is only read.
+        unsafe {
+            *dst.get_mut_raw(i) = f(src.get_raw(i));
+        }
+    })
+}
+
+/// Map-reduce over shared data: folds `map(&src[i])` into a single value.
+pub fn transform_reduce<'g, A, T, M, J>(
+    tf: &'g Taskflow,
+    src: &SharedVec<A>,
+    chunk: usize,
+    init: T,
+    map: M,
+    join: J,
+) -> (Task<'g>, Task<'g>, ReduceResult<T>)
+where
+    A: Send + 'static,
+    T: Send + Clone + 'static,
+    M: Fn(&A) -> T + Send + Sync + 'static,
+    J: Fn(T, T) -> T + Send + Sync + 'static,
+{
+    let src = src.clone();
+    let join2 = Arc::new(join);
+    let join_for_fold = Arc::clone(&join2);
+    reduce(
+        tf,
+        0..src.len(),
+        chunk,
+        init,
+        move |acc, i| {
+            // SAFETY: src is read-only across all chunk tasks.
+            let mapped = map(unsafe { src.get_raw(i) });
+            join_for_fold(acc, mapped)
+        },
+        move |a, b| join2(a, b),
+    )
+}
+
+
+/// Chains tasks so each runs after the previous one — Cpp-Taskflow's
+/// `linearize`.
+///
+/// ```
+/// let tf = rustflow::Taskflow::new();
+/// let tasks: Vec<_> = (0..4).map(|_| tf.emplace(|| {})).collect();
+/// rustflow::algorithm::linearize(&tasks);
+/// tf.wait_for_all();
+/// ```
+pub fn linearize<'g>(tasks: &[Task<'g>]) {
+    for pair in tasks.windows(2) {
+        pair[0].precede(pair[1]);
+    }
+}
+
+/// Parallel merge sort over a [`SharedVec`], built as a static task-graph
+/// module: parallel chunk sorts, then a tree of pairwise merge rounds
+/// ping-ponging between the data and a scratch buffer.
+///
+/// Returns `(source, target)` like the other algorithms. After the graph
+/// completes, `data` is sorted.
+///
+/// ```
+/// use rustflow::{SharedVec, Taskflow};
+/// let tf = Taskflow::new();
+/// let data = SharedVec::new(vec![5, 3, 9, 1, 4, 8, 2, 7, 6, 0]);
+/// rustflow::algorithm::parallel_sort(&tf, &data, 3);
+/// tf.wait_for_all();
+/// assert_eq!(data.snapshot(), (0..10).collect::<Vec<_>>());
+/// ```
+pub fn parallel_sort<'g, T>(tf: &'g Taskflow, data: &SharedVec<T>, chunk: usize) -> (Task<'g>, Task<'g>)
+where
+    T: Ord + Clone + Send + 'static,
+{
+    let source = tf.placeholder().name("sort_source");
+    let target = tf.placeholder().name("sort_target");
+    let n = data.len();
+    if n == 0 {
+        source.precede(target);
+        return (source, target);
+    }
+    let chunk = effective_chunk(tf, n, chunk).max(2);
+    // Scratch buffer for the merge rounds (cloned contents; overwritten
+    // before ever being read).
+    let scratch = SharedVec::new(data.snapshot());
+
+    // Round 0: sort each chunk in place. prev[i] covers
+    // [i*chunk, (i+1)*chunk).
+    let num_ranges = n.div_ceil(chunk);
+    let mut prev: Vec<Task<'g>> = Vec::with_capacity(num_ranges);
+    for i in 0..num_ranges {
+        let lo = i * chunk;
+        let hi = ((i + 1) * chunk).min(n);
+        let data = data.clone();
+        let t = tf
+            .emplace(move || {
+                // SAFETY: this task is the unique accessor of [lo, hi).
+                unsafe { data.slice_mut_raw(lo, hi) }.sort();
+            })
+            .name("sort_chunk");
+        source.precede(t);
+        prev.push(t);
+    }
+
+    // Merge rounds: width doubles; buffers ping-pong.
+    let mut width = chunk;
+    let mut src_is_data = true;
+    while width < n {
+        let (src, dst) = if src_is_data {
+            (data.clone(), scratch.clone())
+        } else {
+            (scratch.clone(), data.clone())
+        };
+        let num_out = n.div_ceil(2 * width);
+        let mut next: Vec<Task<'g>> = Vec::with_capacity(num_out);
+        for j in 0..num_out {
+            let lo = j * 2 * width;
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            let src = src.clone();
+            let dst = dst.clone();
+            let t = tf
+                .emplace(move || {
+                    // SAFETY: the producing tasks of [lo, hi) in the
+                    // previous round precede this task; the destination
+                    // range is exclusively ours.
+                    unsafe {
+                        let left = src.slice_raw(lo, mid);
+                        let right = src.slice_raw(mid, hi);
+                        let out = dst.slice_mut_raw(lo, hi);
+                        merge_into(left, right, out);
+                    }
+                })
+                .name("sort_merge");
+            // Depend on the 1–2 previous-round tasks covering [lo, hi).
+            t.succeed(prev[2 * j]);
+            if 2 * j + 1 < prev.len() {
+                t.succeed(prev[2 * j + 1]);
+            }
+            next.push(t);
+        }
+        prev = next;
+        width *= 2;
+        src_is_data = !src_is_data;
+    }
+
+    if !src_is_data {
+        // Sorted data ended in the scratch buffer: copy back in parallel.
+        let copy_chunk = chunk.max(n / 8);
+        let mut copies = Vec::new();
+        for lo in (0..n).step_by(copy_chunk) {
+            let hi = (lo + copy_chunk).min(n);
+            let data = data.clone();
+            let scratch = scratch.clone();
+            let t = tf
+                .emplace(move || unsafe {
+                    // SAFETY: all merge tasks precede the copies.
+                    data.slice_mut_raw(lo, hi)
+                        .clone_from_slice(scratch.slice_raw(lo, hi));
+                })
+                .name("sort_copyback");
+            t.succeed(&prev);
+            t.precede(target);
+            copies.push(t);
+        }
+    } else {
+        target.succeed(&prev);
+    }
+    (source, target)
+}
+
+/// Stable two-way merge of sorted `left` and `right` into `out`.
+fn merge_into<T: Ord + Clone>(left: &[T], right: &[T], out: &mut [T]) {
+    debug_assert_eq!(left.len() + right.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_left = j >= right.len() || (i < left.len() && left[i] <= right[j]);
+        if take_left {
+            *slot = left[i].clone();
+            i += 1;
+        } else {
+            *slot = right[j].clone();
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn tf() -> Taskflow {
+        Taskflow::with_executor(Executor::new(4))
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let tf = tf();
+        let hits = Arc::new((0..1000).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+        let h = Arc::clone(&hits);
+        parallel_for(&tf, 0..1000, 7, move |i| {
+            h[i].fetch_add(1, Ordering::Relaxed);
+        });
+        tf.wait_for_all();
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_range() {
+        let tf = tf();
+        let (s, t) = parallel_for(&tf, 5..5, 4, |_| panic!("must not run"));
+        assert_eq!(s.num_successors(), 1);
+        assert_eq!(t.num_dependents(), 1);
+        tf.wait_for_all();
+    }
+
+    #[test]
+    fn parallel_for_auto_chunk() {
+        let tf = tf();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        parallel_for(&tf, 0..100, 0, move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        tf.wait_for_all();
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn for_each_mut_mutates_in_place() {
+        let tf = tf();
+        let data = SharedVec::new((0..256usize).collect());
+        for_each_mut(&tf, &data, 16, |i, x| *x = i * 2);
+        tf.wait_for_all();
+        let v = data.snapshot();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let tf = tf();
+        let (_s, _t, r) = reduce(&tf, 0..10_000, 128, 0usize, |a, i| a + i, |a, b| a + b);
+        tf.wait_for_all();
+        assert_eq!(r.take(), Some((0..10_000).sum()));
+    }
+
+    #[test]
+    fn reduce_empty_range_yields_init() {
+        let tf = tf();
+        let (_s, _t, r) = reduce(&tf, 3..3, 8, 42usize, |a, _| a, |a, _| a);
+        tf.wait_for_all();
+        assert_eq!(r.take(), Some(42));
+    }
+
+    #[test]
+    fn reduce_result_get_clones() {
+        let tf = tf();
+        let (_s, _t, r) = reduce(&tf, 0..10, 4, 0usize, |a, i| a + i, |a, b| a + b);
+        tf.wait_for_all();
+        assert_eq!(r.get(), Some(45));
+        assert_eq!(r.get(), Some(45)); // still there
+        assert_eq!(r.take(), Some(45));
+        assert_eq!(r.take(), None);
+    }
+
+    #[test]
+    fn transform_maps_elements() {
+        let tf = tf();
+        let src = SharedVec::new((0..100i64).collect());
+        let dst = SharedVec::new(vec![0f64; 100]);
+        transform(&tf, &src, &dst, 9, |&x| x as f64 * 0.5);
+        tf.wait_for_all();
+        let out = dst.snapshot();
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i as f64 * 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn transform_length_mismatch_panics() {
+        let tf = tf();
+        let src = SharedVec::new(vec![1, 2, 3]);
+        let dst = SharedVec::new(vec![0; 2]);
+        transform(&tf, &src, &dst, 1, |&x| x);
+    }
+
+    #[test]
+    fn transform_reduce_max() {
+        let tf = tf();
+        let src = SharedVec::new(vec![3, 1, 4, 1, 5, 9, 2, 6]);
+        let (_s, _t, r) =
+            transform_reduce(&tf, &src, 3, i64::MIN, |&x| x, |a, b| a.max(b));
+        tf.wait_for_all();
+        assert_eq!(r.take(), Some(9));
+    }
+
+
+    #[test]
+    fn linearize_orders_chain() {
+        let tf = tf();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..20)
+            .map(|i| {
+                let c = Arc::clone(&counter);
+                tf.emplace(move || {
+                    assert_eq!(c.fetch_add(1, Ordering::SeqCst), i);
+                })
+            })
+            .collect();
+        linearize(&tasks);
+        tf.wait_for_all();
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn parallel_sort_sorts() {
+        let tf = tf();
+        let mut values: Vec<i64> = (0..5000).map(|i| (i * 7919) % 4096 - 2048).collect();
+        let data = SharedVec::new(values.clone());
+        parallel_sort(&tf, &data, 128);
+        tf.wait_for_all();
+        values.sort();
+        assert_eq!(data.snapshot(), values);
+    }
+
+    #[test]
+    fn parallel_sort_edge_sizes() {
+        for n in [0usize, 1, 2, 3, 7, 64, 65] {
+            let tf = tf();
+            let mut values: Vec<u32> = (0..n as u32).rev().collect();
+            let data = SharedVec::new(values.clone());
+            parallel_sort(&tf, &data, 4);
+            tf.wait_for_all();
+            values.sort_unstable();
+            assert_eq!(data.snapshot(), values, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_sort_splices() {
+        // fill -> sort -> verify, in one graph.
+        let tf = tf();
+        let data = SharedVec::new(vec![0i64; 1000]);
+        let (fill_s, fill_t) = for_each_mut(&tf, &data, 64, |i, x| {
+            *x = ((i as i64) * 48271) % 1000 - 500;
+        });
+        let (sort_s, sort_t) = parallel_sort(&tf, &data, 100);
+        fill_t.precede(sort_s);
+        let d2 = data.clone();
+        let check = tf.emplace(move || {
+            let v = d2.snapshot();
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "not sorted");
+        });
+        sort_t.precede(check);
+        let _ = fill_s;
+        tf.wait_for_all();
+    }
+
+    #[test]
+    fn modules_splice_in_order() {
+        // before -> [parallel_for] -> after must observe strict ordering.
+        let tf = tf();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c1 = Arc::clone(&counter);
+        let before = tf.emplace(move || {
+            c1.store(1, Ordering::SeqCst);
+        });
+        let c2 = Arc::clone(&counter);
+        let (s, t) = parallel_for(&tf, 0..64, 8, move |_| {
+            assert!(c2.load(Ordering::SeqCst) >= 1);
+        });
+        let c3 = Arc::clone(&counter);
+        let after = tf.emplace(move || {
+            assert_eq!(c3.load(Ordering::SeqCst), 1);
+            c3.store(2, Ordering::SeqCst);
+        });
+        before.precede(s);
+        t.precede(after);
+        tf.wait_for_all();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+}

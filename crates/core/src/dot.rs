@@ -1,0 +1,123 @@
+//! DOT (GraphViz) export of task dependency graphs (§III-G).
+//!
+//! "One of the biggest advantages of Cpp-Taskflow is the built-in support
+//! for dumping a task dependency graph to a standard DOT format" — we
+//! render top-level graphs as a `digraph` and runtime-spawned subflows as
+//! nested `subgraph cluster_*` blocks, reproducing Figure 5 of the paper.
+
+use crate::graph::{Graph, Node};
+
+/// Renders `graph` (recursively including spawned subflows) to DOT.
+///
+/// # Safety
+/// Must be called in a quiescent phase: before dispatch, or after the
+/// owning topology completed.
+pub(crate) unsafe fn graph_to_dot(graph: &Graph, name: &str) -> String {
+    let mut out = String::with_capacity(256 + graph.len() * 32);
+    out.push_str(&format!("digraph {} {{\n", sanitize(name)));
+    emit_graph(graph, &mut out, 1, &mut 0);
+    out.push_str("}\n");
+    out
+}
+
+unsafe fn emit_graph(graph: &Graph, out: &mut String, depth: usize, cluster: &mut usize) {
+    let pad = "  ".repeat(depth);
+    for node in &graph.nodes {
+        let n: &Node = node;
+        out.push_str(&format!("{pad}{} [label=\"{}\"];\n", node_id(n), node_label(n)));
+        for &succ in n.successors.get().iter() {
+            out.push_str(&format!("{pad}{} -> {};\n", node_id(n), node_id(&*succ)));
+        }
+        let sub = n.subgraph.get();
+        if !sub.is_empty() {
+            *cluster += 1;
+            out.push_str(&format!("{pad}subgraph cluster_{} {{\n", *cluster));
+            out.push_str(&format!(
+                "{pad}  label=\"Subflow_{}\";\n{pad}  style=dashed;\n",
+                node_label(n)
+            ));
+            // Anchor edge from the parent into its subflow for readability.
+            if let Some(first) = sub.nodes.first() {
+                out.push_str(&format!(
+                    "{pad}  {} -> {} [style=dotted];\n",
+                    node_id(n),
+                    node_id(first)
+                ));
+            }
+            emit_graph(sub, out, depth + 1, cluster);
+            out.push_str(&format!("{pad}}}\n"));
+        }
+    }
+}
+
+unsafe fn node_label(n: &Node) -> String {
+    let label = n.label();
+    if label.is_empty() {
+        format!("{:p}", n as *const Node)
+    } else {
+        escape(label)
+    }
+}
+
+fn node_id(n: &Node) -> String {
+    format!("n{:x}", n as *const Node as usize)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn sanitize(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "taskflow".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Work;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        let b = g.emplace(Work::Empty);
+        unsafe {
+            *(*a).name.get_mut() = Some("A".into());
+            (*a).successors.get_mut().push(b);
+            *(*b).in_degree.get_mut() += 1;
+            let dot = graph_to_dot(&g, "demo");
+            assert!(dot.starts_with("digraph demo {"));
+            assert!(dot.contains("label=\"A\""));
+            assert!(dot.contains(" -> "));
+            assert!(dot.ends_with("}\n"));
+        }
+    }
+
+    #[test]
+    fn dot_renders_subflow_clusters() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        unsafe {
+            *(*a).name.get_mut() = Some("A".into());
+            (*a).subgraph.get_mut().emplace(Work::Empty);
+            let dot = graph_to_dot(&g, "demo");
+            assert!(dot.contains("subgraph cluster_1"));
+            assert!(dot.contains("Subflow_A"));
+        }
+    }
+
+    #[test]
+    fn names_are_escaped_and_sanitized() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(sanitize("my flow!"), "my_flow_");
+        assert_eq!(sanitize(""), "taskflow");
+    }
+}

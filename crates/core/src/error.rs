@@ -1,0 +1,73 @@
+//! Error types reported by a running topology.
+
+use std::fmt;
+
+/// A task's closure panicked while the topology was running.
+///
+/// Cpp-Taskflow (C++) lets exceptions terminate the program; in Rust we
+/// catch the unwind at the task boundary, record the first panic, keep the
+/// rest of the graph running (dependents of the panicked task still
+/// execute — their data contract is the user's responsibility, as in C++),
+/// and surface the failure when the topology is waited on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Name of the panicking task (empty if unnamed).
+    pub task: String,
+    /// The panic payload rendered as a string.
+    pub message: String,
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.task.is_empty() {
+            write!(f, "task panicked: {}", self.message)
+        } else {
+            write!(f, "task '{}' panicked: {}", self.task, self.message)
+        }
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Outcome of a dispatched topology: `Ok(())` or the first task panic.
+pub type RunResult = Result<(), TaskPanic>;
+
+/// Renders a `catch_unwind` payload as a string.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_name() {
+        let e = TaskPanic {
+            task: "A".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "task 'A' panicked: boom");
+        let e = TaskPanic {
+            task: String::new(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "task panicked: boom");
+    }
+
+    #[test]
+    fn panic_message_variants() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static");
+        assert_eq!(panic_message(&*s), "static");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(&*s), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42_u32);
+        assert_eq!(panic_message(&*s), "<non-string panic payload>");
+    }
+}

@@ -1,0 +1,590 @@
+//! The work-stealing / work-sharing executor (§III-E, Algorithm 1).
+//!
+//! Each worker owns a Chase–Lev deque ([`crate::wsq`]) plus an **exclusive
+//! task cache**: when a finishing task makes exactly one successor ready,
+//! that successor goes straight into the cache and is executed next by the
+//! same worker — linear chains run speculatively with no queue traffic and
+//! no wake-ups (Algorithm 1 lines 16–25). Workers that find every queue
+//! empty park themselves on the **idler list** ([`crate::notifier`]), from
+//! which wakers pop exactly one spare worker (lines 5–13). After draining
+//! a chain, a worker wakes one idler with a small probability to rebalance
+//! load (lines 26–28).
+//!
+//! An executor is shareable between any number of taskflows
+//! (`Arc<Executor>`), mirroring the paper's `std::shared_ptr`-managed
+//! executor that avoids thread over-subscription in modular applications.
+
+use crate::error::{panic_message, TaskPanic};
+use crate::graph::{RawNode, Work};
+use crate::notifier::Notifier;
+use crate::observer::ExecutorObserver;
+use crate::subflow::Subflow;
+use crate::topology::Topology;
+use crate::wsq;
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// Tunables of the scheduling algorithm; the defaults match the paper.
+/// The ablation switches exist so the benches can quantify each heuristic.
+#[derive(Debug, Clone)]
+pub(crate) struct Config {
+    /// Use the per-worker cache slot for the first ready successor.
+    pub cache_slot: bool,
+    /// After draining a chain, wake one idler with probability
+    /// `1/wake_ratio` (0 disables the heuristic).
+    pub wake_ratio: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cache_slot: true,
+            wake_ratio: 64,
+        }
+    }
+}
+
+/// Builds an [`Executor`] with custom settings.
+///
+/// ```
+/// let ex = rustflow::ExecutorBuilder::new().workers(2).build();
+/// assert_eq!(ex.num_workers(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ExecutorBuilder {
+    workers: Option<usize>,
+    cfg: Config,
+}
+
+impl ExecutorBuilder {
+    /// Starts a builder with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of worker threads (default: available parallelism).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n.max(1));
+        self
+    }
+
+    /// Ablation switch: disable the per-worker task cache so every ready
+    /// successor goes through the deque.
+    pub fn cache_slot(mut self, enabled: bool) -> Self {
+        self.cfg.cache_slot = enabled;
+        self
+    }
+
+    /// Ablation switch: the load-balancing wake-up fires with probability
+    /// `1/ratio` after each drained chain (0 disables it).
+    pub fn wake_ratio(mut self, ratio: u64) -> Self {
+        self.cfg.wake_ratio = ratio;
+        self
+    }
+
+    /// Builds the executor and spawns its worker threads.
+    pub fn build(self) -> Arc<Executor> {
+        let workers = self.workers.unwrap_or_else(default_parallelism);
+        Executor::with_config(workers, self.cfg)
+    }
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Per-worker state visible to other threads.
+struct WorkerShared {
+    stealer: wsq::Stealer,
+    /// Diagnostic counters (relaxed; advisory).
+    executed: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+}
+
+/// Per-worker private state.
+struct WorkerCtx {
+    id: usize,
+    owner: wsq::Owner,
+    /// The exclusive task cache (Algorithm 1); 0 = empty.
+    cache: usize,
+    /// xorshift64 state for the probabilistic wake-up.
+    rng: u64,
+    last_victim: usize,
+}
+
+impl WorkerCtx {
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64: cheap thread-local randomness; quality is irrelevant,
+        // we only need an unbiased-enough coin for the wake heuristic.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+}
+
+struct Inner {
+    shareds: Box<[WorkerShared]>,
+    /// External submission queue (dispatch pushes source tasks here).
+    injector: Mutex<VecDeque<usize>>,
+    /// Workers currently inside a steal round. While any thief is active
+    /// there is no need to wake another worker for a freshly pushed task —
+    /// the spinning thief will find it (Cpp-Taskflow's notifier applies
+    /// the same guard). Safe against lost wake-ups because a thief that
+    /// gives up re-checks every queue under the notifier's Dekker
+    /// protocol before parking.
+    num_spinning: AtomicUsize,
+    notifier: Notifier,
+    stop: AtomicBool,
+    /// Keep-alive registry: topologies currently executing.
+    running: Mutex<Vec<Arc<Topology>>>,
+    observers: RwLock<Vec<Arc<dyn ExecutorObserver>>>,
+    has_observers: AtomicBool,
+    cfg: Config,
+}
+
+/// Snapshot of per-worker diagnostic counters.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Tasks this worker executed.
+    pub executed: u64,
+    /// Successful steals this worker performed.
+    pub steals: u64,
+    /// Times this worker entered the idle path.
+    pub parks: u64,
+}
+
+/// A shared pool of worker threads executing task dependency graphs.
+pub struct Executor {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Executor {
+    /// Creates an executor with `workers` threads and default heuristics.
+    pub fn new(workers: usize) -> Arc<Executor> {
+        Executor::with_config(workers.max(1), Config::default())
+    }
+
+    fn with_config(workers: usize, cfg: Config) -> Arc<Executor> {
+        let mut owners = Vec::with_capacity(workers);
+        let mut shareds = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (owner, stealer) = wsq::deque();
+            owners.push(owner);
+            shareds.push(WorkerShared {
+                stealer,
+                executed: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+                parks: AtomicU64::new(0),
+            });
+        }
+        let inner = Arc::new(Inner {
+            shareds: shareds.into_boxed_slice(),
+            injector: Mutex::new(VecDeque::new()),
+            num_spinning: AtomicUsize::new(0),
+            notifier: Notifier::new(workers),
+            stop: AtomicBool::new(false),
+            running: Mutex::new(Vec::new()),
+            observers: RwLock::new(Vec::new()),
+            has_observers: AtomicBool::new(false),
+            cfg,
+        });
+        let mut threads = Vec::with_capacity(workers);
+        for (id, owner) in owners.into_iter().enumerate() {
+            let inner = Arc::clone(&inner);
+            let ctx = WorkerCtx {
+                id,
+                owner,
+                cache: 0,
+                rng: 0x9E37_79B9_7F4A_7C15 ^ ((id as u64 + 1) << 17),
+                last_victim: (id + 1) % workers,
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rustflow-worker-{id}"))
+                    .spawn(move || worker_loop(&inner, ctx))
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        Arc::new(Executor {
+            inner,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.inner.shareds.len()
+    }
+
+    /// Number of currently parked (idle) workers; advisory.
+    pub fn num_idlers(&self) -> usize {
+        self.inner.notifier.num_idlers()
+    }
+
+    /// Number of topologies currently executing on this executor.
+    pub fn num_running_topologies(&self) -> usize {
+        self.inner.running.lock().len()
+    }
+
+    /// Installs an observer whose hooks run around every task execution.
+    pub fn observe(&self, observer: Arc<dyn ExecutorObserver>) {
+        observer.on_observe(self.num_workers());
+        let mut obs = self.inner.observers.write();
+        obs.push(observer);
+        self.inner.has_observers.store(true, Ordering::Release);
+    }
+
+    /// Removes all observers.
+    pub fn remove_observers(&self) {
+        let mut obs = self.inner.observers.write();
+        obs.clear();
+        self.inner.has_observers.store(false, Ordering::Release);
+    }
+
+    /// Per-worker diagnostic counters.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.inner
+            .shareds
+            .iter()
+            .map(|s| WorkerStats {
+                executed: s.executed.load(Ordering::Relaxed),
+                steals: s.steals.load(Ordering::Relaxed),
+                parks: s.parks.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// The process-wide default executor (used by [`crate::Taskflow::new`]),
+    /// sized to the machine's available parallelism.
+    pub fn default_shared() -> Arc<Executor> {
+        static DEFAULT: OnceLock<Arc<Executor>> = OnceLock::new();
+        Arc::clone(DEFAULT.get_or_init(|| Executor::new(default_parallelism())))
+    }
+
+    /// Arms and launches a dispatched topology.
+    pub(crate) fn run_topology(&self, topo: Arc<Topology>) {
+        let inner = &*self.inner;
+        let tp: *const Topology = Arc::as_ptr(&topo);
+        // SAFETY: the dispatching thread owns the graph exclusively until
+        // the sources are published to the injector below.
+        unsafe {
+            let g = topo.graph.get_mut();
+            debug_assert!(!g.has_cycle(), "task dependency graph contains a cycle");
+            let n = g.len();
+            if n == 0 {
+                let promise = topo
+                    .promise
+                    .replace(None)
+                    .expect("empty topology dispatched twice");
+                promise.set(Ok(()));
+                return;
+            }
+            topo.alive.store(n, Ordering::Relaxed);
+            let mut sources: Vec<usize> = Vec::new();
+            for node in g.nodes.iter_mut() {
+                let p: RawNode = &mut **node;
+                *(*p).topology.get_mut() = tp;
+                let in_degree = *(*p).in_degree.get();
+                (*p).join_counter.store(in_degree, Ordering::Relaxed);
+                if in_degree == 0 {
+                    sources.push(p as usize);
+                }
+            }
+            assert!(
+                !sources.is_empty(),
+                "non-empty task graph has no source task (dependency cycle)"
+            );
+            inner.running.lock().push(Arc::clone(&topo));
+            let k = sources.len();
+            inner.injector.lock().extend(sources);
+            // Dekker fence: the pushes above must precede the idler check
+            // inside wake_n in the SeqCst order (see notifier docs).
+            fence(Ordering::SeqCst);
+            inner.notifier.wake_n(k);
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // Let in-flight topologies finish: their node pointers reference
+        // graphs that callers may drop right after their future resolves.
+        while !self.inner.running.lock().is_empty() {
+            std::thread::yield_now();
+        }
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.notifier.wake_all();
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.num_workers())
+            .field("idlers", &self.num_idlers())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+fn worker_loop(inner: &Inner, mut ctx: WorkerCtx) {
+    loop {
+        if inner.stop.load(Ordering::Acquire) {
+            break;
+        }
+        // Line 2: own queue first (the cache was drained last round).
+        let mut t = std::mem::take(&mut ctx.cache);
+        if t == 0 {
+            t = ctx.owner.pop().unwrap_or(0);
+        }
+        // Line 3: steal. The spinning counter gates redundant wake-ups
+        // from concurrent pushes (see Inner::num_spinning).
+        if t == 0 {
+            inner.num_spinning.fetch_add(1, Ordering::SeqCst);
+            t = try_steal(inner, &mut ctx);
+            inner.num_spinning.fetch_sub(1, Ordering::SeqCst);
+        }
+        // Lines 5–13: park when everything is empty.
+        if t == 0 {
+            inner.shareds[ctx.id].parks.fetch_add(1, Ordering::Relaxed);
+            inner.notifier.wait(
+                ctx.id,
+                || {
+                    inner.shareds.iter().all(|s| s.stealer.is_empty())
+                        && inner.injector.lock().is_empty()
+                },
+                &inner.stop,
+            );
+            continue;
+        }
+        // Lines 16–25: run the task, then speculatively drain the cache —
+        // a linear chain executes here without touching any queue.
+        while t != 0 {
+            execute(inner, &mut ctx, t as RawNode);
+            inner.shareds[ctx.id].executed.fetch_add(1, Ordering::Relaxed);
+            t = std::mem::take(&mut ctx.cache);
+        }
+        // Lines 26–28: probabilistic wake-up for load balancing.
+        if inner.cfg.wake_ratio != 0 && ctx.next_rand() % inner.cfg.wake_ratio == 0 {
+            inner.notifier.wake_one();
+        }
+    }
+}
+
+/// One round of stealing: last victim first, then the other workers, then
+/// the external injector. `Retry` results re-attempt the same victim.
+fn try_steal(inner: &Inner, ctx: &mut WorkerCtx) -> usize {
+    let n = inner.shareds.len();
+    let mut attempts = 2 * n + 2;
+    while attempts > 0 {
+        attempts -= 1;
+        let v = ctx.last_victim;
+        if v != ctx.id {
+            match inner.shareds[v].stealer.steal() {
+                wsq::Steal::Success(x) => {
+                    inner.shareds[ctx.id].steals.fetch_add(1, Ordering::Relaxed);
+                    return x;
+                }
+                wsq::Steal::Retry => continue, // same victim again
+                wsq::Steal::Empty => {}
+            }
+        }
+        ctx.last_victim = (v + 1) % n;
+    }
+    inner.injector.lock().pop_front().unwrap_or(0)
+}
+
+/// Schedules a node that just became ready, from worker context.
+///
+/// # Safety
+/// `node` must be armed (join counter reached zero exactly once) and its
+/// topology alive.
+unsafe fn schedule(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
+    let item = node as usize;
+    if inner.cfg.cache_slot && ctx.cache == 0 {
+        // First ready successor: speculative execution, no queue traffic.
+        ctx.cache = item;
+        return;
+    }
+    ctx.owner.push(item);
+    // Dekker fence: the push must precede the spinner/idler checks
+    // (notifier docs).
+    fence(Ordering::SeqCst);
+    if inner.num_spinning.load(Ordering::SeqCst) == 0 {
+        inner.notifier.wake_one();
+    }
+}
+
+/// Executes a node: runs its work, spawns its subflow if any, and performs
+/// completion bookkeeping.
+fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
+    // SAFETY: the scheduling protocol hands each armed node to exactly one
+    // worker; the node's topology (and thus the node) is kept alive by
+    // `inner.running` until every node completed.
+    unsafe {
+        let observed = inner.has_observers.load(Ordering::Acquire);
+        if observed {
+            let label = (*node).label();
+            for ob in inner.observers.read().iter() {
+                ob.on_entry(ctx.id, label);
+            }
+        }
+        let topo = &*(*(*node).topology.get());
+        let mut deferred = false;
+        match (*node).work.get_mut() {
+            Work::Empty => {}
+            Work::Static(f) => {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f())) {
+                    topo.record_panic(TaskPanic {
+                        task: (*node).label().to_string(),
+                        message: panic_message(&*payload),
+                    });
+                }
+            }
+            Work::Dynamic(f) => {
+                let mut sf = Subflow::new(node);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut sf))) {
+                    topo.record_panic(TaskPanic {
+                        task: (*node).label().to_string(),
+                        message: panic_message(&*payload),
+                    });
+                }
+                deferred = spawn_subflow(inner, ctx, node, sf.is_detached());
+            }
+        }
+        if observed {
+            let label = (*node).label();
+            for ob in inner.observers.read().iter() {
+                ob.on_exit(ctx.id, label);
+            }
+        }
+        if deferred {
+            // Drop the spawn sentinel; the last finishing child (or we,
+            // right now, if they all already finished) completes the node.
+            if (*node).nested.fetch_sub(1, Ordering::AcqRel) == 1 {
+                complete(inner, ctx, node);
+            }
+        } else {
+            complete(inner, ctx, node);
+        }
+    }
+}
+
+/// Publishes a dynamic task's spawned children (§III-D).
+///
+/// Returns `true` when the parent's completion is deferred until the
+/// (joined) children finish.
+///
+/// # Safety
+/// Caller is the worker that just executed `node`.
+unsafe fn spawn_subflow(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode, detached: bool) -> bool {
+    let sub = (*node).subgraph.get_mut();
+    if sub.is_empty() {
+        return false;
+    }
+    debug_assert!(!sub.has_cycle(), "subflow graph contains a cycle");
+    let topo_ptr = *(*node).topology.get();
+    // The topology must know about the children before any of them can
+    // finish, otherwise `alive` could hit zero early.
+    (*topo_ptr).alive.fetch_add(sub.len(), Ordering::Relaxed);
+    if !detached {
+        // +1 sentinel held by the parent until spawning finishes; prevents
+        // the children from completing the parent while we still arm their
+        // siblings.
+        (*node).nested.store(sub.len() + 1, Ordering::Relaxed);
+    }
+    let parent: RawNode = if detached {
+        std::ptr::null_mut()
+    } else {
+        node
+    };
+    for child in sub.nodes.iter_mut() {
+        let c: RawNode = &mut **child;
+        *(*c).topology.get_mut() = topo_ptr;
+        *(*c).parent.get_mut() = parent;
+        (*c).join_counter
+            .store(*(*c).in_degree.get(), Ordering::Relaxed);
+    }
+    for i in 0..sub.nodes.len() {
+        let c: RawNode = &mut *sub.nodes[i];
+        if *(*c).in_degree.get() == 0 {
+            schedule(inner, ctx, c);
+        }
+    }
+    !detached
+}
+
+/// Completion bookkeeping: release successors, count down the topology,
+/// and propagate joined-subflow completion to the parent.
+///
+/// # Safety
+/// Called exactly once per node, by the worker that finished it (or, for a
+/// parent with a joined subflow, by the worker that finished its last
+/// child).
+unsafe fn complete(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
+    let topo_ptr = *(*node).topology.get();
+    let parent = *(*node).parent.get();
+    {
+        let succs = (*node).successors.get();
+        for &s in succs.iter() {
+            if (*s).join_counter.fetch_sub(1, Ordering::AcqRel) == 1 {
+                schedule(inner, ctx, s);
+            }
+        }
+    }
+    if (*topo_ptr).alive.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Only a node with no parent can be the last alive: a parent's own
+        // completion is always pending while any child lives.
+        debug_assert!(parent.is_null());
+        finalize(inner, topo_ptr);
+        return;
+    }
+    if !parent.is_null() && (*parent).nested.fetch_sub(1, Ordering::AcqRel) == 1 {
+        complete(inner, ctx, parent);
+    }
+}
+
+/// Fulfils the topology's promise and drops the keep-alive registration.
+fn finalize(inner: &Inner, topo_ptr: *const Topology) {
+    let keep_alive = {
+        let mut running = inner.running.lock();
+        running
+            .iter()
+            .position(|t| std::ptr::eq(Arc::as_ptr(t), topo_ptr))
+            .map(|p| running.swap_remove(p))
+    };
+    // SAFETY: `keep_alive` (and the owning taskflow's topology list) keeps
+    // the topology storage valid; every node has completed, so we have
+    // exclusive access to the promise.
+    unsafe {
+        let topo = &*topo_ptr;
+        let err = topo.error.lock().take();
+        let promise = topo
+            .promise
+            .replace(None)
+            .expect("topology finalized twice");
+        promise.set(match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        });
+    }
+    drop(keep_alive);
+}

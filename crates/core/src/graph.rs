@@ -1,0 +1,279 @@
+//! Task-graph storage: nodes, edges, and the work they carry.
+//!
+//! A [`Graph`] owns its nodes as `Box<Node>`, so node addresses are stable
+//! for the node's entire life even as the owning collection moves (from the
+//! building [`Taskflow`](crate::Taskflow) into a dispatched
+//! [`Topology`](crate::topology::Topology), or inside a parent node's
+//! subflow graph). The executor and task handles refer to nodes by raw
+//! pointer, exactly like Cpp-Taskflow's `Node*`; liveness is guaranteed by
+//! the taskflow keeping every dispatched topology alive until the taskflow
+//! itself is destroyed or garbage-collected (§III-C of the paper).
+
+use crate::subflow::Subflow;
+use crate::sync_cell::SyncCell;
+use crate::topology::Topology;
+use std::sync::atomic::AtomicUsize;
+
+/// Raw pointer to a node; the executor's currency.
+pub(crate) type RawNode = *mut Node;
+
+/// The callable payload of a node.
+///
+/// Cpp-Taskflow stores a `std::variant` of a static callable and a dynamic
+/// (subflow-taking) callable behind one polymorphic wrapper (§III-D); this
+/// enum is the Rust equivalent and is what makes the static and dynamic
+/// tasking interfaces uniform.
+pub(crate) enum Work {
+    /// Placeholder: no work yet (task handle may assign later).
+    Empty,
+    /// A static task: a plain closure.
+    Static(Box<dyn FnMut() + Send + 'static>),
+    /// A dynamic task: receives a [`Subflow`] to spawn children at runtime.
+    Dynamic(Box<dyn FnMut(&mut Subflow<'_>) + Send + 'static>),
+}
+
+impl std::fmt::Debug for Work {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Work::Empty => f.write_str("Empty"),
+            Work::Static(_) => f.write_str("Static"),
+            Work::Dynamic(_) => f.write_str("Dynamic"),
+        }
+    }
+}
+
+/// A single vertex of a task dependency graph.
+///
+/// Field access follows the phase discipline documented in
+/// [`crate::sync_cell`]: plain fields are mutated only during graph
+/// construction or by the single worker executing the node; cross-thread
+/// state lives in atomics.
+pub(crate) struct Node {
+    /// Optional human-readable name (used by the DOT dump).
+    pub(crate) name: SyncCell<Option<String>>,
+    /// The callable payload.
+    pub(crate) work: SyncCell<Work>,
+    /// Outgoing edges.
+    pub(crate) successors: SyncCell<Vec<RawNode>>,
+    /// Static in-degree, accumulated during construction; the runtime
+    /// `join_counter` is armed from this value at dispatch/spawn time.
+    pub(crate) in_degree: SyncCell<usize>,
+    /// Runtime countdown of unfinished predecessors; the node becomes ready
+    /// when this reaches zero.
+    pub(crate) join_counter: AtomicUsize,
+    /// Countdown of unfinished *joined* subflow children, plus a sentinel
+    /// held by the parent while it spawns. Zero-crossing completes the node.
+    pub(crate) nested: AtomicUsize,
+    /// Parent node when this node belongs to a joined subflow; null for
+    /// top-level and detached nodes.
+    pub(crate) parent: SyncCell<RawNode>,
+    /// Back-pointer to the running topology; set at dispatch (top-level) or
+    /// spawn (subflow children).
+    pub(crate) topology: SyncCell<*const Topology>,
+    /// Children spawned by a dynamic task at runtime (owned here so nested
+    /// subflows form a tree of graphs, mirroring Cpp-Taskflow).
+    pub(crate) subgraph: SyncCell<Graph>,
+}
+
+impl Node {
+    pub(crate) fn new(work: Work) -> Box<Node> {
+        Box::new(Node {
+            name: SyncCell::new(None),
+            work: SyncCell::new(work),
+            successors: SyncCell::new(Vec::new()),
+            in_degree: SyncCell::new(0),
+            join_counter: AtomicUsize::new(0),
+            nested: AtomicUsize::new(0),
+            parent: SyncCell::new(std::ptr::null_mut()),
+            topology: SyncCell::new(std::ptr::null()),
+            subgraph: SyncCell::new(Graph::new()),
+        })
+    }
+
+    /// Name for diagnostics; empty string when unnamed.
+    ///
+    /// # Safety
+    /// Caller must satisfy the [`SyncCell`] read contract.
+    pub(crate) unsafe fn label(&self) -> &str {
+        self.name.get().as_deref().unwrap_or("")
+    }
+}
+
+/// An owned collection of nodes forming (part of) a task dependency graph.
+#[derive(Default)]
+pub(crate) struct Graph {
+    pub(crate) nodes: Vec<Box<Node>>,
+}
+
+impl Graph {
+    pub(crate) fn new() -> Graph {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Adds a node and returns its stable address.
+    pub(crate) fn emplace(&mut self, work: Work) -> RawNode {
+        let mut node = Node::new(work);
+        let ptr: RawNode = &mut *node;
+        self.nodes.push(node);
+        ptr
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total node count including every (recursively) spawned subgraph.
+    ///
+    /// # Safety
+    /// Callable only in a quiescent phase (build or post-completion).
+    #[allow(dead_code)]
+    pub(crate) unsafe fn total_nodes(&self) -> usize {
+        let mut count = self.nodes.len();
+        for node in &self.nodes {
+            count += node.subgraph.get().total_nodes();
+        }
+        count
+    }
+
+    /// Detects cycles with an iterative three-color DFS over this graph's
+    /// nodes (subgraphs are independent and checked when spawned, in debug
+    /// builds).
+    ///
+    /// # Safety
+    /// Callable only in a quiescent phase.
+    pub(crate) unsafe fn has_cycle(&self) -> bool {
+        use std::collections::HashMap;
+        // 0 = white, 1 = gray, 2 = black
+        let mut color: HashMap<RawNode, u8> = HashMap::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            color.insert(&**node as *const Node as RawNode, 0);
+        }
+        for start in &self.nodes {
+            let start: RawNode = &**start as *const Node as RawNode;
+            if color.get(&start).copied().unwrap_or(2) != 0 {
+                continue;
+            }
+            // Stack of (node, next successor index).
+            let mut stack: Vec<(RawNode, usize)> = vec![(start, 0)];
+            color.insert(start, 1);
+            while let Some(&(n, idx)) = stack.last() {
+                let succs = (*n).successors.get();
+                if idx < succs.len() {
+                    stack.last_mut().expect("nonempty").1 = idx + 1;
+                    let s = succs[idx];
+                    match color.get(&s).copied() {
+                        Some(0) => {
+                            color.insert(s, 1);
+                            stack.push((s, 0));
+                        }
+                        Some(1) => return true,
+                        // Black, or an edge leaving this graph (shouldn't
+                        // happen, but don't follow it).
+                        _ => {}
+                    }
+                } else {
+                    color.insert(n, 2);
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+}
+
+// SAFETY: Graph is moved across threads (into topologies) but its interior
+// is only touched under the phase discipline of `sync_cell`. All closure
+// payloads are `Send`.
+unsafe impl Send for Graph {}
+unsafe impl Sync for Graph {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connect(a: RawNode, b: RawNode) {
+        // SAFETY: single-threaded build phase.
+        unsafe {
+            (*a).successors.get_mut().push(b);
+            *(*b).in_degree.get_mut() += 1;
+        }
+    }
+
+    #[test]
+    fn emplace_gives_stable_addresses() {
+        let mut g = Graph::new();
+        let first = g.emplace(Work::Empty);
+        // Force reallocation of the Vec of boxes.
+        let mut ptrs = vec![first];
+        for _ in 0..1000 {
+            ptrs.push(g.emplace(Work::Empty));
+        }
+        assert_eq!(g.len(), 1001);
+        // The box target addresses recorded earlier must still be the nodes.
+        for (i, p) in ptrs.iter().enumerate() {
+            let actual: RawNode = &mut *g.nodes[i];
+            assert_eq!(*p, actual);
+        }
+    }
+
+    #[test]
+    fn cycle_detection_acyclic() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        let b = g.emplace(Work::Empty);
+        let c = g.emplace(Work::Empty);
+        connect(a, b);
+        connect(b, c);
+        connect(a, c);
+        unsafe {
+            assert!(!g.has_cycle());
+        }
+    }
+
+    #[test]
+    fn cycle_detection_cyclic() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        let b = g.emplace(Work::Empty);
+        let c = g.emplace(Work::Empty);
+        connect(a, b);
+        connect(b, c);
+        connect(c, a);
+        unsafe {
+            assert!(g.has_cycle());
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        connect(a, a);
+        unsafe {
+            assert!(g.has_cycle());
+        }
+    }
+
+    #[test]
+    fn total_nodes_counts_subgraphs() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        g.emplace(Work::Empty);
+        unsafe {
+            let sub = (*a).subgraph.get_mut();
+            sub.emplace(Work::Empty);
+            sub.emplace(Work::Empty);
+            assert_eq!(g.total_nodes(), 4);
+        }
+    }
+
+    #[test]
+    fn work_debug_names() {
+        assert_eq!(format!("{:?}", Work::Empty), "Empty");
+        assert_eq!(format!("{:?}", Work::Static(Box::new(|| {}))), "Static");
+    }
+}

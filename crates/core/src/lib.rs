@@ -1,0 +1,84 @@
+//! # rustflow — fast task-based parallel programming
+//!
+//! A from-scratch Rust reproduction of **Cpp-Taskflow** (T.-W. Huang,
+//! C.-X. Lin, G. Guo, M. Wong, *Cpp-Taskflow: Fast Task-Based Parallel
+//! Programming Using Modern C++*, IPDPS 2019).
+//!
+//! rustflow helps you quickly write parallel programs using **task
+//! dependency graphs**: you describe *what* depends on *what*; a
+//! work-stealing executor decides *who* runs *when*. There is no explicit
+//! thread management and no lock juggling in user code.
+//!
+//! ```
+//! let tf = rustflow::Taskflow::new();
+//!
+//! let (a, b, c, d) = rustflow::emplace!(tf,
+//!     || println!("Task A"),
+//!     || println!("Task B"),
+//!     || println!("Task C"),
+//!     || println!("Task D"),
+//! );
+//!
+//! a.precede([b, c]); // A runs before B and C
+//! b.precede(d);      // B runs before D
+//! c.precede(d);      // C runs before D
+//!
+//! tf.wait_for_all(); // block until finish
+//! ```
+//!
+//! ## Feature map (paper section → API)
+//!
+//! | Paper | API |
+//! |---|---|
+//! | §III-A create a task | [`Taskflow::emplace`], [`Taskflow::placeholder`], [`emplace!`] |
+//! | §III-B static tasking | [`Task::precede`], [`Task::succeed`] |
+//! | §III-C dispatch | [`Taskflow::wait_for_all`], [`Taskflow::dispatch`], [`Taskflow::silent_dispatch`], [`SharedFuture`] |
+//! | §III-D dynamic tasking | [`Taskflow::emplace_subflow`], [`Subflow`] (join/detach) |
+//! | §III-E executor | [`Executor`], [`ExecutorBuilder`] (work stealing + work sharing, Algorithm 1) |
+//! | §III-F algorithms | [`algorithm::parallel_for`], [`algorithm::reduce`], [`algorithm::transform`] |
+//! | §III-G debugging | [`Taskflow::dump`], [`Taskflow::dump_topologies`] (GraphViz DOT) |
+//!
+//! ## Scheduling (Algorithm 1 of the paper)
+//!
+//! The executor mixes **work stealing** with **work sharing**: each worker
+//! owns a Chase–Lev deque plus an *exclusive task cache* that lets linear
+//! task chains run speculatively with no queue traffic; idle workers park
+//! on a precise *idler list* from which wakers pop exactly one spare
+//! worker; and a finishing worker occasionally wakes an idler to
+//! rebalance load. See [`Executor`] for details and ablation switches.
+
+#![warn(missing_docs)]
+
+#[macro_use]
+mod taskflow;
+
+pub mod algorithm;
+mod dot;
+mod error;
+mod executor;
+mod future;
+mod graph;
+mod notifier;
+mod observer;
+mod shared_vec;
+mod subflow;
+mod sync_cell;
+mod task;
+mod topology;
+pub mod wsq;
+
+pub use error::{RunResult, TaskPanic};
+pub use executor::{Executor, ExecutorBuilder, WorkerStats};
+pub use future::{Promise, SharedFuture};
+pub use observer::{BusyCounter, ExecutorObserver, TraceEvent, Tracer};
+pub use shared_vec::SharedVec;
+pub use subflow::Subflow;
+pub use task::{Task, TaskSet};
+pub use taskflow::Taskflow;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::algorithm::{self, parallel_for, reduce, transform};
+    pub use crate::emplace;
+    pub use crate::{Executor, ExecutorBuilder, SharedVec, Subflow, Task, Taskflow};
+}

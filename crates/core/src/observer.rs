@@ -1,0 +1,209 @@
+//! Executor observers: hooks around task execution.
+//!
+//! Cpp-Taskflow exposes an `ExecutorObserverInterface` so tools can watch
+//! the scheduler without touching it; we use the same design to produce
+//! the CPU-utilization profile of Figure 10 (right) and execution traces.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Hooks invoked by every worker around each task it executes.
+///
+/// Implementations must be cheap and thread-safe; they run on the hot path.
+pub trait ExecutorObserver: Send + Sync {
+    /// Called once when the observer is installed.
+    fn on_observe(&self, _num_workers: usize) {}
+    /// Called by worker `worker` immediately before invoking a task.
+    fn on_entry(&self, _worker: usize, _task_name: &str) {}
+    /// Called by worker `worker` immediately after a task returns.
+    fn on_exit(&self, _worker: usize, _task_name: &str) {}
+}
+
+/// Counts workers that are currently executing a task; sampling it over
+/// time yields a utilization profile (Fig. 10 right of the paper).
+#[derive(Default)]
+pub struct BusyCounter {
+    busy: AtomicUsize,
+    executed: AtomicUsize,
+}
+
+impl BusyCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of workers executing a task right now.
+    pub fn busy(&self) -> usize {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    /// Total number of tasks executed since installation.
+    pub fn executed(&self) -> usize {
+        self.executed.load(Ordering::Relaxed)
+    }
+}
+
+impl ExecutorObserver for BusyCounter {
+    fn on_entry(&self, _worker: usize, _task_name: &str) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_exit(&self, _worker: usize, _task_name: &str) {
+        self.busy.fetch_sub(1, Ordering::Relaxed);
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One recorded task execution.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Worker that executed the task.
+    pub worker: usize,
+    /// Task name (empty if unnamed).
+    pub name: String,
+    /// Microseconds since the tracer was installed.
+    pub begin_us: u64,
+    /// Microseconds since the tracer was installed, at task exit.
+    pub end_us: u64,
+}
+
+/// Records every task execution with timestamps; useful for debugging and
+/// for offline schedule visualization. Heavier than [`BusyCounter`].
+pub struct Tracer {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    // Per-worker open entry timestamps (worker executes one task at a time).
+    open: Box<[Mutex<Option<(String, u64)>>]>,
+}
+
+impl Tracer {
+    /// Creates a tracer able to track up to `max_workers` workers.
+    pub fn new(max_workers: usize) -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            open: (0..max_workers).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Drains the recorded events.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Renders the recorded events as a Chrome trace (`chrome://tracing`
+    /// / Perfetto JSON array format): one complete event per task, one
+    /// lane per worker. Does not drain the events.
+    pub fn chrome_trace_json(&self) -> String {
+        let events = self.events.lock();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push('[');
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
+                e.name.replace('\\', "").replace('"', ""),
+                e.begin_us,
+                e.end_us.saturating_sub(e.begin_us).max(1),
+                e.worker
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl ExecutorObserver for Tracer {
+    fn on_entry(&self, worker: usize, task_name: &str) {
+        if let Some(slot) = self.open.get(worker) {
+            *slot.lock() = Some((task_name.to_string(), self.now_us()));
+        }
+    }
+
+    fn on_exit(&self, worker: usize, task_name: &str) {
+        let end = self.now_us();
+        if let Some(slot) = self.open.get(worker) {
+            if let Some((name, begin)) = slot.lock().take() {
+                self.events.lock().push(TraceEvent {
+                    worker,
+                    name,
+                    begin_us: begin,
+                    end_us: end,
+                });
+                return;
+            }
+        }
+        // Unmatched exit (shouldn't happen); record zero-length event.
+        self.events.lock().push(TraceEvent {
+            worker,
+            name: task_name.to_string(),
+            begin_us: end,
+            end_us: end,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_counter_tracks_entries_and_exits() {
+        let c = BusyCounter::new();
+        c.on_entry(0, "a");
+        c.on_entry(1, "b");
+        assert_eq!(c.busy(), 2);
+        c.on_exit(0, "a");
+        assert_eq!(c.busy(), 1);
+        assert_eq!(c.executed(), 1);
+        c.on_exit(1, "b");
+        assert_eq!(c.busy(), 0);
+        assert_eq!(c.executed(), 2);
+    }
+
+    #[test]
+    fn tracer_records_matched_events() {
+        let t = Tracer::new(2);
+        t.on_entry(0, "x");
+        t.on_exit(0, "x");
+        t.on_entry(1, "y");
+        t.on_exit(1, "y");
+        let events = t.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "x");
+        assert!(events[0].end_us >= events[0].begin_us);
+        assert!(t.take_events().is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape() {
+        let t = Tracer::new(2);
+        t.on_entry(0, "alpha");
+        t.on_exit(0, "alpha");
+        t.on_entry(1, "beta");
+        t.on_exit(1, "beta");
+        let json = t.chrome_trace_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"alpha\""));
+        assert!(json.contains("\"tid\":1"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        // take_events still returns everything (export is non-draining).
+        assert_eq!(t.take_events().len(), 2);
+    }
+
+    #[test]
+    fn tracer_tolerates_unmatched_exit() {
+        let t = Tracer::new(1);
+        t.on_exit(0, "ghost");
+        let events = t.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].begin_us, events[0].end_us);
+    }
+}

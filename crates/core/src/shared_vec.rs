@@ -1,0 +1,190 @@
+//! `SharedVec`: shared, fixed-size storage that the built-in algorithms
+//! (§III-F) mutate in parallel **without data races**.
+//!
+//! Task closures must be `'static`, so they cannot borrow a caller's
+//! `&mut [T]` the way rayon's scoped APIs do. `SharedVec` solves this the
+//! way Cpp-Taskflow programs share containers across tasks — by reference
+//! counting — while preserving Rust's data-race freedom: element mutation
+//! is only reachable through this crate's algorithm implementations, which
+//! partition indices into disjoint chunks (each index is written by exactly
+//! one task). Reclaiming the data (`into_vec`) requires unique ownership,
+//! which cannot exist while any task closure still holds a clone.
+
+use crate::sync_cell::SyncCell;
+use std::sync::Arc;
+
+struct Inner<T> {
+    cells: Box<[SyncCell<T>]>,
+}
+
+/// Reference-counted, fixed-length storage for parallel algorithms.
+pub struct SharedVec<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for SharedVec<T> {
+    fn clone(&self) -> Self {
+        SharedVec {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Send + 'static> SharedVec<T> {
+    /// Wraps a vector for shared use by task graphs.
+    pub fn new(values: Vec<T>) -> Self {
+        let cells: Box<[SyncCell<T>]> = values.into_iter().map(SyncCell::new).collect();
+        SharedVec {
+            inner: Arc::new(Inner { cells }),
+        }
+    }
+
+    /// Builds a `SharedVec` of `len` elements from an index function.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> T) -> Self {
+        SharedVec::new((0..len).map(&mut f).collect())
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.cells.len()
+    }
+
+    /// `true` when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.inner.cells.is_empty()
+    }
+
+    /// Shared read access to element `i`.
+    ///
+    /// # Safety
+    /// No task may be concurrently writing index `i`. The crate's
+    /// algorithms uphold this by never reading a vec they also write.
+    pub(crate) unsafe fn get_raw(&self, i: usize) -> &T {
+        self.inner.cells[i].get()
+    }
+
+    /// Exclusive access to element `i`.
+    ///
+    /// # Safety
+    /// The caller must be the only accessor of index `i` for the duration
+    /// of the borrow. The crate's algorithms uphold this by assigning each
+    /// index to exactly one chunk task.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get_mut_raw(&self, i: usize) -> &mut T {
+        self.inner.cells[i].get_mut()
+    }
+
+    /// Exclusive access to the contiguous subrange `[lo, hi)`.
+    ///
+    /// Layout: `SyncCell<T>` is `repr(transparent)` over `UnsafeCell<T>`,
+    /// which has the same memory layout as `T`, so a `[SyncCell<T>]` can
+    /// be viewed as a `[T]`.
+    ///
+    /// # Safety
+    /// The caller must be the unique accessor of every index in
+    /// `[lo, hi)` for the duration of the borrow (the sort algorithm
+    /// assigns disjoint ranges to tasks and orders producers before
+    /// consumers).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn slice_mut_raw(&self, lo: usize, hi: usize) -> &mut [T] {
+        debug_assert!(lo <= hi && hi <= self.len());
+        let base = self.inner.cells.as_ptr() as *mut T;
+        std::slice::from_raw_parts_mut(base.add(lo), hi - lo)
+    }
+
+    /// Shared access to the contiguous subrange `[lo, hi)`.
+    ///
+    /// # Safety
+    /// No concurrent writer may touch `[lo, hi)` during the borrow.
+    pub(crate) unsafe fn slice_raw(&self, lo: usize, hi: usize) -> &[T] {
+        debug_assert!(lo <= hi && hi <= self.len());
+        let base = self.inner.cells.as_ptr() as *const T;
+        std::slice::from_raw_parts(base.add(lo), hi - lo)
+    }
+
+    /// Recovers the underlying vector. Panics unless this is the only
+    /// remaining handle (call [`crate::Taskflow::gc`] first if a retained
+    /// topology still owns task closures holding clones).
+    pub fn into_vec(self) -> Vec<T> {
+        self.try_into_vec()
+            .unwrap_or_else(|_| panic!("SharedVec::into_vec: other handles still alive"))
+    }
+
+    /// Recovers the underlying vector, or returns `self` when other
+    /// handles are still alive.
+    pub fn try_into_vec(self) -> Result<Vec<T>, SharedVec<T>> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner
+                .cells
+                .into_vec()
+                .into_iter()
+                .map(SyncCell::into_inner)
+                .collect()),
+            Err(inner) => Err(SharedVec { inner }),
+        }
+    }
+
+    /// Clones out element `i`.
+    ///
+    /// Intended for inspection after the writing graphs completed; callers
+    /// must not overlap it with a graph writing index `i` (the algorithms
+    /// in this crate never hand out overlapping reader/writer graphs).
+    pub fn get_cloned(&self, i: usize) -> T
+    where
+        T: Clone,
+    {
+        // SAFETY: see doc contract; reads outside any writing window.
+        unsafe { self.get_raw(i).clone() }
+    }
+
+    /// Clones the whole contents out. Same contract as [`Self::get_cloned`].
+    pub fn snapshot(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        (0..self.len()).map(|i| self.get_cloned(i)).collect()
+    }
+}
+
+impl<T: Send + std::fmt::Debug + 'static> std::fmt::Debug for SharedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedVec(len={})", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let sv = SharedVec::new(vec![1, 2, 3]);
+        assert_eq!(sv.len(), 3);
+        assert!(!sv.is_empty());
+        assert_eq!(sv.get_cloned(1), 2);
+        assert_eq!(sv.into_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn from_fn_builds_by_index() {
+        let sv = SharedVec::from_fn(4, |i| i * 10);
+        assert_eq!(sv.snapshot(), vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn try_into_vec_fails_with_live_clone() {
+        let sv = SharedVec::new(vec![1]);
+        let clone = sv.clone();
+        let sv = sv.try_into_vec().unwrap_err();
+        drop(clone);
+        assert_eq!(sv.try_into_vec().unwrap(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "other handles still alive")]
+    fn into_vec_panics_with_live_clone() {
+        let sv = SharedVec::new(vec![1]);
+        let _clone = sv.clone();
+        let _ = sv.into_vec();
+    }
+}

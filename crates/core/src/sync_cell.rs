@@ -1,0 +1,119 @@
+//! A tiny `UnsafeCell` wrapper used for node fields that are mutated in
+//! well-defined single-owner phases.
+//!
+//! Task-graph nodes go through three phases:
+//!
+//! 1. **Build** — a single thread constructs the graph through a
+//!    [`Taskflow`](crate::Taskflow) (which is `!Sync`), mutating node fields
+//!    freely.
+//! 2. **Run** — the executor guarantees each node is *executed* by exactly
+//!    one worker at a time; that worker may mutate the node's work closure
+//!    and subgraph. All cross-thread hand-offs happen through atomics with
+//!    release/acquire ordering (join counters, queues), which order these
+//!    plain accesses.
+//! 3. **Inspect** — after the topology completes (observed through an
+//!    acquire on the promise), fields are read-only.
+//!
+//! `SyncCell` encodes this discipline: it is `Sync` as long as `T: Send`,
+//! and every access is an `unsafe` call that names the phase invariant the
+//! caller relies on. Keeping the `unsafe` here, in one audited place,
+//! follows the practice recommended by *Rust Atomics and Locks*: build a
+//! safe-ish primitive once, document its contract, and keep the rest of the
+//! code free of ad-hoc `UnsafeCell` juggling.
+
+use std::cell::UnsafeCell;
+
+/// An `UnsafeCell` that may be shared across threads under the phase
+/// discipline documented at module level.
+#[derive(Debug)]
+#[repr(transparent)]
+pub(crate) struct SyncCell<T>(UnsafeCell<T>);
+
+// SAFETY: access is serialized by the executor's scheduling protocol (a node
+// is owned by exactly one worker while it runs) or happens in the
+// single-threaded build/inspect phases; hand-offs between phases synchronize
+// through release/acquire atomics.
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+unsafe impl<T: Send> Send for SyncCell<T> {}
+
+impl<T> SyncCell<T> {
+    pub(crate) const fn new(value: T) -> Self {
+        SyncCell(UnsafeCell::new(value))
+    }
+
+    /// Returns a shared reference to the contents.
+    ///
+    /// # Safety
+    /// The caller must be in a phase where no other thread can be mutating
+    /// the value (build thread, the owning worker during run, or any thread
+    /// after completion).
+    #[inline]
+    pub(crate) unsafe fn get(&self) -> &T {
+        &*self.0.get()
+    }
+
+    /// Returns an exclusive reference to the contents.
+    ///
+    /// # Safety
+    /// The caller must be the unique accessor in the current phase: the
+    /// build thread before dispatch, or the worker currently executing the
+    /// node.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get_mut(&self) -> &mut T {
+        &mut *self.0.get()
+    }
+
+    /// Replaces the contents, returning the previous value.
+    ///
+    /// # Safety
+    /// Same contract as [`SyncCell::get_mut`].
+    #[inline]
+    pub(crate) unsafe fn replace(&self, value: T) -> T {
+        std::mem::replace(&mut *self.0.get(), value)
+    }
+
+    /// Consumes the cell and returns the value (safe: requires ownership).
+    #[allow(dead_code)]
+    pub(crate) fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+impl<T: Default> Default for SyncCell<T> {
+    fn default() -> Self {
+        SyncCell::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let c = SyncCell::new(41);
+        // SAFETY: single-threaded test, we are the unique accessor.
+        unsafe {
+            *c.get_mut() += 1;
+            assert_eq!(*c.get(), 42);
+            assert_eq!(c.replace(7), 42);
+            assert_eq!(*c.get(), 7);
+        }
+        assert_eq!(c.into_inner(), 7);
+    }
+
+    #[test]
+    fn default_is_default() {
+        let c: SyncCell<Vec<u32>> = SyncCell::default();
+        unsafe {
+            assert!(c.get().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SyncCell<Vec<u8>>>();
+    }
+}

@@ -1,0 +1,186 @@
+//! Task handles: lightweight, copyable wrappers over graph nodes
+//! (§III-A/B of the paper).
+//!
+//! A [`Task`] is the only way users touch a node. It is `Copy` (like
+//! Cpp-Taskflow's `tf::Task`), tied by lifetime to the [`Taskflow`] or
+//! [`Subflow`](crate::Subflow) that created it, and deliberately
+//! `!Send`/`!Sync`: graph construction is a single-threaded phase.
+//!
+//! Handles stay valid after the graph is dispatched (the taskflow keeps
+//! dispatched topologies alive), but *mutating* a task after dispatch is a
+//! logic error; every mutating method asserts the node has not yet been
+//! handed to the executor.
+
+use crate::graph::{RawNode, Work};
+use crate::subflow::Subflow;
+use std::marker::PhantomData;
+
+/// A handle to a task in a task dependency graph.
+#[derive(Clone, Copy)]
+pub struct Task<'g> {
+    pub(crate) node: RawNode,
+    pub(crate) _marker: PhantomData<&'g ()>,
+}
+
+impl<'g> Task<'g> {
+    pub(crate) fn new(node: RawNode) -> Task<'g> {
+        Task {
+            node,
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    fn assert_mutable(self) {
+        // SAFETY: reading a plain field from the build thread; the topology
+        // pointer is only set at dispatch, which the build thread performs.
+        let dispatched = unsafe { !(*self.node).topology.get().is_null() };
+        assert!(
+            !dispatched,
+            "task mutated after its graph was dispatched for execution"
+        );
+    }
+
+    /// Assigns a human-readable name (shown in DOT dumps); returns `self`.
+    pub fn name(self, name: impl Into<String>) -> Self {
+        self.assert_mutable();
+        // SAFETY: build phase, single thread.
+        unsafe {
+            *(*self.node).name.get_mut() = Some(name.into());
+        }
+        self
+    }
+
+    /// The task's name, or an empty string.
+    pub fn name_str(self) -> String {
+        // SAFETY: name is written only during build; reading later is fine.
+        unsafe { (*self.node).label().to_string() }
+    }
+
+    /// Adds dependency edges so that `self` runs before every task in
+    /// `targets` (the paper's `A.precede(B, C)`). Accepts a single task, an
+    /// array, a slice, or a `Vec`.
+    pub fn precede<T: TaskSet<'g>>(self, targets: T) -> Self {
+        self.assert_mutable();
+        targets.for_each(&mut |t| {
+            // SAFETY: build phase, single thread; both nodes belong to
+            // graphs owned by the same (not yet dispatched) taskflow.
+            unsafe {
+                (*self.node).successors.get_mut().push(t.node);
+                *(*t.node).in_degree.get_mut() += 1;
+            }
+        });
+        self
+    }
+
+    /// Adds dependency edges so that `self` runs after every task in
+    /// `sources`. The mirror image of [`Task::precede`].
+    pub fn succeed<T: TaskSet<'g>>(self, sources: T) -> Self {
+        self.assert_mutable();
+        sources.for_each(&mut |t| {
+            unsafe {
+                (*t.node).successors.get_mut().push(self.node);
+                *(*self.node).in_degree.get_mut() += 1;
+            }
+        });
+        self
+    }
+
+    /// Assigns (or replaces) the callable of this task. Useful for
+    /// placeholders whose work is decided late (§III-A).
+    pub fn work<F>(self, f: F) -> Self
+    where
+        F: FnMut() + Send + 'static,
+    {
+        self.assert_mutable();
+        // SAFETY: build phase, single thread.
+        unsafe {
+            *(*self.node).work.get_mut() = Work::Static(Box::new(f));
+        }
+        self
+    }
+
+    /// Assigns a dynamic (subflow-spawning) callable to this task.
+    pub fn work_subflow<F>(self, f: F) -> Self
+    where
+        F: FnMut(&mut Subflow<'_>) + Send + 'static,
+    {
+        self.assert_mutable();
+        unsafe {
+            *(*self.node).work.get_mut() = Work::Dynamic(Box::new(f));
+        }
+        self
+    }
+
+    /// Number of outgoing edges.
+    pub fn num_successors(self) -> usize {
+        unsafe { (*self.node).successors.get().len() }
+    }
+
+    /// Number of incoming edges.
+    pub fn num_dependents(self) -> usize {
+        unsafe { *(*self.node).in_degree.get() }
+    }
+
+    /// `true` when the task has no callable assigned yet.
+    pub fn is_placeholder(self) -> bool {
+        unsafe { matches!(*(*self.node).work.get(), Work::Empty) }
+    }
+}
+
+impl std::fmt::Debug for Task<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("name", &self.name_str())
+            .field("successors", &self.num_successors())
+            .field("dependents", &self.num_dependents())
+            .finish()
+    }
+}
+
+/// Anything that can stand on the right-hand side of
+/// [`Task::precede`]/[`Task::succeed`]: a task, `[Task; N]`, `&[Task]`, or
+/// `Vec<Task>`. This is the Rust rendering of Cpp-Taskflow's variadic
+/// `precede(Ts&&... tasks)` parameter pack.
+pub trait TaskSet<'g> {
+    /// Invokes `f` on every task in the set.
+    fn for_each(self, f: &mut dyn FnMut(Task<'g>));
+}
+
+impl<'g> TaskSet<'g> for Task<'g> {
+    fn for_each(self, f: &mut dyn FnMut(Task<'g>)) {
+        f(self)
+    }
+}
+
+impl<'g, const N: usize> TaskSet<'g> for [Task<'g>; N] {
+    fn for_each(self, f: &mut dyn FnMut(Task<'g>)) {
+        for t in self {
+            f(t)
+        }
+    }
+}
+
+impl<'g> TaskSet<'g> for &[Task<'g>] {
+    fn for_each(self, f: &mut dyn FnMut(Task<'g>)) {
+        for &t in self {
+            f(t)
+        }
+    }
+}
+
+impl<'g> TaskSet<'g> for &Vec<Task<'g>> {
+    fn for_each(self, f: &mut dyn FnMut(Task<'g>)) {
+        for &t in self {
+            f(t)
+        }
+    }
+}
+
+impl<'g> TaskSet<'g> for Vec<Task<'g>> {
+    fn for_each(self, f: &mut dyn FnMut(Task<'g>)) {
+        for t in self {
+            f(t)
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The `Taskflow` object: where task dependency graphs are created and
+//! dispatched (§III-A through §III-C of the paper).
+//!
+//! A taskflow holds exactly one *present graph* at a time. Tasks emplaced
+//! through it extend the present graph; [`Taskflow::dispatch`] (or
+//! [`Taskflow::wait_for_all`]) moves the present graph into a
+//! [`Topology`](crate::topology::Topology) and hands it to the executor,
+//! leaving a fresh empty graph behind. The taskflow keeps every dispatched
+//! topology in a list, both to expose execution status and to keep node
+//! storage alive for outstanding [`Task`] handles.
+
+use crate::dot;
+use crate::error::RunResult;
+use crate::executor::Executor;
+use crate::future::SharedFuture;
+use crate::graph::{Graph, Work};
+use crate::subflow::Subflow;
+use crate::sync_cell::SyncCell;
+use crate::task::Task;
+use crate::topology::Topology;
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A task dependency graph builder and dispatcher.
+///
+/// ```
+/// let tf = rustflow::Taskflow::new();
+/// let (a, b, c, d) = rustflow::emplace!(tf,
+///     || println!("Task A"),
+///     || println!("Task B"),
+///     || println!("Task C"),
+///     || println!("Task D"),
+/// );
+/// a.precede([b, c]); // A runs before B and C
+/// b.precede(d);      // B runs before D
+/// c.precede(d);      // C runs before D
+/// tf.wait_for_all(); // block until finish
+/// ```
+pub struct Taskflow {
+    graph: SyncCell<Graph>,
+    executor: Arc<Executor>,
+    topologies: Mutex<Vec<Arc<Topology>>>,
+    name: SyncCell<String>,
+    /// Graph construction is single-threaded: `!Sync`, but `Send`.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+// SAFETY: Taskflow is !Sync (PhantomData<Cell>), so interior mutability of
+// the present graph is confined to one thread at a time; all payloads are
+// Send.
+unsafe impl Send for Taskflow {}
+
+impl Default for Taskflow {
+    fn default() -> Self {
+        Taskflow::new()
+    }
+}
+
+impl Taskflow {
+    /// Creates a taskflow bound to the process-wide default executor.
+    pub fn new() -> Taskflow {
+        Taskflow::with_executor(Executor::default_shared())
+    }
+
+    /// Creates a taskflow bound to a specific (shareable) executor —
+    /// the paper's `std::shared_ptr`-managed pluggable executor (§III-E).
+    pub fn with_executor(executor: Arc<Executor>) -> Taskflow {
+        Taskflow {
+            graph: SyncCell::new(Graph::new()),
+            executor,
+            topologies: Mutex::new(Vec::new()),
+            name: SyncCell::new(String::new()),
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// The executor this taskflow dispatches to.
+    pub fn executor(&self) -> Arc<Executor> {
+        Arc::clone(&self.executor)
+    }
+
+    /// Sets a diagnostic name (used in DOT dumps).
+    pub fn set_name(&self, name: impl Into<String>) {
+        // SAFETY: !Sync — single-threaded access.
+        unsafe {
+            *self.name.get_mut() = name.into();
+        }
+    }
+
+    /// The diagnostic name.
+    pub fn name(&self) -> String {
+        // SAFETY: !Sync — single-threaded access.
+        unsafe { self.name.get().clone() }
+    }
+
+    /// Creates a task in the present graph from a closure (§III-A).
+    pub fn emplace<F>(&self, f: F) -> Task<'_>
+    where
+        F: FnMut() + Send + 'static,
+    {
+        self.emplace_work(Work::Static(Box::new(f)))
+    }
+
+    /// Creates a *dynamic* task: its closure receives a [`Subflow`] at
+    /// runtime through which it spawns child tasks (§III-D).
+    pub fn emplace_subflow<F>(&self, f: F) -> Task<'_>
+    where
+        F: FnMut(&mut Subflow<'_>) + Send + 'static,
+    {
+        self.emplace_work(Work::Dynamic(Box::new(f)))
+    }
+
+    /// Creates an empty task whose work can be assigned later through
+    /// [`Task::work`] — the paper's placeholder idiom (§III-A).
+    pub fn placeholder(&self) -> Task<'_> {
+        self.emplace_work(Work::Empty)
+    }
+
+    fn emplace_work(&self, work: Work) -> Task<'_> {
+        // SAFETY: !Sync — the build phase is single-threaded; node boxes
+        // give stable addresses for the returned handle.
+        let node = unsafe { self.graph.get_mut().emplace(work) };
+        Task::new(node)
+    }
+
+    /// Number of tasks in the present (not yet dispatched) graph.
+    pub fn num_nodes(&self) -> usize {
+        // SAFETY: !Sync — single-threaded access.
+        unsafe { self.graph.get().len() }
+    }
+
+    /// `true` when the present graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes() == 0
+    }
+
+    /// Number of dispatched topologies retained by this taskflow.
+    pub fn num_topologies(&self) -> usize {
+        self.topologies.lock().len()
+    }
+
+    /// Dumps the present graph to GraphViz DOT (§III-G).
+    pub fn dump(&self) -> String {
+        // SAFETY: !Sync — present graph is quiescent.
+        unsafe { dot::graph_to_dot(self.graph.get(), &self.name()) }
+    }
+
+    /// Dumps every *completed* dispatched topology to DOT, including the
+    /// subflows its dynamic tasks spawned at runtime (Fig. 5 of the paper).
+    /// Running topologies are skipped (their graphs are in motion).
+    pub fn dump_topologies(&self) -> String {
+        let mut out = String::new();
+        for (i, topo) in self.topologies.lock().iter().enumerate() {
+            if topo.future.is_ready() {
+                // SAFETY: completed topology — quiescent graph.
+                unsafe {
+                    out.push_str(&dot::graph_to_dot(
+                        topo.graph.get(),
+                        &format!("{}_{}", self.name(), i),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Dispatches the present graph for execution **without blocking**,
+    /// returning a shared future to observe completion (§III-C). The
+    /// taskflow is left with a fresh empty graph.
+    pub fn dispatch(&self) -> SharedFuture<RunResult> {
+        // SAFETY: !Sync — single-threaded graph handoff.
+        let graph = unsafe { self.graph.replace(Graph::new()) };
+        let (topo, future) = Topology::new(graph);
+        self.topologies.lock().push(Arc::clone(&topo));
+        self.executor.run_topology(topo);
+        future
+    }
+
+    /// Dispatches the present graph and ignores the execution status.
+    pub fn silent_dispatch(&self) {
+        let _ = self.dispatch();
+    }
+
+    /// Dispatches the present graph (if non-empty) and blocks until **all**
+    /// dispatched topologies finish. Panics if any task panicked,
+    /// propagating the first recorded panic message.
+    pub fn wait_for_all(&self) {
+        if let Err(e) = self.try_wait_for_all() {
+            panic!("{e}");
+        }
+    }
+
+    /// Like [`Taskflow::wait_for_all`] but reports a task panic as an error
+    /// instead of panicking.
+    pub fn try_wait_for_all(&self) -> RunResult {
+        if !self.is_empty() {
+            self.silent_dispatch();
+        }
+        let futures: Vec<SharedFuture<RunResult>> = self
+            .topologies
+            .lock()
+            .iter()
+            .map(|t| t.future.clone())
+            .collect();
+        let mut first_err = None;
+        for f in futures {
+            if let Err(e) = f.get() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Drops completed topologies, releasing their graphs.
+    ///
+    /// Requires `&mut self`, which statically guarantees no outstanding
+    /// [`Task`] handle can reach into the freed graphs.
+    pub fn gc(&mut self) -> usize {
+        let mut topologies = self.topologies.lock();
+        let before = topologies.len();
+        topologies.retain(|t| !t.future.is_ready());
+        before - topologies.len()
+    }
+}
+
+impl Drop for Taskflow {
+    fn drop(&mut self) {
+        // Present (undispatched) graphs are discarded, but running
+        // topologies must finish before their node storage is freed.
+        let futures: Vec<SharedFuture<RunResult>> = self
+            .topologies
+            .lock()
+            .iter()
+            .map(|t| t.future.clone())
+            .collect();
+        for f in futures {
+            f.wait();
+        }
+    }
+}
+
+impl std::fmt::Debug for Taskflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Taskflow")
+            .field("name", &self.name())
+            .field("nodes", &self.num_nodes())
+            .field("topologies", &self.num_topologies())
+            .finish()
+    }
+}
+
+/// Creates several tasks at once, returning a tuple of handles — the Rust
+/// rendering of Cpp-Taskflow's multi-emplace
+/// (`auto [A, B, C] = tf.emplace(...)`, §III-A).
+///
+/// ```
+/// let tf = rustflow::Taskflow::new();
+/// let (a, b) = rustflow::emplace!(tf, || {}, || {});
+/// a.precede(b);
+/// tf.wait_for_all();
+/// ```
+#[macro_export]
+macro_rules! emplace {
+    ($tf:expr, $($f:expr),+ $(,)?) => {
+        ( $( $tf.emplace($f) ),+ )
+    };
+}

@@ -1,0 +1,91 @@
+//! A dispatched task dependency graph (§III-C of the paper).
+//!
+//! Dispatching moves the taskflow's present graph into a [`Topology`],
+//! which pairs the graph with the runtime metadata the executor needs: an
+//! atomic count of not-yet-finished nodes and a promise/shared-future pair
+//! for completion signalling. The owning [`Taskflow`](crate::Taskflow)
+//! keeps every topology it dispatched in a list (so task handles and the
+//! executor's raw node pointers stay valid), and the executor additionally
+//! holds a keep-alive `Arc` while the topology runs.
+
+use crate::error::{RunResult, TaskPanic};
+use crate::future::{Promise, SharedFuture};
+use crate::graph::Graph;
+use crate::sync_cell::SyncCell;
+use parking_lot::Mutex;
+use std::sync::atomic::AtomicUsize;
+
+pub(crate) struct Topology {
+    /// The graph being executed. Workers navigate it through raw pointers;
+    /// the box-per-node layout keeps addresses stable.
+    pub(crate) graph: SyncCell<Graph>,
+    /// Number of nodes that have not yet completed, including nodes spawned
+    /// dynamically into subflows. The zero-crossing finalizes the topology.
+    pub(crate) alive: AtomicUsize,
+    /// Fulfilled exactly once by the finalizing worker.
+    pub(crate) promise: SyncCell<Option<Promise<RunResult>>>,
+    /// Cloneable completion handle returned to users.
+    pub(crate) future: SharedFuture<RunResult>,
+    /// First task panic observed while running (kept, later ones dropped).
+    pub(crate) error: Mutex<Option<TaskPanic>>,
+}
+
+// SAFETY: interior fields follow the sync_cell phase discipline; atomics
+// and the mutex are inherently thread-safe; Graph is Send + Sync under the
+// same discipline.
+unsafe impl Send for Topology {}
+unsafe impl Sync for Topology {}
+
+impl Topology {
+    pub(crate) fn new(graph: Graph) -> (std::sync::Arc<Topology>, SharedFuture<RunResult>) {
+        let (promise, future) = crate::future::promise_pair();
+        let topo = std::sync::Arc::new(Topology {
+            graph: SyncCell::new(graph),
+            alive: AtomicUsize::new(0),
+            promise: SyncCell::new(Some(promise)),
+            future: future.clone(),
+            error: Mutex::new(None),
+        });
+        (topo, future)
+    }
+
+    /// Records the first panic; later panics are ignored.
+    pub(crate) fn record_panic(&self, panic: TaskPanic) {
+        let mut guard = self.error.lock();
+        if guard.is_none() {
+            *guard = Some(panic);
+        }
+    }
+
+    /// Number of top-level nodes (excludes dynamically spawned subflows).
+    #[allow(dead_code)]
+    pub(crate) fn num_static_nodes(&self) -> usize {
+        // SAFETY: called in quiescent phases only (tests/inspection).
+        unsafe { self.graph.get().len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_panic_keeps_first() {
+        let (topo, _future) = Topology::new(Graph::new());
+        topo.record_panic(TaskPanic {
+            task: "a".into(),
+            message: "first".into(),
+        });
+        topo.record_panic(TaskPanic {
+            task: "b".into(),
+            message: "second".into(),
+        });
+        assert_eq!(topo.error.lock().as_ref().unwrap().message, "first");
+    }
+
+    #[test]
+    fn new_topology_future_not_ready() {
+        let (_topo, future) = Topology::new(Graph::new());
+        assert!(!future.is_ready());
+    }
+}

@@ -1,0 +1,373 @@
+//! Unbounded work-stealing deque (Chase–Lev), the per-worker task queue of
+//! the executor (Algorithm 1 of the paper, `worker.queue`).
+//!
+//! This is the memory-ordering-annotated variant from Lê, Pop, Cohen &
+//! Zappa Nardelli, *Correct and Efficient Work-Stealing for Weak Memory
+//! Models* (PPoPP'13), which is also what Cpp-Taskflow's own `TaskQueue`
+//! and crossbeam-deque implement. The owner pushes and pops at the bottom;
+//! thieves steal from the top one item at a time.
+//!
+//! Two implementation choices keep the unsafe surface minimal:
+//!
+//! * Items are plain `usize` values (the executor stores tagged node
+//!   pointers). Ring slots are therefore `AtomicUsize`, so the racy
+//!   slot-read in `steal` — which the Chase–Lev protocol resolves with the
+//!   subsequent CAS on `top` — is an ordinary relaxed atomic load rather
+//!   than a data race on non-atomic memory.
+//! * When the ring grows, the old buffer is retired to a garbage list owned
+//!   by the deque instead of being freed, so a thief that raced with the
+//!   resize still reads from valid memory (the live region was copied, the
+//!   old copy is immutable from then on). Buffers are reclaimed when the
+//!   deque is dropped. This is exactly Cpp-Taskflow's retirement scheme.
+//!
+//! The deque is split into an [`Owner`] half (single thread: push/pop) and
+//! cloneable [`Stealer`] halves. A differential stress test against
+//! `crossbeam_deque` lives in `tests/` of this crate.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Initial ring capacity (must be a power of two).
+const INITIAL_CAPACITY: usize = 64;
+
+struct RingBuffer {
+    mask: usize,
+    slots: Box<[AtomicUsize]>,
+}
+
+impl RingBuffer {
+    fn new(capacity: usize) -> Box<RingBuffer> {
+        debug_assert!(capacity.is_power_of_two());
+        let slots = (0..capacity).map(|_| AtomicUsize::new(0)).collect();
+        Box::new(RingBuffer {
+            mask: capacity - 1,
+            slots,
+        })
+    }
+
+    #[inline]
+    fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    #[inline]
+    fn read(&self, index: isize, order: Ordering) -> usize {
+        self.slots[index as usize & self.mask].load(order)
+    }
+
+    #[inline]
+    fn write(&self, index: isize, value: usize, order: Ordering) {
+        self.slots[index as usize & self.mask].store(value, order);
+    }
+}
+
+struct Inner {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<RingBuffer>,
+    /// Retired buffers kept alive until the deque is dropped; only the
+    /// owner pushes here (during `grow`), so contention is nil.
+    garbage: Mutex<Vec<Box<RingBuffer>>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // SAFETY: we have exclusive access; the pointer was produced by
+        // Box::into_raw in `new`/`grow` and is non-null.
+        unsafe {
+            drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
+        }
+    }
+}
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal {
+    /// Stole the contained item.
+    Success(usize),
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race; retrying may succeed.
+    Retry,
+}
+
+/// Owner half: `push`/`pop` from a single thread.
+pub struct Owner {
+    inner: Arc<Inner>,
+}
+
+/// Thief half: `steal` from any thread; cloneable.
+#[derive(Clone)]
+pub struct Stealer {
+    inner: Arc<Inner>,
+}
+
+/// Creates a new work-stealing deque, returning its two halves.
+pub fn deque() -> (Owner, Stealer) {
+    let inner = Arc::new(Inner {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(Box::into_raw(RingBuffer::new(INITIAL_CAPACITY))),
+        garbage: Mutex::new(Vec::new()),
+    });
+    (
+        Owner {
+            inner: Arc::clone(&inner),
+        },
+        Stealer { inner },
+    )
+}
+
+impl Owner {
+    /// Pushes an item at the bottom. Grows the ring when full.
+    pub fn push(&self, item: usize) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        // SAFETY: only the owner swaps the buffer pointer, and it is always
+        // a valid RingBuffer allocated by this deque.
+        let mut buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+
+        if b - t >= buf.capacity() as isize {
+            self.grow(t, b);
+            buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+        }
+
+        buf.write(b, item, Ordering::Relaxed);
+        fence(Ordering::Release);
+        inner.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Pops an item from the bottom (LIFO with respect to `push`).
+    pub fn pop(&self) -> Option<usize> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: see push.
+        let buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+        inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+
+        if t <= b {
+            let item = buf.read(b, Ordering::Relaxed);
+            if t == b {
+                // Last element: race against thieves for it.
+                let won = inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(item)
+                } else {
+                    None
+                }
+            } else {
+                Some(item)
+            }
+        } else {
+            // Already empty; restore bottom.
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Number of items currently in the deque (owner-accurate).
+    pub fn len(&self) -> usize {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+
+    /// `true` when the deque holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Doubles the ring, copying the live region `[t, b)`.
+    #[cold]
+    fn grow(&self, t: isize, b: isize) {
+        let inner = &*self.inner;
+        // SAFETY: owner-exclusive buffer access, see push.
+        let old = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+        let new = RingBuffer::new(old.capacity() * 2);
+        for i in t..b {
+            new.write(i, old.read(i, Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let new_ptr = Box::into_raw(new);
+        let old_ptr = inner.buffer.swap(new_ptr, Ordering::Release);
+        // Retire the old buffer: thieves may still be reading it.
+        // SAFETY: old_ptr came from Box::into_raw and is no longer published.
+        inner.garbage.lock().push(unsafe { Box::from_raw(old_ptr) });
+    }
+}
+
+impl Stealer {
+    /// Attempts to steal the oldest item (FIFO with respect to `push`).
+    pub fn steal(&self) -> Steal {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+
+        if t < b {
+            // SAFETY: the buffer pointer always refers to a live RingBuffer:
+            // retired buffers stay allocated in the garbage list.
+            let buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
+            let item = buf.read(t, Ordering::Relaxed);
+            if inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(item)
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// `true` when the deque appears empty (racy, advisory).
+    pub fn is_empty(&self) -> bool {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        let b = inner.bottom.load(Ordering::Acquire);
+        b <= t
+    }
+
+    /// Approximate number of items (racy, advisory).
+    pub fn len(&self) -> usize {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        let b = inner.bottom.load(Ordering::Acquire);
+        (b - t).max(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn push_pop_lifo() {
+        let (owner, _stealer) = deque();
+        for i in 1..=100 {
+            owner.push(i);
+        }
+        assert_eq!(owner.len(), 100);
+        for i in (1..=100).rev() {
+            assert_eq!(owner.pop(), Some(i));
+        }
+        assert_eq!(owner.pop(), None);
+        assert!(owner.is_empty());
+    }
+
+    #[test]
+    fn steal_fifo() {
+        let (owner, stealer) = deque();
+        for i in 1..=10 {
+            owner.push(i);
+        }
+        for i in 1..=10 {
+            assert_eq!(stealer.steal(), Steal::Success(i));
+        }
+        assert_eq!(stealer.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn grow_preserves_items() {
+        let (owner, stealer) = deque();
+        let n = INITIAL_CAPACITY * 8;
+        for i in 1..=n {
+            owner.push(i);
+        }
+        assert_eq!(owner.len(), n);
+        // Steal half, pop half; every item must appear exactly once.
+        let mut seen = HashSet::new();
+        for _ in 0..n / 2 {
+            if let Steal::Success(v) = stealer.steal() {
+                assert!(seen.insert(v));
+            }
+        }
+        while let Some(v) = owner.pop() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), n);
+    }
+
+    #[test]
+    fn empty_stealer_reports_empty() {
+        let (owner, stealer) = deque();
+        assert!(stealer.is_empty());
+        owner.push(1);
+        assert!(!stealer.is_empty());
+        assert_eq!(stealer.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_steal_no_loss_no_dup() {
+        const ITEMS: usize = 20_000;
+        const THIEVES: usize = 4;
+        let (owner, stealer) = deque();
+        let stolen: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let s = stealer.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => {
+                                if v == usize::MAX {
+                                    break;
+                                }
+                                got.push(v);
+                            }
+                            Steal::Empty => thread::yield_now(),
+                            Steal::Retry => {}
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        let mut popped = Vec::new();
+        for i in 1..=ITEMS {
+            owner.push(i);
+            if i % 3 == 0 {
+                if let Some(v) = owner.pop() {
+                    popped.push(v);
+                }
+            }
+        }
+        // Poison pills to stop the thieves.
+        for _ in 0..THIEVES {
+            owner.push(usize::MAX);
+        }
+        // Drain leftovers (pills are stolen FIFO after real items; keep
+        // popping until empty, discarding pills we pop ourselves).
+        let mut all: HashSet<usize> = HashSet::new();
+        for v in popped {
+            assert!(all.insert(v), "duplicate {v}");
+        }
+        for h in stolen {
+            for v in h.join().unwrap() {
+                assert!(all.insert(v), "duplicate {v}");
+            }
+        }
+        // Any pills the thieves didn't eat may still sit in the deque along
+        // with unstolen items; pop the rest.
+        while let Some(v) = owner.pop() {
+            if v != usize::MAX {
+                assert!(all.insert(v), "duplicate {v}");
+            }
+        }
+        assert_eq!(all.len(), ITEMS, "lost items");
+    }
+}

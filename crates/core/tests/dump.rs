@@ -1,0 +1,83 @@
+//! Tests of the DOT dump (§III-G): structure, names, escaping, and the
+//! present-graph vs dispatched-topology split.
+
+use rustflow::{Executor, Taskflow};
+
+#[test]
+fn dump_contains_all_named_nodes_and_edges() {
+    let tf = Taskflow::new();
+    tf.set_name("fig2");
+    let a0 = tf.emplace(|| {}).name("a0");
+    let a1 = tf.emplace(|| {}).name("a1");
+    let b0 = tf.emplace(|| {}).name("b0");
+    a0.precede(a1);
+    b0.precede(a1);
+    let dot = tf.dump();
+    assert!(dot.starts_with("digraph fig2 {"));
+    for name in ["a0", "a1", "b0"] {
+        assert!(dot.contains(&format!("label=\"{name}\"")), "{name} missing");
+    }
+    assert_eq!(dot.matches(" -> ").count(), 2);
+}
+
+#[test]
+fn unnamed_nodes_get_pointer_labels() {
+    let tf = Taskflow::new();
+    tf.emplace(|| {});
+    let dot = tf.dump();
+    assert!(dot.contains("label=\"0x"), "expected pointer label: {dot}");
+}
+
+#[test]
+fn names_with_quotes_are_escaped() {
+    let tf = Taskflow::new();
+    tf.emplace(|| {}).name("weird \"name\"");
+    let dot = tf.dump();
+    assert!(dot.contains("weird \\\"name\\\""));
+}
+
+#[test]
+fn dump_reflects_present_graph_only() {
+    let ex = Executor::new(1);
+    let tf = Taskflow::with_executor(ex);
+    tf.emplace(|| {}).name("first_graph_task");
+    tf.wait_for_all();
+    // After dispatch the present graph is fresh.
+    assert!(!tf.dump().contains("first_graph_task"));
+    tf.emplace(|| {}).name("second_graph_task");
+    assert!(tf.dump().contains("second_graph_task"));
+    // The dispatched (completed) topology is visible separately.
+    assert!(tf.dump_topologies().contains("first_graph_task"));
+}
+
+#[test]
+fn running_topologies_are_skipped_by_dump_topologies() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let ex = Executor::new(1);
+    let tf = Taskflow::with_executor(ex);
+    let release = Arc::new(AtomicBool::new(false));
+    let r = Arc::clone(&release);
+    tf.emplace(move || {
+        while !r.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+    })
+    .name("gated");
+    let future = tf.dispatch();
+    // While running, the topology must not be dumped (its graph is hot).
+    assert!(!tf.dump_topologies().contains("gated"));
+    release.store(true, Ordering::Release);
+    future.wait();
+    assert!(tf.dump_topologies().contains("gated"));
+}
+
+#[test]
+fn taskflow_debug_format() {
+    let tf = Taskflow::new();
+    tf.set_name("dbg");
+    tf.emplace(|| {});
+    let s = format!("{tf:?}");
+    assert!(s.contains("dbg"));
+    assert!(s.contains("nodes: 1"));
+}

@@ -1,0 +1,426 @@
+//! Integration tests of the rustflow executor through the public API:
+//! dependency ordering, dynamic tasking semantics, dispatch/future
+//! behaviour, panic handling, observers, and executor sharing.
+
+use rustflow::{BusyCounter, Executor, ExecutorBuilder, ExecutorObserver, Taskflow, Tracer};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A shared logical clock for stamping execution order.
+fn clock() -> Arc<AtomicUsize> {
+    Arc::new(AtomicUsize::new(0))
+}
+
+fn stamp(clock: &Arc<AtomicUsize>, slot: &Arc<AtomicUsize>) -> impl FnMut() + Send + 'static {
+    let clock = Arc::clone(clock);
+    let slot = Arc::clone(slot);
+    move || {
+        slot.store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn diamond_ordering() {
+    for workers in [1, 2, 4, 8] {
+        let ex = Executor::new(workers);
+        let tf = Taskflow::with_executor(ex);
+        let clk = clock();
+        let stamps: Vec<Arc<AtomicUsize>> = (0..4).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        let a = tf.emplace(stamp(&clk, &stamps[0]));
+        let b = tf.emplace(stamp(&clk, &stamps[1]));
+        let c = tf.emplace(stamp(&clk, &stamps[2]));
+        let d = tf.emplace(stamp(&clk, &stamps[3]));
+        a.precede([b, c]);
+        d.succeed([b, c]);
+        tf.wait_for_all();
+        let s: Vec<usize> = stamps.iter().map(|s| s.load(Ordering::SeqCst)).collect();
+        assert!(s.iter().all(|&x| x > 0), "not all tasks ran: {s:?}");
+        assert!(s[0] < s[1] && s[0] < s[2], "{s:?}");
+        assert!(s[3] > s[1] && s[3] > s[2], "{s:?}");
+    }
+}
+
+#[test]
+fn large_random_dag_respects_every_edge() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    const N: usize = 5_000;
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for v in 1..N {
+        for _ in 0..rng.gen_range(0..3) {
+            edges.push((rng.gen_range(v.saturating_sub(50)..v), v));
+        }
+    }
+    let ex = Executor::new(4);
+    let tf = Taskflow::with_executor(ex);
+    let clk = clock();
+    let stamps: Vec<Arc<AtomicUsize>> = (0..N).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+    let tasks: Vec<_> = (0..N).map(|i| tf.emplace(stamp(&clk, &stamps[i]))).collect();
+    for &(u, v) in &edges {
+        tasks[u].precede(tasks[v]);
+    }
+    tf.wait_for_all();
+    let s: Vec<usize> = stamps.iter().map(|s| s.load(Ordering::SeqCst)).collect();
+    assert!(s.iter().all(|&x| x > 0));
+    for &(u, v) in &edges {
+        assert!(s[u] < s[v], "edge ({u},{v}) violated: {} !< {}", s[u], s[v]);
+    }
+}
+
+#[test]
+fn linear_chain_runs_in_order() {
+    // Exercises the cache-slot fast path: a 10k chain on one worker.
+    let ex = ExecutorBuilder::new().workers(1).build();
+    let tf = Taskflow::with_executor(ex);
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut prev: Option<rustflow::Task<'_>> = None;
+    for i in 0..10_000 {
+        let c = Arc::clone(&counter);
+        let t = tf.emplace(move || {
+            let seen = c.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(seen, i, "chain executed out of order");
+        });
+        if let Some(p) = prev {
+            p.precede(t);
+        }
+        prev = Some(t);
+    }
+    tf.wait_for_all();
+    assert_eq!(counter.load(Ordering::SeqCst), 10_000);
+}
+
+#[test]
+fn cache_slot_disabled_still_correct() {
+    let ex = ExecutorBuilder::new().workers(2).cache_slot(false).build();
+    let tf = Taskflow::with_executor(ex);
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut prev: Option<rustflow::Task<'_>> = None;
+    for _ in 0..1_000 {
+        let c = Arc::clone(&counter);
+        let t = tf.emplace(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        if let Some(p) = prev {
+            p.precede(t);
+        }
+        prev = Some(t);
+    }
+    tf.wait_for_all();
+    assert_eq!(counter.load(Ordering::SeqCst), 1_000);
+}
+
+#[test]
+fn subflow_join_blocks_successor() {
+    let ex = Executor::new(4);
+    let tf = Taskflow::with_executor(ex);
+    let children_done = Arc::new(AtomicUsize::new(0));
+    let cd = Arc::clone(&children_done);
+    let parent = tf.emplace_subflow(move |sf| {
+        for _ in 0..16 {
+            let cd = Arc::clone(&cd);
+            sf.emplace(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                cd.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+    let cd2 = Arc::clone(&children_done);
+    let after = tf.emplace(move || {
+        assert_eq!(
+            cd2.load(Ordering::SeqCst),
+            16,
+            "successor ran before the joined subflow finished"
+        );
+    });
+    parent.precede(after);
+    tf.wait_for_all();
+    assert_eq!(children_done.load(Ordering::SeqCst), 16);
+}
+
+#[test]
+fn subflow_detach_does_not_block_successor_but_topology_waits() {
+    let ex = Executor::new(4);
+    let tf = Taskflow::with_executor(ex);
+    let children_done = Arc::new(AtomicUsize::new(0));
+    let cd = Arc::clone(&children_done);
+    let parent = tf.emplace_subflow(move |sf| {
+        for _ in 0..8 {
+            let cd = Arc::clone(&cd);
+            sf.emplace(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                cd.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        sf.detach();
+    });
+    let after = tf.emplace(|| {});
+    parent.precede(after);
+    tf.wait_for_all();
+    // wait_for_all covers detached children ("a detached subflow will
+    // eventually join the end of the topology").
+    assert_eq!(children_done.load(Ordering::SeqCst), 8);
+}
+
+#[test]
+fn nested_subflows_complete_bottom_up() {
+    let ex = Executor::new(4);
+    let tf = Taskflow::with_executor(ex);
+    let total = Arc::new(AtomicUsize::new(0));
+    let t0 = Arc::clone(&total);
+    tf.emplace_subflow(move |sf| {
+        for _ in 0..4 {
+            let t1 = Arc::clone(&t0);
+            sf.emplace_subflow(move |inner| {
+                for _ in 0..4 {
+                    let t2 = Arc::clone(&t1);
+                    inner.emplace(move || {
+                        t2.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+    });
+    tf.wait_for_all();
+    assert_eq!(total.load(Ordering::SeqCst), 16);
+}
+
+#[test]
+fn deeply_nested_subflows() {
+    // Recursion: depth-20 chain of nested subflows.
+    fn spawn(sf: &rustflow::Subflow<'_>, depth: usize, counter: Arc<AtomicUsize>) {
+        counter.fetch_add(1, Ordering::SeqCst);
+        if depth > 0 {
+            let c = Arc::clone(&counter);
+            sf.emplace_subflow(move |inner| {
+                spawn(inner, depth - 1, Arc::clone(&c));
+            });
+        }
+    }
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    let counter = Arc::new(AtomicUsize::new(0));
+    let c = Arc::clone(&counter);
+    tf.emplace_subflow(move |sf| {
+        spawn(sf, 20, Arc::clone(&c));
+    });
+    tf.wait_for_all();
+    assert_eq!(counter.load(Ordering::SeqCst), 21);
+}
+
+#[test]
+fn dispatch_future_and_silent_dispatch() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    let flag = Arc::new(AtomicUsize::new(0));
+    let f1 = Arc::clone(&flag);
+    tf.emplace(move || {
+        f1.store(1, Ordering::SeqCst);
+    });
+    let future = tf.dispatch();
+    future.wait();
+    assert_eq!(flag.load(Ordering::SeqCst), 1);
+    assert!(future.is_ready());
+    assert!(future.get().is_ok());
+
+    // After dispatch the present graph is empty; a new graph can be built.
+    assert!(tf.is_empty());
+    let f2 = Arc::clone(&flag);
+    tf.emplace(move || {
+        f2.store(2, Ordering::SeqCst);
+    });
+    tf.silent_dispatch();
+    tf.wait_for_all();
+    assert_eq!(flag.load(Ordering::SeqCst), 2);
+    assert_eq!(tf.num_topologies(), 2);
+}
+
+#[test]
+fn empty_graph_wait_is_immediate() {
+    let tf = Taskflow::new();
+    tf.wait_for_all(); // must not hang
+    let future = tf.dispatch();
+    assert!(future.is_ready());
+}
+
+#[test]
+fn panic_is_reported_not_hung() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    let ran_after = Arc::new(AtomicUsize::new(0));
+    let boom = tf.emplace(|| panic!("boom in task")).name("boomer");
+    let r = Arc::clone(&ran_after);
+    let after = tf.emplace(move || {
+        r.store(1, Ordering::SeqCst);
+    });
+    boom.precede(after);
+    let err = tf.try_wait_for_all().expect_err("panic not reported");
+    assert_eq!(err.task, "boomer");
+    assert!(err.message.contains("boom in task"));
+    // The graph keeps running past the panicked task.
+    assert_eq!(ran_after.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+#[should_panic(expected = "boom")]
+fn wait_for_all_propagates_panic() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    tf.emplace(|| panic!("boom"));
+    tf.wait_for_all();
+}
+
+#[test]
+fn shared_executor_across_taskflows() {
+    // §III-E: "sharing an executor among multiple taskflow objects ...
+    // avoiding the problem of thread over-subscription".
+    let ex = Executor::new(4);
+    let counter = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let ex = Arc::clone(&ex);
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                let tf = Taskflow::with_executor(ex);
+                for _ in 0..500 {
+                    let c = Arc::clone(&counter);
+                    tf.emplace(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                tf.wait_for_all();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("taskflow thread panicked");
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 4_000);
+    assert_eq!(ex.num_workers(), 4);
+}
+
+#[test]
+fn observers_see_every_task() {
+    let ex = Executor::new(2);
+    let counter = Arc::new(BusyCounter::new());
+    ex.observe(Arc::clone(&counter) as Arc<dyn ExecutorObserver>);
+    let tracer = Arc::new(Tracer::new(2));
+    ex.observe(Arc::clone(&tracer) as Arc<dyn ExecutorObserver>);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    for i in 0..50 {
+        tf.emplace(|| {}).name(format!("t{i}"));
+    }
+    tf.wait_for_all();
+    assert_eq!(counter.executed(), 50);
+    assert_eq!(counter.busy(), 0);
+    let events = tracer.take_events();
+    assert_eq!(events.len(), 50);
+    assert!(events.iter().any(|e| e.name == "t0"));
+    ex.remove_observers();
+    let tf2 = Taskflow::with_executor(ex);
+    tf2.emplace(|| {});
+    tf2.wait_for_all();
+    assert_eq!(counter.executed(), 50, "observer fired after removal");
+}
+
+#[test]
+fn worker_stats_accumulate() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    for _ in 0..200 {
+        tf.emplace(|| {});
+    }
+    tf.wait_for_all();
+    let stats = ex.worker_stats();
+    assert_eq!(stats.len(), 2);
+    let executed: u64 = stats.iter().map(|s| s.executed).sum();
+    assert_eq!(executed, 200);
+}
+
+#[test]
+fn gc_reclaims_finished_topologies() {
+    let ex = Executor::new(2);
+    let mut tf = Taskflow::with_executor(ex);
+    for _ in 0..5 {
+        tf.emplace(|| {});
+        tf.silent_dispatch();
+    }
+    tf.wait_for_all();
+    assert_eq!(tf.num_topologies(), 5);
+    assert_eq!(tf.gc(), 5);
+    assert_eq!(tf.num_topologies(), 0);
+}
+
+#[test]
+fn placeholder_work_assigned_late() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    let flag = Arc::new(AtomicUsize::new(0));
+    let p = tf.placeholder().name("late");
+    assert!(p.is_placeholder());
+    let before = tf.emplace(|| {});
+    before.precede(p);
+    let f = Arc::clone(&flag);
+    p.work(move || {
+        f.store(7, Ordering::SeqCst);
+    });
+    assert!(!p.is_placeholder());
+    tf.wait_for_all();
+    assert_eq!(flag.load(Ordering::SeqCst), 7);
+}
+
+#[test]
+fn empty_placeholder_graphs_complete() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    let a = tf.placeholder();
+    let b = tf.placeholder();
+    let c = tf.placeholder();
+    a.precede([b, c]);
+    tf.wait_for_all(); // placeholders run as no-ops
+}
+
+#[test]
+fn million_task_graph() {
+    // "The performance scales from a single processor to multiple cores
+    // with millions of tasks" — a 1M-task fan ensemble must complete.
+    let ex = Executor::new(4);
+    let tf = Taskflow::with_executor(ex);
+    let counter = Arc::new(AtomicUsize::new(0));
+    const N: usize = 1_000_000;
+    let c0 = Arc::clone(&counter);
+    let src = tf.emplace(move || {
+        c0.fetch_add(1, Ordering::Relaxed);
+    });
+    for _ in 0..N {
+        let c = Arc::clone(&counter);
+        let t = tf.emplace(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        src.precede(t);
+    }
+    tf.wait_for_all();
+    assert_eq!(counter.load(Ordering::Relaxed), N + 1);
+}
+
+#[test]
+fn many_concurrent_topologies() {
+    let ex = Executor::new(4);
+    let tf = Taskflow::with_executor(ex);
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut futures = Vec::new();
+    for _ in 0..50 {
+        for _ in 0..20 {
+            let c = Arc::clone(&counter);
+            tf.emplace(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        futures.push(tf.dispatch());
+    }
+    for f in futures {
+        assert!(f.get().is_ok());
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 1_000);
+}

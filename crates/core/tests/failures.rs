@@ -1,0 +1,130 @@
+//! Failure-injection tests: panics in every flavour of task must be
+//! caught, attributed, and must never wedge the executor or leak a
+//! topology.
+
+use rustflow::{Executor, Taskflow};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn panic_in_dynamic_task_closure() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    tf.emplace_subflow(|_sf| panic!("dynamic boom")).name("dyn");
+    let err = tf.try_wait_for_all().expect_err("panic not reported");
+    assert_eq!(err.task, "dyn");
+    assert!(err.message.contains("dynamic boom"));
+    // Executor still fully functional afterwards.
+    let counter = Arc::new(AtomicUsize::new(0));
+    let tf2 = Taskflow::with_executor(ex);
+    let c = Arc::clone(&counter);
+    tf2.emplace(move || {
+        c.fetch_add(1, Ordering::SeqCst);
+    });
+    tf2.wait_for_all();
+    assert_eq!(counter.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn panic_in_subflow_child() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    let siblings = Arc::new(AtomicUsize::new(0));
+    let s = Arc::clone(&siblings);
+    tf.emplace_subflow(move |sf| {
+        sf.emplace(|| panic!("child boom")).name("bad_child");
+        let s = Arc::clone(&s);
+        sf.emplace(move || {
+            s.fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    let err = tf.try_wait_for_all().expect_err("panic not reported");
+    assert_eq!(err.task, "bad_child");
+    // The sibling child still ran; the topology completed.
+    assert_eq!(siblings.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn panic_before_spawn_still_spawns_nothing_but_completes() {
+    // If the dynamic closure panics before emplacing anything, the node
+    // completes as an empty subflow.
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    let after = Arc::new(AtomicUsize::new(0));
+    let parent = tf.emplace_subflow(|_sf| panic!("early"));
+    let a = Arc::clone(&after);
+    let next = tf.emplace(move || {
+        a.store(1, Ordering::SeqCst);
+    });
+    parent.precede(next);
+    assert!(tf.try_wait_for_all().is_err());
+    assert_eq!(after.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn panic_in_partially_built_subflow_runs_built_children() {
+    // Children emplaced before the panic are still spawned (the paper's
+    // C++ semantics would terminate; we keep the graph live and report).
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let r = Arc::clone(&ran);
+    tf.emplace_subflow(move |sf| {
+        let r = Arc::clone(&r);
+        sf.emplace(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        panic!("mid-build boom");
+    });
+    assert!(tf.try_wait_for_all().is_err());
+    assert_eq!(ran.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn first_panic_wins_under_many() {
+    let ex = Executor::new(1); // deterministic order on one worker
+    let tf = Taskflow::with_executor(ex);
+    let a = tf.emplace(|| panic!("first")).name("t_first");
+    let b = tf.emplace(|| panic!("second")).name("t_second");
+    a.precede(b);
+    let err = tf.try_wait_for_all().expect_err("no panic reported");
+    assert_eq!(err.task, "t_first");
+    assert!(err.message.contains("first"));
+}
+
+#[test]
+fn panics_across_multiple_topologies_are_per_topology() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    tf.emplace(|| panic!("topo1"));
+    let f1 = tf.dispatch();
+    tf.emplace(|| {});
+    let f2 = tf.dispatch();
+    assert!(f1.get().is_err());
+    assert!(f2.get().is_ok(), "clean topology polluted by another's panic");
+}
+
+#[test]
+fn executor_survives_panic_storm() {
+    let ex = Executor::new(4);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    for i in 0..500 {
+        if i % 3 == 0 {
+            tf.emplace(move || panic!("storm {i}"));
+        } else {
+            tf.emplace(|| {});
+        }
+    }
+    assert!(tf.try_wait_for_all().is_err());
+    // Everything still works.
+    let counter = Arc::new(AtomicUsize::new(0));
+    let tf2 = Taskflow::with_executor(ex);
+    for _ in 0..100 {
+        let c = Arc::clone(&counter);
+        tf2.emplace(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    tf2.wait_for_all();
+    assert_eq!(counter.load(Ordering::SeqCst), 100);
+}

@@ -1,0 +1,27 @@
+//! # tf-dnn — parallel DNN training substrate (§IV-C)
+//!
+//! The paper's machine-learning experiment: training MNIST classifiers
+//! (784×32×32×10 and 784×64×32×16×8×10) with mini-batch SGD, decomposed
+//! into the coarse-grained task pipeline of Figure 11 and executed by each
+//! tasking library. This crate provides every piece:
+//!
+//! * [`matrix`] — the dense matrix library (Eigen stand-in);
+//! * [`data`] — seeded synthetic MNIST (60K/10K-scale, 784 features, 10
+//!   classes; see DESIGN.md for the substitution argument);
+//! * [`net`] — the MLP math: forward, per-layer backward, SGD;
+//! * [`pipeline`] — the Figure-11 task DAG (shuffle / forward / per-layer
+//!   gradient / per-layer update) built as a scheduler-agnostic
+//!   [`tf_baselines::Dag`], plus the sequential oracle every scheduler is
+//!   tested to match bitwise.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod matrix;
+pub mod net;
+pub mod pipeline;
+
+pub use data::{synthetic_mnist, Dataset};
+pub use matrix::Matrix;
+pub use net::{arch_3layer, arch_5layer, Mlp};
+pub use pipeline::{build_training_dag, train_sequential, TrainSpec};

@@ -1,0 +1,417 @@
+//! The paper's coarse-grained task decomposition for parallel DNN
+//! training (Figure 11), built as a scheduler-agnostic [`Dag`].
+//!
+//! Per epoch `e` over `B` mini-batches and `L` weight layers:
+//!
+//! * `E_e_S` — shuffles the dataset into storage slot `e mod K`; runs as
+//!   soon as the slot's previous tenant was fully consumed ("spare threads
+//!   can start shuffling the data for subsequent epochs");
+//! * `F_(e,j)` — forward pass of batch `j` plus the output delta;
+//! * `G_(e,j,i)` — gradient of layer `i` (backward chain
+//!   `F → G_{L-1} → … → G_0`);
+//! * `U_(e,j,i)` — weight update of layer `i`, after `G_(e,j,i)`; runs
+//!   concurrently with deeper `G`s (the paper's layer-by-layer pipeline);
+//! * batch `j+1`'s forward waits on every `U_(e,j,i)` (SGD semantics).
+//!
+//! Task count per epoch = `1 + B·(1 + 2L)`: with `B = 600`, exactly the
+//! paper's 4,201 (3-layer) and 6,601 (5-layer) tasks per epoch.
+//!
+//! Because the same `Dag` runs under rustflow, the TBB-style flow graph,
+//! the OpenMP-style levelized executor, or sequentially, and because
+//! every scheduler respects the same edges, all four produce **bitwise
+//! identical** weights — which the tests assert against a plain
+//! sequential SGD loop.
+
+use crate::data::Dataset;
+use crate::matrix::Matrix;
+use crate::net::{activate_inplace, backward_layer_math, output_delta, LayerGrad, Mlp};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tf_baselines::Dag;
+
+/// Training hyper-parameters (paper defaults: batch 100, lr 0.001).
+#[derive(Debug, Clone, Copy)]
+pub struct TrainSpec {
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Number of shuffle storage slots ("twice the number of threads",
+    /// capped by the harness for memory).
+    pub storages: usize,
+    /// Base seed for the per-epoch shuffles.
+    pub seed: u64,
+}
+
+impl TrainSpec {
+    /// The paper's hyper-parameters with a given epoch count.
+    pub fn paper(epochs: usize) -> TrainSpec {
+        TrainSpec {
+            epochs,
+            batch: 100,
+            lr: 0.001,
+            storages: 4,
+            seed: 0xD11A,
+        }
+    }
+
+    /// The deterministic shuffle seed of one epoch (shared by every
+    /// decomposition so results match bitwise).
+    pub fn shuffle_seed(&self, epoch: usize) -> u64 {
+        self.seed ^ ((epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Shared mutable state of one pipelined training run. Every buffer is
+/// written by exactly one task at a time (the DAG edges guarantee it);
+/// the mutexes are uncontended and exist to keep the payloads safe Rust.
+pub struct PipelineState {
+    weights: Vec<Mutex<Matrix>>,
+    biases: Vec<Mutex<Vec<f32>>>,
+    /// Activations of the batch currently in flight (one batch at a time).
+    acts: Mutex<Vec<Matrix>>,
+    /// Labels of the batch currently in flight.
+    labels: Mutex<Vec<u8>>,
+    /// The delta flowing backward through the current batch.
+    delta: Mutex<Matrix>,
+    /// Per-layer gradients of the current batch.
+    grads: Vec<Mutex<Option<LayerGrad>>>,
+    /// Shuffle storage slots.
+    storages: Vec<Mutex<Option<Dataset>>>,
+    /// Per-batch losses in execution order.
+    losses: Mutex<Vec<f64>>,
+    lr: f32,
+    num_layers: usize,
+}
+
+impl PipelineState {
+    fn new(net: &Mlp, spec: &TrainSpec) -> Arc<PipelineState> {
+        Arc::new(PipelineState {
+            weights: net.weights.iter().cloned().map(Mutex::new).collect(),
+            biases: net.biases.iter().cloned().map(Mutex::new).collect(),
+            acts: Mutex::new(Vec::new()),
+            labels: Mutex::new(Vec::new()),
+            delta: Mutex::new(Matrix::zeros(0, 0)),
+            grads: (0..net.num_layers()).map(|_| Mutex::new(None)).collect(),
+            storages: (0..spec.storages.max(1)).map(|_| Mutex::new(None)).collect(),
+            losses: Mutex::new(Vec::new()),
+            lr: spec.lr,
+            num_layers: net.num_layers(),
+        })
+    }
+
+    /// Extracts the trained network (call after the DAG completed).
+    pub fn to_mlp(&self, sizes: &[usize]) -> Mlp {
+        Mlp {
+            sizes: sizes.to_vec(),
+            weights: self.weights.iter().map(|w| w.lock().clone()).collect(),
+            biases: self.biases.iter().map(|b| b.lock().clone()).collect(),
+        }
+    }
+
+    /// Losses recorded per batch, in training order.
+    pub fn losses(&self) -> Vec<f64> {
+        self.losses.lock().clone()
+    }
+}
+
+/// Builds the Figure-11 training DAG. Returns the DAG and the shared
+/// state to extract results from after execution.
+pub fn build_training_dag(
+    net: &Mlp,
+    dataset: Arc<Dataset>,
+    spec: TrainSpec,
+) -> (Dag, Arc<PipelineState>) {
+    let state = PipelineState::new(net, &spec);
+    let l = net.num_layers();
+    let n = dataset.len();
+    let b = spec.batch.max(1);
+    let num_batches = n / b;
+    assert!(num_batches > 0, "dataset smaller than one batch");
+    let k = state.storages.len();
+
+    let mut dag = Dag::with_capacity(spec.epochs * (1 + num_batches * (1 + 2 * l)));
+    // Last forward task of each epoch (for storage-slot reuse edges).
+    let mut last_forward_of_epoch: Vec<usize> = Vec::new();
+    // The update tasks of the previous batch (next forward waits on them).
+    let mut prev_updates: Vec<usize> = Vec::new();
+
+    for e in 0..spec.epochs {
+        let slot = e % k;
+        // E_e_S: shuffle into the slot.
+        let shuffle = {
+            let state = Arc::clone(&state);
+            let dataset = Arc::clone(&dataset);
+            let seed = spec.shuffle_seed(e);
+            dag.add(move || {
+                *state.storages[slot].lock() = Some(dataset.shuffled(seed));
+            })
+        };
+        // Slot reuse: wait until epoch e-k fully consumed it.
+        if e >= k {
+            dag.edge(last_forward_of_epoch[e - k], shuffle);
+        }
+
+        for j in 0..num_batches {
+            // F_(e,j): forward + output delta.
+            let forward = {
+                let state = Arc::clone(&state);
+                let lo = j * b;
+                let hi = lo + b;
+                dag.add(move || {
+                    let (images, batch_labels) = {
+                        let guard = state.storages[slot].lock();
+                        let ds = guard.as_ref().expect("shuffle storage empty");
+                        let (images, labels) = ds.batch(lo, hi);
+                        (images, labels.to_vec())
+                    };
+                    let mut acts = Vec::with_capacity(state.num_layers + 1);
+                    acts.push(images);
+                    for i in 0..state.num_layers {
+                        let mut z = {
+                            let w = state.weights[i].lock();
+                            acts[i].matmul_bt(&w)
+                        };
+                        z.add_row_vector(&state.biases[i].lock());
+                        activate_inplace(&mut z, i + 1 == state.num_layers);
+                        acts.push(z);
+                    }
+                    let (delta, loss) =
+                        output_delta(acts.last().expect("nonempty"), &batch_labels);
+                    *state.delta.lock() = delta;
+                    *state.acts.lock() = acts;
+                    *state.labels.lock() = batch_labels;
+                    state.losses.lock().push(loss);
+                })
+            };
+            dag.edge(shuffle, forward);
+            for &u in &prev_updates {
+                dag.edge(u, forward);
+            }
+            prev_updates.clear();
+
+            // Backward chain G_(e,j,L-1) → … → G_(e,j,0), each feeding its
+            // update task U_(e,j,i).
+            let mut prev_g = forward;
+            for i in (0..l).rev() {
+                let grad_task = {
+                    let state = Arc::clone(&state);
+                    dag.add(move || {
+                        let delta = state.delta.lock().clone();
+                        let a_prev = state.acts.lock()[i].clone();
+                        let (grad, dprev) = if i > 0 {
+                            let w = state.weights[i].lock();
+                            backward_layer_math(Some(&w), &delta, &a_prev)
+                        } else {
+                            backward_layer_math(None, &delta, &a_prev)
+                        };
+                        *state.grads[i].lock() = Some(grad);
+                        if let Some(d) = dprev {
+                            *state.delta.lock() = d;
+                        }
+                    })
+                };
+                dag.edge(prev_g, grad_task);
+                let update_task = {
+                    let state = Arc::clone(&state);
+                    let lr = state.lr;
+                    dag.add(move || {
+                        let grad = state.grads[i]
+                            .lock()
+                            .take()
+                            .expect("gradient missing for update");
+                        state.weights[i].lock().add_scaled(&grad.dw, -lr);
+                        let mut bias = state.biases[i].lock();
+                        for (bv, &g) in bias.iter_mut().zip(&grad.db) {
+                            *bv -= lr * g;
+                        }
+                    })
+                };
+                dag.edge(grad_task, update_task);
+                prev_updates.push(update_task);
+                prev_g = grad_task;
+            }
+
+            if j + 1 == num_batches {
+                last_forward_of_epoch.push(forward);
+            }
+        }
+    }
+    (dag, state)
+}
+
+/// Plain sequential SGD with the same shuffle schedule — the oracle the
+/// pipelined decompositions must match bit for bit, and the Table III
+/// sequential baseline.
+pub fn train_sequential(net: &mut Mlp, dataset: &Dataset, spec: TrainSpec) -> Vec<f64> {
+    let b = spec.batch.max(1);
+    let num_batches = dataset.len() / b;
+    let mut losses = Vec::with_capacity(spec.epochs * num_batches);
+    for e in 0..spec.epochs {
+        let shuffled = dataset.shuffled(spec.shuffle_seed(e));
+        for j in 0..num_batches {
+            let (images, labels) = shuffled.batch(j * b, (j + 1) * b);
+            losses.push(net.train_batch(&images, labels, spec.lr));
+        }
+    }
+    losses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synthetic_mnist;
+    use crate::net::arch_3layer;
+    use rustflow::Executor;
+    use tf_baselines::Pool;
+
+    fn small_spec(epochs: usize) -> TrainSpec {
+        TrainSpec {
+            epochs,
+            batch: 50,
+            lr: 0.01,
+            storages: 2,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn task_count_matches_paper_formula() {
+        let data = Arc::new(synthetic_mnist(600, 1));
+        let net = Mlp::new(&arch_3layer(), 1);
+        let spec = TrainSpec {
+            epochs: 2,
+            batch: 100,
+            lr: 0.001,
+            storages: 2,
+            seed: 1,
+        };
+        let (dag, _state) = build_training_dag(&net, data, spec);
+        // Per epoch: 1 shuffle + 6 batches * (1 F + 3 G + 3 U) = 43.
+        assert_eq!(dag.len(), 2 * (1 + 6 * 7));
+    }
+
+    #[test]
+    fn pipelined_sequential_dag_matches_plain_sgd() {
+        let data = synthetic_mnist(200, 2);
+        let spec = small_spec(3);
+        let arch = [784, 12, 10];
+
+        let mut oracle = Mlp::new(&arch, 7);
+        let oracle_losses = train_sequential(&mut oracle, &data, spec);
+
+        let net = Mlp::new(&arch, 7);
+        let (dag, state) = build_training_dag(&net, Arc::new(data), spec);
+        dag.run_sequential();
+        let trained = state.to_mlp(&arch);
+
+        assert_eq!(state.losses(), oracle_losses);
+        for (w1, w2) in trained.weights.iter().zip(&oracle.weights) {
+            assert_eq!(w1, w2, "weights diverged");
+        }
+        for (b1, b2) in trained.biases.iter().zip(&oracle.biases) {
+            assert_eq!(b1, b2, "biases diverged");
+        }
+    }
+
+    #[test]
+    fn all_schedulers_produce_identical_weights() {
+        let data = synthetic_mnist(150, 3);
+        let spec = small_spec(2);
+        let arch = [784, 10, 10];
+
+        let mut oracle = Mlp::new(&arch, 11);
+        train_sequential(&mut oracle, &data, spec);
+        let data = Arc::new(data);
+
+        // rustflow
+        let net = Mlp::new(&arch, 11);
+        let (dag, state) = build_training_dag(&net, Arc::clone(&data), spec);
+        let ex = Executor::new(4);
+        tf_workloads_run_rustflow(&dag, &ex);
+        let rf = state.to_mlp(&arch);
+
+        // flow graph
+        let net = Mlp::new(&arch, 11);
+        let (dag, state) = build_training_dag(&net, Arc::clone(&data), spec);
+        let pool = Pool::new(4);
+        let (graph, sources) = tf_baselines::FlowGraphBuilder::from_dag(&dag);
+        for s in sources {
+            graph.try_put(s, &pool);
+        }
+        graph.wait_for_all();
+        let fg = state.to_mlp(&arch);
+
+        // levelized
+        let net = Mlp::new(&arch, 11);
+        let (dag, state) = build_training_dag(&net, Arc::clone(&data), spec);
+        let pool = Pool::new(4);
+        tf_baselines::run_levelized(&dag, &pool, 0);
+        let lv = state.to_mlp(&arch);
+
+        for trained in [&rf, &fg, &lv] {
+            for (w1, w2) in trained.weights.iter().zip(&oracle.weights) {
+                assert_eq!(w1, w2, "scheduler diverged from SGD oracle");
+            }
+        }
+    }
+
+    /// Minimal local copy of the rustflow adapter (tf-workloads depends on
+    /// this crate's siblings, not vice versa).
+    fn tf_workloads_run_rustflow(dag: &Dag, ex: &Arc<Executor>) {
+        let tf = rustflow::Taskflow::with_executor(Arc::clone(ex));
+        let tasks: Vec<rustflow::Task<'_>> = (0..dag.len())
+            .map(|v| {
+                let payload = dag.payload_of(v);
+                tf.emplace(move || payload())
+            })
+            .collect();
+        for v in 0..dag.len() {
+            for &s in dag.successors_of(v) {
+                tasks[v].precede(tasks[s as usize]);
+            }
+        }
+        tf.wait_for_all();
+    }
+
+    #[test]
+    fn pipelined_training_learns() {
+        let data = synthetic_mnist(400, 5);
+        let spec = TrainSpec {
+            epochs: 10,
+            batch: 50,
+            lr: 0.05,
+            storages: 2,
+            seed: 123,
+        };
+        let arch = [784, 16, 10];
+        let net = Mlp::new(&arch, 21);
+        let (images, labels) = data.batch(0, 400);
+        let before = net.accuracy(&images, labels);
+        let (dag, state) = build_training_dag(&net, Arc::new(data.clone()), spec);
+        let ex = Executor::new(2);
+        tf_workloads_run_rustflow(&dag, &ex);
+        let after = state.to_mlp(&arch).accuracy(&images, labels);
+        assert!(after > before.max(0.5), "no learning: {before} -> {after}");
+    }
+
+    #[test]
+    fn storage_slots_are_reused() {
+        // More epochs than slots forces the reuse edges to exist.
+        let data = Arc::new(synthetic_mnist(100, 8));
+        let spec = TrainSpec {
+            epochs: 5,
+            batch: 50,
+            lr: 0.01,
+            storages: 2,
+            seed: 5,
+        };
+        let net = Mlp::new(&[784, 8, 10], 9);
+        let (dag, state) = build_training_dag(&net, data, spec);
+        dag.run_sequential();
+        // 5 epochs * 2 batches = 10 losses recorded.
+        assert_eq!(state.losses().len(), 10);
+    }
+}

@@ -1,0 +1,271 @@
+//! Cyclomatic complexity — the Lizard equivalent used for Tables I, II
+//! and III of the paper.
+//!
+//! Lizard computes McCabe complexity per function as `1 + decision
+//! points`. For Rust we count: `if`, `else if` (counted by its `if`),
+//! `while`, `for`, `loop`, each `match` arm beyond the first, `&&`, `||`,
+//! and the `?` operator. Functions are located by `fn` items and delimited
+//! by brace matching on comment/string-stripped source.
+
+use crate::strip::strip_source;
+
+/// Complexity of one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionComplexity {
+    /// Function name (best effort).
+    pub name: String,
+    /// McCabe cyclomatic complexity (≥ 1).
+    pub complexity: usize,
+    /// 1-based line where the function starts.
+    pub line: usize,
+}
+
+/// Per-file complexity summary.
+#[derive(Debug, Clone, Default)]
+pub struct ComplexityReport {
+    /// Every function found.
+    pub functions: Vec<FunctionComplexity>,
+}
+
+impl ComplexityReport {
+    /// Maximum single-function complexity (the paper's Table II "MCC"),
+    /// 0 when no functions exist.
+    pub fn max(&self) -> usize {
+        self.functions.iter().map(|f| f.complexity).max().unwrap_or(0)
+    }
+
+    /// Total complexity across functions (the per-implementation "CC" of
+    /// Tables I and III).
+    pub fn total(&self) -> usize {
+        self.functions.iter().map(|f| f.complexity).sum()
+    }
+
+    /// Number of functions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: ComplexityReport) {
+        self.functions.extend(other.functions);
+    }
+}
+
+/// Analyzes one Rust source string.
+pub fn analyze(src: &str) -> ComplexityReport {
+    let stripped = strip_source(src);
+    let mut report = ComplexityReport::default();
+    let bytes = stripped.as_bytes();
+    let mut i = 0;
+    while let Some(fn_pos) = find_fn(&stripped, i) {
+        let name = fn_name(&stripped, fn_pos);
+        let line = stripped[..fn_pos].matches('\n').count() + 1;
+        // Find the opening brace of the body (skip the signature; `;`
+        // before `{` means a trait method declaration without a body).
+        let mut j = fn_pos;
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let close = match_brace(bytes, open);
+        let body = &stripped[open..close];
+        report.functions.push(FunctionComplexity {
+            name,
+            complexity: 1 + decision_points(body),
+            line,
+        });
+        // Continue after the opening brace so nested `fn` items (closures
+        // aside, Rust allows nested fns) are found too.
+        i = open + 1;
+    }
+    report
+}
+
+/// Finds the next `fn` keyword at a token boundary.
+fn find_fn(s: &str, from: usize) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = from;
+    while let Some(pos) = s[i..].find("fn") {
+        let at = i + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let after_ok = at + 2 >= bytes.len() || !is_ident_char(bytes[at + 2]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        i = at + 2;
+    }
+    None
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn fn_name(s: &str, fn_pos: usize) -> String {
+    s[fn_pos + 2..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// Index one past the matching `}` for the `{` at `open`.
+fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Counts decision points in stripped source.
+fn decision_points(body: &str) -> usize {
+    let mut count = 0;
+    // Keyword decisions.
+    for kw in ["if", "while", "for", "loop"] {
+        count += keyword_occurrences(body, kw);
+    }
+    // Match arms: each `=>` is an arm; arms beyond the first in a match
+    // add a path. Counting every `=>` and subtracting the number of
+    // `match` keywords approximates "arms - 1" per match.
+    let arms = body.matches("=>").count();
+    let matches_kw = keyword_occurrences(body, "match");
+    count += arms.saturating_sub(matches_kw);
+    // Short-circuit operators.
+    count += body.matches("&&").count();
+    count += body.matches("||").count();
+    // The ? operator: question marks in stripped code (strings removed)
+    // that are not generics `?Sized`.
+    count += body
+        .as_bytes()
+        .iter()
+        .enumerate()
+        .filter(|&(i, &b)| {
+            b == b'?'
+                && body.as_bytes().get(i + 1).map_or(true, |&n| {
+                    !n.is_ascii_alphabetic() // excludes ?Sized
+                })
+        })
+        .count();
+    count
+}
+
+fn keyword_occurrences(s: &str, kw: &str) -> usize {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    let mut count = 0;
+    while let Some(pos) = s[i..].find(kw) {
+        let at = i + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let after = at + kw.len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
+        // Exclude `else if`? No: Lizard counts `else if` as a decision.
+        // Exclude `if let` double counting? `if let` is one decision: the
+        // `if` matches once, fine.
+        if before_ok && after_ok {
+            count += 1;
+        }
+        i = at + kw.len();
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_function_is_one() {
+        let r = analyze("fn f() { let x = 1; let y = x + 2; }");
+        assert_eq!(r.num_functions(), 1);
+        assert_eq!(r.functions[0].complexity, 1);
+        assert_eq!(r.functions[0].name, "f");
+    }
+
+    #[test]
+    fn branches_add_up() {
+        let src = r#"
+fn g(a: i32) -> i32 {
+    if a > 0 && a < 10 {
+        for i in 0..a { let _ = i; }
+        a
+    } else if a < -5 {
+        while a < 0 { break; }
+        -a
+    } else {
+        0
+    }
+}
+"#;
+        let r = analyze(src);
+        // if (1) + && (1) + for (1) + else-if's if (1) + while (1) = 5 → CC 6
+        assert_eq!(r.functions[0].complexity, 6);
+    }
+
+    #[test]
+    fn match_arms_counted() {
+        let src = "fn h(x: u8) -> u8 { match x { 0 => 1, 1 => 2, _ => 3 } }";
+        let r = analyze(src);
+        // 3 arms - 1 match = 2 decisions → CC 3
+        assert_eq!(r.functions[0].complexity, 3);
+    }
+
+    #[test]
+    fn multiple_functions_and_max_total() {
+        let src = "fn a() { if true {} }\nfn b() {}\n";
+        let r = analyze(src);
+        assert_eq!(r.num_functions(), 2);
+        assert_eq!(r.max(), 2);
+        assert_eq!(r.total(), 3);
+    }
+
+    #[test]
+    fn comments_and_strings_ignored() {
+        let src = r#"
+fn c() {
+    // if while for && ||
+    let s = "if || &&";
+    let _ = s;
+}
+"#;
+        let r = analyze(src);
+        assert_eq!(r.functions[0].complexity, 1);
+    }
+
+    #[test]
+    fn question_operator_counts() {
+        let src = "fn d() -> Option<u8> { let x = Some(1)?; Some(x) }";
+        let r = analyze(src);
+        assert_eq!(r.functions[0].complexity, 2);
+    }
+
+    #[test]
+    fn trait_method_without_body_skipped() {
+        let src = "trait T { fn sig(&self); fn with_body(&self) { if true {} } }";
+        let r = analyze(src);
+        assert_eq!(r.num_functions(), 1);
+        assert_eq!(r.functions[0].name, "with_body");
+    }
+}

@@ -1,0 +1,27 @@
+//! # tf-metrics — software-cost measurement (SLOCCount / Lizard / COCOMO)
+//!
+//! The paper quantifies programmability with three tools: SLOCCount
+//! (physical LOC and COCOMO cost estimation), Lizard (cyclomatic
+//! complexity), and wall-clock development time. This crate reimplements
+//! the first two for Rust sources with the same definitions, so the
+//! Table I / II / III harnesses can measure *our* implementations the way
+//! the paper measured theirs:
+//!
+//! * [`loc`] — physical SLOC (non-blank, non-comment lines);
+//! * [`cyclomatic`] — McCabe complexity per function (`1 +` decisions);
+//! * [`cocomo`] — SLOCCount's organic-mode COCOMO (verified to reproduce
+//!   the paper's Table II Effort/Dev/Cost numbers from its LOC counts);
+//! * [`report`] — per-implementation rollups.
+
+#![warn(missing_docs)]
+
+pub mod cocomo;
+pub mod cyclomatic;
+pub mod loc;
+pub mod report;
+mod strip;
+
+pub use cocomo::{estimate, estimate_paper, CocomoEstimate};
+pub use cyclomatic::{analyze, ComplexityReport, FunctionComplexity};
+pub use loc::{count_sloc, count_sloc_many};
+pub use report::SoftwareCost;

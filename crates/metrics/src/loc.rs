@@ -1,0 +1,53 @@
+//! Physical source-lines-of-code counting — the SLOCCount equivalent used
+//! for Tables I, II and III of the paper.
+//!
+//! SLOCCount counts *physical SLOC*: lines that contain at least one
+//! non-whitespace character after comments are removed. We apply the same
+//! definition to Rust via the crate's comment/string-aware stripper.
+
+use crate::strip::strip_source;
+
+/// Counts physical SLOC in one source string.
+pub fn count_sloc(src: &str) -> usize {
+    strip_source(src)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
+}
+
+/// Counts raw lines (including blanks/comments), for reporting context.
+pub fn count_raw_lines(src: &str) -> usize {
+    src.lines().count()
+}
+
+/// SLOC across several sources.
+pub fn count_sloc_many<'a>(sources: impl IntoIterator<Item = &'a str>) -> usize {
+    sources.into_iter().map(count_sloc).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_and_comment_lines_excluded() {
+        let src = "\n// comment only\nlet x = 1;\n\n/* block\n   spanning */\nlet y = 2;\n";
+        assert_eq!(count_sloc(src), 2);
+        assert_eq!(count_raw_lines(src), 7);
+    }
+
+    #[test]
+    fn code_with_trailing_comment_counts() {
+        assert_eq!(count_sloc("let x = 1; // note\n"), 1);
+    }
+
+    #[test]
+    fn empty_source() {
+        assert_eq!(count_sloc(""), 0);
+    }
+
+    #[test]
+    fn many_sums() {
+        assert_eq!(count_sloc_many(["let a = 1;", "let b = 2;\nlet c = 3;"]), 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Whole-implementation software-cost reports (one row of Table I/II/III).
+
+use crate::cocomo::{estimate_paper, CocomoEstimate};
+use crate::cyclomatic::{analyze, ComplexityReport};
+use crate::loc::count_sloc;
+use std::path::{Path, PathBuf};
+
+/// Software-cost measurements of one implementation (a set of sources).
+#[derive(Debug, Clone)]
+pub struct SoftwareCost {
+    /// Label (e.g. "rustflow", "OpenMP-style").
+    pub label: String,
+    /// Physical source lines of code (SLOCCount definition).
+    pub sloc: usize,
+    /// Per-function cyclomatic complexities.
+    pub complexity: ComplexityReport,
+}
+
+impl SoftwareCost {
+    /// Measures a set of in-memory sources.
+    pub fn measure<'a>(label: impl Into<String>, sources: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut sloc = 0;
+        let mut complexity = ComplexityReport::default();
+        for src in sources {
+            sloc += count_sloc(src);
+            complexity.merge(analyze(src));
+        }
+        SoftwareCost {
+            label: label.into(),
+            sloc,
+            complexity,
+        }
+    }
+
+    /// Measures files on disk (panics on unreadable files — the harness
+    /// points this at sources in the repository).
+    pub fn measure_files(
+        label: impl Into<String>,
+        paths: impl IntoIterator<Item = PathBuf>,
+    ) -> Self {
+        let sources: Vec<String> = paths
+            .into_iter()
+            .map(|p| {
+                std::fs::read_to_string(&p)
+                    .unwrap_or_else(|e| panic!("cannot read {}: {e}", p.display()))
+            })
+            .collect();
+        Self::measure(label, sources.iter().map(|s| s.as_str()))
+    }
+
+    /// Recursively measures all `.rs` files under `dir`.
+    pub fn measure_dir(label: impl Into<String>, dir: &Path) -> Self {
+        let mut files = Vec::new();
+        collect_rs_files(dir, &mut files);
+        files.sort();
+        Self::measure_files(label, files)
+    }
+
+    /// Total cyclomatic complexity (Tables I and III's "CC").
+    pub fn cc_total(&self) -> usize {
+        self.complexity.total()
+    }
+
+    /// Maximum single-function complexity (Table II's "MCC").
+    pub fn cc_max(&self) -> usize {
+        self.complexity.max()
+    }
+
+    /// COCOMO organic estimate with the paper's parameters.
+    pub fn cocomo(&self) -> CocomoEstimate {
+        estimate_paper(self.sloc)
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_sums_across_sources() {
+        let a = "fn one() { if true {} }\n";
+        let b = "fn two() {}\nfn three() { while false {} }\n";
+        let cost = SoftwareCost::measure("demo", [a, b]);
+        assert_eq!(cost.label, "demo");
+        assert_eq!(cost.sloc, 3);
+        assert_eq!(cost.complexity.num_functions(), 3);
+        assert_eq!(cost.cc_total(), 2 + 1 + 2); // 1+1, 1, 1+1
+        assert_eq!(cost.cc_max(), 2);
+    }
+
+    #[test]
+    fn cocomo_attached() {
+        let cost = SoftwareCost::measure("demo", ["fn f() {}"]);
+        assert_eq!(cost.cocomo().sloc, 1);
+    }
+
+    #[test]
+    fn measure_dir_reads_this_crate() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        let cost = SoftwareCost::measure_dir("self", &dir);
+        assert!(cost.sloc > 100, "sloc = {}", cost.sloc);
+        assert!(cost.complexity.num_functions() > 10);
+    }
+}

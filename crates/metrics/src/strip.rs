@@ -1,0 +1,264 @@
+//! Comment/string-aware scanning of Rust source.
+//!
+//! Both the LOC counter (SLOCCount equivalent) and the cyclomatic
+//! complexity analyzer (Lizard equivalent) need source text with comments
+//! removed and string contents neutralized, so that `// if x` or
+//! `"while"` never count as code or decisions. This module performs that
+//! normalization with a small state machine handling Rust's line comments,
+//! nested block comments, char/string literals, and raw strings.
+
+/// Scanner state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment { depth: u32 },
+    Str,
+    RawStr { hashes: u32 },
+    Char,
+}
+
+/// Replaces comments with spaces and string/char literal *contents* with
+/// spaces (keeping the quotes), preserving line structure exactly.
+pub fn strip_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match b {
+                b'/' if next == Some(b'/') => {
+                    state = State::LineComment;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'/' if next == Some(b'*') => {
+                    state = State::BlockComment { depth: 1 };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'"' => {
+                    state = State::Str;
+                    out.push(b'"');
+                    i += 1;
+                }
+                b'r' if matches!(next, Some(b'"') | Some(b'#')) && is_raw_string_start(bytes, i)
+                => {
+                    let hashes = count_hashes(bytes, i + 1);
+                    state = State::RawStr { hashes };
+                    out.push(b'"');
+                    for _ in 0..(1 + hashes as usize + 1 - 1) {
+                        out.push(b' ');
+                    }
+                    i += 1 + hashes as usize + 1; // r + hashes + quote
+                }
+                b'\'' => {
+                    // Distinguish lifetimes ('a) from char literals ('a').
+                    if is_char_literal(bytes, i) {
+                        state = State::Char;
+                        out.push(b'\'');
+                        i += 1;
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(b);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            State::BlockComment { depth } => {
+                if b == b'/' && next == Some(b'*') {
+                    state = State::BlockComment { depth: depth + 1 };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'*' && next == Some(b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment { depth: depth - 1 }
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && next.is_some() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Code;
+                    out.push(b'"');
+                    i += 1;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    state = State::Code;
+                    out.push(b'"');
+                    for _ in 0..hashes {
+                        out.push(b' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if b == b'\\' && next.is_some() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'\'' {
+                    state = State::Code;
+                    out.push(b'\'');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    String::from_utf8(out).expect("strip preserves UTF-8 line structure for ASCII control bytes")
+}
+
+fn count_hashes(bytes: &[u8], mut i: usize) -> u32 {
+    let mut h = 0;
+    while i < bytes.len() && bytes[i] == b'#' {
+        h += 1;
+        i += 1;
+    }
+    h
+}
+
+/// `r` at position i starts a raw string iff it is followed by `#*"`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Avoid matching identifiers ending in r (e.g. `var"` is not valid
+    // anyway) — require a non-identifier char before.
+    if i > 0 {
+        let p = bytes[i - 1];
+        if p.is_ascii_alphanumeric() || p == b'_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    let mut j = i + 1;
+    let mut h = 0;
+    while j < bytes.len() && bytes[j] == b'#' && h < hashes {
+        j += 1;
+        h += 1;
+    }
+    h == hashes
+}
+
+/// `'` starts a char literal (vs a lifetime) if the closing quote appears
+/// within a few bytes: `'x'`, `'\n'`, `'\u{1F600}'`.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    let n = bytes.len();
+    if i + 2 < n && bytes[i + 1] == b'\\' {
+        return true; // escaped char literal
+    }
+    if i + 2 < n && bytes[i + 2] == b'\'' {
+        return true; // 'x'
+    }
+    // Multi-byte UTF-8 char literal: find a quote before any separator.
+    let mut j = i + 1;
+    let mut len = 0;
+    while j < n && len < 6 {
+        if bytes[j] == b'\'' {
+            return len > 0;
+        }
+        if bytes[j] == b' ' || bytes[j] == b'\n' || bytes[j] == b'>' || bytes[j] == b',' {
+            return false;
+        }
+        j += 1;
+        len += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments() {
+        let s = strip_source("let x = 1; // if while\nlet y = 2;");
+        assert!(!s.contains("if"));
+        assert!(s.contains("let y = 2;"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let s = strip_source("a /* outer /* inner */ still */ b");
+        assert!(s.contains('a'));
+        assert!(s.contains('b'));
+        assert!(!s.contains("inner"));
+        assert!(!s.contains("still"));
+    }
+
+    #[test]
+    fn neutralizes_strings_keeping_quotes() {
+        let s = strip_source(r#"let s = "if x { while }";"#);
+        assert!(!s.contains("if"));
+        assert!(!s.contains("while"));
+        assert!(s.contains("\""));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"has \"quotes\" and // if\"#; let t = 5;";
+        let s = strip_source(src);
+        assert!(!s.contains("if"));
+        assert!(s.contains("let t = 5;"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_stripped() {
+        let s = strip_source("fn f<'a>(x: &'a str) { let c = 'y'; }");
+        assert!(s.contains("<'a>"));
+        assert!(s.contains("&'a str"));
+        assert!(!s.contains('y'));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let s = strip_source(r#"let s = "a\"b if"; let k = 1;"#);
+        assert!(!s.contains("if"));
+        assert!(s.contains("let k = 1;"));
+    }
+
+    #[test]
+    fn preserves_line_count() {
+        let src = "a\n/* x\ny\nz */\nb\n";
+        assert_eq!(strip_source(src).lines().count(), src.lines().count());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests of the software-cost analyzers: the invariants a
+//! SLOCCount/Lizard equivalent must satisfy on arbitrary inputs.
+
+use proptest::prelude::*;
+use tf_metrics::{analyze, count_sloc, estimate_paper};
+
+/// Generates a small synthetic Rust function with a known decision count.
+fn gen_function(name: &str, ifs: usize, whiles: usize, ands: usize) -> String {
+    let mut body = String::new();
+    for i in 0..ifs {
+        body.push_str(&format!("    if x > {i} {{ y += 1; }}\n"));
+    }
+    for _ in 0..whiles {
+        body.push_str("    while y > 100 { y -= 1; }\n");
+    }
+    for _ in 0..ands {
+        body.push_str("    let _ = x > 1 && y > 2;\n");
+    }
+    format!("fn {name}(x: i64, mut y: i64) -> i64 {{\n{body}    y\n}}\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn comment_lines_never_count(ifs in 0usize..5, comments in 0usize..10) {
+        let base = gen_function("f", ifs, 0, 0);
+        let base_sloc = count_sloc(&base);
+        let mut commented = String::new();
+        for line in base.lines() {
+            commented.push_str(line);
+            commented.push('\n');
+            for c in 0..comments {
+                commented.push_str(&format!("// filler comment {c} with if while && tokens\n"));
+            }
+        }
+        prop_assert_eq!(count_sloc(&commented), base_sloc);
+    }
+
+    #[test]
+    fn blank_lines_never_count(blanks in 0usize..20) {
+        let base = gen_function("g", 2, 1, 0);
+        let padded = base.replace('\n', &format!("\n{}", "\n".repeat(blanks)));
+        prop_assert_eq!(count_sloc(&padded), count_sloc(&base));
+    }
+
+    #[test]
+    fn complexity_counts_decisions_exactly(ifs in 0usize..6, whiles in 0usize..4, ands in 0usize..4) {
+        let src = gen_function("h", ifs, whiles, ands);
+        let report = analyze(&src);
+        prop_assert_eq!(report.num_functions(), 1);
+        // each `while y > 100 { y -= 1; }` has no extra decisions; each
+        // `&&` line adds exactly one.
+        prop_assert_eq!(report.functions[0].complexity, 1 + ifs + whiles + ands);
+    }
+
+    #[test]
+    fn string_contents_never_add_decisions(junk in "[a-z if while&|]{0,40}") {
+        let src = format!("fn k() {{ let _s = \"{junk}\"; }}\n");
+        let report = analyze(&src);
+        prop_assert_eq!(report.functions[0].complexity, 1);
+    }
+
+    #[test]
+    fn cocomo_is_monotonic(a in 0usize..200_000, b in 0usize..200_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let e_lo = estimate_paper(lo);
+        let e_hi = estimate_paper(hi);
+        prop_assert!(e_lo.effort_person_months <= e_hi.effort_person_months);
+        prop_assert!(e_lo.cost_dollars <= e_hi.cost_dollars);
+        prop_assert!(e_lo.schedule_months <= e_hi.schedule_months);
+    }
+
+    #[test]
+    fn sloc_of_concatenation_is_sum(n1 in 0usize..8, n2 in 0usize..8) {
+        let a = gen_function("a", n1, 0, 0);
+        let b = gen_function("b", n2, 0, 0);
+        prop_assert_eq!(
+            count_sloc(&format!("{a}{b}")),
+            count_sloc(&a) + count_sloc(&b)
+        );
+    }
+
+    #[test]
+    fn multiple_functions_found(n in 1usize..10) {
+        let src: String = (0..n).map(|i| gen_function(&format!("f{i}"), 1, 0, 0)).collect();
+        let report = analyze(&src);
+        prop_assert_eq!(report.num_functions(), n);
+        prop_assert_eq!(report.total(), n * 2);
+        prop_assert_eq!(report.max(), 2);
+    }
+}

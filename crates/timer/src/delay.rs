@@ -1,0 +1,340 @@
+//! Cell delay model: a compact NLDM-style (slew, load)-linear library.
+//!
+//! Real NanGate-45nm NLDM tables (what the paper's experiments use) are
+//! 2-D lookup tables in input slew × output load. A first-order fit of
+//! those tables is linear in both coordinates, which is what we implement:
+//!
+//! ```text
+//! delay(cell)  = (intrinsic + k_slew · slew_in + k_load · load) / drive
+//! slew_out     = (slew_base + s_load · load) / drive
+//! input_cap    = cap_base · drive
+//! load(driver) = Σ fanout input_cap + wire_cap
+//! ```
+//!
+//! Resizing a gate (the incremental-timing design modifier) changes
+//! `drive`, which simultaneously speeds the cell up and increases the
+//! load on its fanins — exactly the local/global ripple the paper's
+//! Figure 9 fluctuation comes from. All times in picoseconds, capacitance
+//! in femtofarads.
+
+use crate::circuit::{Circuit, GateId, GateKind};
+
+/// Per-kind delay coefficients.
+#[derive(Debug, Clone, Copy)]
+pub struct CellParams {
+    /// Intrinsic delay at zero load and zero slew (ps).
+    pub intrinsic: f64,
+    /// Delay sensitivity to input slew (ps/ps).
+    pub k_slew: f64,
+    /// Delay sensitivity to output load (ps/fF).
+    pub k_load: f64,
+    /// Output slew at zero load (ps).
+    pub slew_base: f64,
+    /// Output slew sensitivity to load (ps/fF).
+    pub s_load: f64,
+    /// Input capacitance at drive 1.0 (fF).
+    pub cap_base: f64,
+}
+
+/// Looks up the library parameters of a cell kind.
+pub fn cell_params(kind: GateKind) -> CellParams {
+    // Values loosely patterned after NanGate 45nm typical corner.
+    match kind {
+        GateKind::Input => CellParams {
+            intrinsic: 0.0,
+            k_slew: 0.0,
+            k_load: 2.0,
+            slew_base: 5.0,
+            s_load: 1.0,
+            cap_base: 0.0,
+        },
+        GateKind::Output => CellParams {
+            intrinsic: 0.0,
+            k_slew: 0.0,
+            k_load: 0.0,
+            slew_base: 0.0,
+            s_load: 0.0,
+            cap_base: 2.0,
+        },
+        GateKind::Inv => CellParams {
+            intrinsic: 6.0,
+            k_slew: 0.10,
+            k_load: 3.0,
+            slew_base: 4.0,
+            s_load: 1.5,
+            cap_base: 1.6,
+        },
+        GateKind::Buf => CellParams {
+            intrinsic: 12.0,
+            k_slew: 0.08,
+            k_load: 2.5,
+            slew_base: 4.5,
+            s_load: 1.2,
+            cap_base: 1.8,
+        },
+        GateKind::Nand2 => CellParams {
+            intrinsic: 9.0,
+            k_slew: 0.12,
+            k_load: 3.4,
+            slew_base: 5.0,
+            s_load: 1.7,
+            cap_base: 1.7,
+        },
+        GateKind::Nor2 => CellParams {
+            intrinsic: 11.0,
+            k_slew: 0.14,
+            k_load: 3.8,
+            slew_base: 5.5,
+            s_load: 1.9,
+            cap_base: 1.9,
+        },
+        GateKind::And2 => CellParams {
+            intrinsic: 14.0,
+            k_slew: 0.11,
+            k_load: 3.0,
+            slew_base: 5.0,
+            s_load: 1.5,
+            cap_base: 1.7,
+        },
+        GateKind::Or2 => CellParams {
+            intrinsic: 15.0,
+            k_slew: 0.12,
+            k_load: 3.2,
+            slew_base: 5.2,
+            s_load: 1.6,
+            cap_base: 1.8,
+        },
+        GateKind::Xor2 => CellParams {
+            intrinsic: 20.0,
+            k_slew: 0.15,
+            k_load: 4.0,
+            slew_base: 6.0,
+            s_load: 2.0,
+            cap_base: 2.4,
+        },
+        GateKind::Dff => CellParams {
+            // intrinsic here is the clock-to-Q delay.
+            intrinsic: 35.0,
+            k_slew: 0.0,
+            k_load: 3.0,
+            slew_base: 6.0,
+            s_load: 1.5,
+            cap_base: 1.5,
+        },
+    }
+}
+
+/// Setup time a DFF's D input must meet before the capturing edge (ps).
+pub const DFF_SETUP: f64 = 15.0;
+
+/// Per-fanout wire capacitance (fF) — a simple fanout-count wire model.
+pub const WIRE_CAP_PER_FANOUT: f64 = 0.8;
+
+/// Driver slew assumed at primary inputs (ps).
+pub const PRIMARY_INPUT_SLEW: f64 = 10.0;
+
+/// Output load seen by gate `g`: fanout input caps plus wire cap.
+pub fn output_load(circuit: &Circuit, g: GateId) -> f64 {
+    let gate = &circuit.gates[g as usize];
+    let mut load = gate.fanouts.len() as f64 * WIRE_CAP_PER_FANOUT;
+    for &f in &gate.fanouts {
+        let fg = &circuit.gates[f as usize];
+        load += cell_params(fg.kind).cap_base * fg.drive as f64;
+    }
+    load
+}
+
+// ---------------------------------------------------------------------------
+// NLDM lookup tables
+// ---------------------------------------------------------------------------
+
+/// Table resolution (NanGate NLDM templates are 7×7; 7 keeps the lookup
+/// cost realistic).
+const AXIS: usize = 7;
+
+/// A (input slew × output load) lookup table pair for one cell kind —
+/// the non-linear delay model real liberty files carry.
+#[derive(Debug, Clone)]
+pub struct NldmTable {
+    slew_axis: [f64; AXIS],
+    load_axis: [f64; AXIS],
+    delay: [[f64; AXIS]; AXIS],
+    slew: [[f64; AXIS]; AXIS],
+}
+
+impl NldmTable {
+    /// Synthesizes a table from the first-order cell coefficients, adding
+    /// the slew×load cross term real tables exhibit.
+    fn from_params(p: &CellParams) -> NldmTable {
+        let slew_axis = [1.0, 3.0, 8.0, 20.0, 50.0, 130.0, 320.0];
+        let load_axis = [0.25, 1.0, 3.0, 8.0, 20.0, 50.0, 128.0];
+        let mut delay = [[0.0; AXIS]; AXIS];
+        let mut slew = [[0.0; AXIS]; AXIS];
+        for (i, &s) in slew_axis.iter().enumerate() {
+            for (j, &l) in load_axis.iter().enumerate() {
+                let cross = 0.002 * p.k_load * l * s; // mild nonlinearity
+                delay[i][j] = p.intrinsic + p.k_slew * s + p.k_load * l + cross;
+                slew[i][j] = p.slew_base + p.s_load * l + 0.2 * s;
+            }
+        }
+        NldmTable {
+            slew_axis,
+            load_axis,
+            delay,
+            slew,
+        }
+    }
+
+    /// Bilinear interpolation with clamped extrapolation, exactly what an
+    /// STA engine does per arc per update.
+    fn lookup(&self, table: &[[f64; AXIS]; AXIS], slew_in: f64, load: f64) -> f64 {
+        let (i, ts) = axis_locate(&self.slew_axis, slew_in);
+        let (j, tl) = axis_locate(&self.load_axis, load);
+        let d00 = table[i][j];
+        let d01 = table[i][j + 1];
+        let d10 = table[i + 1][j];
+        let d11 = table[i + 1][j + 1];
+        d00 * (1.0 - ts) * (1.0 - tl) + d01 * (1.0 - ts) * tl + d10 * ts * (1.0 - tl)
+            + d11 * ts * tl
+    }
+}
+
+/// Finds the interpolation cell and fraction on one axis (clamped).
+fn axis_locate(axis: &[f64; AXIS], x: f64) -> (usize, f64) {
+    if x <= axis[0] {
+        return (0, 0.0);
+    }
+    if x >= axis[AXIS - 1] {
+        return (AXIS - 2, 1.0);
+    }
+    let mut i = 0;
+    while axis[i + 1] < x {
+        i += 1;
+    }
+    (i, (x - axis[i]) / (axis[i + 1] - axis[i]))
+}
+
+/// The library: one table per cell kind, built once.
+fn nldm_library() -> &'static [NldmTable] {
+    use std::sync::OnceLock;
+    static LIB: OnceLock<Vec<NldmTable>> = OnceLock::new();
+    LIB.get_or_init(|| {
+        ALL_KINDS
+            .iter()
+            .map(|&k| NldmTable::from_params(&cell_params(k)))
+            .collect()
+    })
+}
+
+const ALL_KINDS: [GateKind; 10] = [
+    GateKind::Input,
+    GateKind::Output,
+    GateKind::Inv,
+    GateKind::Buf,
+    GateKind::Nand2,
+    GateKind::Nor2,
+    GateKind::And2,
+    GateKind::Or2,
+    GateKind::Xor2,
+    GateKind::Dff,
+];
+
+fn kind_index(kind: GateKind) -> usize {
+    match kind {
+        GateKind::Input => 0,
+        GateKind::Output => 1,
+        GateKind::Inv => 2,
+        GateKind::Buf => 3,
+        GateKind::Nand2 => 4,
+        GateKind::Nor2 => 5,
+        GateKind::And2 => 6,
+        GateKind::Or2 => 7,
+        GateKind::Xor2 => 8,
+        GateKind::Dff => 9,
+    }
+}
+
+/// The NLDM table of a cell kind.
+pub fn nldm_table(kind: GateKind) -> &'static NldmTable {
+    &nldm_library()[kind_index(kind)]
+}
+
+/// Propagation delay through gate `g` given its worst input slew
+/// (NLDM bilinear lookup, scaled by drive strength).
+pub fn gate_delay(circuit: &Circuit, g: GateId, slew_in: f64) -> f64 {
+    let gate = &circuit.gates[g as usize];
+    let table = nldm_table(gate.kind);
+    let load = output_load(circuit, g);
+    table.lookup(&table.delay, slew_in, load) / gate.drive as f64
+}
+
+/// Output slew of gate `g` (NLDM bilinear lookup, scaled by drive).
+pub fn gate_slew(circuit: &Circuit, g: GateId, slew_in: f64) -> f64 {
+    let gate = &circuit.gates[g as usize];
+    let table = nldm_table(gate.kind);
+    let load = output_load(circuit, g);
+    // The slew table embeds the input-slew carry-through; dividing the
+    // load-dependent part by drive models a stronger output stage.
+    let raw = table.lookup(&table.slew, slew_in, load);
+    (raw - 0.2 * slew_in) / gate.drive as f64 + 0.2 * slew_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv_chain() -> Circuit {
+        let mut c = Circuit::new(1000.0);
+        let a = c.add_gate(GateKind::Input, 1.0);
+        let b = c.add_gate(GateKind::Inv, 1.0);
+        let d = c.add_gate(GateKind::Output, 1.0);
+        c.connect(a, b);
+        c.connect(b, d);
+        c
+    }
+
+    #[test]
+    fn load_counts_fanout_caps_and_wire() {
+        let c = inv_chain();
+        // Input drives one Inv: cap 1.6 + wire 0.8.
+        let load = output_load(&c, 0);
+        assert!((load - 2.4).abs() < 1e-9, "load = {load}");
+    }
+
+    #[test]
+    fn bigger_drive_is_faster_but_heavier() {
+        let mut c = inv_chain();
+        let d1 = gate_delay(&c, 1, 10.0);
+        let load_before = output_load(&c, 0);
+        c.gates[1].drive = 2.0;
+        let d2 = gate_delay(&c, 1, 10.0);
+        let load_after = output_load(&c, 0);
+        assert!(d2 < d1, "{d2} !< {d1}");
+        assert!(load_after > load_before);
+    }
+
+    #[test]
+    fn slew_degrades_delay() {
+        let c = inv_chain();
+        assert!(gate_delay(&c, 1, 50.0) > gate_delay(&c, 1, 5.0));
+    }
+
+    #[test]
+    fn slew_propagates_partially() {
+        let c = inv_chain();
+        let s1 = gate_slew(&c, 1, 0.0);
+        let s2 = gate_slew(&c, 1, 100.0);
+        assert!(s2 > s1);
+        assert!(s2 - s1 < 100.0); // damped, not amplified
+    }
+
+    #[test]
+    fn every_kind_has_params() {
+        for kind in GateKind::COMBINATIONAL {
+            let p = cell_params(kind);
+            assert!(p.intrinsic > 0.0);
+            assert!(p.cap_base > 0.0);
+        }
+        assert!(cell_params(GateKind::Dff).intrinsic > 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! OpenTimer v1: the levelized (OpenMP-style) timing engine.
+//!
+//! This file, together with the barrier pool it runs on
+//! (`tf_baselines::pool`), is the v1 row of Table II: the scheduling
+//! machinery a levelized analyzer must implement and maintain itself —
+//! per-update level reconstruction and barrier-synchronized level loops.
+
+use crate::analysis::TimerInner;
+use crate::circuit::GateId;
+use std::sync::Arc;
+use tf_baselines::Pool;
+
+/// OpenTimer-v1-style: levelize the region, then one barrier-synchronized
+/// parallel loop per level. The levelization happens on every call — the
+/// reconstruction cost the paper attributes to the OpenMP approach.
+pub(crate) fn run_levelized(inner: &TimerInner, region: &[GateId], epoch: u32, pool: &Pool) {
+    // Kahn levelization of the region.
+    let degree = inner.region_in_degrees(region, epoch);
+    let mut remaining = degree.clone();
+    let mut frontier: Vec<usize> = (0..region.len()).filter(|&i| degree[i] == 0).collect();
+    let mut levels: Vec<Vec<GateId>> = Vec::new();
+    let mut processed = 0;
+    while !frontier.is_empty() {
+        levels.push(frontier.iter().map(|&i| region[i]).collect());
+        let mut next = Vec::new();
+        for &i in &frontier {
+            processed += 1;
+            let g = region[i];
+            for &f in &inner.circuit.gates[g as usize].fanouts {
+                if inner.circuit.gates[f as usize].kind.is_source() {
+                    continue;
+                }
+                if inner.is_stamped(f, epoch) {
+                    let j = inner.region_index(f);
+                    remaining[j] -= 1;
+                    if remaining[j] == 0 {
+                        next.push(j);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    assert_eq!(processed, region.len(), "region levelization incomplete");
+    // Execute levels with barriers.
+    for lvl in levels {
+        if lvl.len() == 1 {
+            inner.compute_gate(lvl[0]);
+            continue;
+        }
+        let gates = Arc::new(lvl);
+        let chunk = (gates.len() / (4 * pool.num_workers())).max(1);
+        // SAFETY-free sharing: TimerInner is reached through a raw pointer
+        // wrapped in a Send+Sync newtype because the pool requires 'static
+        // jobs while `inner` is borrowed. The pool's parallel_for blocks
+        // until all iterations finish, so the borrow outlives every job.
+        let shared = SharedTimer(inner as *const TimerInner);
+        pool.parallel_for(
+            gates.len(),
+            chunk,
+            Arc::new(move |i| {
+                // SAFETY: parallel_for blocks until all iterations finish.
+                let timer = unsafe { shared.get() };
+                timer.compute_gate(gates[i]);
+            }),
+        );
+    }
+}
+
+
+/// A raw `TimerInner` pointer that promises its referent outlives the
+/// blocking parallel call it is used in.
+#[derive(Clone, Copy)]
+pub(crate) struct SharedTimer(pub(crate) *const TimerInner);
+unsafe impl Send for SharedTimer {}
+unsafe impl Sync for SharedTimer {}
+
+impl SharedTimer {
+    /// # Safety
+    /// The referent must still be alive — guaranteed because the call
+    /// sites block until every job using the pointer has finished.
+    pub(crate) unsafe fn get(&self) -> &TimerInner {
+        &*self.0
+    }
+}
+
+/// Executes one backward level (all gates mutually independent in the
+/// reverse graph) with the barrier pool — the v1 engine's required-time
+/// pass.
+pub(crate) fn run_level_backward(inner: &TimerInner, level: &[GateId], pool: &Pool) {
+    if level.len() == 1 {
+        inner.compute_required(level[0]);
+        return;
+    }
+    let gates = Arc::new(level.to_vec());
+    let chunk = (gates.len() / (4 * pool.num_workers())).max(1);
+    let shared = SharedTimer(inner as *const TimerInner);
+    pool.parallel_for(
+        gates.len(),
+        chunk,
+        Arc::new(move |i| {
+            // SAFETY: parallel_for blocks until all iterations finish.
+            let timer = unsafe { shared.get() };
+            timer.compute_required(gates[i]);
+        }),
+    );
+}

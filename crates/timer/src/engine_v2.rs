@@ -1,0 +1,81 @@
+//! OpenTimer v2: the rustflow (Cpp-Taskflow-style) timing engine.
+//!
+//! The v2 row of Table II. Note how little there is: one task per region
+//! gate, one `precede` per in-region edge, `wait_for_all` — the tasking
+//! library absorbs all scheduling concerns that v1 had to hand-build
+//! ("a large amount of exhaustive OpenMP dependency clauses ... are now
+//! replaced with only a few lines of flexible Cpp-Taskflow code").
+
+use crate::analysis::TimerInner;
+use crate::circuit::GateId;
+use crate::engine_v1::SharedTimer;
+use rustflow::{Executor, Taskflow};
+use std::sync::Arc;
+
+pub(crate) fn add_region_edges(
+    inner: &TimerInner,
+    region: &[GateId],
+    epoch: u32,
+    tasks: &[rustflow::Task<'_>],
+) {
+    for (i, &g) in region.iter().enumerate() {
+        for &f in &inner.circuit.gates[g as usize].fanouts {
+            if inner.circuit.gates[f as usize].kind.is_source() {
+                continue;
+            }
+            if inner.is_stamped(f, epoch) {
+                tasks[i].precede(tasks[inner.region_index(f)]);
+            }
+        }
+    }
+}
+
+/// Cpp-Taskflow-style: build a task dependency graph over the region and
+/// dispatch it. Construction is part of the measured work, matching the
+/// paper ("the time to create and launch a new task dependency graph").
+pub(crate) fn run_rustflow(inner: &TimerInner, region: &[GateId], epoch: u32, executor: &Arc<Executor>) {
+    let tf = Taskflow::with_executor(Arc::clone(executor));
+    let shared = SharedTimer(inner as *const TimerInner);
+    let tasks: Vec<rustflow::Task<'_>> = region
+        .iter()
+        .map(|&g| {
+            let shared = shared;
+            tf.emplace(move || {
+                // SAFETY: wait_for_all below keeps `inner` borrowed until
+                // every task completed.
+                let timer = unsafe { shared.get() };
+                timer.compute_gate(g);
+            })
+        })
+        .collect();
+    add_region_edges(inner, region, epoch, &tasks);
+    tf.wait_for_all();
+}
+
+
+/// The v2 required-time pass: one task per gate, edges reversed (a gate
+/// waits for all its non-cut fanouts), dispatched as a rustflow graph.
+pub(crate) fn run_required_rustflow(inner: &TimerInner, executor: &Arc<Executor>) {
+    let n = inner.circuit.num_gates();
+    let tf = Taskflow::with_executor(Arc::clone(executor));
+    let shared = SharedTimer(inner as *const TimerInner);
+    let tasks: Vec<rustflow::Task<'_>> = (0..n as GateId)
+        .map(|g| {
+            tf.emplace(move || {
+                // SAFETY: wait_for_all below outlives every task.
+                let timer = unsafe { shared.get() };
+                timer.compute_required(g);
+            })
+        })
+        .collect();
+    for g in 0..n {
+        for &f in &inner.circuit.gates[g].fanouts {
+            if inner.circuit.gates[f as usize].kind.is_source() {
+                continue; // cut edge, as in the forward timing graph
+            }
+            // Reverse dependency: fanout's required before ours.
+            tasks[f as usize].precede(tasks[g]);
+        }
+    }
+    tf.wait_for_all();
+}

@@ -1,0 +1,31 @@
+//! # tf-timer — an OpenTimer-like VLSI static timing analyzer (§II, §IV-B)
+//!
+//! The paper's motivating application and its largest experiment: a static
+//! timing analyzer whose incremental core was rewritten from OpenMP
+//! levelization (v1) to Cpp-Taskflow task graphs (v2). This crate rebuilds
+//! that system end to end:
+//!
+//! * [`circuit`] — gate-level netlists with sequential (DFF) cut points;
+//! * [`delay`] — an NLDM-style (slew, load)-linear cell library;
+//! * [`analysis`] — arrival/slew propagation, slack, critical paths, and
+//!   affected-region discovery for incremental timing;
+//! * [`engine`] — the three engines Figures 9 and 10 compare:
+//!   sequential, v1 (levelize + barrier-per-level, the OpenMP discipline),
+//!   and v2 (rustflow task dependency graphs);
+//! * [`generate`] — seeded synthetic designs at the paper's benchmark
+//!   scales (tv80, vga_lcd, netcard, leon3mp) plus the random design
+//!   modifiers that drive the incremental-timing experiments.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod circuit;
+pub mod delay;
+pub mod engine;
+pub mod engine_v1;
+pub mod engine_v2;
+pub mod generate;
+
+pub use circuit::{Circuit, Gate, GateId, GateKind};
+pub use engine::{Engine, Timer};
+pub use generate::{CircuitSpec, DesignModifier};

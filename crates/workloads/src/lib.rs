@@ -1,0 +1,25 @@
+//! # tf-workloads — micro-benchmark workload generators (§IV-A)
+//!
+//! The paper's two micro-benchmarks as reusable, seeded workload builders:
+//!
+//! * [`wavefront`] — the regular compute pattern (2D block wavefront,
+//!   Figure 6): each block precedes one block to the right and one below;
+//! * [`randdag`] — the irregular compute pattern (random graph traversal
+//!   with the paper's ≤4 in/out-degree bound).
+//!
+//! [`run`] executes one built workload under each of the paper's four
+//! execution models (rustflow / TBB-style flow graph / OpenMP-style
+//! levelized / sequential) so the Figure 7 and Table I harnesses compare
+//! identical task graphs.
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod randdag;
+pub mod run;
+pub mod shapes;
+pub mod wavefront;
+
+pub use kernels::{nominal_work, Sink};
+pub use randdag::RandDagSpec;
+pub use wavefront::WavefrontSpec;

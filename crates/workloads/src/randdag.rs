@@ -1,0 +1,147 @@
+//! The graph-traversal micro-benchmark (§IV-A, Figure 7 right).
+//!
+//! "The graph traversal benchmark reads in a randomly generated graph and
+//! casts it to a task dependency graph that performs a parallel traversal.
+//! ... we limit each node to have at most four input and output edges.
+//! ... The resulting task dependency graph represents an irregular compute
+//! pattern." (The degree bound exists in the paper because the OpenMP code
+//! must enumerate every in/out-degree combination; we keep it so the
+//! workload is the same.)
+
+use crate::kernels::{nominal_work, Sink};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tf_baselines::Dag;
+
+/// Maximum in- and out-degree, matching the paper's OpenMP constraint.
+pub const MAX_DEGREE: usize = 4;
+
+/// Parameters of a random-DAG traversal workload.
+#[derive(Debug, Clone, Copy)]
+pub struct RandDagSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// RNG seed (workloads are reproducible across schedulers).
+    pub seed: u64,
+    /// Spin iterations of the nominal per-node kernel.
+    pub work_iters: u32,
+}
+
+impl RandDagSpec {
+    /// A random DAG of `nodes` tasks with the default kernel and seed.
+    pub fn new(nodes: usize) -> Self {
+        RandDagSpec {
+            nodes,
+            seed: 0x5EED,
+            work_iters: 40,
+        }
+    }
+}
+
+/// Edge structure of a generated DAG (shared by the builder and tests).
+///
+/// Node ids are issued in topological order (edges only go from lower to
+/// higher ids), which is how random task DAG generators keep acyclicity.
+pub fn generate_edges(spec: RandDagSpec) -> Vec<(u32, u32)> {
+    let n = spec.nodes;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut out_degree = vec![0u8; n];
+    let mut in_degree = vec![0u8; n];
+    let mut edges = Vec::with_capacity(n * 2);
+    // Candidate predecessors come from a sliding window so the graph has
+    // local, circuit-like structure rather than uniformly long edges.
+    const WINDOW: usize = 64;
+    for v in 1..n {
+        let lo = v.saturating_sub(WINDOW);
+        let wanted = rng.gen_range(0..=2.min(v - lo)); // 0..=2 incoming tries
+        for _ in 0..wanted {
+            if in_degree[v] as usize >= MAX_DEGREE {
+                break;
+            }
+            let u = rng.gen_range(lo..v);
+            if out_degree[u] as usize >= MAX_DEGREE {
+                continue;
+            }
+            out_degree[u] += 1;
+            in_degree[v] += 1;
+            edges.push((u as u32, v as u32));
+        }
+    }
+    edges
+}
+
+/// Builds the traversal task DAG with kernel payloads folding into a
+/// checksum [`Sink`].
+pub fn build(spec: RandDagSpec) -> (Dag, Arc<Sink>) {
+    let sink = Arc::new(Sink::new());
+    let mut dag = Dag::with_capacity(spec.nodes);
+    for v in 0..spec.nodes {
+        let sink = Arc::clone(&sink);
+        let seed = v as u64 + 1;
+        let iters = spec.work_iters;
+        dag.add(move || {
+            sink.consume(nominal_work(seed, iters));
+        });
+    }
+    for (u, v) in generate_edges(spec) {
+        dag.edge(u as usize, v as usize);
+    }
+    (dag, sink)
+}
+
+/// The order-independent checksum the sink converges to.
+pub fn expected_checksum(spec: RandDagSpec) -> u64 {
+    let mut acc = 0u64;
+    for v in 0..spec.nodes {
+        acc ^= nominal_work(v as u64 + 1, spec.work_iters);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = RandDagSpec::new(2000);
+        assert_eq!(generate_edges(spec), generate_edges(spec));
+        let mut spec2 = spec;
+        spec2.seed += 1;
+        assert_ne!(generate_edges(spec), generate_edges(spec2));
+    }
+
+    #[test]
+    fn degree_bounds_hold() {
+        let spec = RandDagSpec::new(5000);
+        let (dag, _) = build(spec);
+        for v in 0..dag.len() {
+            assert!(dag.successors_of(v).len() <= MAX_DEGREE);
+            assert!(dag.in_degree_of(v) as usize <= MAX_DEGREE);
+        }
+    }
+
+    #[test]
+    fn graph_is_acyclic() {
+        let spec = RandDagSpec::new(3000);
+        let (dag, _) = build(spec);
+        assert!(dag.topological_order().is_some());
+    }
+
+    #[test]
+    fn sequential_run_matches_checksum() {
+        let spec = RandDagSpec::new(1000);
+        let (dag, sink) = build(spec);
+        dag.run_sequential();
+        assert_eq!(sink.value(), expected_checksum(spec));
+    }
+
+    #[test]
+    fn edges_are_forward_only() {
+        let spec = RandDagSpec::new(4000);
+        for (u, v) in generate_edges(spec) {
+            assert!(u < v);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Scheduler adapters: execute one scheduler-agnostic [`Dag`] under each
+//! of the paper's four execution models.
+//!
+//! Per §IV-A, "our measure includes library ramp-up time, construction and
+//! execution of the task dependency graph, and clean-up time" — so each
+//! `run_*` function performs graph construction for its model from the
+//! shared `Dag` description, executes, and tears down its per-run state.
+//! Pools/executors (the "library ramp-up") are passed in so callers can
+//! choose whether to include their creation in the timed region.
+
+use rustflow::{Executor, Taskflow};
+use std::sync::Arc;
+use tf_baselines::{flowgraph::FlowGraphBuilder, levelized, Dag, Pool};
+
+/// Executes `dag` on rustflow: builds a [`Taskflow`] (one task per node,
+/// one `precede` per edge) and blocks until completion.
+pub fn run_rustflow(dag: &Dag, executor: &Arc<Executor>) {
+    let tf = Taskflow::with_executor(Arc::clone(executor));
+    let tasks: Vec<rustflow::Task<'_>> = (0..dag.len())
+        .map(|v| {
+            let payload = dag.payload_of(v);
+            tf.emplace(move || payload())
+        })
+        .collect();
+    for v in 0..dag.len() {
+        for &s in dag.successors_of(v) {
+            tasks[v].precede(tasks[s as usize]);
+        }
+    }
+    tf.wait_for_all();
+}
+
+/// Executes `dag` on the TBB-FlowGraph-style baseline: builds the node /
+/// edge structure, `try_put`s every source, and waits.
+pub fn run_flowgraph(dag: &Dag, pool: &Pool) {
+    let (graph, sources) = FlowGraphBuilder::from_dag(dag);
+    for s in sources {
+        graph.try_put(s, pool);
+    }
+    graph.wait_for_all();
+}
+
+/// Executes `dag` on the OpenMP-style levelized baseline: levelizes (the
+/// per-run data-structure reconstruction OpenTimer v1 pays), then runs
+/// level by level with barriers.
+pub fn run_levelized(dag: &Dag, pool: &Pool) {
+    levelized::run_levelized(dag, pool, 0);
+}
+
+/// Executes `dag` sequentially on the calling thread.
+pub fn run_sequential(dag: &Dag) {
+    dag.run_sequential();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wavefront::{self, WavefrontSpec};
+
+    #[test]
+    fn all_schedulers_agree_on_wavefront() {
+        let spec = WavefrontSpec::new(8);
+        let expected = wavefront::expected_checksum(spec);
+
+        let (dag, sink) = wavefront::build(spec);
+        run_sequential(&dag);
+        assert_eq!(sink.value(), expected);
+
+        let (dag, sink) = wavefront::build(spec);
+        let ex = Executor::new(4);
+        run_rustflow(&dag, &ex);
+        assert_eq!(sink.value(), expected);
+
+        let (dag, sink) = wavefront::build(spec);
+        let pool = Pool::new(4);
+        run_flowgraph(&dag, &pool);
+        assert_eq!(sink.value(), expected);
+
+        let (dag, sink) = wavefront::build(spec);
+        let pool = Pool::new(4);
+        run_levelized(&dag, &pool);
+        assert_eq!(sink.value(), expected);
+    }
+
+    #[test]
+    fn all_schedulers_agree_on_randdag() {
+        use crate::randdag::{self, RandDagSpec};
+        let spec = RandDagSpec::new(2500);
+        let expected = randdag::expected_checksum(spec);
+
+        let (dag, sink) = randdag::build(spec);
+        run_sequential(&dag);
+        assert_eq!(sink.value(), expected);
+
+        let (dag, sink) = randdag::build(spec);
+        let ex = Executor::new(4);
+        run_rustflow(&dag, &ex);
+        assert_eq!(sink.value(), expected);
+
+        let (dag, sink) = randdag::build(spec);
+        let pool = Pool::new(4);
+        run_flowgraph(&dag, &pool);
+        assert_eq!(sink.value(), expected);
+
+        let (dag, sink) = randdag::build(spec);
+        let pool = Pool::new(4);
+        run_levelized(&dag, &pool);
+        assert_eq!(sink.value(), expected);
+    }
+}

@@ -1,0 +1,100 @@
+//! Canonical task-graph shapes used by the scheduling micro-benches:
+//! linear chains (stress the cache-slot path), wide fans (stress wake-ups
+//! and stealing), and binary reduction trees (stress join counters).
+
+use tf_baselines::Dag;
+
+/// A linear chain of `n` no-op tasks.
+pub fn chain(n: usize) -> Dag {
+    let mut dag = Dag::with_capacity(n);
+    let mut prev = None;
+    for _ in 0..n {
+        let v = dag.add(|| {});
+        if let Some(p) = prev {
+            dag.edge(p, v);
+        }
+        prev = Some(v);
+    }
+    dag
+}
+
+/// One source fanning out to `n` no-op tasks.
+pub fn fan(n: usize) -> Dag {
+    let mut dag = Dag::with_capacity(n + 1);
+    let src = dag.add(|| {});
+    for _ in 0..n {
+        let v = dag.add(|| {});
+        dag.edge(src, v);
+    }
+    dag
+}
+
+/// A complete binary in-tree reducing `leaves` leaves to one root.
+pub fn tree(leaves: usize) -> Dag {
+    let mut dag = Dag::new();
+    let mut frontier: Vec<usize> = (0..leaves.max(1)).map(|_| dag.add(|| {})).collect();
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len() / 2 + 1);
+        for pair in frontier.chunks(2) {
+            if pair.len() == 2 {
+                let parent = dag.add(|| {});
+                dag.edge(pair[0], parent);
+                dag.edge(pair[1], parent);
+                next.push(parent);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        frontier = next;
+    }
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let dag = chain(10);
+        assert_eq!(dag.len(), 10);
+        assert_eq!(dag.num_edges(), 9);
+        let levels = dag.levelize().unwrap();
+        assert_eq!(levels.len(), 10);
+    }
+
+    #[test]
+    fn fan_shape() {
+        let dag = fan(16);
+        assert_eq!(dag.len(), 17);
+        assert_eq!(dag.num_edges(), 16);
+        assert_eq!(dag.successors_of(0).len(), 16);
+    }
+
+    #[test]
+    fn tree_shape_counts() {
+        // A complete binary in-tree over 2^k leaves has 2^(k+1)-1 nodes.
+        let dag = tree(16);
+        assert_eq!(dag.len(), 31);
+        assert_eq!(dag.num_edges(), 30);
+        assert!(dag.topological_order().is_some());
+    }
+
+    #[test]
+    fn tree_odd_leaves() {
+        let dag = tree(7);
+        assert!(dag.topological_order().is_some());
+        // Exactly one sink (the root).
+        let sinks = (0..dag.len())
+            .filter(|&v| dag.successors_of(v).is_empty())
+            .count();
+        assert_eq!(sinks, 1);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(chain(1).len(), 1);
+        assert_eq!(fan(0).len(), 1);
+        assert_eq!(tree(1).len(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! The wavefront computing micro-benchmark (§IV-A, Figure 6).
+//!
+//! "A 2D matrix is partitioned into a set of identical square blocks. Each
+//! block is mapped to a task that performs a nominal operation with
+//! constant time complexity. The wavefront propagates task dependencies
+//! monotonically from the top-left block to the bottom-right block. Each
+//! task precedes one task to the right and another below." Blocks on the
+//! same anti-diagonal are mutually independent; the dependency graph is
+//! perfectly regular.
+
+use crate::kernels::{nominal_work, Sink};
+use std::sync::Arc;
+use tf_baselines::Dag;
+
+/// Parameters of a wavefront workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WavefrontSpec {
+    /// Blocks per side: the DAG has `dim * dim` tasks.
+    pub dim: usize,
+    /// Spin iterations of the nominal per-block kernel.
+    pub work_iters: u32,
+}
+
+impl WavefrontSpec {
+    /// A wavefront with `dim * dim` blocks and the default nominal kernel.
+    pub fn new(dim: usize) -> Self {
+        WavefrontSpec {
+            dim,
+            work_iters: 40,
+        }
+    }
+
+    /// Total number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.dim * self.dim
+    }
+}
+
+/// Builds the wavefront task DAG. Every task folds its kernel result into
+/// the returned [`Sink`], which also serves as a correctness checksum:
+/// the expected value is independent of execution order.
+pub fn build(spec: WavefrontSpec) -> (Dag, Arc<Sink>) {
+    let n = spec.dim;
+    let sink = Arc::new(Sink::new());
+    let mut dag = Dag::with_capacity(n * n);
+    for r in 0..n {
+        for c in 0..n {
+            let sink = Arc::clone(&sink);
+            let seed = (r * n + c) as u64 + 1;
+            let iters = spec.work_iters;
+            dag.add(move || {
+                sink.consume(nominal_work(seed, iters));
+            });
+        }
+    }
+    // Each block precedes its right and lower neighbours.
+    for r in 0..n {
+        for c in 0..n {
+            let id = r * n + c;
+            if c + 1 < n {
+                dag.edge(id, id + 1);
+            }
+            if r + 1 < n {
+                dag.edge(id, id + n);
+            }
+        }
+    }
+    (dag, sink)
+}
+
+/// The order-independent checksum `build`'s sink converges to.
+pub fn expected_checksum(spec: WavefrontSpec) -> u64 {
+    let mut acc = 0u64;
+    for id in 0..spec.num_tasks() {
+        acc ^= nominal_work(id as u64 + 1, spec.work_iters);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_regular() {
+        let spec = WavefrontSpec::new(4);
+        let (dag, _sink) = build(spec);
+        assert_eq!(dag.len(), 16);
+        // Edges: 2*n*(n-1) for an n x n wavefront.
+        assert_eq!(dag.num_edges(), 2 * 4 * 3);
+        // Corner cases: top-left has out-degree 2 / in-degree 0;
+        // bottom-right has out-degree 0 / in-degree 2.
+        assert_eq!(dag.successors_of(0).len(), 2);
+        assert_eq!(dag.in_degree_of(0), 0);
+        assert_eq!(dag.successors_of(15).len(), 0);
+        assert_eq!(dag.in_degree_of(15), 2);
+    }
+
+    #[test]
+    fn levels_are_antidiagonals() {
+        let spec = WavefrontSpec::new(5);
+        let (dag, _sink) = build(spec);
+        let levels = dag.levelize().unwrap();
+        assert_eq!(levels.len(), 9); // 2*dim - 1 anti-diagonals
+        let sizes: Vec<usize> = levels.iter().map(|l| l.len()).collect();
+        assert_eq!(sizes, vec![1, 2, 3, 4, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn sequential_run_matches_checksum() {
+        let spec = WavefrontSpec::new(6);
+        let (dag, sink) = build(spec);
+        dag.run_sequential();
+        assert_eq!(sink.value(), expected_checksum(spec));
+    }
+}

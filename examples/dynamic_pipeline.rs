@@ -1,0 +1,70 @@
+//! Dynamic tasking (§III-D): subflows spawned at runtime, joined and
+//! detached, plus nesting — the paper's Figure 4 and Figure 5.
+//!
+//! ```text
+//! cargo run --release --example dynamic_pipeline
+//! ```
+
+use rustflow::{Executor, Taskflow};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    let executor = Executor::new(4);
+    let tf = Taskflow::with_executor(Arc::clone(&executor));
+    tf.set_name("dynamic");
+    let progress = Arc::new(AtomicUsize::new(0));
+
+    // Figure 4: static tasks A, C, D and a dynamic task B that spawns
+    // B1, B2, B3 at runtime; the subflow joins B, so D observes it.
+    let (a, c, d) = rustflow::emplace!(
+        tf,
+        || println!("A"),
+        || println!("C"),
+        || println!("D (runs after the whole subflow of B)"),
+    );
+    let p = Arc::clone(&progress);
+    let b = tf.emplace_subflow(move |sf| {
+        println!("B (spawning B1, B2, B3)");
+        let p1 = Arc::clone(&p);
+        let p3 = Arc::clone(&p);
+        let b1 = sf.emplace(move || {
+            p1.fetch_add(1, Ordering::SeqCst);
+            println!("  B1");
+        });
+        let b2 = sf.emplace(|| println!("  B2"));
+        let b3 = sf.emplace(move || {
+            p3.fetch_add(1, Ordering::SeqCst);
+            println!("  B3 (after B1 and B2)");
+        });
+        b1.precede(b3);
+        b2.precede(b3);
+        // sf.detach() would let D run without waiting for B1..B3; the
+        // default join makes them part of B's completion.
+    });
+    a.name("A").precede([b, c]);
+    b.name("B").precede(d);
+    c.name("C").precede(d);
+    d.name("D");
+    tf.wait_for_all();
+    assert_eq!(progress.load(Ordering::SeqCst), 2);
+
+    // Nested subflows (Figure 5): a dynamic task whose child is itself
+    // dynamic. The post-run DOT dump shows the nested clusters.
+    let tf2 = Taskflow::with_executor(executor);
+    tf2.set_name("nested");
+    tf2.emplace_subflow(|sf| {
+        let a1 = sf.emplace(|| println!("A1")).name("A1");
+        let a2 = sf
+            .emplace_subflow(|inner| {
+                inner.emplace(|| println!("  A2_1")).name("A2_1");
+                inner.emplace(|| println!("  A2_2")).name("A2_2");
+            })
+            .name("A2");
+        a1.precede(a2);
+    })
+    .name("A");
+    tf2.wait_for_all();
+    println!("--- nested subflow dump (Figure 5) ---");
+    println!("{}", tf2.dump_topologies());
+}

@@ -1,0 +1,43 @@
+//! Quickstart: the paper's Listing 1 — a four-task diamond.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rustflow::Taskflow;
+
+fn main() {
+    let tf = Taskflow::new();
+    tf.set_name("quickstart");
+
+    // Create a task dependency graph of four tasks A, B, C, and D
+    // (Listing 1 of the paper).
+    let (a, b, c, d) = rustflow::emplace!(
+        tf,
+        || println!("Task A"),
+        || println!("Task B"),
+        || println!("Task C"),
+        || println!("Task D"),
+    );
+    a.name("A").precede([b, c]); // A runs before B and C
+    b.name("B").precede(d); //      B runs before D
+    c.name("C").precede(d); //      C runs before D
+    d.name("D");
+
+    // Inspect the graph before running it (§III-G): paste the DOT output
+    // into GraphViz or viz-js.com.
+    println!("--- task dependency graph (DOT) ---");
+    println!("{}", tf.dump());
+
+    println!("--- execution ---");
+    tf.wait_for_all(); // block until finish
+
+    // The same taskflow can build and dispatch further graphs; dispatch()
+    // is the non-blocking variant returning a shared future (§III-C).
+    let (x, y) = rustflow::emplace!(tf, || println!("Task X"), || println!("Task Y"));
+    y.precede(x); // this time Y runs before X
+    let future = tf.dispatch();
+    // ... overlap other work here ...
+    future.wait();
+    println!("second graph done: {:?}", future.try_get());
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the rustflow reproduction workspace.
+//!
+//! This root package exists to host the repository-level `examples/` and
+//! `tests/` directories required by the project layout; the real library
+//! code lives in the `crates/` members. It re-exports the public crates so
+//! examples and integration tests can use one import path.
+
+pub use rustflow;
+pub use tf_baselines as baselines;
+pub use tf_dnn as dnn;
+pub use tf_metrics as metrics;
+pub use tf_timer as timer;
+pub use tf_workloads as workloads;

@@ -1,0 +1,172 @@
+//! Cross-crate invariant: every scheduler in the repository — rustflow,
+//! the TBB-style flow graph, the OpenMP-style levelized executor, the
+//! OpenMP-`task depend` runtime, and the sequential oracle — executes the
+//! same randomized DAGs in dependency order, running every task exactly
+//! once.
+
+use proptest::prelude::*;
+use rustflow::Executor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use tf_baselines::{Dag, FlowGraphBuilder, Pool, TaskDepRegion};
+
+struct Probe {
+    clock: Arc<AtomicUsize>,
+    stamps: Vec<Arc<AtomicUsize>>,
+    runs: Vec<Arc<AtomicUsize>>,
+}
+
+impl Probe {
+    fn new(n: usize) -> Probe {
+        Probe {
+            clock: Arc::new(AtomicUsize::new(0)),
+            stamps: (0..n).map(|_| Arc::new(AtomicUsize::new(0))).collect(),
+            runs: (0..n).map(|_| Arc::new(AtomicUsize::new(0))).collect(),
+        }
+    }
+
+    fn dag(&self, edges: &[(usize, usize)]) -> Dag {
+        let mut dag = Dag::with_capacity(self.stamps.len());
+        for i in 0..self.stamps.len() {
+            let clock = Arc::clone(&self.clock);
+            let stamp = Arc::clone(&self.stamps[i]);
+            let run = Arc::clone(&self.runs[i]);
+            dag.add(move || {
+                run.fetch_add(1, Ordering::SeqCst);
+                stamp.store(clock.fetch_add(1, Ordering::SeqCst) + 1, Ordering::SeqCst);
+            });
+        }
+        for &(u, v) in edges {
+            dag.edge(u, v);
+        }
+        dag
+    }
+
+    fn verify(&self, edges: &[(usize, usize)]) -> Result<(), TestCaseError> {
+        for (i, run) in self.runs.iter().enumerate() {
+            prop_assert_eq!(run.load(Ordering::SeqCst), 1, "task {} runs", i);
+        }
+        let s: Vec<usize> = self.stamps.iter().map(|x| x.load(Ordering::SeqCst)).collect();
+        for &(u, v) in edges {
+            prop_assert!(s[u] < s[v], "edge ({},{}) violated", u, v);
+        }
+        Ok(())
+    }
+}
+
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..80).prop_map(
+            move |pairs| {
+                let mut edges: Vec<(usize, usize)> = pairs
+                    .into_iter()
+                    .filter(|&(u, v)| u != v)
+                    .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+                    .collect();
+                edges.sort_unstable();
+                edges.dedup();
+                edges
+            },
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rustflow_respects_random_dags((n, edges) in arb_edges()) {
+        let probe = Probe::new(n);
+        let dag = probe.dag(&edges);
+        let ex = Executor::new(3);
+        tf_workloads::run::run_rustflow(&dag, &ex);
+        probe.verify(&edges)?;
+    }
+
+    #[test]
+    fn flowgraph_respects_random_dags((n, edges) in arb_edges()) {
+        let probe = Probe::new(n);
+        let dag = probe.dag(&edges);
+        let pool = Pool::new(3);
+        let (graph, sources) = FlowGraphBuilder::from_dag(&dag);
+        for s in sources {
+            graph.try_put(s, &pool);
+        }
+        graph.wait_for_all();
+        probe.verify(&edges)?;
+    }
+
+    #[test]
+    fn levelized_respects_random_dags((n, edges) in arb_edges()) {
+        let probe = Probe::new(n);
+        let dag = probe.dag(&edges);
+        let pool = Pool::new(3);
+        tf_baselines::run_levelized(&dag, &pool, 0);
+        probe.verify(&edges)?;
+    }
+
+    #[test]
+    fn taskdep_respects_random_dags((n, edges) in arb_edges()) {
+        let probe = Probe::new(n);
+        let dag = probe.dag(&edges);
+        let pool = Pool::new(3);
+        let region = TaskDepRegion::new(&pool);
+        // Nodes are issued in topological id order; declare depend(in:)
+        // on each predecessor's address and depend(out:) on one's own.
+        for v in 0..dag.len() {
+            let payload = dag.payload_of(v);
+            let mut ins: Vec<u64> = Vec::new();
+            for &(u, w) in &edges {
+                if w == v {
+                    ins.push(u as u64);
+                }
+            }
+            region.task(&ins, &[v as u64], move || payload());
+        }
+        region.wait_all();
+        probe.verify(&edges)?;
+    }
+
+    #[test]
+    fn sequential_respects_random_dags((n, edges) in arb_edges()) {
+        let probe = Probe::new(n);
+        let dag = probe.dag(&edges);
+        dag.run_sequential();
+        probe.verify(&edges)?;
+    }
+}
+
+/// The micro-benchmark checksum agreement at a non-trivial size, across
+/// every scheduler (the deterministic core of Figure 7's setup).
+#[test]
+fn micro_benchmarks_checksum_agreement() {
+    use tf_workloads::randdag::RandDagSpec;
+    use tf_workloads::wavefront::{self, WavefrontSpec};
+
+    let spec = WavefrontSpec::new(24);
+    let expected = wavefront::expected_checksum(spec);
+    let ex = Executor::new(3);
+    let pool = Pool::new(3);
+    for run in 0..3 {
+        let (dag, sink) = wavefront::build(spec);
+        match run {
+            0 => tf_workloads::run::run_rustflow(&dag, &ex),
+            1 => tf_workloads::run::run_flowgraph(&dag, &pool),
+            _ => tf_workloads::run::run_levelized(&dag, &pool),
+        }
+        assert_eq!(sink.value(), expected, "run {run}");
+    }
+
+    let spec = RandDagSpec::new(4_000);
+    let expected = tf_workloads::randdag::expected_checksum(spec);
+    for run in 0..3 {
+        let (dag, sink) = tf_workloads::randdag::build(spec);
+        match run {
+            0 => tf_workloads::run::run_rustflow(&dag, &ex),
+            1 => tf_workloads::run::run_flowgraph(&dag, &pool),
+            _ => tf_workloads::run::run_levelized(&dag, &pool),
+        }
+        assert_eq!(sink.value(), expected, "run {run}");
+    }
+}

@@ -1,0 +1,77 @@
+//! System tests of the software-cost tooling against the repository's own
+//! sources, plus the COCOMO ↔ paper calibration at whole-project scale.
+
+use std::path::Path;
+use tf_metrics::{analyze, count_sloc, estimate_paper, SoftwareCost};
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn repository_is_measurable_and_substantial() {
+    let crates = repo_root().join("crates");
+    let cost = SoftwareCost::measure_dir("workspace", &crates);
+    assert!(
+        cost.sloc > 5_000,
+        "workspace unexpectedly small: {} SLOC",
+        cost.sloc
+    );
+    assert!(cost.complexity.num_functions() > 200);
+    assert!(cost.cc_max() >= 5);
+    // The COCOMO estimate scales with the size.
+    let est = cost.cocomo();
+    assert!(est.effort_person_years > 0.5);
+    assert!(est.cost_dollars > 50_000.0);
+}
+
+#[test]
+fn core_crate_smaller_than_whole_workspace() {
+    let core = SoftwareCost::measure_dir("core", &repo_root().join("crates/core/src"));
+    let all = SoftwareCost::measure_dir("all", &repo_root().join("crates"));
+    assert!(core.sloc > 500);
+    assert!(core.sloc < all.sloc);
+}
+
+#[test]
+fn analyzer_handles_this_test_file() {
+    let src = std::fs::read_to_string(repo_root().join("tests/metrics_system.rs")).unwrap();
+    let sloc = count_sloc(&src);
+    assert!(sloc > 20);
+    let report = analyze(&src);
+    assert!(report.num_functions() >= 4);
+    assert!(report
+        .functions
+        .iter()
+        .any(|f| f.name == "analyzer_handles_this_test_file"));
+}
+
+#[test]
+fn cocomo_matches_paper_table2_exactly() {
+    // The calibration the whole Table II reproduction rests on.
+    let v1 = estimate_paper(9_123);
+    assert!((v1.effort_person_years - 2.04).abs() < 0.005);
+    assert!((v1.developers - 2.90).abs() < 0.02);
+    let v2 = estimate_paper(4_482);
+    assert!((v2.effort_person_years - 0.97).abs() < 0.005);
+    // Cost ratio between v1 and v2 ≈ paper's 275,287 / 130,523.
+    let ratio = v1.cost_dollars / v2.cost_dollars;
+    assert!((ratio - 275_287.0 / 130_523.0).abs() < 0.02, "{ratio}");
+}
+
+#[test]
+fn loc_ordering_of_micro_benchmark_impls_holds() {
+    // The Table I conclusion, asserted as a test so regressions in the
+    // implementations keep the programmability story honest.
+    let dir = repo_root().join("crates/bench/src/impls");
+    let loc = |f: &str| {
+        count_sloc(&std::fs::read_to_string(dir.join(f)).unwrap_or_else(|e| panic!("{f}: {e}")))
+    };
+    // Traversal: sequential < rustflow < tbb-style.
+    assert!(loc("traversal_seq.rs") < loc("traversal_rustflow.rs"));
+    assert!(loc("traversal_rustflow.rs") < loc("traversal_flowgraph.rs"));
+    // DNN: sequential < rustflow <= tbb-style < openmp-style.
+    assert!(loc("dnn_seq.rs") < loc("dnn_rustflow.rs"));
+    assert!(loc("dnn_rustflow.rs") <= loc("dnn_flowgraph.rs"));
+    assert!(loc("dnn_flowgraph.rs") < loc("dnn_openmp.rs"));
+}
