@@ -181,7 +181,12 @@ impl FlowGraph {
 
 /// Delivers one continue message to `node`; fires the body when the
 /// required count is reached.
-fn deliver(inner: &Arc<GraphInner>, node: u32, msg: Box<ContinueMsg>, pool: &crate::pool::PoolHandle) {
+fn deliver(
+    inner: &Arc<GraphInner>,
+    node: u32,
+    msg: Box<ContinueMsg>,
+    pool: &crate::pool::PoolHandle,
+) {
     let state = &inner.nodes[node as usize];
     let required = state.required.load(Ordering::Relaxed);
     let got = state.received.fetch_add(1, Ordering::AcqRel) + 1;

@@ -49,12 +49,8 @@ pub fn run_levels(dag: &Dag, pool: &Pool, levels: &[Vec<u32>], chunk: usize) {
         // Clone the level's node list into the closure; the Dag itself is
         // borrowed only for the duration of this blocking call, but the
         // pool requires 'static jobs, so we clone the Arc payloads.
-        let payloads: Arc<Vec<crate::dag::Payload>> = Arc::new(
-            level
-                .iter()
-                .map(|&v| dag.payload_of(v as usize))
-                .collect(),
-        );
+        let payloads: Arc<Vec<crate::dag::Payload>> =
+            Arc::new(level.iter().map(|&v| dag.payload_of(v as usize)).collect());
         let body = {
             let payloads = Arc::clone(&payloads);
             Arc::new(move |i: usize| {

@@ -241,8 +241,7 @@ mod tests {
     #[test]
     fn parallel_for_covers_all_indices_once() {
         let pool = Pool::new(3);
-        let hits: Arc<Vec<AtomicUsize>> =
-            Arc::new((0..500).map(|_| AtomicUsize::new(0)).collect());
+        let hits: Arc<Vec<AtomicUsize>> = Arc::new((0..500).map(|_| AtomicUsize::new(0)).collect());
         let h = Arc::clone(&hits);
         pool.parallel_for(
             500,

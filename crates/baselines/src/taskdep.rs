@@ -173,11 +173,7 @@ fn dispatch(inner: &Arc<RegionInner>, id: usize) {
         let body = state.body.lock().take().expect("task dispatched twice");
         body();
         // Mark finished and release successors.
-        let successors = state
-            .successors
-            .lock()
-            .take()
-            .expect("task finished twice");
+        let successors = state.successors.lock().take().expect("task finished twice");
         for s in successors {
             let succ = Arc::clone(&inner2.tasks.lock()[s]);
             if succ.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {

@@ -34,7 +34,10 @@ fn bench_cache_slot(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n as u64));
     let dag = chain_dag(n);
     for enabled in [true, false] {
-        let ex = ExecutorBuilder::new().workers(4).cache_slot(enabled).build();
+        let ex = ExecutorBuilder::new()
+            .workers(4)
+            .cache_slot(enabled)
+            .build();
         group.bench_function(BenchmarkId::new("chain", enabled), |b| {
             b.iter(|| run_rustflow(&dag, &ex))
         });
@@ -42,7 +45,10 @@ fn bench_cache_slot(c: &mut Criterion) {
     let (wf, _sink) = wavefront::build(WavefrontSpec::new(64));
     group.throughput(Throughput::Elements(wf.len() as u64));
     for enabled in [true, false] {
-        let ex = ExecutorBuilder::new().workers(4).cache_slot(enabled).build();
+        let ex = ExecutorBuilder::new()
+            .workers(4)
+            .cache_slot(enabled)
+            .build();
         group.bench_function(BenchmarkId::new("wavefront", enabled), |b| {
             b.iter(|| run_rustflow(&wf, &ex))
         });

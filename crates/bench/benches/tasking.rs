@@ -42,10 +42,10 @@ fn bench_shapes(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("openmp_taskdep", dag.len()), |b| {
             b.iter(|| {
                 let region = TaskDepRegion::new(&pool);
-                for v in 0..dag.len() {
+                for (v, preds) in pred_lists.iter().enumerate() {
                     let payload = dag.payload_of(v);
                     // depend(in: predecessors) depend(out: self)
-                    region.task(&pred_lists[v], &[v as u64], move || payload());
+                    region.task(preds, &[v as u64], move || payload());
                 }
                 region.wait_all();
             })

@@ -6,9 +6,15 @@
 //!   designs down (`--full` for paper scale).
 //! * `--part util`: CPU-utilization profile over time while v2 runs
 //!   repeated full updates on leon3mp, sampled from a
-//!   [`rustflow::BusyCounter`] observer at several worker counts.
+//!   [`rustflow::BusyCounter`] observer at several worker counts. The run
+//!   also records the full scheduler lifecycle through a ring-buffered
+//!   [`rustflow::Tracer`], writes it as `<out>/trace.json` (loadable in
+//!   ui.perfetto.dev / chrome://tracing), dumps the per-worker counters
+//!   in Prometheus text format to `<out>/fig10_metrics.prom`, and prints
+//!   the traced-vs-untraced runtime ratio so tracing overhead stays
+//!   honest.
 
-use rustflow::{BusyCounter, Executor};
+use rustflow::{BusyCounter, Executor, Tracer};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use tf_baselines::Pool;
@@ -92,10 +98,21 @@ fn utilization(cli: &Cli) {
         &["workers", "sample_ms", "busy_pct", "tasks_done"],
     );
     report.print_header();
+    let mut trace_json: Option<String> = None;
+    let mut prom_text: Option<String> = None;
     for &workers in &worker_counts {
         let executor = Executor::new(workers);
+
+        // Baseline: one untraced update, to report tracing overhead.
+        let untraced_ms = time_ms(|| {
+            timer.full_update(&Engine::V2Rustflow(&executor));
+        });
+
         let counter = Arc::new(BusyCounter::new());
         executor.observe(Arc::clone(&counter) as Arc<dyn rustflow::ExecutorObserver>);
+        // Sized so one full update fits in each lane between collects.
+        let tracer = Arc::new(Tracer::with_capacity(workers, 1 << 16));
+        executor.observe(Arc::clone(&tracer) as Arc<dyn rustflow::ExecutorObserver>);
 
         // Sample in a side thread while v2 runs repeated full updates
         // (the paper profiles utilization over the run's lifetime).
@@ -118,9 +135,16 @@ fn utilization(cli: &Cli) {
             })
         };
         let updates = if cli.full { 4 } else { 3 };
+        let mut traced_ms = 0.0;
         for _ in 0..updates {
-            timer.full_update(&Engine::V2Rustflow(&executor));
+            traced_ms += time_ms(|| {
+                timer.full_update(&Engine::V2Rustflow(&executor));
+            });
+            // Drain the fixed-capacity rings between updates so long runs
+            // keep their full event history.
+            tracer.collect();
         }
+        traced_ms /= updates as f64;
         stop.store(true, Ordering::Release);
         let samples = sampler.join().expect("sampler panicked");
         for (ms, busy, done) in samples {
@@ -131,6 +155,29 @@ fn utilization(cli: &Cli) {
                 done.to_string(),
             ]);
         }
+        println!(
+            "# workers={workers}: untraced {untraced_ms:.1} ms/update, traced \
+             {traced_ms:.1} ms/update ({:.2}x), {} events dropped",
+            traced_ms / untraced_ms.max(1e-9),
+            tracer.dropped()
+        );
+        // Keep the largest sweep's artifacts (they have the most lanes).
+        trace_json = Some(tracer.chrome_trace_json());
+        prom_text = Some(executor.stats().prometheus_text());
     }
     report.save();
+
+    if let (Some(json), Some(prom)) = (trace_json, prom_text) {
+        std::fs::create_dir_all(&cli.out).expect("cannot create output directory");
+        let trace_path = cli.out.join("trace.json");
+        std::fs::write(&trace_path, json).expect("cannot write trace.json");
+        let prom_path = cli.out.join("fig10_metrics.prom");
+        std::fs::write(&prom_path, prom).expect("cannot write metrics");
+        println!(
+            "scheduler trace -> {} (open in ui.perfetto.dev); \
+             counters -> {}",
+            trace_path.display(),
+            prom_path.display()
+        );
+    }
 }

@@ -60,7 +60,14 @@ fn epoch_sweep(cli: &Cli) {
     let mut report = Report::new(
         cli,
         "fig12_epochs",
-        &["arch", "epochs", "tasks", "rustflow_s", "tbb_style_s", "openmp_style_s"],
+        &[
+            "arch",
+            "epochs",
+            "tasks",
+            "rustflow_s",
+            "tbb_style_s",
+            "openmp_style_s",
+        ],
     );
     report.print_header();
     for (arch_name, arch) in [("3-layer", arch_3layer()), ("5-layer", arch_5layer())] {
@@ -105,7 +112,13 @@ fn thread_sweep(cli: &Cli) {
     let mut report = Report::new(
         cli,
         "fig12_threads",
-        &["arch", "threads", "rustflow_s", "tbb_style_s", "openmp_style_s"],
+        &[
+            "arch",
+            "threads",
+            "rustflow_s",
+            "tbb_style_s",
+            "openmp_style_s",
+        ],
     );
     report.print_header();
     for (arch_name, arch) in [("3-layer", arch_3layer()), ("5-layer", arch_5layer())] {

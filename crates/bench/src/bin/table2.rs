@@ -15,7 +15,9 @@ use tf_bench::harness::{Cli, Report};
 use tf_metrics::SoftwareCost;
 
 fn timer_src(file: &str) -> std::path::PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../timer/src").join(file)
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../timer/src")
+        .join(file)
 }
 
 fn baselines_src(file: &str) -> std::path::PathBuf {
@@ -57,8 +59,17 @@ fn main() {
         &cli,
         "table2",
         &[
-            "tool", "loc", "mcc", "effort_py", "dev", "cost_usd", "paper_loc", "paper_mcc",
-            "paper_effort", "paper_dev", "paper_cost",
+            "tool",
+            "loc",
+            "mcc",
+            "effort_py",
+            "dev",
+            "cost_usd",
+            "paper_loc",
+            "paper_mcc",
+            "paper_effort",
+            "paper_dev",
+            "paper_cost",
         ],
     );
     report.print_header();

@@ -42,9 +42,7 @@ impl Cli {
             match arg.as_str() {
                 "--full" => cli.full = true,
                 "--part" => cli.part = args.next(),
-                "--out" => {
-                    cli.out = PathBuf::from(args.next().expect("--out needs a directory"))
-                }
+                "--out" => cli.out = PathBuf::from(args.next().expect("--out needs a directory")),
                 "--threads" => {
                     let list = args.next().expect("--threads needs a,b,c");
                     cli.threads = Some(
@@ -74,7 +72,7 @@ impl Cli {
 
     /// `true` when `--part` is absent or equals `name`.
     pub fn wants_part(&self, name: &str) -> bool {
-        self.part.as_deref().map_or(true, |p| p == name)
+        self.part.as_deref().is_none_or(|p| p == name)
     }
 
     /// The thread sweep: override, or the given default.

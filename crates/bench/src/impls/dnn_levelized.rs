@@ -47,7 +47,9 @@ pub fn train(
         acts: Mutex::new(Vec::new()),
         delta: Mutex::new(Matrix::zeros(0, 0)),
         grads: (0..layers).map(|_| Mutex::new(None)).collect(),
-        storages: (0..spec.storages.max(1)).map(|_| Mutex::new(None)).collect(),
+        storages: (0..spec.storages.max(1))
+            .map(|_| Mutex::new(None))
+            .collect(),
         losses: Mutex::new(Vec::new()),
     });
     let batch = spec.batch.max(1);
@@ -58,12 +60,12 @@ pub fn train(
     // --- 1. Enumerate every task and its dependency list by hand -------
     let mut tasks: Vec<TaskFn> = Vec::new();
     let mut preds: Vec<Vec<usize>> = Vec::new();
-    let add = |task: TaskFn, deps: Vec<usize>, tasks: &mut Vec<TaskFn>,
-                   preds: &mut Vec<Vec<usize>>| {
-        tasks.push(task);
-        preds.push(deps);
-        tasks.len() - 1
-    };
+    let add =
+        |task: TaskFn, deps: Vec<usize>, tasks: &mut Vec<TaskFn>, preds: &mut Vec<Vec<usize>>| {
+            tasks.push(task);
+            preds.push(deps);
+            tasks.len() - 1
+        };
     let mut last_forward_of_epoch: Vec<usize> = Vec::new();
     let mut prev_updates: Vec<usize> = Vec::new();
     for e in 0..spec.epochs {
@@ -107,8 +109,7 @@ pub fn train(
                             activate_inplace(&mut z, i + 1 == layers);
                             acts.push(z);
                         }
-                        let (delta, loss) =
-                            output_delta(acts.last().expect("nonempty"), &labels);
+                        let (delta, loss) = output_delta(acts.last().expect("nonempty"), &labels);
                         *shared.delta.lock() = delta;
                         *shared.acts.lock() = acts;
                         shared.losses.lock().push(loss);
@@ -150,12 +151,9 @@ pub fn train(
                     let lr = spec.lr;
                     add(
                         Arc::new(move || {
-                            let grad =
-                                shared.grads[i].lock().take().expect("gradient missing");
+                            let grad = shared.grads[i].lock().take().expect("gradient missing");
                             shared.weights[i].lock().add_scaled(&grad.dw, -lr);
-                            for (b, &g) in
-                                shared.biases[i].lock().iter_mut().zip(&grad.db)
-                            {
+                            for (b, &g) in shared.biases[i].lock().iter_mut().zip(&grad.db) {
                                 *b -= lr * g;
                             }
                         }),
@@ -206,9 +204,8 @@ pub fn train(
             continue;
         }
         let level = Arc::new(level);
-        let tasks_ref: Arc<Vec<TaskFn>> = Arc::new(
-            level.iter().map(|&v| Arc::clone(&tasks[v])).collect(),
-        );
+        let tasks_ref: Arc<Vec<TaskFn>> =
+            Arc::new(level.iter().map(|&v| Arc::clone(&tasks[v])).collect());
         pool.parallel_for(
             level.len(),
             1,

@@ -109,7 +109,9 @@ fn make_shared(init: &Mlp, spec: &TrainSpec) -> Arc<Shared> {
         acts: Mutex::new(Vec::new()),
         delta: Mutex::new(Matrix::zeros(0, 0)),
         grads: (0..init.num_layers()).map(|_| Mutex::new(None)).collect(),
-        storages: (0..spec.storages.max(1)).map(|_| Mutex::new(None)).collect(),
+        storages: (0..spec.storages.max(1))
+            .map(|_| Mutex::new(None))
+            .collect(),
         losses: Mutex::new(Vec::new()),
     })
 }

@@ -78,7 +78,9 @@ pub fn train(
         acts: Mutex::new(Vec::new()),
         delta: Mutex::new(Matrix::zeros(0, 0)),
         grads: (0..layers).map(|_| Mutex::new(None)).collect(),
-        storages: (0..spec.storages.max(1)).map(|_| Mutex::new(None)).collect(),
+        storages: (0..spec.storages.max(1))
+            .map(|_| Mutex::new(None))
+            .collect(),
         losses: Mutex::new(Vec::new()),
     });
     let batch = spec.batch.max(1);

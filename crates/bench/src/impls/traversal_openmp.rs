@@ -9,10 +9,10 @@
 //! enumeration blows up to 213 LOC; the runtime cost of per-clause hash
 //! resolution is reproduced by `tf_baselines::taskdep` either way.
 
+use std::sync::Arc;
 use tf_baselines::{Pool, TaskDepRegion};
 use tf_workloads::kernels::{nominal_work, Sink};
 use tf_workloads::randdag::{generate_edges, RandDagSpec};
-use std::sync::Arc;
 
 /// Casts a random graph to OpenMP-style dependent tasks and traverses it.
 pub fn run(spec: RandDagSpec, pool: &Pool) -> u64 {
@@ -23,11 +23,11 @@ pub fn run(spec: RandDagSpec, pool: &Pool) -> u64 {
     }
     let sink = Arc::new(Sink::new());
     let region = TaskDepRegion::new(pool);
-    for v in 0..spec.nodes {
+    for (v, node_ins) in ins.iter().enumerate() {
         let outs = [v as u64];
         let sink = Arc::clone(&sink);
         let iters = spec.work_iters;
-        region.task(&ins[v], &outs, move || {
+        region.task(node_ins, &outs, move || {
             sink.consume(nominal_work(v as u64 + 1, iters));
         });
     }

@@ -6,9 +6,9 @@
 //! an order consistent with sequential execution — here row-major, which
 //! the programmer has to know is valid.
 
+use std::sync::Arc;
 use tf_baselines::{Pool, TaskDepRegion};
 use tf_workloads::kernels::{nominal_work, Sink};
-use std::sync::Arc;
 
 /// Runs a `dim`×`dim` block wavefront; returns the checksum.
 pub fn run(dim: usize, iters: u32, pool: &Pool) -> u64 {

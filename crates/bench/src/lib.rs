@@ -76,8 +76,7 @@ mod impl_tests {
         let (oracle, oracle_losses) = dnn_seq::train(&data, &arch, spec, 13);
 
         let ex = Executor::new(4);
-        let (net_rf, losses_rf) =
-            dnn_rustflow::train(Arc::new(data.clone()), &arch, spec, 13, &ex);
+        let (net_rf, losses_rf) = dnn_rustflow::train(Arc::new(data.clone()), &arch, spec, 13, &ex);
         assert_eq!(losses_rf, oracle_losses);
         assert_eq!(net_rf.weights, oracle.weights);
         assert_eq!(net_rf.biases, oracle.biases);

@@ -279,7 +279,6 @@ where
     )
 }
 
-
 /// Chains tasks so each runs after the previous one — Cpp-Taskflow's
 /// `linearize`.
 ///
@@ -310,7 +309,11 @@ pub fn linearize<'g>(tasks: &[Task<'g>]) {
 /// tf.wait_for_all();
 /// assert_eq!(data.snapshot(), (0..10).collect::<Vec<_>>());
 /// ```
-pub fn parallel_sort<'g, T>(tf: &'g Taskflow, data: &SharedVec<T>, chunk: usize) -> (Task<'g>, Task<'g>)
+pub fn parallel_sort<'g, T>(
+    tf: &'g Taskflow,
+    data: &SharedVec<T>,
+    chunk: usize,
+) -> (Task<'g>, Task<'g>)
 where
     T: Ord + Clone + Send + 'static,
 {
@@ -531,12 +534,10 @@ mod tests {
     fn transform_reduce_max() {
         let tf = tf();
         let src = SharedVec::new(vec![3, 1, 4, 1, 5, 9, 2, 6]);
-        let (_s, _t, r) =
-            transform_reduce(&tf, &src, 3, i64::MIN, |&x| x, |a, b| a.max(b));
+        let (_s, _t, r) = transform_reduce(&tf, &src, 3, i64::MIN, |&x| x, |a, b| a.max(b));
         tf.wait_for_all();
         assert_eq!(r.take(), Some(9));
     }
-
 
     #[test]
     fn linearize_orders_chain() {

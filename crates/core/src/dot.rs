@@ -24,7 +24,11 @@ unsafe fn emit_graph(graph: &Graph, out: &mut String, depth: usize, cluster: &mu
     let pad = "  ".repeat(depth);
     for node in &graph.nodes {
         let n: &Node = node;
-        out.push_str(&format!("{pad}{} [label=\"{}\"];\n", node_id(n), node_label(n)));
+        out.push_str(&format!(
+            "{pad}{} [label=\"{}\"];\n",
+            node_id(n),
+            node_label(n)
+        ));
         for &succ in n.successors.get().iter() {
             out.push_str(&format!("{pad}{} -> {};\n", node_id(n), node_id(&*succ)));
         }
@@ -70,7 +74,13 @@ fn escape(s: &str) -> String {
 fn sanitize(s: &str) -> String {
     let cleaned: String = s
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "taskflow".to_string()
@@ -90,7 +100,7 @@ mod tests {
         let a = g.emplace(Work::Empty);
         let b = g.emplace(Work::Empty);
         unsafe {
-            *(*a).name.get_mut() = Some("A".into());
+            *(*a).name.get_mut() = crate::TaskLabel::new("A");
             (*a).successors.get_mut().push(b);
             *(*b).in_degree.get_mut() += 1;
             let dot = graph_to_dot(&g, "demo");
@@ -106,7 +116,7 @@ mod tests {
         let mut g = Graph::new();
         let a = g.emplace(Work::Empty);
         unsafe {
-            *(*a).name.get_mut() = Some("A".into());
+            *(*a).name.get_mut() = crate::TaskLabel::new("A");
             (*a).subgraph.get_mut().emplace(Work::Empty);
             let dot = graph_to_dot(&g, "demo");
             assert!(dot.contains("subgraph cluster_1"));

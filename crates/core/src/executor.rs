@@ -17,11 +17,12 @@
 use crate::error::{panic_message, TaskPanic};
 use crate::graph::{RawNode, Work};
 use crate::notifier::Notifier;
-use crate::observer::ExecutorObserver;
+use crate::observer::{ExecutorObserver, DISPATCH_LANE};
+use crate::stats::{ExecutorStats, WorkerStats};
 use crate::subflow::Subflow;
 use crate::topology::Topology;
 use crate::wsq;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -102,10 +103,31 @@ fn default_parallelism() -> usize {
 /// Per-worker state visible to other threads.
 struct WorkerShared {
     stealer: wsq::Stealer,
-    /// Diagnostic counters (relaxed; advisory).
+    /// Diagnostic counters (relaxed; advisory). Each worker writes only
+    /// its own set, so there is no cross-worker contention.
     executed: AtomicU64,
+    cache_hits: AtomicU64,
     steals: AtomicU64,
+    steal_attempts: AtomicU64,
+    steal_fails: AtomicU64,
+    injector_pops: AtomicU64,
     parks: AtomicU64,
+    wakes_sent: AtomicU64,
+}
+
+impl WorkerShared {
+    fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
+            steal_fails: self.steal_fails.load(Ordering::Relaxed),
+            injector_pops: self.injector_pops.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            wakes_sent: self.wakes_sent.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Per-worker private state.
@@ -148,20 +170,23 @@ struct Inner {
     stop: AtomicBool,
     /// Keep-alive registry: topologies currently executing.
     running: Mutex<Vec<Arc<Topology>>>,
+    /// Signalled (under the `running` mutex) whenever `running` empties;
+    /// `Executor::drop` sleeps on it instead of busy-yielding.
+    all_done: Condvar,
     observers: RwLock<Vec<Arc<dyn ExecutorObserver>>>,
     has_observers: AtomicBool,
     cfg: Config,
 }
 
-/// Snapshot of per-worker diagnostic counters.
-#[derive(Debug, Clone, Default)]
-pub struct WorkerStats {
-    /// Tasks this worker executed.
-    pub executed: u64,
-    /// Successful steals this worker performed.
-    pub steals: u64,
-    /// Times this worker entered the idle path.
-    pub parks: u64,
+/// Runs every observer hook iff at least one observer is installed; the
+/// hot paths pay a single relaxed-ish load when tracing is off.
+#[inline]
+fn notify_observers(inner: &Inner, f: impl Fn(&dyn ExecutorObserver)) {
+    if inner.has_observers.load(Ordering::Acquire) {
+        for ob in inner.observers.read().iter() {
+            f(&**ob);
+        }
+    }
 }
 
 /// A shared pool of worker threads executing task dependency graphs.
@@ -185,8 +210,13 @@ impl Executor {
             shareds.push(WorkerShared {
                 stealer,
                 executed: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
                 steals: AtomicU64::new(0),
+                steal_attempts: AtomicU64::new(0),
+                steal_fails: AtomicU64::new(0),
+                injector_pops: AtomicU64::new(0),
                 parks: AtomicU64::new(0),
+                wakes_sent: AtomicU64::new(0),
             });
         }
         let inner = Arc::new(Inner {
@@ -196,6 +226,7 @@ impl Executor {
             notifier: Notifier::new(workers),
             stop: AtomicBool::new(false),
             running: Mutex::new(Vec::new()),
+            all_done: Condvar::new(),
             observers: RwLock::new(Vec::new()),
             has_observers: AtomicBool::new(false),
             cfg,
@@ -255,15 +286,16 @@ impl Executor {
 
     /// Per-worker diagnostic counters.
     pub fn worker_stats(&self) -> Vec<WorkerStats> {
-        self.inner
-            .shareds
-            .iter()
-            .map(|s| WorkerStats {
-                executed: s.executed.load(Ordering::Relaxed),
-                steals: s.steals.load(Ordering::Relaxed),
-                parks: s.parks.load(Ordering::Relaxed),
-            })
-            .collect()
+        self.inner.shareds.iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// A point-in-time snapshot of every worker's counters, ready for
+    /// diffing ([`ExecutorStats::delta`]) or Prometheus-style export
+    /// ([`ExecutorStats::prometheus_text`]).
+    pub fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            workers: self.worker_stats(),
+        }
     }
 
     /// The process-wide default executor (used by [`crate::Taskflow::new`]),
@@ -283,7 +315,9 @@ impl Executor {
             let g = topo.graph.get_mut();
             debug_assert!(!g.has_cycle(), "task dependency graph contains a cycle");
             let n = g.len();
+            notify_observers(inner, |ob| ob.on_topology_start(topo.id, n));
             if n == 0 {
+                notify_observers(inner, |ob| ob.on_topology_stop(topo.id));
                 let promise = topo
                     .promise
                     .replace(None)
@@ -310,9 +344,14 @@ impl Executor {
             let k = sources.len();
             inner.injector.lock().extend(sources);
             // Dekker fence: the pushes above must precede the idler check
-            // inside wake_n in the SeqCst order (see notifier docs).
+            // inside wake_one in the SeqCst order (see notifier docs).
             fence(Ordering::SeqCst);
-            inner.notifier.wake_n(k);
+            for _ in 0..k {
+                match inner.notifier.wake_one() {
+                    Some(w) => notify_observers(inner, |ob| ob.on_wake(DISPATCH_LANE, w, true)),
+                    None => break,
+                }
+            }
         }
     }
 }
@@ -321,8 +360,13 @@ impl Drop for Executor {
     fn drop(&mut self) {
         // Let in-flight topologies finish: their node pointers reference
         // graphs that callers may drop right after their future resolves.
-        while !self.inner.running.lock().is_empty() {
-            std::thread::yield_now();
+        // `finalize` signals `all_done` when the registry empties, so this
+        // sleeps instead of burning a core on yield_now.
+        {
+            let mut running = self.inner.running.lock();
+            while !running.is_empty() {
+                self.inner.all_done.wait(&mut running);
+            }
         }
         self.inner.stop.store(true, Ordering::SeqCst);
         self.inner.notifier.wake_all();
@@ -365,6 +409,7 @@ fn worker_loop(inner: &Inner, mut ctx: WorkerCtx) {
         // Lines 5–13: park when everything is empty.
         if t == 0 {
             inner.shareds[ctx.id].parks.fetch_add(1, Ordering::Relaxed);
+            notify_observers(inner, |ob| ob.on_park(ctx.id));
             inner.notifier.wait(
                 ctx.id,
                 || {
@@ -376,15 +421,42 @@ fn worker_loop(inner: &Inner, mut ctx: WorkerCtx) {
             continue;
         }
         // Lines 16–25: run the task, then speculatively drain the cache —
-        // a linear chain executes here without touching any queue.
-        while t != 0 {
-            execute(inner, &mut ctx, t as RawNode);
-            inner.shareds[ctx.id].executed.fetch_add(1, Ordering::Relaxed);
+        // a linear chain executes here without touching any queue. Every
+        // non-empty take after the first task is a cache hit.
+        // The counter bumps *before* `execute`: execution of the last task
+        // finalizes its topology and releases `wait_for_all`, so counting
+        // afterwards would let a freshly released reader miss the final
+        // increments.
+        inner.shareds[ctx.id]
+            .executed
+            .fetch_add(1, Ordering::Relaxed);
+        execute(inner, &mut ctx, t as RawNode);
+        loop {
             t = std::mem::take(&mut ctx.cache);
+            if t == 0 {
+                break;
+            }
+            inner.shareds[ctx.id]
+                .cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            // SAFETY: the node is armed and its topology alive (same
+            // contract as `execute` below, which runs it next).
+            notify_observers(inner, |ob| {
+                ob.on_cache_hit(ctx.id, unsafe { (*(t as RawNode)).label() })
+            });
+            inner.shareds[ctx.id]
+                .executed
+                .fetch_add(1, Ordering::Relaxed);
+            execute(inner, &mut ctx, t as RawNode);
         }
         // Lines 26–28: probabilistic wake-up for load balancing.
-        if inner.cfg.wake_ratio != 0 && ctx.next_rand() % inner.cfg.wake_ratio == 0 {
-            inner.notifier.wake_one();
+        if inner.cfg.wake_ratio != 0 && ctx.next_rand().is_multiple_of(inner.cfg.wake_ratio) {
+            if let Some(woken) = inner.notifier.wake_one() {
+                inner.shareds[ctx.id]
+                    .wakes_sent
+                    .fetch_add(1, Ordering::Relaxed);
+                notify_observers(inner, |ob| ob.on_wake(ctx.id, woken, false));
+            }
         }
     }
 }
@@ -393,14 +465,19 @@ fn worker_loop(inner: &Inner, mut ctx: WorkerCtx) {
 /// the external injector. `Retry` results re-attempt the same victim.
 fn try_steal(inner: &Inner, ctx: &mut WorkerCtx) -> usize {
     let n = inner.shareds.len();
+    let me = ctx.id;
     let mut attempts = 2 * n + 2;
     while attempts > 0 {
         attempts -= 1;
         let v = ctx.last_victim;
-        if v != ctx.id {
+        if v != me {
+            inner.shareds[me]
+                .steal_attempts
+                .fetch_add(1, Ordering::Relaxed);
             match inner.shareds[v].stealer.steal() {
                 wsq::Steal::Success(x) => {
-                    inner.shareds[ctx.id].steals.fetch_add(1, Ordering::Relaxed);
+                    inner.shareds[me].steals.fetch_add(1, Ordering::Relaxed);
+                    notify_observers(inner, |ob| ob.on_steal(me, v));
                     return x;
                 }
                 wsq::Steal::Retry => continue, // same victim again
@@ -409,7 +486,24 @@ fn try_steal(inner: &Inner, ctx: &mut WorkerCtx) -> usize {
         }
         ctx.last_victim = (v + 1) % n;
     }
-    inner.injector.lock().pop_front().unwrap_or(0)
+    // The injector guard drops before the observer hooks run.
+    let popped = inner.injector.lock().pop_front();
+    match popped {
+        Some(x) => {
+            inner.shareds[me]
+                .injector_pops
+                .fetch_add(1, Ordering::Relaxed);
+            notify_observers(inner, |ob| ob.on_injector_pop(me));
+            x
+        }
+        None => {
+            inner.shareds[me]
+                .steal_fails
+                .fetch_add(1, Ordering::Relaxed);
+            notify_observers(inner, |ob| ob.on_steal_fail(me));
+            0
+        }
+    }
 }
 
 /// Schedules a node that just became ready, from worker context.
@@ -429,7 +523,12 @@ unsafe fn schedule(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
     // (notifier docs).
     fence(Ordering::SeqCst);
     if inner.num_spinning.load(Ordering::SeqCst) == 0 {
-        inner.notifier.wake_one();
+        if let Some(woken) = inner.notifier.wake_one() {
+            inner.shareds[ctx.id]
+                .wakes_sent
+                .fetch_add(1, Ordering::Relaxed);
+            notify_observers(inner, |ob| ob.on_wake(ctx.id, woken, true));
+        }
     }
 }
 
@@ -452,7 +551,7 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
         match (*node).work.get_mut() {
             Work::Empty => {}
             Work::Static(f) => {
-                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f())) {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
                     topo.record_panic(TaskPanic {
                         task: (*node).label().to_string(),
                         message: panic_message(&*payload),
@@ -511,11 +610,7 @@ unsafe fn spawn_subflow(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode, detac
         // siblings.
         (*node).nested.store(sub.len() + 1, Ordering::Relaxed);
     }
-    let parent: RawNode = if detached {
-        std::ptr::null_mut()
-    } else {
-        node
-    };
+    let parent: RawNode = if detached { std::ptr::null_mut() } else { node };
     for child in sub.nodes.iter_mut() {
         let c: RawNode = &mut **child;
         *(*c).topology.get_mut() = topo_ptr;
@@ -566,11 +661,19 @@ unsafe fn complete(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
 fn finalize(inner: &Inner, topo_ptr: *const Topology) {
     let keep_alive = {
         let mut running = inner.running.lock();
-        running
+        let ka = running
             .iter()
             .position(|t| std::ptr::eq(Arc::as_ptr(t), topo_ptr))
-            .map(|p| running.swap_remove(p))
+            .map(|p| running.swap_remove(p));
+        if running.is_empty() {
+            // Wake a destructor waiting for quiescence (Executor::drop).
+            inner.all_done.notify_all();
+        }
+        ka
     };
+    // SAFETY: `keep_alive` holds the topology storage alive; `id` is
+    // immutable after construction.
+    notify_observers(inner, |ob| ob.on_topology_stop(unsafe { (*topo_ptr).id }));
     // SAFETY: `keep_alive` (and the owning taskflow's topology list) keeps
     // the topology storage valid; every node has completed, so we have
     // exclusive access to the promise.

@@ -9,6 +9,7 @@
 //! the taskflow keeping every dispatched topology alive until the taskflow
 //! itself is destroyed or garbage-collected (§III-C of the paper).
 
+use crate::label::TaskLabel;
 use crate::subflow::Subflow;
 use crate::sync_cell::SyncCell;
 use crate::topology::Topology;
@@ -49,8 +50,9 @@ impl std::fmt::Debug for Work {
 /// construction or by the single worker executing the node; cross-thread
 /// state lives in atomics.
 pub(crate) struct Node {
-    /// Optional human-readable name (used by the DOT dump).
-    pub(crate) name: SyncCell<Option<String>>,
+    /// Optional human-readable name, interned so observers can clone it
+    /// without allocating (used by the DOT dump and the tracer).
+    pub(crate) name: SyncCell<TaskLabel>,
     /// The callable payload.
     pub(crate) work: SyncCell<Work>,
     /// Outgoing edges.
@@ -78,7 +80,7 @@ pub(crate) struct Node {
 impl Node {
     pub(crate) fn new(work: Work) -> Box<Node> {
         Box::new(Node {
-            name: SyncCell::new(None),
+            name: SyncCell::new(TaskLabel::empty()),
             work: SyncCell::new(work),
             successors: SyncCell::new(Vec::new()),
             in_degree: SyncCell::new(0),
@@ -90,18 +92,22 @@ impl Node {
         })
     }
 
-    /// Name for diagnostics; empty string when unnamed.
+    /// Name for diagnostics; the empty label when unnamed. Cloning the
+    /// returned label is a reference-count bump, not an allocation.
     ///
     /// # Safety
     /// Caller must satisfy the [`SyncCell`] read contract.
-    pub(crate) unsafe fn label(&self) -> &str {
-        self.name.get().as_deref().unwrap_or("")
+    pub(crate) unsafe fn label(&self) -> &TaskLabel {
+        self.name.get()
     }
 }
 
 /// An owned collection of nodes forming (part of) a task dependency graph.
 #[derive(Default)]
 pub(crate) struct Graph {
+    /// Boxed so node addresses stay stable when the vec reallocates —
+    /// `RawNode` pointers into this storage are held across pushes.
+    #[allow(clippy::vec_box)]
     pub(crate) nodes: Vec<Box<Node>>,
 }
 

@@ -1,0 +1,122 @@
+//! Interned task labels.
+//!
+//! A [`TaskLabel`] stores a task's human-readable name as an `Arc<str>`
+//! created **once**, when the user names the task. Every consumer — the
+//! scheduler's observer hooks, the event-ring tracer, DOT dumps — clones
+//! the label, which is a reference-count bump, not a heap allocation. This
+//! is what keeps the telemetry record path allocation-free: the old tracer
+//! copied the name `String` on every task entry.
+
+use std::sync::Arc;
+
+/// An interned, cheaply cloneable task name.
+///
+/// Cloning bumps a reference count; no text is copied. Unnamed tasks carry
+/// the empty label, which allocates nothing at all.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct TaskLabel(Option<Arc<str>>);
+
+impl TaskLabel {
+    /// The empty label (no allocation).
+    pub const fn empty() -> TaskLabel {
+        TaskLabel(None)
+    }
+
+    /// Interns `name`; the only point where label text is allocated.
+    pub fn new(name: impl AsRef<str>) -> TaskLabel {
+        let s = name.as_ref();
+        if s.is_empty() {
+            TaskLabel(None)
+        } else {
+            TaskLabel(Some(Arc::from(s)))
+        }
+    }
+
+    /// The label text; empty string for unnamed tasks.
+    pub fn as_str(&self) -> &str {
+        self.0.as_deref().unwrap_or("")
+    }
+
+    /// `true` for the unnamed-task label.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+impl std::ops::Deref for TaskLabel {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::fmt::Display for TaskLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::fmt::Debug for TaskLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl From<&str> for TaskLabel {
+    fn from(s: &str) -> TaskLabel {
+        TaskLabel::new(s)
+    }
+}
+
+impl From<String> for TaskLabel {
+    fn from(s: String) -> TaskLabel {
+        if s.is_empty() {
+            TaskLabel(None)
+        } else {
+            TaskLabel(Some(Arc::from(s)))
+        }
+    }
+}
+
+impl PartialEq<str> for TaskLabel {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for TaskLabel {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_label_allocates_nothing() {
+        let l = TaskLabel::empty();
+        assert!(l.is_empty());
+        assert_eq!(l.as_str(), "");
+        assert!(TaskLabel::new("").is_empty());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = TaskLabel::new("matmul");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b, "matmul");
+        // Same allocation, not a copy.
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(TaskLabel::from("x").as_str(), "x");
+        assert_eq!(TaskLabel::from(String::from("y")).as_str(), "y");
+        assert_eq!(format!("{}", TaskLabel::new("t1")), "t1");
+        assert_eq!(format!("{:?}", TaskLabel::new("t1")), "\"t1\"");
+    }
+}

@@ -58,9 +58,12 @@ mod error;
 mod executor;
 mod future;
 mod graph;
+mod label;
 mod notifier;
 mod observer;
+mod ring;
 mod shared_vec;
+mod stats;
 mod subflow;
 mod sync_cell;
 mod task;
@@ -68,10 +71,14 @@ mod topology;
 pub mod wsq;
 
 pub use error::{RunResult, TaskPanic};
-pub use executor::{Executor, ExecutorBuilder, WorkerStats};
+pub use executor::{Executor, ExecutorBuilder};
 pub use future::{Promise, SharedFuture};
-pub use observer::{BusyCounter, ExecutorObserver, TraceEvent, Tracer};
+pub use label::TaskLabel;
+pub use observer::{
+    BusyCounter, ExecutorObserver, SchedEvent, SchedEventKind, TraceEvent, Tracer, DISPATCH_LANE,
+};
 pub use shared_vec::SharedVec;
+pub use stats::{ExecutorStats, WorkerStats};
 pub use subflow::Subflow;
 pub use task::{Task, TaskSet};
 pub use taskflow::Taskflow;

@@ -60,12 +60,7 @@ impl Notifier {
     /// `false` (work appeared concurrently) the registration is rolled back
     /// and the function returns `false` without sleeping. `stop` aborts the
     /// wait.
-    pub(crate) fn wait(
-        &self,
-        w: usize,
-        all_empty: impl Fn() -> bool,
-        stop: &AtomicBool,
-    ) -> bool {
+    pub(crate) fn wait(&self, w: usize, all_empty: impl Fn() -> bool, stop: &AtomicBool) -> bool {
         let mut guard = self.idlers.lock();
         // Dekker step 1: become visible as an idler...
         self.num_idlers.fetch_add(1, Ordering::SeqCst);
@@ -104,7 +99,10 @@ impl Notifier {
         Some(w)
     }
 
-    /// Wakes up to `n` parked workers.
+    /// Wakes up to `n` parked workers. (The executor now loops
+    /// `wake_one` itself so it can observe each woken id, but this stays
+    /// as the batch API and is exercised by tests.)
+    #[allow(dead_code)]
     pub(crate) fn wake_n(&self, n: usize) -> usize {
         let mut woken = 0;
         while woken < n && self.wake_one().is_some() {
@@ -120,8 +118,7 @@ impl Notifier {
             self.slots[w].napping.store(false, Ordering::Relaxed);
             self.slots[w].cv.notify_one();
         }
-        self.num_idlers
-            .fetch_sub(guard.len(), Ordering::SeqCst);
+        self.num_idlers.fetch_sub(guard.len(), Ordering::SeqCst);
         guard.clear();
     }
 

@@ -1,23 +1,127 @@
-//! Executor observers: hooks around task execution.
+//! Scheduler telemetry: lifecycle observers, event records, and trace
+//! export (§III-G of the paper, extended to the full Algorithm-1
+//! lifecycle).
 //!
 //! Cpp-Taskflow exposes an `ExecutorObserverInterface` so tools can watch
-//! the scheduler without touching it; we use the same design to produce
-//! the CPU-utilization profile of Figure 10 (right) and execution traces.
+//! the scheduler without touching it. This module widens that idea from
+//! task entry/exit to every scheduling decision Algorithm 1 makes — cache
+//! hits, steals, parks, wake-ups, topology dispatch — and records them
+//! without any lock shared between workers: the [`Tracer`] gives each
+//! worker its own fixed-capacity [`EventRing`](crate::ring) and drains
+//! them off the hot path.
 
+use crate::label::TaskLabel;
+use crate::ring::EventRing;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Hooks invoked by every worker around each task it executes.
+/// Pseudo worker id used for events recorded off the worker threads
+/// (topology dispatch runs on the caller's thread).
+pub const DISPATCH_LANE: usize = usize::MAX;
+
+/// What happened, for one [`SchedEvent`].
 ///
-/// Implementations must be cheap and thread-safe; they run on the hot path.
+/// The variants mirror Algorithm 1 of the paper: task execution (lines
+/// 16–25), the exclusive-cache fast path, work stealing (line 3), parking
+/// on the idler list (lines 5–13), wake-ups (targeted on submission,
+/// probabilistic after a drained chain, lines 26–28), and topology
+/// dispatch/finalize (§III-C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedEventKind {
+    /// A worker is about to invoke a task's callable.
+    TaskEntry,
+    /// The task's callable returned (or panicked; the exit still fires).
+    TaskExit,
+    /// The next task came from the worker's exclusive cache slot — a
+    /// linear-chain step that touched no queue.
+    CacheHit,
+    /// The worker stole a task from `victim`'s deque.
+    Steal {
+        /// Worker whose deque was robbed.
+        victim: usize,
+    },
+    /// A full steal round (every victim plus the injector) found nothing.
+    StealFail,
+    /// The worker took a task from the external injector queue.
+    InjectorPop,
+    /// The worker is about to park on the idler list.
+    Park,
+    /// This thread woke a parked worker.
+    Wake {
+        /// The worker that was woken.
+        woken: usize,
+        /// `true` for submission-driven wakes, `false` for the
+        /// probabilistic load-balancing wake after a drained chain.
+        targeted: bool,
+    },
+    /// A topology was dispatched to the executor.
+    TopologyDispatch {
+        /// Unique id of the topology (see [`SchedEvent::worker`] note:
+        /// dispatch events carry [`DISPATCH_LANE`]).
+        topology: u64,
+        /// Number of top-level tasks in the dispatched graph.
+        tasks: usize,
+    },
+    /// The last task of a topology completed.
+    TopologyFinalize {
+        /// Unique id of the topology.
+        topology: u64,
+    },
+}
+
+/// One recorded scheduler event.
+#[derive(Debug, Clone)]
+pub struct SchedEvent {
+    /// Worker that recorded the event, or [`DISPATCH_LANE`] for events
+    /// from non-worker threads (dispatch, finalize observed off-worker).
+    pub worker: usize,
+    /// Microseconds since the tracer was installed.
+    pub ts_us: u64,
+    /// Label of the task involved, when the event concerns a task
+    /// (entry/exit/cache hit); empty otherwise. Cloning a label is a
+    /// reference-count bump, never an allocation.
+    pub label: TaskLabel,
+    /// What happened.
+    pub kind: SchedEventKind,
+}
+
+/// Hooks invoked by the executor around every scheduling decision.
+///
+/// All hooks have empty default bodies, so an implementation overrides
+/// only what it cares about. They run on the hot path behind a single
+/// `has_observers` check; implementations must be cheap and thread-safe.
 pub trait ExecutorObserver: Send + Sync {
     /// Called once when the observer is installed.
     fn on_observe(&self, _num_workers: usize) {}
     /// Called by worker `worker` immediately before invoking a task.
-    fn on_entry(&self, _worker: usize, _task_name: &str) {}
-    /// Called by worker `worker` immediately after a task returns.
-    fn on_exit(&self, _worker: usize, _task_name: &str) {}
+    fn on_entry(&self, _worker: usize, _label: &TaskLabel) {}
+    /// Called by worker `worker` immediately after a task returns (also
+    /// fires when the task panicked).
+    fn on_exit(&self, _worker: usize, _label: &TaskLabel) {}
+    /// Called when `worker` pulls its next task from the exclusive cache
+    /// slot (speculative linear-chain execution; no queue traffic).
+    fn on_cache_hit(&self, _worker: usize, _label: &TaskLabel) {}
+    /// Called when `thief` successfully steals a task from `victim`.
+    fn on_steal(&self, _thief: usize, _victim: usize) {}
+    /// Called when a full steal round of `worker` (all victims plus the
+    /// injector) comes back empty.
+    fn on_steal_fail(&self, _worker: usize) {}
+    /// Called when `worker` pops a task from the external injector queue.
+    fn on_injector_pop(&self, _worker: usize) {}
+    /// Called when `worker` is about to park on the idler list.
+    fn on_park(&self, _worker: usize) {}
+    /// Called when `waker` wakes the parked worker `woken`. `targeted` is
+    /// `true` for submission-driven wakes and `false` for the
+    /// probabilistic load-balancing wake; `waker` is [`DISPATCH_LANE`]
+    /// when the wake came from a dispatching (non-worker) thread.
+    fn on_wake(&self, _waker: usize, _woken: usize, _targeted: bool) {}
+    /// Called on the dispatching thread when a topology with `num_tasks`
+    /// top-level tasks is handed to the executor.
+    fn on_topology_start(&self, _topology: u64, _num_tasks: usize) {}
+    /// Called by the finalizing worker when a topology's last task
+    /// completed.
+    fn on_topology_stop(&self, _topology: u64) {}
 }
 
 /// Counts workers that are currently executing a task; sampling it over
@@ -46,16 +150,16 @@ impl BusyCounter {
 }
 
 impl ExecutorObserver for BusyCounter {
-    fn on_entry(&self, _worker: usize, _task_name: &str) {
+    fn on_entry(&self, _worker: usize, _label: &TaskLabel) {
         self.busy.fetch_add(1, Ordering::Relaxed);
     }
-    fn on_exit(&self, _worker: usize, _task_name: &str) {
+    fn on_exit(&self, _worker: usize, _label: &TaskLabel) {
         self.busy.fetch_sub(1, Ordering::Relaxed);
         self.executed.fetch_add(1, Ordering::Relaxed);
     }
 }
 
-/// One recorded task execution.
+/// One recorded task execution, paired from entry/exit events.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
     /// Worker that executed the task.
@@ -68,22 +172,41 @@ pub struct TraceEvent {
     pub end_us: u64,
 }
 
-/// Records every task execution with timestamps; useful for debugging and
-/// for offline schedule visualization. Heavier than [`BusyCounter`].
+/// Default ring capacity per lane (events).
+const DEFAULT_LANE_CAPACITY: usize = 1 << 15;
+
+/// Records the full scheduler lifecycle into per-worker event rings.
+///
+/// The record path touches only the recording worker's own ring — no lock
+/// is shared between workers, so tracing perturbs the schedule far less
+/// than a global mutex would (and never blocks). Rings have fixed
+/// capacity; when one fills up, further events on that lane are counted
+/// in [`Tracer::dropped`] and discarded until [`Tracer::collect`] (or any
+/// exporter, which collects implicitly) drains them into the archive.
 pub struct Tracer {
     epoch: Instant,
-    events: Mutex<Vec<TraceEvent>>,
-    // Per-worker open entry timestamps (worker executes one task at a time).
-    open: Box<[Mutex<Option<(String, u64)>>]>,
+    /// One ring per worker plus a final lane for non-worker threads.
+    lanes: Box<[EventRing]>,
+    /// Drained events, ordered by timestamp after `collect`.
+    archive: Mutex<Vec<SchedEvent>>,
 }
 
 impl Tracer {
-    /// Creates a tracer able to track up to `max_workers` workers.
+    /// Creates a tracer for up to `max_workers` workers with the default
+    /// per-lane capacity (32768 events).
     pub fn new(max_workers: usize) -> Self {
+        Tracer::with_capacity(max_workers, DEFAULT_LANE_CAPACITY)
+    }
+
+    /// Creates a tracer whose per-worker rings hold `lane_capacity`
+    /// events (rounded up to a power of two).
+    pub fn with_capacity(max_workers: usize, lane_capacity: usize) -> Self {
         Tracer {
             epoch: Instant::now(),
-            events: Mutex::new(Vec::new()),
-            open: (0..max_workers).map(|_| Mutex::new(None)).collect(),
+            lanes: (0..=max_workers)
+                .map(|_| EventRing::new(lane_capacity))
+                .collect(),
+            archive: Mutex::new(Vec::new()),
         }
     }
 
@@ -91,29 +214,201 @@ impl Tracer {
         self.epoch.elapsed().as_micros() as u64
     }
 
-    /// Drains the recorded events.
-    pub fn take_events(&self) -> Vec<TraceEvent> {
-        std::mem::take(&mut self.events.lock())
+    /// Number of worker lanes (excluding the dispatch lane).
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len() - 1
     }
 
-    /// Renders the recorded events as a Chrome trace (`chrome://tracing`
-    /// / Perfetto JSON array format): one complete event per task, one
-    /// lane per worker. Does not drain the events.
+    /// Capacity of each lane's ring, in events.
+    pub fn lane_capacity(&self) -> usize {
+        self.lanes[0].capacity()
+    }
+
+    /// Events discarded because a lane's ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.lanes.iter().map(|l| l.dropped()).sum()
+    }
+
+    #[inline]
+    fn record(&self, worker: usize, label: TaskLabel, kind: SchedEventKind) {
+        let lane = worker.min(self.lanes.len() - 1);
+        self.lanes[lane].push(SchedEvent {
+            worker,
+            ts_us: self.now_us(),
+            label,
+            kind,
+        });
+    }
+
+    /// Drains every lane into the internal archive and re-sorts it by
+    /// timestamp. Call periodically during long runs to keep the
+    /// fixed-capacity rings from overflowing; every exporter calls it
+    /// implicitly.
+    pub fn collect(&self) {
+        let mut archive = self.archive.lock();
+        let before = archive.len();
+        for lane in self.lanes.iter() {
+            lane.drain_into(&mut archive);
+        }
+        if archive.len() > before {
+            archive.sort_by_key(|e| e.ts_us);
+        }
+    }
+
+    /// All recorded scheduler events, ordered by timestamp (collects
+    /// first; does not drain the archive).
+    pub fn sched_events(&self) -> Vec<SchedEvent> {
+        self.collect();
+        self.archive.lock().clone()
+    }
+
+    /// Drains the recorded events, paired into one [`TraceEvent`] per
+    /// task execution. Non-task events (steals, parks, wakes…) are
+    /// dropped by this compatibility view; use [`Tracer::sched_events`]
+    /// or [`Tracer::chrome_trace_json`] to see them.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        self.collect();
+        let drained = std::mem::take(&mut *self.archive.lock());
+        let mut open: std::collections::HashMap<usize, Vec<(TaskLabel, u64)>> =
+            std::collections::HashMap::new();
+        let mut out = Vec::new();
+        for e in drained {
+            match e.kind {
+                SchedEventKind::TaskEntry => {
+                    open.entry(e.worker).or_default().push((e.label, e.ts_us));
+                }
+                SchedEventKind::TaskExit => {
+                    let matched = open.get_mut(&e.worker).and_then(|v| v.pop());
+                    let (label, begin) = matched.unwrap_or((e.label, e.ts_us));
+                    out.push(TraceEvent {
+                        worker: e.worker,
+                        name: label.to_string(),
+                        begin_us: begin,
+                        end_us: e.ts_us,
+                    });
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Renders every recorded event as a Chrome trace (`chrome://tracing`
+    /// / Perfetto JSON array format): one lane (`tid`) per worker plus a
+    /// dispatch lane. Task executions become complete (`"X"`) events;
+    /// parks become complete events lasting until the lane's next event;
+    /// cache hits, steals, wakes and topology milestones become instants
+    /// (`"i"`). Collects first; does not drain, so it can be called
+    /// repeatedly. All names are JSON-escaped.
     pub fn chrome_trace_json(&self) -> String {
-        let events = self.events.lock();
-        let mut out = String::with_capacity(64 + events.len() * 96);
+        self.collect();
+        let archive = self.archive.lock();
+        let nworkers = self.num_lanes();
+        let tid = |w: usize| if w == DISPATCH_LANE { nworkers } else { w };
+
+        // For park durations: index of the next event on the same lane.
+        let mut next_on_lane: Vec<Option<u64>> = vec![None; archive.len()];
+        {
+            let mut last_seen: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
+            for (i, e) in archive.iter().enumerate() {
+                if let Some(prev) = last_seen.insert(e.worker, i) {
+                    next_on_lane[prev] = Some(e.ts_us);
+                }
+            }
+        }
+
+        let mut open: std::collections::HashMap<usize, Vec<(usize, u64)>> =
+            std::collections::HashMap::new();
+        let mut out = String::with_capacity(64 + archive.len() * 96);
         out.push('[');
-        for (i, e) in events.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        let mut emit = |s: &str| {
+            if !std::mem::take(&mut first) {
                 out.push(',');
             }
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
-                e.name.replace('\\', "").replace('"', ""),
-                e.begin_us,
-                e.end_us.saturating_sub(e.begin_us).max(1),
-                e.worker
-            ));
+            out.push_str(s);
+        };
+        for (i, e) in archive.iter().enumerate() {
+            let t = tid(e.worker);
+            match &e.kind {
+                SchedEventKind::TaskEntry => {
+                    open.entry(e.worker).or_default().push((i, e.ts_us));
+                }
+                SchedEventKind::TaskExit => {
+                    let (bi, begin) = open
+                        .get_mut(&e.worker)
+                        .and_then(|v| v.pop())
+                        .unwrap_or((i, e.ts_us));
+                    let label = &archive[bi].label;
+                    let name = if label.is_empty() {
+                        String::from("(task)")
+                    } else {
+                        escape_json(label)
+                    };
+                    emit(&format!(
+                        "{{\"name\":\"{}\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
+                        name,
+                        begin,
+                        e.ts_us.saturating_sub(begin).max(1),
+                        t
+                    ));
+                }
+                SchedEventKind::Park => {
+                    let dur = next_on_lane[i]
+                        .map(|n| n.saturating_sub(e.ts_us))
+                        .unwrap_or(0)
+                        .max(1);
+                    emit(&format!(
+                        "{{\"name\":\"park\",\"cat\":\"idle\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}}}",
+                        e.ts_us, dur, t
+                    ));
+                }
+                SchedEventKind::CacheHit => {
+                    emit(&format!(
+                        "{{\"name\":\"cache-hit\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"task\":\"{}\"}}}}",
+                        e.ts_us,
+                        t,
+                        escape_json(&e.label)
+                    ));
+                }
+                SchedEventKind::Steal { victim } => {
+                    emit(&format!(
+                        "{{\"name\":\"steal\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"victim\":{}}}}}",
+                        e.ts_us, t, victim
+                    ));
+                }
+                SchedEventKind::StealFail => {
+                    emit(&format!(
+                        "{{\"name\":\"steal-fail\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{}}}",
+                        e.ts_us, t
+                    ));
+                }
+                SchedEventKind::InjectorPop => {
+                    emit(&format!(
+                        "{{\"name\":\"injector-pop\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{}}}",
+                        e.ts_us, t
+                    ));
+                }
+                SchedEventKind::Wake { woken, targeted } => {
+                    emit(&format!(
+                        "{{\"name\":\"wake\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"woken\":{},\"targeted\":{}}}}}",
+                        e.ts_us, t, woken, targeted
+                    ));
+                }
+                SchedEventKind::TopologyDispatch { topology, tasks } => {
+                    emit(&format!(
+                        "{{\"name\":\"topology-dispatch\",\"cat\":\"topology\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"topology\":{},\"tasks\":{}}}}}",
+                        e.ts_us, t, topology, tasks
+                    ));
+                }
+                SchedEventKind::TopologyFinalize { topology } => {
+                    emit(&format!(
+                        "{{\"name\":\"topology-finalize\",\"cat\":\"topology\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"topology\":{}}}}}",
+                        e.ts_us, t, topology
+                    ));
+                }
+            }
         }
         out.push(']');
         out
@@ -121,49 +416,92 @@ impl Tracer {
 }
 
 impl ExecutorObserver for Tracer {
-    fn on_entry(&self, worker: usize, task_name: &str) {
-        if let Some(slot) = self.open.get(worker) {
-            *slot.lock() = Some((task_name.to_string(), self.now_us()));
-        }
+    fn on_entry(&self, worker: usize, label: &TaskLabel) {
+        self.record(worker, label.clone(), SchedEventKind::TaskEntry);
     }
+    fn on_exit(&self, worker: usize, label: &TaskLabel) {
+        self.record(worker, label.clone(), SchedEventKind::TaskExit);
+    }
+    fn on_cache_hit(&self, worker: usize, label: &TaskLabel) {
+        self.record(worker, label.clone(), SchedEventKind::CacheHit);
+    }
+    fn on_steal(&self, thief: usize, victim: usize) {
+        self.record(thief, TaskLabel::empty(), SchedEventKind::Steal { victim });
+    }
+    fn on_steal_fail(&self, worker: usize) {
+        self.record(worker, TaskLabel::empty(), SchedEventKind::StealFail);
+    }
+    fn on_injector_pop(&self, worker: usize) {
+        self.record(worker, TaskLabel::empty(), SchedEventKind::InjectorPop);
+    }
+    fn on_park(&self, worker: usize) {
+        self.record(worker, TaskLabel::empty(), SchedEventKind::Park);
+    }
+    fn on_wake(&self, waker: usize, woken: usize, targeted: bool) {
+        self.record(
+            waker,
+            TaskLabel::empty(),
+            SchedEventKind::Wake { woken, targeted },
+        );
+    }
+    fn on_topology_start(&self, topology: u64, num_tasks: usize) {
+        self.record(
+            DISPATCH_LANE,
+            TaskLabel::empty(),
+            SchedEventKind::TopologyDispatch {
+                topology,
+                tasks: num_tasks,
+            },
+        );
+    }
+    fn on_topology_stop(&self, topology: u64) {
+        self.record(
+            DISPATCH_LANE,
+            TaskLabel::empty(),
+            SchedEventKind::TopologyFinalize { topology },
+        );
+    }
+}
 
-    fn on_exit(&self, worker: usize, task_name: &str) {
-        let end = self.now_us();
-        if let Some(slot) = self.open.get(worker) {
-            if let Some((name, begin)) = slot.lock().take() {
-                self.events.lock().push(TraceEvent {
-                    worker,
-                    name,
-                    begin_us: begin,
-                    end_us: end,
-                });
-                return;
+/// Escapes `s` for inclusion inside a JSON string literal: `"` and `\`
+/// are backslash-escaped and control characters become `\n`/`\r`/`\t` or
+/// `\u00XX` sequences.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
             }
+            c => out.push(c),
         }
-        // Unmatched exit (shouldn't happen); record zero-length event.
-        self.events.lock().push(TraceEvent {
-            worker,
-            name: task_name.to_string(),
-            begin_us: end,
-            end_us: end,
-        });
     }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn label(s: &str) -> TaskLabel {
+        TaskLabel::new(s)
+    }
+
     #[test]
     fn busy_counter_tracks_entries_and_exits() {
         let c = BusyCounter::new();
-        c.on_entry(0, "a");
-        c.on_entry(1, "b");
+        c.on_entry(0, &label("a"));
+        c.on_entry(1, &label("b"));
         assert_eq!(c.busy(), 2);
-        c.on_exit(0, "a");
+        c.on_exit(0, &label("a"));
         assert_eq!(c.busy(), 1);
         assert_eq!(c.executed(), 1);
-        c.on_exit(1, "b");
+        c.on_exit(1, &label("b"));
         assert_eq!(c.busy(), 0);
         assert_eq!(c.executed(), 2);
     }
@@ -171,10 +509,10 @@ mod tests {
     #[test]
     fn tracer_records_matched_events() {
         let t = Tracer::new(2);
-        t.on_entry(0, "x");
-        t.on_exit(0, "x");
-        t.on_entry(1, "y");
-        t.on_exit(1, "y");
+        t.on_entry(0, &label("x"));
+        t.on_exit(0, &label("x"));
+        t.on_entry(1, &label("y"));
+        t.on_exit(1, &label("y"));
         let events = t.take_events();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].name, "x");
@@ -183,27 +521,99 @@ mod tests {
     }
 
     #[test]
+    fn tracer_keeps_lifecycle_events() {
+        let t = Tracer::new(2);
+        t.on_steal(1, 0);
+        t.on_steal_fail(1);
+        t.on_injector_pop(0);
+        t.on_park(1);
+        t.on_wake(0, 1, true);
+        t.on_cache_hit(0, &label("c"));
+        t.on_topology_start(7, 3);
+        t.on_topology_stop(7);
+        let events = t.sched_events();
+        assert_eq!(events.len(), 8);
+        assert!(events
+            .iter()
+            .any(|e| e.kind == SchedEventKind::Steal { victim: 0 }));
+        assert!(events.iter().any(|e| e.kind
+            == SchedEventKind::TopologyDispatch {
+                topology: 7,
+                tasks: 3
+            }));
+        // The compat view keeps only task executions.
+        assert!(t.take_events().is_empty());
+    }
+
+    #[test]
     fn chrome_trace_is_valid_shape() {
         let t = Tracer::new(2);
-        t.on_entry(0, "alpha");
-        t.on_exit(0, "alpha");
-        t.on_entry(1, "beta");
-        t.on_exit(1, "beta");
+        t.on_entry(0, &label("alpha"));
+        t.on_exit(0, &label("alpha"));
+        t.on_entry(1, &label("beta"));
+        t.on_exit(1, &label("beta"));
+        t.on_steal(1, 0);
+        t.on_park(1);
+        t.on_wake(0, 1, false);
         let json = t.chrome_trace_json();
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\"name\":\"alpha\""));
+        assert!(json.contains("\"name\":\"steal\""));
+        assert!(json.contains("\"name\":\"park\""));
+        assert!(json.contains("\"name\":\"wake\""));
         assert!(json.contains("\"tid\":1"));
-        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
-        // take_events still returns everything (export is non-draining).
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3); // 2 tasks + park
+                                                             // take_events still returns the tasks (export is non-draining).
         assert_eq!(t.take_events().len(), 2);
     }
 
     #[test]
     fn tracer_tolerates_unmatched_exit() {
         let t = Tracer::new(1);
-        t.on_exit(0, "ghost");
+        t.on_exit(0, &label("ghost"));
         let events = t.take_events();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].begin_us, events[0].end_us);
+        assert_eq!(events[0].name, "ghost");
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_backslashes_and_controls() {
+        // Satellite regression: the seed exporter stripped these chars.
+        let nasty = "a\"b\n\t\\c";
+        assert_eq!(escape_json(nasty), "a\\\"b\\n\\t\\\\c");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+
+        let t = Tracer::new(1);
+        t.on_entry(0, &label(nasty));
+        t.on_exit(0, &label(nasty));
+        let json = t.chrome_trace_json();
+        assert!(json.contains("a\\\"b\\n\\t\\\\c"));
+        // No raw (unescaped) quote inside the name.
+        assert!(!json.contains("a\"b"));
+    }
+
+    #[test]
+    fn dropped_counts_overflow() {
+        let t = Tracer::with_capacity(1, 8);
+        for _ in 0..20 {
+            t.on_park(0);
+        }
+        assert_eq!(t.dropped(), 12);
+        assert_eq!(t.sched_events().len(), 8);
+    }
+
+    #[test]
+    fn collect_between_bursts_prevents_loss() {
+        let t = Tracer::with_capacity(1, 8);
+        for _ in 0..8 {
+            t.on_park(0);
+        }
+        t.collect();
+        for _ in 0..8 {
+            t.on_park(0);
+        }
+        assert_eq!(t.sched_events().len(), 16);
+        assert_eq!(t.dropped(), 0);
     }
 }

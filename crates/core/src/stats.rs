@@ -1,0 +1,248 @@
+//! Per-worker scheduler counters and their Prometheus-style export.
+//!
+//! Workers maintain relaxed atomic counters for every Algorithm-1 event
+//! class (executions, cache hits, steals and their failures, parks,
+//! wake-ups, injector pops). [`crate::Executor::stats`] snapshots them
+//! into an [`ExecutorStats`], which can be diffed against an earlier
+//! snapshot ([`ExecutorStats::delta`]) and rendered in the Prometheus
+//! text exposition format ([`ExecutorStats::prometheus_text`]) for
+//! scraping or offline analysis.
+
+/// Snapshot of one worker's diagnostic counters.
+///
+/// All counters are maintained with relaxed atomics on the worker's own
+/// cache line; they are advisory (monotonic, but a snapshot is not an
+/// atomic cut across workers).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this worker executed.
+    pub executed: u64,
+    /// Tasks pulled from the exclusive cache slot (linear-chain steps
+    /// that touched no queue).
+    pub cache_hits: u64,
+    /// Successful steals this worker performed.
+    pub steals: u64,
+    /// Individual steal attempts (one per victim probe).
+    pub steal_attempts: u64,
+    /// Steal rounds that found nothing anywhere (victims + injector).
+    pub steal_fails: u64,
+    /// Tasks taken from the external injector queue.
+    pub injector_pops: u64,
+    /// Times this worker entered the idle path.
+    pub parks: u64,
+    /// Wake-ups this worker issued (targeted and probabilistic).
+    pub wakes_sent: u64,
+}
+
+impl WorkerStats {
+    /// Counter-wise `self - earlier`, saturating at zero.
+    pub fn delta(&self, earlier: &WorkerStats) -> WorkerStats {
+        WorkerStats {
+            executed: self.executed.saturating_sub(earlier.executed),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            steals: self.steals.saturating_sub(earlier.steals),
+            steal_attempts: self.steal_attempts.saturating_sub(earlier.steal_attempts),
+            steal_fails: self.steal_fails.saturating_sub(earlier.steal_fails),
+            injector_pops: self.injector_pops.saturating_sub(earlier.injector_pops),
+            parks: self.parks.saturating_sub(earlier.parks),
+            wakes_sent: self.wakes_sent.saturating_sub(earlier.wakes_sent),
+        }
+    }
+
+    fn add(&mut self, other: &WorkerStats) {
+        self.executed += other.executed;
+        self.cache_hits += other.cache_hits;
+        self.steals += other.steals;
+        self.steal_attempts += other.steal_attempts;
+        self.steal_fails += other.steal_fails;
+        self.injector_pops += other.injector_pops;
+        self.parks += other.parks;
+        self.wakes_sent += other.wakes_sent;
+    }
+}
+
+/// Accessor pulling one counter out of a [`WorkerStats`].
+type MetricAccessor = fn(&WorkerStats) -> u64;
+
+/// The metric catalogue: (suffix-less metric name, help text, accessor).
+const METRICS: &[(&str, &str, MetricAccessor)] = &[
+    (
+        "rustflow_tasks_executed_total",
+        "Tasks executed, per worker.",
+        |w| w.executed,
+    ),
+    (
+        "rustflow_cache_hits_total",
+        "Tasks pulled from the exclusive per-worker cache slot.",
+        |w| w.cache_hits,
+    ),
+    (
+        "rustflow_steals_total",
+        "Successful steals, per thief.",
+        |w| w.steals,
+    ),
+    (
+        "rustflow_steal_attempts_total",
+        "Individual steal probes, per thief.",
+        |w| w.steal_attempts,
+    ),
+    (
+        "rustflow_steal_failures_total",
+        "Steal rounds that found no work anywhere.",
+        |w| w.steal_fails,
+    ),
+    (
+        "rustflow_injector_pops_total",
+        "Tasks taken from the external injector queue.",
+        |w| w.injector_pops,
+    ),
+    (
+        "rustflow_parks_total",
+        "Times a worker parked on the idler list.",
+        |w| w.parks,
+    ),
+    (
+        "rustflow_wakes_sent_total",
+        "Wake-ups issued (targeted and probabilistic).",
+        |w| w.wakes_sent,
+    ),
+];
+
+/// A point-in-time snapshot of every worker's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// One entry per worker, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ExecutorStats {
+    /// Sum of all workers' counters.
+    pub fn total(&self) -> WorkerStats {
+        let mut total = WorkerStats::default();
+        for w in &self.workers {
+            total.add(w);
+        }
+        total
+    }
+
+    /// Worker-wise difference against an `earlier` snapshot of the same
+    /// executor — the activity that happened in between (e.g. during one
+    /// benchmark run). Saturates at zero per counter.
+    pub fn delta(&self, earlier: &ExecutorStats) -> ExecutorStats {
+        ExecutorStats {
+            workers: self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| match earlier.workers.get(i) {
+                    Some(e) => w.delta(e),
+                    None => w.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// one counter family per metric with `# HELP`/`# TYPE` headers and
+    /// one `{worker="N"}`-labelled sample per worker.
+    ///
+    /// ```
+    /// let ex = rustflow::Executor::new(2);
+    /// let text = ex.stats().prometheus_text();
+    /// assert!(text.contains("# TYPE rustflow_tasks_executed_total counter"));
+    /// assert!(text.contains("rustflow_tasks_executed_total{worker=\"0\"}"));
+    /// ```
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::with_capacity(METRICS.len() * (96 + self.workers.len() * 48));
+        for (name, help, get) in METRICS {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push_str(" counter\n");
+            for (id, w) in self.workers.iter().enumerate() {
+                out.push_str(&format!("{name}{{worker=\"{id}\"}} {}\n", get(w)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(executed: u64, steals: u64) -> WorkerStats {
+        WorkerStats {
+            executed,
+            steals,
+            ..WorkerStats::default()
+        }
+    }
+
+    #[test]
+    fn total_sums_workers() {
+        let s = ExecutorStats {
+            workers: vec![stats(3, 1), stats(4, 2)],
+        };
+        let t = s.total();
+        assert_eq!(t.executed, 7);
+        assert_eq!(t.steals, 3);
+    }
+
+    #[test]
+    fn delta_subtracts_and_saturates() {
+        let early = ExecutorStats {
+            workers: vec![stats(3, 5)],
+        };
+        let late = ExecutorStats {
+            workers: vec![stats(10, 5), stats(2, 0)],
+        };
+        let d = late.delta(&early);
+        assert_eq!(d.workers[0].executed, 7);
+        assert_eq!(d.workers[0].steals, 0);
+        // Worker appearing only in the later snapshot passes through.
+        assert_eq!(d.workers[1].executed, 2);
+        // Saturation instead of underflow.
+        assert_eq!(early.delta(&late).workers[0].executed, 0);
+    }
+
+    #[test]
+    fn prometheus_text_is_valid_exposition_format() {
+        let s = ExecutorStats {
+            workers: vec![stats(3, 1), stats(4, 2)],
+        };
+        let text = s.prometheus_text();
+        let mut samples = 0;
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines inside the exposition");
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP rustflow_") || rest.starts_with("TYPE rustflow_"),
+                    "bad comment line: {line}"
+                );
+                if let Some(ty) = rest.strip_prefix("TYPE ") {
+                    assert!(ty.ends_with(" counter"), "all metrics are counters: {line}");
+                }
+                continue;
+            }
+            // Sample line: name{worker="N"} value
+            let open = line.find('{').expect("label set");
+            let close = line.find('}').expect("label set closed");
+            let name = &line[..open];
+            assert!(name.starts_with("rustflow_") && name.ends_with("_total"));
+            let labels = &line[open + 1..close];
+            assert!(labels.starts_with("worker=\"") && labels.ends_with('"'));
+            let value = line[close + 1..].trim();
+            value.parse::<u64>().expect("integer sample value");
+            samples += 1;
+        }
+        // 8 metrics × 2 workers.
+        assert_eq!(samples, 16);
+        assert!(text.contains("rustflow_tasks_executed_total{worker=\"0\"} 3"));
+        assert!(text.contains("rustflow_steals_total{worker=\"1\"} 2"));
+    }
+}

@@ -41,12 +41,15 @@ impl<'g> Task<'g> {
         );
     }
 
-    /// Assigns a human-readable name (shown in DOT dumps); returns `self`.
+    /// Assigns a human-readable name (shown in DOT dumps and observer
+    /// events); returns `self`. The name is interned once here — every
+    /// later use (tracing, stats, dumps) clones a reference, never the
+    /// text.
     pub fn name(self, name: impl Into<String>) -> Self {
         self.assert_mutable();
         // SAFETY: build phase, single thread.
         unsafe {
-            *(*self.node).name.get_mut() = Some(name.into());
+            *(*self.node).name.get_mut() = crate::TaskLabel::from(name.into());
         }
         self
     }
@@ -77,11 +80,9 @@ impl<'g> Task<'g> {
     /// `sources`. The mirror image of [`Task::precede`].
     pub fn succeed<T: TaskSet<'g>>(self, sources: T) -> Self {
         self.assert_mutable();
-        sources.for_each(&mut |t| {
-            unsafe {
-                (*t.node).successors.get_mut().push(self.node);
-                *(*self.node).in_degree.get_mut() += 1;
-            }
+        sources.for_each(&mut |t| unsafe {
+            (*t.node).successors.get_mut().push(self.node);
+            *(*self.node).in_degree.get_mut() += 1;
         });
         self
     }

@@ -13,9 +13,15 @@ use crate::future::{Promise, SharedFuture};
 use crate::graph::Graph;
 use crate::sync_cell::SyncCell;
 use parking_lot::Mutex;
-use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Process-wide topology id source; ids appear in observer hooks and
+/// traces so runs of the same taskflow can be told apart.
+static NEXT_TOPOLOGY_ID: AtomicU64 = AtomicU64::new(1);
 
 pub(crate) struct Topology {
+    /// Unique (process-wide) id, exposed through observer hooks.
+    pub(crate) id: u64,
     /// The graph being executed. Workers navigate it through raw pointers;
     /// the box-per-node layout keeps addresses stable.
     pub(crate) graph: SyncCell<Graph>,
@@ -40,6 +46,7 @@ impl Topology {
     pub(crate) fn new(graph: Graph) -> (std::sync::Arc<Topology>, SharedFuture<RunResult>) {
         let (promise, future) = crate::future::promise_pair();
         let topo = std::sync::Arc::new(Topology {
+            id: NEXT_TOPOLOGY_ID.fetch_add(1, Ordering::Relaxed),
             graph: SyncCell::new(graph),
             alive: AtomicUsize::new(0),
             promise: SyncCell::new(Some(promise)),

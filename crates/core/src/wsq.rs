@@ -67,7 +67,10 @@ struct Inner {
     bottom: AtomicIsize,
     buffer: AtomicPtr<RingBuffer>,
     /// Retired buffers kept alive until the deque is dropped; only the
-    /// owner pushes here (during `grow`), so contention is nil.
+    /// owner pushes here (during `grow`), so contention is nil. Boxed
+    /// because concurrent stealers may still hold raw pointers into a
+    /// retired buffer — its address must never move.
+    #[allow(clippy::vec_box)]
     garbage: Mutex<Vec<Box<RingBuffer>>>,
 }
 

@@ -57,7 +57,9 @@ fn large_random_dag_respects_every_edge() {
     let tf = Taskflow::with_executor(ex);
     let clk = clock();
     let stamps: Vec<Arc<AtomicUsize>> = (0..N).map(|_| Arc::new(AtomicUsize::new(0))).collect();
-    let tasks: Vec<_> = (0..N).map(|i| tf.emplace(stamp(&clk, &stamps[i]))).collect();
+    let tasks: Vec<_> = (0..N)
+        .map(|i| tf.emplace(stamp(&clk, &stamps[i])))
+        .collect();
     for &(u, v) in &edges {
         tasks[u].precede(tasks[v]);
     }

@@ -101,7 +101,10 @@ fn panics_across_multiple_topologies_are_per_topology() {
     tf.emplace(|| {});
     let f2 = tf.dispatch();
     assert!(f1.get().is_err());
-    assert!(f2.get().is_ok(), "clean topology polluted by another's panic");
+    assert!(
+        f2.get().is_ok(),
+        "clean topology polluted by another's panic"
+    );
 }
 
 #[test]

@@ -11,15 +11,14 @@ use std::sync::Arc;
 /// Strategy: a random DAG as (node count, forward edges).
 fn arb_dag() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (2usize..60).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..120).prop_map(
-            move |pairs| {
+        let edges =
+            proptest::collection::vec((0usize..n, 0usize..n), 0..120).prop_map(move |pairs| {
                 pairs
                     .into_iter()
                     .filter(|&(u, v)| u != v)
                     .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
                     .collect::<Vec<_>>()
-            },
-        );
+            });
         (Just(n), edges)
     })
 }
@@ -51,8 +50,8 @@ proptest! {
             tasks[u].precede(tasks[v]);
         }
         tf.wait_for_all();
-        for i in 0..n {
-            prop_assert_eq!(runs[i].load(Ordering::SeqCst), 1, "task {} run count", i);
+        for (i, run) in runs.iter().enumerate() {
+            prop_assert_eq!(run.load(Ordering::SeqCst), 1, "task {} run count", i);
         }
         let s: Vec<usize> = stamps.iter().map(|s| s.load(Ordering::SeqCst)).collect();
         for &(u, v) in &edges {
@@ -129,9 +128,9 @@ proptest! {
     }
 }
 
-/// Differential test: our Chase–Lev deque vs crossbeam-deque under the
-/// same randomized operation schedule (owner ops single-threaded here;
-/// concurrency is covered by the stress test in the wsq module).
+// Differential test: our Chase–Lev deque vs crossbeam-deque under the
+// same randomized operation schedule (owner ops single-threaded here;
+// concurrency is covered by the stress test in the wsq module).
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

@@ -1,0 +1,570 @@
+//! Integration tests of the scheduler telemetry stack: per-worker event
+//! rings under stress, lifecycle observer semantics (subflows, panics,
+//! concurrent install/remove), Prometheus export, and Chrome-trace JSON
+//! validity.
+
+use rustflow::{
+    Executor, ExecutorBuilder, ExecutorObserver, ExecutorStats, SchedEventKind, TaskLabel,
+    Taskflow, Tracer,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Ring stress: 8 workers, 100k tasks, no shared-lock record path
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stress_eight_workers_hundred_k_tasks_accounted() {
+    const TASKS: usize = 100_000;
+    let ex = Executor::new(8);
+    let tracer = Arc::new(Tracer::new(8));
+    ex.observe(Arc::clone(&tracer) as Arc<dyn ExecutorObserver>);
+
+    // Drain concurrently with recording, as a real exporter would.
+    let stop = Arc::new(AtomicUsize::new(0));
+    let drainer = {
+        let tracer = Arc::clone(&tracer);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while stop.load(Ordering::Acquire) == 0 {
+                tracer.collect();
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        })
+    };
+
+    let counter = Arc::new(AtomicUsize::new(0));
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    for _ in 0..TASKS {
+        let c = Arc::clone(&counter);
+        tf.emplace(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    tf.wait_for_all();
+    stop.store(1, Ordering::Release);
+    drainer.join().unwrap();
+
+    assert_eq!(counter.load(Ordering::Relaxed), TASKS);
+    let events = tracer.sched_events();
+    let entries = events
+        .iter()
+        .filter(|e| e.kind == SchedEventKind::TaskEntry)
+        .count();
+    let exits = events
+        .iter()
+        .filter(|e| e.kind == SchedEventKind::TaskExit)
+        .count();
+    let dropped = tracer.dropped() as usize;
+    // Every task produced an entry and an exit; each was either collected
+    // or counted as dropped when its ring was momentarily full.
+    assert!(
+        entries + exits + dropped >= 2 * TASKS,
+        "lost events beyond ring capacity: {entries} entries + {exits} exits + {dropped} dropped < {}",
+        2 * TASKS
+    );
+    assert!(entries <= TASKS && exits <= TASKS);
+    if dropped == 0 {
+        assert_eq!(entries, TASKS);
+        assert_eq!(exits, TASKS);
+    }
+    // The executed counters are exact regardless of ring pressure.
+    let total = ex.stats().total();
+    assert_eq!(total.executed, TASKS as u64);
+}
+
+#[test]
+fn small_rings_count_drops_instead_of_blocking() {
+    const TASKS: usize = 5_000;
+    let ex = Executor::new(4);
+    let tracer = Arc::new(Tracer::with_capacity(4, 64));
+    ex.observe(Arc::clone(&tracer) as Arc<dyn ExecutorObserver>);
+    let tf = Taskflow::with_executor(ex);
+    for _ in 0..TASKS {
+        tf.emplace(|| {});
+    }
+    tf.wait_for_all();
+    let events = tracer.sched_events().len() as u64;
+    // Tiny rings overflow, but accounting never loses an event silently.
+    assert!(events + tracer.dropped() >= 2 * TASKS as u64);
+    assert!(tracer.dropped() > 0, "64-slot rings must overflow here");
+}
+
+// ---------------------------------------------------------------------------
+// Observer semantics
+// ---------------------------------------------------------------------------
+
+/// Records entry/exit label strings in order.
+#[derive(Default)]
+struct LogObserver {
+    entries: parking_lot::Mutex<Vec<String>>,
+    exits: parking_lot::Mutex<Vec<String>>,
+}
+
+impl ExecutorObserver for LogObserver {
+    fn on_entry(&self, _worker: usize, label: &TaskLabel) {
+        self.entries.lock().push(label.to_string());
+    }
+    fn on_exit(&self, _worker: usize, label: &TaskLabel) {
+        self.exits.lock().push(label.to_string());
+    }
+}
+
+#[test]
+fn observers_see_joined_subflow_children() {
+    let ex = Executor::new(4);
+    let log = Arc::new(LogObserver::default());
+    ex.observe(Arc::clone(&log) as Arc<dyn ExecutorObserver>);
+    let tf = Taskflow::with_executor(ex);
+    tf.emplace_subflow(|sf| {
+        for i in 0..4 {
+            sf.emplace(|| {}).name(format!("child{i}"));
+        }
+        // joined by default
+    })
+    .name("parent");
+    tf.wait_for_all();
+    let entries = log.entries.lock().clone();
+    let exits = log.exits.lock().clone();
+    assert_eq!(entries.len(), 5, "parent + 4 children entered: {entries:?}");
+    assert_eq!(exits.len(), 5);
+    for i in 0..4 {
+        let name = format!("child{i}");
+        assert_eq!(entries.iter().filter(|e| **e == name).count(), 1);
+        assert_eq!(exits.iter().filter(|e| **e == name).count(), 1);
+    }
+    // The parent's exit hook fires when its callable returns, before the
+    // joined children run to completion — so the parent entry comes first
+    // and every child entry follows it.
+    assert_eq!(entries[0], "parent");
+}
+
+#[test]
+fn observers_see_detached_subflow_children() {
+    let ex = Executor::new(4);
+    let log = Arc::new(LogObserver::default());
+    ex.observe(Arc::clone(&log) as Arc<dyn ExecutorObserver>);
+    let tf = Taskflow::with_executor(ex);
+    tf.emplace_subflow(|sf| {
+        for i in 0..3 {
+            sf.emplace(|| {}).name(format!("det{i}"));
+        }
+        sf.detach();
+    })
+    .name("parent");
+    tf.wait_for_all();
+    let entries = log.entries.lock().clone();
+    let exits = log.exits.lock().clone();
+    assert_eq!(
+        entries.len(),
+        4,
+        "parent + 3 detached children: {entries:?}"
+    );
+    assert_eq!(exits.len(), 4);
+    for i in 0..3 {
+        assert!(entries.iter().any(|e| *e == format!("det{i}")));
+    }
+}
+
+#[test]
+fn on_exit_fires_even_when_task_panics() {
+    let ex = Executor::new(2);
+    let log = Arc::new(LogObserver::default());
+    ex.observe(Arc::clone(&log) as Arc<dyn ExecutorObserver>);
+    let tf = Taskflow::with_executor(ex);
+    tf.emplace(|| panic!("boom")).name("bomb");
+    tf.emplace(|| {}).name("fine");
+    assert!(tf.try_wait_for_all().is_err());
+    let entries = log.entries.lock().clone();
+    let exits = log.exits.lock().clone();
+    assert_eq!(entries.len(), 2);
+    assert_eq!(exits.len(), 2, "exit must fire for the panicking task too");
+    assert!(exits.iter().any(|e| e == "bomb"));
+}
+
+#[test]
+fn concurrent_observe_and_remove_does_not_deadlock() {
+    let ex = Executor::new(4);
+    let churn = {
+        let ex = Arc::clone(&ex);
+        std::thread::spawn(move || {
+            for _ in 0..200 {
+                ex.observe(Arc::new(LogObserver::default()) as Arc<dyn ExecutorObserver>);
+                ex.observe(Arc::new(Tracer::new(4)) as Arc<dyn ExecutorObserver>);
+                ex.remove_observers();
+            }
+        })
+    };
+    let counter = Arc::new(AtomicUsize::new(0));
+    for _ in 0..20 {
+        let tf = Taskflow::with_executor(Arc::clone(&ex));
+        for _ in 0..500 {
+            let c = Arc::clone(&counter);
+            tf.emplace(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        tf.wait_for_all();
+    }
+    churn.join().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+}
+
+#[test]
+fn lifecycle_events_cover_algorithm_one() {
+    let ex = ExecutorBuilder::new().workers(4).build();
+    let tracer = Arc::new(Tracer::new(4));
+    ex.observe(Arc::clone(&tracer) as Arc<dyn ExecutorObserver>);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    // A fan-out of chains: sources come from the injector, chains hit the
+    // cache slot, and the uneven shape provokes steals and parks.
+    for c in 0..32 {
+        let mut prev = tf.emplace(|| {}).name(format!("head{c}"));
+        for _ in 0..50 {
+            let next = tf.emplace(|| {
+                std::hint::black_box(0u64);
+            });
+            prev.precede(next);
+            prev = next;
+        }
+    }
+    tf.wait_for_all();
+    let events = tracer.sched_events();
+    let has = |f: &dyn Fn(&SchedEventKind) -> bool| events.iter().any(|e| f(&e.kind));
+    assert!(has(&|k| matches!(k, SchedEventKind::TaskEntry)));
+    assert!(has(&|k| matches!(k, SchedEventKind::TaskExit)));
+    assert!(has(
+        &|k| matches!(k, SchedEventKind::TopologyDispatch { tasks, .. } if *tasks == 32 * 51)
+    ));
+    assert!(has(&|k| matches!(
+        k,
+        SchedEventKind::TopologyFinalize { .. }
+    )));
+    assert!(has(&|k| matches!(k, SchedEventKind::CacheHit)));
+    assert!(has(&|k| matches!(k, SchedEventKind::InjectorPop)));
+
+    let total = ex.stats().total();
+    assert_eq!(total.executed, 32 * 51);
+    assert!(total.cache_hits > 0, "chains must use the cache slot");
+    assert!(total.injector_pops > 0, "sources arrive via the injector");
+    assert!(total.parks > 0, "workers idled before dispatch");
+    // Dispatch/finalize ids pair up.
+    let dispatched: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            SchedEventKind::TopologyDispatch { topology, .. } => Some(topology),
+            _ => None,
+        })
+        .collect();
+    for id in dispatched {
+        assert!(has(
+            &|k| matches!(k, SchedEventKind::TopologyFinalize { topology } if *topology == id)
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus export on a live executor
+// ---------------------------------------------------------------------------
+
+#[test]
+fn prometheus_text_from_live_executor_parses() {
+    let ex = Executor::new(3);
+    let before = ex.stats();
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    for _ in 0..600 {
+        tf.emplace(|| {});
+    }
+    tf.wait_for_all();
+    let after = ex.stats();
+    let delta = after.delta(&before);
+    assert_eq!(delta.total().executed, 600);
+
+    let text = after.prometheus_text();
+    let mut families: Vec<String> = Vec::new();
+    let mut executed_sum = 0u64;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE name kind");
+            assert_eq!(kind, "counter");
+            families.push(name.to_string());
+            continue;
+        }
+        if line.starts_with("# HELP ") {
+            continue;
+        }
+        // name{worker="N"} value
+        let open = line.find('{').expect("labels");
+        let close = line.find('}').expect("labels close");
+        let name = &line[..open];
+        let labels = &line[open + 1..close];
+        let worker: usize = labels
+            .strip_prefix("worker=\"")
+            .and_then(|l| l.strip_suffix('"'))
+            .expect("worker label")
+            .parse()
+            .expect("worker id");
+        assert!(worker < 3);
+        let value: u64 = line[close + 1..].trim().parse().expect("sample value");
+        if name == "rustflow_tasks_executed_total" {
+            executed_sum += value;
+        }
+    }
+    assert_eq!(executed_sum, 600);
+    for family in [
+        "rustflow_tasks_executed_total",
+        "rustflow_cache_hits_total",
+        "rustflow_steals_total",
+        "rustflow_steal_attempts_total",
+        "rustflow_steal_failures_total",
+        "rustflow_injector_pops_total",
+        "rustflow_parks_total",
+        "rustflow_wakes_sent_total",
+    ] {
+        assert!(families.iter().any(|f| f == family), "missing {family}");
+    }
+}
+
+#[test]
+fn stats_delta_isolates_a_run() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    for _ in 0..100 {
+        tf.emplace(|| {});
+    }
+    tf.wait_for_all();
+    let mid = ex.stats();
+    let tf2 = Taskflow::with_executor(Arc::clone(&ex));
+    for _ in 0..40 {
+        tf2.emplace(|| {});
+    }
+    tf2.wait_for_all();
+    let end = ex.stats();
+    assert_eq!(end.delta(&mid).total().executed, 40);
+    assert_eq!(end.delta(&ExecutorStats::default()).total().executed, 140);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace JSON round-trips through a real JSON parser
+// ---------------------------------------------------------------------------
+
+mod json {
+    //! A minimal strict JSON parser — enough to prove the exporter's
+    //! output is well-formed without pulling in a dependency.
+
+    #[derive(Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let b = s.as_bytes();
+        let mut i = 0;
+        let v = value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing data at {i}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => obj(b, i),
+            Some(b'[') => arr(b, i),
+            Some(b'"') => Ok(Value::Str(string(b, i)?)),
+            Some(b't') => lit(b, i, "true", Value::Bool(true)),
+            Some(b'f') => lit(b, i, "false", Value::Bool(false)),
+            Some(b'n') => lit(b, i, "null", Value::Null),
+            Some(_) => num(b, i),
+            None => Err("unexpected end".into()),
+        }
+    }
+
+    fn lit(b: &[u8], i: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*i..].starts_with(word.as_bytes()) {
+            *i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at {i}"))
+        }
+    }
+
+    fn num(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        let start = *i;
+        while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *i += 1;
+        }
+        std::str::from_utf8(&b[start..*i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at {start}"))
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
+        if b[*i] != b'"' {
+            return Err(format!("expected string at {i}"));
+        }
+        *i += 1;
+        let mut out = String::new();
+        while *i < b.len() {
+            match b[*i] {
+                b'"' => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = std::str::from_utf8(&b[*i + 1..*i + 5])
+                                .map_err(|_| "bad \\u".to_string())?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u".to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                            *i += 4;
+                        }
+                        _ => return Err(format!("bad escape at {i}")),
+                    }
+                    *i += 1;
+                }
+                c if c < 0x20 => return Err(format!("raw control char at {i}")),
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let s = std::str::from_utf8(&b[*i..]).map_err(|_| "bad utf8".to_string())?;
+                    let ch = s.chars().next().ok_or("end")?;
+                    out.push(ch);
+                    *i += ch.len_utf8();
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn arr(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        *i += 1; // [
+        let mut items = Vec::new();
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b']') {
+            *i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(value(b, i)?);
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b']') => {
+                    *i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected , or ] at {i}")),
+            }
+        }
+    }
+
+    fn obj(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        *i += 1; // {
+        let mut items = Vec::new();
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b'}') {
+            *i += 1;
+            return Ok(Value::Obj(items));
+        }
+        loop {
+            skip_ws(b, i);
+            let key = string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("expected : at {i}"));
+            }
+            *i += 1;
+            items.push((key, value(b, i)?));
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b'}') => {
+                    *i += 1;
+                    return Ok(Value::Obj(items));
+                }
+                _ => return Err(format!("expected , or }} at {i}")),
+            }
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_round_trips_through_json_parser() {
+    let ex = Executor::new(4);
+    let tracer = Arc::new(Tracer::new(4));
+    ex.observe(Arc::clone(&tracer) as Arc<dyn ExecutorObserver>);
+    let tf = Taskflow::with_executor(ex);
+    // Hostile names exercise the escaper end to end.
+    tf.emplace(|| {}).name("a\"b\n\t\\c");
+    tf.emplace(|| {}).name("plain");
+    let mut prev = tf.emplace(|| {}).name("chain");
+    for _ in 0..20 {
+        let next = tf.emplace(|| {});
+        prev.precede(next);
+        prev = next;
+    }
+    tf.wait_for_all();
+
+    let text = tracer.chrome_trace_json();
+    let parsed = json::parse(&text).expect("exporter must emit valid JSON");
+    let events = match parsed {
+        json::Value::Arr(items) => items,
+        other => panic!("top level must be an array, got {other:?}"),
+    };
+    assert!(!events.is_empty());
+    let mut saw_nasty = false;
+    for e in &events {
+        let fields = match e {
+            json::Value::Obj(fields) => fields,
+            other => panic!("each event must be an object, got {other:?}"),
+        };
+        let get = |k: &str| fields.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let ph = match get("ph") {
+            Some(json::Value::Str(s)) => s.clone(),
+            other => panic!("missing ph: {other:?}"),
+        };
+        assert!(matches!(ph.as_str(), "X" | "i"), "unknown phase {ph}");
+        assert!(matches!(get("ts"), Some(json::Value::Num(_))));
+        assert!(matches!(get("pid"), Some(json::Value::Num(_))));
+        assert!(matches!(get("tid"), Some(json::Value::Num(_))));
+        if let Some(json::Value::Str(name)) = get("name") {
+            if name == "a\"b\n\t\\c" {
+                saw_nasty = true;
+            }
+        }
+        if ph == "X" {
+            assert!(matches!(get("dur"), Some(json::Value::Num(_))));
+        }
+    }
+    assert!(
+        saw_nasty,
+        "the escaped hostile name must decode back to the original"
+    );
+}

@@ -128,7 +128,11 @@ mod tests {
         assert_eq!(d.len(), 100);
         assert_eq!(d.images.rows(), 100);
         assert_eq!(d.images.cols(), FEATURES);
-        assert!(d.images.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!(d
+            .images
+            .as_slice()
+            .iter()
+            .all(|&x| (0.0..=1.0).contains(&x)));
         assert!(d.labels.iter().all(|&l| l < 10));
     }
 

@@ -117,7 +117,10 @@ impl Mlp {
                 delta = d;
             }
         }
-        (grads.into_iter().map(|g| g.expect("filled")).collect(), loss)
+        (
+            grads.into_iter().map(|g| g.expect("filled")).collect(),
+            loss,
+        )
     }
 
     /// SGD update of one layer.
@@ -264,7 +267,7 @@ mod tests {
             let acts = net.forward(&input01);
             net.output_delta(&acts[2], &labels).1
         };
-        for layer in 0..2 {
+        for (layer, grad) in grads.iter().enumerate().take(2) {
             for r in 0..net.weights[layer].rows() {
                 for c in 0..net.weights[layer].cols() {
                     let orig = net.weights[layer].get(r, c);
@@ -274,7 +277,7 @@ mod tests {
                     let lm = loss_fn(&net);
                     *net.weights[layer].get_mut(r, c) = orig;
                     let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-                    let analytic = grads[layer].dw.get(r, c);
+                    let analytic = grad.dw.get(r, c);
                     let denom = numeric.abs().max(analytic.abs()).max(1e-3);
                     assert!(
                         (numeric - analytic).abs() / denom < 0.15,

@@ -95,7 +95,9 @@ impl PipelineState {
             labels: Mutex::new(Vec::new()),
             delta: Mutex::new(Matrix::zeros(0, 0)),
             grads: (0..net.num_layers()).map(|_| Mutex::new(None)).collect(),
-            storages: (0..spec.storages.max(1)).map(|_| Mutex::new(None)).collect(),
+            storages: (0..spec.storages.max(1))
+                .map(|_| Mutex::new(None))
+                .collect(),
             losses: Mutex::new(Vec::new()),
             lr: spec.lr,
             num_layers: net.num_layers(),
@@ -178,8 +180,7 @@ pub fn build_training_dag(
                         activate_inplace(&mut z, i + 1 == state.num_layers);
                         acts.push(z);
                     }
-                    let (delta, loss) =
-                        output_delta(acts.last().expect("nonempty"), &batch_labels);
+                    let (delta, loss) = output_delta(acts.last().expect("nonempty"), &batch_labels);
                     *state.delta.lock() = delta;
                     *state.acts.lock() = acts;
                     *state.labels.lock() = batch_labels;

@@ -31,7 +31,11 @@ impl ComplexityReport {
     /// Maximum single-function complexity (the paper's Table II "MCC"),
     /// 0 when no functions exist.
     pub fn max(&self) -> usize {
-        self.functions.iter().map(|f| f.complexity).max().unwrap_or(0)
+        self.functions
+            .iter()
+            .map(|f| f.complexity)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total complexity across functions (the per-implementation "CC" of
@@ -164,7 +168,7 @@ fn decision_points(body: &str) -> usize {
         .enumerate()
         .filter(|&(i, &b)| {
             b == b'?'
-                && body.as_bytes().get(i + 1).map_or(true, |&n| {
+                && body.as_bytes().get(i + 1).is_none_or(|&n| {
                     !n.is_ascii_alphabetic() // excludes ?Sized
                 })
         })

@@ -18,7 +18,10 @@ pub struct SoftwareCost {
 
 impl SoftwareCost {
     /// Measures a set of in-memory sources.
-    pub fn measure<'a>(label: impl Into<String>, sources: impl IntoIterator<Item = &'a str>) -> Self {
+    pub fn measure<'a>(
+        label: impl Into<String>,
+        sources: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
         let mut sloc = 0;
         let mut complexity = ComplexityReport::default();
         for src in sources {

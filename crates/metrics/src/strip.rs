@@ -45,26 +45,21 @@ pub fn strip_source(src: &str) -> String {
                     out.push(b'"');
                     i += 1;
                 }
-                b'r' if matches!(next, Some(b'"') | Some(b'#')) && is_raw_string_start(bytes, i)
-                => {
+                b'r' if matches!(next, Some(b'"') | Some(b'#'))
+                    && is_raw_string_start(bytes, i) =>
+                {
                     let hashes = count_hashes(bytes, i + 1);
                     state = State::RawStr { hashes };
                     out.push(b'"');
-                    for _ in 0..(1 + hashes as usize + 1 - 1) {
-                        out.push(b' ');
-                    }
+                    out.extend(std::iter::repeat_n(b' ', hashes as usize + 1));
                     i += 1 + hashes as usize + 1; // r + hashes + quote
                 }
-                b'\'' => {
-                    // Distinguish lifetimes ('a) from char literals ('a').
-                    if is_char_literal(bytes, i) {
-                        state = State::Char;
-                        out.push(b'\'');
-                        i += 1;
-                    } else {
-                        out.push(b);
-                        i += 1;
-                    }
+                // Distinguish char literals ('a') from lifetimes ('a);
+                // lifetimes fall through to the plain-byte arm below.
+                b'\'' if is_char_literal(bytes, i) => {
+                    state = State::Char;
+                    out.push(b'\'');
+                    i += 1;
                 }
                 _ => {
                     out.push(b);
@@ -115,9 +110,7 @@ pub fn strip_source(src: &str) -> String {
                 if b == b'"' && closes_raw(bytes, i, hashes) {
                     state = State::Code;
                     out.push(b'"');
-                    for _ in 0..hashes {
-                        out.push(b' ');
-                    }
+                    out.extend(std::iter::repeat_n(b' ', hashes as usize));
                     i += 1 + hashes as usize;
                 } else {
                     out.push(if b == b'\n' { b'\n' } else { b' ' });

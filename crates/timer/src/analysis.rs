@@ -216,7 +216,7 @@ impl TimerInner {
         let mut worst: Option<(f64, GateId)> = None;
         for e in self.circuit.endpoints() {
             if let Some(s) = self.endpoint_slack(e) {
-                if worst.map_or(true, |(ws, _)| s < ws) {
+                if worst.is_none_or(|(ws, _)| s < ws) {
                     worst = Some((s, e));
                 }
             }
@@ -234,15 +234,11 @@ impl TimerInner {
             if gate.kind == GateKind::Input || (gate.kind == GateKind::Dff && cur != endpoint) {
                 break;
             }
-            let next = gate
-                .fanins
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    self.arrival(a)
-                        .partial_cmp(&self.arrival(b))
-                        .expect("arrivals are finite")
-                });
+            let next = gate.fanins.iter().copied().max_by(|&a, &b| {
+                self.arrival(a)
+                    .partial_cmp(&self.arrival(b))
+                    .expect("arrivals are finite")
+            });
             match next {
                 Some(n) => {
                     path.push(n);

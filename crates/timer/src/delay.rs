@@ -194,7 +194,9 @@ impl NldmTable {
         let d01 = table[i][j + 1];
         let d10 = table[i + 1][j];
         let d11 = table[i + 1][j + 1];
-        d00 * (1.0 - ts) * (1.0 - tl) + d01 * (1.0 - ts) * tl + d10 * ts * (1.0 - tl)
+        d00 * (1.0 - ts) * (1.0 - tl)
+            + d01 * (1.0 - ts) * tl
+            + d10 * ts * (1.0 - tl)
             + d11 * ts * tl
     }
 }

@@ -15,8 +15,8 @@
 
 use crate::analysis::TimerInner;
 use crate::circuit::{Circuit, GateId};
-use crate::engine_v2::{add_region_edges, run_rustflow};
 use crate::engine_v1::run_levelized;
+use crate::engine_v2::{add_region_edges, run_rustflow};
 use rustflow::{Executor, Taskflow};
 use std::sync::Arc;
 use tf_baselines::Pool;

@@ -67,7 +67,6 @@ pub(crate) fn run_levelized(inner: &TimerInner, region: &[GateId], epoch: u32, p
     }
 }
 
-
 /// A raw `TimerInner` pointer that promises its referent outlives the
 /// blocking parallel call it is used in.
 #[derive(Clone, Copy)]

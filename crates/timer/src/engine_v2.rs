@@ -33,13 +33,17 @@ pub(crate) fn add_region_edges(
 /// Cpp-Taskflow-style: build a task dependency graph over the region and
 /// dispatch it. Construction is part of the measured work, matching the
 /// paper ("the time to create and launch a new task dependency graph").
-pub(crate) fn run_rustflow(inner: &TimerInner, region: &[GateId], epoch: u32, executor: &Arc<Executor>) {
+pub(crate) fn run_rustflow(
+    inner: &TimerInner,
+    region: &[GateId],
+    epoch: u32,
+    executor: &Arc<Executor>,
+) {
     let tf = Taskflow::with_executor(Arc::clone(executor));
     let shared = SharedTimer(inner as *const TimerInner);
     let tasks: Vec<rustflow::Task<'_>> = region
         .iter()
         .map(|&g| {
-            let shared = shared;
             tf.emplace(move || {
                 // SAFETY: wait_for_all below keeps `inner` borrowed until
                 // every task completed.
@@ -51,7 +55,6 @@ pub(crate) fn run_rustflow(inner: &TimerInner, region: &[GateId], epoch: u32, ex
     add_region_edges(inner, region, epoch, &tasks);
     tf.wait_for_all();
 }
-
 
 /// The v2 required-time pass: one task per gate, edges reversed (a gate
 /// waits for all its non-cut fanouts), dispatched as a rustflow graph.

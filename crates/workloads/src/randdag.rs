@@ -52,11 +52,11 @@ pub fn generate_edges(spec: RandDagSpec) -> Vec<(u32, u32)> {
     // Candidate predecessors come from a sliding window so the graph has
     // local, circuit-like structure rather than uniformly long edges.
     const WINDOW: usize = 64;
-    for v in 1..n {
+    for (v, indeg) in in_degree.iter_mut().enumerate().skip(1) {
         let lo = v.saturating_sub(WINDOW);
         let wanted = rng.gen_range(0..=2.min(v - lo)); // 0..=2 incoming tries
         for _ in 0..wanted {
-            if in_degree[v] as usize >= MAX_DEGREE {
+            if *indeg as usize >= MAX_DEGREE {
                 break;
             }
             let u = rng.gen_range(lo..v);
@@ -64,7 +64,7 @@ pub fn generate_edges(spec: RandDagSpec) -> Vec<(u32, u32)> {
                 continue;
             }
             out_degree[u] += 1;
-            in_degree[v] += 1;
+            *indeg += 1;
             edges.push((u as u32, v as u32));
         }
     }

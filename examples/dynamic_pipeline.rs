@@ -17,12 +17,9 @@ fn main() {
 
     // Figure 4: static tasks A, C, D and a dynamic task B that spawns
     // B1, B2, B3 at runtime; the subflow joins B, so D observes it.
-    let (a, c, d) = rustflow::emplace!(
-        tf,
-        || println!("A"),
-        || println!("C"),
-        || println!("D (runs after the whole subflow of B)"),
-    );
+    let (a, c, d) = rustflow::emplace!(tf, || println!("A"), || println!("C"), || println!(
+        "D (runs after the whole subflow of B)"
+    ),);
     let p = Arc::clone(&progress);
     let b = tf.emplace_subflow(move |sf| {
         println!("B (spawning B1, B2, B3)");

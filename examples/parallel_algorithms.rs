@@ -21,7 +21,7 @@ fn main() {
     let histogram: Arc<Vec<AtomicUsize>> = Arc::new((0..64).map(|_| AtomicUsize::new(0)).collect());
     let h = Arc::clone(&histogram);
     let (pf_src, pf_dst) = parallel_for(&tf, 0..n, 0, move |i| {
-        let bucket = (i % 64) as usize;
+        let bucket = i % 64;
         h[bucket].fetch_add(1, Ordering::Relaxed);
     });
 
@@ -32,13 +32,11 @@ fn main() {
     pf_dst.precede(tr_src);
 
     // Stage 3: reduce the transformed vector (after stage 2).
-    let (rd_src, rd_dst, sum) =
-        transform_reduce(&tf, &dst, 0, 0.0f64, |&x| x, |a, b| a + b);
+    let (rd_src, rd_dst, sum) = transform_reduce(&tf, &dst, 0, 0.0f64, |&x| x, |a, b| a + b);
     tr_dst.precede(rd_src);
 
     // Stage 4: an index reduction in parallel with everything above.
-    let (_i_src, i_dst, index_sum) =
-        reduce(&tf, 0..n, 0, 0usize, |acc, i| acc + i, |a, b| a + b);
+    let (_i_src, i_dst, index_sum) = reduce(&tf, 0..n, 0, 0usize, |acc, i| acc + i, |a, b| a + b);
 
     // A final task after both reductions.
     let done = tf.emplace(|| println!("pipeline complete")).name("done");

@@ -65,7 +65,7 @@ fn main() {
     // Re-run with the tracer still installed to produce the JSON export.
     let tf2 = Taskflow::with_executor(executor);
     for i in 0..64 {
-        let t = tf2.emplace(|| std::thread::yield_now()).name(format!("t{i}"));
+        let t = tf2.emplace(std::thread::yield_now).name(format!("t{i}"));
         let _ = t;
     }
     tf2.wait_for_all();

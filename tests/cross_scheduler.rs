@@ -46,7 +46,11 @@ impl Probe {
         for (i, run) in self.runs.iter().enumerate() {
             prop_assert_eq!(run.load(Ordering::SeqCst), 1, "task {} runs", i);
         }
-        let s: Vec<usize> = self.stamps.iter().map(|x| x.load(Ordering::SeqCst)).collect();
+        let s: Vec<usize> = self
+            .stamps
+            .iter()
+            .map(|x| x.load(Ordering::SeqCst))
+            .collect();
         for &(u, v) in edges {
             prop_assert!(s[u] < s[v], "edge ({},{}) violated", u, v);
         }
@@ -56,8 +60,8 @@ impl Probe {
 
 fn arb_edges() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (2usize..40).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0usize..n, 0usize..n), 0..80).prop_map(
-            move |pairs| {
+        let edges =
+            proptest::collection::vec((0usize..n, 0usize..n), 0..80).prop_map(move |pairs| {
                 let mut edges: Vec<(usize, usize)> = pairs
                     .into_iter()
                     .filter(|&(u, v)| u != v)
@@ -66,8 +70,7 @@ fn arb_edges() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
                 edges.sort_unstable();
                 edges.dedup();
                 edges
-            },
-        );
+            });
         (Just(n), edges)
     })
 }

@@ -6,8 +6,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-fn ordered_log() -> (Arc<Mutex<Vec<&'static str>>>, impl Fn(&'static str) -> Box<dyn FnMut() + Send>) {
-    let log: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+type Log = Arc<Mutex<Vec<&'static str>>>;
+
+fn ordered_log() -> (Log, impl Fn(&'static str) -> Box<dyn FnMut() + Send>) {
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
     let l = Arc::clone(&log);
     let maker = move |name: &'static str| -> Box<dyn FnMut() + Send> {
         let l = Arc::clone(&l);

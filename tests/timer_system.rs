@@ -61,7 +61,10 @@ fn long_incremental_sequence_stays_consistent() {
     }
     // And the entire state, not just the headline number.
     for g in 0..incremental.circuit().num_gates() as GateId {
-        assert!(approx(incremental.arrival(g), oracle.arrival(g)), "gate {g}");
+        assert!(
+            approx(incremental.arrival(g), oracle.arrival(g)),
+            "gate {g}"
+        );
     }
 }
 
@@ -72,13 +75,10 @@ fn resizing_towards_larger_drive_speeds_up_its_cone() {
     timer.full_update(&Engine::Sequential);
     // Find a combinational gate on the critical path and upsize it.
     let path = timer.critical_path();
-    let victim = path
-        .iter()
-        .copied()
-        .find(|&g| {
-            tf_timer::GateKind::COMBINATIONAL.contains(&timer.circuit().gates[g as usize].kind)
-                && timer.circuit().gates[g as usize].drive < 4.0
-        });
+    let victim = path.iter().copied().find(|&g| {
+        tf_timer::GateKind::COMBINATIONAL.contains(&timer.circuit().gates[g as usize].kind)
+            && timer.circuit().gates[g as usize].drive < 4.0
+    });
     let Some(victim) = victim else {
         return; // pathological path of ports only — nothing to test
     };
@@ -103,10 +103,7 @@ fn worst_slack_decreases_with_shorter_clock() {
     let fast = Timer::new(spec.generate());
     fast.full_update(&Engine::Sequential);
     assert!(
-        approx(
-            slow.worst_slack() - fast.worst_slack(),
-            5000.0 - 500.0
-        ),
+        approx(slow.worst_slack() - fast.worst_slack(), 5000.0 - 500.0),
         "slack must shift by exactly the period difference"
     );
 }

@@ -1,0 +1,231 @@
+//! Offline micro-bench shim exposing the `criterion` API subset this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`BenchmarkId`], and [`Throughput`].
+//!
+//! Instead of criterion's statistical engine it runs a short warm-up, then
+//! a fixed measurement window, and prints mean time per iteration (and
+//! per-element throughput when configured). Good enough to compare
+//! schedulers on this container; not a statistics package.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` measures.
+pub struct Bencher<'a> {
+    measure: &'a mut Measurement,
+}
+
+/// One benchmark's collected timing.
+struct Measurement {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher<'_> {
+    /// Calls `f` repeatedly for the measurement window and records timing.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: a few calls to fault in caches and spawn lazy state.
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let window = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < window {
+            black_box(f());
+            iters += 1;
+        }
+        self.measure.iters = iters.max(1);
+        self.measure.elapsed = start.elapsed();
+    }
+}
+
+/// The bench context handed to each target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Number of samples criterion would take (advisory in this shim).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Measures one function and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut m = Measurement {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut Bencher { measure: &mut m });
+        let per_iter = m.elapsed.as_secs_f64() / m.iters.max(1) as f64;
+        let label = if self.name.is_empty() {
+            id.into_id()
+        } else {
+            format!("{}/{}", self.name, id.into_id())
+        };
+        match self.throughput {
+            Some(Throughput::Elements(n)) if n > 0 => println!(
+                "bench {label}: {:.3} ms/iter ({:.1} ns/elem, {} iters)",
+                per_iter * 1e3,
+                per_iter * 1e9 / n as f64,
+                m.iters
+            ),
+            _ => println!(
+                "bench {label}: {:.3} ms/iter ({} iters)",
+                per_iter * 1e3,
+                m.iters
+            ),
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of bench target functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function(BenchmarkId::new("noop", 10), |b| {
+            b.iter(|| black_box(1 + 1))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_runs_targets() {
+        let mut c = Criterion::default().sample_size(10);
+        target(&mut c);
+        c.bench_function("plain", |b| b.iter(|| black_box(2 * 2)));
+    }
+}

@@ -1,0 +1,99 @@
+//! Offline shim for the `crossbeam::deque` subset this workspace uses as a
+//! *differential-testing oracle*: a straightforward mutex-protected deque
+//! with the same observable semantics as `crossbeam-deque`'s LIFO worker
+//! (owner pushes/pops at the back, stealers take from the front). The tests
+//! that use it compare sequential operation schedules, so a reference
+//! implementation — not a lock-free one — is exactly what's wanted.
+
+/// Work-stealing deque API (mirrors `crossbeam_deque`).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// A race was lost; the caller may retry.
+        Retry,
+    }
+
+    /// Owner handle: single-threaded push/pop end of the deque.
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// Thief handle: steals from the opposite end.
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO worker (pop returns the most recent push).
+        pub fn new_lifo() -> Worker<T> {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// A stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+
+        /// Pushes an item at the owner's end.
+        pub fn push(&self, item: T) {
+            self.q.lock().unwrap().push_back(item);
+        }
+
+        /// Pops the most recently pushed item.
+        pub fn pop(&self) -> Option<T> {
+            self.q.lock().unwrap().pop_back()
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.q.lock().unwrap().len()
+        }
+
+        /// `true` when no items are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest item.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().unwrap().pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn lifo_owner_fifo_thief() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.len(), 1);
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+    }
+}
