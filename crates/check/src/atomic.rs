@@ -1,0 +1,323 @@
+//! Drop-in atomic types whose every operation is a model scheduling point.
+//!
+//! Each type wraps the corresponding `std::sync::atomic` type. When the
+//! calling thread belongs to a model execution (see [`crate::model`]),
+//! operations are routed through the engine: they become recorded
+//! schedule/value choices over the modeled modification order. Outside a
+//! model (including when the `rustflow_check` cargo feature is enabled but
+//! no checker is running — e.g. feature-unified workspace builds), they
+//! fall through to the real atomic with the caller's ordering, so behaviour
+//! is identical to `std`.
+//!
+//! Values are modeled as `u64` payloads; the integer/bool/pointer types
+//! convert losslessly (two's complement round-trip for signed values).
+
+use crate::engine;
+use std::sync::atomic::Ordering;
+
+macro_rules! int_atomic {
+    ($(#[$meta:meta])* $name:ident, $std:ty, $int:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $int) -> $name {
+                $name { inner: <$std>::new(v) }
+            }
+
+            #[inline]
+            fn addr(&self) -> usize {
+                self as *const _ as usize
+            }
+
+            #[inline]
+            fn init(&self) -> u64 {
+                // In a model the inner value is never written, so this is
+                // the construction-time initial value.
+                self.inner.load(Ordering::Relaxed) as u64
+            }
+
+            /// Loads the value.
+            pub fn load(&self, ord: Ordering) -> $int {
+                match engine::current() {
+                    None => self.inner.load(ord),
+                    Some((rt, me)) => {
+                        engine::atomic_load(&rt, me, self.addr(), self.init(), ord) as $int
+                    }
+                }
+            }
+
+            /// Stores a value.
+            pub fn store(&self, val: $int, ord: Ordering) {
+                match engine::current() {
+                    None => self.inner.store(val, ord),
+                    Some((rt, me)) => {
+                        engine::atomic_store(&rt, me, self.addr(), self.init(), val as u64, ord)
+                    }
+                }
+            }
+
+            /// Swaps the value, returning the previous one.
+            pub fn swap(&self, val: $int, ord: Ordering) -> $int {
+                match engine::current() {
+                    None => self.inner.swap(val, ord),
+                    Some((rt, me)) => engine::atomic_rmw(
+                        &rt,
+                        me,
+                        self.addr(),
+                        self.init(),
+                        ord,
+                        |_| val as u64,
+                    ) as $int,
+                }
+            }
+
+            /// Adds to the value, returning the previous one.
+            pub fn fetch_add(&self, val: $int, ord: Ordering) -> $int {
+                match engine::current() {
+                    None => self.inner.fetch_add(val, ord),
+                    Some((rt, me)) => engine::atomic_rmw(
+                        &rt,
+                        me,
+                        self.addr(),
+                        self.init(),
+                        ord,
+                        |old| (old as $int).wrapping_add(val) as u64,
+                    ) as $int,
+                }
+            }
+
+            /// Subtracts from the value, returning the previous one.
+            pub fn fetch_sub(&self, val: $int, ord: Ordering) -> $int {
+                match engine::current() {
+                    None => self.inner.fetch_sub(val, ord),
+                    Some((rt, me)) => engine::atomic_rmw(
+                        &rt,
+                        me,
+                        self.addr(),
+                        self.init(),
+                        ord,
+                        |old| (old as $int).wrapping_sub(val) as u64,
+                    ) as $int,
+                }
+            }
+
+            /// Strong compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                match engine::current() {
+                    None => self.inner.compare_exchange(current, new, success, failure),
+                    Some((rt, me)) => engine::atomic_cas(
+                        &rt,
+                        me,
+                        self.addr(),
+                        self.init(),
+                        current as u64,
+                        new as u64,
+                        success,
+                        failure,
+                    )
+                    .map(|v| v as $int)
+                    .map_err(|v| v as $int),
+                }
+            }
+
+            /// Weak compare-exchange. The model never fails spuriously (a
+            /// spurious failure only adds retry schedules, never new
+            /// behaviours, since every caller loops).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                match engine::current() {
+                    None => self
+                        .inner
+                        .compare_exchange_weak(current, new, success, failure),
+                    Some((rt, me)) => engine::atomic_cas(
+                        &rt,
+                        me,
+                        self.addr(),
+                        self.init(),
+                        current as u64,
+                        new as u64,
+                        success,
+                        failure,
+                    )
+                    .map(|v| v as $int)
+                    .map_err(|v| v as $int),
+                }
+            }
+        }
+
+        impl Drop for $name {
+            fn drop(&mut self) {
+                if let Some((rt, _)) = engine::current() {
+                    engine::atomic_retire(&rt, self.addr());
+                }
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Model-aware `AtomicUsize`.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+int_atomic!(
+    /// Model-aware `AtomicIsize`.
+    AtomicIsize,
+    std::sync::atomic::AtomicIsize,
+    isize
+);
+int_atomic!(
+    /// Model-aware `AtomicU64`.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+
+/// Model-aware `AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    #[inline]
+    fn init(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed) as u64
+    }
+
+    /// Loads the value.
+    pub fn load(&self, ord: Ordering) -> bool {
+        match engine::current() {
+            None => self.inner.load(ord),
+            Some((rt, me)) => engine::atomic_load(&rt, me, self.addr(), self.init(), ord) != 0,
+        }
+    }
+
+    /// Stores a value.
+    pub fn store(&self, val: bool, ord: Ordering) {
+        match engine::current() {
+            None => self.inner.store(val, ord),
+            Some((rt, me)) => {
+                engine::atomic_store(&rt, me, self.addr(), self.init(), val as u64, ord)
+            }
+        }
+    }
+
+    /// Swaps the value, returning the previous one.
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        match engine::current() {
+            None => self.inner.swap(val, ord),
+            Some((rt, me)) => {
+                engine::atomic_rmw(&rt, me, self.addr(), self.init(), ord, |_| val as u64) != 0
+            }
+        }
+    }
+}
+
+impl Drop for AtomicBool {
+    fn drop(&mut self) {
+        if let Some((rt, _)) = engine::current() {
+            engine::atomic_retire(&rt, self.addr());
+        }
+    }
+}
+
+/// Model-aware `AtomicPtr`.
+#[derive(Debug)]
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    /// Creates a new atomic pointer.
+    pub const fn new(p: *mut T) -> AtomicPtr<T> {
+        AtomicPtr {
+            inner: std::sync::atomic::AtomicPtr::new(p),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    #[inline]
+    fn init(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed) as usize as u64
+    }
+
+    /// Loads the pointer.
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        match engine::current() {
+            None => self.inner.load(ord),
+            Some((rt, me)) => {
+                engine::atomic_load(&rt, me, self.addr(), self.init(), ord) as usize as *mut T
+            }
+        }
+    }
+
+    /// Stores a pointer.
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        match engine::current() {
+            None => self.inner.store(p, ord),
+            Some((rt, me)) => {
+                engine::atomic_store(&rt, me, self.addr(), self.init(), p as usize as u64, ord)
+            }
+        }
+    }
+
+    /// Swaps the pointer, returning the previous one.
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        match engine::current() {
+            None => self.inner.swap(p, ord),
+            Some((rt, me)) => engine::atomic_rmw(&rt, me, self.addr(), self.init(), ord, |_| {
+                p as usize as u64
+            }) as usize as *mut T,
+        }
+    }
+}
+
+impl<T> Drop for AtomicPtr<T> {
+    fn drop(&mut self) {
+        if let Some((rt, _)) = engine::current() {
+            engine::atomic_retire(&rt, self.addr());
+        }
+    }
+}
+
+/// Model-aware memory fence.
+pub fn fence(ord: Ordering) {
+    match engine::current() {
+        None => std::sync::atomic::fence(ord),
+        Some((rt, me)) => engine::atomic_fence(&rt, me, ord),
+    }
+}

@@ -1,0 +1,88 @@
+//! Vector clocks: the happens-before bookkeeping of the model.
+//!
+//! Every model thread carries a [`VClock`]; component `t` counts the
+//! operations thread `t` has performed that this thread (transitively)
+//! knows about. Synchronizing operations (release stores read by acquire
+//! loads, mutex hand-offs, thread spawn/join, SC fences) *join* clocks;
+//! the checker derives all its ordering judgements — which stores a load
+//! may still return, whether two plain accesses race — from these clocks.
+
+/// A grow-on-demand vector clock indexed by model-thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The empty clock (knows about nothing).
+    pub(crate) fn new() -> VClock {
+        VClock(Vec::new())
+    }
+
+    /// Component for thread `tid` (0 when never touched).
+    #[inline]
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets component `tid` to `max(current, value)`.
+    #[cfg(test)]
+    #[inline]
+    pub(crate) fn raise(&mut self, tid: usize, value: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        if self.0[tid] < value {
+            self.0[tid] = value;
+        }
+    }
+
+    /// Increments component `tid` by one and returns the new value.
+    #[inline]
+    pub(crate) fn bump(&mut self, tid: usize) -> u64 {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+        self.0[tid]
+    }
+
+    /// Pointwise maximum: afterwards `self` knows everything `other` knows.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, &b) in self.0.iter_mut().zip(other.0.iter()) {
+            if *a < b {
+                *a = b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.raise(0, 3);
+        a.raise(2, 1);
+        let mut b = VClock::new();
+        b.raise(0, 1);
+        b.raise(1, 5);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(9), 0);
+    }
+
+    #[test]
+    fn bump_counts() {
+        let mut a = VClock::new();
+        assert_eq!(a.bump(1), 1);
+        assert_eq!(a.bump(1), 2);
+        assert_eq!(a.get(1), 2);
+        assert_eq!(a.get(0), 0);
+    }
+}

@@ -1,0 +1,1053 @@
+//! The deterministic scheduler and weak-memory model.
+//!
+//! # Execution model
+//!
+//! Every model "thread" is a real OS thread, but **exactly one runs at a
+//! time**: each shimmed operation (atomic load/store/RMW, fence, mutex,
+//! condvar, cell access, spawn/join) first calls into the engine, which
+//! decides — as an explicit, recorded *choice* — which thread continues.
+//! A full execution is therefore determined by its choice string, which
+//! makes schedules exhaustively enumerable (DFS over the choice tree with
+//! a preemption bound) and exactly replayable (a recorded path or a
+//! 64-bit seed re-runs the same interleaving).
+//!
+//! # Memory model
+//!
+//! The checker models a practical subset of the C11/Rust memory model,
+//! close to what `loom` implements:
+//!
+//! * every atomic keeps its **modification order** as a list of store
+//!   events, each stamped with the writer's vector clock;
+//! * a load may return **any** store that is not superseded — not older
+//!   than a store the loading thread already observed (per-location
+//!   coherence) and not older than a store it *knows about* through
+//!   happens-before;
+//! * `Release`/`Acquire` pairs join clocks (including release sequences
+//!   through RMWs and release/acquire *fences*);
+//! * `SeqCst` operations additionally maintain a global order: an SC load
+//!   may not return a store older than the latest SC store of that
+//!   location, and SC fences join-and-publish through a global clock,
+//!   which is what makes store-buffering (Dekker) patterns checkable;
+//! * plain (non-atomic) accesses through the checked cell are not ordered
+//!   at all — they are *race-checked* against the clocks, and a pair of
+//!   unordered conflicting accesses fails the execution.
+//!
+//! The model is deliberately a little stronger than C11 in one corner
+//! (every SC operation publishes through one global clock), so it can
+//! miss exotic SC-related bugs, but it never reports a false positive for
+//! code that is correct under C11.
+
+use crate::clock::VClock;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to unwind model threads when an execution ends
+/// early (failure elsewhere, abandoned schedule, step budget).
+pub(crate) struct ModelAbort;
+
+/// What a thread is currently blocked on (`None` = runnable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Block {
+    /// Runnable.
+    None,
+    /// Waiting for thread `tid` to finish.
+    Join(usize),
+    /// Waiting for the mutex at this registration id to be released.
+    Mutex(usize),
+    /// Parked on the condvar at this registration id.
+    Condvar(usize),
+}
+
+/// Per-model-thread scheduler state.
+pub(crate) struct ThreadState {
+    pub(crate) block: Block,
+    pub(crate) finished: bool,
+    /// Everything this thread knows happened (its own ops included).
+    pub(crate) view: VClock,
+    /// Release views acquired by relaxed loads, pending an acquire fence.
+    pub(crate) pending: VClock,
+    /// View captured by the latest release/SC fence; relaxed stores after
+    /// it carry this view as their release payload.
+    pub(crate) release_fence: Option<VClock>,
+    /// Per-atomic floor on the modification-order index this thread may
+    /// still read (per-location coherence).
+    pub(crate) observed: HashMap<usize, usize>,
+}
+
+impl ThreadState {
+    fn new(view: VClock) -> ThreadState {
+        ThreadState {
+            block: Block::None,
+            finished: false,
+            view,
+            pending: VClock::new(),
+            release_fence: None,
+            observed: HashMap::new(),
+        }
+    }
+}
+
+/// One store event in an atomic's modification order.
+pub(crate) struct StoreEv {
+    pub(crate) val: u64,
+    /// Writer thread id; `usize::MAX` marks the initial value, which
+    /// happens-before everything.
+    pub(crate) writer: usize,
+    /// The writer's own clock component at the store.
+    pub(crate) wseq: u64,
+    /// Release payload: the clock an acquire reader joins. `None` for
+    /// relaxed stores with no preceding release fence.
+    pub(crate) rel: Option<VClock>,
+    /// Whether the store was `SeqCst`.
+    pub(crate) sc: bool,
+}
+
+impl StoreEv {
+    /// Is this store known to (happens-before) `view`?
+    #[inline]
+    fn known_to(&self, view: &VClock) -> bool {
+        self.writer == usize::MAX || view.get(self.writer) >= self.wseq
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct AtomicState {
+    pub(crate) stores: Vec<StoreEv>,
+    /// Modification-order index of the latest SC store, if any.
+    pub(crate) last_sc: Option<usize>,
+}
+
+/// Access history of a checked (plain-memory) cell since its last write.
+#[derive(Default)]
+struct CellState {
+    /// The last write, as (writer tid, writer clock component).
+    write: Option<(usize, u64)>,
+    /// Reads since the last write.
+    reads: Vec<(usize, u64)>,
+}
+
+#[derive(Default)]
+struct MutexState {
+    locked_by: Option<usize>,
+    /// Joined view of every unlocker: lock-acquire joins this.
+    released: VClock,
+}
+
+#[derive(Default)]
+struct CvState {
+    waiters: Vec<usize>,
+}
+
+/// A recorded scheduling or value choice.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    pub(crate) options: usize,
+    pub(crate) picked: usize,
+}
+
+/// Knobs for one execution (copied from the public `Checker`).
+#[derive(Clone)]
+pub(crate) struct ExecCfg {
+    pub(crate) preemption_bound: Option<usize>,
+    pub(crate) max_steps: u64,
+}
+
+/// Mutable state of one execution, shared by all its model threads.
+pub(crate) struct Exec {
+    cfg: ExecCfg,
+    /// Replay prefix + newly made choices.
+    pub(crate) choices: Vec<Choice>,
+    cursor: usize,
+    pub(crate) threads: Vec<ThreadState>,
+    active: usize,
+    atomics: HashMap<usize, AtomicState>,
+    cells: HashMap<usize, CellState>,
+    mutexes: HashMap<usize, MutexState>,
+    condvars: HashMap<usize, CvState>,
+    global_sc: VClock,
+    pub(crate) steps: u64,
+    preemptions: usize,
+    pub(crate) failure: Option<String>,
+    /// Execution is being torn down; every thread unwinds via ModelAbort.
+    abort: bool,
+    /// Step budget exceeded: schedule abandoned, not a failure.
+    pub(crate) pruned: bool,
+    pub(crate) done: bool,
+    /// Random strategy: xorshift state (None = DFS: always pick 0).
+    rng: Option<u64>,
+}
+
+/// The engine handle shared by the driver and every model thread.
+pub(crate) struct Rt {
+    pub(crate) mu: Mutex<Exec>,
+    pub(crate) cv: Condvar,
+    /// Real join handles of spawned model threads (driver joins them).
+    pub(crate) handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Rt>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The engine/thread-id pair of the calling model thread, if any.
+/// Shims fall back to real `std::sync` behaviour when this is `None`.
+pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Rt>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+fn lock(rt: &Rt) -> MutexGuard<'_, Exec> {
+    rt.mu.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Rt {
+    pub(crate) fn new(cfg: ExecCfg, prefix: Vec<Choice>, rng: Option<u64>) -> Arc<Rt> {
+        Arc::new(Rt {
+            mu: Mutex::new(Exec {
+                cfg,
+                choices: prefix,
+                cursor: 0,
+                threads: vec![ThreadState::new(VClock::new())],
+                active: 0,
+                atomics: HashMap::new(),
+                cells: HashMap::new(),
+                mutexes: HashMap::new(),
+                condvars: HashMap::new(),
+                global_sc: VClock::new(),
+                steps: 0,
+                preemptions: 0,
+                failure: None,
+                abort: false,
+                pruned: false,
+                done: false,
+                rng,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+impl Exec {
+    /// Makes (or replays) a choice among `n` options. Trivial choices
+    /// (`n <= 1`) are not recorded.
+    fn choose(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        if n <= 1 {
+            return 0;
+        }
+        if self.cursor < self.choices.len() {
+            let c = &mut self.choices[self.cursor];
+            self.cursor += 1;
+            // `options == 0` marks an env-replayed choice whose option
+            // count was not recorded; fill it in for reporting.
+            debug_assert!(
+                c.options == 0 || c.options == n,
+                "non-deterministic replay: option count changed"
+            );
+            c.options = n;
+            return c.picked.min(n - 1);
+        }
+        let picked = match &mut self.rng {
+            None => 0,
+            Some(state) => {
+                // xorshift64: deterministic per-seed randomness.
+                let mut x = *state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *state = x;
+                (x % n as u64) as usize
+            }
+        };
+        self.choices.push(Choice { options: n, picked });
+        self.cursor += 1;
+        picked
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished && t.block == Block::None)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.abort = true;
+    }
+
+    fn describe_blocked(&self) -> String {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished)
+            .map(|(i, t)| format!("thread {} blocked on {:?}", i, t.block))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// Picks the next thread to run from `me`'s scheduling point and, if it is
+/// not `me`, hands over and waits until `me` is active again (or the
+/// execution aborts). Callers hold the engine lock across the whole
+/// operation; the guard is passed through.
+fn reschedule<'a>(rt: &'a Rt, mut g: MutexGuard<'a, Exec>, me: usize) -> MutexGuard<'a, Exec> {
+    let runnable = g.runnable();
+    if runnable.is_empty() {
+        if g.threads.iter().all(|t| t.finished) {
+            g.done = true;
+            rt.cv.notify_all();
+            return g;
+        }
+        let msg = format!("deadlock: {}", g.describe_blocked());
+        g.fail(msg);
+        rt.cv.notify_all();
+        return g;
+    }
+    // Option order: current thread first (so DFS pick 0 = keep running,
+    // exploring the preemption-free schedule first), then others by id.
+    let me_runnable = runnable.contains(&me);
+    let mut opts: Vec<usize> = Vec::with_capacity(runnable.len());
+    if me_runnable {
+        opts.push(me);
+    }
+    opts.extend(runnable.iter().copied().filter(|&t| t != me));
+    // Preemption bound: once spent, a runnable current thread keeps
+    // running (forced switches — blocked/finished `me` — stay free).
+    let limit = match g.cfg.preemption_bound {
+        Some(b) if me_runnable && g.preemptions >= b => 1,
+        _ => opts.len(),
+    };
+    let pick = g.choose(limit);
+    let next = opts[pick];
+    if me_runnable && next != me {
+        g.preemptions += 1;
+    }
+    g.active = next;
+    if next != me {
+        rt.cv.notify_all();
+        // A finished thread hands off and exits; only live threads wait
+        // for their next turn.
+        if !g.threads[me].finished {
+            g = wait_for_turn(rt, g, me);
+        }
+    }
+    g
+}
+
+/// Blocks the calling model thread until it is the active thread, or
+/// unwinds it when the execution is being aborted.
+pub(crate) fn wait_for_turn<'a>(
+    rt: &'a Rt,
+    mut g: MutexGuard<'a, Exec>,
+    me: usize,
+) -> MutexGuard<'a, Exec> {
+    loop {
+        if g.abort {
+            drop(g);
+            std::panic::panic_any(ModelAbort);
+        }
+        if g.active == me && g.threads[me].block == Block::None && !g.threads[me].finished {
+            return g;
+        }
+        g = rt.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// True while the calling thread is unwinding (a `ModelAbort` or a failed
+/// user assertion). Destructors running during the unwind still reach the
+/// shims; they must degrade to non-panicking, non-blocking accessors of
+/// the newest state instead of re-entering the scheduler — a second panic
+/// from inside a `Drop` would abort the whole process.
+fn unwinding() -> bool {
+    std::thread::panicking()
+}
+
+/// One scheduling point: counts a step, enforces the step budget, and
+/// lets the scheduler (possibly) switch threads. Returns with the lock
+/// held and `me` active.
+fn sched_point<'a>(rt: &'a Rt, me: usize) -> MutexGuard<'a, Exec> {
+    let mut g = lock(rt);
+    if g.abort {
+        drop(g);
+        std::panic::panic_any(ModelAbort);
+    }
+    g.steps += 1;
+    if g.steps > g.cfg.max_steps {
+        g.pruned = true;
+        g.abort = true;
+        rt.cv.notify_all();
+        drop(g);
+        std::panic::panic_any(ModelAbort);
+    }
+    reschedule(rt, g, me)
+}
+
+// ---------------------------------------------------------------------------
+// Thread lifecycle
+// ---------------------------------------------------------------------------
+
+/// Registers a new model thread whose initial view is inherited from
+/// `parent` (spawn is a release edge) and returns its tid.
+pub(crate) fn register_thread(rt: &Arc<Rt>, parent: usize) -> usize {
+    let mut g = lock(rt);
+    let mut view = g.threads[parent].view.clone();
+    let tid = g.threads.len();
+    view.bump(parent);
+    let parent_view = view.clone();
+    g.threads[parent].view = parent_view;
+    g.threads.push(ThreadState::new(view));
+    tid
+}
+
+/// Body wrapper for every real thread backing a model thread.
+pub(crate) fn run_thread(rt: Arc<Rt>, me: usize, body: impl FnOnce()) {
+    set_current(Some((Arc::clone(&rt), me)));
+    {
+        // Wait to be scheduled for the first time.
+        let g = lock(&rt);
+        let g = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            wait_for_turn(&rt, g, me)
+        })) {
+            Ok(g) => g,
+            Err(p) => {
+                set_current(None);
+                finish_thread(&rt, me, abort_payload_message(p));
+                return;
+            }
+        };
+        drop(g);
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    set_current(None);
+    let failure = match result {
+        Ok(()) => None,
+        Err(p) => abort_payload_message(p),
+    };
+    finish_thread(&rt, me, failure);
+}
+
+/// `None` for a ModelAbort unwind, otherwise the rendered panic message.
+fn abort_payload_message(p: Box<dyn std::any::Any + Send>) -> Option<String> {
+    if p.downcast_ref::<ModelAbort>().is_some() {
+        return None;
+    }
+    let msg = if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    };
+    Some(msg)
+}
+
+/// Marks `me` finished, records a failure if its body panicked, releases
+/// joiners, and hands the schedule to the next runnable thread.
+fn finish_thread(rt: &Rt, me: usize, failure: Option<String>) {
+    let mut g = lock(rt);
+    g.threads[me].finished = true;
+    g.threads[me].block = Block::None;
+    if let Some(msg) = failure {
+        let m = format!("model thread {me} panicked: {msg}");
+        g.fail(m);
+        rt.cv.notify_all();
+        return;
+    }
+    // Joiners become runnable and learn everything we did.
+    let my_view = g.threads[me].view.clone();
+    for t in g.threads.iter_mut() {
+        if t.block == Block::Join(me) {
+            t.block = Block::None;
+            t.view.join(&my_view);
+        }
+    }
+    if g.abort {
+        rt.cv.notify_all();
+        return;
+    }
+    let g = reschedule(rt, g, me);
+    drop(g);
+}
+
+/// Blocks `me` until thread `target` finishes (model `join`).
+pub(crate) fn join_thread(rt: &Rt, me: usize, target: usize) {
+    let mut g = sched_point(rt, me);
+    if !g.threads[target].finished {
+        g.threads[me].block = Block::Join(target);
+        let g2 = reschedule(rt, g, me);
+        g = wait_for_turn(rt, g2, me);
+    } else {
+        let tv = g.threads[target].view.clone();
+        g.threads[me].view.join(&tv);
+    }
+    drop(g);
+}
+
+/// An explicit interleaving point with no memory effect.
+pub(crate) fn yield_point(rt: &Rt, me: usize) {
+    let g = sched_point(rt, me);
+    drop(g);
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+use std::sync::atomic::Ordering;
+
+fn acquires(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn ensure_atomic(g: &mut Exec, addr: usize, init: u64) -> &mut AtomicState {
+    g.atomics.entry(addr).or_insert_with(|| AtomicState {
+        stores: vec![StoreEv {
+            val: init,
+            writer: usize::MAX,
+            wseq: 0,
+            rel: Some(VClock::new()),
+            sc: false,
+        }],
+        last_sc: None,
+    })
+}
+
+/// Applies the reader-side clock effects of returning store `idx`.
+fn apply_read(g: &mut Exec, me: usize, addr: usize, idx: usize, ord: Ordering) {
+    let (rel, _sc) = {
+        let st = g.atomics.get(&addr).expect("atomic registered");
+        (st.stores[idx].rel.clone(), st.stores[idx].sc)
+    };
+    if ord == Ordering::SeqCst {
+        let gsc = g.global_sc.clone();
+        g.threads[me].view.join(&gsc);
+    }
+    if let Some(rel) = rel {
+        if acquires(ord) {
+            g.threads[me].view.join(&rel);
+        } else {
+            g.threads[me].pending.join(&rel);
+        }
+    }
+    let floor = g.threads[me].observed.entry(addr).or_insert(0);
+    if *floor < idx {
+        *floor = idx;
+    }
+}
+
+/// Model load: picks (as an explored choice) one of the stores this
+/// thread may legally observe.
+pub(crate) fn atomic_load(rt: &Rt, me: usize, addr: usize, init: u64, ord: Ordering) -> u64 {
+    if unwinding() {
+        let mut g = lock(rt);
+        let st = ensure_atomic(&mut g, addr, init);
+        return st.stores.last().expect("nonempty").val;
+    }
+    let mut g = sched_point(rt, me);
+    let view = g.threads[me].view.clone();
+    let observed = g.threads[me].observed.get(&addr).copied().unwrap_or(0);
+    let st = ensure_atomic(&mut g, addr, init);
+    let n = st.stores.len();
+    // Coherence floor: the newest store this thread is *forced* to see.
+    let mut lo = observed;
+    for (i, s) in st.stores.iter().enumerate().skip(lo) {
+        if s.known_to(&view) {
+            lo = i;
+        }
+    }
+    if ord == Ordering::SeqCst {
+        if let Some(sc) = st.last_sc {
+            lo = lo.max(sc);
+        }
+    }
+    // Choice 0 = newest store (SC-execution behaviour first), later
+    // choices walk back toward the stalest legal value.
+    let span = n - lo;
+    let pick = g.choose(span);
+    let idx = n - 1 - pick;
+    let val = g.atomics.get(&addr).expect("registered").stores[idx].val;
+    apply_read(&mut g, me, addr, idx, ord);
+    drop(g);
+    val
+}
+
+/// Model store: appends to the modification order.
+pub(crate) fn atomic_store(rt: &Rt, me: usize, addr: usize, init: u64, val: u64, ord: Ordering) {
+    if unwinding() {
+        let mut g = lock(rt);
+        ensure_atomic(&mut g, addr, init);
+        let wseq = g.threads[me].view.bump(me);
+        let st = g.atomics.get_mut(&addr).expect("registered");
+        st.stores.push(StoreEv {
+            val,
+            writer: me,
+            wseq,
+            rel: None,
+            sc: false,
+        });
+        return;
+    }
+    let mut g = sched_point(rt, me);
+    ensure_atomic(&mut g, addr, init);
+    let wseq = g.threads[me].view.bump(me);
+    let rel = if releases(ord) {
+        Some(g.threads[me].view.clone())
+    } else {
+        g.threads[me].release_fence.clone()
+    };
+    let sc = ord == Ordering::SeqCst;
+    if sc {
+        let tv = g.threads[me].view.clone();
+        g.global_sc.join(&tv);
+    }
+    let st = g.atomics.get_mut(&addr).expect("registered");
+    st.stores.push(StoreEv {
+        val,
+        writer: me,
+        wseq,
+        rel,
+        sc,
+    });
+    let idx = st.stores.len() - 1;
+    if sc {
+        st.last_sc = Some(idx);
+    }
+    g.threads[me].observed.insert(addr, idx);
+    drop(g);
+}
+
+/// Model read-modify-write. `f` computes the new value from the current
+/// one; per C11 atomicity an RMW always reads the newest store. Returns
+/// the previous value.
+pub(crate) fn atomic_rmw(
+    rt: &Rt,
+    me: usize,
+    addr: usize,
+    init: u64,
+    ord: Ordering,
+    f: impl FnOnce(u64) -> u64,
+) -> u64 {
+    if unwinding() {
+        let mut g = lock(rt);
+        ensure_atomic(&mut g, addr, init);
+        let wseq = g.threads[me].view.bump(me);
+        let st = g.atomics.get_mut(&addr).expect("registered");
+        let old = st.stores.last().expect("nonempty").val;
+        st.stores.push(StoreEv {
+            val: f(old),
+            writer: me,
+            wseq,
+            rel: None,
+            sc: false,
+        });
+        return old;
+    }
+    let mut g = sched_point(rt, me);
+    ensure_atomic(&mut g, addr, init);
+    if ord == Ordering::SeqCst {
+        let gsc = g.global_sc.clone();
+        g.threads[me].view.join(&gsc);
+    }
+    let (old, head_rel) = {
+        let st = g.atomics.get(&addr).expect("registered");
+        let last = st.stores.last().expect("nonempty");
+        (last.val, last.rel.clone())
+    };
+    if let Some(rel) = &head_rel {
+        if acquires(ord) {
+            g.threads[me].view.join(rel);
+        } else {
+            g.threads[me].pending.join(rel);
+        }
+    }
+    let new = f(old);
+    let wseq = g.threads[me].view.bump(me);
+    // Release-sequence: an RMW store carries the head's release payload
+    // forward even when the RMW itself is not a release.
+    let own = if releases(ord) {
+        Some(g.threads[me].view.clone())
+    } else {
+        g.threads[me].release_fence.clone()
+    };
+    let rel = match (own, head_rel) {
+        (Some(mut a), Some(b)) => {
+            a.join(&b);
+            Some(a)
+        }
+        (Some(a), None) => Some(a),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    };
+    let sc = ord == Ordering::SeqCst;
+    if sc {
+        let tv = g.threads[me].view.clone();
+        g.global_sc.join(&tv);
+    }
+    let st = g.atomics.get_mut(&addr).expect("registered");
+    st.stores.push(StoreEv {
+        val: new,
+        writer: me,
+        wseq,
+        rel,
+        sc,
+    });
+    let idx = st.stores.len() - 1;
+    if sc {
+        st.last_sc = Some(idx);
+    }
+    g.threads[me].observed.insert(addr, idx);
+    drop(g);
+    old
+}
+
+/// Model compare-exchange. Failure reads the newest store with the
+/// failure ordering (conservative: no spurious failure, so `_weak`
+/// behaves like the strong variant — callers loop anyway and spurious
+/// failures would only add schedules, not behaviours).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn atomic_cas(
+    rt: &Rt,
+    me: usize,
+    addr: usize,
+    init: u64,
+    expected: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<u64, u64> {
+    if unwinding() {
+        let mut g = lock(rt);
+        ensure_atomic(&mut g, addr, init);
+        let old = g
+            .atomics
+            .get(&addr)
+            .expect("registered")
+            .stores
+            .last()
+            .expect("nonempty")
+            .val;
+        if old != expected {
+            return Err(old);
+        }
+        let wseq = g.threads[me].view.bump(me);
+        let st = g.atomics.get_mut(&addr).expect("registered");
+        st.stores.push(StoreEv {
+            val: new,
+            writer: me,
+            wseq,
+            rel: None,
+            sc: false,
+        });
+        return Ok(old);
+    }
+    let mut g = sched_point(rt, me);
+    ensure_atomic(&mut g, addr, init);
+    let (old, idx) = {
+        let st = g.atomics.get(&addr).expect("registered");
+        (st.stores.last().expect("nonempty").val, st.stores.len() - 1)
+    };
+    if old != expected {
+        apply_read(&mut g, me, addr, idx, failure);
+        drop(g);
+        return Err(old);
+    }
+    if success == Ordering::SeqCst {
+        let gsc = g.global_sc.clone();
+        g.threads[me].view.join(&gsc);
+    }
+    let head_rel = g.atomics.get(&addr).expect("registered").stores[idx]
+        .rel
+        .clone();
+    if let Some(rel) = &head_rel {
+        if acquires(success) {
+            g.threads[me].view.join(rel);
+        } else {
+            g.threads[me].pending.join(rel);
+        }
+    }
+    let wseq = g.threads[me].view.bump(me);
+    let own = if releases(success) {
+        Some(g.threads[me].view.clone())
+    } else {
+        g.threads[me].release_fence.clone()
+    };
+    let rel = match (own, head_rel) {
+        (Some(mut a), Some(b)) => {
+            a.join(&b);
+            Some(a)
+        }
+        (Some(a), None) => Some(a),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    };
+    let sc = success == Ordering::SeqCst;
+    if sc {
+        let tv = g.threads[me].view.clone();
+        g.global_sc.join(&tv);
+    }
+    let st = g.atomics.get_mut(&addr).expect("registered");
+    st.stores.push(StoreEv {
+        val: new,
+        writer: me,
+        wseq,
+        rel,
+        sc,
+    });
+    let nidx = st.stores.len() - 1;
+    if sc {
+        st.last_sc = Some(nidx);
+    }
+    g.threads[me].observed.insert(addr, nidx);
+    drop(g);
+    Ok(old)
+}
+
+/// Forgets a dropped atomic so a later allocation at the same address
+/// re-registers from its own initial value.
+pub(crate) fn atomic_retire(rt: &Rt, addr: usize) {
+    let mut g = lock(rt);
+    g.atomics.remove(&addr);
+    for t in g.threads.iter_mut() {
+        t.observed.remove(&addr);
+    }
+    drop(g);
+}
+
+/// Model fence.
+pub(crate) fn atomic_fence(rt: &Rt, me: usize, ord: Ordering) {
+    if unwinding() {
+        return;
+    }
+    let mut g = sched_point(rt, me);
+    if acquires(ord) {
+        let p = std::mem::take(&mut g.threads[me].pending);
+        g.threads[me].view.join(&p);
+    }
+    if ord == Ordering::SeqCst {
+        let gsc = g.global_sc.clone();
+        g.threads[me].view.join(&gsc);
+        let tv = g.threads[me].view.clone();
+        g.global_sc.join(&tv);
+    }
+    if releases(ord) {
+        let tv = g.threads[me].view.clone();
+        g.threads[me].release_fence = Some(tv);
+    }
+    drop(g);
+}
+
+// ---------------------------------------------------------------------------
+// Checked plain-memory cells (race detection)
+// ---------------------------------------------------------------------------
+
+/// Records a plain read of the cell at `addr`; fails the execution if it
+/// races with an unordered write.
+pub(crate) fn cell_read(rt: &Rt, me: usize, addr: usize) {
+    if unwinding() {
+        return;
+    }
+    let mut g = lock(rt);
+    if g.abort {
+        drop(g);
+        std::panic::panic_any(ModelAbort);
+    }
+    let view = g.threads[me].view.clone();
+    let racy = match g.cells.entry(addr).or_default().write {
+        Some((w, wseq)) => w != me && view.get(w) < wseq,
+        None => false,
+    };
+    if racy {
+        let msg = format!(
+            "data race: plain read on thread {me} not ordered after the last plain write (cell {addr:#x})"
+        );
+        g.fail(msg);
+        rt.cv.notify_all();
+        drop(g);
+        std::panic::panic_any(ModelAbort);
+    }
+    let seq = g.threads[me].view.bump(me);
+    g.cells.entry(addr).or_default().reads.push((me, seq));
+    drop(g);
+}
+
+/// Records a plain write of the cell at `addr`; fails the execution if it
+/// races with any unordered prior access.
+pub(crate) fn cell_write(rt: &Rt, me: usize, addr: usize) {
+    if unwinding() {
+        return;
+    }
+    let mut g = lock(rt);
+    if g.abort {
+        drop(g);
+        std::panic::panic_any(ModelAbort);
+    }
+    let view = g.threads[me].view.clone();
+    let cell = g.cells.entry(addr).or_default();
+    let mut race = match cell.write {
+        Some((w, wseq)) => w != me && view.get(w) < wseq,
+        None => false,
+    };
+    for &(r, rseq) in &cell.reads {
+        if r != me && view.get(r) < rseq {
+            race = true;
+        }
+    }
+    if race {
+        let msg = format!(
+            "data race: plain write on thread {me} not ordered after a prior plain access (cell {addr:#x})"
+        );
+        g.fail(msg);
+        rt.cv.notify_all();
+        drop(g);
+        std::panic::panic_any(ModelAbort);
+    }
+    let seq = g.threads[me].view.bump(me);
+    let cell = g.cells.entry(addr).or_default();
+    cell.write = Some((me, seq));
+    cell.reads.clear();
+    drop(g);
+}
+
+/// Forgets race-tracking state for a cell being dropped, so a later
+/// allocation at the same address starts clean.
+pub(crate) fn cell_retire(rt: &Rt, addr: usize) {
+    let mut g = lock(rt);
+    g.cells.remove(&addr);
+    drop(g);
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / Condvar
+// ---------------------------------------------------------------------------
+
+/// Model mutex lock: blocks (as a scheduling event) while held elsewhere;
+/// acquiring joins the released-view of previous holders.
+pub(crate) fn mutex_lock(rt: &Rt, me: usize, addr: usize) {
+    if unwinding() {
+        // A guard taken by a destructor mid-unwind: skip the scheduler
+        // entirely (the paired unlock tolerates a non-owner).
+        return;
+    }
+    let mut g = sched_point(rt, me);
+    loop {
+        let m = g.mutexes.entry(addr).or_default();
+        match m.locked_by {
+            None => {
+                m.locked_by = Some(me);
+                let rv = m.released.clone();
+                g.threads[me].view.join(&rv);
+                drop(g);
+                return;
+            }
+            Some(owner) => {
+                debug_assert_ne!(owner, me, "model mutex is not reentrant");
+                g.threads[me].block = Block::Mutex(addr);
+                let g2 = reschedule(rt, g, me);
+                g = wait_for_turn(rt, g2, me);
+            }
+        }
+    }
+}
+
+/// Model mutex unlock: publishes the holder's view and wakes contenders.
+///
+/// Never panics: guard destructors run while threads unwind on abort.
+pub(crate) fn mutex_unlock(rt: &Rt, me: usize, addr: usize) {
+    let mut g = lock(rt);
+    let view = g.threads[me].view.clone();
+    if g.mutexes.entry(addr).or_default().locked_by != Some(me) {
+        // Only reachable while unwinding: a thread aborted inside
+        // `condvar_wait` (mutex already released) still drops its guard,
+        // and destructor-held guards skip `mutex_lock` entirely. Nothing
+        // to undo.
+        debug_assert!(g.abort || unwinding(), "unlock by non-owner outside abort");
+        return;
+    }
+    let m = g.mutexes.get_mut(&addr).expect("mutex registered");
+    m.locked_by = None;
+    m.released.join(&view);
+    for t in g.threads.iter_mut() {
+        if t.block == Block::Mutex(addr) {
+            t.block = Block::None;
+        }
+    }
+    drop(g);
+}
+
+/// Model condvar wait: atomically releases the mutex and parks; once
+/// notified, re-acquires the mutex before returning.
+pub(crate) fn condvar_wait(rt: &Rt, me: usize, cv_addr: usize, mutex_addr: usize) {
+    if unwinding() {
+        return;
+    }
+    // Release the mutex and park in one engine transaction, so a
+    // notifier that takes the mutex next cannot miss us.
+    let mut g = lock(rt);
+    if g.abort {
+        drop(g);
+        std::panic::panic_any(ModelAbort);
+    }
+    let view = g.threads[me].view.clone();
+    let m = g.mutexes.entry(mutex_addr).or_default();
+    debug_assert_eq!(m.locked_by, Some(me), "condvar wait without the lock");
+    m.locked_by = None;
+    m.released.join(&view);
+    for t in g.threads.iter_mut() {
+        if t.block == Block::Mutex(mutex_addr) {
+            t.block = Block::None;
+        }
+    }
+    g.condvars.entry(cv_addr).or_default().waiters.push(me);
+    g.threads[me].block = Block::Condvar(cv_addr);
+    let g2 = reschedule(rt, g, me);
+    drop(wait_for_turn(rt, g2, me));
+    // Notified: compete for the mutex again.
+    mutex_lock(rt, me, mutex_addr);
+}
+
+/// Model condvar notify-one (FIFO).
+pub(crate) fn condvar_notify_one(rt: &Rt, me: usize, cv_addr: usize) {
+    if unwinding() {
+        return;
+    }
+    let mut g = sched_point(rt, me);
+    let woken = {
+        let cv = g.condvars.entry(cv_addr).or_default();
+        if cv.waiters.is_empty() {
+            None
+        } else {
+            Some(cv.waiters.remove(0))
+        }
+    };
+    if let Some(w) = woken {
+        g.threads[w].block = Block::None;
+    }
+    drop(g);
+}
+
+/// Model condvar notify-all.
+pub(crate) fn condvar_notify_all(rt: &Rt, me: usize, cv_addr: usize) {
+    if unwinding() {
+        return;
+    }
+    let mut g = sched_point(rt, me);
+    let woken = std::mem::take(&mut g.condvars.entry(cv_addr).or_default().waiters);
+    for w in woken {
+        g.threads[w].block = Block::None;
+    }
+    drop(g);
+}

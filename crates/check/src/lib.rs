@@ -1,0 +1,568 @@
+//! `rustflow-check`: a dependency-free, loom-style deterministic
+//! interleaving model checker for rustflow's lock-free core.
+//!
+//! # How it works
+//!
+//! A model is an ordinary closure that spawns threads via
+//! [`thread::spawn`] and communicates through the shimmed primitives in
+//! [`atomic`], [`sync`], and [`cell`]. Inside [`Checker::check`] (or the
+//! [`model`] shorthand), those shims hand control to a cooperative
+//! scheduler that runs exactly one thread at a time and treats every
+//! primitive operation as an explicit *choice*: which thread runs next,
+//! and — because the engine models C11-style weak memory with per-location
+//! modification orders and vector clocks — which of the legally visible
+//! stores a load returns. The checker then explores the choice tree:
+//!
+//! * **exhaustive DFS** with a preemption bound (schedules that preempt a
+//!   runnable thread more than `preemption_bound` times are skipped), and
+//! * optional **seeded random exploration** for state spaces too large to
+//!   enumerate, where every iteration's schedule derives from a printable
+//!   64-bit seed.
+//!
+//! A failing execution (assertion panic in model code, detected data race
+//! on a [`cell::CheckedCell`], or deadlock — every live thread blocked)
+//! aborts exploration and panics with the failing schedule in replayable
+//! form. Replay it with either environment variable:
+//!
+//! ```text
+//! RUSTFLOW_CHECK_SCHEDULE="1.0.3..." cargo test -p rustflow-check failing_test
+//! RUSTFLOW_CHECK_SEED=12345        cargo test -p rustflow-check failing_test
+//! ```
+//!
+//! The same shim types compile to thin wrappers over `std` when no model
+//! execution is active, which is what lets `rustflow` route its entire
+//! sync layer through them under the `rustflow_check` feature without
+//! perturbing normal builds.
+
+#![warn(missing_docs)]
+
+mod clock;
+mod engine;
+
+pub mod atomic;
+pub mod cell;
+pub mod sync;
+pub mod thread;
+
+use engine::{Choice, ExecCfg, Rt};
+use std::sync::{Arc, OnceLock};
+
+/// Suppresses the default "thread panicked" output for the engine's
+/// internal control-flow unwinds (thread teardown on abort), which are
+/// expected on every failing or pruned schedule.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info
+                .payload()
+                .downcast_ref::<engine::ModelAbort>()
+                .is_none()
+            {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Outcome of a single execution.
+struct Outcome {
+    choices: Vec<Choice>,
+    failure: Option<String>,
+    pruned: bool,
+    steps: u64,
+}
+
+fn run_once(
+    f: &Arc<dyn Fn() + Send + Sync>,
+    cfg: &ExecCfg,
+    prefix: Vec<Choice>,
+    rng: Option<u64>,
+) -> Outcome {
+    let rt = Rt::new(cfg.clone(), prefix, rng);
+    let body = Arc::clone(f);
+    let rt_main = Arc::clone(&rt);
+    let main = std::thread::Builder::new()
+        .name("rustflow-check-0".into())
+        .spawn(move || {
+            engine::run_thread(rt_main, 0, move || body());
+        })
+        .expect("spawn model main thread");
+
+    {
+        let mut g = rt.mu.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if g.done || g.failure.is_some() || g.pruned {
+                break;
+            }
+            g = rt.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let _ = main.join();
+    // Threads spawned inside the model unwind on abort / exit on
+    // completion; collect their real handles.
+    loop {
+        let h = rt.handles.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        match h {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+    let g = rt.mu.lock().unwrap_or_else(|e| e.into_inner());
+    Outcome {
+        choices: g.choices.clone(),
+        failure: g.failure.clone(),
+        pruned: g.pruned,
+        steps: g.steps,
+    }
+}
+
+/// Exploration statistics, for logging state-space sizes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Schedules explored by the exhaustive DFS phase.
+    pub dfs_schedules: u64,
+    /// Whether DFS enumerated the whole (bounded) choice tree.
+    pub dfs_complete: bool,
+    /// Schedules explored by the random phase.
+    pub random_schedules: u64,
+    /// Executions abandoned for exceeding the per-execution step budget.
+    pub pruned: u64,
+    /// Largest number of primitive steps seen in one execution.
+    pub max_steps: u64,
+}
+
+/// Configurable model-checker front end.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    preemption_bound: Option<usize>,
+    max_steps: u64,
+    max_schedules: u64,
+    random_iters: u64,
+    seed: u64,
+}
+
+impl Default for Checker {
+    fn default() -> Checker {
+        Checker {
+            preemption_bound: Some(2),
+            max_steps: 20_000,
+            max_schedules: 100_000,
+            random_iters: 0,
+            seed: 0x5eed_f10c,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn schedule_string(choices: &[Choice]) -> String {
+    choices
+        .iter()
+        .map(|c| c.picked.to_string())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn parse_schedule(s: &str) -> Vec<Choice> {
+    s.split('.')
+        .filter(|p| !p.is_empty())
+        .map(|p| Choice {
+            // 0 = "option count unknown" (skips the replay consistency
+            // assert; the engine clamps the pick).
+            options: 0,
+            picked: p.trim().parse().unwrap_or(0),
+        })
+        .collect()
+}
+
+impl Checker {
+    /// A checker with the default bounds (preemption bound 2, 20k steps
+    /// per execution, 100k DFS schedules, no random phase).
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// Maximum number of *preemptions* (switching away from a runnable
+    /// thread) per schedule; `None` removes the bound.
+    pub fn preemption_bound(mut self, bound: Option<usize>) -> Checker {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Per-execution step budget; schedules exceeding it are pruned.
+    pub fn max_steps(mut self, steps: u64) -> Checker {
+        self.max_steps = steps;
+        self
+    }
+
+    /// DFS schedule budget; when exhausted, exploration falls through to
+    /// the random phase (if configured).
+    pub fn max_schedules(mut self, n: u64) -> Checker {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Number of seeded random schedules to run after (or instead of) an
+    /// incomplete DFS.
+    pub fn random_iters(mut self, n: u64) -> Checker {
+        self.random_iters = n;
+        self
+    }
+
+    /// Base seed of the random phase (per-iteration seeds derive from it).
+    pub fn seed(mut self, seed: u64) -> Checker {
+        self.seed = seed;
+        self
+    }
+
+    /// Explores `f` and panics — printing the replayable schedule — on
+    /// the first failing interleaving. Returns exploration statistics.
+    pub fn check(&self, name: &str, f: impl Fn() + Send + Sync + 'static) -> Stats {
+        install_quiet_hook();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let cfg = ExecCfg {
+            preemption_bound: self.preemption_bound,
+            max_steps: self.max_steps,
+        };
+        let mut stats = Stats::default();
+
+        // Replay modes trump exploration.
+        if let Ok(s) = std::env::var("RUSTFLOW_CHECK_SCHEDULE") {
+            let out = run_once(&f, &cfg, parse_schedule(&s), None);
+            if let Some(failure) = out.failure {
+                self.report(name, &failure, &out.choices, None);
+            }
+            eprintln!(
+                "rustflow-check[{name}]: schedule replay passed ({} steps)",
+                out.steps
+            );
+            stats.dfs_schedules = 1;
+            return stats;
+        }
+        if let Ok(s) = std::env::var("RUSTFLOW_CHECK_SEED") {
+            let seed: u64 = s.trim().parse().unwrap_or_else(|_| {
+                panic!("RUSTFLOW_CHECK_SEED must be an unsigned integer, got {s:?}")
+            });
+            let out = run_once(&f, &cfg, Vec::new(), Some(seed));
+            if let Some(failure) = out.failure {
+                self.report(name, &failure, &out.choices, Some(seed));
+            }
+            eprintln!(
+                "rustflow-check[{name}]: seed {seed} replay passed ({} steps)",
+                out.steps
+            );
+            stats.random_schedules = 1;
+            return stats;
+        }
+
+        // Phase 1: exhaustive DFS with prefix backtracking. Each run
+        // replays `prefix` then extends it greedily with choice 0; the
+        // next prefix increments the last incrementable choice.
+        let mut prefix: Vec<Choice> = Vec::new();
+        loop {
+            if stats.dfs_schedules >= self.max_schedules {
+                break;
+            }
+            let out = run_once(&f, &cfg, std::mem::take(&mut prefix), None);
+            stats.dfs_schedules += 1;
+            stats.max_steps = stats.max_steps.max(out.steps);
+            if out.pruned {
+                stats.pruned += 1;
+            }
+            if let Some(failure) = out.failure {
+                self.report(name, &failure, &out.choices, None);
+            }
+            let mut next = out.choices;
+            let mut backtracked = false;
+            while let Some(last) = next.pop() {
+                if last.picked + 1 < last.options {
+                    next.push(Choice {
+                        options: last.options,
+                        picked: last.picked + 1,
+                    });
+                    backtracked = true;
+                    break;
+                }
+            }
+            if !backtracked {
+                stats.dfs_complete = true;
+                break;
+            }
+            prefix = next;
+        }
+
+        // Phase 2: seeded random exploration (for spaces DFS didn't cover).
+        if !stats.dfs_complete && self.random_iters > 0 {
+            for i in 0..self.random_iters {
+                let seed = splitmix64(self.seed.wrapping_add(i));
+                let out = run_once(&f, &cfg, Vec::new(), Some(seed));
+                stats.random_schedules += 1;
+                stats.max_steps = stats.max_steps.max(out.steps);
+                if out.pruned {
+                    stats.pruned += 1;
+                }
+                if let Some(failure) = out.failure {
+                    self.report(name, &failure, &out.choices, Some(seed));
+                }
+            }
+        }
+
+        eprintln!(
+            "rustflow-check[{name}]: {} DFS schedules ({}), {} random, {} pruned, max {} steps/exec",
+            stats.dfs_schedules,
+            if stats.dfs_complete { "complete" } else { "budget-capped" },
+            stats.random_schedules,
+            stats.pruned,
+            stats.max_steps,
+        );
+        stats
+    }
+
+    fn report(&self, name: &str, failure: &str, choices: &[Choice], seed: Option<u64>) -> ! {
+        let sched = schedule_string(choices);
+        let seed_line = match seed {
+            Some(s) => {
+                format!("\n  or:     RUSTFLOW_CHECK_SEED={s} cargo test -p rustflow-check {name}")
+            }
+            None => String::new(),
+        };
+        panic!(
+            "rustflow-check[{name}] found a failing interleaving:\n  {failure}\n  \
+             schedule: {sched}\n  \
+             replay: RUSTFLOW_CHECK_SCHEDULE=\"{sched}\" cargo test -p rustflow-check {name}{seed_line}"
+        );
+    }
+}
+
+/// Checks `f` with the default [`Checker`] bounds.
+pub fn model(f: impl Fn() + Send + Sync + 'static) -> Stats {
+    Checker::new().check("model", f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::{fence, AtomicBool, AtomicUsize};
+    use crate::cell::CheckedCell;
+    use crate::sync::{Condvar, Mutex};
+    use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+    use std::sync::Arc;
+
+    #[test]
+    fn shims_work_outside_models() {
+        // No model context: everything must behave like std.
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(2, SeqCst), 1);
+        assert_eq!(a.load(Acquire), 3);
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        let b = AtomicBool::new(false);
+        assert!(!b.swap(true, SeqCst));
+        assert!(b.load(Relaxed));
+        fence(SeqCst);
+    }
+
+    #[test]
+    fn sequential_model_runs_once() {
+        let stats = model(|| {
+            let a = AtomicUsize::new(0);
+            a.store(7, Relaxed);
+            assert_eq!(a.load(Relaxed), 7);
+        });
+        assert!(stats.dfs_complete);
+        assert_eq!(stats.dfs_schedules, 1);
+    }
+
+    #[test]
+    fn message_passing_release_acquire_passes() {
+        model(|| {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d, fl) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = crate::thread::spawn(move || {
+                d.store(42, Relaxed);
+                fl.store(true, Release);
+            });
+            if flag.load(Acquire) {
+                assert_eq!(data.load(Relaxed), 42, "acquire must see the payload");
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failing interleaving")]
+    fn message_passing_relaxed_fails() {
+        model(|| {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d, fl) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = crate::thread::spawn(move || {
+                d.store(42, Relaxed);
+                fl.store(true, Relaxed); // BUG: no release edge
+            });
+            if flag.load(Acquire) {
+                assert_eq!(data.load(Relaxed), 42);
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn store_buffering_with_sc_fences_passes() {
+        // Dekker core: with SeqCst fences both threads cannot read 0.
+        model(|| {
+            let x = Arc::new(AtomicUsize::new(0));
+            let y = Arc::new(AtomicUsize::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t = crate::thread::spawn(move || {
+                x2.store(1, Relaxed);
+                fence(SeqCst);
+                y2.load(Relaxed)
+            });
+            y.store(1, Relaxed);
+            fence(SeqCst);
+            let r0 = x.load(Relaxed);
+            let r1 = t.join().unwrap();
+            assert!(r0 == 1 || r1 == 1, "store buffering: both read 0");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failing interleaving")]
+    fn store_buffering_without_fences_fails() {
+        model(|| {
+            let x = Arc::new(AtomicUsize::new(0));
+            let y = Arc::new(AtomicUsize::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t = crate::thread::spawn(move || {
+                x2.store(1, Relaxed);
+                y2.load(Relaxed)
+            });
+            y.store(1, Relaxed);
+            let r0 = x.load(Relaxed);
+            let r1 = t.join().unwrap();
+            assert!(r0 == 1 || r1 == 1, "store buffering: both read 0");
+        });
+    }
+
+    #[test]
+    fn mutex_serializes_plain_access() {
+        model(|| {
+            let cell = Arc::new(Mutex::new(0u64));
+            let c = Arc::clone(&cell);
+            let t = crate::thread::spawn(move || {
+                *c.lock() += 1;
+            });
+            *cell.lock() += 1;
+            t.join().unwrap();
+            assert_eq!(*cell.lock(), 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "data race")]
+    fn unsynchronized_cell_write_is_a_race() {
+        model(|| {
+            let cell = Arc::new(CheckedCell::new(0u64));
+            let c = Arc::clone(&cell);
+            let t = crate::thread::spawn(move || {
+                // SAFETY: intentionally racy; the model detects it.
+                unsafe { c.with_mut(|p| *p = 1) };
+            });
+            // SAFETY: intentionally racy; the model detects it.
+            unsafe { cell.with_mut(|p| *p = 2) };
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn lost_wakeup_is_a_deadlock() {
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p = Arc::clone(&pair);
+            let t = crate::thread::spawn(move || {
+                let (m, cv) = &*p;
+                let mut ready = m.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            });
+            // BUG: flips the flag but never notifies — some interleaving
+            // parks the waiter after the flag check, forever.
+            *pair.0.lock() = true;
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn condvar_handshake_passes() {
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p = Arc::clone(&pair);
+            let t = crate::thread::spawn(move || {
+                let (m, cv) = &*p;
+                let mut ready = m.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            });
+            {
+                let (m, cv) = &*pair;
+                *m.lock() = true;
+                cv.notify_one();
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn rmw_is_atomic() {
+        model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = crate::thread::spawn(move || {
+                n2.fetch_add(1, Relaxed);
+            });
+            n.fetch_add(1, Relaxed);
+            t.join().unwrap();
+            assert_eq!(n.load(SeqCst), 2, "fetch_add must never lose an update");
+        });
+    }
+
+    #[test]
+    fn seed_replay_is_deterministic() {
+        // The same seed must produce the same schedule string.
+        let sched = |seed: u64| {
+            let f: Arc<dyn Fn() + Send + Sync> = Arc::new(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let n2 = Arc::clone(&n);
+                let t = crate::thread::spawn(move || {
+                    n2.store(1, Relaxed);
+                });
+                let _ = n.load(Relaxed);
+                t.join().unwrap();
+            });
+            let cfg = ExecCfg {
+                preemption_bound: None,
+                max_steps: 10_000,
+            };
+            let out = run_once(&f, &cfg, Vec::new(), Some(seed));
+            assert!(out.failure.is_none());
+            schedule_string(&out.choices)
+        };
+        assert_eq!(sched(42), sched(42));
+    }
+}

@@ -1,0 +1,157 @@
+//! Model-aware `Mutex` and `Condvar` with the `parking_lot`-style API the
+//! core uses (`lock()` returns a guard directly; `Condvar::wait` takes
+//! `&mut MutexGuard`).
+//!
+//! Inside a model execution, lock/unlock/wait/notify are engine events:
+//! blocking is a scheduling state, lock hand-off is a happens-before edge,
+//! and condvar parking participates in deadlock detection (a lost wakeup
+//! shows up as "all threads blocked"). Outside a model they delegate to
+//! `std::sync` primitives, so enabled-but-inactive builds behave normally.
+
+use crate::engine;
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Model-aware mutual-exclusion lock.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    /// Real lock used outside model executions.
+    raw: std::sync::Mutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the guard protocol (engine-serialized in model mode, `raw` in
+// fallback mode) guarantees at most one accessor of `data` at a time, so
+// sharing the mutex only requires the payload to be sendable.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+/// RAII guard of a [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// Held std guard in fallback mode; `None` in model mode.
+    raw: Option<std::sync::MutexGuard<'a, ()>>,
+    /// Model context captured at lock time (`None` in fallback mode).
+    ctx: Option<(Arc<engine::Rt>, usize)>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            raw: std::sync::Mutex::new(()),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    /// Acquires the lock, blocking (in model mode: as a schedulable wait)
+    /// until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match engine::current() {
+            None => MutexGuard {
+                lock: self,
+                raw: Some(self.raw.lock().unwrap_or_else(|e| e.into_inner())),
+                ctx: None,
+            },
+            Some((rt, me)) => {
+                engine::mutex_lock(&rt, me, self.addr());
+                MutexGuard {
+                    lock: self,
+                    raw: None,
+                    ctx: Some((rt, me)),
+                }
+            }
+        }
+    }
+
+    /// Consumes the mutex and returns the value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: holding the guard means this thread holds the lock
+        // (engine-verified in model mode, `raw` in fallback mode), so no
+        // other reference to `data` exists.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: see `Deref`.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((rt, me)) = self.ctx.take() {
+            engine::mutex_unlock(&rt, me, self.lock.addr());
+        }
+        // Fallback mode: dropping `raw` releases the std lock.
+    }
+}
+
+/// Model-aware condition variable.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    /// Atomically releases the guard's mutex and parks until notified;
+    /// re-acquires the mutex before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match guard.ctx.clone() {
+            Some((rt, me)) => {
+                engine::condvar_wait(&rt, me, self.addr(), guard.lock.addr());
+            }
+            None => {
+                let raw = guard.raw.take().expect("fallback guard holds the raw lock");
+                guard.raw = Some(self.inner.wait(raw).unwrap_or_else(|e| e.into_inner()));
+            }
+        }
+    }
+
+    /// Wakes one parked waiter, if any.
+    pub fn notify_one(&self) {
+        match engine::current() {
+            None => {
+                self.inner.notify_one();
+            }
+            Some((rt, me)) => engine::condvar_notify_one(&rt, me, self.addr()),
+        }
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        match engine::current() {
+            None => {
+                self.inner.notify_all();
+            }
+            Some((rt, me)) => engine::condvar_notify_all(&rt, me, self.addr()),
+        }
+    }
+}

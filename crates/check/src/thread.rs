@@ -1,0 +1,83 @@
+//! Model-aware `thread::spawn` / `JoinHandle` / `yield_now`.
+//!
+//! Inside a model execution, spawning registers a new *model* thread
+//! (backed by a real OS thread that only ever runs when the engine says
+//! so) and `join` is a schedulable blocking point carrying the terminated
+//! thread's happens-before view. Outside a model, these delegate to
+//! `std::thread`.
+
+use crate::engine;
+use std::sync::{Arc, Mutex};
+
+enum Inner<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model {
+        rt: Arc<engine::Rt>,
+        tid: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned (model or real) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Real(h) => h.join(),
+            Inner::Model { rt, tid, result } => {
+                let (_, me) = engine::current()
+                    .expect("model JoinHandle joined from outside its model execution");
+                engine::join_thread(&rt, me, tid);
+                match result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    // The target panicked: the engine has already recorded
+                    // the failure and is aborting the execution; unwind.
+                    None => std::panic::panic_any(engine::ModelAbort),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model execution the new thread is scheduled
+/// deterministically by the engine.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match engine::current() {
+        None => JoinHandle(Inner::Real(std::thread::spawn(f))),
+        Some((rt, me)) => {
+            let tid = engine::register_thread(&rt, me);
+            let result = Arc::new(Mutex::new(None));
+            let slot = Arc::clone(&result);
+            let rt2 = Arc::clone(&rt);
+            let real = std::thread::Builder::new()
+                .name(format!("rustflow-check-{tid}"))
+                .spawn(move || {
+                    engine::run_thread(rt2, tid, move || {
+                        let v = f();
+                        *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                    });
+                })
+                .expect("spawn model thread");
+            rt.handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(real);
+            JoinHandle(Inner::Model { rt, tid, result })
+        }
+    }
+}
+
+/// An explicit interleaving point (no memory effect). A real
+/// `yield_now` outside a model.
+pub fn yield_now() {
+    match engine::current() {
+        None => std::thread::yield_now(),
+        Some((rt, me)) => engine::yield_point(&rt, me),
+    }
+}

@@ -1,0 +1,212 @@
+//! Model-checked protocol tests for rustflow's lock-free core.
+//!
+//! Each test explores the schedule space of a small instance of one
+//! protocol (the Chase–Lev deque, the Vyukov event ring, the notifier's
+//! Dekker handshake) under the rustflow-check engine and asserts a
+//! protocol invariant in every interleaving.
+//!
+//! Every model doubles as a *mutation test*: building the workspace with
+//! `RUSTFLAGS='--cfg rustflow_weaken="<point>"'` downgrades exactly one
+//! memory ordering in the core (see the `const` items next to each
+//! protocol), and the matching test here is `should_panic` under that cfg
+//! — the checker must find a concrete failing interleaving and print it as
+//! a replayable schedule. A model that cannot detect its own weakening
+//! would be vacuous.
+
+use rustflow::check_internals::{EventRing, Notifier};
+use rustflow::wsq::{deque_with_capacity, Steal};
+use rustflow::{SchedEvent, SchedEventKind, TaskLabel};
+use rustflow_check::atomic::{fence, AtomicBool};
+use rustflow_check::{thread, Checker};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// The last element of a Chase–Lev deque is raced between the owner's
+/// `pop` and a thief's `steal`: the SeqCst fences on both sides form a
+/// Dekker pairing, and the `t == b` case is arbitrated by a CAS on `top`.
+///
+/// Weakened by `rustflow_weaken = "wsq_pop_fence"` (pop's fence drops to
+/// AcqRel — every happens-before edge survives, only the SC total order
+/// is lost): after a thief drains both items, the owner can still read a
+/// stale `top`, conclude two items remain, and take the bottom slot
+/// *without* the CAS — the invariant "every item taken exactly once"
+/// breaks with a duplicate.
+#[test]
+#[cfg_attr(
+    rustflow_weaken = "wsq_pop_fence",
+    should_panic(expected = "failing interleaving")
+)]
+fn wsq_owner_pop_vs_steal_last_element() {
+    Checker::new()
+        .preemption_bound(Some(2))
+        .max_schedules(60_000)
+        .check("wsq_owner_pop_vs_steal_last_element", || {
+            let (owner, stealer) = deque_with_capacity(2);
+            owner.push(1);
+            owner.push(2);
+            let thief = thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match stealer.steal() {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Retry => {}
+                        Steal::Empty => break,
+                    }
+                }
+                got
+            });
+            let mut taken = Vec::new();
+            taken.extend(owner.pop());
+            taken.extend(thief.join().unwrap());
+            while let Some(v) = owner.pop() {
+                taken.push(v);
+            }
+            taken.sort_unstable();
+            assert_eq!(taken, vec![1, 2], "each item taken exactly once");
+        });
+}
+
+/// Growing the deque copies the live region into a fresh ring and
+/// publishes the new buffer pointer with a Release store, which a
+/// concurrent thief acquires before reading slots from it.
+///
+/// Weakened by `rustflow_weaken = "wsq_grow_swap"` (the publish drops to
+/// Relaxed): a thief can observe the new buffer pointer before the copied
+/// slot values, steal an uninitialized `0`, and advance `top` past the
+/// real item — conjuring a value that was never pushed and losing one
+/// that was.
+#[test]
+#[cfg_attr(
+    rustflow_weaken = "wsq_grow_swap",
+    should_panic(expected = "failing interleaving")
+)]
+fn wsq_steal_during_grow() {
+    Checker::new()
+        .preemption_bound(Some(2))
+        .max_schedules(60_000)
+        .check("wsq_steal_during_grow", || {
+            let (owner, stealer) = deque_with_capacity(2);
+            owner.push(1);
+            owner.push(2);
+            let thief = thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match stealer.steal() {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Retry => {}
+                        Steal::Empty => break,
+                    }
+                }
+                got
+            });
+            // Third push exceeds capacity 2: grow() copies [top, bottom)
+            // into a ring of 4 and swaps the buffer pointer while the
+            // thief may be mid-steal.
+            owner.push(3);
+            let mut taken = thief.join().unwrap();
+            while let Some(v) = owner.pop() {
+                taken.push(v);
+            }
+            taken.sort_unstable();
+            assert_eq!(taken, vec![1, 2, 3], "grow must not lose or invent items");
+        });
+}
+
+fn ev(ts: u64) -> SchedEvent {
+    SchedEvent {
+        worker: 0,
+        ts_us: ts,
+        label: TaskLabel::new("e"),
+        kind: SchedEventKind::TaskEntry,
+    }
+}
+
+/// The Vyukov ring hands a slot's payload from producer to consumer via
+/// the slot's sequence number: the producer's Release store of
+/// `seq = pos + 1` is what makes the plain payload write visible.
+///
+/// Weakened by `rustflow_weaken = "ring_publish"` (the publish drops to
+/// Relaxed): the consumer can observe the new sequence number without the
+/// payload write ordered before its read — a data race on the slot's
+/// `CheckedCell`, which the engine reports directly.
+#[test]
+#[cfg_attr(
+    rustflow_weaken = "ring_publish",
+    should_panic(expected = "failing interleaving")
+)]
+fn ring_wraparound_under_contention() {
+    Checker::new()
+        .preemption_bound(Some(2))
+        .max_schedules(60_000)
+        .check("ring_wraparound_under_contention", || {
+            let ring = Arc::new(EventRing::new(2));
+            let r = Arc::clone(&ring);
+            let producer = thread::spawn(move || {
+                let mut dropped = 0usize;
+                // Three pushes through a 2-slot ring: the third reuses a
+                // slot (wrap-around) iff the consumer freed it in time.
+                for ts in 1..=3u64 {
+                    if !r.push(ev(ts)) {
+                        dropped += 1;
+                    }
+                }
+                dropped
+            });
+            let mut seen = Vec::new();
+            for _ in 0..3 {
+                if let Some(e) = ring.pop() {
+                    seen.push(e.ts_us);
+                }
+            }
+            let dropped = producer.join().unwrap();
+            while let Some(e) = ring.pop() {
+                seen.push(e.ts_us);
+            }
+            // Single producer: FIFO order, no duplication, and full
+            // accounting (every event delivered or counted as dropped).
+            assert!(
+                seen.windows(2).all(|w| w[0] < w[1]),
+                "FIFO violated: {seen:?}"
+            );
+            assert_eq!(seen.len() + dropped, 3, "event lost: {seen:?}");
+        });
+}
+
+/// The notifier's sleep/wake handshake is a two-party Dekker protocol:
+/// the idler increments `num_idlers` (SeqCst) *then* re-scans for work;
+/// the submitter publishes work, issues a SeqCst fence, *then* reads
+/// `num_idlers`. The SC total order guarantees one side sees the other.
+///
+/// Weakened by `rustflow_weaken = "notifier_dekker"` (both sides drop to
+/// Relaxed): the idler can miss the work *and* the submitter can miss the
+/// idler — a lost wakeup. The parked worker never wakes, which the engine
+/// reports as a deadlock.
+#[test]
+#[cfg_attr(
+    rustflow_weaken = "notifier_dekker",
+    should_panic(expected = "failing interleaving")
+)]
+fn notifier_no_lost_wakeup() {
+    Checker::new()
+        .preemption_bound(Some(2))
+        .max_schedules(60_000)
+        .check("notifier_no_lost_wakeup", || {
+            let notifier = Arc::new(Notifier::new(1));
+            let work = Arc::new(AtomicBool::new(false));
+            let stop = Arc::new(AtomicBool::new(false));
+            let (n, w, s) = (Arc::clone(&notifier), Arc::clone(&work), Arc::clone(&stop));
+            let idler = thread::spawn(move || {
+                // Mirrors the worker loop: park unless the re-scan (run
+                // after the idler is counted) already sees the work.
+                n.wait(0, || !w.load(Ordering::Relaxed), &s)
+            });
+            // Mirrors run_topology/schedule: publish work, then the
+            // Dekker fence, then wake. In every interleaving either the
+            // wake lands or the idler refused to sleep — the test fails
+            // only if the idler parks forever (deadlock).
+            work.store(true, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            notifier.wake_one();
+            let _ = idler.join().unwrap();
+        });
+}

@@ -398,10 +398,12 @@ where
             let data = data.clone();
             let scratch = scratch.clone();
             let t = tf
-                .emplace(move || unsafe {
+                .emplace(move || {
                     // SAFETY: all merge tasks precede the copies.
-                    data.slice_mut_raw(lo, hi)
-                        .clone_from_slice(scratch.slice_raw(lo, hi));
+                    unsafe {
+                        data.slice_mut_raw(lo, hi)
+                            .clone_from_slice(scratch.slice_raw(lo, hi));
+                    }
                 })
                 .name("sort_copyback");
             t.succeed(&prev);
@@ -441,6 +443,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn parallel_for_visits_every_index_once() {
         let tf = tf();
         let hits = Arc::new((0..1000).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
@@ -453,6 +456,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn parallel_for_empty_range() {
         let tf = tf();
         let (s, t) = parallel_for(&tf, 5..5, 4, |_| panic!("must not run"));
@@ -462,6 +466,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn parallel_for_auto_chunk() {
         let tf = tf();
         let count = Arc::new(AtomicUsize::new(0));
@@ -474,6 +479,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn for_each_mut_mutates_in_place() {
         let tf = tf();
         let data = SharedVec::new((0..256usize).collect());
@@ -484,6 +490,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn reduce_sums() {
         let tf = tf();
         let (_s, _t, r) = reduce(&tf, 0..10_000, 128, 0usize, |a, i| a + i, |a, b| a + b);
@@ -492,6 +499,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn reduce_empty_range_yields_init() {
         let tf = tf();
         let (_s, _t, r) = reduce(&tf, 3..3, 8, 42usize, |a, _| a, |a, _| a);
@@ -500,6 +508,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn reduce_result_get_clones() {
         let tf = tf();
         let (_s, _t, r) = reduce(&tf, 0..10, 4, 0usize, |a, i| a + i, |a, b| a + b);
@@ -511,6 +520,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn transform_maps_elements() {
         let tf = tf();
         let src = SharedVec::new((0..100i64).collect());
@@ -522,6 +532,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     #[should_panic(expected = "lengths differ")]
     fn transform_length_mismatch_panics() {
         let tf = tf();
@@ -531,6 +542,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn transform_reduce_max() {
         let tf = tf();
         let src = SharedVec::new(vec![3, 1, 4, 1, 5, 9, 2, 6]);
@@ -540,6 +552,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn linearize_orders_chain() {
         let tf = tf();
         let counter = Arc::new(AtomicUsize::new(0));
@@ -557,6 +570,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn parallel_sort_sorts() {
         let tf = tf();
         let mut values: Vec<i64> = (0..5000).map(|i| (i * 7919) % 4096 - 2048).collect();
@@ -568,6 +582,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn parallel_sort_edge_sizes() {
         for n in [0usize, 1, 2, 3, 7, 64, 65] {
             let tf = tf();
@@ -581,6 +596,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn parallel_sort_splices() {
         // fill -> sort -> verify, in one graph.
         let tf = tf();
@@ -601,6 +617,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spawns a worker pool; too slow under miri")]
     fn modules_splice_in_order() {
         // before -> [parallel_for] -> after must observe strict ordering.
         let tf = tf();

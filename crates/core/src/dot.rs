@@ -4,8 +4,15 @@
 //! for dumping a task dependency graph to a standard DOT format" — we
 //! render top-level graphs as a `digraph` and runtime-spawned subflows as
 //! nested `subgraph cluster_*` blocks, reproducing Figure 5 of the paper.
+//!
+//! [`graph_to_dot_annotated`] additionally paints nodes flagged by the
+//! pre-dispatch sanitizer ([`crate::validate`]): members of a cycle red,
+//! orphans orange, so `dump_with_diagnostics` output can be pasted straight
+//! into GraphViz to *see* why a dispatch was rejected.
 
-use crate::graph::{Graph, Node};
+use crate::graph::{Graph, Node, RawNode};
+use crate::validate::GraphDiagnostic;
+use std::collections::HashMap;
 
 /// Renders `graph` (recursively including spawned subflows) to DOT.
 ///
@@ -13,32 +20,93 @@ use crate::graph::{Graph, Node};
 /// Must be called in a quiescent phase: before dispatch, or after the
 /// owning topology completed.
 pub(crate) unsafe fn graph_to_dot(graph: &Graph, name: &str) -> String {
+    // SAFETY: forwarding the caller's quiescence guarantee.
+    unsafe { graph_to_dot_annotated(graph, name, &[]) }
+}
+
+/// Renders `graph` to DOT with sanitizer findings highlighted: nodes on a
+/// cycle are filled red, orphans orange, and self-edges drawn bold red.
+///
+/// # Safety
+/// Same contract as [`graph_to_dot`].
+pub(crate) unsafe fn graph_to_dot_annotated(
+    graph: &Graph,
+    name: &str,
+    diagnostics: &[GraphDiagnostic],
+) -> String {
+    let mut hl: HashMap<RawNode, &'static str> = HashMap::new();
+    for d in diagnostics {
+        match d {
+            GraphDiagnostic::Cycle { nodes, .. } => {
+                for &i in nodes {
+                    if let Some(n) = graph.nodes.get(i) {
+                        hl.insert(&**n as *const Node as RawNode, "red");
+                    }
+                }
+            }
+            GraphDiagnostic::SelfEdge { node, .. } => {
+                if let Some(n) = graph.nodes.get(*node) {
+                    hl.insert(&**n as *const Node as RawNode, "red");
+                }
+            }
+            GraphDiagnostic::Orphan { node, .. } => {
+                if let Some(n) = graph.nodes.get(*node) {
+                    // A cycle finding wins over an orphan finding.
+                    hl.entry(&**n as *const Node as RawNode).or_insert("orange");
+                }
+            }
+            GraphDiagnostic::DuplicateEdge { .. } => {}
+        }
+    }
     let mut out = String::with_capacity(256 + graph.len() * 32);
     out.push_str(&format!("digraph {} {{\n", sanitize(name)));
-    emit_graph(graph, &mut out, 1, &mut 0);
+    // SAFETY: forwarding the caller's quiescence guarantee.
+    unsafe { emit_graph(graph, &mut out, 1, &mut 0, &hl) };
     out.push_str("}\n");
     out
 }
 
-unsafe fn emit_graph(graph: &Graph, out: &mut String, depth: usize, cluster: &mut usize) {
+unsafe fn emit_graph(
+    graph: &Graph,
+    out: &mut String,
+    depth: usize,
+    cluster: &mut usize,
+    hl: &HashMap<RawNode, &'static str>,
+) {
     let pad = "  ".repeat(depth);
     for node in &graph.nodes {
         let n: &Node = node;
-        out.push_str(&format!(
-            "{pad}{} [label=\"{}\"];\n",
-            node_id(n),
-            node_label(n)
-        ));
-        for &succ in n.successors.get().iter() {
-            out.push_str(&format!("{pad}{} -> {};\n", node_id(n), node_id(&*succ)));
+        let key = n as *const Node as RawNode;
+        // SAFETY: quiescent phase per the caller's contract.
+        let label = unsafe { node_label(n) };
+        match hl.get(&key) {
+            Some(color) => out.push_str(&format!(
+                "{pad}{} [label=\"{label}\", style=filled, fillcolor={color}];\n",
+                node_id(n)
+            )),
+            None => out.push_str(&format!("{pad}{} [label=\"{label}\"];\n", node_id(n))),
         }
-        let sub = n.subgraph.get();
+        // SAFETY: quiescent phase; successor pointers target live boxed nodes.
+        for &succ in unsafe { n.successors.get() }.iter() {
+            if succ == key {
+                out.push_str(&format!(
+                    "{pad}{} -> {} [color=red, penwidth=2];\n",
+                    node_id(n),
+                    node_id(n)
+                ));
+            } else {
+                // SAFETY: `succ` is a stable boxed-node address (see Graph).
+                let succ_id = node_id(unsafe { &*succ });
+                out.push_str(&format!("{pad}{} -> {succ_id};\n", node_id(n)));
+            }
+        }
+        // SAFETY: quiescent phase per the caller's contract.
+        let sub = unsafe { n.subgraph.get() };
         if !sub.is_empty() {
             *cluster += 1;
             out.push_str(&format!("{pad}subgraph cluster_{} {{\n", *cluster));
             out.push_str(&format!(
-                "{pad}  label=\"Subflow_{}\";\n{pad}  style=dashed;\n",
-                node_label(n)
+                "{pad}  label=\"Subflow_{label}\";\n{pad}  style=dashed;\n"
             ));
             // Anchor edge from the parent into its subflow for readability.
             if let Some(first) = sub.nodes.first() {
@@ -48,14 +116,16 @@ unsafe fn emit_graph(graph: &Graph, out: &mut String, depth: usize, cluster: &mu
                     node_id(first)
                 ));
             }
-            emit_graph(sub, out, depth + 1, cluster);
+            // SAFETY: forwarding the caller's quiescence guarantee.
+            unsafe { emit_graph(sub, out, depth + 1, cluster, hl) };
             out.push_str(&format!("{pad}}}\n"));
         }
     }
 }
 
 unsafe fn node_label(n: &Node) -> String {
-    let label = n.label();
+    // SAFETY: forwarding the caller's quiescence guarantee.
+    let label = unsafe { n.label() };
     if label.is_empty() {
         format!("{:p}", n as *const Node)
     } else {
@@ -121,6 +191,47 @@ mod tests {
             let dot = graph_to_dot(&g, "demo");
             assert!(dot.contains("subgraph cluster_1"));
             assert!(dot.contains("Subflow_A"));
+        }
+    }
+
+    #[test]
+    fn annotated_dot_highlights_findings() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        let b = g.emplace(Work::Empty);
+        g.emplace(Work::Empty); // orphan
+        unsafe {
+            *(*a).name.get_mut() = crate::TaskLabel::new("A");
+            *(*b).name.get_mut() = crate::TaskLabel::new("B");
+            (*a).successors.get_mut().push(b);
+            *(*b).in_degree.get_mut() += 1;
+            (*b).successors.get_mut().push(a);
+            *(*a).in_degree.get_mut() += 1;
+            let diags = vec![
+                GraphDiagnostic::Cycle {
+                    path: vec!["A".into(), "B".into(), "A".into()],
+                    nodes: vec![0, 1],
+                },
+                GraphDiagnostic::Orphan {
+                    label: String::new(),
+                    node: 2,
+                },
+            ];
+            let dot = graph_to_dot_annotated(&g, "demo", &diags);
+            assert_eq!(dot.matches("fillcolor=red").count(), 2);
+            assert_eq!(dot.matches("fillcolor=orange").count(), 1);
+        }
+    }
+
+    #[test]
+    fn self_edge_rendered_bold_red() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        unsafe {
+            (*a).successors.get_mut().push(a);
+            *(*a).in_degree.get_mut() += 1;
+            let dot = graph_to_dot(&g, "demo");
+            assert!(dot.contains("color=red, penwidth=2"));
         }
     }
 

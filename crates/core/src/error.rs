@@ -1,5 +1,6 @@
-//! Error types reported by a running topology.
+//! Error types reported by a dispatched topology.
 
+use crate::validate::GraphDiagnostic;
 use std::fmt;
 
 /// A task's closure panicked while the topology was running.
@@ -29,8 +30,65 @@ impl fmt::Display for TaskPanic {
 
 impl std::error::Error for TaskPanic {}
 
-/// Outcome of a dispatched topology: `Ok(())` or the first task panic.
-pub type RunResult = Result<(), TaskPanic>;
+/// Why a dispatched topology did not complete cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A task's closure panicked (first panic wins; see [`TaskPanic`]).
+    Panic(TaskPanic),
+    /// The graph was rejected by the pre-dispatch sanitizer
+    /// ([`crate::Taskflow::validate`]): it contains at least one fatal
+    /// finding (a dependency cycle or a self-edge), so running it could
+    /// never make progress. Carries *every* finding, warnings included.
+    InvalidGraph(Vec<GraphDiagnostic>),
+}
+
+impl RunError {
+    /// The panic record, when this error is a task panic.
+    pub fn as_panic(&self) -> Option<&TaskPanic> {
+        match self {
+            RunError::Panic(p) => Some(p),
+            RunError::InvalidGraph(_) => None,
+        }
+    }
+
+    /// The sanitizer findings, when this error is a rejected graph.
+    pub fn diagnostics(&self) -> Option<&[GraphDiagnostic]> {
+        match self {
+            RunError::Panic(_) => None,
+            RunError::InvalidGraph(d) => Some(d),
+        }
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Panic(p) => p.fmt(f),
+            RunError::InvalidGraph(diags) => {
+                write!(f, "invalid task graph: ")?;
+                for (i, d) in diags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    d.fmt(f)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<TaskPanic> for RunError {
+    fn from(p: TaskPanic) -> RunError {
+        RunError::Panic(p)
+    }
+}
+
+/// Outcome of a dispatched topology: `Ok(())`, the first task panic, or a
+/// graph rejected by the sanitizer.
+pub type RunResult = Result<(), RunError>;
 
 /// Renders a `catch_unwind` payload as a string.
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -59,6 +117,36 @@ mod tests {
             message: "boom".into(),
         };
         assert_eq!(e.to_string(), "task panicked: boom");
+    }
+
+    #[test]
+    fn run_error_wraps_and_projects() {
+        let p = TaskPanic {
+            task: "A".into(),
+            message: "boom".into(),
+        };
+        let e = RunError::from(p.clone());
+        assert_eq!(e.as_panic(), Some(&p));
+        assert!(e.diagnostics().is_none());
+        assert_eq!(e.to_string(), "task 'A' panicked: boom");
+
+        let e = RunError::InvalidGraph(vec![
+            GraphDiagnostic::SelfEdge {
+                label: "X".into(),
+                node: 0,
+            },
+            GraphDiagnostic::Orphan {
+                label: "Y".into(),
+                node: 1,
+            },
+        ]);
+        assert!(e.as_panic().is_none());
+        assert_eq!(e.diagnostics().map(|d| d.len()), Some(2));
+        assert_eq!(
+            e.to_string(),
+            "invalid task graph: task 'X' precedes itself; \
+             orphan task 'Y' (no predecessors or successors)"
+        );
     }
 
     #[test]

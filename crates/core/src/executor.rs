@@ -14,18 +14,19 @@
 //! (`Arc<Executor>`), mirroring the paper's `std::shared_ptr`-managed
 //! executor that avoids thread over-subscription in modular applications.
 
-use crate::error::{panic_message, TaskPanic};
+use crate::error::{panic_message, RunError, TaskPanic};
 use crate::graph::{RawNode, Work};
 use crate::notifier::Notifier;
 use crate::observer::{ExecutorObserver, DISPATCH_LANE};
 use crate::stats::{ExecutorStats, WorkerStats};
 use crate::subflow::Subflow;
+use crate::sync::AtomicBool;
 use crate::topology::Topology;
 use crate::wsq;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
@@ -313,7 +314,6 @@ impl Executor {
         // the sources are published to the injector below.
         unsafe {
             let g = topo.graph.get_mut();
-            debug_assert!(!g.has_cycle(), "task dependency graph contains a cycle");
             let n = g.len();
             notify_observers(inner, |ob| ob.on_topology_start(topo.id, n));
             if n == 0 {
@@ -336,10 +336,17 @@ impl Executor {
                     sources.push(p as usize);
                 }
             }
-            assert!(
-                !sources.is_empty(),
-                "non-empty task graph has no source task (dependency cycle)"
-            );
+            if sources.is_empty() {
+                // Every node has a predecessor, so the graph is cyclic and
+                // could never make progress. `Taskflow::dispatch` rejects
+                // such graphs before they reach us, but stay defensive: an
+                // unfulfilled promise here would wedge `Taskflow::drop`
+                // (which waits on every dispatched future) forever.
+                let diagnostics = crate::validate::validate_graph(g);
+                notify_observers(inner, |ob| ob.on_topology_stop(topo.id));
+                topo.reject(RunError::InvalidGraph(diagnostics));
+                return;
+            }
             inner.running.lock().push(Arc::clone(&topo));
             let k = sources.len();
             inner.injector.lock().extend(sources);
@@ -441,9 +448,8 @@ fn worker_loop(inner: &Inner, mut ctx: WorkerCtx) {
                 .fetch_add(1, Ordering::Relaxed);
             // SAFETY: the node is armed and its topology alive (same
             // contract as `execute` below, which runs it next).
-            notify_observers(inner, |ob| {
-                ob.on_cache_hit(ctx.id, unsafe { (*(t as RawNode)).label() })
-            });
+            let label = unsafe { (*(t as RawNode)).label() };
+            notify_observers(inner, |ob| ob.on_cache_hit(ctx.id, label));
             inner.shareds[ctx.id]
                 .executed
                 .fetch_add(1, Ordering::Relaxed);
@@ -595,33 +601,62 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
 /// # Safety
 /// Caller is the worker that just executed `node`.
 unsafe fn spawn_subflow(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode, detached: bool) -> bool {
-    let sub = (*node).subgraph.get_mut();
+    // SAFETY: the caller is the sole worker executing `node`, so its
+    // subgraph is exclusively ours.
+    let sub = unsafe { (*node).subgraph.get_mut() };
     if sub.is_empty() {
         return false;
     }
-    debug_assert!(!sub.has_cycle(), "subflow graph contains a cycle");
-    let topo_ptr = *(*node).topology.get();
+    // Runtime-built graphs get the same sanitation as dispatched ones: a
+    // cyclic subflow would keep the topology's `alive` counter from ever
+    // reaching zero, wedging `wait_for_all`. Record the typed error and
+    // spawn nothing (the parent completes as an empty subflow).
+    //
+    // SAFETY: no child has been spawned, so the subgraph is quiescent.
+    let diagnostics = unsafe { crate::validate::validate_graph(sub) };
+    if diagnostics.iter().any(|d| d.is_fatal()) {
+        // SAFETY: the topology pointer was armed at dispatch and its
+        // storage is kept alive by the executor's `running` registry.
+        let topo_ptr = unsafe { *(*node).topology.get() };
+        // SAFETY: `topo_ptr` is live (see above); `record_error` is
+        // internally synchronized.
+        unsafe { (*topo_ptr).record_error(RunError::InvalidGraph(diagnostics)) };
+        return false;
+    }
+    // SAFETY: armed at dispatch, kept alive by `running` (see above).
+    let topo_ptr = unsafe { *(*node).topology.get() };
     // The topology must know about the children before any of them can
     // finish, otherwise `alive` could hit zero early.
-    (*topo_ptr).alive.fetch_add(sub.len(), Ordering::Relaxed);
+    //
+    // SAFETY: `topo_ptr` is live; `alive` is an atomic.
+    unsafe { (*topo_ptr).alive.fetch_add(sub.len(), Ordering::Relaxed) };
     if !detached {
         // +1 sentinel held by the parent until spawning finishes; prevents
         // the children from completing the parent while we still arm their
         // siblings.
-        (*node).nested.store(sub.len() + 1, Ordering::Relaxed);
+        //
+        // SAFETY: `node` is ours (executing worker); `nested` is atomic.
+        unsafe { (*node).nested.store(sub.len() + 1, Ordering::Relaxed) };
     }
     let parent: RawNode = if detached { std::ptr::null_mut() } else { node };
     for child in sub.nodes.iter_mut() {
         let c: RawNode = &mut **child;
-        *(*c).topology.get_mut() = topo_ptr;
-        *(*c).parent.get_mut() = parent;
-        (*c).join_counter
-            .store(*(*c).in_degree.get(), Ordering::Relaxed);
+        // SAFETY: `c` is a boxed node owned by the subgraph; it has not
+        // been scheduled yet, so we have exclusive access.
+        unsafe {
+            *(*c).topology.get_mut() = topo_ptr;
+            *(*c).parent.get_mut() = parent;
+            (*c).join_counter
+                .store(*(*c).in_degree.get(), Ordering::Relaxed);
+        }
     }
     for i in 0..sub.nodes.len() {
         let c: RawNode = &mut *sub.nodes[i];
-        if *(*c).in_degree.get() == 0 {
-            schedule(inner, ctx, c);
+        // SAFETY: in-degree is frozen once the subflow closure returned.
+        if unsafe { *(*c).in_degree.get() } == 0 {
+            // SAFETY: `c` is armed (join counter = in-degree = 0) and its
+            // topology alive.
+            unsafe { schedule(inner, ctx, c) };
         }
     }
     !detached
@@ -635,25 +670,40 @@ unsafe fn spawn_subflow(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode, detac
 /// parent with a joined subflow, by the worker that finished its last
 /// child).
 unsafe fn complete(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
-    let topo_ptr = *(*node).topology.get();
-    let parent = *(*node).parent.get();
+    // SAFETY: per this function's contract the node is finished and owned
+    // by us; its topology/parent pointers were armed before it could run,
+    // and their storage outlives the topology, which `inner.running`
+    // keeps alive until the last node (at least until this call returns).
+    let topo_ptr = unsafe { *(*node).topology.get() };
+    // SAFETY: same contract; `parent` was armed at spawn time.
+    let parent = unsafe { *(*node).parent.get() };
     {
-        let succs = (*node).successors.get();
+        // SAFETY: successors are frozen after the build/spawn phase.
+        let succs = unsafe { (*node).successors.get() };
         for &s in succs.iter() {
-            if (*s).join_counter.fetch_sub(1, Ordering::AcqRel) == 1 {
-                schedule(inner, ctx, s);
+            // SAFETY: `s` targets a live boxed node of the same topology;
+            // `join_counter` is atomic.
+            if unsafe { (*s).join_counter.fetch_sub(1, Ordering::AcqRel) } == 1 {
+                // SAFETY: the zero-crossing arms `s`; it happened exactly
+                // once, so we are its unique scheduler.
+                unsafe { schedule(inner, ctx, s) };
             }
         }
     }
-    if (*topo_ptr).alive.fetch_sub(1, Ordering::AcqRel) == 1 {
+    // SAFETY: `topo_ptr` is live until the last `alive` decrement — which
+    // is at earliest this one.
+    if unsafe { (*topo_ptr).alive.fetch_sub(1, Ordering::AcqRel) } == 1 {
         // Only a node with no parent can be the last alive: a parent's own
         // completion is always pending while any child lives.
         debug_assert!(parent.is_null());
         finalize(inner, topo_ptr);
         return;
     }
-    if !parent.is_null() && (*parent).nested.fetch_sub(1, Ordering::AcqRel) == 1 {
-        complete(inner, ctx, parent);
+    // SAFETY: a non-null parent is a live node awaiting its joined
+    // children; `nested` is atomic.
+    if !parent.is_null() && unsafe { (*parent).nested.fetch_sub(1, Ordering::AcqRel) } == 1 {
+        // SAFETY: the last joined child completes the parent exactly once.
+        unsafe { complete(inner, ctx, parent) };
     }
 }
 

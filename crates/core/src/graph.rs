@@ -98,7 +98,8 @@ impl Node {
     /// # Safety
     /// Caller must satisfy the [`SyncCell`] read contract.
     pub(crate) unsafe fn label(&self) -> &TaskLabel {
-        self.name.get()
+        // SAFETY: forwarding the caller's phase guarantee.
+        unsafe { self.name.get() }
     }
 }
 
@@ -140,54 +141,11 @@ impl Graph {
     pub(crate) unsafe fn total_nodes(&self) -> usize {
         let mut count = self.nodes.len();
         for node in &self.nodes {
-            count += node.subgraph.get().total_nodes();
+            // SAFETY: quiescent phase per the caller's contract, so reading
+            // the subgraph (and recursing into it) is unsynchronized-safe.
+            count += unsafe { node.subgraph.get().total_nodes() };
         }
         count
-    }
-
-    /// Detects cycles with an iterative three-color DFS over this graph's
-    /// nodes (subgraphs are independent and checked when spawned, in debug
-    /// builds).
-    ///
-    /// # Safety
-    /// Callable only in a quiescent phase.
-    pub(crate) unsafe fn has_cycle(&self) -> bool {
-        use std::collections::HashMap;
-        // 0 = white, 1 = gray, 2 = black
-        let mut color: HashMap<RawNode, u8> = HashMap::with_capacity(self.nodes.len());
-        for node in &self.nodes {
-            color.insert(&**node as *const Node as RawNode, 0);
-        }
-        for start in &self.nodes {
-            let start: RawNode = &**start as *const Node as RawNode;
-            if color.get(&start).copied().unwrap_or(2) != 0 {
-                continue;
-            }
-            // Stack of (node, next successor index).
-            let mut stack: Vec<(RawNode, usize)> = vec![(start, 0)];
-            color.insert(start, 1);
-            while let Some(&(n, idx)) = stack.last() {
-                let succs = (*n).successors.get();
-                if idx < succs.len() {
-                    stack.last_mut().expect("nonempty").1 = idx + 1;
-                    let s = succs[idx];
-                    match color.get(&s).copied() {
-                        Some(0) => {
-                            color.insert(s, 1);
-                            stack.push((s, 0));
-                        }
-                        Some(1) => return true,
-                        // Black, or an edge leaving this graph (shouldn't
-                        // happen, but don't follow it).
-                        _ => {}
-                    }
-                } else {
-                    color.insert(n, 2);
-                    stack.pop();
-                }
-            }
-        }
-        false
     }
 }
 
@@ -200,14 +158,6 @@ unsafe impl Sync for Graph {}
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn connect(a: RawNode, b: RawNode) {
-        // SAFETY: single-threaded build phase.
-        unsafe {
-            (*a).successors.get_mut().push(b);
-            *(*b).in_degree.get_mut() += 1;
-        }
-    }
 
     #[test]
     fn emplace_gives_stable_addresses() {
@@ -223,44 +173,6 @@ mod tests {
         for (i, p) in ptrs.iter().enumerate() {
             let actual: RawNode = &mut *g.nodes[i];
             assert_eq!(*p, actual);
-        }
-    }
-
-    #[test]
-    fn cycle_detection_acyclic() {
-        let mut g = Graph::new();
-        let a = g.emplace(Work::Empty);
-        let b = g.emplace(Work::Empty);
-        let c = g.emplace(Work::Empty);
-        connect(a, b);
-        connect(b, c);
-        connect(a, c);
-        unsafe {
-            assert!(!g.has_cycle());
-        }
-    }
-
-    #[test]
-    fn cycle_detection_cyclic() {
-        let mut g = Graph::new();
-        let a = g.emplace(Work::Empty);
-        let b = g.emplace(Work::Empty);
-        let c = g.emplace(Work::Empty);
-        connect(a, b);
-        connect(b, c);
-        connect(c, a);
-        unsafe {
-            assert!(g.has_cycle());
-        }
-    }
-
-    #[test]
-    fn self_loop_is_a_cycle() {
-        let mut g = Graph::new();
-        let a = g.emplace(Work::Empty);
-        connect(a, a);
-        unsafe {
-            assert!(g.has_cycle());
         }
     }
 

@@ -48,6 +48,7 @@
 //! rebalance load. See [`Executor`] for details and ablation switches.
 
 #![warn(missing_docs)]
+#![warn(unsafe_op_in_unsafe_fn)]
 
 #[macro_use]
 mod taskflow;
@@ -65,12 +66,23 @@ mod ring;
 mod shared_vec;
 mod stats;
 mod subflow;
+mod sync;
 mod sync_cell;
 mod task;
 mod topology;
+mod validate;
 pub mod wsq;
 
-pub use error::{RunResult, TaskPanic};
+/// Internal protocol types re-exported for the model-checker test suite
+/// (`crates/check/tests`). Not part of the public API.
+#[cfg(feature = "rustflow_check")]
+#[doc(hidden)]
+pub mod check_internals {
+    pub use crate::notifier::Notifier;
+    pub use crate::ring::EventRing;
+}
+
+pub use error::{RunError, RunResult, TaskPanic};
 pub use executor::{Executor, ExecutorBuilder};
 pub use future::{Promise, SharedFuture};
 pub use label::TaskLabel;
@@ -82,6 +94,7 @@ pub use stats::{ExecutorStats, WorkerStats};
 pub use subflow::Subflow;
 pub use task::{Task, TaskSet};
 pub use taskflow::Taskflow;
+pub use validate::GraphDiagnostic;
 
 /// Commonly used items in one import.
 pub mod prelude {

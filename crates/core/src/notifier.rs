@@ -21,8 +21,18 @@
 //! All condition variables share one mutex (one cv per worker, so a wake
 //! targets exactly one thread).
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{AtomicBool, AtomicUsize, Condvar, Mutex};
+use std::sync::atomic::Ordering;
+
+/// Ordering of the Dekker pair — the idler's `num_idlers` increment and
+/// the submitter's fast-path load. The `rustflow_weaken` cfg deliberately
+/// breaks it so the model checker can demonstrate the lost wakeup it
+/// permits (see crates/check).
+const DEKKER: Ordering = if cfg!(rustflow_weaken = "notifier_dekker") {
+    Ordering::Relaxed
+} else {
+    Ordering::SeqCst
+};
 
 struct Slot {
     cv: Condvar,
@@ -30,7 +40,9 @@ struct Slot {
     napping: AtomicBool,
 }
 
-pub(crate) struct Notifier {
+/// The executor's idler list (public only for the model-checker tests via
+/// `check_internals`; not part of the supported API).
+pub struct Notifier {
     /// Stack of parked worker ids (LIFO: recently parked wake first, their
     /// caches are warm).
     idlers: Mutex<Vec<usize>>,
@@ -41,7 +53,8 @@ pub(crate) struct Notifier {
 }
 
 impl Notifier {
-    pub(crate) fn new(workers: usize) -> Notifier {
+    /// An idler list for `workers` workers, all awake.
+    pub fn new(workers: usize) -> Notifier {
         Notifier {
             idlers: Mutex::new(Vec::with_capacity(workers)),
             num_idlers: AtomicUsize::new(0),
@@ -60,10 +73,10 @@ impl Notifier {
     /// `false` (work appeared concurrently) the registration is rolled back
     /// and the function returns `false` without sleeping. `stop` aborts the
     /// wait.
-    pub(crate) fn wait(&self, w: usize, all_empty: impl Fn() -> bool, stop: &AtomicBool) -> bool {
+    pub fn wait(&self, w: usize, all_empty: impl Fn() -> bool, stop: &AtomicBool) -> bool {
         let mut guard = self.idlers.lock();
         // Dekker step 1: become visible as an idler...
-        self.num_idlers.fetch_add(1, Ordering::SeqCst);
+        self.num_idlers.fetch_add(1, DEKKER);
         // ...then re-check for work and for shutdown.
         if stop.load(Ordering::Relaxed) || !all_empty() {
             self.num_idlers.fetch_sub(1, Ordering::SeqCst);
@@ -86,9 +99,9 @@ impl Notifier {
     }
 
     /// Wakes one parked worker, if any. Returns the worker id it woke.
-    pub(crate) fn wake_one(&self) -> Option<usize> {
+    pub fn wake_one(&self) -> Option<usize> {
         // Fast path: no idlers — the common case under load.
-        if self.num_idlers.load(Ordering::SeqCst) == 0 {
+        if self.num_idlers.load(DEKKER) == 0 {
             return None;
         }
         let mut guard = self.idlers.lock();
@@ -103,7 +116,7 @@ impl Notifier {
     /// `wake_one` itself so it can observe each woken id, but this stays
     /// as the batch API and is exercised by tests.)
     #[allow(dead_code)]
-    pub(crate) fn wake_n(&self, n: usize) -> usize {
+    pub fn wake_n(&self, n: usize) -> usize {
         let mut woken = 0;
         while woken < n && self.wake_one().is_some() {
             woken += 1;
@@ -112,7 +125,7 @@ impl Notifier {
     }
 
     /// Wakes every parked worker (used at shutdown).
-    pub(crate) fn wake_all(&self) {
+    pub fn wake_all(&self) {
         let mut guard = self.idlers.lock();
         for &w in guard.iter() {
             self.slots[w].napping.store(false, Ordering::Relaxed);
@@ -123,7 +136,7 @@ impl Notifier {
     }
 
     /// Number of currently parked workers (advisory).
-    pub(crate) fn num_idlers(&self) -> usize {
+    pub fn num_idlers(&self) -> usize {
         self.num_idlers.load(Ordering::Relaxed)
     }
 }
@@ -131,7 +144,6 @@ impl Notifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
     use std::thread;
     use std::time::Duration;

@@ -17,18 +17,27 @@
 //! recording never blocks and never reallocates.
 
 use crate::observer::SchedEvent;
-use std::cell::UnsafeCell;
+use crate::sync::{AtomicU64, AtomicUsize, CheckedCell};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
+
+/// Ordering of the slot-publish `seq` store. The `rustflow_weaken` cfg
+/// deliberately breaks it so the model checker can demonstrate the
+/// payload data race it causes (see crates/check).
+const SEQ_PUBLISH: Ordering = if cfg!(rustflow_weaken = "ring_publish") {
+    Ordering::Relaxed
+} else {
+    Ordering::Release
+};
 
 struct Slot {
     /// Vyukov sequence number: `pos` when free, `pos + 1` when occupied.
     seq: AtomicUsize,
-    value: UnsafeCell<MaybeUninit<SchedEvent>>,
+    value: CheckedCell<MaybeUninit<SchedEvent>>,
 }
 
 /// A bounded lock-free ring of [`SchedEvent`]s.
-pub(crate) struct EventRing {
+pub struct EventRing {
     head: AtomicUsize,
     tail: AtomicUsize,
     dropped: AtomicU64,
@@ -43,9 +52,9 @@ unsafe impl Sync for EventRing {}
 
 impl EventRing {
     /// A ring holding up to `capacity` events (rounded up to a power of
-    /// two, minimum 8).
-    pub(crate) fn new(capacity: usize) -> EventRing {
-        let cap = capacity.max(8).next_power_of_two();
+    /// two, minimum 2).
+    pub fn new(capacity: usize) -> EventRing {
+        let cap = capacity.max(2).next_power_of_two();
         EventRing {
             head: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),
@@ -54,24 +63,24 @@ impl EventRing {
             slots: (0..cap)
                 .map(|i| Slot {
                     seq: AtomicUsize::new(i),
-                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                    value: CheckedCell::new(MaybeUninit::uninit()),
                 })
                 .collect(),
         }
     }
 
     /// Number of slots.
-    pub(crate) fn capacity(&self) -> usize {
+    pub fn capacity(&self) -> usize {
         self.slots.len()
     }
 
     /// Events discarded because the ring was full.
-    pub(crate) fn dropped(&self) -> u64 {
+    pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
 
     /// Records `event`; returns `false` (and counts the drop) when full.
-    pub(crate) fn push(&self, event: SchedEvent) -> bool {
+    pub fn push(&self, event: SchedEvent) -> bool {
         let mut pos = self.head.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
@@ -88,8 +97,8 @@ impl EventRing {
                     Ok(_) => {
                         // SAFETY: the CAS gives this thread exclusive
                         // ownership of the slot until the seq store below.
-                        unsafe { (*slot.value.get()).write(event) };
-                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        unsafe { slot.value.with_mut(|p| (*p).write(event)) };
+                        slot.seq.store(pos.wrapping_add(1), SEQ_PUBLISH);
                         return true;
                     }
                     Err(now) => pos = now,
@@ -105,7 +114,7 @@ impl EventRing {
     }
 
     /// Pops the oldest event, if any.
-    pub(crate) fn pop(&self) -> Option<SchedEvent> {
+    pub fn pop(&self) -> Option<SchedEvent> {
         let mut pos = self.tail.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
@@ -121,7 +130,7 @@ impl EventRing {
                     Ok(_) => {
                         // SAFETY: the CAS gives this thread exclusive
                         // ownership of the occupied slot.
-                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        let value = unsafe { slot.value.with_mut(|p| (*p).assume_init_read()) };
                         slot.seq
                             .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
                         return Some(value);
@@ -137,7 +146,7 @@ impl EventRing {
     }
 
     /// Drains every currently queued event into `out`.
-    pub(crate) fn drain_into(&self, out: &mut Vec<SchedEvent>) {
+    pub fn drain_into(&self, out: &mut Vec<SchedEvent>) {
         while let Some(ev) = self.pop() {
             out.push(ev);
         }
@@ -202,6 +211,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "hundreds of thousands of spins; too slow under miri")]
     fn concurrent_producers_never_lose_accounting() {
         use std::sync::Arc;
         let r = Arc::new(EventRing::new(64));

@@ -60,7 +60,8 @@ impl<T: Send + 'static> SharedVec<T> {
     /// No task may be concurrently writing index `i`. The crate's
     /// algorithms uphold this by never reading a vec they also write.
     pub(crate) unsafe fn get_raw(&self, i: usize) -> &T {
-        self.inner.cells[i].get()
+        // SAFETY: forwarding the caller's no-concurrent-writer guarantee.
+        unsafe { self.inner.cells[i].get() }
     }
 
     /// Exclusive access to element `i`.
@@ -71,7 +72,8 @@ impl<T: Send + 'static> SharedVec<T> {
     /// index to exactly one chunk task.
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn get_mut_raw(&self, i: usize) -> &mut T {
-        self.inner.cells[i].get_mut()
+        // SAFETY: forwarding the caller's unique-accessor guarantee.
+        unsafe { self.inner.cells[i].get_mut() }
     }
 
     /// Exclusive access to the contiguous subrange `[lo, hi)`.
@@ -89,7 +91,10 @@ impl<T: Send + 'static> SharedVec<T> {
     pub(crate) unsafe fn slice_mut_raw(&self, lo: usize, hi: usize) -> &mut [T] {
         debug_assert!(lo <= hi && hi <= self.len());
         let base = self.inner.cells.as_ptr() as *mut T;
-        std::slice::from_raw_parts_mut(base.add(lo), hi - lo)
+        // SAFETY: `[lo, hi)` is in bounds (asserted above), the layout
+        // equivalence is documented on the method, and exclusivity over
+        // the range is the caller's contract.
+        unsafe { std::slice::from_raw_parts_mut(base.add(lo), hi - lo) }
     }
 
     /// Shared access to the contiguous subrange `[lo, hi)`.
@@ -99,7 +104,9 @@ impl<T: Send + 'static> SharedVec<T> {
     pub(crate) unsafe fn slice_raw(&self, lo: usize, hi: usize) -> &[T] {
         debug_assert!(lo <= hi && hi <= self.len());
         let base = self.inner.cells.as_ptr() as *const T;
-        std::slice::from_raw_parts(base.add(lo), hi - lo)
+        // SAFETY: `[lo, hi)` is in bounds (asserted above); absence of
+        // concurrent writers is the caller's contract.
+        unsafe { std::slice::from_raw_parts(base.add(lo), hi - lo) }
     }
 
     /// Recovers the underlying vector. Panics unless this is the only

@@ -1,0 +1,87 @@
+//! The sync facade: one import path for every synchronization primitive
+//! the lock-free core uses.
+//!
+//! In normal builds this module re-exports `std::sync::atomic` types,
+//! `parking_lot`'s `Mutex`/`Condvar`, and a zero-cost `CheckedCell`
+//! wrapper over `UnsafeCell` — the compiled code is identical to using
+//! those types directly, so release throughput is untouched.
+//!
+//! With the `rustflow_check` cargo feature, the same names resolve to
+//! `rustflow-check`'s model-aware shims instead: every operation becomes
+//! a scheduling point of the deterministic interleaving checker, loads
+//! explore the C11-style set of visible stores, and plain `CheckedCell`
+//! accesses are race-checked. Outside an active model execution the shims
+//! fall back to the real primitives, so merely *enabling* the feature
+//! (e.g. through workspace feature unification) changes nothing.
+//!
+//! Only the protocol files (`wsq`, `ring`, `notifier`, `sync_cell`) are
+//! required to import through this facade; the executor's coarse state
+//! uses `std` directly.
+
+#[cfg(feature = "rustflow_check")]
+pub(crate) use rustflow_check::{
+    atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize},
+    cell::CheckedCell,
+    sync::{Condvar, Mutex},
+};
+
+#[cfg(not(feature = "rustflow_check"))]
+pub(crate) use parking_lot::{Condvar, Mutex};
+#[cfg(not(feature = "rustflow_check"))]
+pub(crate) use std::sync::atomic::{
+    fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize,
+};
+
+#[cfg(not(feature = "rustflow_check"))]
+mod plain_cell {
+    use std::cell::UnsafeCell;
+
+    /// Zero-cost stand-in for `rustflow_check::cell::CheckedCell`: the
+    /// same `with`/`with_mut` API over a plain `UnsafeCell`, with no
+    /// bookkeeping to inline away.
+    #[derive(Debug, Default)]
+    #[repr(transparent)]
+    pub(crate) struct CheckedCell<T>(UnsafeCell<T>);
+
+    // SAFETY: all access goes through the `unsafe` `with`/`with_mut` API,
+    // whose contract makes the caller responsible for cross-thread
+    // exclusion (same stance as `SyncCell`, which wraps this type).
+    unsafe impl<T: Send> Send for CheckedCell<T> {}
+    unsafe impl<T: Send> Sync for CheckedCell<T> {}
+
+    impl<T> CheckedCell<T> {
+        /// Creates a cell holding `value`.
+        pub(crate) const fn new(value: T) -> CheckedCell<T> {
+            CheckedCell(UnsafeCell::new(value))
+        }
+
+        /// Runs `f` with a shared raw pointer to the contents.
+        ///
+        /// # Safety
+        /// The caller must guarantee no concurrent mutation for the
+        /// duration of `f`.
+        #[inline]
+        pub(crate) unsafe fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Runs `f` with an exclusive raw pointer to the contents.
+        ///
+        /// # Safety
+        /// The caller must guarantee exclusive access for the duration of
+        /// `f`.
+        #[inline]
+        pub(crate) unsafe fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Consumes the cell and returns the value.
+        #[allow(dead_code)]
+        pub(crate) fn into_inner(self) -> T {
+            self.0.into_inner()
+        }
+    }
+}
+
+#[cfg(not(feature = "rustflow_check"))]
+pub(crate) use plain_cell::CheckedCell;

@@ -21,13 +21,18 @@
 //! safe-ish primitive once, document its contract, and keep the rest of the
 //! code free of ad-hoc `UnsafeCell` juggling.
 
-use std::cell::UnsafeCell;
+use crate::sync::CheckedCell;
 
 /// An `UnsafeCell` that may be shared across threads under the phase
 /// discipline documented at module level.
+///
+/// Built over the sync facade's [`CheckedCell`], so under the
+/// `rustflow_check` model checker every access is race-checked against
+/// the happens-before relation the executor's atomics actually establish;
+/// in normal builds it compiles to a bare `UnsafeCell`.
 #[derive(Debug)]
 #[repr(transparent)]
-pub(crate) struct SyncCell<T>(UnsafeCell<T>);
+pub(crate) struct SyncCell<T>(CheckedCell<T>);
 
 // SAFETY: access is serialized by the executor's scheduling protocol (a node
 // is owned by exactly one worker while it runs) or happens in the
@@ -38,7 +43,7 @@ unsafe impl<T: Send> Send for SyncCell<T> {}
 
 impl<T> SyncCell<T> {
     pub(crate) const fn new(value: T) -> Self {
-        SyncCell(UnsafeCell::new(value))
+        SyncCell(CheckedCell::new(value))
     }
 
     /// Returns a shared reference to the contents.
@@ -49,7 +54,10 @@ impl<T> SyncCell<T> {
     /// after completion).
     #[inline]
     pub(crate) unsafe fn get(&self) -> &T {
-        &*self.0.get()
+        // SAFETY: forwarding the caller's phase guarantee; the pointer is
+        // valid for `self`'s lifetime, so laundering the borrow through it
+        // is sound under that same guarantee.
+        unsafe { self.0.with(|p| &*p) }
     }
 
     /// Returns an exclusive reference to the contents.
@@ -61,7 +69,8 @@ impl<T> SyncCell<T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn get_mut(&self) -> &mut T {
-        &mut *self.0.get()
+        // SAFETY: forwarding the caller's uniqueness guarantee.
+        unsafe { self.0.with_mut(|p| &mut *p) }
     }
 
     /// Replaces the contents, returning the previous value.
@@ -70,7 +79,8 @@ impl<T> SyncCell<T> {
     /// Same contract as [`SyncCell::get_mut`].
     #[inline]
     pub(crate) unsafe fn replace(&self, value: T) -> T {
-        std::mem::replace(&mut *self.0.get(), value)
+        // SAFETY: forwarding the caller's uniqueness guarantee.
+        unsafe { self.0.with_mut(|p| std::mem::replace(&mut *p, value)) }
     }
 
     /// Consumes the cell and returns the value (safe: requires ownership).

@@ -80,9 +80,13 @@ impl<'g> Task<'g> {
     /// `sources`. The mirror image of [`Task::precede`].
     pub fn succeed<T: TaskSet<'g>>(self, sources: T) -> Self {
         self.assert_mutable();
-        sources.for_each(&mut |t| unsafe {
-            (*t.node).successors.get_mut().push(self.node);
-            *(*self.node).in_degree.get_mut() += 1;
+        sources.for_each(&mut |t| {
+            // SAFETY: build phase, single thread; both nodes belong to
+            // graphs owned by the same (not yet dispatched) taskflow.
+            unsafe {
+                (*t.node).successors.get_mut().push(self.node);
+                *(*self.node).in_degree.get_mut() += 1;
+            }
         });
         self
     }
@@ -107,6 +111,7 @@ impl<'g> Task<'g> {
         F: FnMut(&mut Subflow<'_>) + Send + 'static,
     {
         self.assert_mutable();
+        // SAFETY: build phase, single thread.
         unsafe {
             *(*self.node).work.get_mut() = Work::Dynamic(Box::new(f));
         }
@@ -115,16 +120,19 @@ impl<'g> Task<'g> {
 
     /// Number of outgoing edges.
     pub fn num_successors(self) -> usize {
+        // SAFETY: edges mutate only during the single-threaded build phase.
         unsafe { (*self.node).successors.get().len() }
     }
 
     /// Number of incoming edges.
     pub fn num_dependents(self) -> usize {
+        // SAFETY: edges mutate only during the single-threaded build phase.
         unsafe { *(*self.node).in_degree.get() }
     }
 
     /// `true` when the task has no callable assigned yet.
     pub fn is_placeholder(self) -> bool {
+        // SAFETY: work is assigned only during the build phase.
         unsafe { matches!(*(*self.node).work.get(), Work::Empty) }
     }
 }

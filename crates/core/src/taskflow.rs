@@ -10,7 +10,7 @@
 //! storage alive for outstanding [`Task`] handles.
 
 use crate::dot;
-use crate::error::RunResult;
+use crate::error::{RunError, RunResult};
 use crate::executor::Executor;
 use crate::future::SharedFuture;
 use crate::graph::{Graph, Work};
@@ -18,6 +18,7 @@ use crate::subflow::Subflow;
 use crate::sync_cell::SyncCell;
 use crate::task::Task;
 use crate::topology::Topology;
+use crate::validate::{self, GraphDiagnostic};
 use parking_lot::Mutex;
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -165,15 +166,52 @@ impl Taskflow {
         out
     }
 
+    /// Runs the pre-dispatch sanitizer on the present graph and returns
+    /// every finding: dependency cycles (with their label path),
+    /// self-edges, duplicate `precede` edges, and orphan tasks.
+    ///
+    /// An empty result means [`Taskflow::dispatch`] will hand the graph to
+    /// the executor; fatal findings ([`GraphDiagnostic::is_fatal`]) make
+    /// dispatch resolve the future with [`RunError::InvalidGraph`] instead.
+    pub fn validate(&self) -> Vec<GraphDiagnostic> {
+        // SAFETY: !Sync — the present graph is quiescent.
+        unsafe { validate::validate_graph(self.graph.get()) }
+    }
+
+    /// Dumps the present graph to DOT with sanitizer findings highlighted
+    /// (cycle members red, orphans orange), and returns the findings.
+    pub fn dump_with_diagnostics(&self) -> (String, Vec<GraphDiagnostic>) {
+        let diagnostics = self.validate();
+        // SAFETY: !Sync — the present graph is quiescent.
+        let dot =
+            unsafe { dot::graph_to_dot_annotated(self.graph.get(), &self.name(), &diagnostics) };
+        (dot, diagnostics)
+    }
+
     /// Dispatches the present graph for execution **without blocking**,
     /// returning a shared future to observe completion (§III-C). The
     /// taskflow is left with a fresh empty graph.
+    ///
+    /// The graph is sanitized first ([`Taskflow::validate`]); a graph that
+    /// could never complete — a dependency cycle or a self-edge — is *not*
+    /// handed to the executor: the returned future resolves immediately
+    /// with [`RunError::InvalidGraph`] carrying the findings, instead of
+    /// deadlocking the worker pool as in Cpp-Taskflow ("a cyclic graph
+    /// results in undefined behavior").
     pub fn dispatch(&self) -> SharedFuture<RunResult> {
+        let diagnostics = self.validate();
         // SAFETY: !Sync — single-threaded graph handoff.
         let graph = unsafe { self.graph.replace(Graph::new()) };
         let (topo, future) = Topology::new(graph);
+        // Retained even when rejected: outstanding Task handles point into
+        // the topology's node storage.
         self.topologies.lock().push(Arc::clone(&topo));
-        self.executor.run_topology(topo);
+        if diagnostics.iter().any(GraphDiagnostic::is_fatal) {
+            // SAFETY: the topology was never handed to the executor.
+            unsafe { topo.reject(RunError::InvalidGraph(diagnostics)) };
+        } else {
+            self.executor.run_topology(topo);
+        }
         future
     }
 

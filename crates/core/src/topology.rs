@@ -8,7 +8,7 @@
 //! executor's raw node pointers stay valid), and the executor additionally
 //! holds a keep-alive `Arc` while the topology runs.
 
-use crate::error::{RunResult, TaskPanic};
+use crate::error::{RunError, RunResult, TaskPanic};
 use crate::future::{Promise, SharedFuture};
 use crate::graph::Graph;
 use crate::sync_cell::SyncCell;
@@ -32,8 +32,8 @@ pub(crate) struct Topology {
     pub(crate) promise: SyncCell<Option<Promise<RunResult>>>,
     /// Cloneable completion handle returned to users.
     pub(crate) future: SharedFuture<RunResult>,
-    /// First task panic observed while running (kept, later ones dropped).
-    pub(crate) error: Mutex<Option<TaskPanic>>,
+    /// First error observed while running (kept, later ones dropped).
+    pub(crate) error: Mutex<Option<RunError>>,
 }
 
 // SAFETY: interior fields follow the sync_cell phase discipline; atomics
@@ -56,12 +56,33 @@ impl Topology {
         (topo, future)
     }
 
-    /// Records the first panic; later panics are ignored.
+    /// Records the first panic; later errors are ignored.
     pub(crate) fn record_panic(&self, panic: TaskPanic) {
+        self.record_error(RunError::Panic(panic));
+    }
+
+    /// Records the first error; later ones are ignored.
+    pub(crate) fn record_error(&self, error: RunError) {
         let mut guard = self.error.lock();
         if guard.is_none() {
-            *guard = Some(panic);
+            *guard = Some(error);
         }
+    }
+
+    /// Resolves the topology's future with `error` without running it.
+    ///
+    /// Used by the dispatch path when the pre-dispatch sanitizer rejects
+    /// the graph: the topology is retained (task handles stay valid) but
+    /// never reaches the executor, and waiting on the future returns the
+    /// typed error instead of deadlocking.
+    ///
+    /// # Safety
+    /// The caller must have exclusive access to the topology — i.e. it was
+    /// never handed to the executor.
+    pub(crate) unsafe fn reject(&self, error: RunError) {
+        // SAFETY: exclusive access per the caller's contract.
+        let promise = unsafe { self.promise.replace(None) }.expect("topology rejected twice");
+        promise.set(Err(error));
     }
 
     /// Number of top-level nodes (excludes dynamically spawned subflows).
@@ -87,7 +108,16 @@ mod tests {
             task: "b".into(),
             message: "second".into(),
         });
-        assert_eq!(topo.error.lock().as_ref().unwrap().message, "first");
+        assert_eq!(
+            topo.error
+                .lock()
+                .as_ref()
+                .unwrap()
+                .as_panic()
+                .unwrap()
+                .message,
+            "first"
+        );
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Pre-dispatch graph sanitizer.
+//!
+//! Cpp-Taskflow documents that "a cyclic dependency graph results in
+//! undefined behavior" — in practice a cycle dispatched to the executor
+//! deadlocks, because no node on the cycle ever reaches join-counter zero.
+//! rustflow instead *analyzes* the graph before handing it to the
+//! executor: [`crate::Taskflow::validate`] returns structured
+//! [`GraphDiagnostic`]s, and dispatching a graph with a fatal diagnostic
+//! resolves the returned future with
+//! [`RunError::InvalidGraph`](crate::RunError::InvalidGraph) instead of
+//! wedging the worker pool.
+//!
+//! The analysis is a single O(V + E) pass: an iterative three-color DFS
+//! with an explicit path stack (so a discovered cycle is reported as the
+//! actual label path, e.g. `A -> B -> C -> A`), plus per-node scans for
+//! self-edges, duplicate `precede` edges, and orphan tasks.
+
+use crate::graph::{Graph, Node, RawNode};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One finding of the pre-dispatch graph sanitizer.
+///
+/// `node` fields are indices into the taskflow's present graph in
+/// emplacement order — the same order [`crate::Taskflow::dump`] emits
+/// nodes — so tools can correlate findings with the DOT output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphDiagnostic {
+    /// A dependency cycle. Dispatching it would deadlock; fatal.
+    Cycle {
+        /// The cycle as task labels, closed (first label repeated at the
+        /// end): `["A", "B", "A"]`. Unnamed tasks render as `task@<index>`.
+        path: Vec<String>,
+        /// Indices of the distinct nodes on the cycle, in path order.
+        nodes: Vec<usize>,
+    },
+    /// A task that precedes itself — a one-node cycle; fatal.
+    SelfEdge {
+        /// The task's label (`task@<index>` when unnamed).
+        label: String,
+        /// The node's index.
+        node: usize,
+    },
+    /// The same `precede` edge was added more than once. Harmless to
+    /// correctness (the join counter is armed from the accumulated
+    /// in-degree), but almost always a bug in graph-building code.
+    DuplicateEdge {
+        /// Label of the edge's source task.
+        from: String,
+        /// Label of the edge's target task.
+        to: String,
+        /// Index of the source node.
+        from_node: usize,
+        /// Index of the target node.
+        to_node: usize,
+        /// How many copies of the edge exist (≥ 2).
+        count: usize,
+    },
+    /// A task with no predecessors and no successors in a graph that has
+    /// other tasks. It still runs — but it is disconnected from the
+    /// dependency structure, which usually signals a forgotten `precede`.
+    Orphan {
+        /// The task's label (`task@<index>` when unnamed).
+        label: String,
+        /// The node's index.
+        node: usize,
+    },
+}
+
+impl GraphDiagnostic {
+    /// `true` when dispatching a graph with this finding cannot make
+    /// progress (cycles and self-edges); such graphs are rejected at
+    /// dispatch. Warnings (duplicate edges, orphans) do not block.
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            GraphDiagnostic::Cycle { .. } | GraphDiagnostic::SelfEdge { .. }
+        )
+    }
+}
+
+impl fmt::Display for GraphDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphDiagnostic::Cycle { path, .. } => {
+                write!(f, "dependency cycle: {}", path.join(" -> "))
+            }
+            GraphDiagnostic::SelfEdge { label, .. } => {
+                write!(f, "task '{label}' precedes itself")
+            }
+            GraphDiagnostic::DuplicateEdge {
+                from, to, count, ..
+            } => write!(f, "duplicate edge '{from}' -> '{to}' ({count} copies)"),
+            GraphDiagnostic::Orphan { label, .. } => {
+                write!(f, "orphan task '{label}' (no predecessors or successors)")
+            }
+        }
+    }
+}
+
+/// Label for diagnostics: the task's name, or `task@<index>` when unnamed.
+unsafe fn diag_label(n: &Node, index: usize) -> String {
+    // SAFETY: forwarding the caller's quiescence guarantee.
+    let label = unsafe { n.label() };
+    if label.is_empty() {
+        format!("task@{index}")
+    } else {
+        label.to_string()
+    }
+}
+
+/// Analyzes `graph` and returns every finding (fatal ones first is *not*
+/// guaranteed; callers filter with [`GraphDiagnostic::is_fatal`]).
+///
+/// # Safety
+/// Must be called in a quiescent phase: the build thread before dispatch,
+/// or on a graph no worker is mutating.
+pub(crate) unsafe fn validate_graph(graph: &Graph) -> Vec<GraphDiagnostic> {
+    let mut out = Vec::new();
+    let n = graph.nodes.len();
+    // Node address -> emplacement index, for successor lookups.
+    let mut index_of: HashMap<RawNode, usize> = HashMap::with_capacity(n);
+    for (i, node) in graph.nodes.iter().enumerate() {
+        index_of.insert(&**node as *const Node as RawNode, i);
+    }
+
+    // Per-node scans: self-edges, duplicate edges, orphans.
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let me = &**node as *const Node as RawNode;
+        // SAFETY: quiescent phase per the caller's contract.
+        let succs = unsafe { node.successors.get() };
+        let mut copies: HashMap<RawNode, usize> = HashMap::new();
+        for &s in succs.iter() {
+            *copies.entry(s).or_insert(0) += 1;
+        }
+        if copies.contains_key(&me) {
+            out.push(GraphDiagnostic::SelfEdge {
+                // SAFETY: quiescent phase.
+                label: unsafe { diag_label(node, i) },
+                node: i,
+            });
+        }
+        for (&s, &count) in copies.iter() {
+            if count > 1 && s != me {
+                if let Some(&j) = index_of.get(&s) {
+                    out.push(GraphDiagnostic::DuplicateEdge {
+                        // SAFETY: quiescent phase; `s` targets a live node.
+                        from: unsafe { diag_label(node, i) },
+                        to: unsafe { diag_label(&*s, j) },
+                        from_node: i,
+                        to_node: j,
+                        count,
+                    });
+                }
+            }
+        }
+        // SAFETY: quiescent phase.
+        let in_degree = unsafe { *node.in_degree.get() };
+        if n > 1 && in_degree == 0 && succs.is_empty() {
+            out.push(GraphDiagnostic::Orphan {
+                // SAFETY: quiescent phase.
+                label: unsafe { diag_label(node, i) },
+                node: i,
+            });
+        }
+    }
+
+    // Cycle search: iterative three-color DFS with an explicit path stack.
+    // Self-edges are skipped here (reported above); the first multi-node
+    // cycle found is reported with its full label path and the search
+    // stops — one fatal finding is enough to reject the dispatch.
+    // 0 = white, 1 = gray (on the current path), 2 = black.
+    let mut color: Vec<u8> = vec![0; n];
+    'roots: for root in 0..n {
+        if color[root] != 0 {
+            continue;
+        }
+        // Stack of (node index, next successor position).
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        color[root] = 1;
+        while let Some(&(at, pos)) = stack.last() {
+            let node = &graph.nodes[at];
+            // SAFETY: quiescent phase per the caller's contract.
+            let succs = unsafe { node.successors.get() };
+            if pos < succs.len() {
+                stack.last_mut().expect("nonempty").1 = pos + 1;
+                let Some(&j) = index_of.get(&succs[pos]) else {
+                    continue; // edge leaving this graph; don't follow
+                };
+                if j == at {
+                    continue; // self-edge, reported separately
+                }
+                match color[j] {
+                    0 => {
+                        color[j] = 1;
+                        stack.push((j, 0));
+                    }
+                    1 => {
+                        // Found a back edge: the cycle is the path suffix
+                        // starting at `j`.
+                        let start = stack
+                            .iter()
+                            .position(|&(k, _)| k == j)
+                            .expect("gray node is on the path");
+                        let nodes: Vec<usize> = stack[start..].iter().map(|&(k, _)| k).collect();
+                        let mut path: Vec<String> = nodes
+                            .iter()
+                            // SAFETY: quiescent phase.
+                            .map(|&k| unsafe { diag_label(&graph.nodes[k], k) })
+                            .collect();
+                        path.push(path[0].clone());
+                        out.push(GraphDiagnostic::Cycle { path, nodes });
+                        break 'roots;
+                    }
+                    _ => {}
+                }
+            } else {
+                color[at] = 2;
+                stack.pop();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Work;
+
+    fn connect(a: RawNode, b: RawNode) {
+        // SAFETY: single-threaded build phase.
+        unsafe {
+            (*a).successors.get_mut().push(b);
+            *(*b).in_degree.get_mut() += 1;
+        }
+    }
+
+    fn name(n: RawNode, s: &str) {
+        // SAFETY: single-threaded build phase.
+        unsafe {
+            *(*n).name.get_mut() = crate::TaskLabel::new(s);
+        }
+    }
+
+    #[test]
+    fn clean_graph_has_no_findings() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        let b = g.emplace(Work::Empty);
+        connect(a, b);
+        assert!(unsafe { validate_graph(&g) }.is_empty());
+    }
+
+    #[test]
+    fn cycle_reports_label_path() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        let b = g.emplace(Work::Empty);
+        let c = g.emplace(Work::Empty);
+        name(a, "A");
+        name(b, "B");
+        name(c, "C");
+        connect(a, b);
+        connect(b, c);
+        connect(c, a);
+        let diags = unsafe { validate_graph(&g) };
+        assert_eq!(diags.len(), 1);
+        match &diags[0] {
+            GraphDiagnostic::Cycle { path, nodes } => {
+                assert_eq!(path, &["A", "B", "C", "A"]);
+                assert_eq!(nodes, &[0, 1, 2]);
+            }
+            other => panic!("expected Cycle, got {other:?}"),
+        }
+        assert!(diags[0].is_fatal());
+        assert_eq!(diags[0].to_string(), "dependency cycle: A -> B -> C -> A");
+    }
+
+    #[test]
+    fn unnamed_cycle_uses_index_labels() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        let b = g.emplace(Work::Empty);
+        connect(a, b);
+        connect(b, a);
+        let diags = unsafe { validate_graph(&g) };
+        match &diags[0] {
+            GraphDiagnostic::Cycle { path, .. } => {
+                assert_eq!(path, &["task@0", "task@1", "task@0"]);
+            }
+            other => panic!("expected Cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_edge_is_fatal_and_not_double_reported() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        name(a, "loopy");
+        connect(a, a);
+        let diags = unsafe { validate_graph(&g) };
+        assert_eq!(diags.len(), 1);
+        assert_eq!(
+            diags[0],
+            GraphDiagnostic::SelfEdge {
+                label: "loopy".into(),
+                node: 0
+            }
+        );
+        assert!(diags[0].is_fatal());
+    }
+
+    #[test]
+    fn duplicate_edge_counts_copies() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        let b = g.emplace(Work::Empty);
+        name(a, "A");
+        name(b, "B");
+        connect(a, b);
+        connect(a, b);
+        connect(a, b);
+        let diags = unsafe { validate_graph(&g) };
+        assert_eq!(diags.len(), 1);
+        match &diags[0] {
+            GraphDiagnostic::DuplicateEdge {
+                from, to, count, ..
+            } => {
+                assert_eq!((from.as_str(), to.as_str(), *count), ("A", "B", 3));
+            }
+            other => panic!("expected DuplicateEdge, got {other:?}"),
+        }
+        assert!(!diags[0].is_fatal());
+    }
+
+    #[test]
+    fn orphan_detected_only_in_multi_node_graphs() {
+        let mut g = Graph::new();
+        g.emplace(Work::Empty);
+        assert!(
+            unsafe { validate_graph(&g) }.is_empty(),
+            "singleton is fine"
+        );
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        let b = g.emplace(Work::Empty);
+        g.emplace(Work::Empty); // orphan
+        connect(a, b);
+        let diags = unsafe { validate_graph(&g) };
+        assert_eq!(
+            diags,
+            vec![GraphDiagnostic::Orphan {
+                label: "task@2".into(),
+                node: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_clean() {
+        let g = Graph::new();
+        assert!(unsafe { validate_graph(&g) }.is_empty());
+    }
+}

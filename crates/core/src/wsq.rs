@@ -24,12 +24,35 @@
 //! cloneable [`Stealer`] halves. A differential stress test against
 //! `crossbeam_deque` lives in `tests/` of this crate.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use crate::sync::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Mutex};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Initial ring capacity (must be a power of two).
 const INITIAL_CAPACITY: usize = 64;
+
+/// Ordering of the buffer-pointer publication in `grow`. The
+/// `rustflow_weaken` cfg deliberately breaks it so the model checker can
+/// demonstrate the resulting lost/garbled steal (see crates/check).
+const GROW_SWAP: Ordering = if cfg!(rustflow_weaken = "wsq_grow_swap") {
+    Ordering::Relaxed
+} else {
+    Ordering::Release
+};
+
+/// Ordering of the Dekker fence in `pop`, pairing with the SeqCst fence
+/// in `steal`: it forces the owner's subsequent `top` read to observe any
+/// steal whose fence already executed. The weakened AcqRel variant keeps
+/// every happens-before edge but loses the single-total-order property,
+/// so the owner can read a stale `top`, conclude the deque still holds
+/// two items, and take the bottom slot without a CAS while a thief takes
+/// the same slot — the classic weak-memory double-pop the model checker
+/// demonstrates (see crates/check/tests/models.rs).
+const POP_FENCE: Ordering = if cfg!(rustflow_weaken = "wsq_pop_fence") {
+    Ordering::AcqRel
+} else {
+    Ordering::SeqCst
+};
 
 struct RingBuffer {
     mask: usize,
@@ -108,10 +131,23 @@ pub struct Stealer {
 
 /// Creates a new work-stealing deque, returning its two halves.
 pub fn deque() -> (Owner, Stealer) {
+    deque_with_capacity(INITIAL_CAPACITY)
+}
+
+/// Creates a deque with a specific initial ring capacity (power of two).
+///
+/// The executor always starts at [`INITIAL_CAPACITY`]; small capacities
+/// exist so tests — the model checker in particular — can force `grow`
+/// with a handful of items instead of 65.
+pub fn deque_with_capacity(capacity: usize) -> (Owner, Stealer) {
+    assert!(
+        capacity.is_power_of_two(),
+        "deque capacity must be a power of two"
+    );
     let inner = Arc::new(Inner {
         top: AtomicIsize::new(0),
         bottom: AtomicIsize::new(0),
-        buffer: AtomicPtr::new(Box::into_raw(RingBuffer::new(INITIAL_CAPACITY))),
+        buffer: AtomicPtr::new(Box::into_raw(RingBuffer::new(capacity))),
         garbage: Mutex::new(Vec::new()),
     });
     (
@@ -134,6 +170,7 @@ impl Owner {
 
         if b - t >= buf.capacity() as isize {
             self.grow(t, b);
+            // SAFETY: as above; `grow` just installed a fresh valid buffer.
             buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
         }
 
@@ -149,7 +186,7 @@ impl Owner {
         // SAFETY: see push.
         let buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
         inner.bottom.store(b, Ordering::Relaxed);
-        fence(Ordering::SeqCst);
+        fence(POP_FENCE);
         let t = inner.top.load(Ordering::Relaxed);
 
         if t <= b {
@@ -200,7 +237,7 @@ impl Owner {
             new.write(i, old.read(i, Ordering::Relaxed), Ordering::Relaxed);
         }
         let new_ptr = Box::into_raw(new);
-        let old_ptr = inner.buffer.swap(new_ptr, Ordering::Release);
+        let old_ptr = inner.buffer.swap(new_ptr, GROW_SWAP);
         // Retire the old buffer: thieves may still be reading it.
         // SAFETY: old_ptr came from Box::into_raw and is no longer published.
         inner.garbage.lock().push(unsafe { Box::from_raw(old_ptr) });
@@ -212,6 +249,7 @@ impl Stealer {
     pub fn steal(&self) -> Steal {
         let inner = &*self.inner;
         let t = inner.top.load(Ordering::Acquire);
+        // The Dekker-style fence pairing with `pop`'s [`POP_FENCE`].
         fence(Ordering::SeqCst);
         let b = inner.bottom.load(Ordering::Acquire);
 
@@ -314,6 +352,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "spin-heavy stress; too slow under miri")]
     fn concurrent_steal_no_loss_no_dup() {
         const ITEMS: usize = 20_000;
         const THIEVES: usize = 4;

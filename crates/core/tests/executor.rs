@@ -258,8 +258,9 @@ fn panic_is_reported_not_hung() {
     });
     boom.precede(after);
     let err = tf.try_wait_for_all().expect_err("panic not reported");
-    assert_eq!(err.task, "boomer");
-    assert!(err.message.contains("boom in task"));
+    let panic = err.as_panic().expect("panic, not a graph error");
+    assert_eq!(panic.task, "boomer");
+    assert!(panic.message.contains("boom in task"));
     // The graph keeps running past the panicked task.
     assert_eq!(ran_after.load(Ordering::SeqCst), 1);
 }

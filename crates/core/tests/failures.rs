@@ -12,8 +12,9 @@ fn panic_in_dynamic_task_closure() {
     let tf = Taskflow::with_executor(Arc::clone(&ex));
     tf.emplace_subflow(|_sf| panic!("dynamic boom")).name("dyn");
     let err = tf.try_wait_for_all().expect_err("panic not reported");
-    assert_eq!(err.task, "dyn");
-    assert!(err.message.contains("dynamic boom"));
+    let panic = err.as_panic().expect("panic, not a graph error");
+    assert_eq!(panic.task, "dyn");
+    assert!(panic.message.contains("dynamic boom"));
     // Executor still fully functional afterwards.
     let counter = Arc::new(AtomicUsize::new(0));
     let tf2 = Taskflow::with_executor(ex);
@@ -39,7 +40,7 @@ fn panic_in_subflow_child() {
         });
     });
     let err = tf.try_wait_for_all().expect_err("panic not reported");
-    assert_eq!(err.task, "bad_child");
+    assert_eq!(err.as_panic().expect("panic").task, "bad_child");
     // The sibling child still ran; the topology completed.
     assert_eq!(siblings.load(Ordering::SeqCst), 1);
 }
@@ -88,8 +89,9 @@ fn first_panic_wins_under_many() {
     let b = tf.emplace(|| panic!("second")).name("t_second");
     a.precede(b);
     let err = tf.try_wait_for_all().expect_err("no panic reported");
-    assert_eq!(err.task, "t_first");
-    assert!(err.message.contains("first"));
+    let panic = err.as_panic().expect("panic, not a graph error");
+    assert_eq!(panic.task, "t_first");
+    assert!(panic.message.contains("first"));
 }
 
 #[test]

@@ -1,0 +1,89 @@
+//! Source audit: every `unsafe` block or `unsafe impl` in the core and
+//! checker crates must carry a `// SAFETY:` comment immediately above it
+//! (or trailing on the same line) stating the proof obligation it
+//! discharges. CI runs this test, so an unannotated unsafe site fails the
+//! build with its file and line.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A code line that opens an unsafe region and therefore needs a nearby
+/// SAFETY comment: an `unsafe {` block or an `unsafe impl` item.
+/// (`unsafe fn` declarations are excluded — their obligation is the
+/// `# Safety` doc section, which clippy's `missing_safety_doc` enforces.)
+fn opens_unsafe_region(code: &str) -> bool {
+    code.contains("unsafe {") || code.trim_start().starts_with("unsafe impl")
+}
+
+/// Lines the upward scan may step over between an unsafe site and its
+/// SAFETY comment: attributes, a sibling unsafe site (one comment may
+/// head a cluster, e.g. a Send/Sync impl pair or adjacent field inits),
+/// and the `let x =` head of the same statement after rustfmt wraps it.
+fn scannable(code: &str) -> bool {
+    let t = code.trim();
+    t.starts_with("//") || t.starts_with("#[") || t.ends_with('=') || opens_unsafe_region(code)
+}
+
+fn audit_file(path: &Path, violations: &mut Vec<String>) {
+    let text = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        // The audit covers production code; in-file `#[cfg(test)]` modules
+        // (conventionally the tail of the file) are exempt.
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") || !opens_unsafe_region(line) {
+            continue;
+        }
+        if line.contains("// SAFETY") {
+            continue;
+        }
+        let mut documented = false;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let above = lines[j];
+            if above.trim_start().starts_with("//") && above.contains("SAFETY") {
+                documented = true;
+                break;
+            }
+            if !scannable(above) {
+                break;
+            }
+        }
+        if !documented {
+            violations.push(format!("{}:{}: {}", path.display(), i + 1, trimmed));
+        }
+    }
+}
+
+fn audit_dir(dir: &Path, violations: &mut Vec<String>) {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read dir {dir:?}: {e}"))
+        .map(|entry| entry.expect("dir entry").path())
+        .collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            audit_dir(&path, violations);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            audit_file(&path, violations);
+        }
+    }
+}
+
+#[test]
+fn every_unsafe_block_has_a_safety_comment() {
+    let core_src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let check_src = Path::new(env!("CARGO_MANIFEST_DIR")).join("../check/src");
+    let mut violations = Vec::new();
+    audit_dir(&core_src, &mut violations);
+    audit_dir(&check_src, &mut violations);
+    assert!(
+        violations.is_empty(),
+        "unsafe sites missing a // SAFETY: comment:\n{}",
+        violations.join("\n")
+    );
+}
