@@ -1,0 +1,111 @@
+//! Rebuild-vs-reuse: the cost of re-creating a task graph every
+//! iteration versus freezing it once and re-arming it with
+//! `Taskflow::run_n`.
+//!
+//! The workload is an iterative ~1,000-task layered DAG with trivial task
+//! bodies, the regime where per-iteration graph construction (node
+//! allocation, closure boxing, edge wiring, sanitation) dominates — the
+//! motivating case for reusable topologies (Taskflow v2's `run_n`, which
+//! Cpp-Taskflow's one-shot §III-C dispatch model lacks). Both paths
+//! execute the identical DAG on the identical executor:
+//!
+//! * **rebuild** — each iteration builds a fresh `Taskflow` (emplace +
+//!   precede + sanitize) and one-shot dispatches it, the only option
+//!   under the paper's dispatch model;
+//! * **reuse** — the graph is frozen once and `run_n(iterations)` re-arms
+//!   the same topology per iteration (join counters reset from static
+//!   in-degrees).
+//!
+//! Writes `<out>/bench_reuse.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tf_baselines::Dag;
+use tf_bench::harness::{time_ms, Cli};
+use tf_workloads::run::{run_rustflow, ReusableRustflow};
+
+/// Layered DAG: `layers x width` trivial tasks, each (past the first
+/// layer) fanning in from three tasks of the previous layer.
+fn build_dag(layers: usize, width: usize, counter: &Arc<AtomicU64>) -> (Dag, usize) {
+    let mut dag = Dag::with_capacity(layers * width);
+    let mut edges = 0;
+    let mut prev: Vec<usize> = Vec::new();
+    for l in 0..layers {
+        let mut cur = Vec::with_capacity(width);
+        for w in 0..width {
+            let c = Arc::clone(counter);
+            let id = dag.add(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+            if l > 0 {
+                for k in 0..3 {
+                    dag.edge(prev[(w + k) % width], id);
+                    edges += 1;
+                }
+            }
+            cur.push(id);
+        }
+        prev = cur;
+    }
+    (dag, edges)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let threads = *cli.thread_sweep(&[4]).first().expect("nonempty");
+    let (layers, width) = if cli.full { (250, 10) } else { (100, 10) };
+    let iterations: u64 = 1000;
+    let nodes = layers * width;
+
+    let counter = Arc::new(AtomicU64::new(0));
+    let (dag, edges) = build_dag(layers, width, &counter);
+    println!(
+        "Topology reuse: {nodes} tasks / {edges} edges, {iterations} iterations, {threads} threads"
+    );
+
+    let ex = rustflow::Executor::new(threads);
+    // Warm-up: fault in the executor, the allocator, and both code paths.
+    run_rustflow(&dag, &ex);
+    let warm = ReusableRustflow::new(&dag, &ex);
+    warm.run_n(1).expect("warm-up failed");
+    counter.store(0, Ordering::Relaxed);
+
+    // Rebuild baseline: construction + one-shot dispatch, every iteration.
+    let rebuild_ms = time_ms(|| {
+        for _ in 0..iterations {
+            run_rustflow(&dag, &ex);
+        }
+    });
+    assert_eq!(
+        counter.load(Ordering::Relaxed),
+        nodes as u64 * iterations,
+        "rebuild path lost tasks"
+    );
+    counter.store(0, Ordering::Relaxed);
+
+    // Reuse: construction once, then run_n re-arms the frozen topology.
+    let reuse_ms = time_ms(|| {
+        let reusable = ReusableRustflow::new(&dag, &ex);
+        reusable.run_n(iterations).expect("reuse batch failed");
+    });
+    assert_eq!(
+        counter.load(Ordering::Relaxed),
+        nodes as u64 * iterations,
+        "reuse path lost tasks"
+    );
+
+    let rebuild_us = rebuild_ms * 1e3 / iterations as f64;
+    let reuse_us = reuse_ms * 1e3 / iterations as f64;
+    let speedup = rebuild_ms / reuse_ms;
+    println!("  rebuild: {rebuild_ms:.1} ms total, {rebuild_us:.1} us/iteration");
+    println!("  reuse:   {reuse_ms:.1} ms total, {reuse_us:.1} us/iteration");
+    println!("  per-iteration speedup: {speedup:.2}x");
+
+    std::fs::create_dir_all(&cli.out).expect("cannot create output directory");
+    let path = cli.out.join("bench_reuse.json");
+    let json = format!(
+        "{{\n  \"benchmark\": \"topology_reuse\",\n  \"nodes\": {nodes},\n  \"edges\": {edges},\n  \"iterations\": {iterations},\n  \"threads\": {threads},\n  \"rebuild\": {{ \"total_ms\": {rebuild_ms:.3}, \"per_iteration_us\": {rebuild_us:.3} }},\n  \"reuse\": {{ \"total_ms\": {reuse_ms:.3}, \"per_iteration_us\": {reuse_us:.3} }},\n  \"speedup\": {speedup:.3}\n}}\n"
+    );
+    std::fs::write(&path, json).expect("cannot write bench_reuse.json");
+    println!("  -> {}", path.display());
+}

@@ -1,8 +1,15 @@
 //! DNN training in rustflow (Table III's Cpp-Taskflow column): the
 //! Figure-11 decomposition written against rustflow's native API.
+//!
+//! The task graph covers **one epoch** and is frozen once; training runs
+//! it `epochs` times through `Taskflow::run_n`, so graph construction is
+//! paid once per configuration instead of once per epoch. The shuffle
+//! task — the graph's unique source — advances the epoch counter and
+//! derives that epoch's shuffle seed and storage slot at runtime.
 
 use parking_lot::Mutex;
 use rustflow::{Executor, Taskflow};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use tf_dnn::net::{activate_inplace, backward_layer_math, output_delta, LayerGrad};
 use tf_dnn::pipeline::TrainSpec;
@@ -16,9 +23,21 @@ struct Shared {
     grads: Vec<Mutex<Option<LayerGrad>>>,
     storages: Vec<Mutex<Option<Dataset>>>,
     losses: Mutex<Vec<f64>>,
+    /// Next epoch, advanced by the shuffle task on each iteration of the
+    /// reusable topology.
+    epoch: AtomicUsize,
+    /// Storage slot of the epoch in flight (`epoch % slots`).
+    slot: AtomicUsize,
 }
 
 impl Shared {
+    fn shuffle(&self, dataset: &Dataset, spec: &TrainSpec) {
+        let e = self.epoch.fetch_add(1, Ordering::Relaxed);
+        let slot = e % self.storages.len();
+        self.slot.store(slot, Ordering::Relaxed);
+        *self.storages[slot].lock() = Some(dataset.shuffled(spec.shuffle_seed(e)));
+    }
+
     fn forward(&self, slot: usize, lo: usize, hi: usize, layers: usize) {
         let (images, labels) = {
             let guard = self.storages[slot].lock();
@@ -82,59 +101,54 @@ pub fn train(
             .map(|_| Mutex::new(None))
             .collect(),
         losses: Mutex::new(Vec::new()),
+        epoch: AtomicUsize::new(0),
+        slot: AtomicUsize::new(0),
     });
     let batch = spec.batch.max(1);
     let num_batches = dataset.len() / batch;
-    let slots = spec.storages.max(1);
 
+    // One epoch's graph, frozen once and re-armed per epoch. Iterations
+    // of a reusable topology are serialized, which subsumes the unrolled
+    // graph's storage-slot reuse edges.
     let tf = Taskflow::with_executor(Arc::clone(executor));
-    let mut last_forward_of_epoch = Vec::new();
     let mut prev_updates: Vec<rustflow::Task<'_>> = Vec::new();
-    for e in 0..spec.epochs {
-        let slot = e % slots;
-        let shuffle = {
+    let shuffle = {
+        let shared = Arc::clone(&shared);
+        let dataset = Arc::clone(&dataset);
+        tf.emplace(move || shared.shuffle(&dataset, &spec))
+    };
+    for j in 0..num_batches {
+        let forward = {
             let shared = Arc::clone(&shared);
-            let dataset = Arc::clone(&dataset);
-            let shuffle_seed = spec.shuffle_seed(e);
+            let lo = j * batch;
             tf.emplace(move || {
-                *shared.storages[slot].lock() = Some(dataset.shuffled(shuffle_seed));
+                let slot = shared.slot.load(Ordering::Relaxed);
+                shared.forward(slot, lo, lo + batch, layers);
             })
         };
-        if e >= slots {
-            let prev: rustflow::Task<'_> = last_forward_of_epoch[e - slots];
-            prev.precede(shuffle);
-        }
-        for j in 0..num_batches {
-            let forward = {
+        shuffle.precede(forward);
+        forward.succeed(&prev_updates);
+        prev_updates.clear();
+        let mut prev_g = forward;
+        for i in (0..layers).rev() {
+            let g_task = {
                 let shared = Arc::clone(&shared);
-                let lo = j * batch;
-                tf.emplace(move || shared.forward(slot, lo, lo + batch, layers))
+                tf.emplace(move || shared.gradient(i))
             };
-            shuffle.precede(forward);
-            forward.succeed(&prev_updates);
-            prev_updates.clear();
-            let mut prev_g = forward;
-            for i in (0..layers).rev() {
-                let g_task = {
-                    let shared = Arc::clone(&shared);
-                    tf.emplace(move || shared.gradient(i))
-                };
-                prev_g.precede(g_task);
-                let u_task = {
-                    let shared = Arc::clone(&shared);
-                    let lr = spec.lr;
-                    tf.emplace(move || shared.update(i, lr))
-                };
-                g_task.precede(u_task);
-                prev_updates.push(u_task);
-                prev_g = g_task;
-            }
-            if j + 1 == num_batches {
-                last_forward_of_epoch.push(forward);
-            }
+            prev_g.precede(g_task);
+            let u_task = {
+                let shared = Arc::clone(&shared);
+                let lr = spec.lr;
+                tf.emplace(move || shared.update(i, lr))
+            };
+            g_task.precede(u_task);
+            prev_updates.push(u_task);
+            prev_g = g_task;
         }
     }
-    tf.wait_for_all();
+    tf.run_n(spec.epochs as u64)
+        .get()
+        .expect("training batch failed");
 
     let trained = Mlp {
         sizes: arch.to_vec(),

@@ -13,7 +13,7 @@
 //! a replayable schedule. A model that cannot detect its own weakening
 //! would be vacuous.
 
-use rustflow::check_internals::{EventRing, Notifier};
+use rustflow::check_internals::{EventRing, Notifier, RearmHarness};
 use rustflow::wsq::{deque_with_capacity, Steal};
 use rustflow::{SchedEvent, SchedEventKind, TaskLabel};
 use rustflow_check::atomic::{fence, AtomicBool};
@@ -209,4 +209,58 @@ fn notifier_no_lost_wakeup() {
             notifier.wake_one();
             let _ = idler.join().unwrap();
         });
+}
+
+/// The finalize → re-arm → re-dispatch handoff of a reusable topology:
+/// the worker whose final `alive` decrement ends iteration *k* takes the
+/// driver role, steps the production `Topology::advance` state machine,
+/// and `begin_iteration` re-arms every node (join counters from
+/// in-degrees, `alive` from the node count) strictly *before* publishing
+/// iteration *k+1*'s sources. The harness ([`RearmHarness`]) swaps the
+/// work-stealing queues for one blocking queue so any token lost by a
+/// mis-ordered re-arm surfaces as a deadlock the engine reports.
+///
+/// Weakened by `rustflow_weaken = "rearm_publish"` (sources published
+/// *before* the re-arm loop): a thief can pop a source of iteration 2 and
+/// count down a join counter and an `alive` count still holding
+/// iteration 1's drained values — the fan-in successor is never
+/// re-published, the batch never completes, and a worker blocks forever.
+#[test]
+#[cfg_attr(
+    rustflow_weaken = "rearm_publish",
+    should_panic(expected = "failing interleaving")
+)]
+fn rearm_handoff_fan_in() {
+    let stats = Checker::new()
+        .preemption_bound(Some(2))
+        .max_schedules(60_000)
+        .check("rearm_handoff_fan_in", || {
+            // Two iterations of A → C ← B: 3 tokens per iteration, split
+            // 3/3 across two workers so both live through the handoff.
+            let harness = RearmHarness::fan_in(2);
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let h = Arc::clone(&harness);
+                    thread::spawn(move || {
+                        for _ in 0..3 {
+                            let token = h.pop();
+                            h.execute(token);
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(
+                harness.executions(),
+                vec![2, 2, 2],
+                "every node runs exactly once per iteration"
+            );
+            match harness.result() {
+                Some(Ok(())) => {}
+                other => panic!("batch must resolve Ok after both iterations: {other:?}"),
+            }
+        });
+    assert!(stats.dfs_complete, "schedule space must be fully explored");
 }

@@ -87,7 +87,7 @@ unsafe fn emit_graph(
             None => out.push_str(&format!("{pad}{} [label=\"{label}\"];\n", node_id(n))),
         }
         // SAFETY: quiescent phase; successor pointers target live boxed nodes.
-        for &succ in unsafe { n.successors.get() }.iter() {
+        for &succ in unsafe { n.structure.successors.get() }.iter() {
             if succ == key {
                 out.push_str(&format!(
                     "{pad}{} -> {} [color=red, penwidth=2];\n",
@@ -101,7 +101,7 @@ unsafe fn emit_graph(
             }
         }
         // SAFETY: quiescent phase per the caller's contract.
-        let sub = unsafe { n.subgraph.get() };
+        let sub = unsafe { n.state.subgraph.get() };
         if !sub.is_empty() {
             *cluster += 1;
             out.push_str(&format!("{pad}subgraph cluster_{} {{\n", *cluster));
@@ -170,9 +170,9 @@ mod tests {
         let a = g.emplace(Work::Empty);
         let b = g.emplace(Work::Empty);
         unsafe {
-            *(*a).name.get_mut() = crate::TaskLabel::new("A");
-            (*a).successors.get_mut().push(b);
-            *(*b).in_degree.get_mut() += 1;
+            *(*a).structure.name.get_mut() = crate::TaskLabel::new("A");
+            (*a).structure.successors.get_mut().push(b);
+            *(*b).structure.in_degree.get_mut() += 1;
             let dot = graph_to_dot(&g, "demo");
             assert!(dot.starts_with("digraph demo {"));
             assert!(dot.contains("label=\"A\""));
@@ -186,8 +186,8 @@ mod tests {
         let mut g = Graph::new();
         let a = g.emplace(Work::Empty);
         unsafe {
-            *(*a).name.get_mut() = crate::TaskLabel::new("A");
-            (*a).subgraph.get_mut().emplace(Work::Empty);
+            *(*a).structure.name.get_mut() = crate::TaskLabel::new("A");
+            (*a).state.subgraph.get_mut().emplace(Work::Empty);
             let dot = graph_to_dot(&g, "demo");
             assert!(dot.contains("subgraph cluster_1"));
             assert!(dot.contains("Subflow_A"));
@@ -201,12 +201,12 @@ mod tests {
         let b = g.emplace(Work::Empty);
         g.emplace(Work::Empty); // orphan
         unsafe {
-            *(*a).name.get_mut() = crate::TaskLabel::new("A");
-            *(*b).name.get_mut() = crate::TaskLabel::new("B");
-            (*a).successors.get_mut().push(b);
-            *(*b).in_degree.get_mut() += 1;
-            (*b).successors.get_mut().push(a);
-            *(*a).in_degree.get_mut() += 1;
+            *(*a).structure.name.get_mut() = crate::TaskLabel::new("A");
+            *(*b).structure.name.get_mut() = crate::TaskLabel::new("B");
+            (*a).structure.successors.get_mut().push(b);
+            *(*b).structure.in_degree.get_mut() += 1;
+            (*b).structure.successors.get_mut().push(a);
+            *(*a).structure.in_degree.get_mut() += 1;
             let diags = vec![
                 GraphDiagnostic::Cycle {
                     path: vec!["A".into(), "B".into(), "A".into()],
@@ -228,8 +228,8 @@ mod tests {
         let mut g = Graph::new();
         let a = g.emplace(Work::Empty);
         unsafe {
-            (*a).successors.get_mut().push(a);
-            *(*a).in_degree.get_mut() += 1;
+            (*a).structure.successors.get_mut().push(a);
+            *(*a).structure.in_degree.get_mut() += 1;
             let dot = graph_to_dot(&g, "demo");
             assert!(dot.contains("color=red, penwidth=2"));
         }

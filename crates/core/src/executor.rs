@@ -14,14 +14,15 @@
 //! (`Arc<Executor>`), mirroring the paper's `std::shared_ptr`-managed
 //! executor that avoids thread over-subscription in modular applications.
 
-use crate::error::{panic_message, RunError, TaskPanic};
+use crate::error::{panic_message, RunError, RunResult, TaskPanic};
+use crate::future::SharedFuture;
 use crate::graph::{RawNode, Work};
 use crate::notifier::Notifier;
 use crate::observer::{ExecutorObserver, DISPATCH_LANE};
 use crate::stats::{ExecutorStats, WorkerStats};
 use crate::subflow::Subflow;
 use crate::sync::AtomicBool;
-use crate::topology::Topology;
+use crate::topology::{Advance, PendingRun, RunCondition, Topology};
 use crate::wsq;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::VecDeque;
@@ -306,59 +307,92 @@ impl Executor {
         Arc::clone(DEFAULT.get_or_init(|| Executor::new(default_parallelism())))
     }
 
-    /// Arms and launches a dispatched topology.
-    pub(crate) fn run_topology(&self, topo: Arc<Topology>) {
-        let inner = &*self.inner;
-        let tp: *const Topology = Arc::as_ptr(&topo);
-        // SAFETY: the dispatching thread owns the graph exclusively until
-        // the sources are published to the injector below.
-        unsafe {
-            let g = topo.graph.get_mut();
-            let n = g.len();
-            notify_observers(inner, |ob| ob.on_topology_start(topo.id, n));
-            if n == 0 {
-                notify_observers(inner, |ob| ob.on_topology_stop(topo.id));
-                let promise = topo
-                    .promise
-                    .replace(None)
-                    .expect("empty topology dispatched twice");
-                promise.set(Ok(()));
-                return;
+    /// Submits an execution batch (`cond`) for a reusable topology and
+    /// returns its completion future.
+    ///
+    /// Fast-fails on the topology's cached sanitizer verdict without
+    /// touching the queue — a graph that could never complete (dependency
+    /// cycle, self-edge) resolves immediately with
+    /// [`RunError::InvalidGraph`] instead of deadlocking the worker pool
+    /// as in Cpp-Taskflow. If the submission claims the idle topology, the
+    /// caller's thread becomes the driver: it registers the keep-alive and
+    /// starts the first iteration; otherwise the batch waits FIFO and the
+    /// executor's finalize path picks it up.
+    pub(crate) fn run_topology(
+        &self,
+        topo: &Arc<Topology>,
+        cond: RunCondition,
+    ) -> SharedFuture<RunResult> {
+        if let Some(fatal) = topo.fatal() {
+            return SharedFuture::ready(Err(fatal.clone()));
+        }
+        if topo.num_static_nodes() == 0 {
+            // Nothing to run; never reaches the workers.
+            return SharedFuture::ready(Ok(()));
+        }
+        let (promise, future) = crate::future::promise_pair();
+        if topo.enqueue(PendingRun { cond, promise }) {
+            self.inner.running.lock().push(Arc::clone(topo));
+            advance_topology(&self.inner, topo, false);
+        }
+        future
+    }
+}
+
+/// Drives a topology on behalf of the current driver (the thread that
+/// claimed it at submission, or the worker whose final `alive` decrement
+/// ended an iteration): steps the batch state machine, then re-arms and
+/// publishes the next iteration — or, when every batch is done, drops the
+/// keep-alive registration.
+fn advance_topology(inner: &Inner, topo: &Topology, iteration_finished: bool) {
+    // SAFETY: the caller holds the driver role per the functions's
+    // contract; at most one driver exists per topology at a time.
+    match unsafe { topo.advance(iteration_finished) } {
+        Advance::RunIteration => {
+            // SAFETY: driver role; the topology is quiescent between
+            // iterations, so re-arming owns every node until `publish`
+            // makes the sources visible below.
+            unsafe {
+                topo.begin_iteration(|sources| {
+                    notify_observers(inner, |ob| {
+                        ob.on_topology_start(topo.run_id(), topo.num_static_nodes())
+                    });
+                    let k = sources.len();
+                    inner.injector.lock().extend(sources.iter().copied());
+                    // Dekker fence: the pushes above must precede the idler
+                    // check inside wake_one in the SeqCst order (see
+                    // notifier docs).
+                    fence(Ordering::SeqCst);
+                    for _ in 0..k {
+                        match inner.notifier.wake_one() {
+                            Some(w) => {
+                                notify_observers(inner, |ob| ob.on_wake(DISPATCH_LANE, w, true))
+                            }
+                            None => break,
+                        }
+                    }
+                });
             }
-            topo.alive.store(n, Ordering::Relaxed);
-            let mut sources: Vec<usize> = Vec::new();
-            for node in g.nodes.iter_mut() {
-                let p: RawNode = &mut **node;
-                *(*p).topology.get_mut() = tp;
-                let in_degree = *(*p).in_degree.get();
-                (*p).join_counter.store(in_degree, Ordering::Relaxed);
-                if in_degree == 0 {
-                    sources.push(p as usize);
+        }
+        Advance::Idle => {
+            // Every promise is resolved and the topology is settled: drop
+            // the keep-alive. A concurrent resubmission may already have
+            // pushed its own registration for the same topology; removing
+            // one matching entry keeps the count balanced either way.
+            let keep_alive = {
+                let mut running = inner.running.lock();
+                let ka = running
+                    .iter()
+                    .position(|t| std::ptr::eq(Arc::as_ptr(t), topo as *const Topology))
+                    .map(|p| running.swap_remove(p));
+                if running.is_empty() {
+                    // Wake a destructor waiting for quiescence
+                    // (Executor::drop).
+                    inner.all_done.notify_all();
                 }
-            }
-            if sources.is_empty() {
-                // Every node has a predecessor, so the graph is cyclic and
-                // could never make progress. `Taskflow::dispatch` rejects
-                // such graphs before they reach us, but stay defensive: an
-                // unfulfilled promise here would wedge `Taskflow::drop`
-                // (which waits on every dispatched future) forever.
-                let diagnostics = crate::validate::validate_graph(g);
-                notify_observers(inner, |ob| ob.on_topology_stop(topo.id));
-                topo.reject(RunError::InvalidGraph(diagnostics));
-                return;
-            }
-            inner.running.lock().push(Arc::clone(&topo));
-            let k = sources.len();
-            inner.injector.lock().extend(sources);
-            // Dekker fence: the pushes above must precede the idler check
-            // inside wake_one in the SeqCst order (see notifier docs).
-            fence(Ordering::SeqCst);
-            for _ in 0..k {
-                match inner.notifier.wake_one() {
-                    Some(w) => notify_observers(inner, |ob| ob.on_wake(DISPATCH_LANE, w, true)),
-                    None => break,
-                }
-            }
+                ka
+            };
+            drop(keep_alive);
         }
     }
 }
@@ -552,9 +586,9 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
                 ob.on_entry(ctx.id, label);
             }
         }
-        let topo = &*(*(*node).topology.get());
+        let topo = &*(*(*node).state.topology.get());
         let mut deferred = false;
-        match (*node).work.get_mut() {
+        match (*node).structure.work.get_mut() {
             Work::Empty => {}
             Work::Static(f) => {
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
@@ -584,7 +618,7 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
         if deferred {
             // Drop the spawn sentinel; the last finishing child (or we,
             // right now, if they all already finished) completes the node.
-            if (*node).nested.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if (*node).state.nested.fetch_sub(1, Ordering::AcqRel) == 1 {
                 complete(inner, ctx, node);
             }
         } else {
@@ -602,8 +636,9 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
 /// Caller is the worker that just executed `node`.
 unsafe fn spawn_subflow(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode, detached: bool) -> bool {
     // SAFETY: the caller is the sole worker executing `node`, so its
-    // subgraph is exclusively ours.
-    let sub = unsafe { (*node).subgraph.get_mut() };
+    // subgraph is exclusively ours (cleared at re-arm, so it holds only
+    // what this iteration's closure spawned).
+    let sub = unsafe { (*node).state.subgraph.get_mut() };
     if sub.is_empty() {
         return false;
     }
@@ -617,14 +652,14 @@ unsafe fn spawn_subflow(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode, detac
     if diagnostics.iter().any(|d| d.is_fatal()) {
         // SAFETY: the topology pointer was armed at dispatch and its
         // storage is kept alive by the executor's `running` registry.
-        let topo_ptr = unsafe { *(*node).topology.get() };
+        let topo_ptr = unsafe { *(*node).state.topology.get() };
         // SAFETY: `topo_ptr` is live (see above); `record_error` is
         // internally synchronized.
         unsafe { (*topo_ptr).record_error(RunError::InvalidGraph(diagnostics)) };
         return false;
     }
     // SAFETY: armed at dispatch, kept alive by `running` (see above).
-    let topo_ptr = unsafe { *(*node).topology.get() };
+    let topo_ptr = unsafe { *(*node).state.topology.get() };
     // The topology must know about the children before any of them can
     // finish, otherwise `alive` could hit zero early.
     //
@@ -636,24 +671,18 @@ unsafe fn spawn_subflow(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode, detac
         // siblings.
         //
         // SAFETY: `node` is ours (executing worker); `nested` is atomic.
-        unsafe { (*node).nested.store(sub.len() + 1, Ordering::Relaxed) };
+        unsafe { (*node).state.nested.store(sub.len() + 1, Ordering::Relaxed) };
     }
     let parent: RawNode = if detached { std::ptr::null_mut() } else { node };
     for child in sub.nodes.iter_mut() {
-        let c: RawNode = &mut **child;
-        // SAFETY: `c` is a boxed node owned by the subgraph; it has not
-        // been scheduled yet, so we have exclusive access.
-        unsafe {
-            *(*c).topology.get_mut() = topo_ptr;
-            *(*c).parent.get_mut() = parent;
-            (*c).join_counter
-                .store(*(*c).in_degree.get(), Ordering::Relaxed);
-        }
+        // SAFETY: `child` is a boxed node owned by the subgraph; it has
+        // not been scheduled yet, so we have exclusive access.
+        unsafe { child.rearm(topo_ptr, parent) };
     }
     for i in 0..sub.nodes.len() {
         let c: RawNode = &mut *sub.nodes[i];
         // SAFETY: in-degree is frozen once the subflow closure returned.
-        if unsafe { *(*c).in_degree.get() } == 0 {
+        if unsafe { *(*c).structure.in_degree.get() } == 0 {
             // SAFETY: `c` is armed (join counter = in-degree = 0) and its
             // topology alive.
             unsafe { schedule(inner, ctx, c) };
@@ -674,16 +703,16 @@ unsafe fn complete(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
     // by us; its topology/parent pointers were armed before it could run,
     // and their storage outlives the topology, which `inner.running`
     // keeps alive until the last node (at least until this call returns).
-    let topo_ptr = unsafe { *(*node).topology.get() };
+    let topo_ptr = unsafe { *(*node).state.topology.get() };
     // SAFETY: same contract; `parent` was armed at spawn time.
-    let parent = unsafe { *(*node).parent.get() };
+    let parent = unsafe { *(*node).state.parent.get() };
     {
         // SAFETY: successors are frozen after the build/spawn phase.
-        let succs = unsafe { (*node).successors.get() };
+        let succs = unsafe { (*node).structure.successors.get() };
         for &s in succs.iter() {
             // SAFETY: `s` targets a live boxed node of the same topology;
             // `join_counter` is atomic.
-            if unsafe { (*s).join_counter.fetch_sub(1, Ordering::AcqRel) } == 1 {
+            if unsafe { (*s).state.join_counter.fetch_sub(1, Ordering::AcqRel) } == 1 {
                 // SAFETY: the zero-crossing arms `s`; it happened exactly
                 // once, so we are its unique scheduler.
                 unsafe { schedule(inner, ctx, s) };
@@ -701,43 +730,21 @@ unsafe fn complete(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
     }
     // SAFETY: a non-null parent is a live node awaiting its joined
     // children; `nested` is atomic.
-    if !parent.is_null() && unsafe { (*parent).nested.fetch_sub(1, Ordering::AcqRel) } == 1 {
+    if !parent.is_null() && unsafe { (*parent).state.nested.fetch_sub(1, Ordering::AcqRel) } == 1 {
         // SAFETY: the last joined child completes the parent exactly once.
         unsafe { complete(inner, ctx, parent) };
     }
 }
 
-/// Fulfils the topology's promise and drops the keep-alive registration.
+/// Ends the iteration whose last node just completed, then hands the
+/// driver role back to the batch state machine — which either re-arms and
+/// re-dispatches the same topology for its next iteration or retires the
+/// keep-alive once every queued batch has resolved.
 fn finalize(inner: &Inner, topo_ptr: *const Topology) {
-    let keep_alive = {
-        let mut running = inner.running.lock();
-        let ka = running
-            .iter()
-            .position(|t| std::ptr::eq(Arc::as_ptr(t), topo_ptr))
-            .map(|p| running.swap_remove(p));
-        if running.is_empty() {
-            // Wake a destructor waiting for quiescence (Executor::drop).
-            inner.all_done.notify_all();
-        }
-        ka
-    };
-    // SAFETY: `keep_alive` holds the topology storage alive; `id` is
-    // immutable after construction.
-    notify_observers(inner, |ob| ob.on_topology_stop(unsafe { (*topo_ptr).id }));
-    // SAFETY: `keep_alive` (and the owning taskflow's topology list) keeps
-    // the topology storage valid; every node has completed, so we have
-    // exclusive access to the promise.
-    unsafe {
-        let topo = &*topo_ptr;
-        let err = topo.error.lock().take();
-        let promise = topo
-            .promise
-            .replace(None)
-            .expect("topology finalized twice");
-        promise.set(match err {
-            Some(e) => Err(e),
-            None => Ok(()),
-        });
-    }
-    drop(keep_alive);
+    // SAFETY: the keep-alive registry holds the topology until `advance`
+    // transitions it to idle (inside `advance_topology` below), so the
+    // pointer is live for this whole call.
+    let topo = unsafe { &*topo_ptr };
+    notify_observers(inner, |ob| ob.on_topology_stop(topo.run_id()));
+    advance_topology(inner, topo, true);
 }

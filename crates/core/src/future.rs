@@ -96,6 +96,20 @@ impl<T: Clone> SharedFuture<T> {
 }
 
 impl<T> SharedFuture<T> {
+    /// Creates a future that is already fulfilled with `value`.
+    ///
+    /// Used by the run/dispatch paths for outcomes decided without touching
+    /// the executor: empty graphs, zero-iteration batches, and graphs whose
+    /// cached sanitizer verdict is fatal.
+    pub fn ready(value: T) -> SharedFuture<T> {
+        SharedFuture {
+            shared: Arc::new(Shared {
+                value: Mutex::new(Some(value)),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
     /// Blocks until the value is available, discarding it.
     pub fn wait(&self) {
         let mut guard = self.shared.value.lock();
@@ -149,6 +163,13 @@ mod tests {
         for h in handles {
             assert_eq!(h.join().unwrap(), 7);
         }
+    }
+
+    #[test]
+    fn ready_future_is_immediately_resolved() {
+        let f = SharedFuture::ready(42u32);
+        assert!(f.is_ready());
+        assert_eq!(f.get(), 42);
     }
 
     #[test]

@@ -8,12 +8,24 @@
 //! pointer, exactly like Cpp-Taskflow's `Node*`; liveness is guaranteed by
 //! the taskflow keeping every dispatched topology alive until the taskflow
 //! itself is destroyed or garbage-collected (§III-C of the paper).
+//!
+//! A node is split into two halves with different lifecycles:
+//!
+//! * [`NodeStructure`] — what the user built: name, callable, edges,
+//!   static in-degree. Frozen once the graph is handed to a topology, and
+//!   shared unchanged by every run of that topology.
+//! * [`NodeState`] — what one execution needs: the runtime join counter,
+//!   the joined-subflow countdown, parent/topology back-pointers, and the
+//!   subgraph a dynamic task spawned. Re-armed from the structure before
+//!   every run ([`Node::rearm`]), which is what makes topologies reusable
+//!   by `run`/`run_n`/`run_until` without rebuilding the graph.
 
 use crate::label::TaskLabel;
 use crate::subflow::Subflow;
+use crate::sync::AtomicUsize;
 use crate::sync_cell::SyncCell;
 use crate::topology::Topology;
-use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::Ordering;
 
 /// Raw pointer to a node; the executor's currency.
 pub(crate) type RawNode = *mut Node;
@@ -23,7 +35,8 @@ pub(crate) type RawNode = *mut Node;
 /// Cpp-Taskflow stores a `std::variant` of a static callable and a dynamic
 /// (subflow-taking) callable behind one polymorphic wrapper (§III-D); this
 /// enum is the Rust equivalent and is what makes the static and dynamic
-/// tasking interfaces uniform.
+/// tasking interfaces uniform. The callables are `FnMut`, so the same
+/// payload can run once per iteration of a reused topology.
 pub(crate) enum Work {
     /// Placeholder: no work yet (task handle may assign later).
     Empty,
@@ -43,13 +56,12 @@ impl std::fmt::Debug for Work {
     }
 }
 
-/// A single vertex of a task dependency graph.
+/// The immutable half of a node: everything the build phase produced.
 ///
-/// Field access follows the phase discipline documented in
-/// [`crate::sync_cell`]: plain fields are mutated only during graph
-/// construction or by the single worker executing the node; cross-thread
-/// state lives in atomics.
-pub(crate) struct Node {
+/// Mutated only while the graph is a taskflow's present graph (or a
+/// subflow under construction); read-only once dispatched. Reused verbatim
+/// across every iteration of a reusable topology.
+pub(crate) struct NodeStructure {
     /// Optional human-readable name, interned so observers can clone it
     /// without allocating (used by the DOT dump and the tracer).
     pub(crate) name: SyncCell<TaskLabel>,
@@ -58,8 +70,13 @@ pub(crate) struct Node {
     /// Outgoing edges.
     pub(crate) successors: SyncCell<Vec<RawNode>>,
     /// Static in-degree, accumulated during construction; the runtime
-    /// `join_counter` is armed from this value at dispatch/spawn time.
+    /// `join_counter` is armed from this value before every run.
     pub(crate) in_degree: SyncCell<usize>,
+}
+
+/// The per-run half of a node: reset by [`Node::rearm`] before each
+/// iteration, mutated by workers while the iteration executes.
+pub(crate) struct NodeState {
     /// Runtime countdown of unfinished predecessors; the node becomes ready
     /// when this reaches zero.
     pub(crate) join_counter: AtomicUsize,
@@ -73,22 +90,41 @@ pub(crate) struct Node {
     /// spawn (subflow children).
     pub(crate) topology: SyncCell<*const Topology>,
     /// Children spawned by a dynamic task at runtime (owned here so nested
-    /// subflows form a tree of graphs, mirroring Cpp-Taskflow).
+    /// subflows form a tree of graphs, mirroring Cpp-Taskflow). Cleared on
+    /// re-arm so each iteration spawns a fresh subflow.
     pub(crate) subgraph: SyncCell<Graph>,
+}
+
+/// A single vertex of a task dependency graph.
+///
+/// Field access follows the phase discipline documented in
+/// [`crate::sync_cell`]: plain fields are mutated only during graph
+/// construction, between iterations by the single re-arming driver, or by
+/// the single worker executing the node; cross-thread state lives in
+/// atomics.
+pub(crate) struct Node {
+    /// Immutable after build; shared by every run.
+    pub(crate) structure: NodeStructure,
+    /// Reset before each run; owned by the running iteration.
+    pub(crate) state: NodeState,
 }
 
 impl Node {
     pub(crate) fn new(work: Work) -> Box<Node> {
         Box::new(Node {
-            name: SyncCell::new(TaskLabel::empty()),
-            work: SyncCell::new(work),
-            successors: SyncCell::new(Vec::new()),
-            in_degree: SyncCell::new(0),
-            join_counter: AtomicUsize::new(0),
-            nested: AtomicUsize::new(0),
-            parent: SyncCell::new(std::ptr::null_mut()),
-            topology: SyncCell::new(std::ptr::null()),
-            subgraph: SyncCell::new(Graph::new()),
+            structure: NodeStructure {
+                name: SyncCell::new(TaskLabel::empty()),
+                work: SyncCell::new(work),
+                successors: SyncCell::new(Vec::new()),
+                in_degree: SyncCell::new(0),
+            },
+            state: NodeState {
+                join_counter: AtomicUsize::new(0),
+                nested: AtomicUsize::new(0),
+                parent: SyncCell::new(std::ptr::null_mut()),
+                topology: SyncCell::new(std::ptr::null()),
+                subgraph: SyncCell::new(Graph::new()),
+            },
         })
     }
 
@@ -99,7 +135,32 @@ impl Node {
     /// Caller must satisfy the [`SyncCell`] read contract.
     pub(crate) unsafe fn label(&self) -> &TaskLabel {
         // SAFETY: forwarding the caller's phase guarantee.
-        unsafe { self.name.get() }
+        unsafe { self.structure.name.get() }
+    }
+
+    /// Re-arms the per-run state from the immutable structure: the join
+    /// counter is reloaded from the static in-degree, the joined-subflow
+    /// countdown cleared, back-pointers set, and any subgraph spawned by a
+    /// previous iteration dropped so the next execution spawns afresh.
+    ///
+    /// # Safety
+    /// Caller must have exclusive access to the node: either the dispatch /
+    /// re-arm driver of a quiescent topology, or the worker arming a fresh
+    /// subflow child before publishing it.
+    pub(crate) unsafe fn rearm(&mut self, topology: *const Topology, parent: RawNode) {
+        // SAFETY: exclusive access per the caller's contract.
+        unsafe {
+            *self.state.topology.get_mut() = topology;
+            *self.state.parent.get_mut() = parent;
+            self.state
+                .join_counter
+                .store(*self.structure.in_degree.get(), Ordering::Relaxed);
+            self.state.nested.store(0, Ordering::Relaxed);
+            let sub = self.state.subgraph.get_mut();
+            if !sub.is_empty() {
+                *sub = Graph::new();
+            }
+        }
     }
 }
 
@@ -137,13 +198,12 @@ impl Graph {
     ///
     /// # Safety
     /// Callable only in a quiescent phase (build or post-completion).
-    #[allow(dead_code)]
     pub(crate) unsafe fn total_nodes(&self) -> usize {
         let mut count = self.nodes.len();
         for node in &self.nodes {
             // SAFETY: quiescent phase per the caller's contract, so reading
             // the subgraph (and recursing into it) is unsynchronized-safe.
-            count += unsafe { node.subgraph.get().total_nodes() };
+            count += unsafe { node.state.subgraph.get().total_nodes() };
         }
         count
     }
@@ -182,10 +242,26 @@ mod tests {
         let a = g.emplace(Work::Empty);
         g.emplace(Work::Empty);
         unsafe {
-            let sub = (*a).subgraph.get_mut();
+            let sub = (*a).state.subgraph.get_mut();
             sub.emplace(Work::Empty);
             sub.emplace(Work::Empty);
             assert_eq!(g.total_nodes(), 4);
+        }
+    }
+
+    #[test]
+    fn rearm_resets_runtime_state_and_clears_subgraph() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        unsafe {
+            *(*a).structure.in_degree.get_mut() = 3;
+            (*a).state.join_counter.store(0, Ordering::Relaxed);
+            (*a).state.nested.store(7, Ordering::Relaxed);
+            (*a).state.subgraph.get_mut().emplace(Work::Empty);
+            (*a).rearm(std::ptr::null(), std::ptr::null_mut());
+            assert_eq!((*a).state.join_counter.load(Ordering::Relaxed), 3);
+            assert_eq!((*a).state.nested.load(Ordering::Relaxed), 0);
+            assert!((*a).state.subgraph.get().is_empty());
         }
     }
 

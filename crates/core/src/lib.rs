@@ -62,6 +62,8 @@ mod graph;
 mod label;
 mod notifier;
 mod observer;
+#[cfg(feature = "rustflow_check")]
+mod rearm_model;
 mod ring;
 mod shared_vec;
 mod stats;
@@ -79,6 +81,7 @@ pub mod wsq;
 #[doc(hidden)]
 pub mod check_internals {
     pub use crate::notifier::Notifier;
+    pub use crate::rearm_model::RearmHarness;
     pub use crate::ring::EventRing;
 }
 

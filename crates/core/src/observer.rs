@@ -55,17 +55,19 @@ pub enum SchedEventKind {
         /// probabilistic load-balancing wake after a drained chain.
         targeted: bool,
     },
-    /// A topology was dispatched to the executor.
+    /// A topology iteration was dispatched to the executor. A reusable
+    /// topology driven by `run_n`/`run_until` emits one dispatch event per
+    /// iteration, each with a fresh id.
     TopologyDispatch {
-        /// Unique id of the topology (see [`SchedEvent::worker`] note:
+        /// Unique id of the iteration (see [`SchedEvent::worker`] note:
         /// dispatch events carry [`DISPATCH_LANE`]).
         topology: u64,
         /// Number of top-level tasks in the dispatched graph.
         tasks: usize,
     },
-    /// The last task of a topology completed.
+    /// The last task of a topology iteration completed.
     TopologyFinalize {
-        /// Unique id of the topology.
+        /// Unique id of the iteration (matches its dispatch event).
         topology: u64,
     },
 }
@@ -116,11 +118,14 @@ pub trait ExecutorObserver: Send + Sync {
     /// probabilistic load-balancing wake; `waker` is [`DISPATCH_LANE`]
     /// when the wake came from a dispatching (non-worker) thread.
     fn on_wake(&self, _waker: usize, _woken: usize, _targeted: bool) {}
-    /// Called on the dispatching thread when a topology with `num_tasks`
-    /// top-level tasks is handed to the executor.
+    /// Called when an iteration of a topology with `num_tasks` top-level
+    /// tasks is handed to the executor — on the submitting thread for the
+    /// first iteration of a batch, on the re-arming worker for later
+    /// iterations of a reused topology. `topology` is a fresh id per
+    /// iteration, so runs of the same graph can be told apart in traces.
     fn on_topology_start(&self, _topology: u64, _num_tasks: usize) {}
-    /// Called by the finalizing worker when a topology's last task
-    /// completed.
+    /// Called by the finalizing worker when an iteration's last task
+    /// completed; the id matches the iteration's `on_topology_start`.
     fn on_topology_stop(&self, _topology: u64) {}
 }
 

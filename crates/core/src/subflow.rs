@@ -63,7 +63,7 @@ impl<'s> Subflow<'s> {
         // SAFETY: we are the worker currently executing the parent node;
         // the subgraph is ours exclusively until the closure returns and
         // the executor spawns the children.
-        let node = unsafe { (*self.node).subgraph.get_mut().emplace(work) };
+        let node = unsafe { (*self.node).state.subgraph.get_mut().emplace(work) };
         Task::new(node)
     }
 
@@ -89,7 +89,7 @@ impl<'s> Subflow<'s> {
     /// Number of child tasks spawned so far.
     pub fn num_tasks(&self) -> usize {
         // SAFETY: executing worker's exclusive access.
-        unsafe { (*self.node).subgraph.get().len() }
+        unsafe { (*self.node).state.subgraph.get().len() }
     }
 }
 
@@ -112,7 +112,7 @@ mod tests {
         assert_eq!(c.num_dependents(), 1);
         assert!(c.is_placeholder());
         unsafe {
-            assert_eq!(parent.subgraph.get().len(), 3);
+            assert_eq!(parent.state.subgraph.get().len(), 3);
         }
     }
 

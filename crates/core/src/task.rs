@@ -34,7 +34,7 @@ impl<'g> Task<'g> {
     fn assert_mutable(self) {
         // SAFETY: reading a plain field from the build thread; the topology
         // pointer is only set at dispatch, which the build thread performs.
-        let dispatched = unsafe { !(*self.node).topology.get().is_null() };
+        let dispatched = unsafe { !(*self.node).state.topology.get().is_null() };
         assert!(
             !dispatched,
             "task mutated after its graph was dispatched for execution"
@@ -49,7 +49,7 @@ impl<'g> Task<'g> {
         self.assert_mutable();
         // SAFETY: build phase, single thread.
         unsafe {
-            *(*self.node).name.get_mut() = crate::TaskLabel::from(name.into());
+            *(*self.node).structure.name.get_mut() = crate::TaskLabel::from(name.into());
         }
         self
     }
@@ -69,8 +69,8 @@ impl<'g> Task<'g> {
             // SAFETY: build phase, single thread; both nodes belong to
             // graphs owned by the same (not yet dispatched) taskflow.
             unsafe {
-                (*self.node).successors.get_mut().push(t.node);
-                *(*t.node).in_degree.get_mut() += 1;
+                (*self.node).structure.successors.get_mut().push(t.node);
+                *(*t.node).structure.in_degree.get_mut() += 1;
             }
         });
         self
@@ -84,8 +84,8 @@ impl<'g> Task<'g> {
             // SAFETY: build phase, single thread; both nodes belong to
             // graphs owned by the same (not yet dispatched) taskflow.
             unsafe {
-                (*t.node).successors.get_mut().push(self.node);
-                *(*self.node).in_degree.get_mut() += 1;
+                (*t.node).structure.successors.get_mut().push(self.node);
+                *(*self.node).structure.in_degree.get_mut() += 1;
             }
         });
         self
@@ -100,7 +100,7 @@ impl<'g> Task<'g> {
         self.assert_mutable();
         // SAFETY: build phase, single thread.
         unsafe {
-            *(*self.node).work.get_mut() = Work::Static(Box::new(f));
+            *(*self.node).structure.work.get_mut() = Work::Static(Box::new(f));
         }
         self
     }
@@ -113,7 +113,7 @@ impl<'g> Task<'g> {
         self.assert_mutable();
         // SAFETY: build phase, single thread.
         unsafe {
-            *(*self.node).work.get_mut() = Work::Dynamic(Box::new(f));
+            *(*self.node).structure.work.get_mut() = Work::Dynamic(Box::new(f));
         }
         self
     }
@@ -121,19 +121,19 @@ impl<'g> Task<'g> {
     /// Number of outgoing edges.
     pub fn num_successors(self) -> usize {
         // SAFETY: edges mutate only during the single-threaded build phase.
-        unsafe { (*self.node).successors.get().len() }
+        unsafe { (*self.node).structure.successors.get().len() }
     }
 
     /// Number of incoming edges.
     pub fn num_dependents(self) -> usize {
         // SAFETY: edges mutate only during the single-threaded build phase.
-        unsafe { *(*self.node).in_degree.get() }
+        unsafe { *(*self.node).structure.in_degree.get() }
     }
 
     /// `true` when the task has no callable assigned yet.
     pub fn is_placeholder(self) -> bool {
         // SAFETY: work is assigned only during the build phase.
-        unsafe { matches!(*(*self.node).work.get(), Work::Empty) }
+        unsafe { matches!(*(*self.node).structure.work.get(), Work::Empty) }
     }
 }
 

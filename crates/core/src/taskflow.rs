@@ -1,13 +1,28 @@
-//! The `Taskflow` object: where task dependency graphs are created and
-//! dispatched (§III-A through §III-C of the paper).
+//! The `Taskflow` object: where task dependency graphs are created,
+//! dispatched, and — new to the run-based model — executed repeatedly
+//! (§III-A through §III-C of the paper, plus the `run`/`run_n`/`run_until`
+//! interface of Taskflow v2).
 //!
 //! A taskflow holds exactly one *present graph* at a time. Tasks emplaced
-//! through it extend the present graph; [`Taskflow::dispatch`] (or
-//! [`Taskflow::wait_for_all`]) moves the present graph into a
-//! [`Topology`](crate::topology::Topology) and hands it to the executor,
-//! leaving a fresh empty graph behind. The taskflow keeps every dispatched
-//! topology in a list, both to expose execution status and to keep node
-//! storage alive for outstanding [`Task`] handles.
+//! through it extend the present graph. Two execution styles coexist:
+//!
+//! * **Iterative** ([`Taskflow::run`], [`Taskflow::run_n`],
+//!   [`Taskflow::run_until`]): the present graph is frozen into a
+//!   *reusable* [`Topology`](crate::topology::Topology) the first time a
+//!   run is requested; subsequent runs on an empty present graph re-arm
+//!   and re-execute that same topology — no node allocation, no edge
+//!   wiring, no re-validation. Batches submitted while a previous batch is
+//!   executing queue FIFO.
+//! * **One-shot** ([`Taskflow::dispatch`], [`Taskflow::wait_for_all`]):
+//!   the paper's §III-C model. Each dispatch moves the present graph into
+//!   its own topology, runs it exactly once, and leaves a fresh empty
+//!   graph behind.
+//!
+//! The taskflow keeps every topology it created in a list, both to expose
+//! execution status and to keep node storage alive for outstanding
+//! [`Task`] handles; [`Taskflow::gc`] reclaims settled ones. Long-running
+//! dispatch/run loops should call `gc()` periodically — see the method
+//! docs for the idiom.
 
 use crate::dot;
 use crate::error::{RunError, RunResult};
@@ -17,11 +32,25 @@ use crate::graph::{Graph, Work};
 use crate::subflow::Subflow;
 use crate::sync_cell::SyncCell;
 use crate::task::Task;
-use crate::topology::Topology;
+use crate::topology::{RunCondition, Topology};
 use crate::validate::{self, GraphDiagnostic};
 use parking_lot::Mutex;
 use std::marker::PhantomData;
 use std::sync::Arc;
+
+/// Completion futures of every submitted batch/dispatch, with a watermark
+/// below which futures are known resolved — repeated
+/// [`Taskflow::try_wait_for_all`] calls are O(new submissions), not
+/// O(total history).
+struct WaitSet {
+    futures: Vec<SharedFuture<RunResult>>,
+    /// `futures[..watermark]` have resolved and their errors are folded
+    /// into `first_error`.
+    watermark: usize,
+    /// First error ever observed; sticky, so every later wait reports it
+    /// (matching the paper's "first panic wins" semantics).
+    first_error: Option<RunError>,
+}
 
 /// A task dependency graph builder and dispatcher.
 ///
@@ -42,6 +71,10 @@ pub struct Taskflow {
     graph: SyncCell<Graph>,
     executor: Arc<Executor>,
     topologies: Mutex<Vec<Arc<Topology>>>,
+    /// The reusable topology targeted by `run*` when the present graph is
+    /// empty: the most recently frozen one.
+    reusable: SyncCell<Option<Arc<Topology>>>,
+    waits: Mutex<WaitSet>,
     name: SyncCell<String>,
     /// Graph construction is single-threaded: `!Sync`, but `Send`.
     _not_sync: PhantomData<std::cell::Cell<()>>,
@@ -71,6 +104,12 @@ impl Taskflow {
             graph: SyncCell::new(Graph::new()),
             executor,
             topologies: Mutex::new(Vec::new()),
+            reusable: SyncCell::new(None),
+            waits: Mutex::new(WaitSet {
+                futures: Vec::new(),
+                watermark: 0,
+                first_error: None,
+            }),
             name: SyncCell::new(String::new()),
             _not_sync: PhantomData,
         }
@@ -141,20 +180,42 @@ impl Taskflow {
         self.topologies.lock().len()
     }
 
+    /// Total completed iterations of the current `run*` target topology
+    /// (0 when nothing was ever frozen). Counts every iteration across
+    /// every `run`/`run_n`/`run_until` batch.
+    pub fn num_iterations(&self) -> u64 {
+        // SAFETY: !Sync — single-threaded access.
+        unsafe { self.reusable.get().as_ref().map_or(0, |t| t.iterations()) }
+    }
+
+    /// Total node count across every retained *settled* topology,
+    /// including the subflow tasks their most recent iteration spawned at
+    /// runtime — a diagnostic for the memory `gc()` would reclaim.
+    pub fn num_retained_nodes(&self) -> usize {
+        self.topologies
+            .lock()
+            .iter()
+            .filter(|t| t.is_settled())
+            // SAFETY: settled topology — quiescent graph.
+            .map(|t| unsafe { t.graph.get().total_nodes() })
+            .sum()
+    }
+
     /// Dumps the present graph to GraphViz DOT (§III-G).
     pub fn dump(&self) -> String {
         // SAFETY: !Sync — present graph is quiescent.
         unsafe { dot::graph_to_dot(self.graph.get(), &self.name()) }
     }
 
-    /// Dumps every *completed* dispatched topology to DOT, including the
-    /// subflows its dynamic tasks spawned at runtime (Fig. 5 of the paper).
-    /// Running topologies are skipped (their graphs are in motion).
+    /// Dumps every *settled* (not currently executing) topology to DOT,
+    /// including the subflows its dynamic tasks spawned at runtime during
+    /// the most recent iteration (Fig. 5 of the paper). Running topologies
+    /// are skipped (their graphs are in motion).
     pub fn dump_topologies(&self) -> String {
         let mut out = String::new();
         for (i, topo) in self.topologies.lock().iter().enumerate() {
-            if topo.future.is_ready() {
-                // SAFETY: completed topology — quiescent graph.
+            if topo.is_settled() {
+                // SAFETY: settled topology — quiescent graph.
                 unsafe {
                     out.push_str(&dot::graph_to_dot(
                         topo.graph.get(),
@@ -170,9 +231,12 @@ impl Taskflow {
     /// every finding: dependency cycles (with their label path),
     /// self-edges, duplicate `precede` edges, and orphan tasks.
     ///
-    /// An empty result means [`Taskflow::dispatch`] will hand the graph to
-    /// the executor; fatal findings ([`GraphDiagnostic::is_fatal`]) make
-    /// dispatch resolve the future with [`RunError::InvalidGraph`] instead.
+    /// An empty result means [`Taskflow::dispatch`] (and the first
+    /// [`Taskflow::run`]) will hand the graph to the executor; fatal
+    /// findings ([`GraphDiagnostic::is_fatal`]) make them resolve the
+    /// future with [`RunError::InvalidGraph`] instead. Once a graph is
+    /// frozen into a topology the verdict is cached — re-running a
+    /// reusable topology never re-walks the graph.
     pub fn validate(&self) -> Vec<GraphDiagnostic> {
         // SAFETY: !Sync — the present graph is quiescent.
         unsafe { validate::validate_graph(self.graph.get()) }
@@ -188,30 +252,115 @@ impl Taskflow {
         (dot, diagnostics)
     }
 
+    /// Freezes the present graph (if non-empty) into a new reusable
+    /// topology and makes it the `run*` target. Returns the target
+    /// topology, or `None` when nothing was ever built.
+    fn materialize(&self) -> Option<Arc<Topology>> {
+        if !self.is_empty() {
+            // SAFETY: !Sync — single-threaded graph handoff.
+            let graph = unsafe { self.graph.replace(Graph::new()) };
+            let topo = Topology::new(graph);
+            self.topologies.lock().push(Arc::clone(&topo));
+            // SAFETY: !Sync — single-threaded access.
+            unsafe { *self.reusable.get_mut() = Some(topo) };
+        }
+        // SAFETY: !Sync — single-threaded access.
+        unsafe { self.reusable.get().clone() }
+    }
+
+    fn submit(&self, cond: RunCondition) -> SharedFuture<RunResult> {
+        let Some(topo) = self.materialize() else {
+            // Nothing was ever built: an empty run completes immediately.
+            return SharedFuture::ready(Ok(()));
+        };
+        let future = self.executor.run_topology(&topo, cond);
+        self.waits.lock().futures.push(future.clone());
+        future
+    }
+
+    /// Executes the taskflow's graph once **without rebuilding it** and
+    /// returns a future observing that run.
+    ///
+    /// On the first call (or whenever tasks were emplaced since the last
+    /// freeze) the present graph is validated and frozen into a reusable
+    /// topology; later calls with an empty present graph *re-arm* the same
+    /// topology — join counters reset from the static in-degrees, subflow
+    /// subgraphs cleared — and execute it again. Runs submitted while the
+    /// topology is busy queue FIFO.
+    ///
+    /// ```
+    /// let tf = rustflow::Taskflow::new();
+    /// tf.emplace(|| println!("iterate"));
+    /// tf.run().get().unwrap(); // freeze + first run
+    /// tf.run().get().unwrap(); // re-arm + second run, zero rebuild cost
+    /// ```
+    pub fn run(&self) -> SharedFuture<RunResult> {
+        self.run_n(1)
+    }
+
+    /// Executes the taskflow's graph `n` times (see [`Taskflow::run`]);
+    /// the future resolves when the last iteration finishes. An error in
+    /// iteration *k* resolves the future with that iteration's error and
+    /// abandons the remaining iterations. `run_n(0)` completes
+    /// immediately.
+    ///
+    /// Iterating many times? Call [`Taskflow::gc`] between batches to keep
+    /// the retained-topology list from growing:
+    ///
+    /// ```
+    /// let mut tf = rustflow::Taskflow::new();
+    /// for epoch in 0..3 {
+    ///     tf.emplace(move || { let _ = epoch; });
+    ///     tf.run_n(4).get().unwrap();
+    ///     tf.gc(); // settled topologies from prior epochs are reclaimed
+    /// }
+    /// ```
+    pub fn run_n(&self, n: u64) -> SharedFuture<RunResult> {
+        self.submit(RunCondition::Count(n))
+    }
+
+    /// Repeatedly executes the taskflow's graph until `pred` returns
+    /// `true`. The predicate is evaluated before every iteration (so a
+    /// predicate that starts `true` runs nothing) from the driver thread —
+    /// the submitter or a worker finishing an iteration. A panic inside
+    /// `pred`, like a task panic, resolves the future with that error and
+    /// stops.
+    pub fn run_until<P>(&self, pred: P) -> SharedFuture<RunResult>
+    where
+        P: FnMut() -> bool + Send + 'static,
+    {
+        self.submit(RunCondition::Until(Box::new(pred)))
+    }
+
     /// Dispatches the present graph for execution **without blocking**,
     /// returning a shared future to observe completion (§III-C). The
-    /// taskflow is left with a fresh empty graph.
+    /// taskflow is left with a fresh empty graph; the dispatched topology
+    /// runs exactly once (the paper's one-shot model — use
+    /// [`Taskflow::run`] to execute a graph repeatedly).
     ///
     /// The graph is sanitized first ([`Taskflow::validate`]); a graph that
     /// could never complete — a dependency cycle or a self-edge — is *not*
     /// handed to the executor: the returned future resolves immediately
     /// with [`RunError::InvalidGraph`] carrying the findings, instead of
     /// deadlocking the worker pool as in Cpp-Taskflow ("a cyclic graph
-    /// results in undefined behavior").
+    /// results in undefined behavior"). Dispatching an empty graph
+    /// completes immediately.
+    ///
+    /// In dispatch loops, call [`Taskflow::gc`] periodically — every
+    /// dispatched topology is retained until collected.
     pub fn dispatch(&self) -> SharedFuture<RunResult> {
-        let diagnostics = self.validate();
+        if self.is_empty() {
+            return SharedFuture::ready(Ok(()));
+        }
         // SAFETY: !Sync — single-threaded graph handoff.
         let graph = unsafe { self.graph.replace(Graph::new()) };
-        let (topo, future) = Topology::new(graph);
         // Retained even when rejected: outstanding Task handles point into
-        // the topology's node storage.
+        // the topology's node storage. One-shot topologies do not become
+        // the `run*` target.
+        let topo = Topology::new(graph);
         self.topologies.lock().push(Arc::clone(&topo));
-        if diagnostics.iter().any(GraphDiagnostic::is_fatal) {
-            // SAFETY: the topology was never handed to the executor.
-            unsafe { topo.reject(RunError::InvalidGraph(diagnostics)) };
-        } else {
-            self.executor.run_topology(topo);
-        }
+        let future = self.executor.run_topology(&topo, RunCondition::Count(1));
+        self.waits.lock().futures.push(future.clone());
         future
     }
 
@@ -221,8 +370,8 @@ impl Taskflow {
     }
 
     /// Dispatches the present graph (if non-empty) and blocks until **all**
-    /// dispatched topologies finish. Panics if any task panicked,
-    /// propagating the first recorded panic message.
+    /// submitted work — dispatches and runs alike — finishes. Panics if
+    /// any task panicked, propagating the first recorded panic message.
     pub fn wait_for_all(&self) {
         if let Err(e) = self.try_wait_for_all() {
             panic!("{e}");
@@ -231,36 +380,61 @@ impl Taskflow {
 
     /// Like [`Taskflow::wait_for_all`] but reports a task panic as an error
     /// instead of panicking.
+    ///
+    /// Completed waits are remembered: repeated calls only wait on work
+    /// submitted since the last call, so waiting in a loop costs O(new
+    /// submissions). The first error ever observed stays sticky and is
+    /// re-reported by every later call.
     pub fn try_wait_for_all(&self) -> RunResult {
         if !self.is_empty() {
             self.silent_dispatch();
         }
-        let futures: Vec<SharedFuture<RunResult>> = self
-            .topologies
-            .lock()
-            .iter()
-            .map(|t| t.future.clone())
-            .collect();
-        let mut first_err = None;
-        for f in futures {
-            if let Err(e) = f.get() {
-                first_err.get_or_insert(e);
+        loop {
+            // Clone the future out so the lock is not held while blocking;
+            // `&self` is !Sync, so no one else advances the watermark.
+            let next = {
+                let w = self.waits.lock();
+                w.futures.get(w.watermark).cloned()
+            };
+            let Some(future) = next else { break };
+            let result = future.get();
+            let mut w = self.waits.lock();
+            w.watermark += 1;
+            if let Err(e) = result {
+                w.first_error.get_or_insert(e);
             }
         }
-        match first_err {
-            Some(e) => Err(e),
+        match &self.waits.lock().first_error {
+            Some(e) => Err(e.clone()),
             None => Ok(()),
         }
     }
 
-    /// Drops completed topologies, releasing their graphs.
+    /// Drops settled topologies (releasing their graphs) and compacts the
+    /// resolved prefix of the wait set. Returns the number of topologies
+    /// reclaimed.
     ///
     /// Requires `&mut self`, which statically guarantees no outstanding
-    /// [`Task`] handle can reach into the freed graphs.
+    /// [`Task`] handle can reach into the freed graphs. The `run*` target
+    /// is kept alive even when settled — reclaiming it would discard the
+    /// graph the next `run` re-arms.
     pub fn gc(&mut self) -> usize {
+        {
+            let w = self.waits.get_mut();
+            while w.watermark < w.futures.len() && w.futures[w.watermark].is_ready() {
+                if let Some(Err(e)) = w.futures[w.watermark].try_get() {
+                    w.first_error.get_or_insert(e);
+                }
+                w.watermark += 1;
+            }
+            w.futures.drain(..w.watermark);
+            w.watermark = 0;
+        }
+        // SAFETY: !Sync — single-threaded access.
+        let target = unsafe { self.reusable.get().as_ref().map(Arc::as_ptr) };
         let mut topologies = self.topologies.lock();
         let before = topologies.len();
-        topologies.retain(|t| !t.future.is_ready());
+        topologies.retain(|t| !t.is_settled() || Some(Arc::as_ptr(t)) == target);
         before - topologies.len()
     }
 }
@@ -268,14 +442,10 @@ impl Taskflow {
 impl Drop for Taskflow {
     fn drop(&mut self) {
         // Present (undispatched) graphs are discarded, but running
-        // topologies must finish before their node storage is freed.
-        let futures: Vec<SharedFuture<RunResult>> = self
-            .topologies
-            .lock()
-            .iter()
-            .map(|t| t.future.clone())
-            .collect();
-        for f in futures {
+        // topologies must finish before their node storage is freed. The
+        // resolved prefix below the watermark needs no re-wait.
+        let w = self.waits.get_mut();
+        for f in &w.futures[w.watermark..] {
             f.wait();
         }
     }

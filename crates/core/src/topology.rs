@@ -1,59 +1,331 @@
-//! A dispatched task dependency graph (§III-C of the paper).
+//! A dispatched, **reusable** task dependency graph (§III-C of the paper,
+//! extended with the run-based execution model of Taskflow v2).
 //!
-//! Dispatching moves the taskflow's present graph into a [`Topology`],
-//! which pairs the graph with the runtime metadata the executor needs: an
-//! atomic count of not-yet-finished nodes and a promise/shared-future pair
-//! for completion signalling. The owning [`Taskflow`](crate::Taskflow)
-//! keeps every topology it dispatched in a list (so task handles and the
-//! executor's raw node pointers stay valid), and the executor additionally
-//! holds a keep-alive `Arc` while the topology runs.
+//! Dispatching moves the taskflow's present graph into a [`Topology`]. The
+//! paper's model is one-shot; here a topology survives its first execution
+//! and can be *re-armed* and executed again — this is what backs
+//! `Taskflow::run` / `run_n` / `run_until`. The split works like this:
+//!
+//! * The graph **structure** (nodes, edges, callables, static in-degrees)
+//!   is frozen when the topology is created and validated exactly once;
+//!   the sanitizer's verdict is cached in [`Topology::fatal`].
+//! * The per-run **state** (join counters, subflow subgraphs, the `alive`
+//!   countdown) is reset by [`Topology::begin_iteration`] before every
+//!   iteration.
+//!
+//! Execution requests arrive as [`PendingRun`] *batches* (run once, run
+//! `n` times, run until a predicate holds), queued FIFO. At most one batch
+//! is active at a time; the state machine in [`Topology::advance`] is
+//! driven by whoever holds the *driver* role — the thread that claimed the
+//! idle topology on submission, or the worker whose final `alive`
+//! decrement finished an iteration. The owning
+//! [`Taskflow`](crate::Taskflow) keeps every topology it created in a list
+//! (so task handles and the executor's raw node pointers stay valid), and
+//! the executor additionally holds a keep-alive `Arc` while batches run.
 
-use crate::error::{RunError, RunResult, TaskPanic};
-use crate::future::{Promise, SharedFuture};
+use crate::error::{panic_message, RunError, RunResult, TaskPanic};
+use crate::future::Promise;
 use crate::graph::Graph;
+use crate::sync::{AtomicU64, AtomicUsize, Mutex};
 use crate::sync_cell::SyncCell;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::validate;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 
-/// Process-wide topology id source; ids appear in observer hooks and
-/// traces so runs of the same taskflow can be told apart.
-static NEXT_TOPOLOGY_ID: AtomicU64 = AtomicU64::new(1);
+/// Process-wide iteration id source; a fresh id is drawn for every
+/// iteration so observer hooks and traces can tell runs of the same
+/// topology apart.
+static NEXT_TOPOLOGY_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// No batch executing; the graph is quiescent and the next submission
+/// claims the driver role.
+const IDLE: usize = 0;
+/// A batch is executing (or between iterations under its driver).
+const RUNNING: usize = 1;
+
+/// How long a submitted batch keeps re-running the topology.
+pub(crate) enum RunCondition {
+    /// Run exactly this many more iterations.
+    Count(u64),
+    /// Run until the predicate returns `true`. Checked before every
+    /// iteration, so a predicate that is already `true` runs nothing —
+    /// `Count(n)` and a decrementing predicate agree on semantics.
+    Until(Box<dyn FnMut() -> bool + Send + 'static>),
+}
+
+/// One queued execution request: a stop condition plus the promise that
+/// resolves when the batch finishes (or fails).
+pub(crate) struct PendingRun {
+    pub(crate) cond: RunCondition,
+    pub(crate) promise: Promise<RunResult>,
+}
+
+/// What the driver must do after [`Topology::advance`] returns.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Advance {
+    /// Re-arm and publish the sources ([`Topology::begin_iteration`]).
+    RunIteration,
+    /// No work left; the topology went idle — drop the keep-alive.
+    Idle,
+}
 
 pub(crate) struct Topology {
-    /// Unique (process-wide) id, exposed through observer hooks.
-    pub(crate) id: u64,
+    /// Id of the currently (or most recently) executing iteration; fresh
+    /// per iteration, exposed through observer hooks.
+    run_id: AtomicU64,
+    /// Total iterations completed across all batches.
+    iterations: AtomicU64,
     /// The graph being executed. Workers navigate it through raw pointers;
     /// the box-per-node layout keeps addresses stable.
     pub(crate) graph: SyncCell<Graph>,
-    /// Number of nodes that have not yet completed, including nodes spawned
-    /// dynamically into subflows. The zero-crossing finalizes the topology.
+    /// Source nodes (static in-degree zero), cached once at construction —
+    /// the structure never changes, so neither do the sources.
+    sources: Vec<usize>,
+    /// Number of nodes that have not yet completed in the current
+    /// iteration, including nodes spawned dynamically into subflows. The
+    /// zero-crossing ends the iteration.
     pub(crate) alive: AtomicUsize,
-    /// Fulfilled exactly once by the finalizing worker.
-    pub(crate) promise: SyncCell<Option<Promise<RunResult>>>,
-    /// Cloneable completion handle returned to users.
-    pub(crate) future: SharedFuture<RunResult>,
-    /// First error observed while running (kept, later ones dropped).
+    /// [`IDLE`] or [`RUNNING`]; transitions are serialized by the
+    /// `pending` mutex.
+    state: AtomicUsize,
+    /// The batch currently driving iterations; driver-exclusive.
+    current: SyncCell<Option<PendingRun>>,
+    /// Batches waiting their turn, FIFO.
+    pending: Mutex<VecDeque<PendingRun>>,
+    /// First error observed while running an iteration (kept, later ones
+    /// dropped); taken by the driver when the iteration ends.
     pub(crate) error: Mutex<Option<RunError>>,
+    /// Cached pre-dispatch sanitizer verdict: `Some` iff the structure can
+    /// never complete (cycle / self-edge). Computed once at construction —
+    /// submissions fail fast without re-walking the graph.
+    fatal: Option<RunError>,
 }
 
-// SAFETY: interior fields follow the sync_cell phase discipline; atomics
-// and the mutex are inherently thread-safe; Graph is Send + Sync under the
-// same discipline.
+// SAFETY: interior fields follow the sync_cell phase discipline (the
+// `current` cell is driver-exclusive); atomics and mutexes are inherently
+// thread-safe; Graph is Send + Sync under the same discipline.
 unsafe impl Send for Topology {}
 unsafe impl Sync for Topology {}
 
 impl Topology {
-    pub(crate) fn new(graph: Graph) -> (std::sync::Arc<Topology>, SharedFuture<RunResult>) {
-        let (promise, future) = crate::future::promise_pair();
-        let topo = std::sync::Arc::new(Topology {
-            id: NEXT_TOPOLOGY_ID.fetch_add(1, Ordering::Relaxed),
+    /// Freezes `graph` into a reusable topology: runs the sanitizer once,
+    /// caches its verdict, and caches the source set.
+    pub(crate) fn new(mut graph: Graph) -> std::sync::Arc<Topology> {
+        // SAFETY: the graph was just moved here; no other thread sees it.
+        let diagnostics = unsafe { validate::validate_graph(&graph) };
+        let mut fatal = diagnostics
+            .iter()
+            .any(crate::GraphDiagnostic::is_fatal)
+            .then(|| RunError::InvalidGraph(diagnostics.clone()));
+        let mut sources = Vec::new();
+        for node in graph.nodes.iter_mut() {
+            // SAFETY: exclusive access (see above); in-degree is frozen.
+            if unsafe { *node.structure.in_degree.get() } == 0 {
+                let p: *mut crate::graph::Node = &mut **node;
+                sources.push(p as usize);
+            }
+        }
+        if sources.is_empty() && !graph.is_empty() && fatal.is_none() {
+            // Every node has a predecessor, so the graph is cyclic and
+            // could never make progress. The cycle detector above flags
+            // this, but stay defensive: publishing no sources while
+            // arming `alive` would wedge every waiter forever.
+            fatal = Some(RunError::InvalidGraph(diagnostics));
+        }
+        std::sync::Arc::new(Topology {
+            run_id: AtomicU64::new(0),
+            iterations: AtomicU64::new(0),
             graph: SyncCell::new(graph),
+            sources,
             alive: AtomicUsize::new(0),
-            promise: SyncCell::new(Some(promise)),
-            future: future.clone(),
+            state: AtomicUsize::new(IDLE),
+            current: SyncCell::new(None),
+            pending: Mutex::new(VecDeque::new()),
             error: Mutex::new(None),
-        });
-        (topo, future)
+            fatal,
+        })
+    }
+
+    /// The cached sanitizer verdict; `Some` means the topology must never
+    /// reach the executor.
+    pub(crate) fn fatal(&self) -> Option<&RunError> {
+        self.fatal.as_ref()
+    }
+
+    /// Id of the current iteration (as shown in observer hooks).
+    pub(crate) fn run_id(&self) -> u64 {
+        self.run_id.load(Ordering::Relaxed)
+    }
+
+    /// Total iterations completed so far.
+    pub(crate) fn iterations(&self) -> u64 {
+        self.iterations.load(Ordering::Relaxed)
+    }
+
+    /// `true` when no batch is executing or queued: the graph is quiescent
+    /// and may be inspected (DOT dumps) or reclaimed (`gc`).
+    pub(crate) fn is_settled(&self) -> bool {
+        self.state.load(Ordering::Acquire) == IDLE
+    }
+
+    /// Queues `batch` FIFO. Returns `true` when the caller claimed the
+    /// idle topology and is now its driver: it must call
+    /// [`Topology::advance`]`(false)` and act on the outcome.
+    ///
+    /// The queue mutex serializes this claim against the driver's
+    /// own idle transition in `advance`, so a batch is never lost between
+    /// "driver saw an empty queue" and "driver went idle".
+    pub(crate) fn enqueue(&self, batch: PendingRun) -> bool {
+        let mut q = self.pending.lock();
+        q.push_back(batch);
+        self.state
+            .compare_exchange(IDLE, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Drives the batch state machine. Called with
+    /// `iteration_finished == false` right after claiming the topology in
+    /// [`Topology::enqueue`], and with `true` from the executor's finalize
+    /// path when an iteration's `alive` count hit zero.
+    ///
+    /// Resolves the promises of batches that end here (last iteration
+    /// done, iteration error, zero-count, predicate already true), pops
+    /// the next pending batch FIFO, and either asks the driver to run an
+    /// iteration or transitions the topology to idle.
+    ///
+    /// # Safety
+    /// Caller must hold the driver role: it claimed the topology via
+    /// `enqueue`, or it performed the final `alive` decrement of an
+    /// iteration. At most one driver exists at a time.
+    pub(crate) unsafe fn advance(&self, iteration_finished: bool) -> Advance {
+        // Promises resolve only *after* the next state is decided: a
+        // waiter that observes a resolved future may immediately check
+        // `is_settled` (gc, dumps) or resubmit, so the idle transition
+        // must never lag behind the resolution it caused.
+        let mut resolved: Vec<(PendingRun, RunResult)> = Vec::new();
+        // SAFETY: forwarded driver-role contract.
+        let action = unsafe { self.advance_inner(iteration_finished, &mut resolved) };
+        for (batch, result) in resolved {
+            batch.promise.set(result);
+        }
+        action
+    }
+
+    /// The state machine body of [`Topology::advance`]; ended batches are
+    /// pushed onto `resolved` instead of being resolved in place.
+    ///
+    /// # Safety
+    /// Same contract as [`Topology::advance`].
+    unsafe fn advance_inner(
+        &self,
+        iteration_finished: bool,
+        resolved: &mut Vec<(PendingRun, RunResult)>,
+    ) -> Advance {
+        if iteration_finished {
+            self.iterations.fetch_add(1, Ordering::Relaxed);
+            let err = self.error.lock().take();
+            // SAFETY: driver-exclusive cell per this function's contract.
+            let cur = unsafe { self.current.get_mut() };
+            let batch = cur.as_mut().expect("iteration finished without a batch");
+            let outcome: Option<RunResult> = if let Some(e) = err {
+                // An error in iteration k resolves the whole batch with
+                // that iteration's error; remaining iterations are
+                // abandoned (reference `run_n` semantics).
+                Some(Err(e))
+            } else {
+                match &mut batch.cond {
+                    RunCondition::Count(n) => {
+                        *n -= 1;
+                        (*n == 0).then_some(Ok(()))
+                    }
+                    RunCondition::Until(pred) => match catch_unwind(AssertUnwindSafe(pred)) {
+                        Ok(true) => Some(Ok(())),
+                        Ok(false) => None,
+                        Err(payload) => Some(Err(predicate_panic(&*payload))),
+                    },
+                }
+            };
+            match outcome {
+                None => return Advance::RunIteration,
+                Some(result) => {
+                    let batch = cur.take().expect("checked above");
+                    resolved.push((batch, result));
+                }
+            }
+        }
+        // The current batch (if any) just ended: pop the next one FIFO.
+        // Batches that need no iteration resolve immediately and the loop
+        // keeps popping.
+        loop {
+            let mut next = {
+                let mut q = self.pending.lock();
+                match q.pop_front() {
+                    Some(b) => b,
+                    None => {
+                        // Going idle must happen under the queue lock so a
+                        // concurrent `enqueue` either hands us its batch
+                        // (pushed before our pop) or claims the driver
+                        // role itself (CAS after our store).
+                        self.state.store(IDLE, Ordering::Release);
+                        return Advance::Idle;
+                    }
+                }
+            };
+            let outcome: Option<RunResult> = match &mut next.cond {
+                RunCondition::Count(0) => Some(Ok(())),
+                RunCondition::Count(_) => None,
+                RunCondition::Until(pred) => match catch_unwind(AssertUnwindSafe(pred)) {
+                    Ok(true) => Some(Ok(())),
+                    Ok(false) => None,
+                    Err(payload) => Some(Err(predicate_panic(&*payload))),
+                },
+            };
+            match outcome {
+                Some(result) => resolved.push((next, result)),
+                None => {
+                    // SAFETY: driver-exclusive cell.
+                    unsafe { *self.current.get_mut() = Some(next) };
+                    return Advance::RunIteration;
+                }
+            }
+        }
+    }
+
+    /// Re-arms every node for the next iteration, then hands the cached
+    /// source set to `publish` (which makes the sources visible to workers
+    /// and wakes them).
+    ///
+    /// The re-arm **must complete before any source is published**: a
+    /// woken thief may execute a source immediately and count down a
+    /// successor's join counter and the `alive` total — observing
+    /// last-iteration values would lose the successor or underflow
+    /// `alive`, wedging the run. The `rearm_publish` weaken point inverts
+    /// the order so the interleaving model can demonstrate exactly that
+    /// failure.
+    ///
+    /// # Safety
+    /// Caller must hold the driver role and the topology must be
+    /// quiescent (no iteration in flight).
+    pub(crate) unsafe fn begin_iteration(&self, publish: impl FnOnce(&[usize])) {
+        #[cfg(rustflow_weaken = "rearm_publish")]
+        publish(&self.sources);
+        self.run_id.store(
+            NEXT_TOPOLOGY_ID.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        let tp: *const Topology = self;
+        // SAFETY: quiescent per the caller's contract — the driver has
+        // exclusive access to every node until the sources are published.
+        unsafe {
+            let g = self.graph.get_mut();
+            self.alive.store(g.len(), Ordering::Relaxed);
+            for node in g.nodes.iter_mut() {
+                node.rearm(tp, std::ptr::null_mut());
+            }
+        }
+        #[cfg(not(rustflow_weaken = "rearm_publish"))]
+        publish(&self.sources);
     }
 
     /// Records the first panic; later errors are ignored.
@@ -69,37 +341,35 @@ impl Topology {
         }
     }
 
-    /// Resolves the topology's future with `error` without running it.
-    ///
-    /// Used by the dispatch path when the pre-dispatch sanitizer rejects
-    /// the graph: the topology is retained (task handles stay valid) but
-    /// never reaches the executor, and waiting on the future returns the
-    /// typed error instead of deadlocking.
-    ///
-    /// # Safety
-    /// The caller must have exclusive access to the topology — i.e. it was
-    /// never handed to the executor.
-    pub(crate) unsafe fn reject(&self, error: RunError) {
-        // SAFETY: exclusive access per the caller's contract.
-        let promise = unsafe { self.promise.replace(None) }.expect("topology rejected twice");
-        promise.set(Err(error));
-    }
-
-    /// Number of top-level nodes (excludes dynamically spawned subflows).
-    #[allow(dead_code)]
+    /// Number of top-level nodes (excludes dynamically spawned subflows);
+    /// reported to observers when an iteration starts.
     pub(crate) fn num_static_nodes(&self) -> usize {
-        // SAFETY: called in quiescent phases only (tests/inspection).
+        // SAFETY: the node Vec's length is frozen at construction.
         unsafe { self.graph.get().len() }
     }
+}
+
+fn predicate_panic(payload: &(dyn std::any::Any + Send)) -> RunError {
+    RunError::Panic(TaskPanic {
+        task: "run_until predicate".into(),
+        message: panic_message(payload),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::future::promise_pair;
+    use crate::graph::Work;
+
+    fn batch(cond: RunCondition) -> (PendingRun, crate::future::SharedFuture<RunResult>) {
+        let (promise, future) = promise_pair();
+        (PendingRun { cond, promise }, future)
+    }
 
     #[test]
     fn record_panic_keeps_first() {
-        let (topo, _future) = Topology::new(Graph::new());
+        let topo = Topology::new(Graph::new());
         topo.record_panic(TaskPanic {
             task: "a".into(),
             message: "first".into(),
@@ -121,8 +391,132 @@ mod tests {
     }
 
     #[test]
-    fn new_topology_future_not_ready() {
-        let (_topo, future) = Topology::new(Graph::new());
-        assert!(!future.is_ready());
+    fn sanitize_verdict_cached_at_construction() {
+        let mut g = Graph::new();
+        let a = g.emplace(Work::Empty);
+        let b = g.emplace(Work::Empty);
+        unsafe {
+            (*a).structure.successors.get_mut().push(b);
+            *(*b).structure.in_degree.get_mut() += 1;
+            (*b).structure.successors.get_mut().push(a);
+            *(*a).structure.in_degree.get_mut() += 1;
+        }
+        let topo = Topology::new(g);
+        assert!(matches!(topo.fatal(), Some(RunError::InvalidGraph(_))));
+    }
+
+    #[test]
+    fn count_batch_runs_and_settles() {
+        let mut g = Graph::new();
+        g.emplace(Work::Empty);
+        let topo = Topology::new(g);
+        assert!(topo.fatal().is_none());
+        let (b, future) = batch(RunCondition::Count(2));
+        assert!(topo.enqueue(b));
+        assert!(!topo.is_settled());
+        unsafe {
+            assert_eq!(topo.advance(false), Advance::RunIteration);
+            let mut published = 0;
+            topo.begin_iteration(|s| published = s.len());
+            assert_eq!(published, 1);
+            // First iteration "completes".
+            assert_eq!(topo.advance(true), Advance::RunIteration);
+            assert!(!future.is_ready());
+            topo.begin_iteration(|_| {});
+            // Second (last) iteration completes: batch resolves, idle.
+            assert_eq!(topo.advance(true), Advance::Idle);
+        }
+        assert!(future.get().is_ok());
+        assert_eq!(topo.iterations(), 2);
+        assert!(topo.is_settled());
+    }
+
+    #[test]
+    fn zero_count_batch_resolves_without_running() {
+        let mut g = Graph::new();
+        g.emplace(Work::Empty);
+        let topo = Topology::new(g);
+        let (b, future) = batch(RunCondition::Count(0));
+        assert!(topo.enqueue(b));
+        unsafe {
+            assert_eq!(topo.advance(false), Advance::Idle);
+        }
+        assert!(future.get().is_ok());
+        assert_eq!(topo.iterations(), 0);
+    }
+
+    #[test]
+    fn until_predicate_already_true_runs_nothing() {
+        let mut g = Graph::new();
+        g.emplace(Work::Empty);
+        let topo = Topology::new(g);
+        let (b, future) = batch(RunCondition::Until(Box::new(|| true)));
+        assert!(topo.enqueue(b));
+        unsafe {
+            assert_eq!(topo.advance(false), Advance::Idle);
+        }
+        assert!(future.get().is_ok());
+        assert_eq!(topo.iterations(), 0);
+    }
+
+    #[test]
+    fn iteration_error_stops_batch_with_that_error() {
+        let mut g = Graph::new();
+        g.emplace(Work::Empty);
+        let topo = Topology::new(g);
+        let (b, future) = batch(RunCondition::Count(10));
+        assert!(topo.enqueue(b));
+        unsafe {
+            assert_eq!(topo.advance(false), Advance::RunIteration);
+            topo.begin_iteration(|_| {});
+            topo.record_panic(TaskPanic {
+                task: "t".into(),
+                message: "boom".into(),
+            });
+            assert_eq!(topo.advance(true), Advance::Idle);
+        }
+        let err = future.get().expect_err("batch must fail");
+        assert_eq!(err.as_panic().unwrap().message, "boom");
+        assert_eq!(topo.iterations(), 1);
+    }
+
+    #[test]
+    fn batches_queue_fifo() {
+        let mut g = Graph::new();
+        g.emplace(Work::Empty);
+        let topo = Topology::new(g);
+        let (b1, f1) = batch(RunCondition::Count(1));
+        let (b2, f2) = batch(RunCondition::Count(1));
+        assert!(topo.enqueue(b1));
+        assert!(!topo.enqueue(b2)); // already running: queued, not claimed
+        unsafe {
+            assert_eq!(topo.advance(false), Advance::RunIteration);
+            topo.begin_iteration(|_| {});
+            // Batch 1 ends; batch 2 starts without going idle.
+            assert_eq!(topo.advance(true), Advance::RunIteration);
+            assert!(f1.is_ready());
+            assert!(!f2.is_ready());
+            topo.begin_iteration(|_| {});
+            assert_eq!(topo.advance(true), Advance::Idle);
+        }
+        assert!(f2.get().is_ok());
+    }
+
+    #[test]
+    fn run_ids_are_fresh_per_iteration() {
+        let mut g = Graph::new();
+        g.emplace(Work::Empty);
+        let topo = Topology::new(g);
+        let (b, _f) = batch(RunCondition::Count(2));
+        topo.enqueue(b);
+        unsafe {
+            topo.advance(false);
+            topo.begin_iteration(|_| {});
+            let first = topo.run_id();
+            topo.advance(true);
+            topo.begin_iteration(|_| {});
+            assert_ne!(topo.run_id(), first);
+            topo.advance(true);
+        }
     }
 }

@@ -128,7 +128,7 @@ pub(crate) unsafe fn validate_graph(graph: &Graph) -> Vec<GraphDiagnostic> {
     for (i, node) in graph.nodes.iter().enumerate() {
         let me = &**node as *const Node as RawNode;
         // SAFETY: quiescent phase per the caller's contract.
-        let succs = unsafe { node.successors.get() };
+        let succs = unsafe { node.structure.successors.get() };
         let mut copies: HashMap<RawNode, usize> = HashMap::new();
         for &s in succs.iter() {
             *copies.entry(s).or_insert(0) += 1;
@@ -155,7 +155,7 @@ pub(crate) unsafe fn validate_graph(graph: &Graph) -> Vec<GraphDiagnostic> {
             }
         }
         // SAFETY: quiescent phase.
-        let in_degree = unsafe { *node.in_degree.get() };
+        let in_degree = unsafe { *node.structure.in_degree.get() };
         if n > 1 && in_degree == 0 && succs.is_empty() {
             out.push(GraphDiagnostic::Orphan {
                 // SAFETY: quiescent phase.
@@ -181,7 +181,7 @@ pub(crate) unsafe fn validate_graph(graph: &Graph) -> Vec<GraphDiagnostic> {
         while let Some(&(at, pos)) = stack.last() {
             let node = &graph.nodes[at];
             // SAFETY: quiescent phase per the caller's contract.
-            let succs = unsafe { node.successors.get() };
+            let succs = unsafe { node.structure.successors.get() };
             if pos < succs.len() {
                 stack.last_mut().expect("nonempty").1 = pos + 1;
                 let Some(&j) = index_of.get(&succs[pos]) else {
@@ -231,15 +231,15 @@ mod tests {
     fn connect(a: RawNode, b: RawNode) {
         // SAFETY: single-threaded build phase.
         unsafe {
-            (*a).successors.get_mut().push(b);
-            *(*b).in_degree.get_mut() += 1;
+            (*a).structure.successors.get_mut().push(b);
+            *(*b).structure.in_degree.get_mut() += 1;
         }
     }
 
     fn name(n: RawNode, s: &str) {
         // SAFETY: single-threaded build phase.
         unsafe {
-            *(*n).name.get_mut() = crate::TaskLabel::new(s);
+            *(*n).structure.name.get_mut() = crate::TaskLabel::new(s);
         }
     }
 

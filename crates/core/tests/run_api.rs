@@ -1,0 +1,308 @@
+//! Iteration semantics of the reusable-topology API: `run`, `run_n`,
+//! `run_until`, their interaction with subflows, failures, the legacy
+//! one-shot `dispatch` path, and the `gc`/watermark bookkeeping.
+
+use rustflow::{Executor, Taskflow};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn counting_flow(workers: usize) -> (Taskflow, Arc<AtomicUsize>) {
+    let tf = Taskflow::with_executor(Executor::new(workers));
+    let counter = Arc::new(AtomicUsize::new(0));
+    let c = Arc::clone(&counter);
+    tf.emplace(move || {
+        c.fetch_add(1, Ordering::Relaxed);
+    });
+    (tf, counter)
+}
+
+#[test]
+fn run_n_executes_the_graph_n_times_without_rebuilding() {
+    let tf = Taskflow::with_executor(Executor::new(4));
+    let counter = Arc::new(AtomicUsize::new(0));
+    // Diamond a → {b, c} → d so every iteration exercises real edges.
+    let c0 = Arc::clone(&counter);
+    let a = tf.emplace(move || {
+        c0.fetch_add(1, Ordering::Relaxed);
+    });
+    let c1 = Arc::clone(&counter);
+    let b = tf.emplace(move || {
+        c1.fetch_add(1, Ordering::Relaxed);
+    });
+    let c2 = Arc::clone(&counter);
+    let c = tf.emplace(move || {
+        c2.fetch_add(1, Ordering::Relaxed);
+    });
+    let c3 = Arc::clone(&counter);
+    let d = tf.emplace(move || {
+        c3.fetch_add(1, Ordering::Relaxed);
+    });
+    a.precede([b, c]);
+    b.precede(d);
+    c.precede(d);
+
+    tf.run_n(100).get().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 400);
+    assert_eq!(tf.num_iterations(), 100);
+    // One frozen topology serves every iteration.
+    assert_eq!(tf.num_topologies(), 1);
+
+    // A later batch re-arms the same topology again.
+    tf.run().get().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 404);
+    assert_eq!(tf.num_iterations(), 101);
+    assert_eq!(tf.num_topologies(), 1);
+}
+
+#[test]
+fn run_n_zero_completes_immediately_without_running() {
+    let (tf, counter) = counting_flow(2);
+    let f = tf.run_n(0);
+    assert!(f.get().is_ok());
+    assert_eq!(counter.load(Ordering::Relaxed), 0);
+    assert_eq!(tf.num_iterations(), 0);
+}
+
+#[test]
+fn run_on_empty_taskflow_resolves_immediately() {
+    let tf = Taskflow::with_executor(Executor::new(2));
+    assert!(tf.run().get().is_ok());
+    assert!(tf.run_n(7).get().is_ok());
+    assert_eq!(tf.num_topologies(), 0);
+}
+
+#[test]
+fn queued_batches_run_fifo() {
+    let (tf, counter) = counting_flow(2);
+    // Submitted while the first batch may still be running: the second
+    // must queue behind it, so the first future can never resolve after
+    // the second.
+    let f1 = tf.run_n(50);
+    let f2 = tf.run_n(50);
+    f2.get().unwrap();
+    assert!(f1.is_ready(), "batches must resolve in submission order");
+    f1.get().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 100);
+    assert_eq!(tf.num_iterations(), 100);
+}
+
+#[test]
+fn joined_subflow_respawns_children_every_iteration() {
+    let tf = Taskflow::with_executor(Executor::new(4));
+    let children = Arc::new(AtomicUsize::new(0));
+    let after = Arc::new(AtomicUsize::new(0));
+    let ch = Arc::clone(&children);
+    let parent = tf.emplace_subflow(move |sf| {
+        for _ in 0..3 {
+            let ch = Arc::clone(&ch);
+            sf.emplace(move || {
+                ch.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    // A joined subflow must finish its children before successors run.
+    let (ch2, af) = (Arc::clone(&children), Arc::clone(&after));
+    let next = tf.emplace(move || {
+        assert_eq!(ch2.load(Ordering::Relaxed) % 3, 0);
+        af.fetch_add(1, Ordering::Relaxed);
+    });
+    parent.precede(next);
+
+    tf.run_n(20).get().unwrap();
+    assert_eq!(children.load(Ordering::Relaxed), 60);
+    assert_eq!(after.load(Ordering::Relaxed), 20);
+}
+
+#[test]
+fn detached_subflow_respawns_children_every_iteration() {
+    let tf = Taskflow::with_executor(Executor::new(4));
+    let children = Arc::new(AtomicUsize::new(0));
+    let ch = Arc::clone(&children);
+    tf.emplace_subflow(move |sf| {
+        sf.detach();
+        for _ in 0..2 {
+            let ch = Arc::clone(&ch);
+            sf.emplace(move || {
+                ch.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    // Detached children still count toward the iteration's `alive` total,
+    // so each iteration (and therefore the batch future) waits for them.
+    tf.run_n(25).get().unwrap();
+    assert_eq!(children.load(Ordering::Relaxed), 50);
+    assert_eq!(tf.num_iterations(), 25);
+}
+
+#[test]
+fn run_until_iterates_until_predicate_is_true() {
+    let (tf, counter) = counting_flow(2);
+    let seen = Arc::clone(&counter);
+    tf.run_until(move || seen.load(Ordering::Relaxed) >= 5)
+        .get()
+        .unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 5);
+}
+
+#[test]
+fn run_until_with_initially_true_predicate_runs_nothing() {
+    let (tf, counter) = counting_flow(2);
+    tf.run_until(|| true).get().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn run_until_predicate_panic_resolves_future_with_error_and_stops() {
+    let (tf, counter) = counting_flow(2);
+    let calls = AtomicUsize::new(0);
+    let err = tf
+        .run_until(move || {
+            if calls.fetch_add(1, Ordering::Relaxed) == 2 {
+                panic!("predicate boom");
+            }
+            false
+        })
+        .get()
+        .expect_err("predicate panic must fail the batch");
+    let panic = err.as_panic().expect("panic, not a graph error");
+    assert_eq!(panic.task, "run_until predicate");
+    assert!(panic.message.contains("predicate boom"));
+    // Exactly the iterations before the panicking evaluation ran.
+    assert_eq!(counter.load(Ordering::Relaxed), 2);
+
+    // The topology stays reusable after a failed batch.
+    tf.run_n(3).get().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 5);
+}
+
+#[test]
+fn task_panic_in_iteration_k_stops_the_batch_with_that_error() {
+    let tf = Taskflow::with_executor(Executor::new(2));
+    let counter = Arc::new(AtomicUsize::new(0));
+    let c = Arc::clone(&counter);
+    tf.emplace(move || {
+        if c.fetch_add(1, Ordering::Relaxed) == 3 {
+            panic!("iteration boom");
+        }
+    })
+    .name("flaky");
+    let err = tf
+        .run_n(10)
+        .get()
+        .expect_err("task panic must fail the batch");
+    let panic = err.as_panic().expect("panic, not a graph error");
+    assert_eq!(panic.task, "flaky");
+    assert!(panic.message.contains("iteration boom"));
+    // Iterations 0..3 ran clean, iteration 3 panicked, 4..10 abandoned.
+    assert_eq!(counter.load(Ordering::Relaxed), 4);
+
+    // A fresh batch on the same topology runs clean again.
+    tf.run_n(2).get().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 6);
+}
+
+#[test]
+fn run_interleaves_with_legacy_one_shot_dispatch() {
+    let tf = Taskflow::with_executor(Executor::new(2));
+    let runs = Arc::new(AtomicUsize::new(0));
+    let shots = Arc::new(AtomicUsize::new(0));
+    let r = Arc::clone(&runs);
+    tf.emplace(move || {
+        r.fetch_add(1, Ordering::Relaxed);
+    });
+    tf.run_n(2).get().unwrap();
+
+    // A one-shot dispatch of a *new* graph must not disturb the run
+    // target: `run` afterwards re-runs the reusable topology, not the
+    // dispatched one.
+    let s = Arc::clone(&shots);
+    tf.emplace(move || {
+        s.fetch_add(1, Ordering::Relaxed);
+    });
+    tf.dispatch().get().unwrap();
+    tf.run().get().unwrap();
+
+    assert_eq!(runs.load(Ordering::Relaxed), 3);
+    assert_eq!(shots.load(Ordering::Relaxed), 1);
+    assert_eq!(tf.num_topologies(), 2);
+    tf.wait_for_all();
+}
+
+#[test]
+fn emplacing_after_run_freezes_a_new_target() {
+    let tf = Taskflow::with_executor(Executor::new(2));
+    let (old, new) = (Arc::new(AtomicUsize::new(0)), Arc::new(AtomicUsize::new(0)));
+    let o = Arc::clone(&old);
+    tf.emplace(move || {
+        o.fetch_add(1, Ordering::Relaxed);
+    });
+    tf.run().get().unwrap();
+
+    let n = Arc::clone(&new);
+    tf.emplace(move || {
+        n.fetch_add(1, Ordering::Relaxed);
+    });
+    // The present graph is non-empty, so this freezes a new topology and
+    // retargets `run*` at it; the old one is never re-armed again.
+    tf.run_n(2).get().unwrap();
+
+    assert_eq!(old.load(Ordering::Relaxed), 1);
+    assert_eq!(new.load(Ordering::Relaxed), 2);
+    assert_eq!(tf.num_iterations(), 2, "counts the current target only");
+}
+
+#[test]
+fn try_wait_for_all_reports_errors_sticky_and_incremental() {
+    let tf = Taskflow::with_executor(Executor::new(2));
+    tf.emplace(|| panic!("sticky boom")).name("bad");
+    tf.run().get().expect_err("panic expected");
+    assert!(tf.try_wait_for_all().is_err());
+
+    // New clean work completes, but the first error stays sticky.
+    let ok = Arc::new(AtomicUsize::new(0));
+    let o = Arc::clone(&ok);
+    tf.emplace(move || {
+        o.fetch_add(1, Ordering::Relaxed);
+    });
+    let err = tf.try_wait_for_all().expect_err("first error is sticky");
+    assert_eq!(err.as_panic().expect("panic").task, "bad");
+    assert_eq!(ok.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn gc_keeps_the_reusable_target_but_reclaims_one_shots() {
+    let mut tf = Taskflow::with_executor(Executor::new(2));
+    let counter = Arc::new(AtomicUsize::new(0));
+    let c = Arc::clone(&counter);
+    tf.emplace(move || {
+        c.fetch_add(1, Ordering::Relaxed);
+    });
+    tf.run_n(2).get().unwrap();
+    for _ in 0..4 {
+        tf.emplace(|| {});
+        tf.dispatch().get().unwrap();
+    }
+    assert_eq!(tf.num_topologies(), 5);
+
+    let reclaimed = tf.gc();
+    assert_eq!(reclaimed, 4, "one-shot topologies are reclaimed");
+    assert_eq!(tf.num_topologies(), 1, "the run target survives gc");
+
+    // ... and is still re-armable afterwards.
+    tf.run().get().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 3);
+}
+
+#[test]
+fn num_retained_nodes_includes_last_iterations_subflow_children() {
+    let tf = Taskflow::with_executor(Executor::new(2));
+    tf.emplace_subflow(|sf| {
+        for _ in 0..5 {
+            sf.emplace(|| {});
+        }
+    });
+    tf.run_n(3).get().unwrap();
+    // 1 static parent + the 5 children of the most recent iteration
+    // (earlier iterations' children were cleared by the re-arm).
+    assert_eq!(tf.num_retained_nodes(), 6);
+}

@@ -26,6 +26,7 @@ use crate::data::Dataset;
 use crate::matrix::Matrix;
 use crate::net::{activate_inplace, backward_layer_math, output_delta, LayerGrad, Mlp};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use tf_baselines::Dag;
 
@@ -84,6 +85,12 @@ pub struct PipelineState {
     losses: Mutex<Vec<f64>>,
     lr: f32,
     num_layers: usize,
+    /// Next epoch index, advanced by the epoch-graph's shuffle task — this
+    /// is what makes the single-epoch DAG of [`build_epoch_dag`] reusable:
+    /// the *structure* stays frozen while the epoch number lives here.
+    epoch: AtomicUsize,
+    /// Storage slot of the epoch currently in flight (`epoch % K`).
+    slot: AtomicUsize,
 }
 
 impl PipelineState {
@@ -101,7 +108,74 @@ impl PipelineState {
             losses: Mutex::new(Vec::new()),
             lr: spec.lr,
             num_layers: net.num_layers(),
+            epoch: AtomicUsize::new(0),
+            slot: AtomicUsize::new(0),
         })
+    }
+
+    /// Shuffles the dataset for epoch `e` into slot `e mod K` — the body
+    /// of `E_e_S`.
+    fn shuffle_epoch(&self, dataset: &Dataset, spec: &TrainSpec, e: usize) {
+        let slot = e % self.storages.len();
+        self.slot.store(slot, Ordering::Relaxed);
+        *self.storages[slot].lock() = Some(dataset.shuffled(spec.shuffle_seed(e)));
+    }
+
+    /// Forward pass plus output delta of rows `[lo, hi)` — the body of
+    /// `F_(e,j)`.
+    fn forward_batch(&self, slot: usize, lo: usize, hi: usize) {
+        let (images, batch_labels) = {
+            let guard = self.storages[slot].lock();
+            let ds = guard.as_ref().expect("shuffle storage empty");
+            let (images, labels) = ds.batch(lo, hi);
+            (images, labels.to_vec())
+        };
+        let mut acts = Vec::with_capacity(self.num_layers + 1);
+        acts.push(images);
+        for i in 0..self.num_layers {
+            let mut z = {
+                let w = self.weights[i].lock();
+                acts[i].matmul_bt(&w)
+            };
+            z.add_row_vector(&self.biases[i].lock());
+            activate_inplace(&mut z, i + 1 == self.num_layers);
+            acts.push(z);
+        }
+        let (delta, loss) = output_delta(acts.last().expect("nonempty"), &batch_labels);
+        *self.delta.lock() = delta;
+        *self.acts.lock() = acts;
+        *self.labels.lock() = batch_labels;
+        self.losses.lock().push(loss);
+    }
+
+    /// Gradient of layer `i` for the batch in flight — the body of
+    /// `G_(e,j,i)`.
+    fn gradient(&self, i: usize) {
+        let delta = self.delta.lock().clone();
+        let a_prev = self.acts.lock()[i].clone();
+        let (grad, dprev) = if i > 0 {
+            let w = self.weights[i].lock();
+            backward_layer_math(Some(&w), &delta, &a_prev)
+        } else {
+            backward_layer_math(None, &delta, &a_prev)
+        };
+        *self.grads[i].lock() = Some(grad);
+        if let Some(d) = dprev {
+            *self.delta.lock() = d;
+        }
+    }
+
+    /// Weight update of layer `i` — the body of `U_(e,j,i)`.
+    fn update(&self, i: usize) {
+        let grad = self.grads[i]
+            .lock()
+            .take()
+            .expect("gradient missing for update");
+        self.weights[i].lock().add_scaled(&grad.dw, -self.lr);
+        let mut bias = self.biases[i].lock();
+        for (bv, &g) in bias.iter_mut().zip(&grad.db) {
+            *bv -= self.lr * g;
+        }
     }
 
     /// Extracts the trained network (call after the DAG completed).
@@ -146,10 +220,7 @@ pub fn build_training_dag(
         let shuffle = {
             let state = Arc::clone(&state);
             let dataset = Arc::clone(&dataset);
-            let seed = spec.shuffle_seed(e);
-            dag.add(move || {
-                *state.storages[slot].lock() = Some(dataset.shuffled(seed));
-            })
+            dag.add(move || state.shuffle_epoch(&dataset, &spec, e))
         };
         // Slot reuse: wait until epoch e-k fully consumed it.
         if e >= k {
@@ -161,31 +232,7 @@ pub fn build_training_dag(
             let forward = {
                 let state = Arc::clone(&state);
                 let lo = j * b;
-                let hi = lo + b;
-                dag.add(move || {
-                    let (images, batch_labels) = {
-                        let guard = state.storages[slot].lock();
-                        let ds = guard.as_ref().expect("shuffle storage empty");
-                        let (images, labels) = ds.batch(lo, hi);
-                        (images, labels.to_vec())
-                    };
-                    let mut acts = Vec::with_capacity(state.num_layers + 1);
-                    acts.push(images);
-                    for i in 0..state.num_layers {
-                        let mut z = {
-                            let w = state.weights[i].lock();
-                            acts[i].matmul_bt(&w)
-                        };
-                        z.add_row_vector(&state.biases[i].lock());
-                        activate_inplace(&mut z, i + 1 == state.num_layers);
-                        acts.push(z);
-                    }
-                    let (delta, loss) = output_delta(acts.last().expect("nonempty"), &batch_labels);
-                    *state.delta.lock() = delta;
-                    *state.acts.lock() = acts;
-                    *state.labels.lock() = batch_labels;
-                    state.losses.lock().push(loss);
-                })
+                dag.add(move || state.forward_batch(slot, lo, lo + b))
             };
             dag.edge(shuffle, forward);
             for &u in &prev_updates {
@@ -199,36 +246,12 @@ pub fn build_training_dag(
             for i in (0..l).rev() {
                 let grad_task = {
                     let state = Arc::clone(&state);
-                    dag.add(move || {
-                        let delta = state.delta.lock().clone();
-                        let a_prev = state.acts.lock()[i].clone();
-                        let (grad, dprev) = if i > 0 {
-                            let w = state.weights[i].lock();
-                            backward_layer_math(Some(&w), &delta, &a_prev)
-                        } else {
-                            backward_layer_math(None, &delta, &a_prev)
-                        };
-                        *state.grads[i].lock() = Some(grad);
-                        if let Some(d) = dprev {
-                            *state.delta.lock() = d;
-                        }
-                    })
+                    dag.add(move || state.gradient(i))
                 };
                 dag.edge(prev_g, grad_task);
                 let update_task = {
                     let state = Arc::clone(&state);
-                    let lr = state.lr;
-                    dag.add(move || {
-                        let grad = state.grads[i]
-                            .lock()
-                            .take()
-                            .expect("gradient missing for update");
-                        state.weights[i].lock().add_scaled(&grad.dw, -lr);
-                        let mut bias = state.biases[i].lock();
-                        for (bv, &g) in bias.iter_mut().zip(&grad.db) {
-                            *bv -= lr * g;
-                        }
-                    })
+                    dag.add(move || state.update(i))
                 };
                 dag.edge(grad_task, update_task);
                 prev_updates.push(update_task);
@@ -238,6 +261,75 @@ pub fn build_training_dag(
             if j + 1 == num_batches {
                 last_forward_of_epoch.push(forward);
             }
+        }
+    }
+    (dag, state)
+}
+
+/// Builds the Figure-11 DAG for **one** epoch, designed to be frozen once
+/// and executed `epochs` times (e.g. `Taskflow::run_n`) instead of
+/// unrolling every epoch into one giant graph as [`build_training_dag`]
+/// does.
+///
+/// The shuffle task is the graph's unique source; on each execution it
+/// advances the shared epoch counter, derives that epoch's deterministic
+/// shuffle seed and storage slot (`e mod K`), and the rest of the graph
+/// reads the slot at runtime. Iterations of a reusable topology are
+/// serialized by the scheduler, which subsumes the unrolled graph's
+/// slot-reuse edges; the weights produced are bitwise identical to
+/// [`train_sequential`] and to the unrolled DAG under every scheduler.
+pub fn build_epoch_dag(
+    net: &Mlp,
+    dataset: Arc<Dataset>,
+    spec: TrainSpec,
+) -> (Dag, Arc<PipelineState>) {
+    let state = PipelineState::new(net, &spec);
+    let l = net.num_layers();
+    let b = spec.batch.max(1);
+    let num_batches = dataset.len() / b;
+    assert!(num_batches > 0, "dataset smaller than one batch");
+
+    let mut dag = Dag::with_capacity(1 + num_batches * (1 + 2 * l));
+    // E_S: the unique source; picks this execution's epoch number.
+    let shuffle = {
+        let state = Arc::clone(&state);
+        dag.add(move || {
+            let e = state.epoch.fetch_add(1, Ordering::Relaxed);
+            state.shuffle_epoch(&dataset, &spec, e);
+        })
+    };
+    let mut prev_updates: Vec<usize> = Vec::new();
+    for j in 0..num_batches {
+        let forward = {
+            let state = Arc::clone(&state);
+            let lo = j * b;
+            dag.add(move || {
+                // The slot was published by the shuffle task, which every
+                // forward transitively depends on.
+                let slot = state.slot.load(Ordering::Relaxed);
+                state.forward_batch(slot, lo, lo + b);
+            })
+        };
+        dag.edge(shuffle, forward);
+        for &u in &prev_updates {
+            dag.edge(u, forward);
+        }
+        prev_updates.clear();
+
+        let mut prev_g = forward;
+        for i in (0..l).rev() {
+            let grad_task = {
+                let state = Arc::clone(&state);
+                dag.add(move || state.gradient(i))
+            };
+            dag.edge(prev_g, grad_task);
+            let update_task = {
+                let state = Arc::clone(&state);
+                dag.add(move || state.update(i))
+            };
+            dag.edge(grad_task, update_task);
+            prev_updates.push(update_task);
+            prev_g = grad_task;
         }
     }
     (dag, state)
@@ -327,11 +419,12 @@ mod tests {
         train_sequential(&mut oracle, &data, spec);
         let data = Arc::new(data);
 
-        // rustflow
+        // rustflow: the single-epoch DAG is frozen once and re-armed per
+        // epoch, instead of unrolling every epoch into the graph.
         let net = Mlp::new(&arch, 11);
-        let (dag, state) = build_training_dag(&net, Arc::clone(&data), spec);
+        let (dag, state) = build_epoch_dag(&net, Arc::clone(&data), spec);
         let ex = Executor::new(4);
-        tf_workloads_run_rustflow(&dag, &ex);
+        run_rustflow_n(&dag, &ex, spec.epochs as u64);
         let rf = state.to_mlp(&arch);
 
         // flow graph
@@ -360,8 +453,9 @@ mod tests {
     }
 
     /// Minimal local copy of the rustflow adapter (tf-workloads depends on
-    /// this crate's siblings, not vice versa).
-    fn tf_workloads_run_rustflow(dag: &Dag, ex: &Arc<Executor>) {
+    /// this crate's siblings, not vice versa): builds the taskflow once
+    /// and executes it `n` times via the reusable-topology path.
+    fn run_rustflow_n(dag: &Dag, ex: &Arc<Executor>, n: u64) {
         let tf = rustflow::Taskflow::with_executor(Arc::clone(ex));
         let tasks: Vec<rustflow::Task<'_>> = (0..dag.len())
             .map(|v| {
@@ -374,7 +468,34 @@ mod tests {
                 tasks[v].precede(tasks[s as usize]);
             }
         }
-        tf.wait_for_all();
+        tf.run_n(n).get().expect("training run failed");
+    }
+
+    #[test]
+    fn epoch_dag_iterated_matches_plain_sgd() {
+        let data = synthetic_mnist(200, 2);
+        let spec = small_spec(4);
+        let arch = [784, 12, 10];
+
+        let mut oracle = Mlp::new(&arch, 7);
+        let oracle_losses = train_sequential(&mut oracle, &data, spec);
+
+        // Sequential execution of the single-epoch DAG, `epochs` times —
+        // the structure is built once, only the state re-arms.
+        let net = Mlp::new(&arch, 7);
+        let (dag, state) = build_epoch_dag(&net, Arc::new(data), spec);
+        for _ in 0..spec.epochs {
+            dag.run_sequential();
+        }
+        let trained = state.to_mlp(&arch);
+
+        assert_eq!(state.losses(), oracle_losses);
+        for (w1, w2) in trained.weights.iter().zip(&oracle.weights) {
+            assert_eq!(w1, w2, "weights diverged");
+        }
+        for (b1, b2) in trained.biases.iter().zip(&oracle.biases) {
+            assert_eq!(b1, b2, "biases diverged");
+        }
     }
 
     #[test]
@@ -391,9 +512,9 @@ mod tests {
         let net = Mlp::new(&arch, 21);
         let (images, labels) = data.batch(0, 400);
         let before = net.accuracy(&images, labels);
-        let (dag, state) = build_training_dag(&net, Arc::new(data.clone()), spec);
+        let (dag, state) = build_epoch_dag(&net, Arc::new(data.clone()), spec);
         let ex = Executor::new(2);
-        tf_workloads_run_rustflow(&dag, &ex);
+        run_rustflow_n(&dag, &ex, spec.epochs as u64);
         let after = state.to_mlp(&arch).accuracy(&images, labels);
         assert!(after > before.max(0.5), "no learning: {before} -> {after}");
     }

@@ -30,6 +30,48 @@ pub fn run_rustflow(dag: &Dag, executor: &Arc<Executor>) {
     tf.wait_for_all();
 }
 
+/// A [`Dag`] frozen once into a rustflow [`Taskflow`] for repeated
+/// execution: construction (emplace + precede) is paid a single time in
+/// [`ReusableRustflow::new`], and every [`ReusableRustflow::run_n`] batch
+/// re-arms the same topology instead of rebuilding it — the reusable-
+/// topology counterpart of [`run_rustflow`], for iterative workloads
+/// (training epochs, timing-driven loops) where per-iteration graph
+/// construction would dominate.
+pub struct ReusableRustflow {
+    tf: Taskflow,
+}
+
+impl ReusableRustflow {
+    /// Builds the taskflow for `dag` (one task per node, one `precede` per
+    /// edge) without executing anything.
+    pub fn new(dag: &Dag, executor: &Arc<Executor>) -> ReusableRustflow {
+        let tf = Taskflow::with_executor(Arc::clone(executor));
+        let tasks: Vec<rustflow::Task<'_>> = (0..dag.len())
+            .map(|v| {
+                let payload = dag.payload_of(v);
+                tf.emplace(move || payload())
+            })
+            .collect();
+        for v in 0..dag.len() {
+            for &s in dag.successors_of(v) {
+                tasks[v].precede(tasks[s as usize]);
+            }
+        }
+        ReusableRustflow { tf }
+    }
+
+    /// Executes the frozen graph `n` times (iterations serialized, batch
+    /// FIFO) and blocks until the batch completes.
+    pub fn run_n(&self, n: u64) -> rustflow::RunResult {
+        self.tf.run_n(n).get()
+    }
+
+    /// Total iterations executed across every batch so far.
+    pub fn iterations(&self) -> u64 {
+        self.tf.num_iterations()
+    }
+}
+
 /// Executes `dag` on the TBB-FlowGraph-style baseline: builds the node /
 /// edge structure, `try_put`s every source, and waits.
 pub fn run_flowgraph(dag: &Dag, pool: &Pool) {
@@ -80,6 +122,36 @@ mod tests {
         let pool = Pool::new(4);
         run_levelized(&dag, &pool);
         assert_eq!(sink.value(), expected);
+    }
+
+    #[test]
+    fn reusable_adapter_runs_the_same_graph_repeatedly() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc as StdArc;
+
+        // A small diamond whose tasks count executions: three batches over
+        // the same frozen structure must run every task 1 + 2 + 4 times.
+        let counter = StdArc::new(AtomicUsize::new(0));
+        let mut dag = Dag::with_capacity(4);
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            let c = StdArc::clone(&counter);
+            ids.push(dag.add(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        dag.edge(ids[0], ids[1]);
+        dag.edge(ids[0], ids[2]);
+        dag.edge(ids[1], ids[3]);
+        dag.edge(ids[2], ids[3]);
+
+        let ex = Executor::new(4);
+        let reusable = ReusableRustflow::new(&dag, &ex);
+        for (batch, expected) in [(1u64, 4), (2, 12), (4, 28)] {
+            reusable.run_n(batch).expect("batch failed");
+            assert_eq!(counter.load(Ordering::Relaxed), expected);
+        }
+        assert_eq!(reusable.iterations(), 7);
     }
 
     #[test]
