@@ -1,0 +1,233 @@
+//! A minimal strict JSON parser with path accessors — enough to read the
+//! profiler's committed baseline and reports without pulling in a
+//! dependency (the harness is dependency-free by design).
+
+/// A parsed JSON value.
+#[derive(Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(items) => items.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value truncated to `u64`, if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().map(|n| n as u64)
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` as one strict JSON document.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    let v = value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => obj(b, i),
+        Some(b'[') => arr(b, i),
+        Some(b'"') => Ok(Value::Str(string(b, i)?)),
+        Some(b't') => lit(b, i, "true", Value::Bool(true)),
+        Some(b'f') => lit(b, i, "false", Value::Bool(false)),
+        Some(b'n') => lit(b, i, "null", Value::Null),
+        Some(_) => num(b, i),
+        None => Err("unexpected end".into()),
+    }
+}
+
+fn lit(b: &[u8], i: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+    if b[*i..].starts_with(word.as_bytes()) {
+        *i += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at {i}"))
+    }
+}
+
+fn num(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    let start = *i;
+    while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *i += 1;
+    }
+    std::str::from_utf8(&b[start..*i])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(Value::Num)
+        .ok_or_else(|| format!("bad number at {start}"))
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    if b[*i] != b'"' {
+        return Err(format!("expected string at {i}"));
+    }
+    *i += 1;
+    let mut out = String::new();
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = std::str::from_utf8(&b[*i + 1..*i + 5])
+                            .map_err(|_| "bad \\u".to_string())?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u".to_string())?;
+                        out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at {i}")),
+                }
+                *i += 1;
+            }
+            c if c < 0x20 => return Err(format!("raw control char at {i}")),
+            _ => {
+                // Consume one UTF-8 scalar.
+                let s = std::str::from_utf8(&b[*i..]).map_err(|_| "bad utf8".to_string())?;
+                let ch = s.chars().next().ok_or("end")?;
+                out.push(ch);
+                *i += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn arr(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    *i += 1; // [
+    let mut items = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(value(b, i)?);
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected , or ] at {i}")),
+        }
+    }
+}
+
+fn obj(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    *i += 1; // {
+    let mut items = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(Value::Obj(items));
+    }
+    loop {
+        skip_ws(b, i);
+        let key = string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected : at {i}"));
+        }
+        *i += 1;
+        items.push((key, value(b, i)?));
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(Value::Obj(items));
+            }
+            _ => return Err(format!("expected , or }} at {i}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_navigates() {
+        let v = parse(r#"{"a": [1, 2.5, "x"], "b": {"c": true}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+}

@@ -13,6 +13,8 @@
 //! | `table3` | Table III — software costs of the DNN implementations |
 //! | `fig11` | Figure 11 — the DNN task decomposition (DOT) |
 //! | `fig12` | Figure 12 — DNN training runtimes (epoch & thread sweeps) |
+//! | `reuse` | rebuild-vs-reuse cost of iterative graphs (beyond the paper) |
+//! | `profile` | causal work/span profile + CI perf-regression gate (beyond the paper) |
 //!
 //! Criterion micro-benches (`benches/`) cover per-task scheduling
 //! overhead, algorithm primitives, and the Algorithm-1 ablations.
@@ -21,6 +23,7 @@
 
 pub mod harness;
 pub mod impls;
+pub mod json;
 
 #[cfg(test)]
 mod impl_tests {

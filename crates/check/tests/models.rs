@@ -117,7 +117,9 @@ fn ev(ts: u64) -> SchedEvent {
         worker: 0,
         ts_us: ts,
         label: TaskLabel::new("e"),
-        kind: SchedEventKind::TaskEntry,
+        kind: SchedEventKind::TaskBegin {
+            span: Default::default(),
+        },
     }
 }
 

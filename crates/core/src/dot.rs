@@ -66,6 +66,128 @@ pub(crate) unsafe fn graph_to_dot_annotated(
     out
 }
 
+/// Renders `graph` to DOT annotated with a profile: nodes heat-colored by
+/// their share of total execution time (white → red) and labeled with
+/// their aggregate timing, critical-path edges of the most recent
+/// iteration drawn bold red. Critical-path hops that are not structural
+/// edges (subflow spawn/join hops) are added as dashed red edges.
+///
+/// # Safety
+/// Same contract as [`graph_to_dot`].
+pub(crate) unsafe fn graph_to_dot_profiled(
+    graph: &Graph,
+    name: &str,
+    report: &crate::profile::ProfileReport,
+) -> String {
+    // Per-node totals for the heat scale (static nodes only carry ids).
+    let mut totals: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut max_total = 1u64;
+    for n in &report.nodes {
+        if let Some(id) = n.id {
+            totals.insert(id, (n.total_us, n.count));
+            max_total = max_total.max(n.total_us);
+        }
+    }
+    let critical: std::collections::HashSet<(u64, u64)> =
+        report.critical_edges.iter().copied().collect();
+    let mut out = String::with_capacity(256 + graph.len() * 64);
+    out.push_str(&format!("digraph {} {{\n", sanitize(name)));
+    out.push_str("  node [style=filled];\n");
+    let mut emitted: std::collections::HashSet<(u64, u64)> = std::collections::HashSet::new();
+    // SAFETY: forwarding the caller's quiescence guarantee.
+    unsafe {
+        emit_graph_profiled(
+            graph,
+            &mut out,
+            1,
+            &mut 0,
+            &totals,
+            max_total,
+            &critical,
+            &mut emitted,
+        )
+    };
+    // Critical hops with no structural edge (spawn/join through a subflow).
+    for &(from, to) in &critical {
+        if !emitted.contains(&(from, to)) {
+            out.push_str(&format!(
+                "  n{from:x} -> n{to:x} [color=red, penwidth=2, style=dashed, constraint=false];\n"
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+unsafe fn emit_graph_profiled(
+    graph: &Graph,
+    out: &mut String,
+    depth: usize,
+    cluster: &mut usize,
+    totals: &HashMap<u64, (u64, u64)>,
+    max_total: u64,
+    critical: &std::collections::HashSet<(u64, u64)>,
+    emitted: &mut std::collections::HashSet<(u64, u64)>,
+) {
+    let pad = "  ".repeat(depth);
+    for node in &graph.nodes {
+        let n: &Node = node;
+        let key = n as *const Node as RawNode;
+        let id = key as u64;
+        // SAFETY: quiescent phase per the caller's contract.
+        let label = unsafe { node_label(n) };
+        let (heat, timing) = match totals.get(&id) {
+            Some(&(total, count)) => (
+                total as f64 / max_total as f64,
+                format!("\\n{total}us / {count}x"),
+            ),
+            None => (0.0, String::new()),
+        };
+        // White → red on the GraphViz HSV wheel: hue 0, saturation = heat.
+        out.push_str(&format!(
+            "{pad}{} [label=\"{label}{timing}\", fillcolor=\"0.0 {heat:.3} 1.0\"];\n",
+            node_id(n)
+        ));
+        // SAFETY: quiescent phase; successor pointers target live boxed nodes.
+        for &succ in unsafe { n.structure.successors.get() }.iter() {
+            let edge = (id, succ as u64);
+            emitted.insert(edge);
+            let attrs = if critical.contains(&edge) {
+                " [color=red, penwidth=2]"
+            } else {
+                ""
+            };
+            // SAFETY: `succ` is a stable boxed-node address (see Graph).
+            let succ_id = node_id(unsafe { &*succ });
+            out.push_str(&format!("{pad}{} -> {succ_id}{attrs};\n", node_id(n)));
+        }
+        // SAFETY: quiescent phase per the caller's contract.
+        let sub = unsafe { n.state.subgraph.get() };
+        if !sub.is_empty() {
+            *cluster += 1;
+            out.push_str(&format!("{pad}subgraph cluster_{} {{\n", *cluster));
+            out.push_str(&format!(
+                "{pad}  label=\"Subflow_{label}\";\n{pad}  style=dashed;\n"
+            ));
+            // SAFETY: forwarding the caller's quiescence guarantee.
+            unsafe {
+                emit_graph_profiled(
+                    sub,
+                    out,
+                    depth + 1,
+                    cluster,
+                    totals,
+                    max_total,
+                    critical,
+                    emitted,
+                )
+            };
+            out.push_str(&format!("{pad}}}\n"));
+        }
+    }
+}
+
 unsafe fn emit_graph(
     graph: &Graph,
     out: &mut String,

@@ -355,7 +355,7 @@ fn advance_topology(inner: &Inner, topo: &Topology, iteration_finished: bool) {
             unsafe {
                 topo.begin_iteration(|sources| {
                     notify_observers(inner, |ob| {
-                        ob.on_topology_start(topo.run_id(), topo.num_static_nodes())
+                        ob.on_topology_start(topo.iteration_info(), topo.num_static_nodes())
                     });
                     let k = sources.len();
                     inner.injector.lock().extend(sources.iter().copied());
@@ -579,14 +579,23 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
     // worker; the node's topology (and thus the node) is kept alive by
     // `inner.running` until every node completed.
     unsafe {
+        let topo = &*(*(*node).state.topology.get());
         let observed = inner.has_observers.load(Ordering::Acquire);
-        if observed {
+        // Span identity is built only when somebody is listening; the
+        // zero-observer hot path pays the single Acquire load and nothing
+        // else. Node and parent addresses are stable for the iteration,
+        // and the run id cannot change while this node is alive.
+        let span = observed.then(|| crate::observer::TaskSpanInfo {
+            node: node as u64,
+            parent: (*(*node).state.parent.get()) as u64,
+            run: topo.run_id(),
+        });
+        if let Some(span) = span {
             let label = (*node).label();
             for ob in inner.observers.read().iter() {
-                ob.on_entry(ctx.id, label);
+                ob.on_task_begin(ctx.id, label, span);
             }
         }
-        let topo = &*(*(*node).state.topology.get());
         let mut deferred = false;
         match (*node).structure.work.get_mut() {
             Work::Empty => {}
@@ -609,10 +618,10 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
                 deferred = spawn_subflow(inner, ctx, node, sf.is_detached());
             }
         }
-        if observed {
+        if let Some(span) = span {
             let label = (*node).label();
             for ob in inner.observers.read().iter() {
-                ob.on_exit(ctx.id, label);
+                ob.on_task_end(ctx.id, label, span);
             }
         }
         if deferred {
@@ -745,6 +754,6 @@ fn finalize(inner: &Inner, topo_ptr: *const Topology) {
     // transitions it to idle (inside `advance_topology` below), so the
     // pointer is live for this whole call.
     let topo = unsafe { &*topo_ptr };
-    notify_observers(inner, |ob| ob.on_topology_stop(topo.run_id()));
+    notify_observers(inner, |ob| ob.on_topology_stop(topo.iteration_info()));
     advance_topology(inner, topo, true);
 }

@@ -62,6 +62,7 @@ mod graph;
 mod label;
 mod notifier;
 mod observer;
+pub mod profile;
 #[cfg(feature = "rustflow_check")]
 mod rearm_model;
 mod ring;
@@ -90,10 +91,12 @@ pub use executor::{Executor, ExecutorBuilder};
 pub use future::{Promise, SharedFuture};
 pub use label::TaskLabel;
 pub use observer::{
-    BusyCounter, ExecutorObserver, SchedEvent, SchedEventKind, TraceEvent, Tracer, DISPATCH_LANE,
+    BusyCounter, ExecutorObserver, IterationInfo, SchedEvent, SchedEventKind, TaskSpanInfo,
+    TopologyAgg, TopologyRollup, TraceEvent, Tracer, DISPATCH_LANE, SCHED_EVENT_SCHEMA_VERSION,
 };
+pub use profile::{GraphSnapshot, ProfileReport, PROFILE_SCHEMA_VERSION};
 pub use shared_vec::SharedVec;
-pub use stats::{ExecutorStats, WorkerStats};
+pub use stats::{escape_label_value, ExecutorStats, Histogram, WorkerStats};
 pub use subflow::Subflow;
 pub use task::{Task, TaskSet};
 pub use taskflow::Taskflow;

@@ -20,6 +20,47 @@ use std::time::Instant;
 /// (topology dispatch runs on the caller's thread).
 pub const DISPATCH_LANE: usize = usize::MAX;
 
+/// Version of the ring event schema ([`SchedEventKind`] and its payloads).
+///
+/// * **v1** — task entry/exit events carried only the worker id and label.
+/// * **v2** — task begin/end events carry the node id, spawning parent,
+///   and per-iteration run id ([`TaskSpanInfo`]); topology dispatch and
+///   finalize events carry the stable topology uid and iteration index
+///   ([`IterationInfo`]). This is what lets [`crate::profile`] stitch the
+///   per-worker rings back into the executed DAG schedule.
+pub const SCHED_EVENT_SCHEMA_VERSION: u32 = 2;
+
+/// Identity of one task execution, attached to task begin/end events.
+///
+/// `node` is the address of the executed graph node: stable across
+/// iterations for static nodes (the structure/state split re-arms the same
+/// boxed nodes), fresh per iteration for dynamically spawned subflow
+/// children (their subgraph is rebuilt every iteration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskSpanInfo {
+    /// Stable id of the executed node (its address).
+    pub node: u64,
+    /// Id of the spawning parent for *joined* subflow children; `0` for
+    /// top-level and detached nodes.
+    pub parent: u64,
+    /// Run id of the iteration this execution belongs to (matches
+    /// [`IterationInfo::run`]).
+    pub run: u64,
+}
+
+/// Identity of one topology iteration, attached to dispatch/finalize
+/// events and passed to the topology observer hooks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IterationInfo {
+    /// Globally unique id of this iteration (fresh per re-arm).
+    pub run: u64,
+    /// Stable id of the topology, shared by every iteration of every
+    /// `run`/`run_n`/`run_until` batch on the same frozen graph.
+    pub topology: u64,
+    /// 0-based index of this iteration within the topology's life.
+    pub iteration: u64,
+}
+
 /// What happened, for one [`SchedEvent`].
 ///
 /// The variants mirror Algorithm 1 of the paper: task execution (lines
@@ -29,10 +70,19 @@ pub const DISPATCH_LANE: usize = usize::MAX;
 /// dispatch/finalize (§III-C).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchedEventKind {
-    /// A worker is about to invoke a task's callable.
-    TaskEntry,
-    /// The task's callable returned (or panicked; the exit still fires).
-    TaskExit,
+    /// A worker is about to invoke a task's callable (schema v2: carries
+    /// the node identity so spans can be joined to the graph structure).
+    TaskBegin {
+        /// Identity of the execution (node, parent, run).
+        span: TaskSpanInfo,
+    },
+    /// The task's callable returned (or panicked; the end still fires).
+    TaskEnd {
+        /// Identity of the execution (matches its [`TaskBegin`] event).
+        ///
+        /// [`TaskBegin`]: SchedEventKind::TaskBegin
+        span: TaskSpanInfo,
+    },
     /// The next task came from the worker's exclusive cache slot — a
     /// linear-chain step that touched no queue.
     CacheHit,
@@ -57,18 +107,18 @@ pub enum SchedEventKind {
     },
     /// A topology iteration was dispatched to the executor. A reusable
     /// topology driven by `run_n`/`run_until` emits one dispatch event per
-    /// iteration, each with a fresh id.
+    /// iteration, each with a fresh run id but the same stable topology id.
     TopologyDispatch {
-        /// Unique id of the iteration (see [`SchedEvent::worker`] note:
-        /// dispatch events carry [`DISPATCH_LANE`]).
-        topology: u64,
+        /// Identity of the iteration (dispatch events carry
+        /// [`DISPATCH_LANE`] in [`SchedEvent::worker`]).
+        info: IterationInfo,
         /// Number of top-level tasks in the dispatched graph.
         tasks: usize,
     },
     /// The last task of a topology iteration completed.
     TopologyFinalize {
-        /// Unique id of the iteration (matches its dispatch event).
-        topology: u64,
+        /// Identity of the iteration (matches its dispatch event).
+        info: IterationInfo,
     },
 }
 
@@ -101,6 +151,19 @@ pub trait ExecutorObserver: Send + Sync {
     /// Called by worker `worker` immediately after a task returns (also
     /// fires when the task panicked).
     fn on_exit(&self, _worker: usize, _label: &TaskLabel) {}
+    /// Called by worker `worker` immediately before invoking a task, with
+    /// the execution's identity (node, spawning parent, run id). The
+    /// default forwards to [`ExecutorObserver::on_entry`], so observers
+    /// that do not care about identity keep implementing the plain hook.
+    fn on_task_begin(&self, worker: usize, label: &TaskLabel, _span: TaskSpanInfo) {
+        self.on_entry(worker, label);
+    }
+    /// Called by worker `worker` immediately after a task returns (also
+    /// fires on panic), with the execution's identity. The default
+    /// forwards to [`ExecutorObserver::on_exit`].
+    fn on_task_end(&self, worker: usize, label: &TaskLabel, _span: TaskSpanInfo) {
+        self.on_exit(worker, label);
+    }
     /// Called when `worker` pulls its next task from the exclusive cache
     /// slot (speculative linear-chain execution; no queue traffic).
     fn on_cache_hit(&self, _worker: usize, _label: &TaskLabel) {}
@@ -121,12 +184,13 @@ pub trait ExecutorObserver: Send + Sync {
     /// Called when an iteration of a topology with `num_tasks` top-level
     /// tasks is handed to the executor — on the submitting thread for the
     /// first iteration of a batch, on the re-arming worker for later
-    /// iterations of a reused topology. `topology` is a fresh id per
-    /// iteration, so runs of the same graph can be told apart in traces.
-    fn on_topology_start(&self, _topology: u64, _num_tasks: usize) {}
+    /// iterations of a reused topology. `info.run` is a fresh id per
+    /// iteration; `info.topology` is stable across every iteration of the
+    /// same frozen graph, so roll-ups can survive re-arms.
+    fn on_topology_start(&self, _info: IterationInfo, _num_tasks: usize) {}
     /// Called by the finalizing worker when an iteration's last task
-    /// completed; the id matches the iteration's `on_topology_start`.
-    fn on_topology_stop(&self, _topology: u64) {}
+    /// completed; `info` matches the iteration's `on_topology_start`.
+    fn on_topology_stop(&self, _info: IterationInfo) {}
 }
 
 /// Counts workers that are currently executing a task; sampling it over
@@ -161,6 +225,79 @@ impl ExecutorObserver for BusyCounter {
     fn on_exit(&self, _worker: usize, _label: &TaskLabel) {
         self.busy.fetch_sub(1, Ordering::Relaxed);
         self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Aggregated activity of one topology across every iteration and batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TopologyAgg {
+    /// Stable topology id ([`IterationInfo::topology`]).
+    pub topology: u64,
+    /// Iterations dispatched (`on_topology_start` calls).
+    pub dispatched: u64,
+    /// Iterations completed (`on_topology_stop` calls).
+    pub completed: u64,
+    /// Sum of top-level task counts across every dispatched iteration.
+    pub tasks_dispatched: u64,
+    /// Run id of the first observed iteration.
+    pub first_run: u64,
+    /// Run id of the most recently observed iteration.
+    pub last_run: u64,
+}
+
+/// Rolls per-iteration topology events up into per-*topology* aggregates
+/// that survive re-arms.
+///
+/// Each `run_n` iteration carries a fresh run id, so a consumer keying on
+/// that id sees `n` unrelated topologies for one reused graph. This
+/// observer keys on the stable [`IterationInfo::topology`] instead: every
+/// iteration of every batch on the same frozen graph folds into a single
+/// [`TopologyAgg`].
+#[derive(Default)]
+pub struct TopologyRollup {
+    inner: Mutex<std::collections::HashMap<u64, TopologyAgg>>,
+}
+
+impl TopologyRollup {
+    /// Creates an empty roll-up.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The aggregate for topology `uid`, if any iteration was observed.
+    pub fn get(&self, uid: u64) -> Option<TopologyAgg> {
+        self.inner.lock().get(&uid).cloned()
+    }
+
+    /// Every observed topology's aggregate, ordered by topology id.
+    pub fn topologies(&self) -> Vec<TopologyAgg> {
+        let mut v: Vec<TopologyAgg> = self.inner.lock().values().cloned().collect();
+        v.sort_by_key(|a| a.topology);
+        v
+    }
+}
+
+impl ExecutorObserver for TopologyRollup {
+    fn on_topology_start(&self, info: IterationInfo, num_tasks: usize) {
+        let mut map = self.inner.lock();
+        let agg = map.entry(info.topology).or_insert_with(|| TopologyAgg {
+            topology: info.topology,
+            first_run: info.run,
+            ..TopologyAgg::default()
+        });
+        agg.dispatched += 1;
+        agg.tasks_dispatched += num_tasks as u64;
+        agg.last_run = info.run;
+    }
+    fn on_topology_stop(&self, info: IterationInfo) {
+        let mut map = self.inner.lock();
+        let agg = map.entry(info.topology).or_insert_with(|| TopologyAgg {
+            topology: info.topology,
+            first_run: info.run,
+            ..TopologyAgg::default()
+        });
+        agg.completed += 1;
+        agg.last_run = info.run;
     }
 }
 
@@ -237,12 +374,24 @@ impl Tracer {
     #[inline]
     fn record(&self, worker: usize, label: TaskLabel, kind: SchedEventKind) {
         let lane = worker.min(self.lanes.len() - 1);
-        self.lanes[lane].push(SchedEvent {
+        let event = SchedEvent {
             worker,
             ts_us: self.now_us(),
             label,
             kind,
-        });
+        };
+        if let Err(event) = self.lanes[lane].try_push(event) {
+            // Full ring: drain everything into the archive and retry once,
+            // so an overflowing lane degrades into a one-off collect (a
+            // short stall for this worker) instead of silently losing the
+            // event — final task-end events in particular must stay
+            // visible to readers (`Tracer::collect` on finalize relies on
+            // this too).
+            self.collect();
+            if let Err(_lost) = self.lanes[lane].try_push(event) {
+                self.lanes[lane].note_drop();
+            }
+        }
     }
 
     /// Drains every lane into the internal archive and re-sorts it by
@@ -267,6 +416,15 @@ impl Tracer {
         self.archive.lock().clone()
     }
 
+    /// Events already flushed to the archive, **without** draining the
+    /// lane rings first. Topology finalize flushes implicitly, so after a
+    /// run resolves this view already holds the iteration's final
+    /// task-end — a reader never observes a truncated schedule even if
+    /// the executor is dropped right after.
+    pub fn archived_events(&self) -> Vec<SchedEvent> {
+        self.archive.lock().clone()
+    }
+
     /// Drains the recorded events, paired into one [`TraceEvent`] per
     /// task execution. Non-task events (steals, parks, wakes…) are
     /// dropped by this compatibility view; use [`Tracer::sched_events`]
@@ -279,10 +437,10 @@ impl Tracer {
         let mut out = Vec::new();
         for e in drained {
             match e.kind {
-                SchedEventKind::TaskEntry => {
+                SchedEventKind::TaskBegin { .. } => {
                     open.entry(e.worker).or_default().push((e.label, e.ts_us));
                 }
-                SchedEventKind::TaskExit => {
+                SchedEventKind::TaskEnd { .. } => {
                     let matched = open.get_mut(&e.worker).and_then(|v| v.pop());
                     let (label, begin) = matched.unwrap_or((e.label, e.ts_us));
                     out.push(TraceEvent {
@@ -337,10 +495,10 @@ impl Tracer {
         for (i, e) in archive.iter().enumerate() {
             let t = tid(e.worker);
             match &e.kind {
-                SchedEventKind::TaskEntry => {
+                SchedEventKind::TaskBegin { .. } => {
                     open.entry(e.worker).or_default().push((i, e.ts_us));
                 }
-                SchedEventKind::TaskExit => {
+                SchedEventKind::TaskEnd { .. } => {
                     let (bi, begin) = open
                         .get_mut(&e.worker)
                         .and_then(|v| v.pop())
@@ -401,16 +559,16 @@ impl Tracer {
                         e.ts_us, t, woken, targeted
                     ));
                 }
-                SchedEventKind::TopologyDispatch { topology, tasks } => {
+                SchedEventKind::TopologyDispatch { info, tasks } => {
                     emit(&format!(
-                        "{{\"name\":\"topology-dispatch\",\"cat\":\"topology\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"topology\":{},\"tasks\":{}}}}}",
-                        e.ts_us, t, topology, tasks
+                        "{{\"name\":\"topology-dispatch\",\"cat\":\"topology\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"topology\":{},\"run\":{},\"iteration\":{},\"tasks\":{}}}}}",
+                        e.ts_us, t, info.topology, info.run, info.iteration, tasks
                     ));
                 }
-                SchedEventKind::TopologyFinalize { topology } => {
+                SchedEventKind::TopologyFinalize { info } => {
                     emit(&format!(
-                        "{{\"name\":\"topology-finalize\",\"cat\":\"topology\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"topology\":{}}}}}",
-                        e.ts_us, t, topology
+                        "{{\"name\":\"topology-finalize\",\"cat\":\"topology\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"topology\":{},\"run\":{},\"iteration\":{}}}}}",
+                        e.ts_us, t, info.topology, info.run, info.iteration
                     ));
                 }
             }
@@ -422,10 +580,18 @@ impl Tracer {
 
 impl ExecutorObserver for Tracer {
     fn on_entry(&self, worker: usize, label: &TaskLabel) {
-        self.record(worker, label.clone(), SchedEventKind::TaskEntry);
+        // Identity-less compatibility path (direct calls, custom drivers);
+        // the executor always uses `on_task_begin`.
+        self.on_task_begin(worker, label, TaskSpanInfo::default());
     }
     fn on_exit(&self, worker: usize, label: &TaskLabel) {
-        self.record(worker, label.clone(), SchedEventKind::TaskExit);
+        self.on_task_end(worker, label, TaskSpanInfo::default());
+    }
+    fn on_task_begin(&self, worker: usize, label: &TaskLabel, span: TaskSpanInfo) {
+        self.record(worker, label.clone(), SchedEventKind::TaskBegin { span });
+    }
+    fn on_task_end(&self, worker: usize, label: &TaskLabel, span: TaskSpanInfo) {
+        self.record(worker, label.clone(), SchedEventKind::TaskEnd { span });
     }
     fn on_cache_hit(&self, worker: usize, label: &TaskLabel) {
         self.record(worker, label.clone(), SchedEventKind::CacheHit);
@@ -449,22 +615,26 @@ impl ExecutorObserver for Tracer {
             SchedEventKind::Wake { woken, targeted },
         );
     }
-    fn on_topology_start(&self, topology: u64, num_tasks: usize) {
+    fn on_topology_start(&self, info: IterationInfo, num_tasks: usize) {
         self.record(
             DISPATCH_LANE,
             TaskLabel::empty(),
             SchedEventKind::TopologyDispatch {
-                topology,
+                info,
                 tasks: num_tasks,
             },
         );
     }
-    fn on_topology_stop(&self, topology: u64) {
+    fn on_topology_stop(&self, info: IterationInfo) {
         self.record(
             DISPATCH_LANE,
             TaskLabel::empty(),
-            SchedEventKind::TopologyFinalize { topology },
+            SchedEventKind::TopologyFinalize { info },
         );
+        // Flush on finalize: a reader holding only the archive (e.g. an
+        // exporter racing `Executor::drop`) must see every event of the
+        // iteration that just ended, including its last task-end.
+        self.collect();
     }
 }
 
@@ -534,18 +704,21 @@ mod tests {
         t.on_park(1);
         t.on_wake(0, 1, true);
         t.on_cache_hit(0, &label("c"));
-        t.on_topology_start(7, 3);
-        t.on_topology_stop(7);
+        let info = IterationInfo {
+            run: 7,
+            topology: 1,
+            iteration: 0,
+        };
+        t.on_topology_start(info, 3);
+        t.on_topology_stop(info);
         let events = t.sched_events();
         assert_eq!(events.len(), 8);
         assert!(events
             .iter()
             .any(|e| e.kind == SchedEventKind::Steal { victim: 0 }));
-        assert!(events.iter().any(|e| e.kind
-            == SchedEventKind::TopologyDispatch {
-                topology: 7,
-                tasks: 3
-            }));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == SchedEventKind::TopologyDispatch { info, tasks: 3 }));
         // The compat view keeps only task executions.
         assert!(t.take_events().is_empty());
     }
@@ -599,13 +772,43 @@ mod tests {
     }
 
     #[test]
-    fn dropped_counts_overflow() {
+    fn overflow_flushes_to_archive_instead_of_dropping() {
+        // Pre-PR4 behavior: events 9..20 were silently discarded. The
+        // record path now drains the full lane into the archive and
+        // retries, so a burst larger than the ring survives intact.
         let t = Tracer::with_capacity(1, 8);
         for _ in 0..20 {
             t.on_park(0);
         }
-        assert_eq!(t.dropped(), 12);
-        assert_eq!(t.sched_events().len(), 8);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.sched_events().len(), 20);
+    }
+
+    #[test]
+    fn rollup_folds_iterations_of_one_topology() {
+        let r = TopologyRollup::new();
+        for iteration in 0..5 {
+            // Fresh run id per iteration, stable topology uid — exactly
+            // what the executor reports for `run_n(5)`.
+            let info = IterationInfo {
+                run: 100 + iteration,
+                topology: 42,
+                iteration,
+            };
+            r.on_topology_start(info, 3);
+            r.on_topology_stop(info);
+        }
+        let aggs = r.topologies();
+        assert_eq!(aggs.len(), 1, "5 iterations roll up into 1 topology");
+        let agg = &aggs[0];
+        assert_eq!(agg.topology, 42);
+        assert_eq!(agg.dispatched, 5);
+        assert_eq!(agg.completed, 5);
+        assert_eq!(agg.tasks_dispatched, 15);
+        assert_eq!(agg.first_run, 100);
+        assert_eq!(agg.last_run, 104);
+        assert_eq!(r.get(42).unwrap(), aggs[0]);
+        assert!(r.get(7).is_none());
     }
 
     #[test]

@@ -80,7 +80,26 @@ impl EventRing {
     }
 
     /// Records `event`; returns `false` (and counts the drop) when full.
+    ///
+    /// The tracer records through [`EventRing::try_push`] +
+    /// [`EventRing::note_drop`] so it can drain and retry in between; this
+    /// single-call form serves the model-checker harness and tests.
+    #[cfg_attr(not(feature = "rustflow_check"), allow(dead_code))]
     pub fn push(&self, event: SchedEvent) -> bool {
+        match self.try_push(event) {
+            Ok(()) => true,
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Records `event`; on a full ring returns it to the caller without
+    /// counting a drop, so the caller can drain and retry (the tracer's
+    /// overflow-flush path) before deciding the event is truly lost
+    /// ([`EventRing::note_drop`]).
+    pub fn try_push(&self, event: SchedEvent) -> Result<(), SchedEvent> {
         let mut pos = self.head.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
@@ -99,18 +118,23 @@ impl EventRing {
                         // ownership of the slot until the seq store below.
                         unsafe { slot.value.with_mut(|p| (*p).write(event)) };
                         slot.seq.store(pos.wrapping_add(1), SEQ_PUBLISH);
-                        return true;
+                        return Ok(());
                     }
                     Err(now) => pos = now,
                 }
             } else if dif < 0 {
                 // Lapped: the ring is full.
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-                return false;
+                return Err(event);
             } else {
                 pos = self.head.load(Ordering::Relaxed);
             }
         }
+    }
+
+    /// Counts one discarded event (used after a failed retry of
+    /// [`EventRing::try_push`]).
+    pub fn note_drop(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Pops the oldest event, if any.
@@ -171,7 +195,9 @@ mod tests {
             worker: 0,
             ts_us: ts,
             label: TaskLabel::new("e"),
-            kind: SchedEventKind::TaskEntry,
+            kind: SchedEventKind::TaskBegin {
+                span: Default::default(),
+            },
         }
     }
 

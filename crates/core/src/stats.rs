@@ -7,6 +7,13 @@
 //! snapshot ([`ExecutorStats::delta`]) and rendered in the Prometheus
 //! text exposition format ([`ExecutorStats::prometheus_text`]) for
 //! scraping or offline analysis.
+//!
+//! Beyond plain counters, [`Histogram`] provides the exposition format's
+//! `_bucket`/`_sum`/`_count` histogram families (cumulative buckets with
+//! `le` labels, closed by `+Inf`) used by the causal profiler
+//! ([`crate::profile`]) for task-duration and steal-latency
+//! distributions, and [`escape_label_value`] implements the format's
+//! label value escaping.
 
 /// Snapshot of one worker's diagnostic counters.
 ///
@@ -171,6 +178,127 @@ impl ExecutorStats {
     }
 }
 
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double-quote, and line-feed become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Default microsecond bucket bounds: log-ish scale from 1 µs to 100 ms.
+const DEFAULT_US_BOUNDS: &[u64] = &[
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+];
+
+/// A fixed-bound histogram rendered as a Prometheus histogram family:
+/// cumulative `_bucket` samples with `le` labels (closed by `le="+Inf"`),
+/// plus `_sum` and `_count`.
+///
+/// ```
+/// let mut h = rustflow::Histogram::new_us();
+/// h.observe(3);
+/// h.observe(40);
+/// let text = h.prometheus_text("rustflow_task_duration_us", "Task durations.");
+/// assert!(text.contains("rustflow_task_duration_us_bucket{le=\"+Inf\"} 2"));
+/// assert!(text.contains("rustflow_task_duration_us_sum 43"));
+/// assert!(text.contains("rustflow_task_duration_us_count 2"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing.
+    bounds: Vec<u64>,
+    /// Per-bucket (non-cumulative) counts; one extra slot for `+Inf`.
+    counts: Vec<u64>,
+    sum: u64,
+}
+
+impl Histogram {
+    /// A histogram with the default microsecond bounds (1 µs … 100 ms,
+    /// log-ish scale, `+Inf` overflow bucket).
+    pub fn new_us() -> Histogram {
+        Histogram::with_bounds(DEFAULT_US_BOUNDS.to_vec())
+    }
+
+    /// A histogram with custom inclusive upper `bounds` (must be strictly
+    /// increasing; an `+Inf` overflow bucket is implicit).
+    pub fn with_bounds(bounds: Vec<u64>) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The bucket bounds (exclusive of the implicit `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the `+Inf`
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Renders the histogram family (`# HELP`/`# TYPE` headers, cumulative
+    /// `_bucket` samples, `_sum`, `_count`) into `out`.
+    pub fn render_into(&self, out: &mut String, name: &str, help: &str) {
+        out.push_str("# HELP ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(help);
+        out.push_str("\n# TYPE ");
+        out.push_str(name);
+        out.push_str(" histogram\n");
+        let mut cumulative = 0u64;
+        for (i, &b) in self.bounds.iter().enumerate() {
+            cumulative += self.counts[i];
+            out.push_str(&format!("{name}_bucket{{le=\"{b}\"}} {cumulative}\n"));
+        }
+        cumulative += self.counts[self.bounds.len()];
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum {}\n", self.sum));
+        out.push_str(&format!("{name}_count {cumulative}\n"));
+    }
+
+    /// The histogram family as a standalone exposition string.
+    pub fn prometheus_text(&self, name: &str, help: &str) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, name, help);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +372,36 @@ mod tests {
         assert_eq!(samples, 16);
         assert!(text.contains("rustflow_tasks_executed_total{worker=\"0\"} 3"));
         assert!(text.contains("rustflow_steals_total{worker=\"1\"} 2"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_closed_by_inf() {
+        let mut h = Histogram::with_bounds(vec![10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5122);
+        // Bounds are inclusive: 10 lands in le="10", 100 in le="100".
+        assert_eq!(h.bucket_counts(), &[2, 2, 0, 1]);
+        let text = h.prometheus_text("x_us", "help");
+        assert!(text.contains("# TYPE x_us histogram"));
+        assert!(text.contains("x_us_bucket{le=\"10\"} 2"));
+        assert!(text.contains("x_us_bucket{le=\"100\"} 4"));
+        assert!(text.contains("x_us_bucket{le=\"1000\"} 4"));
+        assert!(text.contains("x_us_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("x_us_sum 5122"));
+        assert!(text.contains("x_us_count 5"));
+        // +Inf closes the family: its cumulative count equals _count.
+        let inf: u64 = 5;
+        assert_eq!(h.count(), inf);
+    }
+
+    #[test]
+    fn label_values_escaped_per_exposition_format() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
     }
 }

@@ -252,6 +252,45 @@ impl Taskflow {
         (dot, diagnostics)
     }
 
+    /// Snapshots the frozen graph structure the causal profiler joins task
+    /// spans against ([`crate::profile::ProfileReport::build`]).
+    ///
+    /// The snapshot covers the current `run*` target topology — including
+    /// the subflow nodes its most recent iteration spawned — or, when no
+    /// topology was frozen yet, the present (undispatched) graph. Call it
+    /// after the runs being profiled have completed: a running topology's
+    /// graph is in motion and yields an empty snapshot.
+    pub fn profile_snapshot(&self) -> crate::profile::GraphSnapshot {
+        // SAFETY: !Sync — single-threaded access.
+        if let Some(topo) = unsafe { self.reusable.get() } {
+            if !topo.is_settled() {
+                return crate::profile::GraphSnapshot::default();
+            }
+            // SAFETY: settled topology — quiescent graph.
+            return unsafe { crate::profile::GraphSnapshot::from_graph(topo.graph.get()) };
+        }
+        // SAFETY: !Sync — the present graph is quiescent.
+        unsafe { crate::profile::GraphSnapshot::from_graph(self.graph.get()) }
+    }
+
+    /// Dumps the `run*` target topology (falling back to the present
+    /// graph) to DOT annotated with a profile: nodes heat-colored by
+    /// total execution time and labeled with their aggregate timing, the
+    /// most recent iteration's critical path bold red
+    /// ([`crate::profile::ProfileReport::critical_edges`]).
+    pub fn dump_profiled(&self, report: &crate::profile::ProfileReport) -> String {
+        // SAFETY: !Sync — single-threaded access.
+        if let Some(topo) = unsafe { self.reusable.get() } {
+            if !topo.is_settled() {
+                return String::new();
+            }
+            // SAFETY: settled topology — quiescent graph.
+            return unsafe { dot::graph_to_dot_profiled(topo.graph.get(), &self.name(), report) };
+        }
+        // SAFETY: !Sync — the present graph is quiescent.
+        unsafe { dot::graph_to_dot_profiled(self.graph.get(), &self.name(), report) }
+    }
+
     /// Freezes the present graph (if non-empty) into a new reusable
     /// topology and makes it the `run*` target. Returns the target
     /// topology, or `None` when nothing was ever built.

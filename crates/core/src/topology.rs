@@ -38,6 +38,11 @@ use std::sync::atomic::Ordering;
 /// topology apart.
 static NEXT_TOPOLOGY_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
+/// Process-wide *stable* topology id source: one id per frozen graph,
+/// shared by every iteration — what observers roll per-topology counters
+/// up by ([`crate::observer::IterationInfo::topology`]).
+static NEXT_TOPOLOGY_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 /// No batch executing; the graph is quiescent and the next submission
 /// claims the driver role.
 const IDLE: usize = 0;
@@ -71,6 +76,8 @@ pub(crate) enum Advance {
 }
 
 pub(crate) struct Topology {
+    /// Stable id of this topology, shared by every iteration.
+    uid: u64,
     /// Id of the currently (or most recently) executing iteration; fresh
     /// per iteration, exposed through observer hooks.
     run_id: AtomicU64,
@@ -134,6 +141,7 @@ impl Topology {
             fatal = Some(RunError::InvalidGraph(diagnostics));
         }
         std::sync::Arc::new(Topology {
+            uid: NEXT_TOPOLOGY_UID.fetch_add(1, Ordering::Relaxed),
             run_id: AtomicU64::new(0),
             iterations: AtomicU64::new(0),
             graph: SyncCell::new(graph),
@@ -156,6 +164,18 @@ impl Topology {
     /// Id of the current iteration (as shown in observer hooks).
     pub(crate) fn run_id(&self) -> u64 {
         self.run_id.load(Ordering::Relaxed)
+    }
+
+    /// Identity of the in-flight (or most recent) iteration, as reported
+    /// to observers. `iteration` is the count of *completed* iterations,
+    /// which equals the 0-based index of the one in flight: the counter is
+    /// incremented only after the iteration's `on_topology_stop` fired.
+    pub(crate) fn iteration_info(&self) -> crate::observer::IterationInfo {
+        crate::observer::IterationInfo {
+            run: self.run_id(),
+            topology: self.uid,
+            iteration: self.iterations(),
+        }
     }
 
     /// Total iterations completed so far.

@@ -50,11 +50,11 @@ fn stress_eight_workers_hundred_k_tasks_accounted() {
     let events = tracer.sched_events();
     let entries = events
         .iter()
-        .filter(|e| e.kind == SchedEventKind::TaskEntry)
+        .filter(|e| matches!(e.kind, SchedEventKind::TaskBegin { .. }))
         .count();
     let exits = events
         .iter()
-        .filter(|e| e.kind == SchedEventKind::TaskExit)
+        .filter(|e| matches!(e.kind, SchedEventKind::TaskEnd { .. }))
         .count();
     let dropped = tracer.dropped() as usize;
     // Every task produced an entry and an exit; each was either collected
@@ -75,7 +75,7 @@ fn stress_eight_workers_hundred_k_tasks_accounted() {
 }
 
 #[test]
-fn small_rings_count_drops_instead_of_blocking() {
+fn small_rings_flush_instead_of_dropping() {
     const TASKS: usize = 5_000;
     let ex = Executor::new(4);
     let tracer = Arc::new(Tracer::with_capacity(4, 64));
@@ -85,10 +85,21 @@ fn small_rings_count_drops_instead_of_blocking() {
         tf.emplace(|| {});
     }
     tf.wait_for_all();
-    let events = tracer.sched_events().len() as u64;
-    // Tiny rings overflow, but accounting never loses an event silently.
-    assert!(events + tracer.dropped() >= 2 * TASKS as u64);
-    assert!(tracer.dropped() > 0, "64-slot rings must overflow here");
+    // 64-slot rings overflow constantly here, but the record path drains
+    // the full lane into the archive and retries instead of discarding, so
+    // every begin/end pair survives.
+    let events = tracer.sched_events();
+    let begins = events
+        .iter()
+        .filter(|e| matches!(e.kind, SchedEventKind::TaskBegin { .. }))
+        .count();
+    let ends = events
+        .iter()
+        .filter(|e| matches!(e.kind, SchedEventKind::TaskEnd { .. }))
+        .count();
+    assert_eq!(tracer.dropped(), 0, "overflow must flush, not drop");
+    assert_eq!(begins, TASKS);
+    assert_eq!(ends, TASKS);
 }
 
 // ---------------------------------------------------------------------------
@@ -232,8 +243,13 @@ fn lifecycle_events_cover_algorithm_one() {
     tf.wait_for_all();
     let events = tracer.sched_events();
     let has = |f: &dyn Fn(&SchedEventKind) -> bool| events.iter().any(|e| f(&e.kind));
-    assert!(has(&|k| matches!(k, SchedEventKind::TaskEntry)));
-    assert!(has(&|k| matches!(k, SchedEventKind::TaskExit)));
+    assert!(has(&|k| matches!(k, SchedEventKind::TaskBegin { .. })));
+    assert!(has(&|k| matches!(k, SchedEventKind::TaskEnd { .. })));
+    // Schema v2: begin events carry node identity and a live run id.
+    assert!(has(&|k| matches!(
+        k,
+        SchedEventKind::TaskBegin { span } if span.node != 0 && span.run != 0
+    )));
     assert!(has(
         &|k| matches!(k, SchedEventKind::TopologyDispatch { tasks, .. } if *tasks == 32 * 51)
     ));
@@ -249,17 +265,17 @@ fn lifecycle_events_cover_algorithm_one() {
     assert!(total.cache_hits > 0, "chains must use the cache slot");
     assert!(total.injector_pops > 0, "sources arrive via the injector");
     assert!(total.parks > 0, "workers idled before dispatch");
-    // Dispatch/finalize ids pair up.
-    let dispatched: Vec<u64> = events
+    // Dispatch/finalize identities pair up (run id and stable uid alike).
+    let dispatched: Vec<rustflow::IterationInfo> = events
         .iter()
         .filter_map(|e| match e.kind {
-            SchedEventKind::TopologyDispatch { topology, .. } => Some(topology),
+            SchedEventKind::TopologyDispatch { info, .. } => Some(info),
             _ => None,
         })
         .collect();
     for id in dispatched {
         assert!(has(
-            &|k| matches!(k, SchedEventKind::TopologyFinalize { topology } if *topology == id)
+            &|k| matches!(k, SchedEventKind::TopologyFinalize { info } if *info == id)
         ));
     }
 }

@@ -70,6 +70,12 @@ impl ReusableRustflow {
     pub fn iterations(&self) -> u64 {
         self.tf.num_iterations()
     }
+
+    /// The underlying taskflow, for diagnostics that need the frozen
+    /// graph: `profile_snapshot`, `dump_profiled`, DOT dumps.
+    pub fn taskflow(&self) -> &Taskflow {
+        &self.tf
+    }
 }
 
 /// Executes `dag` on the TBB-FlowGraph-style baseline: builds the node /
