@@ -266,3 +266,65 @@ fn rearm_handoff_fan_in() {
         });
     assert!(stats.dfs_complete, "schedule space must be fully explored");
 }
+
+/// The cooperative-cancellation handshake: `Topology::cancel` records the
+/// `Cancelled` error **before** publishing the cancel flag (Release), and
+/// a worker that observes the flag (Acquire) skips its node but still runs
+/// the completion bookkeeping. The happens-before chain — record ≺ flag
+/// publish ≺ skip ≺ final `alive` decrement ≺ the driver's error take —
+/// guarantees that any run in which at least one node was skipped resolves
+/// `Err(Cancelled)`, never `Ok(())`.
+///
+/// Weakened by `rustflow_weaken = "cancel_publish"` (flag published
+/// *before* the error is recorded): a worker can observe the flag, skip
+/// the fan-in successor, and complete the iteration while the error is
+/// still unrecorded — the driver finds no error and resolves the batch
+/// `Ok(())` even though a node never ran. The invariant below fails and
+/// the checker prints the interleaving.
+#[test]
+#[cfg_attr(
+    rustflow_weaken = "cancel_publish",
+    should_panic(expected = "failing interleaving")
+)]
+fn cancel_handshake_fan_in() {
+    let stats = Checker::new()
+        .preemption_bound(Some(2))
+        .max_schedules(60_000)
+        .check("cancel_handshake_fan_in", || {
+            // One iteration of A → C ← B (3 tokens: the skip path still
+            // counts down join counters and `alive`, so C is published
+            // and all 3 pops return in every interleaving) with a
+            // concurrent canceller.
+            let harness = RearmHarness::fan_in(1);
+            let h = Arc::clone(&harness);
+            let canceller = thread::spawn(move || h.cancel());
+            let workers: Vec<_> = [2usize, 1]
+                .into_iter()
+                .map(|pops| {
+                    let h = Arc::clone(&harness);
+                    thread::spawn(move || {
+                        for _ in 0..pops {
+                            let token = h.pop();
+                            h.execute(token);
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+            let requested = canceller.join().unwrap();
+            let executed: usize = harness.executions().iter().sum();
+            let skips = harness.skips();
+            assert_eq!(executed + skips, 3, "every token executed or skipped");
+            let result = harness.result().expect("batch must resolve");
+            if skips > 0 {
+                assert!(requested, "a skip implies the cancel found a live run");
+                match result {
+                    Err(e) if e.is_cancelled() => {}
+                    other => panic!("skipped run must resolve Cancelled, got {other:?}"),
+                }
+            }
+        });
+    assert!(stats.dfs_complete, "schedule space must be fully explored");
+}

@@ -1,0 +1,217 @@
+//! Deterministic chaos harness: seeded fault injection for exercising
+//! the fault-tolerance layer (cancellation, failure policies, retry).
+//!
+//! A [`ChaosSpec`] is a pure function from `(seed, node, iteration)` to a
+//! [`Fault`]: the same spec always injects the same panics and delays at
+//! the same points, regardless of thread count or scheduling. That makes
+//! chaos runs *replayable* — a failing seed from CI reproduces locally —
+//! and lets tests assert exact outcomes ("seed 7 panics node 3 on
+//! iteration 2, so with `retry(1)` the run still succeeds").
+//!
+//! The decision function is a [splitmix64] mix of the three inputs; the
+//! permille knobs turn the mixed hash into independent panic/delay
+//! verdicts. No global state, no OS randomness, no clock reads.
+//!
+//! ```
+//! use rustflow::chaos::{ChaosSpec, Fault};
+//! let spec = ChaosSpec::new(7).panic_permille(500);
+//! // Pure and replayable: same inputs, same fault.
+//! assert_eq!(spec.fault(3, 0), spec.fault(3, 0));
+//! // Different nodes draw independent verdicts.
+//! let faults: Vec<Fault> = (0..8).map(|n| spec.fault(n, 0)).collect();
+//! assert!(faults.iter().any(|f| *f == Fault::Panic));
+//! assert!(faults.iter().any(|f| *f == Fault::None));
+//! ```
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+
+use std::time::Duration;
+
+/// The fault a [`ChaosSpec`] injects at one `(node, iteration)` point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Execute normally.
+    None,
+    /// Sleep this long before executing (scheduling perturbation).
+    Delay(Duration),
+    /// Panic instead of executing.
+    Panic,
+}
+
+/// A deterministic fault-injection plan, parameterized by a seed and
+/// per-fault-class rates in permille (0..=1000).
+///
+/// Panic and delay verdicts are drawn from independent streams, so
+/// raising the delay rate never moves which nodes panic under a given
+/// seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Seed distinguishing this chaos run from others.
+    pub seed: u64,
+    /// Probability (in permille) that a point panics.
+    pub panic_permille: u16,
+    /// Probability (in permille) that a point is delayed.
+    pub delay_permille: u16,
+    /// Upper bound on an injected delay, in microseconds.
+    pub max_delay_us: u64,
+}
+
+/// One round of the splitmix64 output function over `x`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mixes the three decision inputs into one well-distributed hash.
+fn mix(seed: u64, node: u64, iteration: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed) ^ node) ^ iteration)
+}
+
+impl ChaosSpec {
+    /// A spec with the given seed and no faults enabled; dial in rates
+    /// with [`ChaosSpec::panic_permille`] / [`ChaosSpec::delay_permille`].
+    pub fn new(seed: u64) -> ChaosSpec {
+        ChaosSpec {
+            seed,
+            panic_permille: 0,
+            delay_permille: 0,
+            max_delay_us: 100,
+        }
+    }
+
+    /// Sets the panic rate in permille (clamped to 1000); returns `self`.
+    pub fn panic_permille(mut self, rate: u16) -> ChaosSpec {
+        self.panic_permille = rate.min(1000);
+        self
+    }
+
+    /// Sets the delay rate in permille (clamped to 1000) and the delay
+    /// cap in microseconds; returns `self`.
+    pub fn delay_permille(mut self, rate: u16, max_delay_us: u64) -> ChaosSpec {
+        self.delay_permille = rate.min(1000);
+        self.max_delay_us = max_delay_us;
+        self
+    }
+
+    /// The fault injected at `(node, iteration)` — a pure function of the
+    /// spec and its arguments. Panic takes precedence over delay when
+    /// both streams fire.
+    pub fn fault(&self, node: u64, iteration: u64) -> Fault {
+        let h = mix(self.seed, node, iteration);
+        // Independent 10-bit-ish draws from disjoint parts of the hash.
+        if (h % 1000) < u64::from(self.panic_permille) {
+            return Fault::Panic;
+        }
+        let d = h >> 20;
+        if (d % 1000) < u64::from(self.delay_permille) {
+            let us = if self.max_delay_us == 0 {
+                0
+            } else {
+                (d >> 10) % self.max_delay_us
+            };
+            return Fault::Delay(Duration::from_micros(us));
+        }
+        Fault::None
+    }
+
+    /// Injects this spec's fault for `node` at the *current* task
+    /// iteration (via [`crate::this_task::iteration`]; 0 outside a task).
+    /// Call at the top of a task closure; panics with a replayable
+    /// message when the panic stream fires.
+    pub fn inject(&self, node: u64) {
+        let iteration = crate::this_task::iteration().unwrap_or(0);
+        match self.fault(node, iteration) {
+            Fault::None => {}
+            Fault::Delay(d) => std::thread::sleep(d),
+            Fault::Panic => panic!(
+                "chaos: injected panic (seed={}, node={node}, iteration={iteration})",
+                self.seed
+            ),
+        }
+    }
+
+    /// Wraps a task closure so every invocation first passes through
+    /// [`ChaosSpec::inject`] for `node`. The returned closure is what you
+    /// hand to [`Taskflow::emplace`](crate::Taskflow::emplace).
+    pub fn wrap<F>(&self, node: u64, mut f: F) -> impl FnMut() + Send + 'static
+    where
+        F: FnMut() + Send + 'static,
+    {
+        let spec = *self;
+        move || {
+            spec.inject(node);
+            f();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_is_pure_and_seed_sensitive() {
+        let a = ChaosSpec::new(42)
+            .panic_permille(300)
+            .delay_permille(300, 50);
+        for node in 0..64 {
+            for it in 0..4 {
+                assert_eq!(a.fault(node, it), a.fault(node, it));
+            }
+        }
+        let b = ChaosSpec::new(43)
+            .panic_permille(300)
+            .delay_permille(300, 50);
+        let differs = (0..64u64).any(|n| a.fault(n, 0) != b.fault(n, 0));
+        assert!(differs, "different seeds must induce different plans");
+    }
+
+    #[test]
+    fn rates_bound_fault_frequency() {
+        let none = ChaosSpec::new(1);
+        assert!((0..256u64).all(|n| none.fault(n, 0) == Fault::None));
+        let always = ChaosSpec::new(1).panic_permille(1000);
+        assert!((0..256u64).all(|n| always.fault(n, 0) == Fault::Panic));
+        let half = ChaosSpec::new(9).panic_permille(500);
+        let panics = (0..1000u64)
+            .filter(|&n| half.fault(n, 0) == Fault::Panic)
+            .count();
+        assert!((300..700).contains(&panics), "got {panics} panics");
+    }
+
+    #[test]
+    fn panic_stream_independent_of_delay_rate() {
+        let bare = ChaosSpec::new(5).panic_permille(200);
+        let noisy = ChaosSpec::new(5)
+            .panic_permille(200)
+            .delay_permille(900, 10);
+        for n in 0..512u64 {
+            assert_eq!(
+                bare.fault(n, 0) == Fault::Panic,
+                noisy.fault(n, 0) == Fault::Panic,
+                "delay rate moved the panic verdict at node {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn delays_respect_the_cap() {
+        let spec = ChaosSpec::new(3).delay_permille(1000, 25);
+        for n in 0..256u64 {
+            match spec.fault(n, 1) {
+                Fault::Delay(d) => assert!(d < Duration::from_micros(25)),
+                Fault::Panic => unreachable!("panic rate is zero"),
+                Fault::None => {}
+            }
+        }
+    }
+
+    #[test]
+    fn iterations_draw_independently() {
+        let spec = ChaosSpec::new(11).panic_permille(500);
+        let differs = (0..64u64).any(|n| spec.fault(n, 0) != spec.fault(n, 1));
+        assert!(differs, "iteration must participate in the mix");
+    }
+}

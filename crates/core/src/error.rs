@@ -1,21 +1,97 @@
-//! Error types reported by a dispatched topology.
+//! Error types reported by a dispatched topology, plus the failure
+//! policy that decides how much of a graph keeps running after the first
+//! task failure.
 
 use crate::validate::GraphDiagnostic;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// How a [`Taskflow`](crate::Taskflow) reacts to the first task panic in
+/// a running topology.
+///
+/// The policy is frozen into the topology when the graph is dispatched or
+/// first `run`; changing it afterwards affects only graphs frozen later.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Record the first panic but keep executing the rest of the graph —
+    /// dependents of the failed task still run (their data contract is
+    /// the user's responsibility, as in C++). This is the historical
+    /// behavior and the default.
+    #[default]
+    ContinueAll,
+    /// The first panic internally cancels the rest of the topology: nodes
+    /// not yet started are skipped (counted, never executed), in-flight
+    /// tasks observe [`crate::this_task::is_cancelled`], and remaining
+    /// iterations plus queued `run_n`/`run_until` batches resolve with
+    /// [`RunError::Cancelled`]. The batch that contained the panic still
+    /// resolves with that panic (first error wins).
+    FailFast,
+}
 
 /// A task's closure panicked while the topology was running.
 ///
 /// Cpp-Taskflow (C++) lets exceptions terminate the program; in Rust we
 /// catch the unwind at the task boundary, record the first panic, keep the
-/// rest of the graph running (dependents of the panicked task still
-/// execute — their data contract is the user's responsibility, as in C++),
-/// and surface the failure when the topology is waited on.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// rest of the graph running (under [`FailurePolicy::ContinueAll`];
+/// [`FailurePolicy::FailFast`] cancels it instead), and surface the
+/// failure when the topology is waited on.
+#[derive(Debug, Clone, Eq)]
 pub struct TaskPanic {
     /// Name of the panicking task (empty if unnamed).
     pub task: String,
     /// The panic payload rendered as a string.
     pub message: String,
+    /// 0-based topology iteration index the panic happened in (always 0
+    /// for one-shot `dispatch`; the iteration of the `run_n`/`run_until`
+    /// batch otherwise).
+    pub iteration: u64,
+    /// Backtrace captured at the task boundary, when the process runs
+    /// with `RUSTFLOW_BACKTRACE=1`; `None` otherwise. Excluded from
+    /// equality and from [`fmt::Display`] so failure assertions and error
+    /// messages stay stable across capture configurations.
+    pub backtrace: Option<String>,
+}
+
+impl TaskPanic {
+    /// A panic record for `task` with `message`, iteration 0, and a
+    /// backtrace iff `RUSTFLOW_BACKTRACE=1` is set in the environment.
+    pub fn new(task: impl Into<String>, message: impl Into<String>) -> TaskPanic {
+        TaskPanic {
+            task: task.into(),
+            message: message.into(),
+            iteration: 0,
+            backtrace: capture_backtrace(),
+        }
+    }
+
+    /// Sets the topology iteration index the panic happened in.
+    pub fn with_iteration(mut self, iteration: u64) -> TaskPanic {
+        self.iteration = iteration;
+        self
+    }
+}
+
+/// Equality ignores the captured backtrace: two records of the same
+/// failure compare equal whether or not `RUSTFLOW_BACKTRACE` was set.
+impl PartialEq for TaskPanic {
+    fn eq(&self, other: &Self) -> bool {
+        self.task == other.task
+            && self.message == other.message
+            && self.iteration == other.iteration
+    }
+}
+
+/// `true` iff the process was started with `RUSTFLOW_BACKTRACE=1`;
+/// checked once and cached (the env var is read on the executor's panic
+/// path, which must stay cheap).
+fn backtrace_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("RUSTFLOW_BACKTRACE").as_deref() == Ok("1"))
+}
+
+/// Captures a backtrace at the call site when `RUSTFLOW_BACKTRACE=1`.
+fn capture_backtrace() -> Option<String> {
+    backtrace_enabled().then(|| std::backtrace::Backtrace::force_capture().to_string())
 }
 
 impl fmt::Display for TaskPanic {
@@ -40,6 +116,13 @@ pub enum RunError {
     /// finding (a dependency cycle or a self-edge), so running it could
     /// never make progress. Carries *every* finding, warnings included.
     InvalidGraph(Vec<GraphDiagnostic>),
+    /// The run was cancelled — by [`RunHandle::cancel`](crate::RunHandle),
+    /// by a deadline expiring
+    /// ([`RunHandle::wait_timeout`](crate::RunHandle)), or because a
+    /// queued batch was drained after an earlier batch failed under
+    /// [`FailurePolicy::FailFast`]. Tasks already running were allowed to
+    /// finish; queued-but-unstarted tasks were skipped.
+    Cancelled,
 }
 
 impl RunError {
@@ -47,16 +130,21 @@ impl RunError {
     pub fn as_panic(&self) -> Option<&TaskPanic> {
         match self {
             RunError::Panic(p) => Some(p),
-            RunError::InvalidGraph(_) => None,
+            _ => None,
         }
     }
 
     /// The sanitizer findings, when this error is a rejected graph.
     pub fn diagnostics(&self) -> Option<&[GraphDiagnostic]> {
         match self {
-            RunError::Panic(_) => None,
             RunError::InvalidGraph(d) => Some(d),
+            _ => None,
         }
+    }
+
+    /// `true` when the run was cancelled rather than failing on its own.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, RunError::Cancelled)
     }
 }
 
@@ -74,6 +162,7 @@ impl fmt::Display for RunError {
                 }
                 Ok(())
             }
+            RunError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
@@ -107,24 +196,26 @@ mod tests {
 
     #[test]
     fn display_with_and_without_name() {
-        let e = TaskPanic {
-            task: "A".into(),
-            message: "boom".into(),
-        };
+        let e = TaskPanic::new("A", "boom");
         assert_eq!(e.to_string(), "task 'A' panicked: boom");
-        let e = TaskPanic {
-            task: String::new(),
-            message: "boom".into(),
-        };
+        let e = TaskPanic::new("", "boom");
         assert_eq!(e.to_string(), "task panicked: boom");
+        // The iteration index is diagnostic metadata; Display stays stable.
+        assert_eq!(e.with_iteration(7).to_string(), "task panicked: boom");
+    }
+
+    #[test]
+    fn equality_ignores_backtrace_but_not_iteration() {
+        let a = TaskPanic::new("A", "boom");
+        let mut b = a.clone();
+        b.backtrace = Some("synthetic frames".into());
+        assert_eq!(a, b);
+        assert_ne!(a, b.with_iteration(3));
     }
 
     #[test]
     fn run_error_wraps_and_projects() {
-        let p = TaskPanic {
-            task: "A".into(),
-            message: "boom".into(),
-        };
+        let p = TaskPanic::new("A", "boom");
         let e = RunError::from(p.clone());
         assert_eq!(e.as_panic(), Some(&p));
         assert!(e.diagnostics().is_none());

@@ -14,7 +14,7 @@
 //! (`Arc<Executor>`), mirroring the paper's `std::shared_ptr`-managed
 //! executor that avoids thread over-subscription in modular applications.
 
-use crate::error::{panic_message, RunError, RunResult, TaskPanic};
+use crate::error::{panic_message, FailurePolicy, RunError, RunResult, TaskPanic};
 use crate::future::SharedFuture;
 use crate::graph::{RawNode, Work};
 use crate::notifier::Notifier;
@@ -115,6 +115,8 @@ struct WorkerShared {
     injector_pops: AtomicU64,
     parks: AtomicU64,
     wakes_sent: AtomicU64,
+    skipped: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl WorkerShared {
@@ -128,6 +130,8 @@ impl WorkerShared {
             injector_pops: self.injector_pops.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
             wakes_sent: self.wakes_sent.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -219,6 +223,8 @@ impl Executor {
                 injector_pops: AtomicU64::new(0),
                 parks: AtomicU64::new(0),
                 wakes_sent: AtomicU64::new(0),
+                skipped: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
             });
         }
         let inner = Arc::new(Inner {
@@ -572,14 +578,31 @@ unsafe fn schedule(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
     }
 }
 
-/// Executes a node: runs its work, spawns its subflow if any, and performs
-/// completion bookkeeping.
+/// Executes a node: runs its work (retrying per the node's
+/// [`RetryPolicy`](crate::graph::RetryPolicy)), spawns its subflow if any,
+/// and performs completion bookkeeping. A node whose topology was
+/// cancelled before this point is **skipped**: its work never runs, only
+/// the bookkeeping — which is what lets a cancelled graph drain promptly
+/// instead of executing its whole tail.
 fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
     // SAFETY: the scheduling protocol hands each armed node to exactly one
     // worker; the node's topology (and thus the node) is kept alive by
     // `inner.running` until every node completed.
     unsafe {
         let topo = &*(*(*node).state.topology.get());
+        if topo.is_cancelled() {
+            // The cancel flag was published after `RunError::Cancelled`
+            // was recorded (see `Topology::cancel`), so skipping here can
+            // never let the batch resolve `Ok`. Skipped tasks emit no
+            // begin/end span — they did not run.
+            inner.shareds[ctx.id]
+                .skipped
+                .fetch_add(1, Ordering::Relaxed);
+            let label = (*node).label();
+            notify_observers(inner, |ob| ob.on_task_skipped(ctx.id, label));
+            complete(inner, ctx, node);
+            return;
+        }
         let observed = inner.has_observers.load(Ordering::Acquire);
         // Span identity is built only when somebody is listening; the
         // zero-observer hot path pays the single Acquire load and nothing
@@ -596,27 +619,74 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
                 ob.on_task_begin(ctx.id, label, span);
             }
         }
+        let retry = (*node).retry_policy();
+        let mut attempt: u32 = 0;
         let mut deferred = false;
-        match (*node).structure.work.get_mut() {
-            Work::Empty => {}
-            Work::Static(f) => {
-                if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
-                    topo.record_panic(TaskPanic {
-                        task: (*node).label().to_string(),
-                        message: panic_message(&*payload),
-                    });
+        loop {
+            let mut failed: Option<Box<dyn std::any::Any + Send>> = None;
+            let mut will_retry = false;
+            {
+                // Publish the executing topology so the closure can poll
+                // `this_task::is_cancelled()` / read its iteration.
+                let _task_scope = crate::this_task::ContextGuard::enter(topo as *const Topology);
+                match (*node).structure.work.get_mut() {
+                    Work::Empty => {}
+                    Work::Static(f) => {
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                            will_retry = attempt < retry.limit && !topo.is_cancelled();
+                            failed = Some(payload);
+                        }
+                    }
+                    Work::Dynamic(f) => {
+                        let mut sf = Subflow::new(node);
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut sf))) {
+                            Ok(()) => deferred = spawn_subflow(inner, ctx, node, sf.is_detached()),
+                            Err(payload) => {
+                                will_retry = attempt < retry.limit && !topo.is_cancelled();
+                                if !will_retry {
+                                    // Final failure: publish whatever the
+                                    // closure managed to spawn, preserving
+                                    // the historical partially-built-subflow
+                                    // semantics (children built before the
+                                    // panic still run under ContinueAll).
+                                    deferred = spawn_subflow(inner, ctx, node, sf.is_detached());
+                                }
+                                failed = Some(payload);
+                            }
+                        }
+                    }
                 }
             }
-            Work::Dynamic(f) => {
-                let mut sf = Subflow::new(node);
-                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut sf))) {
-                    topo.record_panic(TaskPanic {
-                        task: (*node).label().to_string(),
-                        message: panic_message(&*payload),
-                    });
+            let Some(payload) = failed else { break };
+            if will_retry {
+                attempt += 1;
+                inner.shareds[ctx.id]
+                    .retries
+                    .fetch_add(1, Ordering::Relaxed);
+                let label = (*node).label();
+                notify_observers(inner, |ob| ob.on_task_retry(ctx.id, label, attempt));
+                // Reset just this node's run state (half-built subflow,
+                // joined-child countdown); nothing propagated to
+                // successors or `alive` yet, so the retry is invisible to
+                // the rest of the graph.
+                (*node).rearm_retry();
+                let pause = retry.backoff(attempt);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
                 }
-                deferred = spawn_subflow(inner, ctx, node, sf.is_detached());
+                continue;
             }
+            topo.record_panic(
+                TaskPanic::new((*node).label().to_string(), panic_message(&*payload))
+                    .with_iteration(topo.iterations()),
+            );
+            if topo.policy() == FailurePolicy::FailFast {
+                // The panic is recorded (and wins over `Cancelled`), so
+                // publishing the flag now satisfies the same
+                // record-before-publish order `Topology::cancel` keeps.
+                topo.cancel_internal();
+            }
+            break;
         }
         if let Some(span) = span {
             let label = (*node).label();

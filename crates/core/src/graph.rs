@@ -72,6 +72,47 @@ pub(crate) struct NodeStructure {
     /// Static in-degree, accumulated during construction; the runtime
     /// `join_counter` is armed from this value before every run.
     pub(crate) in_degree: SyncCell<usize>,
+    /// Per-task retry policy ([`Task::retry`](crate::Task::retry));
+    /// [`RetryPolicy::none`] by default.
+    pub(crate) retry: SyncCell<RetryPolicy>,
+}
+
+/// How many times a panicking task is re-executed before its panic is
+/// recorded, and how long to pause between attempts.
+///
+/// Set during graph construction via [`Task::retry`](crate::Task::retry) /
+/// [`Task::retry_backoff`](crate::Task::retry_backoff); frozen with the
+/// rest of the structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RetryPolicy {
+    /// Additional attempts after the first failure (0 = no retry).
+    pub(crate) limit: u32,
+    /// Sleep before retry k (1-based) is `base * 2^(k-1)`, capped at
+    /// [`RetryPolicy::MAX_BACKOFF`]; zero means retry immediately.
+    pub(crate) base_backoff: std::time::Duration,
+}
+
+impl RetryPolicy {
+    /// Exponential backoff is clamped here so a retry storm cannot stall
+    /// a worker for longer than a scheduling quantum.
+    pub(crate) const MAX_BACKOFF: std::time::Duration = std::time::Duration::from_millis(50);
+
+    /// No retries: the first panic is recorded immediately.
+    pub(crate) const fn none() -> RetryPolicy {
+        RetryPolicy {
+            limit: 0,
+            base_backoff: std::time::Duration::ZERO,
+        }
+    }
+
+    /// The pause before the `attempt`-th retry (1-based).
+    pub(crate) fn backoff(&self, attempt: u32) -> std::time::Duration {
+        if self.base_backoff.is_zero() {
+            return std::time::Duration::ZERO;
+        }
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        (self.base_backoff * factor).min(Self::MAX_BACKOFF)
+    }
 }
 
 /// The per-run half of a node: reset by [`Node::rearm`] before each
@@ -117,6 +158,7 @@ impl Node {
                 work: SyncCell::new(work),
                 successors: SyncCell::new(Vec::new()),
                 in_degree: SyncCell::new(0),
+                retry: SyncCell::new(RetryPolicy::none()),
             },
             state: NodeState {
                 join_counter: AtomicUsize::new(0),
@@ -161,6 +203,40 @@ impl Node {
                 *sub = Graph::new();
             }
         }
+    }
+
+    /// Re-arms *just this node* between retry attempts of a failed
+    /// execution: drops whatever subgraph the failed attempt partially
+    /// built and resets the joined-subflow countdown, so the next attempt
+    /// starts from the same state a fresh iteration would. Topology
+    /// back-pointers, parent, and the (already consumed) join counter are
+    /// untouched — the node is still mid-execution from the scheduler's
+    /// point of view, which is exactly why retrying here is safe: nothing
+    /// has propagated to successors or the `alive` count yet.
+    ///
+    /// # Safety
+    /// Caller must be the worker currently executing this node, before
+    /// any subflow spawn was published.
+    pub(crate) unsafe fn rearm_retry(&mut self) {
+        // SAFETY: executing-worker exclusivity per the caller's contract;
+        // a failed attempt never published its subgraph.
+        unsafe {
+            self.state.nested.store(0, Ordering::Relaxed);
+            let sub = self.state.subgraph.get_mut();
+            if !sub.is_empty() {
+                *sub = Graph::new();
+            }
+        }
+    }
+
+    /// The retry policy frozen into this node's structure.
+    ///
+    /// # Safety
+    /// Caller must satisfy the [`SyncCell`] read contract (the policy is
+    /// written only during the build phase).
+    pub(crate) unsafe fn retry_policy(&self) -> RetryPolicy {
+        // SAFETY: forwarding the caller's phase guarantee.
+        unsafe { *self.structure.retry.get() }
     }
 }
 

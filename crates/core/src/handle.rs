@@ -1,0 +1,127 @@
+//! Observe **and control** a submitted run: the [`RunHandle`] returned by
+//! `Taskflow::{run, run_n, run_until, dispatch}`.
+//!
+//! A handle is a [`SharedFuture`] over the run's outcome plus a weak link
+//! back to the topology executing it, which is what makes cooperative
+//! cancellation ([`RunHandle::cancel`]) and deadlines
+//! ([`RunHandle::wait_timeout`]) possible without giving user code a
+//! strong reference that could keep node storage alive past `gc()`.
+
+use crate::error::RunResult;
+use crate::future::SharedFuture;
+use crate::topology::Topology;
+use std::sync::Weak;
+use std::time::Duration;
+
+/// A cloneable handle observing (and optionally cancelling) one submitted
+/// batch — a `dispatch`, `run`, `run_n`, or `run_until`.
+///
+/// All observation methods ([`get`](RunHandle::get),
+/// [`wait`](RunHandle::wait), [`try_get`](RunHandle::try_get),
+/// [`is_ready`](RunHandle::is_ready)) delegate to the underlying
+/// [`SharedFuture`]; the control methods are new:
+///
+/// ```
+/// let tf = rustflow::Taskflow::new();
+/// tf.emplace(|| {
+///     while !rustflow::this_task::is_cancelled() {
+///         std::thread::yield_now(); // long-running, cancellation-aware
+///     }
+/// });
+/// let run = tf.run();
+/// run.cancel(); // queued-but-unstarted tasks are skipped, not executed
+/// assert_eq!(run.get(), Err(rustflow::RunError::Cancelled));
+/// ```
+#[derive(Clone)]
+pub struct RunHandle {
+    future: SharedFuture<RunResult>,
+    /// Weak: a handle must not extend the topology's lifetime past the
+    /// owning taskflow (`gc()` / drop reclaim node storage). A dead weak
+    /// ref simply makes `cancel` a no-op.
+    topology: Option<Weak<Topology>>,
+}
+
+impl RunHandle {
+    /// Wraps the completion future of a batch running on `topology`.
+    pub(crate) fn new(future: SharedFuture<RunResult>, topology: Weak<Topology>) -> RunHandle {
+        RunHandle {
+            future,
+            topology: Some(topology),
+        }
+    }
+
+    /// A handle that is already resolved (empty dispatch, rejected graph).
+    pub(crate) fn ready(result: RunResult) -> RunHandle {
+        RunHandle {
+            future: SharedFuture::ready(result),
+            topology: None,
+        }
+    }
+
+    /// The underlying completion future, for callers that only observe.
+    pub fn future(&self) -> &SharedFuture<RunResult> {
+        &self.future
+    }
+
+    /// Blocks until the run finishes and returns its outcome.
+    pub fn get(&self) -> RunResult {
+        self.future.get()
+    }
+
+    /// The outcome if the run already finished, `None` otherwise.
+    pub fn try_get(&self) -> Option<RunResult> {
+        self.future.try_get()
+    }
+
+    /// Blocks until the run finishes, ignoring the outcome.
+    pub fn wait(&self) {
+        self.future.wait();
+    }
+
+    /// `true` once the run has finished.
+    pub fn is_ready(&self) -> bool {
+        self.future.is_ready()
+    }
+
+    /// Requests cooperative cancellation of the topology this run executes
+    /// on: tasks that have not started are *skipped* (their completion
+    /// bookkeeping still runs, so the graph drains promptly), in-flight
+    /// tasks keep running but can poll
+    /// [`this_task::is_cancelled`](crate::this_task::is_cancelled), and
+    /// every unresolved batch on the topology — this one and any queued
+    /// behind it — resolves with [`RunError::Cancelled`](crate::RunError)
+    /// (unless a task panic was recorded first, which wins).
+    ///
+    /// Returns `true` if a run was actually cancelled; `false` when the
+    /// topology already finished (cancel-after-finalize is a no-op) or the
+    /// owning taskflow was dropped.
+    pub fn cancel(&self) -> bool {
+        match self.topology.as_ref().and_then(Weak::upgrade) {
+            Some(topo) => topo.cancel(),
+            None => false,
+        }
+    }
+
+    /// Races completion against a deadline: waits up to `timeout` for the
+    /// natural outcome, and on expiry degrades to [`RunHandle::cancel`]
+    /// and waits for the (now prompt) cancelled outcome. Natural
+    /// completion that beats the deadline wins even if the two race — the
+    /// cancel becomes a no-op.
+    pub fn wait_timeout(&self, timeout: Duration) -> RunResult {
+        if let Some(result) = self.future.get_timeout(timeout) {
+            return result;
+        }
+        self.cancel();
+        // Either the cancel drains the run (bounded by in-flight task
+        // length) or the run resolved in the race window; both unblock.
+        self.future.get()
+    }
+}
+
+impl std::fmt::Debug for RunHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHandle")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}

@@ -32,7 +32,7 @@
 //! |---|---|
 //! | §III-A create a task | [`Taskflow::emplace`], [`Taskflow::placeholder`], [`emplace!`] |
 //! | §III-B static tasking | [`Task::precede`], [`Task::succeed`] |
-//! | §III-C dispatch | [`Taskflow::wait_for_all`], [`Taskflow::dispatch`], [`Taskflow::silent_dispatch`], [`SharedFuture`] |
+//! | §III-C dispatch | [`Taskflow::wait_for_all`], [`Taskflow::dispatch`], [`Taskflow::silent_dispatch`], [`RunHandle`] |
 //! | §III-D dynamic tasking | [`Taskflow::emplace_subflow`], [`Subflow`] (join/detach) |
 //! | §III-E executor | [`Executor`], [`ExecutorBuilder`] (work stealing + work sharing, Algorithm 1) |
 //! | §III-F algorithms | [`algorithm::parallel_for`], [`algorithm::reduce`], [`algorithm::transform`] |
@@ -54,11 +54,13 @@
 mod taskflow;
 
 pub mod algorithm;
+pub mod chaos;
 mod dot;
 mod error;
 mod executor;
 mod future;
 mod graph;
+mod handle;
 mod label;
 mod notifier;
 mod observer;
@@ -72,6 +74,7 @@ mod subflow;
 mod sync;
 mod sync_cell;
 mod task;
+pub mod this_task;
 mod topology;
 mod validate;
 pub mod wsq;
@@ -86,9 +89,10 @@ pub mod check_internals {
     pub use crate::ring::EventRing;
 }
 
-pub use error::{RunError, RunResult, TaskPanic};
+pub use error::{FailurePolicy, RunError, RunResult, TaskPanic};
 pub use executor::{Executor, ExecutorBuilder};
 pub use future::{Promise, SharedFuture};
+pub use handle::RunHandle;
 pub use label::TaskLabel;
 pub use observer::{
     BusyCounter, ExecutorObserver, IterationInfo, SchedEvent, SchedEventKind, TaskSpanInfo,
@@ -106,5 +110,7 @@ pub use validate::GraphDiagnostic;
 pub mod prelude {
     pub use crate::algorithm::{self, parallel_for, reduce, transform};
     pub use crate::emplace;
-    pub use crate::{Executor, ExecutorBuilder, SharedVec, Subflow, Task, Taskflow};
+    pub use crate::{
+        Executor, ExecutorBuilder, FailurePolicy, RunHandle, SharedVec, Subflow, Task, Taskflow,
+    };
 }

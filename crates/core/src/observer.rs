@@ -28,7 +28,13 @@ pub const DISPATCH_LANE: usize = usize::MAX;
 ///   finalize events carry the stable topology uid and iteration index
 ///   ([`IterationInfo`]). This is what lets [`crate::profile`] stitch the
 ///   per-worker rings back into the executed DAG schedule.
-pub const SCHED_EVENT_SCHEMA_VERSION: u32 = 2;
+/// * **v3** — adds the fault-tolerance lifecycle:
+///   [`SchedEventKind::TaskSkipped`] (a node handed to a worker after its
+///   topology was cancelled; its work never ran) and
+///   [`SchedEventKind::TaskRetried`] (a panicked attempt re-armed and
+///   re-executed under [`crate::Task::retry`], with the 1-based attempt
+///   index).
+pub const SCHED_EVENT_SCHEMA_VERSION: u32 = 3;
 
 /// Identity of one task execution, attached to task begin/end events.
 ///
@@ -82,6 +88,18 @@ pub enum SchedEventKind {
         ///
         /// [`TaskBegin`]: SchedEventKind::TaskBegin
         span: TaskSpanInfo,
+    },
+    /// The worker was handed a node whose topology had been cancelled:
+    /// the task's work was **not** executed (no begin/end span is
+    /// emitted), only its completion bookkeeping ran so the graph could
+    /// drain. Schema v3.
+    TaskSkipped,
+    /// A task attempt panicked and the node was re-armed for another
+    /// attempt under its [`crate::Task::retry`] budget. Schema v3.
+    TaskRetried {
+        /// 1-based index of the retry about to start (1 = second
+        /// attempt overall).
+        attempt: u32,
     },
     /// The next task came from the worker's exclusive cache slot — a
     /// linear-chain step that touched no queue.
@@ -164,6 +182,15 @@ pub trait ExecutorObserver: Send + Sync {
     fn on_task_end(&self, worker: usize, label: &TaskLabel, _span: TaskSpanInfo) {
         self.on_exit(worker, label);
     }
+    /// Called when `worker` skips a task because its topology was
+    /// cancelled before the task started: the work closure never ran
+    /// (so no begin/end pair fires), only completion bookkeeping.
+    fn on_task_skipped(&self, _worker: usize, _label: &TaskLabel) {}
+    /// Called when a panicked attempt of a task is about to be re-executed
+    /// under its [`crate::Task::retry`] budget; `attempt` is 1-based (1 =
+    /// second attempt overall). The task's begin/end pair brackets *all*
+    /// attempts.
+    fn on_task_retry(&self, _worker: usize, _label: &TaskLabel, _attempt: u32) {}
     /// Called when `worker` pulls its next task from the exclusive cache
     /// slot (speculative linear-chain execution; no queue traffic).
     fn on_cache_hit(&self, _worker: usize, _label: &TaskLabel) {}
@@ -535,6 +562,23 @@ impl Tracer {
                         escape_json(&e.label)
                     ));
                 }
+                SchedEventKind::TaskSkipped => {
+                    emit(&format!(
+                        "{{\"name\":\"task-skipped\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"task\":\"{}\"}}}}",
+                        e.ts_us,
+                        t,
+                        escape_json(&e.label)
+                    ));
+                }
+                SchedEventKind::TaskRetried { attempt } => {
+                    emit(&format!(
+                        "{{\"name\":\"task-retried\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"task\":\"{}\",\"attempt\":{}}}}}",
+                        e.ts_us,
+                        t,
+                        escape_json(&e.label),
+                        attempt
+                    ));
+                }
                 SchedEventKind::Steal { victim } => {
                     emit(&format!(
                         "{{\"name\":\"steal\",\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"victim\":{}}}}}",
@@ -595,6 +639,16 @@ impl ExecutorObserver for Tracer {
     }
     fn on_cache_hit(&self, worker: usize, label: &TaskLabel) {
         self.record(worker, label.clone(), SchedEventKind::CacheHit);
+    }
+    fn on_task_skipped(&self, worker: usize, label: &TaskLabel) {
+        self.record(worker, label.clone(), SchedEventKind::TaskSkipped);
+    }
+    fn on_task_retry(&self, worker: usize, label: &TaskLabel, attempt: u32) {
+        self.record(
+            worker,
+            label.clone(),
+            SchedEventKind::TaskRetried { attempt },
+        );
     }
     fn on_steal(&self, thief: usize, victim: usize) {
         self.record(thief, TaskLabel::empty(), SchedEventKind::Steal { victim });

@@ -25,7 +25,7 @@
 //! still hold iteration *k*'s state, losing the fan-in successor and
 //! underflowing `alive`; the batch never completes.
 
-use crate::error::RunResult;
+use crate::error::{FailurePolicy, RunResult};
 use crate::future::{promise_pair, SharedFuture};
 use crate::graph::{Graph, RawNode, Work};
 use crate::sync::{AtomicUsize, Condvar, Mutex};
@@ -45,6 +45,10 @@ pub struct RearmHarness {
     cv: Condvar,
     /// Per-node execution counters, index-aligned with the graph.
     counters: Vec<Arc<AtomicUsize>>,
+    /// Tokens popped but skipped because the topology was cancelled —
+    /// the harness twin of the executor's skip path (bookkeeping still
+    /// runs, the closure does not).
+    skips: AtomicUsize,
     /// Completion future of the single submitted batch.
     future: SharedFuture<RunResult>,
 }
@@ -77,7 +81,7 @@ impl RearmHarness {
             (*b).structure.successors.get_mut().push(c);
             *(*c).structure.in_degree.get_mut() = 2;
         }
-        let topo = Topology::new(g);
+        let topo = Topology::new(g, FailurePolicy::ContinueAll);
         assert!(topo.fatal().is_none(), "fan-in graph must be valid");
         let (promise, future) = promise_pair();
         let harness = Arc::new(RearmHarness {
@@ -85,6 +89,7 @@ impl RearmHarness {
             ready: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             counters,
+            skips: AtomicUsize::new(0),
             future,
         });
         let claimed = topo.enqueue(PendingRun {
@@ -142,9 +147,17 @@ impl RearmHarness {
         // exactly one worker; the topology (and the nodes) outlive the
         // harness via the `topo` Arc.
         unsafe {
-            match (*node).structure.work.get_mut() {
-                Work::Static(f) => f(),
-                _ => unreachable!("harness graphs hold static work only"),
+            // The executor's cancellation skip path: an Acquire load of the
+            // cancel flag elides the closure but still performs the full
+            // completion bookkeeping below, so token accounting (and hence
+            // batch finalization) is unchanged.
+            if self.topo.is_cancelled() {
+                self.skips.fetch_add(1, Ordering::Relaxed);
+            } else {
+                match (*node).structure.work.get_mut() {
+                    Work::Static(f) => f(),
+                    _ => unreachable!("harness graphs hold static work only"),
+                }
             }
             let succs = (*node).structure.successors.get();
             for &s in succs.iter() {
@@ -168,6 +181,18 @@ impl RearmHarness {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Requests cooperative cancellation through the production
+    /// [`Topology::cancel`] path (error recorded, then flag published).
+    /// Returns `false` if the topology had already finalized.
+    pub fn cancel(&self) -> bool {
+        self.topo.cancel()
+    }
+
+    /// Tokens that were popped but skipped due to cancellation.
+    pub fn skips(&self) -> usize {
+        self.skips.load(Ordering::Relaxed)
     }
 
     /// The batch result, if the batch has resolved.

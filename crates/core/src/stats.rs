@@ -39,6 +39,12 @@ pub struct WorkerStats {
     pub parks: u64,
     /// Wake-ups this worker issued (targeted and probabilistic).
     pub wakes_sent: u64,
+    /// Tasks popped ready but skipped because their topology was
+    /// cancelled (no closure ran, no span was emitted).
+    pub skipped: u64,
+    /// Extra attempts executed under a [`Task::retry`](crate::Task::retry)
+    /// budget (one per re-execution, not counting the first attempt).
+    pub retries: u64,
 }
 
 impl WorkerStats {
@@ -53,6 +59,8 @@ impl WorkerStats {
             injector_pops: self.injector_pops.saturating_sub(earlier.injector_pops),
             parks: self.parks.saturating_sub(earlier.parks),
             wakes_sent: self.wakes_sent.saturating_sub(earlier.wakes_sent),
+            skipped: self.skipped.saturating_sub(earlier.skipped),
+            retries: self.retries.saturating_sub(earlier.retries),
         }
     }
 
@@ -65,6 +73,8 @@ impl WorkerStats {
         self.injector_pops += other.injector_pops;
         self.parks += other.parks;
         self.wakes_sent += other.wakes_sent;
+        self.skipped += other.skipped;
+        self.retries += other.retries;
     }
 }
 
@@ -112,6 +122,16 @@ const METRICS: &[(&str, &str, MetricAccessor)] = &[
         "rustflow_wakes_sent_total",
         "Wake-ups issued (targeted and probabilistic).",
         |w| w.wakes_sent,
+    ),
+    (
+        "rustflow_tasks_skipped_total",
+        "Ready tasks skipped because their topology was cancelled.",
+        |w| w.skipped,
+    ),
+    (
+        "rustflow_task_retries_total",
+        "Extra task attempts executed under a retry budget.",
+        |w| w.retries,
     ),
 ];
 
@@ -368,8 +388,8 @@ mod tests {
             value.parse::<u64>().expect("integer sample value");
             samples += 1;
         }
-        // 8 metrics × 2 workers.
-        assert_eq!(samples, 16);
+        // 10 metrics × 2 workers.
+        assert_eq!(samples, 20);
         assert!(text.contains("rustflow_tasks_executed_total{worker=\"0\"} 3"));
         assert!(text.contains("rustflow_steals_total{worker=\"1\"} 2"));
     }

@@ -86,6 +86,14 @@ impl<'s> Subflow<'s> {
         self.detached.get()
     }
 
+    /// `true` if the enclosing run has been cancelled (equivalent to
+    /// [`this_task::is_cancelled`](crate::this_task::is_cancelled) from
+    /// inside the parent task). Long dynamic tasks should poll this and
+    /// return early instead of spawning more children.
+    pub fn is_cancelled(&self) -> bool {
+        crate::this_task::is_cancelled()
+    }
+
     /// Number of child tasks spawned so far.
     pub fn num_tasks(&self) -> usize {
         // SAFETY: executing worker's exclusive access.

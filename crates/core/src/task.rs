@@ -118,6 +118,47 @@ impl<'g> Task<'g> {
         self
     }
 
+    /// Allows this task to be re-executed up to `n` more times if its
+    /// closure panics, before the panic is recorded against the run. The
+    /// failed attempt's partial state (a half-built subflow, for a dynamic
+    /// task) is re-armed before each retry, and nothing propagates to
+    /// successors until an attempt succeeds or the budget is exhausted.
+    /// Retries are visible to observers
+    /// ([`ExecutorObserver::on_task_retry`](crate::ExecutorObserver::on_task_retry))
+    /// and counted in [`ExecutorStats`](crate::ExecutorStats).
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicU32, Ordering};
+    /// static ATTEMPTS: AtomicU32 = AtomicU32::new(0);
+    /// let tf = rustflow::Taskflow::new();
+    /// tf.emplace(|| {
+    ///     if ATTEMPTS.fetch_add(1, Ordering::Relaxed) < 2 {
+    ///         panic!("flaky");
+    ///     }
+    /// })
+    /// .retry(2);
+    /// assert!(tf.run().get().is_ok()); // third attempt succeeds
+    /// ```
+    pub fn retry(self, n: u32) -> Self {
+        self.retry_backoff(n, std::time::Duration::ZERO)
+    }
+
+    /// Like [`Task::retry`], pausing before retry *k* for
+    /// `base * 2^(k-1)`, capped at 50 ms — bounded exponential backoff for
+    /// tasks whose failures are transient (contended resources, flaky
+    /// I/O).
+    pub fn retry_backoff(self, n: u32, base: std::time::Duration) -> Self {
+        self.assert_mutable();
+        // SAFETY: build phase, single thread.
+        unsafe {
+            *(*self.node).structure.retry.get_mut() = crate::graph::RetryPolicy {
+                limit: n,
+                base_backoff: base,
+            };
+        }
+        self
+    }
+
     /// Number of outgoing edges.
     pub fn num_successors(self) -> usize {
         // SAFETY: edges mutate only during the single-threaded build phase.

@@ -25,10 +25,11 @@
 //! docs for the idiom.
 
 use crate::dot;
-use crate::error::{RunError, RunResult};
+use crate::error::{FailurePolicy, RunError, RunResult};
 use crate::executor::Executor;
 use crate::future::SharedFuture;
 use crate::graph::{Graph, Work};
+use crate::handle::RunHandle;
 use crate::subflow::Subflow;
 use crate::sync_cell::SyncCell;
 use crate::task::Task;
@@ -76,6 +77,8 @@ pub struct Taskflow {
     reusable: SyncCell<Option<Arc<Topology>>>,
     waits: Mutex<WaitSet>,
     name: SyncCell<String>,
+    /// Failure policy stamped onto graphs frozen *after* it was set.
+    policy: std::cell::Cell<FailurePolicy>,
     /// Graph construction is single-threaded: `!Sync`, but `Send`.
     _not_sync: PhantomData<std::cell::Cell<()>>,
 }
@@ -111,8 +114,22 @@ impl Taskflow {
                 first_error: None,
             }),
             name: SyncCell::new(String::new()),
+            policy: std::cell::Cell::new(FailurePolicy::ContinueAll),
             _not_sync: PhantomData,
         }
+    }
+
+    /// Sets how a task panic affects the rest of the graph. The policy is
+    /// frozen into a topology when the present graph is first dispatched
+    /// or `run`; graphs frozen earlier keep the policy they were frozen
+    /// with.
+    pub fn set_failure_policy(&self, policy: FailurePolicy) {
+        self.policy.set(policy);
+    }
+
+    /// The failure policy future freezes will use.
+    pub fn failure_policy(&self) -> FailurePolicy {
+        self.policy.get()
     }
 
     /// The executor this taskflow dispatches to.
@@ -298,7 +315,7 @@ impl Taskflow {
         if !self.is_empty() {
             // SAFETY: !Sync — single-threaded graph handoff.
             let graph = unsafe { self.graph.replace(Graph::new()) };
-            let topo = Topology::new(graph);
+            let topo = Topology::new(graph, self.policy.get());
             self.topologies.lock().push(Arc::clone(&topo));
             // SAFETY: !Sync — single-threaded access.
             unsafe { *self.reusable.get_mut() = Some(topo) };
@@ -307,14 +324,14 @@ impl Taskflow {
         unsafe { self.reusable.get().clone() }
     }
 
-    fn submit(&self, cond: RunCondition) -> SharedFuture<RunResult> {
+    fn submit(&self, cond: RunCondition) -> RunHandle {
         let Some(topo) = self.materialize() else {
             // Nothing was ever built: an empty run completes immediately.
-            return SharedFuture::ready(Ok(()));
+            return RunHandle::ready(Ok(()));
         };
         let future = self.executor.run_topology(&topo, cond);
         self.waits.lock().futures.push(future.clone());
-        future
+        RunHandle::new(future, Arc::downgrade(&topo))
     }
 
     /// Executes the taskflow's graph once **without rebuilding it** and
@@ -333,8 +350,22 @@ impl Taskflow {
     /// tf.run().get().unwrap(); // freeze + first run
     /// tf.run().get().unwrap(); // re-arm + second run, zero rebuild cost
     /// ```
-    pub fn run(&self) -> SharedFuture<RunResult> {
+    ///
+    /// The returned [`RunHandle`] observes the run like a future and can
+    /// also [`cancel`](RunHandle::cancel) it or bound it by a deadline
+    /// ([`RunHandle::wait_timeout`]).
+    pub fn run(&self) -> RunHandle {
         self.run_n(1)
+    }
+
+    /// Executes the taskflow's graph once with a deadline: blocks until
+    /// the run finishes or `timeout` elapses, whichever comes first. On
+    /// expiry the run degrades to cooperative cancellation
+    /// ([`RunHandle::wait_timeout`]) and this returns
+    /// [`RunError::Cancelled`]; natural completion that beats the
+    /// deadline returns its own outcome.
+    pub fn run_timeout(&self, timeout: std::time::Duration) -> RunResult {
+        self.run().wait_timeout(timeout)
     }
 
     /// Executes the taskflow's graph `n` times (see [`Taskflow::run`]);
@@ -354,7 +385,7 @@ impl Taskflow {
     ///     tf.gc(); // settled topologies from prior epochs are reclaimed
     /// }
     /// ```
-    pub fn run_n(&self, n: u64) -> SharedFuture<RunResult> {
+    pub fn run_n(&self, n: u64) -> RunHandle {
         self.submit(RunCondition::Count(n))
     }
 
@@ -364,7 +395,7 @@ impl Taskflow {
     /// the submitter or a worker finishing an iteration. A panic inside
     /// `pred`, like a task panic, resolves the future with that error and
     /// stops.
-    pub fn run_until<P>(&self, pred: P) -> SharedFuture<RunResult>
+    pub fn run_until<P>(&self, pred: P) -> RunHandle
     where
         P: FnMut() -> bool + Send + 'static,
     {
@@ -387,20 +418,20 @@ impl Taskflow {
     ///
     /// In dispatch loops, call [`Taskflow::gc`] periodically — every
     /// dispatched topology is retained until collected.
-    pub fn dispatch(&self) -> SharedFuture<RunResult> {
+    pub fn dispatch(&self) -> RunHandle {
         if self.is_empty() {
-            return SharedFuture::ready(Ok(()));
+            return RunHandle::ready(Ok(()));
         }
         // SAFETY: !Sync — single-threaded graph handoff.
         let graph = unsafe { self.graph.replace(Graph::new()) };
         // Retained even when rejected: outstanding Task handles point into
         // the topology's node storage. One-shot topologies do not become
         // the `run*` target.
-        let topo = Topology::new(graph);
+        let topo = Topology::new(graph, self.policy.get());
         self.topologies.lock().push(Arc::clone(&topo));
         let future = self.executor.run_topology(&topo, RunCondition::Count(1));
         self.waits.lock().futures.push(future.clone());
-        future
+        RunHandle::new(future, Arc::downgrade(&topo))
     }
 
     /// Dispatches the present graph and ignores the execution status.

@@ -1,0 +1,83 @@
+//! Execution context visible from *inside* a running task.
+//!
+//! A worker publishes the topology it is executing for into a thread
+//! local around every task invocation, so task closures — which are plain
+//! `FnMut()` and receive no arguments — can still ask about their run:
+//!
+//! ```
+//! let tf = rustflow::Taskflow::new();
+//! tf.emplace(|| {
+//!     for chunk in 0..1000 {
+//!         if rustflow::this_task::is_cancelled() {
+//!             return; // drop remaining chunks, finish promptly
+//!         }
+//!         let _ = chunk; // ... real work ...
+//!     }
+//! });
+//! tf.wait_for_all();
+//! ```
+//!
+//! Outside a task (or in a thread the executor does not own) the queries
+//! return their neutral values; they never panic.
+
+use crate::topology::Topology;
+use std::cell::Cell;
+
+thread_local! {
+    /// The topology whose task this thread is currently executing; null
+    /// outside task invocations.
+    static CURRENT_TOPOLOGY: Cell<*const Topology> = const { Cell::new(std::ptr::null()) };
+}
+
+/// RAII scope that publishes the executing topology for the duration of
+/// one task invocation and restores the previous value after — workers
+/// run tasks non-reentrantly, but restoring (rather than nulling) keeps
+/// the guard correct even if that ever changes.
+pub(crate) struct ContextGuard {
+    prev: *const Topology,
+}
+
+impl ContextGuard {
+    /// Enters a task scope executing for `topology`.
+    pub(crate) fn enter(topology: *const Topology) -> ContextGuard {
+        ContextGuard {
+            prev: CURRENT_TOPOLOGY.with(|c| c.replace(topology)),
+        }
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT_TOPOLOGY.with(|c| c.set(self.prev));
+    }
+}
+
+/// Runs `f` with the topology the calling thread is executing for, or
+/// returns `None` when called outside a task.
+fn with_current<R>(f: impl FnOnce(&Topology) -> R) -> Option<R> {
+    CURRENT_TOPOLOGY.with(|c| {
+        let p = c.get();
+        // SAFETY: the pointer was published by the worker executing this
+        // very task; the executor holds a keep-alive Arc on the topology
+        // for the whole run, so it outlives the invocation.
+        (!p.is_null()).then(|| f(unsafe { &*p }))
+    })
+}
+
+/// `true` when the run this task belongs to has been cancelled — by
+/// [`RunHandle::cancel`](crate::RunHandle::cancel), a deadline, or a
+/// `FailFast` reaction to another task's panic. Long-running tasks should
+/// poll this and return early; tasks that never check simply run to
+/// completion (cancellation is cooperative).
+///
+/// Returns `false` outside a task.
+pub fn is_cancelled() -> bool {
+    with_current(Topology::is_cancelled).unwrap_or(false)
+}
+
+/// The 0-based iteration index of the `run_n`/`run_until` batch this task
+/// is executing in (always `Some(0)` during a one-shot `dispatch`), or
+/// `None` outside a task.
+pub fn iteration() -> Option<u64> {
+    with_current(Topology::iterations)
+}

@@ -23,10 +23,10 @@
 //! (so task handles and the executor's raw node pointers stay valid), and
 //! the executor additionally holds a keep-alive `Arc` while batches run.
 
-use crate::error::{panic_message, RunError, RunResult, TaskPanic};
+use crate::error::{panic_message, FailurePolicy, RunError, RunResult, TaskPanic};
 use crate::future::Promise;
 use crate::graph::Graph;
-use crate::sync::{AtomicU64, AtomicUsize, Mutex};
+use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex};
 use crate::sync_cell::SyncCell;
 use crate::validate;
 use std::collections::VecDeque;
@@ -103,6 +103,15 @@ pub(crate) struct Topology {
     /// First error observed while running an iteration (kept, later ones
     /// dropped); taken by the driver when the iteration ends.
     pub(crate) error: Mutex<Option<RunError>>,
+    /// Cooperative cancellation flag. Once set, workers *skip* every node
+    /// they would otherwise start (completion bookkeeping still runs, so
+    /// the iteration drains promptly) and in-flight tasks can poll it via
+    /// [`crate::this_task::is_cancelled`]. Cleared by the driver when the
+    /// topology transitions to idle.
+    cancelled: AtomicBool,
+    /// How a task panic affects the rest of the graph; frozen when the
+    /// graph is frozen.
+    policy: FailurePolicy,
     /// Cached pre-dispatch sanitizer verdict: `Some` iff the structure can
     /// never complete (cycle / self-edge). Computed once at construction —
     /// submissions fail fast without re-walking the graph.
@@ -117,8 +126,9 @@ unsafe impl Sync for Topology {}
 
 impl Topology {
     /// Freezes `graph` into a reusable topology: runs the sanitizer once,
-    /// caches its verdict, and caches the source set.
-    pub(crate) fn new(mut graph: Graph) -> std::sync::Arc<Topology> {
+    /// caches its verdict, and caches the source set. The failure policy
+    /// is frozen alongside the structure.
+    pub(crate) fn new(mut graph: Graph, policy: FailurePolicy) -> std::sync::Arc<Topology> {
         // SAFETY: the graph was just moved here; no other thread sees it.
         let diagnostics = unsafe { validate::validate_graph(&graph) };
         let mut fatal = diagnostics
@@ -151,8 +161,60 @@ impl Topology {
             current: SyncCell::new(None),
             pending: Mutex::new(VecDeque::new()),
             error: Mutex::new(None),
+            cancelled: AtomicBool::new(false),
+            policy,
             fatal,
         })
+    }
+
+    /// The failure policy frozen into this topology.
+    pub(crate) fn policy(&self) -> FailurePolicy {
+        self.policy
+    }
+
+    /// Requests cooperative cancellation of everything this topology has
+    /// in flight or queued. Returns `true` if a run was actually
+    /// cancelled, `false` if the topology was already idle (cancel after
+    /// finalize is a no-op).
+    ///
+    /// The pending-queue mutex serializes the decision against the
+    /// driver's idle transition in [`Topology::advance`]: either the
+    /// driver has already gone idle (we return `false`) or it is still
+    /// running and must pass through the drain point below, where it will
+    /// observe the flag.
+    ///
+    /// Ordering matters: the `Cancelled` error is recorded **before** the
+    /// flag is published. A worker that observes the flag and skips a node
+    /// therefore knows the error is already recorded, so the driver that
+    /// finalizes after the skip can never resolve the batch `Ok(())`. The
+    /// `cancel_publish` weaken point inverts the two writes so the
+    /// interleaving model can demonstrate exactly that lost-cancel
+    /// outcome (a skipped run reported as success).
+    pub(crate) fn cancel(&self) -> bool {
+        let _q = self.pending.lock();
+        if self.state.load(Ordering::Acquire) == IDLE {
+            return false;
+        }
+        #[cfg(rustflow_weaken = "cancel_publish")]
+        self.cancelled.store(true, Ordering::Release);
+        self.record_error(RunError::Cancelled);
+        #[cfg(not(rustflow_weaken = "cancel_publish"))]
+        self.cancelled.store(true, Ordering::Release);
+        true
+    }
+
+    /// Cancels the rest of the graph from *inside* a run — the
+    /// [`FailurePolicy::FailFast`] reaction to a panic. The panic was
+    /// already recorded (first error wins), so only the flag needs
+    /// publishing; the failed batch still resolves with the panic while
+    /// queued batches drain as [`RunError::Cancelled`].
+    pub(crate) fn cancel_internal(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// `true` once cancellation has been requested for the current run.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
     }
 
     /// The cached sanitizer verdict; `Some` means the topology must never
@@ -262,7 +324,7 @@ impl Topology {
                     RunCondition::Until(pred) => match catch_unwind(AssertUnwindSafe(pred)) {
                         Ok(true) => Some(Ok(())),
                         Ok(false) => None,
-                        Err(payload) => Some(Err(predicate_panic(&*payload))),
+                        Err(payload) => Some(Err(predicate_panic(&*payload, self.iterations()))),
                     },
                 }
             };
@@ -280,6 +342,25 @@ impl Topology {
         loop {
             let mut next = {
                 let mut q = self.pending.lock();
+                if self.cancelled.load(Ordering::Acquire) {
+                    // Cancellation drains the whole queue: every batch that
+                    // never got to run resolves `Cancelled`, the flag is
+                    // reset so a later submission starts clean, and the
+                    // topology goes idle. Holding the queue lock keeps
+                    // this atomic with respect to `cancel` (which checks
+                    // IDLE under the same lock) and `enqueue`.
+                    while let Some(b) = q.pop_front() {
+                        resolved.push((b, Err(RunError::Cancelled)));
+                    }
+                    // A cancel that raced in *after* this call's error take
+                    // (its batch already resolved) left `Cancelled` behind;
+                    // clear it so the next submission starts clean. Lock
+                    // order pending → error matches `cancel`.
+                    let _ = self.error.lock().take();
+                    self.cancelled.store(false, Ordering::Release);
+                    self.state.store(IDLE, Ordering::Release);
+                    return Advance::Idle;
+                }
                 match q.pop_front() {
                     Some(b) => b,
                     None => {
@@ -298,7 +379,7 @@ impl Topology {
                 RunCondition::Until(pred) => match catch_unwind(AssertUnwindSafe(pred)) {
                     Ok(true) => Some(Ok(())),
                     Ok(false) => None,
-                    Err(payload) => Some(Err(predicate_panic(&*payload))),
+                    Err(payload) => Some(Err(predicate_panic(&*payload, self.iterations()))),
                 },
             };
             match outcome {
@@ -369,11 +450,10 @@ impl Topology {
     }
 }
 
-fn predicate_panic(payload: &(dyn std::any::Any + Send)) -> RunError {
-    RunError::Panic(TaskPanic {
-        task: "run_until predicate".into(),
-        message: panic_message(payload),
-    })
+fn predicate_panic(payload: &(dyn std::any::Any + Send), iteration: u64) -> RunError {
+    RunError::Panic(
+        TaskPanic::new("run_until predicate", panic_message(payload)).with_iteration(iteration),
+    )
 }
 
 #[cfg(test)]
@@ -387,17 +467,15 @@ mod tests {
         (PendingRun { cond, promise }, future)
     }
 
+    fn topo_of(graph: Graph) -> std::sync::Arc<Topology> {
+        Topology::new(graph, FailurePolicy::ContinueAll)
+    }
+
     #[test]
     fn record_panic_keeps_first() {
-        let topo = Topology::new(Graph::new());
-        topo.record_panic(TaskPanic {
-            task: "a".into(),
-            message: "first".into(),
-        });
-        topo.record_panic(TaskPanic {
-            task: "b".into(),
-            message: "second".into(),
-        });
+        let topo = topo_of(Graph::new());
+        topo.record_panic(TaskPanic::new("a", "first"));
+        topo.record_panic(TaskPanic::new("b", "second"));
         assert_eq!(
             topo.error
                 .lock()
@@ -421,7 +499,7 @@ mod tests {
             (*b).structure.successors.get_mut().push(a);
             *(*a).structure.in_degree.get_mut() += 1;
         }
-        let topo = Topology::new(g);
+        let topo = topo_of(g);
         assert!(matches!(topo.fatal(), Some(RunError::InvalidGraph(_))));
     }
 
@@ -429,7 +507,7 @@ mod tests {
     fn count_batch_runs_and_settles() {
         let mut g = Graph::new();
         g.emplace(Work::Empty);
-        let topo = Topology::new(g);
+        let topo = topo_of(g);
         assert!(topo.fatal().is_none());
         let (b, future) = batch(RunCondition::Count(2));
         assert!(topo.enqueue(b));
@@ -455,7 +533,7 @@ mod tests {
     fn zero_count_batch_resolves_without_running() {
         let mut g = Graph::new();
         g.emplace(Work::Empty);
-        let topo = Topology::new(g);
+        let topo = topo_of(g);
         let (b, future) = batch(RunCondition::Count(0));
         assert!(topo.enqueue(b));
         unsafe {
@@ -469,7 +547,7 @@ mod tests {
     fn until_predicate_already_true_runs_nothing() {
         let mut g = Graph::new();
         g.emplace(Work::Empty);
-        let topo = Topology::new(g);
+        let topo = topo_of(g);
         let (b, future) = batch(RunCondition::Until(Box::new(|| true)));
         assert!(topo.enqueue(b));
         unsafe {
@@ -483,16 +561,13 @@ mod tests {
     fn iteration_error_stops_batch_with_that_error() {
         let mut g = Graph::new();
         g.emplace(Work::Empty);
-        let topo = Topology::new(g);
+        let topo = topo_of(g);
         let (b, future) = batch(RunCondition::Count(10));
         assert!(topo.enqueue(b));
         unsafe {
             assert_eq!(topo.advance(false), Advance::RunIteration);
             topo.begin_iteration(|_| {});
-            topo.record_panic(TaskPanic {
-                task: "t".into(),
-                message: "boom".into(),
-            });
+            topo.record_panic(TaskPanic::new("t", "boom"));
             assert_eq!(topo.advance(true), Advance::Idle);
         }
         let err = future.get().expect_err("batch must fail");
@@ -504,7 +579,7 @@ mod tests {
     fn batches_queue_fifo() {
         let mut g = Graph::new();
         g.emplace(Work::Empty);
-        let topo = Topology::new(g);
+        let topo = topo_of(g);
         let (b1, f1) = batch(RunCondition::Count(1));
         let (b2, f2) = batch(RunCondition::Count(1));
         assert!(topo.enqueue(b1));
@@ -526,7 +601,7 @@ mod tests {
     fn run_ids_are_fresh_per_iteration() {
         let mut g = Graph::new();
         g.emplace(Work::Empty);
-        let topo = Topology::new(g);
+        let topo = topo_of(g);
         let (b, _f) = batch(RunCondition::Count(2));
         topo.enqueue(b);
         unsafe {

@@ -93,8 +93,10 @@ fn future_timeout_paths() {
             std::thread::yield_now();
         }
     });
-    let future = tf.dispatch();
-    // Times out while the task spins...
+    let handle = tf.dispatch();
+    // Observing through the raw future never cancels: it just times out
+    // while the task spins...
+    let future = handle.future();
     assert!(future.get_timeout(Duration::from_millis(20)).is_none());
     gate.store(1, Ordering::Release);
     // ...and resolves after release.

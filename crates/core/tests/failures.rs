@@ -1,10 +1,24 @@
 //! Failure-injection tests: panics in every flavour of task must be
 //! caught, attributed, and must never wedge the executor or leak a
-//! topology.
+//! topology — plus the fault-tolerance matrix (cooperative cancellation,
+//! failure policies, retry, deadlines) under deterministic chaos seeds.
 
-use rustflow::{Executor, Taskflow};
+use rustflow::chaos::{ChaosSpec, Fault};
+use rustflow::{this_task, Executor, FailurePolicy, RunError, Taskflow};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// A closure that spins cooperatively until its run is cancelled.
+fn spin_until_cancelled(started: &Arc<AtomicUsize>) -> impl FnMut() + Send + 'static {
+    let started = Arc::clone(started);
+    move || {
+        started.fetch_add(1, Ordering::SeqCst);
+        while !this_task::is_cancelled() {
+            std::thread::yield_now();
+        }
+    }
+}
 
 #[test]
 fn panic_in_dynamic_task_closure() {
@@ -132,4 +146,337 @@ fn executor_survives_panic_storm() {
     }
     tf2.wait_for_all();
     assert_eq!(counter.load(Ordering::SeqCst), 100);
+}
+
+#[test]
+fn cancel_mid_run_n_drains_current_and_queued_batches() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    let started = Arc::new(AtomicUsize::new(0));
+    tf.emplace(spin_until_cancelled(&started));
+    let batch = tf.run_n(100);
+    let queued = tf.run(); // queues behind the 100-iteration batch
+    while started.load(Ordering::SeqCst) == 0 {
+        std::thread::yield_now();
+    }
+    assert!(batch.cancel(), "a live run must be cancellable");
+    assert_eq!(batch.get(), Err(RunError::Cancelled));
+    // The batch that never got to run drains with the same error.
+    assert_eq!(queued.get(), Err(RunError::Cancelled));
+    assert!(batch.get().unwrap_err().is_cancelled());
+    // The taskflow stays usable: the next run starts with a clean slate
+    // (no stale flag, no stale error).
+    let ok = tf.run();
+    // The task still spins until cancelled, so cancel again — but this
+    // time confirm the *fresh* handle controls the fresh run.
+    while started.load(Ordering::SeqCst) < 2 {
+        std::thread::yield_now();
+    }
+    assert!(ok.cancel());
+    assert_eq!(ok.get(), Err(RunError::Cancelled));
+}
+
+#[test]
+fn cancel_skips_queued_tasks_of_large_topology() {
+    const FANOUT: usize = 10_000;
+    let ex = Executor::new(4);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    let started = Arc::new(AtomicUsize::new(0));
+    let executed = Arc::new(AtomicUsize::new(0));
+    let gate = tf.emplace(spin_until_cancelled(&started)).name("gate");
+    for _ in 0..FANOUT {
+        let e = Arc::clone(&executed);
+        let t = tf.emplace(move || {
+            e.fetch_add(1, Ordering::SeqCst);
+        });
+        gate.precede(t);
+    }
+    let before = ex.stats();
+    let run = tf.run();
+    while started.load(Ordering::SeqCst) == 0 {
+        std::thread::yield_now();
+    }
+    assert!(run.cancel());
+    assert_eq!(run.get(), Err(RunError::Cancelled));
+    // Every successor became ready only after the gate observed the
+    // cancel flag, so all of them were skipped, none executed.
+    assert_eq!(executed.load(Ordering::SeqCst), 0);
+    let skipped = ex.stats().delta(&before).total().skipped;
+    assert!(
+        skipped >= FANOUT as u64,
+        "queued tasks must be skipped, not run: {skipped}"
+    );
+}
+
+#[test]
+fn cancel_after_finalize_is_a_noop() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    let count = Arc::new(AtomicUsize::new(0));
+    let c = Arc::clone(&count);
+    tf.emplace(move || {
+        c.fetch_add(1, Ordering::SeqCst);
+    });
+    let run = tf.run();
+    assert_eq!(run.get(), Ok(()));
+    assert!(!run.cancel(), "cancel after finalize must be a no-op");
+    assert_eq!(run.get(), Ok(()), "the resolved outcome must not change");
+    // The topology is still reusable after the no-op cancel.
+    assert_eq!(tf.run().get(), Ok(()));
+    assert_eq!(count.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn fail_fast_cancels_siblings_and_inflight_detached_subflow() {
+    let ex = Executor::new(4);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    tf.set_failure_policy(FailurePolicy::FailFast);
+    let child_started = Arc::new(AtomicUsize::new(0));
+    let followers_ran = Arc::new(AtomicUsize::new(0));
+    // A detached subflow whose child is in flight when the panic lands;
+    // it polls cancellation so FailFast can reel it in.
+    let cs = Arc::clone(&child_started);
+    tf.emplace_subflow(move |sf| {
+        sf.detach();
+        sf.emplace(spin_until_cancelled(&cs));
+    });
+    // The panicking task waits for the child so the subflow is genuinely
+    // in flight, then fails; its successors must be skipped, not run.
+    let cs = Arc::clone(&child_started);
+    let boom = tf
+        .emplace(move || {
+            while cs.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            panic!("fail fast boom");
+        })
+        .name("boom");
+    for _ in 0..50 {
+        let f = Arc::clone(&followers_ran);
+        let t = tf.emplace(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        boom.precede(t);
+    }
+    let before = ex.stats();
+    let err = tf.try_wait_for_all().expect_err("panic not reported");
+    // The panic wins over the internal cancel (first error is kept).
+    let panic = err.as_panic().expect("panic, not Cancelled");
+    assert_eq!(panic.task, "boom");
+    assert_eq!(followers_ran.load(Ordering::SeqCst), 0);
+    assert!(ex.stats().delta(&before).total().skipped >= 50);
+}
+
+#[test]
+fn continue_all_still_runs_siblings_after_panic() {
+    // The historical default is unchanged: a panic is recorded but the
+    // rest of the graph executes.
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    assert_eq!(tf.failure_policy(), FailurePolicy::ContinueAll);
+    let followers_ran = Arc::new(AtomicUsize::new(0));
+    let boom = tf.emplace(|| panic!("recorded boom")).name("boom");
+    for _ in 0..50 {
+        let f = Arc::clone(&followers_ran);
+        let t = tf.emplace(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        boom.precede(t);
+    }
+    let err = tf.try_wait_for_all().expect_err("panic not reported");
+    assert_eq!(err.as_panic().expect("panic").task, "boom");
+    assert_eq!(followers_ran.load(Ordering::SeqCst), 50);
+}
+
+#[test]
+fn retry_rescues_transient_failures() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let a = Arc::clone(&attempts);
+    tf.emplace(move || {
+        if a.fetch_add(1, Ordering::SeqCst) < 2 {
+            panic!("transient");
+        }
+    })
+    .retry(3);
+    let before = ex.stats();
+    assert_eq!(tf.run().get(), Ok(()));
+    assert_eq!(attempts.load(Ordering::SeqCst), 3, "two retries, then ok");
+    assert_eq!(ex.stats().delta(&before).total().retries, 2);
+}
+
+#[test]
+fn retry_exhaustion_propagates_the_final_panic() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let a = Arc::clone(&attempts);
+    tf.emplace(move || {
+        a.fetch_add(1, Ordering::SeqCst);
+        panic!("permanent");
+    })
+    .name("doomed")
+    .retry(2);
+    let before = ex.stats();
+    let err = tf.run().get().expect_err("exhausted retry must fail");
+    let panic = err.as_panic().expect("panic");
+    assert_eq!(panic.task, "doomed");
+    assert!(panic.message.contains("permanent"));
+    assert_eq!(attempts.load(Ordering::SeqCst), 3, "1 attempt + 2 retries");
+    assert_eq!(ex.stats().delta(&before).total().retries, 2);
+}
+
+#[test]
+fn deadline_expiry_degrades_to_cancellation() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    let started = Arc::new(AtomicUsize::new(0));
+    tf.emplace(spin_until_cancelled(&started));
+    let t0 = std::time::Instant::now();
+    let result = tf.run_timeout(Duration::from_millis(50));
+    assert_eq!(result, Err(RunError::Cancelled));
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "deadline must not hang"
+    );
+}
+
+#[test]
+fn deadline_racing_natural_completion_never_hangs() {
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    // A task whose duration straddles the deadline: either outcome is
+    // legal, but the wait must resolve and the loser of the race must
+    // not corrupt the next run.
+    tf.emplace(|| std::thread::sleep(Duration::from_millis(5)));
+    for _ in 0..20 {
+        match tf.run().wait_timeout(Duration::from_millis(5)) {
+            Ok(()) | Err(RunError::Cancelled) => {}
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    // A generous deadline always sees natural completion.
+    assert_eq!(tf.run_timeout(Duration::from_secs(60)), Ok(()));
+}
+
+// ---- Deterministic chaos matrix -----------------------------------------
+//
+// Each test pins a seed, *computes* the expected fault plan from the pure
+// `ChaosSpec::fault` function, and asserts the executor's behaviour
+// matches the plan exactly — same seed, same outcome, every run.
+
+/// Chain of `n` chaos-wrapped tasks `t0 → t1 → …`; returns the counter of
+/// closures that ran to completion (fault-free bodies).
+fn chaos_chain(tf: &Taskflow, spec: ChaosSpec, n: u64) -> Arc<AtomicUsize> {
+    let ran = Arc::new(AtomicUsize::new(0));
+    let mut prev = None;
+    for node in 0..n {
+        let r = Arc::clone(&ran);
+        let t = tf
+            .emplace(spec.wrap(node, move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            }))
+            .name(format!("t{node}"));
+        if let Some(p) = prev {
+            let p: rustflow::Task<'_> = p;
+            p.precede(t);
+        }
+        prev = Some(t);
+    }
+    ran
+}
+
+#[test]
+fn chaos_fail_fast_stops_at_the_seeded_panic() {
+    const SEED: u64 = 1802;
+    const N: u64 = 64;
+    let spec = ChaosSpec::new(SEED).panic_permille(40);
+    // The plan is pure: the first chain position that panics is known
+    // before anything runs.
+    let first_panic = (0..N)
+        .find(|&n| spec.fault(n, 0) == Fault::Panic)
+        .expect("seed must inject at least one panic");
+    assert!(
+        (1..N - 1).contains(&first_panic),
+        "pick a seed whose first panic is interior, got {first_panic}"
+    );
+    let ex = Executor::new(4);
+    let tf = Taskflow::with_executor(ex);
+    tf.set_failure_policy(FailurePolicy::FailFast);
+    let ran = chaos_chain(&tf, spec, N);
+    let err = tf
+        .try_wait_for_all()
+        .expect_err("seeded panic must surface");
+    let panic = err.as_panic().expect("panic");
+    assert_eq!(panic.task, format!("t{first_panic}"));
+    assert!(panic.message.contains("chaos: injected panic"));
+    // FailFast: exactly the tasks before the first seeded panic ran.
+    assert_eq!(ran.load(Ordering::SeqCst) as u64, first_panic);
+}
+
+#[test]
+fn chaos_continue_all_runs_everything_but_the_seeded_panics() {
+    const SEED: u64 = 1802;
+    const N: u64 = 64;
+    let spec = ChaosSpec::new(SEED)
+        .panic_permille(40)
+        .delay_permille(200, 50);
+    let panics = (0..N).filter(|&n| spec.fault(n, 0) == Fault::Panic).count() as u64;
+    assert!(panics > 0, "seed must inject at least one panic");
+    let ex = Executor::new(4);
+    let tf = Taskflow::with_executor(ex);
+    let ran = chaos_chain(&tf, spec, N);
+    assert!(tf.try_wait_for_all().is_err());
+    // ContinueAll: every fault-free body ran despite the panics.
+    assert_eq!(ran.load(Ordering::SeqCst) as u64, N - panics);
+}
+
+#[test]
+fn chaos_retry_budget_is_charged_per_attempt() {
+    // permille 1000: the fault plan panics this node on every attempt
+    // (retries re-run the same (node, iteration) point), so a retry
+    // budget of 2 yields exactly 3 seeded panics and then the error.
+    const SEED: u64 = 7;
+    let spec = ChaosSpec::new(SEED).panic_permille(1000);
+    assert_eq!(spec.fault(0, 0), Fault::Panic);
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    tf.emplace(spec.wrap(0, || {})).name("chaotic").retry(2);
+    let before = ex.stats();
+    let err = tf.run().get().expect_err("chaos panics every attempt");
+    assert_eq!(err.as_panic().expect("panic").task, "chaotic");
+    assert_eq!(ex.stats().delta(&before).total().retries, 2);
+}
+
+#[test]
+fn chaos_delays_under_a_deadline_resolve_cancelled() {
+    // Seeded delays slow the chain; the spinning tail guarantees the
+    // deadline fires; outcome is Cancelled for every run of this seed.
+    const SEED: u64 = 23;
+    let spec = ChaosSpec::new(SEED).delay_permille(1000, 500);
+    let ex = Executor::new(2);
+    let tf = Taskflow::with_executor(ex);
+    let started = Arc::new(AtomicUsize::new(0));
+    let last = chaos_chain_tail(&tf, spec, 16);
+    let tail = tf.emplace(spin_until_cancelled(&started)).name("tail");
+    last.map(|l| l.precede(tail));
+    assert_eq!(
+        tf.run_timeout(Duration::from_millis(30)),
+        Err(RunError::Cancelled)
+    );
+}
+
+/// Like [`chaos_chain`] but returns the last task of the chain so callers
+/// can extend it.
+fn chaos_chain_tail<'t>(tf: &'t Taskflow, spec: ChaosSpec, n: u64) -> Option<rustflow::Task<'t>> {
+    let mut prev: Option<rustflow::Task<'t>> = None;
+    for node in 0..n {
+        let t = tf.emplace(spec.wrap(node, || {}));
+        if let Some(p) = prev {
+            p.precede(t);
+        }
+        prev = Some(t);
+    }
+    prev
 }

@@ -337,9 +337,106 @@ fn prometheus_text_from_live_executor_parses() {
         "rustflow_injector_pops_total",
         "rustflow_parks_total",
         "rustflow_wakes_sent_total",
+        "rustflow_tasks_skipped_total",
+        "rustflow_task_retries_total",
     ] {
         assert!(families.iter().any(|f| f == family), "missing {family}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fault events (schema v3): skip / retry round-trip through the rings
+// ---------------------------------------------------------------------------
+
+#[test]
+fn retry_events_round_trip_with_one_span_per_task() {
+    assert_eq!(rustflow::SCHED_EVENT_SCHEMA_VERSION, 3);
+    let ex = Executor::new(2);
+    let tracer = Arc::new(Tracer::new(2));
+    ex.observe(Arc::clone(&tracer) as Arc<dyn ExecutorObserver>);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let a = Arc::clone(&attempts);
+    tf.emplace(move || {
+        if a.fetch_add(1, Ordering::SeqCst) < 2 {
+            panic!("flaky");
+        }
+    })
+    .name("flaky")
+    .retry(2);
+    assert!(tf.try_wait_for_all().is_ok());
+    let events = tracer.sched_events();
+    // One retry event per re-execution, with monotonically rising attempt.
+    let retry_attempts: Vec<u32> = events
+        .iter()
+        .filter(|e| e.label == "flaky")
+        .filter_map(|e| match e.kind {
+            SchedEventKind::TaskRetried { attempt } => Some(attempt),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(retry_attempts, vec![1, 2]);
+    // The begin/end pair brackets *all* attempts: exactly one span.
+    let begins = events
+        .iter()
+        .filter(|e| e.label == "flaky" && matches!(e.kind, SchedEventKind::TaskBegin { .. }))
+        .count();
+    let ends = events
+        .iter()
+        .filter(|e| e.label == "flaky" && matches!(e.kind, SchedEventKind::TaskEnd { .. }))
+        .count();
+    assert_eq!((begins, ends), (1, 1));
+    // And the chrome trace renders the instants.
+    let json = tracer.chrome_trace_json();
+    assert!(json.contains("task-retried"));
+    assert_eq!(ex.stats().total().retries, 2);
+}
+
+#[test]
+fn skipped_tasks_emit_skip_events_and_no_span() {
+    let ex = Executor::new(2);
+    let tracer = Arc::new(Tracer::new(2));
+    ex.observe(Arc::clone(&tracer) as Arc<dyn ExecutorObserver>);
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    let started = Arc::new(AtomicUsize::new(0));
+    let s = Arc::clone(&started);
+    let gate = tf
+        .emplace(move || {
+            s.store(1, Ordering::SeqCst);
+            while !rustflow::this_task::is_cancelled() {
+                std::thread::yield_now();
+            }
+        })
+        .name("gate");
+    for i in 0..64 {
+        let t = tf.emplace(|| unreachable!("skipped")).name(format!("s{i}"));
+        gate.precede(t);
+    }
+    let run = tf.run();
+    // Cancel only once the gate is live, so exactly its 64 successors
+    // (and not the gate itself) take the skip path.
+    while started.load(Ordering::SeqCst) == 0 {
+        std::thread::yield_now();
+    }
+    run.cancel();
+    assert!(run.get().unwrap_err().is_cancelled());
+    let events = tracer.sched_events();
+    let skipped: Vec<&str> = events
+        .iter()
+        .filter(|e| matches!(e.kind, SchedEventKind::TaskSkipped))
+        .map(|e| e.label.as_str())
+        .collect();
+    assert_eq!(skipped.len(), 64, "every successor skipped: {skipped:?}");
+    // A skipped task produces no begin/end span at all.
+    for label in skipped {
+        assert!(!events.iter().any(|e| e.label == label
+            && matches!(
+                e.kind,
+                SchedEventKind::TaskBegin { .. } | SchedEventKind::TaskEnd { .. }
+            )));
+    }
+    assert!(tracer.chrome_trace_json().contains("task-skipped"));
+    assert_eq!(ex.stats().total().skipped, 64);
 }
 
 #[test]

@@ -48,6 +48,7 @@ fn cyclic_dispatch_resolves_typed_error_instead_of_deadlocking() {
     // The future must resolve promptly — a rejected graph never reaches
     // the workers, so nothing can wedge.
     let result = future
+        .future()
         .get_timeout(Duration::from_secs(10))
         .expect("rejected dispatch must resolve, not hang");
     match result {
