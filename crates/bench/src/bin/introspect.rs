@@ -1,0 +1,327 @@
+//! Introspection gate — live-observability overhead and endpoint smoke
+//! (beyond the paper; CI job `introspect-gate`).
+//!
+//! Two checks, both against real sockets:
+//!
+//! 1. **Overhead** — a wavefront workload is timed on a plain executor
+//!    and on one with the full introspection service enabled (collector
+//!    thread, HTTP endpoint, and a scraper hitting `/metrics` + `/status`
+//!    throughout). The enabled/disabled median ratio must stay ≤ 1.05×.
+//! 2. **Endpoint smoke** — while a `run_n` batch is in flight, `/metrics`
+//!    must pass the strict [`tf_bench::prom`] parser with every expected
+//!    family present, `/status` must parse as JSON ([`tf_bench::json`])
+//!    with a worker entry per thread, and `/trace?last_ms=500` must be
+//!    valid Chrome-trace JSON whose events all sit inside the window.
+//!
+//! Results land in `<out>/introspect_report.json`; any gate violation
+//! makes the process exit non-zero, failing the CI job.
+
+use rustflow::{Executor, IntrospectConfig, Taskflow};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tf_bench::harness::{time_ms, Cli};
+use tf_bench::impls::wavefront_rustflow;
+use tf_bench::{json, prom};
+
+/// Enabled-vs-disabled wall-clock ratio the gate allows.
+const RATIO_GATE: f64 = 1.05;
+
+/// Families `/metrics` must always expose.
+const REQUIRED_FAMILIES: &[&str] = &[
+    "rustflow_tasks_executed_total",
+    "rustflow_steals_total",
+    "rustflow_ring_dropped_events_total",
+    "rustflow_queue_depth",
+    "rustflow_parked_workers",
+    "rustflow_inflight_topologies",
+    "rustflow_flight_recorder_events",
+    "rustflow_flight_recorder_dropped_total",
+    "rustflow_watchdog_stalled_workers_total",
+    "rustflow_watchdog_stalled_topologies_total",
+    "rustflow_watchdog_ring_saturation_total",
+];
+
+struct GateResult {
+    threads: usize,
+    dim: usize,
+    iters: u32,
+    reps: usize,
+    disabled_ms: f64,
+    enabled_ms: f64,
+    ratio: f64,
+    scrapes: usize,
+    smoke: Vec<(String, bool, String)>,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let threads = cli
+        .threads
+        .as_ref()
+        .and_then(|t| t.first().copied())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4)
+        });
+    let (dim, iters) = if cli.full { (48, 8192) } else { (32, 8192) };
+    let reps = cli.reps.max(9);
+
+    let mut result = GateResult {
+        threads,
+        dim,
+        iters,
+        reps,
+        disabled_ms: 0.0,
+        enabled_ms: 0.0,
+        ratio: 0.0,
+        scrapes: 0,
+        smoke: Vec::new(),
+    };
+
+    if cli.wants_part("overhead") {
+        measure_overhead(&mut result);
+    }
+    if cli.wants_part("smoke") {
+        smoke(&mut result);
+    }
+
+    let overhead_pass = result.ratio == 0.0 || result.ratio <= RATIO_GATE;
+    let smoke_pass = result.smoke.iter().all(|(_, ok, _)| *ok);
+    println!(
+        "introspect gate: disabled={:.2}ms enabled={:.2}ms ratio={:.3} (gate {RATIO_GATE}) {}",
+        result.disabled_ms,
+        result.enabled_ms,
+        result.ratio,
+        if overhead_pass { "ok" } else { "FAIL" },
+    );
+    for (name, ok, note) in &result.smoke {
+        println!("  {} {name} {note}", if *ok { "ok  " } else { "FAIL" });
+    }
+    write_report(&cli, &result, overhead_pass && smoke_pass);
+    if !(overhead_pass && smoke_pass) {
+        eprintln!("introspect gate: FAILED");
+        std::process::exit(1);
+    }
+    println!("introspect gate: all checks passed");
+}
+
+/// Times the wavefront on a bare executor vs one with the service live
+/// (collector + HTTP + an active scraper). Disabled/enabled reps are
+/// interleaved so machine drift hits both sides equally, and each side
+/// takes its median.
+fn measure_overhead(result: &mut GateResult) {
+    let (threads, dim, iters, reps) = (result.threads, result.dim, result.iters, result.reps);
+
+    let bare = Executor::new(threads);
+    let live = Executor::new(threads);
+    let handle = live
+        .serve_introspection_with("127.0.0.1:0", IntrospectConfig::default())
+        .expect("bind introspection endpoint");
+    let addr = handle.local_addr().expect("local addr");
+
+    // A scraper polling both text endpoints for the whole measurement,
+    // so "enabled" means enabled *and observed*, not merely idling.
+    // 250ms is still ~20-60x more aggressive than a production
+    // Prometheus scrape interval.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut n = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let _ = http_get(addr, "/metrics");
+                let _ = http_get(addr, "/status");
+                n += 1;
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            n
+        })
+    };
+
+    // Warm both executors (threads spawn lazily on first dispatch).
+    wavefront_rustflow::run(dim, iters, &bare);
+    wavefront_rustflow::run(dim, iters, &live);
+
+    let mut disabled = Vec::with_capacity(reps);
+    let mut enabled = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        disabled.push(time_ms(|| {
+            wavefront_rustflow::run(dim, iters, &bare);
+        }));
+        enabled.push(time_ms(|| {
+            wavefront_rustflow::run(dim, iters, &live);
+        }));
+    }
+    stop.store(true, Ordering::Relaxed);
+    result.scrapes = scraper.join().expect("scraper panicked");
+    result.disabled_ms = median(&mut disabled);
+    result.enabled_ms = median(&mut enabled);
+    result.ratio = result.enabled_ms / result.disabled_ms;
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Hits all three endpoints while a `run_n` batch is in flight and
+/// validates every payload strictly.
+fn smoke(result: &mut GateResult) {
+    let threads = result.threads;
+    let ex = Executor::new(threads);
+    let mut cfg = IntrospectConfig::default();
+    cfg.collect_period = Duration::from_millis(20);
+    let handle = ex
+        .serve_introspection_with("127.0.0.1:0", cfg)
+        .expect("bind introspection endpoint");
+    let addr = handle.local_addr().expect("local addr");
+
+    let tf = Taskflow::with_executor(Arc::clone(&ex));
+    for i in 0..(threads * 4) {
+        tf.emplace(move || {
+            std::hint::black_box(tf_workloads::kernels::nominal_work(i as u64 + 1, 50_000));
+        })
+        .name(format!("smoke-{i}"));
+    }
+    let fut = tf.run_n(400);
+    let mut check = |name: &str, ok: bool, note: String| {
+        result.smoke.push((name.to_string(), ok, note));
+    };
+
+    // /metrics under the strict parser, all families present.
+    let metrics = http_get(addr, "/metrics");
+    match prom::parse(&metrics) {
+        Ok(exp) => {
+            check(
+                "metrics_parse",
+                true,
+                format!("{} families", exp.families.len()),
+            );
+            for fam in REQUIRED_FAMILIES {
+                check(
+                    &format!("metrics_family:{fam}"),
+                    exp.family(fam).is_some(),
+                    String::new(),
+                );
+            }
+            let executed = exp.family("rustflow_tasks_executed_total");
+            check(
+                "metrics_per_worker_samples",
+                executed.is_some_and(|f| f.samples.len() == threads),
+                format!(
+                    "{}/{threads} worker samples",
+                    executed.map_or(0, |f| f.samples.len())
+                ),
+            );
+        }
+        Err(e) => check("metrics_parse", false, e),
+    }
+
+    // /status through the strict JSON parser, one worker entry per thread.
+    let status = http_get(addr, "/status");
+    let mut status_now_us = 0u64;
+    match json::parse(&status) {
+        Ok(v) => {
+            check("status_parse", true, String::new());
+            status_now_us = v.get("now_us").and_then(|n| n.as_u64()).unwrap_or(0);
+            check("status_now_us", status_now_us > 0, String::new());
+            let workers = v
+                .get("workers")
+                .and_then(|w| w.as_arr())
+                .map_or(0, <[_]>::len);
+            check(
+                "status_workers",
+                workers == threads,
+                format!("{workers}/{threads} workers"),
+            );
+            let topos = v
+                .get("topologies")
+                .and_then(|t| t.as_arr())
+                .map_or(0, <[_]>::len);
+            check(
+                "status_live_topology",
+                topos >= 1,
+                format!("{topos} in flight"),
+            );
+        }
+        Err(e) => check("status_parse", false, e),
+    }
+
+    // /trace?last_ms=500: valid Chrome-trace JSON, events in-window.
+    let trace = http_get(addr, "/trace?last_ms=500");
+    match json::parse(&trace) {
+        Ok(v) => {
+            let events = v.as_arr().map(<[_]>::len).unwrap_or(0);
+            check("trace_parse", events > 0, format!("{events} events"));
+            // All event timestamps within the requested window (plus the
+            // slack of the scrapes above happening before this one).
+            let horizon = status_now_us.saturating_sub(500_000);
+            let in_window = v.as_arr().is_some_and(|evs| {
+                evs.iter().all(|e| {
+                    e.get("ts")
+                        .and_then(|t| t.as_u64())
+                        .is_some_and(|ts| ts >= horizon)
+                })
+            });
+            check("trace_window", in_window, format!("horizon {horizon}µs"));
+            let shaped = v.as_arr().is_some_and(|evs| {
+                evs.iter().all(|e| {
+                    e.get("ph").and_then(|p| p.as_str()).is_some()
+                        && e.get("tid").and_then(|t| t.as_u64()).is_some()
+                })
+            });
+            check("trace_event_shape", shaped, String::new());
+        }
+        Err(e) => check("trace_parse", false, e),
+    }
+
+    fut.get().expect("smoke workload failed");
+}
+
+fn http_get(addr: SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect introspection endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("socket timeout");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: gate\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("malformed response");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "unexpected status for {target}: {}",
+        head.lines().next().unwrap_or("")
+    );
+    body.to_string()
+}
+
+fn write_report(cli: &Cli, r: &GateResult, pass: bool) {
+    std::fs::create_dir_all(&cli.out).expect("cannot create output directory");
+    let mut smoke = String::new();
+    for (i, (name, ok, note)) in r.smoke.iter().enumerate() {
+        smoke.push_str(&format!(
+            "    {{\"check\": \"{name}\", \"pass\": {ok}, \"note\": \"{note}\"}}{}\n",
+            if i + 1 < r.smoke.len() { "," } else { "" },
+        ));
+    }
+    let json_text = format!(
+        "{{\n  \"schema\": 1,\n  \"threads\": {},\n  \"dim\": {},\n  \"iters\": {},\n  \
+         \"reps\": {},\n  \"disabled_ms\": {:.3},\n  \"enabled_ms\": {:.3},\n  \
+         \"ratio\": {:.4},\n  \"ratio_gate\": {RATIO_GATE},\n  \"scrapes\": {},\n  \
+         \"smoke\": [\n{smoke}  ],\n  \"pass\": {pass}\n}}\n",
+        r.threads, r.dim, r.iters, r.reps, r.disabled_ms, r.enabled_ms, r.ratio, r.scrapes,
+    );
+    let path = cli.out.join("introspect_report.json");
+    std::fs::write(&path, &json_text).expect("cannot write introspect report");
+    // The report must stay machine-readable: parse it back.
+    json::parse(&json_text).expect("introspect report must be valid JSON");
+    println!("  -> {}", path.display());
+}

@@ -15,6 +15,8 @@
 //! | `fig12` | Figure 12 — DNN training runtimes (epoch & thread sweeps) |
 //! | `reuse` | rebuild-vs-reuse cost of iterative graphs (beyond the paper) |
 //! | `profile` | causal work/span profile + CI perf-regression gate (beyond the paper) |
+//! | `chaos` | deterministic fault-injection gate (beyond the paper) |
+//! | `introspect` | live-introspection overhead + endpoint smoke gate (beyond the paper) |
 //!
 //! Criterion micro-benches (`benches/`) cover per-task scheduling
 //! overhead, algorithm primitives, and the Algorithm-1 ablations.
@@ -24,6 +26,7 @@
 pub mod harness;
 pub mod impls;
 pub mod json;
+pub mod prom;
 
 #[cfg(test)]
 mod impl_tests {

@@ -1,0 +1,41 @@
+//! The process-wide monotonic clock origin shared by every telemetry
+//! domain.
+//!
+//! The seed's exporters each derived their own origin (`Instant::now()`
+//! at `Tracer` construction, again at profile export), so a live `/trace`
+//! window and a post-mortem `profile_report.json` span of the *same* task
+//! carried unrelatable timestamps. Every timestamp rustflow emits — ring
+//! events ([`crate::SchedEvent::ts_us`]), the flight recorder, `/trace`
+//! output, and profile spans — is now microseconds since the single
+//! origin returned by [`origin`], latched once per process and copied
+//! onto each [`Executor`](crate::Executor) at construction.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The shared monotonic origin: latched on first use, identical for every
+/// executor, tracer, and exporter in the process.
+pub(crate) fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since [`origin`].
+pub(crate) fn now_us() -> u64 {
+    origin().elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_is_stable_and_monotonic() {
+        let a = origin();
+        let t0 = now_us();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t1 = now_us();
+        assert_eq!(a, origin(), "origin latches once");
+        assert!(t1 > t0, "clock advances");
+    }
+}

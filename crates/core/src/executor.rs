@@ -17,6 +17,7 @@
 use crate::error::{panic_message, FailurePolicy, RunError, RunResult, TaskPanic};
 use crate::future::SharedFuture;
 use crate::graph::{RawNode, Work};
+use crate::introspect::{CurrentTask, IntrospectConfig, IntrospectHandle, IntrospectState};
 use crate::notifier::Notifier;
 use crate::observer::{ExecutorObserver, DISPATCH_LANE};
 use crate::stats::{ExecutorStats, WorkerStats};
@@ -30,6 +31,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Tunables of the scheduling algorithm; the defaults match the paper.
 /// The ablation switches exist so the benches can quantify each heuristic.
@@ -103,8 +105,13 @@ fn default_parallelism() -> usize {
 }
 
 /// Per-worker state visible to other threads.
-struct WorkerShared {
-    stealer: wsq::Stealer,
+pub(crate) struct WorkerShared {
+    pub(crate) stealer: wsq::Stealer,
+    /// The task this worker is executing right now, published only while
+    /// live introspection is on (`Inner::introspect_live`). Uncontended
+    /// in steady state: the worker writes twice per task, the collector
+    /// reads once per period.
+    pub(crate) current: Mutex<Option<CurrentTask>>,
     /// Diagnostic counters (relaxed; advisory). Each worker writes only
     /// its own set, so there is no cross-worker contention.
     executed: AtomicU64,
@@ -120,7 +127,7 @@ struct WorkerShared {
 }
 
 impl WorkerShared {
-    fn snapshot(&self) -> WorkerStats {
+    pub(crate) fn snapshot(&self) -> WorkerStats {
         WorkerStats {
             executed: self.executed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -132,6 +139,7 @@ impl WorkerShared {
             wakes_sent: self.wakes_sent.load(Ordering::Relaxed),
             skipped: self.skipped.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            ring_dropped: 0,
         }
     }
 }
@@ -161,10 +169,10 @@ impl WorkerCtx {
     }
 }
 
-struct Inner {
-    shareds: Box<[WorkerShared]>,
+pub(crate) struct Inner {
+    pub(crate) shareds: Box<[WorkerShared]>,
     /// External submission queue (dispatch pushes source tasks here).
-    injector: Mutex<VecDeque<usize>>,
+    pub(crate) injector: Mutex<VecDeque<usize>>,
     /// Workers currently inside a steal round. While any thief is active
     /// there is no need to wake another worker for a freshly pushed task —
     /// the spinning thief will find it (Cpp-Taskflow's notifier applies
@@ -172,16 +180,42 @@ struct Inner {
     /// gives up re-checks every queue under the notifier's Dekker
     /// protocol before parking.
     num_spinning: AtomicUsize,
-    notifier: Notifier,
+    pub(crate) notifier: Notifier,
     stop: AtomicBool,
     /// Keep-alive registry: topologies currently executing.
-    running: Mutex<Vec<Arc<Topology>>>,
+    pub(crate) running: Mutex<Vec<Arc<Topology>>>,
     /// Signalled (under the `running` mutex) whenever `running` empties;
     /// `Executor::drop` sleeps on it instead of busy-yielding.
     all_done: Condvar,
     observers: RwLock<Vec<Arc<dyn ExecutorObserver>>>,
     has_observers: AtomicBool,
     cfg: Config,
+    /// The shared monotonic clock origin ([`crate::clock::origin`]),
+    /// latched here so every timestamp this executor emits — ring events,
+    /// flight-recorder windows, `/trace` output, profile spans — lives in
+    /// one time domain (`Executor::now_us`).
+    pub(crate) epoch: Instant,
+    /// `true` while live introspection is on; gates the current-task
+    /// publication in `execute` (one relaxed load when off).
+    pub(crate) introspect_live: AtomicBool,
+    /// The live-introspection service, if started (collector + optional
+    /// HTTP server). Holds a `Weak` back-reference to this `Inner`, so no
+    /// cycle keeps the executor alive.
+    pub(crate) introspect: RwLock<Option<Arc<IntrospectState>>>,
+}
+
+impl Inner {
+    /// Snapshot of every worker's counters, with ring-drop counts folded
+    /// in from the introspection tracer when one is installed.
+    pub(crate) fn worker_stats(&self) -> Vec<WorkerStats> {
+        let mut stats: Vec<WorkerStats> = self.shareds.iter().map(|s| s.snapshot()).collect();
+        if let Some(state) = self.introspect.read().as_ref() {
+            for (w, dropped) in stats.iter_mut().zip(state.tracer().dropped_per_lane()) {
+                w.ring_dropped = dropped;
+            }
+        }
+        stats
+    }
 }
 
 /// Runs every observer hook iff at least one observer is installed; the
@@ -199,6 +233,9 @@ fn notify_observers(inner: &Inner, f: impl Fn(&dyn ExecutorObserver)) {
 pub struct Executor {
     inner: Arc<Inner>,
     threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Introspection service threads (collector, HTTP acceptor); joined
+    /// on drop after their stop flag is raised.
+    aux_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Executor {
@@ -215,6 +252,7 @@ impl Executor {
             owners.push(owner);
             shareds.push(WorkerShared {
                 stealer,
+                current: Mutex::new(None),
                 executed: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
                 steals: AtomicU64::new(0),
@@ -238,6 +276,9 @@ impl Executor {
             observers: RwLock::new(Vec::new()),
             has_observers: AtomicBool::new(false),
             cfg,
+            epoch: crate::clock::origin(),
+            introspect_live: AtomicBool::new(false),
+            introspect: RwLock::new(None),
         });
         let mut threads = Vec::with_capacity(workers);
         for (id, owner) in owners.into_iter().enumerate() {
@@ -259,6 +300,7 @@ impl Executor {
         Arc::new(Executor {
             inner,
             threads: Mutex::new(threads),
+            aux_threads: Mutex::new(Vec::new()),
         })
     }
 
@@ -292,9 +334,12 @@ impl Executor {
         self.inner.has_observers.store(false, Ordering::Release);
     }
 
-    /// Per-worker diagnostic counters.
+    /// Per-worker diagnostic counters. When live introspection is on
+    /// ([`Executor::serve_introspection`]) each entry also carries its
+    /// worker's telemetry-ring drop count
+    /// ([`WorkerStats::ring_dropped`]).
     pub fn worker_stats(&self) -> Vec<WorkerStats> {
-        self.inner.shareds.iter().map(|s| s.snapshot()).collect()
+        self.inner.worker_stats()
     }
 
     /// A point-in-time snapshot of every worker's counters, ready for
@@ -304,6 +349,63 @@ impl Executor {
         ExecutorStats {
             workers: self.worker_stats(),
         }
+    }
+
+    /// Microseconds since the process-wide monotonic clock origin — the
+    /// time domain of every [`SchedEvent::ts_us`](crate::SchedEvent),
+    /// flight-recorder window, `/trace` timestamp, and profile span this
+    /// executor emits. Scrapers use it to correlate a live observation
+    /// with trace output.
+    pub fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Starts the live-introspection collector (flight recorder +
+    /// watchdog) **without** an HTTP endpoint; snapshots are read through
+    /// the returned [`IntrospectHandle`]. The whole feature is off until
+    /// this (or [`Executor::serve_introspection`]) is called: workers pay
+    /// one relaxed load per task when disabled.
+    ///
+    /// Errors with [`std::io::ErrorKind::AlreadyExists`] if introspection
+    /// was already started on this executor.
+    pub fn start_introspection(
+        &self,
+        config: IntrospectConfig,
+    ) -> std::io::Result<IntrospectHandle> {
+        crate::introspect::start(self, &self.inner, config, None)
+    }
+
+    /// Starts live introspection with the default [`IntrospectConfig`]
+    /// and serves it over an embedded HTTP endpoint bound to `addr`
+    /// (e.g. `"127.0.0.1:9100"`; port 0 picks a free port — read it back
+    /// via [`IntrospectHandle::local_addr`]).
+    ///
+    /// Routes: `GET /metrics` (Prometheus text), `GET /status` (JSON
+    /// snapshot), `GET /trace?last_ms=N` (Chrome-trace JSON window from
+    /// the flight recorder). The server is a dependency-free blocking
+    /// `TcpListener` acceptor on its own thread; it shuts down with the
+    /// executor.
+    pub fn serve_introspection(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<IntrospectHandle> {
+        self.serve_introspection_with(addr, IntrospectConfig::default())
+    }
+
+    /// [`Executor::serve_introspection`] with a custom config.
+    pub fn serve_introspection_with(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+        config: IntrospectConfig,
+    ) -> std::io::Result<IntrospectHandle> {
+        let listener = std::net::TcpListener::bind(addr)?;
+        crate::introspect::start(self, &self.inner, config, Some(listener))
+    }
+
+    /// Hands the introspection service threads to the executor, which
+    /// joins them on drop (after raising the service's stop flag).
+    pub(crate) fn adopt_aux_threads(&self, threads: Vec<JoinHandle<()>>) {
+        self.aux_threads.lock().extend(threads);
     }
 
     /// The process-wide default executor (used by [`crate::Taskflow::new`]),
@@ -414,6 +516,17 @@ impl Drop for Executor {
             while !running.is_empty() {
                 self.inner.all_done.wait(&mut running);
             }
+        }
+        // Stop the introspection service (collector + HTTP acceptor)
+        // before the workers: its threads hold an `Arc<Inner>` and poll a
+        // stop flag with bounded sleeps, so the join is prompt.
+        let introspect = self.inner.introspect.write().take();
+        if let Some(state) = introspect {
+            self.inner.introspect_live.store(false, Ordering::Release);
+            state.request_stop();
+        }
+        for t in self.aux_threads.lock().drain(..) {
+            let _ = t.join();
         }
         self.inner.stop.store(true, Ordering::SeqCst);
         self.inner.notifier.wake_all();
@@ -603,6 +716,18 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
             complete(inner, ctx, node);
             return;
         }
+        // Publish the running task for live introspection (`/status`,
+        // stall watchdog). Off by default: one relaxed load per task;
+        // when live, two uncontended mutex writes bracketing the work.
+        let live = inner.introspect_live.load(Ordering::Relaxed);
+        if live {
+            *inner.shareds[ctx.id].current.lock() = Some(CurrentTask {
+                label: (*node).label().clone(),
+                node: node as u64,
+                topology: topo.uid(),
+                since_us: crate::clock::now_us(),
+            });
+        }
         let observed = inner.has_observers.load(Ordering::Acquire);
         // Span identity is built only when somebody is listening; the
         // zero-observer hot path pays the single Acquire load and nothing
@@ -687,6 +812,9 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
                 topo.cancel_internal();
             }
             break;
+        }
+        if live {
+            *inner.shareds[ctx.id].current.lock() = None;
         }
         if let Some(span) = span {
             let label = (*node).label();

@@ -1,0 +1,130 @@
+//! The flight recorder: a bounded, time-windowed buffer of scheduler
+//! events.
+//!
+//! The collector thread drains the introspection tracer's per-worker
+//! rings every period and absorbs the batch here. Two bounds keep memory
+//! fixed on long-lived executors:
+//!
+//! * **time window** — events older than `window` fall off the front as
+//!   new batches arrive (by design, not counted as loss);
+//! * **event budget** — if a burst outruns the window, the oldest events
+//!   are evicted early and counted in [`FlightRecorder::evicted`]
+//!   (explicit drop accounting, never silent).
+//!
+//! `GET /trace?last_ms=N` renders a suffix of this buffer through the
+//! Chrome-trace exporter ([`crate::observer::chrome_trace_json_from`]).
+
+use crate::observer::SchedEvent;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub(crate) struct FlightRecorder {
+    /// Retention window, µs: events older than `now - window_us` age out.
+    window_us: u64,
+    /// Memory budget, in events; the oldest are evicted beyond it.
+    max_events: usize,
+    events: Mutex<VecDeque<SchedEvent>>,
+    /// Events evicted by the budget *before* they aged out of the window.
+    evicted: AtomicU64,
+}
+
+impl FlightRecorder {
+    pub(crate) fn new(window_us: u64, max_events: usize) -> FlightRecorder {
+        FlightRecorder {
+            window_us,
+            max_events: max_events.max(1),
+            events: Mutex::new(VecDeque::new()),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a drained batch (already timestamp-ordered) and enforces
+    /// both bounds. `now_us` is the collection pass's clock reading.
+    pub(crate) fn absorb(&self, batch: Vec<SchedEvent>, now_us: u64) {
+        let mut q = self.events.lock();
+        q.extend(batch);
+        let horizon = now_us.saturating_sub(self.window_us);
+        while q.front().is_some_and(|e| e.ts_us < horizon) {
+            q.pop_front();
+        }
+        let mut over = q.len().saturating_sub(self.max_events);
+        while over > 0 {
+            q.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            over -= 1;
+        }
+    }
+
+    /// Events newer than `now_us - last_us` (clamped to the retention
+    /// window), ordered by timestamp.
+    pub(crate) fn window(&self, last_us: u64, now_us: u64) -> Vec<SchedEvent> {
+        let horizon = now_us.saturating_sub(last_us.min(self.window_us));
+        let q = self.events.lock();
+        let start = q.partition_point(|e| e.ts_us < horizon);
+        let mut out: Vec<SchedEvent> = q.iter().skip(start).cloned().collect();
+        // Batches are sorted, but a stale ring entry drained late can
+        // straddle a batch boundary; exporters require global order.
+        out.sort_by_key(|e| e.ts_us);
+        out
+    }
+
+    /// Events currently retained.
+    pub(crate) fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Events evicted by the memory budget before aging out.
+    pub(crate) fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::TaskLabel;
+    use crate::observer::SchedEventKind;
+
+    fn ev(ts: u64) -> SchedEvent {
+        SchedEvent {
+            worker: 0,
+            ts_us: ts,
+            label: TaskLabel::empty(),
+            kind: SchedEventKind::Park,
+        }
+    }
+
+    #[test]
+    fn window_ages_out_without_counting_drops() {
+        let r = FlightRecorder::new(1_000, 100);
+        r.absorb((0..10).map(|i| ev(i * 100)).collect(), 900);
+        assert_eq!(r.len(), 10);
+        // 1.5 ms later, everything before 500 µs ages out.
+        r.absorb(vec![ev(1_500)], 1_500);
+        assert_eq!(r.len(), 6); // 500..=900 plus the new event
+        assert_eq!(r.evicted(), 0, "aging out is not loss");
+    }
+
+    #[test]
+    fn budget_evicts_oldest_and_counts() {
+        let r = FlightRecorder::new(u64::MAX / 2, 4);
+        r.absorb((0..10).map(ev).collect(), 10);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.evicted(), 6);
+        let w = r.window(u64::MAX / 2, 10);
+        assert_eq!(w.first().unwrap().ts_us, 6, "oldest evicted first");
+    }
+
+    #[test]
+    fn window_query_clamps_and_filters() {
+        let r = FlightRecorder::new(10_000, 1000);
+        r.absorb((0..100).map(|i| ev(i * 100)).collect(), 9_900);
+        let recent = r.window(500, 10_000);
+        assert!(recent.iter().all(|e| e.ts_us >= 9_500));
+        assert_eq!(recent.len(), 5); // 9500, 9600, ..., 9900
+                                     // A query wider than the retention window is clamped to it.
+        let all = r.window(u64::MAX, 10_000);
+        assert_eq!(all.len(), 100);
+    }
+}

@@ -1,0 +1,296 @@
+//! Stall detection over live scheduler state.
+//!
+//! The watchdog runs inside each collection pass and inspects three
+//! progress signals, emitting a structured [`WatchdogDiagnostic`] to
+//! subscribers (and bumping a `rustflow_watchdog_*` counter) when one
+//! trips:
+//!
+//! 1. **Stalled worker** — a worker has been inside the *same* task
+//!    invocation beyond the configured threshold. Detection keys on the
+//!    task's start timestamp, so one stuck invocation is reported once,
+//!    however long it lasts; a fresh invocation of the same task can
+//!    trip again.
+//! 2. **Stalled topology** — a dispatched topology whose progress tuple
+//!    (run id, iteration count, live-task count) has not changed for a
+//!    full threshold while the executor is otherwise quiescent: no
+//!    worker is running anything and every queue (including the
+//!    injector) is empty. The quiescence condition is what separates a
+//!    lost wakeup or dependency-count bug from a merely slow task —
+//!    a long task occupies a worker slot, so signal 1 owns that case.
+//! 3. **Ring saturation** — the introspection tracer dropped events
+//!    since the previous pass, i.e. the collector is not keeping up
+//!    with event production.
+//!
+//! All state lives in [`WatchdogPass`], which the collector keeps inside
+//! the pass mutex — passes are serialized, so detection needs no atomics
+//! beyond the public counters.
+
+use super::CurrentTask;
+use crate::executor::Inner;
+use crate::observer::Tracer;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A structured stall report emitted by the introspection watchdog.
+///
+/// Delivered to callbacks registered with
+/// [`IntrospectHandle::subscribe_watchdog`](super::IntrospectHandle::subscribe_watchdog);
+/// each emission also increments the matching `rustflow_watchdog_*`
+/// Prometheus counter on `/metrics`.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum WatchdogDiagnostic {
+    /// A worker has run the same task invocation beyond the threshold.
+    StalledWorker {
+        /// Worker index.
+        worker: usize,
+        /// Label of the task it is stuck in (may be empty).
+        label: String,
+        /// Opaque id of the stuck task node.
+        node: u64,
+        /// Uid of the topology the task belongs to.
+        topology: u64,
+        /// How long the invocation had been running when detected.
+        running_for: Duration,
+        /// The configured stall threshold, for context.
+        threshold: Duration,
+    },
+    /// A dispatched topology stopped making progress while all workers
+    /// and queues were idle — live tasks exist but nothing can run them.
+    StalledTopology {
+        /// Uid of the non-progressing topology.
+        topology: u64,
+        /// Run id of the stuck run.
+        run: u64,
+        /// Iterations completed when progress stopped.
+        iteration: u64,
+        /// Tasks still live (dispatched or pending) in the stuck run.
+        alive: usize,
+        /// How long the progress tuple had been frozen when detected.
+        stalled_for: Duration,
+    },
+    /// The introspection event rings overflowed since the last pass:
+    /// the collector is falling behind event production.
+    RingSaturation {
+        /// Events lost since the previous collection pass.
+        dropped_delta: u64,
+        /// Total events lost since introspection started.
+        dropped_total: u64,
+    },
+}
+
+impl std::fmt::Display for WatchdogDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WatchdogDiagnostic::StalledWorker {
+                worker,
+                label,
+                running_for,
+                threshold,
+                ..
+            } => write!(
+                f,
+                "worker {worker} stalled in task \"{label}\" for {running_for:?} (threshold {threshold:?})"
+            ),
+            WatchdogDiagnostic::StalledTopology {
+                topology,
+                iteration,
+                alive,
+                stalled_for,
+                ..
+            } => write!(
+                f,
+                "topology {topology} made no progress for {stalled_for:?} \
+                 (iteration {iteration}, {alive} tasks alive, all workers idle)"
+            ),
+            WatchdogDiagnostic::RingSaturation {
+                dropped_delta,
+                dropped_total,
+            } => write!(
+                f,
+                "introspection rings dropped {dropped_delta} events since last pass ({dropped_total} total)"
+            ),
+        }
+    }
+}
+
+/// Cumulative watchdog trip counts since introspection started.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchdogCounts {
+    /// [`WatchdogDiagnostic::StalledWorker`] emissions.
+    pub stalled_workers: u64,
+    /// [`WatchdogDiagnostic::StalledTopology`] emissions.
+    pub stalled_topologies: u64,
+    /// [`WatchdogDiagnostic::RingSaturation`] emissions.
+    pub ring_saturation: u64,
+}
+
+type Subscriber = Box<dyn Fn(&WatchdogDiagnostic) + Send + Sync>;
+
+/// Counters plus the subscriber list — shared between the collector
+/// (emitting) and scrape/API paths (reading counts).
+pub(crate) struct Watchdog {
+    stalled_workers: AtomicU64,
+    stalled_topologies: AtomicU64,
+    ring_saturation: AtomicU64,
+    subscribers: Mutex<Vec<Subscriber>>,
+}
+
+impl Watchdog {
+    pub(crate) fn new() -> Watchdog {
+        Watchdog {
+            stalled_workers: AtomicU64::new(0),
+            stalled_topologies: AtomicU64::new(0),
+            ring_saturation: AtomicU64::new(0),
+            subscribers: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn subscribe(&self, f: Subscriber) {
+        self.subscribers.lock().push(f);
+    }
+
+    pub(crate) fn counts(&self) -> WatchdogCounts {
+        WatchdogCounts {
+            stalled_workers: self.stalled_workers.load(Ordering::Relaxed),
+            stalled_topologies: self.stalled_topologies.load(Ordering::Relaxed),
+            ring_saturation: self.ring_saturation.load(Ordering::Relaxed),
+        }
+    }
+
+    fn emit(&self, d: &WatchdogDiagnostic) {
+        let counter = match d {
+            WatchdogDiagnostic::StalledWorker { .. } => &self.stalled_workers,
+            WatchdogDiagnostic::StalledTopology { .. } => &self.stalled_topologies,
+            WatchdogDiagnostic::RingSaturation { .. } => &self.ring_saturation,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        for s in self.subscribers.lock().iter() {
+            s(d);
+        }
+    }
+}
+
+/// Per-topology progress observation carried across passes.
+struct TopoObservation {
+    run: u64,
+    iterations: u64,
+    alive: usize,
+    /// When this exact progress tuple was first seen (µs).
+    frozen_since_us: u64,
+    /// Whether the current frozen episode was already reported.
+    reported: bool,
+}
+
+/// Detection bookkeeping owned by the collection-pass mutex.
+pub(crate) struct WatchdogPass {
+    /// Per worker: `since_us` of the last invocation reported as stalled.
+    reported_stall: Vec<Option<u64>>,
+    topologies: HashMap<u64, TopoObservation>,
+    last_dropped: u64,
+}
+
+impl WatchdogPass {
+    pub(crate) fn new(num_workers: usize) -> WatchdogPass {
+        WatchdogPass {
+            reported_stall: vec![None; num_workers],
+            topologies: HashMap::new(),
+            last_dropped: 0,
+        }
+    }
+}
+
+/// One watchdog sweep; called from every collection pass with the pass
+/// lock held.
+pub(crate) fn check(
+    pass: &mut WatchdogPass,
+    wd: &Watchdog,
+    inner: &Inner,
+    tracer: &Tracer,
+    threshold_us: u64,
+    now_us: u64,
+) {
+    // --- Signal 1: workers stuck in one task invocation. -----------------
+    let currents: Vec<Option<CurrentTask>> = inner
+        .shareds
+        .iter()
+        .map(|s| s.current.lock().clone())
+        .collect();
+    for (w, cur) in currents.iter().enumerate() {
+        match cur {
+            Some(ct) => {
+                let running_for = now_us.saturating_sub(ct.since_us);
+                if running_for >= threshold_us && pass.reported_stall[w] != Some(ct.since_us) {
+                    pass.reported_stall[w] = Some(ct.since_us);
+                    wd.emit(&WatchdogDiagnostic::StalledWorker {
+                        worker: w,
+                        label: ct.label.as_str().to_string(),
+                        node: ct.node,
+                        topology: ct.topology,
+                        running_for: Duration::from_micros(running_for),
+                        threshold: Duration::from_micros(threshold_us),
+                    });
+                }
+            }
+            None => pass.reported_stall[w] = None,
+        }
+    }
+
+    // --- Signal 2: dispatched topologies frozen while executor is idle. --
+    // Quiescent = no worker mid-task, every deque empty, injector empty.
+    // Snapshot the running list and drop its lock before touching any
+    // per-topology mutex (lock-order: never hold `running` across them).
+    let quiescent = currents.iter().all(Option::is_none)
+        && inner.shareds.iter().all(|s| s.stealer.is_empty())
+        && inner.injector.lock().is_empty();
+    let running: Vec<_> = inner.running.lock().clone();
+    let mut seen = Vec::with_capacity(running.len());
+    for topo in &running {
+        let uid = topo.uid();
+        seen.push(uid);
+        let progress = (topo.run_id(), topo.iterations(), topo.alive_count());
+        let obs = pass.topologies.entry(uid).or_insert(TopoObservation {
+            run: progress.0,
+            iterations: progress.1,
+            alive: progress.2,
+            frozen_since_us: now_us,
+            reported: false,
+        });
+        let moved = (obs.run, obs.iterations, obs.alive) != progress;
+        // Cancelled runs drain asynchronously (skipped tasks still settle)
+        // and settled runs are just awaiting finalize — neither is a stall.
+        if moved || !quiescent || topo.is_cancelled() || topo.is_settled() {
+            obs.run = progress.0;
+            obs.iterations = progress.1;
+            obs.alive = progress.2;
+            obs.frozen_since_us = now_us;
+            obs.reported = false;
+            continue;
+        }
+        let frozen_for = now_us.saturating_sub(obs.frozen_since_us);
+        if frozen_for >= threshold_us && !obs.reported && progress.2 > 0 {
+            obs.reported = true;
+            wd.emit(&WatchdogDiagnostic::StalledTopology {
+                topology: uid,
+                run: progress.0,
+                iteration: progress.1,
+                alive: progress.2,
+                stalled_for: Duration::from_micros(frozen_for),
+            });
+        }
+    }
+    pass.topologies.retain(|uid, _| seen.contains(uid));
+
+    // --- Signal 3: event rings overflowing between passes. ---------------
+    let dropped_total: u64 = tracer.dropped_per_lane().iter().sum();
+    if dropped_total > pass.last_dropped {
+        let delta = dropped_total - pass.last_dropped;
+        pass.last_dropped = dropped_total;
+        wd.emit(&WatchdogDiagnostic::RingSaturation {
+            dropped_delta: delta,
+            dropped_total,
+        });
+    }
+}

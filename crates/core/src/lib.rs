@@ -55,12 +55,14 @@ mod taskflow;
 
 pub mod algorithm;
 pub mod chaos;
+mod clock;
 mod dot;
 mod error;
 mod executor;
 mod future;
 mod graph;
 mod handle;
+pub mod introspect;
 mod label;
 mod notifier;
 mod observer;
@@ -93,10 +95,12 @@ pub use error::{FailurePolicy, RunError, RunResult, TaskPanic};
 pub use executor::{Executor, ExecutorBuilder};
 pub use future::{Promise, SharedFuture};
 pub use handle::RunHandle;
+pub use introspect::{IntrospectConfig, IntrospectHandle, WatchdogCounts, WatchdogDiagnostic};
 pub use label::TaskLabel;
 pub use observer::{
-    BusyCounter, ExecutorObserver, IterationInfo, SchedEvent, SchedEventKind, TaskSpanInfo,
-    TopologyAgg, TopologyRollup, TraceEvent, Tracer, DISPATCH_LANE, SCHED_EVENT_SCHEMA_VERSION,
+    chrome_trace_json_from, BusyCounter, ExecutorObserver, IterationInfo, SchedEvent,
+    SchedEventKind, TaskSpanInfo, TopologyAgg, TopologyRollup, TraceEvent, Tracer, DISPATCH_LANE,
+    SCHED_EVENT_SCHEMA_VERSION,
 };
 pub use profile::{GraphSnapshot, ProfileReport, PROFILE_SCHEMA_VERSION};
 pub use shared_vec::SharedVec;

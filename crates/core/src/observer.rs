@@ -14,7 +14,6 @@ use crate::label::TaskLabel;
 use crate::ring::EventRing;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// Pseudo worker id used for events recorded off the worker threads
 /// (topology dispatch runs on the caller's thread).
@@ -146,7 +145,9 @@ pub struct SchedEvent {
     /// Worker that recorded the event, or [`DISPATCH_LANE`] for events
     /// from non-worker threads (dispatch, finalize observed off-worker).
     pub worker: usize,
-    /// Microseconds since the tracer was installed.
+    /// Microseconds since the process-wide monotonic clock origin
+    /// ([`crate::clock`]); every tracer, flight recorder, and profile
+    /// export shares this one time domain.
     pub ts_us: u64,
     /// Label of the task involved, when the event concerns a task
     /// (entry/exit/cache hit); empty otherwise. Cloning a label is a
@@ -335,9 +336,9 @@ pub struct TraceEvent {
     pub worker: usize,
     /// Task name (empty if unnamed).
     pub name: String,
-    /// Microseconds since the tracer was installed.
+    /// Microseconds since the shared monotonic clock origin, at entry.
     pub begin_us: u64,
-    /// Microseconds since the tracer was installed, at task exit.
+    /// Microseconds since the shared monotonic clock origin, at exit.
     pub end_us: u64,
 }
 
@@ -353,11 +354,13 @@ const DEFAULT_LANE_CAPACITY: usize = 1 << 15;
 /// in [`Tracer::dropped`] and discarded until [`Tracer::collect`] (or any
 /// exporter, which collects implicitly) drains them into the archive.
 pub struct Tracer {
-    epoch: Instant,
     /// One ring per worker plus a final lane for non-worker threads.
     lanes: Box<[EventRing]>,
     /// Drained events, ordered by timestamp after `collect`.
     archive: Mutex<Vec<SchedEvent>>,
+    /// On ring overflow: drop-and-count (`true`) instead of the default
+    /// collect-and-retry. See [`Tracer::lossy`].
+    lossy: bool,
 }
 
 impl Tracer {
@@ -371,16 +374,32 @@ impl Tracer {
     /// events (rounded up to a power of two).
     pub fn with_capacity(max_workers: usize, lane_capacity: usize) -> Self {
         Tracer {
-            epoch: Instant::now(),
             lanes: (0..=max_workers)
                 .map(|_| EventRing::new(lane_capacity))
                 .collect(),
             archive: Mutex::new(Vec::new()),
+            lossy: false,
         }
     }
 
+    /// Switches overflow handling from collect-and-retry to
+    /// drop-and-count: when a lane's ring is full the event is discarded
+    /// and charged to [`Tracer::dropped`] instead of draining every lane
+    /// into the archive from the recording worker. Completeness-oriented
+    /// exporters want the default; an always-on consumer with its own
+    /// drain cadence (the live-introspection collector) wants this, so
+    /// a saturated ring costs the worker nothing but a counter bump —
+    /// the loss is then surfaced by the ring-saturation watchdog signal.
+    pub fn lossy(mut self) -> Self {
+        self.lossy = true;
+        self
+    }
+
+    /// Timestamps are microseconds since the process-wide monotonic origin
+    /// ([`crate::clock`]), so every tracer — and every executor's flight
+    /// recorder and profile export — shares one time domain.
     fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        crate::clock::now_us()
     }
 
     /// Number of worker lanes (excluding the dispatch lane).
@@ -398,6 +417,30 @@ impl Tracer {
         self.lanes.iter().map(|l| l.dropped()).sum()
     }
 
+    /// Events discarded per lane: one entry per worker, then the dispatch
+    /// lane. Backs the per-worker `rustflow_ring_dropped_events_total`
+    /// counter — overflow is no longer visible only as a crate-wide sum.
+    pub fn dropped_per_lane(&self) -> Vec<u64> {
+        self.lanes.iter().map(|l| l.dropped()).collect()
+    }
+
+    /// Approximate fill level of each lane's ring, in events (same order
+    /// as [`Tracer::dropped_per_lane`]). Advisory; used by the watchdog
+    /// to flag rings saturating between collection passes.
+    pub fn lane_fill(&self) -> Vec<usize> {
+        self.lanes.iter().map(|l| l.len()).collect()
+    }
+
+    /// Drains every lane **and** the archive, returning all events
+    /// recorded since the previous drain, ordered by timestamp. This is
+    /// the collector-thread feed for the flight recorder: unlike
+    /// [`Tracer::sched_events`] it empties the archive, so the tracer's
+    /// own memory stays bounded on long-lived executors.
+    pub fn drain_events(&self) -> Vec<SchedEvent> {
+        self.collect();
+        std::mem::take(&mut *self.archive.lock())
+    }
+
     #[inline]
     fn record(&self, worker: usize, label: TaskLabel, kind: SchedEventKind) {
         let lane = worker.min(self.lanes.len() - 1);
@@ -408,6 +451,13 @@ impl Tracer {
             kind,
         };
         if let Err(event) = self.lanes[lane].try_push(event) {
+            if self.lossy {
+                // Off-hot-path consumers (the introspection collector)
+                // drain on their own cadence; never stall the worker on
+                // the archive lock for them.
+                self.lanes[lane].note_drop();
+                return;
+            }
             // Full ring: drain everything into the archive and retry once,
             // so an overflowing lane degrades into a one-off collect (a
             // short stall for this worker) instead of silently losing the
@@ -429,6 +479,9 @@ impl Tracer {
         let mut archive = self.archive.lock();
         let before = archive.len();
         for lane in self.lanes.iter() {
+            if lane.is_empty() {
+                continue;
+            }
             lane.drain_into(&mut archive);
         }
         if archive.len() > before {
@@ -493,7 +546,21 @@ impl Tracer {
     pub fn chrome_trace_json(&self) -> String {
         self.collect();
         let archive = self.archive.lock();
-        let nworkers = self.num_lanes();
+        chrome_trace_json_from(&archive, self.num_lanes())
+    }
+}
+
+/// Renders a slice of scheduler events as a Chrome trace (same format as
+/// [`Tracer::chrome_trace_json`]): task executions become complete
+/// (`"X"`) events, parks last until the lane's next event, everything
+/// else becomes an instant. `num_workers` assigns the dispatch lane its
+/// `tid`. `events` must be ordered by timestamp (exporters sort before
+/// calling). This is the shared back-end of the tracer export and the
+/// flight recorder's live `/trace` window.
+pub fn chrome_trace_json_from(events: &[SchedEvent], num_workers: usize) -> String {
+    {
+        let archive = events;
+        let nworkers = num_workers;
         let tid = |w: usize| if w == DISPATCH_LANE { nworkers } else { w };
 
         // For park durations: index of the next event on the same lane.

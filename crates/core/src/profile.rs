@@ -129,9 +129,9 @@ pub struct TaskSpan {
     pub worker: usize,
     /// Task label ("" when unnamed).
     pub label: String,
-    /// Begin timestamp, µs since the tracer epoch.
+    /// Begin timestamp, µs since the process-wide monotonic clock origin ([`crate::Executor::now_us`]'s domain, shared with ring events and `/trace`).
     pub begin_us: u64,
-    /// End timestamp, µs since the tracer epoch.
+    /// End timestamp, µs since the process-wide monotonic clock origin ([`crate::Executor::now_us`]'s domain, shared with ring events and `/trace`).
     pub end_us: u64,
 }
 
@@ -209,9 +209,9 @@ pub struct ProfileReport {
     pub schema_version: u32,
     /// Worker count the capture ran with (the `P` of Brent's bound).
     pub num_workers: usize,
-    /// First span begin, µs since the tracer epoch.
+    /// First span begin, µs since the process-wide monotonic clock origin ([`crate::Executor::now_us`]'s domain, shared with ring events and `/trace`).
     pub begin_us: u64,
-    /// Last span end, µs since the tracer epoch.
+    /// Last span end, µs since the process-wide monotonic clock origin ([`crate::Executor::now_us`]'s domain, shared with ring events and `/trace`).
     pub end_us: u64,
     /// Width of one utilization bin, µs.
     pub bin_us: u64,

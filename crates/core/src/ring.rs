@@ -79,6 +79,20 @@ impl EventRing {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Approximate number of events currently queued (head minus tail,
+    /// clamped to the capacity). Advisory: producers and consumers race
+    /// this read, so it is a fill-level gauge, not an exact count.
+    pub fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        head.wrapping_sub(tail).min(self.slots.len())
+    }
+
+    /// `true` when [`EventRing::len`] observes an empty ring (advisory).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Records `event`; returns `false` (and counts the drop) when full.
     ///
     /// The tracer records through [`EventRing::try_push`] +
@@ -220,6 +234,21 @@ mod tests {
         assert!(r.push(ev(100)));
         assert_eq!(r.pop().unwrap().ts_us, 100);
         assert!(r.pop().is_none());
+    }
+
+    #[test]
+    fn len_tracks_fill_level() {
+        let r = EventRing::new(8);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 5);
+        r.pop();
+        assert_eq!(r.len(), 4);
+        let mut out = Vec::new();
+        r.drain_into(&mut out);
+        assert!(r.is_empty());
     }
 
     #[test]

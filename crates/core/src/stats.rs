@@ -45,6 +45,14 @@ pub struct WorkerStats {
     /// Extra attempts executed under a [`Task::retry`](crate::Task::retry)
     /// budget (one per re-execution, not counting the first attempt).
     pub retries: u64,
+    /// Telemetry events lost because this worker's event ring wrapped
+    /// between collections (0 unless live introspection installed its
+    /// tracer — see [`Executor::serve_introspection`]). Overflow used to
+    /// be visible only as a crate-wide sum; per-worker accounting is what
+    /// lets a scrape localize a saturating lane.
+    ///
+    /// [`Executor::serve_introspection`]: crate::Executor::serve_introspection
+    pub ring_dropped: u64,
 }
 
 impl WorkerStats {
@@ -61,6 +69,7 @@ impl WorkerStats {
             wakes_sent: self.wakes_sent.saturating_sub(earlier.wakes_sent),
             skipped: self.skipped.saturating_sub(earlier.skipped),
             retries: self.retries.saturating_sub(earlier.retries),
+            ring_dropped: self.ring_dropped.saturating_sub(earlier.ring_dropped),
         }
     }
 
@@ -75,6 +84,7 @@ impl WorkerStats {
         self.wakes_sent += other.wakes_sent;
         self.skipped += other.skipped;
         self.retries += other.retries;
+        self.ring_dropped += other.ring_dropped;
     }
 }
 
@@ -132,6 +142,11 @@ const METRICS: &[(&str, &str, MetricAccessor)] = &[
         "rustflow_task_retries_total",
         "Extra task attempts executed under a retry budget.",
         |w| w.retries,
+    ),
+    (
+        "rustflow_ring_dropped_events_total",
+        "Telemetry events lost to per-worker ring overflow.",
+        |w| w.ring_dropped,
     ),
 ];
 
@@ -388,8 +403,8 @@ mod tests {
             value.parse::<u64>().expect("integer sample value");
             samples += 1;
         }
-        // 10 metrics × 2 workers.
-        assert_eq!(samples, 20);
+        // 11 metrics × 2 workers.
+        assert_eq!(samples, 22);
         assert!(text.contains("rustflow_tasks_executed_total{worker=\"0\"} 3"));
         assert!(text.contains("rustflow_steals_total{worker=\"1\"} 2"));
     }

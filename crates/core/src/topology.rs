@@ -245,6 +245,30 @@ impl Topology {
         self.iterations.load(Ordering::Relaxed)
     }
 
+    /// Stable id of this topology (matches
+    /// [`IterationInfo::topology`](crate::observer::IterationInfo)).
+    pub(crate) fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Nodes of the current iteration that have not completed yet
+    /// (advisory; racy against workers counting down).
+    pub(crate) fn alive_count(&self) -> usize {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    /// Batches queued behind the currently executing one (advisory).
+    pub(crate) fn pending_batches(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// `true` while an error (panic, cancellation, invalid subflow) is
+    /// recorded for the in-flight iteration and not yet taken by the
+    /// driver (advisory).
+    pub(crate) fn has_error(&self) -> bool {
+        self.error.lock().is_some()
+    }
+
     /// `true` when no batch is executing or queued: the graph is quiescent
     /// and may be inspected (DOT dumps) or reclaimed (`gc`).
     pub(crate) fn is_settled(&self) -> bool {
