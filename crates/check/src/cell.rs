@@ -47,9 +47,10 @@ impl<T> CheckedCell<T> {
     /// The caller asserts no concurrent mutation: in a model run a
     /// violation is *detected* and fails the execution; outside one it is
     /// undefined behaviour, exactly as with a raw `UnsafeCell`.
+    #[track_caller]
     pub unsafe fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
         if let Some((rt, me)) = engine::current() {
-            engine::cell_read(&rt, me, self.addr());
+            engine::cell_read(&rt, me, self.addr(), std::panic::Location::caller());
         }
         f(self.0.get())
     }
@@ -60,9 +61,10 @@ impl<T> CheckedCell<T> {
     /// # Safety
     /// The caller asserts exclusive access for the duration of `f`; see
     /// [`CheckedCell::with`].
+    #[track_caller]
     pub unsafe fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
         if let Some((rt, me)) = engine::current() {
-            engine::cell_write(&rt, me, self.addr());
+            engine::cell_write(&rt, me, self.addr(), std::panic::Location::caller());
         }
         f(self.0.get())
     }

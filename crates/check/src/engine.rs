@@ -38,12 +38,16 @@
 //! code that is correct under C11.
 
 use crate::clock::VClock;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Panic payload used to unwind model threads when an execution ends
 /// early (failure elsewhere, abandoned schedule, step budget).
 pub(crate) struct ModelAbort;
+
+/// Source location of a shimmed access, threaded down from the call site
+/// via `#[track_caller]` so race/lock reports can name both sides.
+pub(crate) type Site = &'static std::panic::Location<'static>;
 
 /// What a thread is currently blocked on (`None` = runnable).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,10 +76,19 @@ pub(crate) struct ThreadState {
     /// Per-atomic floor on the modification-order index this thread may
     /// still read (per-location coherence).
     pub(crate) observed: HashMap<usize, usize>,
+    /// PCT scheduling priority (highest-priority runnable thread runs).
+    prio: u64,
+    /// The current condvar park is a *timed* wait: when every thread is
+    /// blocked, timed waiters "time out" instead of deadlocking.
+    timed: bool,
+    /// Set when a timed wait was woken by the timeout path.
+    timed_out: bool,
+    /// Mutexes currently held, with their acquisition sites (lockdep).
+    held: Vec<(usize, Site)>,
 }
 
 impl ThreadState {
-    fn new(view: VClock) -> ThreadState {
+    fn new(view: VClock, prio: u64) -> ThreadState {
         ThreadState {
             block: Block::None,
             finished: false,
@@ -83,6 +96,10 @@ impl ThreadState {
             pending: VClock::new(),
             release_fence: None,
             observed: HashMap::new(),
+            prio,
+            timed: false,
+            timed_out: false,
+            held: Vec::new(),
         }
     }
 }
@@ -120,14 +137,18 @@ pub(crate) struct AtomicState {
 /// Access history of a checked (plain-memory) cell since its last write.
 #[derive(Default)]
 struct CellState {
-    /// The last write, as (writer tid, writer clock component).
-    write: Option<(usize, u64)>,
+    /// Stable per-execution id (registration order), used in reports.
+    uid: u64,
+    /// The last write, as (writer tid, writer clock component, site).
+    write: Option<(usize, u64, Site)>,
     /// Reads since the last write.
-    reads: Vec<(usize, u64)>,
+    reads: Vec<(usize, u64, Site)>,
 }
 
 #[derive(Default)]
 struct MutexState {
+    /// Stable per-execution id (registration order), used in reports.
+    uid: u64,
     locked_by: Option<usize>,
     /// Joined view of every unlocker: lock-acquire joins this.
     released: VClock,
@@ -145,11 +166,43 @@ pub(crate) struct Choice {
     pub(crate) picked: usize,
 }
 
+/// PCT (probabilistic concurrency testing) scheduling parameters.
+#[derive(Clone)]
+pub(crate) struct PctCfg {
+    /// Number of priority change points per schedule (the `d` of PCT).
+    pub(crate) change_points: usize,
+    /// Expected schedule length the change points are spread over (the
+    /// `k` of PCT).
+    pub(crate) avg_steps: u64,
+    /// Consecutive-step cap per thread: a thread that keeps running this
+    /// long (a spin loop) is demoted so lower-priority threads progress.
+    pub(crate) streak_limit: u64,
+}
+
 /// Knobs for one execution (copied from the public `Checker`).
 #[derive(Clone)]
 pub(crate) struct ExecCfg {
     pub(crate) preemption_bound: Option<usize>,
     pub(crate) max_steps: u64,
+    /// Priority-based randomized scheduling instead of DFS/uniform-random.
+    pub(crate) pct: Option<PctCfg>,
+    /// Sanitizer mode: races and lock-order cycles are *reported* (and the
+    /// execution continues, TSan-style) instead of aborting the schedule.
+    pub(crate) sanitize: bool,
+}
+
+/// Priorities drawn for live threads sit above this bit; change-point
+/// demotions hand out descending values below it.
+const PCT_HIGH: u64 = 1 << 48;
+
+#[inline]
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
 }
 
 /// Mutable state of one execution, shared by all its model threads.
@@ -164,6 +217,12 @@ pub(crate) struct Exec {
     cells: HashMap<usize, CellState>,
     mutexes: HashMap<usize, MutexState>,
     condvars: HashMap<usize, CvState>,
+    /// Allocation-order ids handed to cells/mutexes at first registration:
+    /// reports must name objects by something stable across process runs,
+    /// and heap addresses are not (ASLR, allocator state) — the replay
+    /// contract says same seed ⇒ byte-identical reports.
+    next_cell_uid: u64,
+    next_mutex_uid: u64,
     global_sc: VClock,
     pub(crate) steps: u64,
     preemptions: usize,
@@ -175,6 +234,19 @@ pub(crate) struct Exec {
     pub(crate) done: bool,
     /// Random strategy: xorshift state (None = DFS: always pick 0).
     rng: Option<u64>,
+    /// Pre-drawn global step indices of the PCT priority change points.
+    change_steps: Vec<u64>,
+    next_change: usize,
+    /// Next (descending) demotion priority handed out at a change point.
+    low_next: u64,
+    /// Consecutive scheduling points taken by the same thread.
+    streak: u64,
+    /// Sanitizer findings (races, lock-order cycles), deduplicated.
+    pub(crate) reports: Vec<String>,
+    report_keys: HashSet<String>,
+    /// Lock-order graph: held-mutex -> then-acquired-mutex edges with the
+    /// first-seen acquisition sites of both ends.
+    lock_edges: HashMap<usize, Vec<(usize, Site, Site)>>,
 }
 
 /// The engine handle shared by the driver and every model thread.
@@ -204,19 +276,41 @@ fn lock(rt: &Rt) -> MutexGuard<'_, Exec> {
     rt.mu.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// True when the execution is aborting (failure found, schedule pruned).
+/// Lets instrumented *product* code skip shutdown protocols whose peer
+/// threads are already unwinding (e.g. an executor joining its workers).
+pub(crate) fn aborting(rt: &Rt) -> bool {
+    lock(rt).abort
+}
+
 impl Rt {
     pub(crate) fn new(cfg: ExecCfg, prefix: Vec<Choice>, rng: Option<u64>) -> Arc<Rt> {
+        // PCT setup: draw the main thread's priority and the change-point
+        // step indices from the seed, so the whole lottery is replayable.
+        let mut rng = rng;
+        let mut change_steps = Vec::new();
+        let mut prio0 = 0;
+        if let Some(pct) = &cfg.pct {
+            let state = rng.get_or_insert(0x9e37_79b9_7f4a_7c15);
+            prio0 = PCT_HIGH | (xorshift(state) >> 16);
+            for _ in 0..pct.change_points {
+                change_steps.push(1 + xorshift(state) % pct.avg_steps.max(1));
+            }
+            change_steps.sort_unstable();
+        }
         Arc::new(Rt {
             mu: Mutex::new(Exec {
                 cfg,
                 choices: prefix,
                 cursor: 0,
-                threads: vec![ThreadState::new(VClock::new())],
+                threads: vec![ThreadState::new(VClock::new(), prio0)],
                 active: 0,
                 atomics: HashMap::new(),
                 cells: HashMap::new(),
                 mutexes: HashMap::new(),
                 condvars: HashMap::new(),
+                next_cell_uid: 0,
+                next_mutex_uid: 0,
                 global_sc: VClock::new(),
                 steps: 0,
                 preemptions: 0,
@@ -225,6 +319,13 @@ impl Rt {
                 pruned: false,
                 done: false,
                 rng,
+                change_steps,
+                next_change: 0,
+                low_next: PCT_HIGH - 1,
+                streak: 0,
+                reports: Vec::new(),
+                report_keys: HashSet::new(),
+                lock_edges: HashMap::new(),
             }),
             cv: Condvar::new(),
             handles: Mutex::new(Vec::new()),
@@ -269,6 +370,38 @@ impl Exec {
         picked
     }
 
+    /// Cell state for `addr`, assigning a stable uid at first sight.
+    fn cell_state(&mut self, addr: usize) -> &mut CellState {
+        if !self.cells.contains_key(&addr) {
+            let uid = self.next_cell_uid;
+            self.next_cell_uid += 1;
+            self.cells.insert(
+                addr,
+                CellState {
+                    uid,
+                    ..CellState::default()
+                },
+            );
+        }
+        self.cells.get_mut(&addr).expect("just inserted")
+    }
+
+    /// Mutex state for `addr`, assigning a stable uid at first sight.
+    fn mutex_state(&mut self, addr: usize) -> &mut MutexState {
+        if !self.mutexes.contains_key(&addr) {
+            let uid = self.next_mutex_uid;
+            self.next_mutex_uid += 1;
+            self.mutexes.insert(
+                addr,
+                MutexState {
+                    uid,
+                    ..MutexState::default()
+                },
+            );
+        }
+        self.mutexes.get_mut(&addr).expect("just inserted")
+    }
+
     fn runnable(&self) -> Vec<usize> {
         self.threads
             .iter()
@@ -283,6 +416,45 @@ impl Exec {
             self.failure = Some(msg);
         }
         self.abort = true;
+    }
+
+    /// Records a sanitizer finding (race, lock-order cycle) without
+    /// aborting the execution. `key` deduplicates repeat findings from
+    /// the same site pair.
+    fn report(&mut self, key: String, msg: String) {
+        if self.report_keys.insert(key) && self.reports.len() < 64 {
+            self.reports.push(msg);
+        }
+    }
+
+    /// Draws from the execution's seeded rng (PCT priorities).
+    fn rng_next(&mut self) -> u64 {
+        match &mut self.rng {
+            Some(state) => xorshift(state),
+            None => 0,
+        }
+    }
+
+    /// PCT bookkeeping at a scheduling point reached by `me`: fire due
+    /// change points (demote the thread that was running) and break spin
+    /// streaks. Depends only on the step counter and the recorded seed,
+    /// so replays reproduce it exactly.
+    fn pct_tick(&mut self, me: usize) {
+        let Some(pct) = self.cfg.pct.clone() else {
+            return;
+        };
+        while self.next_change < self.change_steps.len()
+            && self.steps >= self.change_steps[self.next_change]
+        {
+            self.threads[me].prio = self.low_next;
+            self.low_next = self.low_next.saturating_sub(1);
+            self.next_change += 1;
+        }
+        if self.streak >= pct.streak_limit {
+            self.threads[me].prio = self.low_next;
+            self.low_next = self.low_next.saturating_sub(1);
+            self.streak = 0;
+        }
     }
 
     fn describe_blocked(&self) -> String {
@@ -301,17 +473,40 @@ impl Exec {
 /// execution aborts). Callers hold the engine lock across the whole
 /// operation; the guard is passed through.
 fn reschedule<'a>(rt: &'a Rt, mut g: MutexGuard<'a, Exec>, me: usize) -> MutexGuard<'a, Exec> {
-    let runnable = g.runnable();
+    let mut runnable = g.runnable();
     if runnable.is_empty() {
         if g.threads.iter().all(|t| t.finished) {
             g.done = true;
             rt.cv.notify_all();
             return g;
         }
-        let msg = format!("deadlock: {}", g.describe_blocked());
-        g.fail(msg);
-        rt.cv.notify_all();
-        return g;
+        // Before declaring deadlock, let timed condvar waits "time out":
+        // in the model, a timeout fires exactly when nothing else can
+        // happen, which keeps schedules deterministic.
+        let timed: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished && t.timed && matches!(t.block, Block::Condvar(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if timed.is_empty() {
+            let msg = format!("deadlock: {}", g.describe_blocked());
+            g.fail(msg);
+            rt.cv.notify_all();
+            return g;
+        }
+        for &w in &timed {
+            if let Block::Condvar(cv) = g.threads[w].block {
+                if let Some(state) = g.condvars.get_mut(&cv) {
+                    state.waiters.retain(|&x| x != w);
+                }
+            }
+            g.threads[w].block = Block::None;
+            g.threads[w].timed = false;
+            g.threads[w].timed_out = true;
+        }
+        runnable = timed;
     }
     // Option order: current thread first (so DFS pick 0 = keep running,
     // exploring the preemption-free schedule first), then others by id.
@@ -321,16 +516,40 @@ fn reschedule<'a>(rt: &'a Rt, mut g: MutexGuard<'a, Exec>, me: usize) -> MutexGu
         opts.push(me);
     }
     opts.extend(runnable.iter().copied().filter(|&t| t != me));
-    // Preemption bound: once spent, a runnable current thread keeps
-    // running (forced switches — blocked/finished `me` — stay free).
-    let limit = match g.cfg.preemption_bound {
-        Some(b) if me_runnable && g.preemptions >= b => 1,
-        _ => opts.len(),
+    g.pct_tick(me);
+    let pick = if g.cfg.pct.is_some() && g.cursor >= g.choices.len() {
+        // PCT: the highest-priority runnable thread runs. Recorded as an
+        // ordinary choice so schedule strings replay without the lottery.
+        let (i, _) = opts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &t)| g.threads[t].prio)
+            .expect("opts nonempty");
+        if opts.len() > 1 {
+            g.choices.push(Choice {
+                options: opts.len(),
+                picked: i,
+            });
+            g.cursor += 1;
+        }
+        i
+    } else {
+        // Preemption bound: once spent, a runnable current thread keeps
+        // running (forced switches — blocked/finished `me` — stay free).
+        let limit = match g.cfg.preemption_bound {
+            Some(b) if me_runnable && g.preemptions >= b => 1,
+            _ => opts.len(),
+        };
+        g.choose(limit)
     };
-    let pick = g.choose(limit);
     let next = opts[pick];
     if me_runnable && next != me {
         g.preemptions += 1;
+    }
+    if next == g.active {
+        g.streak += 1;
+    } else {
+        g.streak = 0;
     }
     g.active = next;
     if next != me {
@@ -405,7 +624,12 @@ pub(crate) fn register_thread(rt: &Arc<Rt>, parent: usize) -> usize {
     view.bump(parent);
     let parent_view = view.clone();
     g.threads[parent].view = parent_view;
-    g.threads.push(ThreadState::new(view));
+    let prio = if g.cfg.pct.is_some() {
+        PCT_HIGH | (g.rng_next() >> 16)
+    } else {
+        0
+    };
+    g.threads.push(ThreadState::new(view, prio));
     tid
 }
 
@@ -481,6 +705,11 @@ fn finish_thread(rt: &Rt, me: usize, failure: Option<String>) {
 
 /// Blocks `me` until thread `target` finishes (model `join`).
 pub(crate) fn join_thread(rt: &Rt, me: usize, target: usize) {
+    if unwinding() {
+        // A join from a destructor mid-unwind must not re-enter the
+        // scheduler (the target unwinds on its own once the abort lands).
+        return;
+    }
     let mut g = sched_point(rt, me);
     if !g.threads[target].finished {
         g.threads[me].block = Block::Join(target);
@@ -854,9 +1083,31 @@ pub(crate) fn atomic_fence(rt: &Rt, me: usize, ord: Ordering) {
 // Checked plain-memory cells (race detection)
 // ---------------------------------------------------------------------------
 
-/// Records a plain read of the cell at `addr`; fails the execution if it
-/// races with an unordered write.
-pub(crate) fn cell_read(rt: &Rt, me: usize, addr: usize) {
+/// Renders the happens-before evidence for a race between the current
+/// access by `me` (with clock `view`) and a prior access `(other, oseq)`.
+fn hb_evidence(view: &VClock, me: usize, other: usize, oseq: u64) -> String {
+    format!(
+        "thread {me}'s view of thread {other} is {} < access clock {oseq} (no happens-before \
+         edge); view {view:?}",
+        view.get(other)
+    )
+}
+
+/// Reports or fails on a detected race. In sanitizer mode the finding is
+/// recorded and the execution continues (TSan-style, so one schedule can
+/// surface several independent races); otherwise the schedule fails.
+fn race_found(rt: &Rt, g: &mut MutexGuard<'_, Exec>, key: String, msg: String) {
+    if g.cfg.sanitize {
+        g.report(key, msg);
+        return;
+    }
+    g.fail(msg);
+    rt.cv.notify_all();
+}
+
+/// Records a plain read of the cell at `addr`; a read racing with an
+/// unordered write fails the execution (or is reported, in sanitize mode).
+pub(crate) fn cell_read(rt: &Rt, me: usize, addr: usize, site: Site) {
     if unwinding() {
         return;
     }
@@ -866,27 +1117,34 @@ pub(crate) fn cell_read(rt: &Rt, me: usize, addr: usize) {
         std::panic::panic_any(ModelAbort);
     }
     let view = g.threads[me].view.clone();
-    let racy = match g.cells.entry(addr).or_default().write {
-        Some((w, wseq)) => w != me && view.get(w) < wseq,
-        None => false,
+    let (racy, uid) = {
+        let cell = g.cell_state(addr);
+        let racy = match cell.write {
+            Some((w, wseq, wsite)) if w != me && view.get(w) < wseq => Some((w, wseq, wsite)),
+            _ => None,
+        };
+        (racy, cell.uid)
     };
-    if racy {
+    if let Some((w, wseq, wsite)) = racy {
         let msg = format!(
-            "data race: plain read on thread {me} not ordered after the last plain write (cell {addr:#x})"
+            "data race: plain read at {site} (thread {me}) is unordered with plain write at \
+             {wsite} (thread {w}); {}; cell #{uid}",
+            hb_evidence(&view, me, w, wseq)
         );
-        g.fail(msg);
-        rt.cv.notify_all();
-        drop(g);
-        std::panic::panic_any(ModelAbort);
+        race_found(rt, &mut g, format!("race r{site} w{wsite}"), msg);
+        if g.abort {
+            drop(g);
+            std::panic::panic_any(ModelAbort);
+        }
     }
     let seq = g.threads[me].view.bump(me);
-    g.cells.entry(addr).or_default().reads.push((me, seq));
+    g.cell_state(addr).reads.push((me, seq, site));
     drop(g);
 }
 
-/// Records a plain write of the cell at `addr`; fails the execution if it
-/// races with any unordered prior access.
-pub(crate) fn cell_write(rt: &Rt, me: usize, addr: usize) {
+/// Records a plain write of the cell at `addr`; a write racing with any
+/// unordered prior access fails the execution (or is reported).
+pub(crate) fn cell_write(rt: &Rt, me: usize, addr: usize, site: Site) {
     if unwinding() {
         return;
     }
@@ -896,28 +1154,32 @@ pub(crate) fn cell_write(rt: &Rt, me: usize, addr: usize) {
         std::panic::panic_any(ModelAbort);
     }
     let view = g.threads[me].view.clone();
-    let cell = g.cells.entry(addr).or_default();
-    let mut race = match cell.write {
-        Some((w, wseq)) => w != me && view.get(w) < wseq,
-        None => false,
+    let cell = g.cell_state(addr);
+    let uid = cell.uid;
+    let mut conflict: Option<(&'static str, usize, u64, Site)> = match cell.write {
+        Some((w, wseq, wsite)) if w != me && view.get(w) < wseq => Some(("write", w, wseq, wsite)),
+        _ => None,
     };
-    for &(r, rseq) in &cell.reads {
+    for &(r, rseq, rsite) in &cell.reads {
         if r != me && view.get(r) < rseq {
-            race = true;
+            conflict = Some(("read", r, rseq, rsite));
         }
     }
-    if race {
+    if let Some((kind, o, oseq, osite)) = conflict {
         let msg = format!(
-            "data race: plain write on thread {me} not ordered after a prior plain access (cell {addr:#x})"
+            "data race: plain write at {site} (thread {me}) is unordered with plain {kind} at \
+             {osite} (thread {o}); {}; cell #{uid}",
+            hb_evidence(&view, me, o, oseq)
         );
-        g.fail(msg);
-        rt.cv.notify_all();
-        drop(g);
-        std::panic::panic_any(ModelAbort);
+        race_found(rt, &mut g, format!("race w{site} {kind}{osite}"), msg);
+        if g.abort {
+            drop(g);
+            std::panic::panic_any(ModelAbort);
+        }
     }
     let seq = g.threads[me].view.bump(me);
-    let cell = g.cells.entry(addr).or_default();
-    cell.write = Some((me, seq));
+    let cell = g.cell_state(addr);
+    cell.write = Some((me, seq, site));
     cell.reads.clear();
     drop(g);
 }
@@ -934,9 +1196,69 @@ pub(crate) fn cell_retire(rt: &Rt, addr: usize) {
 // Mutex / Condvar
 // ---------------------------------------------------------------------------
 
+/// Records `addr` acquired by `me` at `site` into the lock-order graph
+/// and reports any acquisition-order cycle the new edges close — even
+/// when no schedule actually deadlocks on them (lockdep-style).
+fn lockdep_acquire(g: &mut Exec, me: usize, addr: usize, site: Site) {
+    let uid = g.mutex_state(addr).uid;
+    let held = g.threads[me].held.clone();
+    for (h, hsite) in held {
+        if h == addr {
+            continue;
+        }
+        let edges = g.lock_edges.entry(h).or_default();
+        if !edges.iter().any(|&(to, _, _)| to == addr) {
+            edges.push((addr, hsite, site));
+        }
+        // The new edge h -> addr closes a cycle iff addr already reaches h.
+        if let Some((esite_from, esite_to)) = lock_path(&g.lock_edges, addr, h) {
+            let huid = g.mutex_state(h).uid;
+            let (a, b) = (huid.min(uid), huid.max(uid));
+            let msg = format!(
+                "lock-order cycle: thread {me} acquired mutex #{uid} at {site} while \
+                 holding mutex #{huid} (locked at {hsite}), but the reverse order \
+                 #{uid} -> #{huid} was established by an acquisition at {esite_to} \
+                 while holding the mutex locked at {esite_from}"
+            );
+            g.report(format!("lockcycle {a} {b}"), msg);
+        }
+    }
+    g.threads[me].held.push((addr, site));
+}
+
+/// Is there a path `from ->* to` in the lock-order graph? Returns the
+/// sites of the first edge on the path as evidence.
+fn lock_path(
+    edges: &HashMap<usize, Vec<(usize, Site, Site)>>,
+    from: usize,
+    to: usize,
+) -> Option<(Site, Site)> {
+    let mut stack = vec![from];
+    let mut seen = HashSet::new();
+    let mut first: HashMap<usize, (Site, Site)> = HashMap::new();
+    while let Some(n) = stack.pop() {
+        for &(next, sa, sb) in edges.get(&n).into_iter().flatten() {
+            if !seen.insert(next) {
+                continue;
+            }
+            let ev = if n == from {
+                (sa, sb)
+            } else {
+                first[&n] // evidence propagates from the first hop
+            };
+            if next == to {
+                return Some(ev);
+            }
+            first.insert(next, ev);
+            stack.push(next);
+        }
+    }
+    None
+}
+
 /// Model mutex lock: blocks (as a scheduling event) while held elsewhere;
 /// acquiring joins the released-view of previous holders.
-pub(crate) fn mutex_lock(rt: &Rt, me: usize, addr: usize) {
+pub(crate) fn mutex_lock(rt: &Rt, me: usize, addr: usize, site: Site) {
     if unwinding() {
         // A guard taken by a destructor mid-unwind: skip the scheduler
         // entirely (the paired unlock tolerates a non-owner).
@@ -944,12 +1266,15 @@ pub(crate) fn mutex_lock(rt: &Rt, me: usize, addr: usize) {
     }
     let mut g = sched_point(rt, me);
     loop {
-        let m = g.mutexes.entry(addr).or_default();
+        let m = g.mutex_state(addr);
         match m.locked_by {
             None => {
                 m.locked_by = Some(me);
                 let rv = m.released.clone();
                 g.threads[me].view.join(&rv);
+                if g.cfg.sanitize {
+                    lockdep_acquire(&mut g, me, addr, site);
+                }
                 drop(g);
                 return;
             }
@@ -969,7 +1294,8 @@ pub(crate) fn mutex_lock(rt: &Rt, me: usize, addr: usize) {
 pub(crate) fn mutex_unlock(rt: &Rt, me: usize, addr: usize) {
     let mut g = lock(rt);
     let view = g.threads[me].view.clone();
-    if g.mutexes.entry(addr).or_default().locked_by != Some(me) {
+    g.threads[me].held.retain(|&(a, _)| a != addr);
+    if g.mutex_state(addr).locked_by != Some(me) {
         // Only reachable while unwinding: a thread aborted inside
         // `condvar_wait` (mutex already released) still drops its guard,
         // and destructor-held guards skip `mutex_lock` entirely. Nothing
@@ -988,21 +1314,30 @@ pub(crate) fn mutex_unlock(rt: &Rt, me: usize, addr: usize) {
     drop(g);
 }
 
-/// Model condvar wait: atomically releases the mutex and parks; once
-/// notified, re-acquires the mutex before returning.
-pub(crate) fn condvar_wait(rt: &Rt, me: usize, cv_addr: usize, mutex_addr: usize) {
-    if unwinding() {
-        return;
+/// Forgets a dropped mutex: its registration id (address) may be reused
+/// by a later allocation, which must start with fresh lock-order state.
+pub(crate) fn mutex_retire(rt: &Rt, addr: usize) {
+    let mut g = lock(rt);
+    g.mutexes.remove(&addr);
+    g.lock_edges.remove(&addr);
+    for edges in g.lock_edges.values_mut() {
+        edges.retain(|&(to, _, _)| to != addr);
     }
-    // Release the mutex and park in one engine transaction, so a
-    // notifier that takes the mutex next cannot miss us.
+    drop(g);
+}
+
+/// Releases `mutex_addr` and parks `me` on `cv_addr` in one engine
+/// transaction (so a notifier that takes the mutex next cannot miss the
+/// waiter), then blocks until notified (or timed out, for timed waits).
+fn cv_park(rt: &Rt, me: usize, cv_addr: usize, mutex_addr: usize, timed: bool) -> bool {
     let mut g = lock(rt);
     if g.abort {
         drop(g);
         std::panic::panic_any(ModelAbort);
     }
     let view = g.threads[me].view.clone();
-    let m = g.mutexes.entry(mutex_addr).or_default();
+    g.threads[me].held.retain(|&(a, _)| a != mutex_addr);
+    let m = g.mutex_state(mutex_addr);
     debug_assert_eq!(m.locked_by, Some(me), "condvar wait without the lock");
     m.locked_by = None;
     m.released.join(&view);
@@ -1013,10 +1348,39 @@ pub(crate) fn condvar_wait(rt: &Rt, me: usize, cv_addr: usize, mutex_addr: usize
     }
     g.condvars.entry(cv_addr).or_default().waiters.push(me);
     g.threads[me].block = Block::Condvar(cv_addr);
+    g.threads[me].timed = timed;
+    g.threads[me].timed_out = false;
     let g2 = reschedule(rt, g, me);
-    drop(wait_for_turn(rt, g2, me));
+    let mut g3 = wait_for_turn(rt, g2, me);
+    g3.threads[me].timed = false;
+    let timed_out = std::mem::take(&mut g3.threads[me].timed_out);
+    drop(g3);
+    timed_out
+}
+
+/// Model condvar wait: atomically releases the mutex and parks; once
+/// notified, re-acquires the mutex before returning.
+#[track_caller]
+pub(crate) fn condvar_wait(rt: &Rt, me: usize, cv_addr: usize, mutex_addr: usize) {
+    if unwinding() {
+        return;
+    }
+    cv_park(rt, me, cv_addr, mutex_addr, false);
     // Notified: compete for the mutex again.
-    mutex_lock(rt, me, mutex_addr);
+    mutex_lock(rt, me, mutex_addr, std::panic::Location::caller());
+}
+
+/// Model condvar timed wait. The model has no clock: the "timeout" fires
+/// exactly when every live thread is blocked (so the only alternative
+/// would be a deadlock report). Returns `true` if the wait timed out.
+#[track_caller]
+pub(crate) fn condvar_wait_timed(rt: &Rt, me: usize, cv_addr: usize, mutex_addr: usize) -> bool {
+    if unwinding() {
+        return true;
+    }
+    let timed_out = cv_park(rt, me, cv_addr, mutex_addr, true);
+    mutex_lock(rt, me, mutex_addr, std::panic::Location::caller());
+    timed_out
 }
 
 /// Model condvar notify-one (FIFO).

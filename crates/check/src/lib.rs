@@ -41,11 +41,36 @@ mod engine;
 
 pub mod atomic;
 pub mod cell;
+pub mod sanitize;
 pub mod sync;
 pub mod thread;
 
+pub use sanitize::{SanitizeOutcome, Sanitizer};
+
 use engine::{Choice, ExecCfg, Rt};
 use std::sync::{Arc, OnceLock};
+
+/// True when the calling thread should skip multi-thread shutdown
+/// protocols because its model execution is being torn down: either the
+/// engine is aborting the schedule, or the caller itself is unwinding
+/// (e.g. a failed assertion running destructors). Instrumented shutdown
+/// code (an executor joining its workers) must bail out in this state —
+/// its peer threads are unwinding and will never reach the protocol.
+/// Always `false` outside a model execution.
+pub fn model_teardown() -> bool {
+    match engine::current() {
+        None => false,
+        Some((rt, _)) => std::thread::panicking() || engine::aborting(&rt),
+    }
+}
+
+/// Whether a caught panic payload is the engine's internal control-flow
+/// unwind. Instrumented code that catches panics (an executor isolating a
+/// task body) must rethrow these instead of handling them as task
+/// failures, or teardown would touch state the abort left inconsistent.
+pub fn is_model_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<engine::ModelAbort>()
+}
 
 /// Suppresses the default "thread panicked" output for the engine's
 /// internal control-flow unwinds (thread teardown on abort), which are
@@ -72,6 +97,8 @@ struct Outcome {
     failure: Option<String>,
     pruned: bool,
     steps: u64,
+    /// Sanitizer findings (report-and-continue mode only).
+    reports: Vec<String>,
 }
 
 fn run_once(
@@ -117,6 +144,7 @@ fn run_once(
         failure: g.failure.clone(),
         pruned: g.pruned,
         steps: g.steps,
+        reports: g.reports.clone(),
     }
 }
 
@@ -233,6 +261,8 @@ impl Checker {
         let cfg = ExecCfg {
             preemption_bound: self.preemption_bound,
             max_steps: self.max_steps,
+            pct: None,
+            sanitize: false,
         };
         let mut stats = Stats::default();
 
@@ -558,6 +588,8 @@ mod tests {
             let cfg = ExecCfg {
                 preemption_bound: None,
                 max_steps: 10_000,
+                pct: None,
+                sanitize: false,
             };
             let out = run_once(&f, &cfg, Vec::new(), Some(seed));
             assert!(out.failure.is_none());

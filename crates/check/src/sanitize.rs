@@ -1,0 +1,235 @@
+//! The rustflow sanitizer front end: PCT schedule fuzzing over the *real*
+//! executor with report-and-continue race detection and lock-order
+//! analysis.
+//!
+//! Where [`Checker`](crate::Checker) exhaustively explores a small
+//! hand-extracted protocol model, [`Sanitizer`] runs full product
+//! scenarios — a real `Executor`, real topologies, the composed
+//! wsq/ring/notifier stack — under *PCT* (probabilistic concurrency
+//! testing, Burckhardt et al., ASPLOS 2010): every model thread draws a
+//! random priority from the iteration seed, the highest-priority runnable
+//! thread runs, and `d` pre-drawn change points demote the running thread
+//! mid-schedule. For bugs of depth ≤ d this finds a failing schedule with
+//! probability ≥ 1/(n·k^(d-1)) per iteration — far past what a bounded
+//! DFS reaches on executions with tens of thousands of steps.
+//!
+//! Three detectors run on each schedule:
+//!
+//! * **Happens-before race detection** (FastTrack-style, over the
+//!   engine's vector clocks): every plain access through a
+//!   `CheckedCell`/`SyncCell` is checked against all unordered prior
+//!   accesses; findings name both access sites, thread ids, and the
+//!   clock evidence. Detection is schedule-robust: an unordered pair is
+//!   flagged in whatever order it executes.
+//! * **Lock-order analysis** (lockdep-style): mutex acquisitions build an
+//!   order graph; a cycle is reported the moment the closing edge is
+//!   observed, even when no explored schedule actually deadlocks.
+//! * **The engine's liveness/abort checks**: deadlock (with timed waits
+//!   modeled as firing only at quiescence), step budget, and any
+//!   assertion failure in the scenario body.
+//!
+//! Races and lock cycles are *reported and the execution continues*
+//! (TSan-style), so one schedule can surface several independent
+//! findings; deadlocks and panics end the iteration.
+//!
+//! Every iteration is replayable: its schedule derives entirely from a
+//! 64-bit seed printed with each finding. Re-run with
+//!
+//! ```text
+//! RUSTFLOW_SANITIZE_SEED=0x1234abcd cargo test -p rustflow \
+//!     --features rustflow_check --test sanitize failing_test
+//! ```
+
+use crate::engine::{ExecCfg, PctCfg};
+use crate::{install_quiet_hook, run_once, splitmix64};
+use std::sync::Arc;
+
+/// Per-scenario sanitizer: runs a closure under seeded PCT schedules with
+/// race/lock-order/deadlock detection. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Sanitizer {
+    name: String,
+    iters: u64,
+    change_points: usize,
+    avg_steps: u64,
+    max_steps: u64,
+    seed: u64,
+}
+
+/// Everything one [`Sanitizer::run`] observed.
+#[derive(Debug, Default)]
+pub struct SanitizeOutcome {
+    /// Schedules (iterations) explored.
+    pub schedules: u64,
+    /// Fatal failure of the last iteration (deadlock, assertion panic,
+    /// double-fulfilled promise, ...), if any; exploration stops on it.
+    pub failure: Option<String>,
+    /// Seed of the iteration that produced `failure`.
+    pub failing_seed: Option<u64>,
+    /// Deduplicated race / lock-order findings across all iterations.
+    pub reports: Vec<String>,
+    /// One line per iteration: seed, step count, and a hash of the full
+    /// schedule. Byte-identical across runs with the same seed — the
+    /// determinism contract the replay tests pin down.
+    pub trace: String,
+    /// Largest step count seen in one schedule.
+    pub max_steps: u64,
+    /// Iterations abandoned for exceeding the step budget.
+    pub pruned: u64,
+}
+
+impl SanitizeOutcome {
+    /// Did any detector fire?
+    pub fn found_anything(&self) -> bool {
+        self.failure.is_some() || !self.reports.is_empty()
+    }
+}
+
+fn schedule_hash(picks: impl Iterator<Item = usize>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in picks {
+        h = splitmix64(h ^ p as u64);
+    }
+    h
+}
+
+impl Sanitizer {
+    /// A sanitizer with the default budget (64 schedules, 3 change
+    /// points, 200k steps per schedule).
+    pub fn new(name: &str) -> Sanitizer {
+        Sanitizer {
+            name: name.to_string(),
+            iters: 64,
+            change_points: 3,
+            avg_steps: 2_000,
+            max_steps: 200_000,
+            seed: 0x5a71_71ce_5eed_f10c,
+        }
+    }
+
+    /// Number of PCT schedules to explore.
+    pub fn iters(mut self, n: u64) -> Sanitizer {
+        self.iters = n;
+        self
+    }
+
+    /// PCT priority change points per schedule (the bug-depth budget).
+    pub fn change_points(mut self, d: usize) -> Sanitizer {
+        self.change_points = d;
+        self
+    }
+
+    /// Expected schedule length the change points are spread over.
+    pub fn avg_steps(mut self, k: u64) -> Sanitizer {
+        self.avg_steps = k;
+        self
+    }
+
+    /// Hard per-schedule step budget (schedules exceeding it are pruned).
+    pub fn max_steps(mut self, n: u64) -> Sanitizer {
+        self.max_steps = n;
+        self
+    }
+
+    /// Base seed; per-iteration seeds derive from it.
+    pub fn seed(mut self, seed: u64) -> Sanitizer {
+        self.seed = seed;
+        self
+    }
+
+    /// Explores `f` under PCT schedules and returns everything found.
+    ///
+    /// Honors two environment variables: `RUSTFLOW_SANITIZE_SEED` (run
+    /// exactly one schedule with that seed — the replay path) and
+    /// `RUSTFLOW_SANITIZE_ITERS` (override the iteration budget, e.g. to
+    /// cap CI time).
+    pub fn run(&self, f: impl Fn() + Send + Sync + 'static) -> SanitizeOutcome {
+        install_quiet_hook();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let forced_seed = std::env::var("RUSTFLOW_SANITIZE_SEED").ok().map(|s| {
+            let t = s.trim();
+            let parsed = match t.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => t.parse(),
+            };
+            parsed
+                .unwrap_or_else(|_| panic!("RUSTFLOW_SANITIZE_SEED must be an integer, got {t:?}"))
+        });
+        let iters = match std::env::var("RUSTFLOW_SANITIZE_ITERS") {
+            Ok(s) => s.trim().parse().unwrap_or(self.iters),
+            Err(_) => self.iters,
+        };
+        let cfg = ExecCfg {
+            preemption_bound: None,
+            max_steps: self.max_steps,
+            pct: Some(PctCfg {
+                change_points: self.change_points,
+                avg_steps: self.avg_steps,
+                streak_limit: 1_000,
+            }),
+            sanitize: true,
+        };
+        let mut out = SanitizeOutcome::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..iters {
+            let seed = forced_seed.unwrap_or_else(|| splitmix64(self.seed ^ (i + 1)));
+            let o = run_once(&f, &cfg, Vec::new(), Some(seed));
+            out.schedules += 1;
+            out.max_steps = out.max_steps.max(o.steps);
+            if o.pruned {
+                out.pruned += 1;
+            }
+            let h = schedule_hash(o.choices.iter().map(|c| c.picked));
+            out.trace.push_str(&format!(
+                "iter={i} seed={seed:#018x} steps={} schedule_hash={h:#018x} reports={}\n",
+                o.steps,
+                o.reports.len()
+            ));
+            let mut fresh = false;
+            for r in o.reports {
+                if seen.insert(r.clone()) {
+                    out.reports
+                        .push(format!("{r}\n    replay: RUSTFLOW_SANITIZE_SEED={seed:#x}"));
+                    fresh = true;
+                }
+            }
+            if let Some(fail) = o.failure {
+                out.failure = Some(fail);
+                out.failing_seed = Some(seed);
+                break;
+            }
+            // One finding is enough to fail a gate; keep the budget small.
+            if fresh || forced_seed.is_some() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// [`Sanitizer::run`], panicking with every finding (and its replay
+    /// seed) if any detector fired. The clean path prints one stats line.
+    pub fn check(&self, f: impl Fn() + Send + Sync + 'static) {
+        let out = self.run(f);
+        let name = &self.name;
+        if out.found_anything() {
+            let mut msg = format!(
+                "rustflow-sanitize[{name}] found problems after {} schedule(s):\n",
+                out.schedules
+            );
+            for r in &out.reports {
+                msg.push_str(&format!("  * {r}\n"));
+            }
+            if let Some(fail) = &out.failure {
+                let seed = out.failing_seed.unwrap_or(0);
+                msg.push_str(&format!(
+                    "  * {fail}\n    replay: RUSTFLOW_SANITIZE_SEED={seed:#x}\n"
+                ));
+            }
+            panic!("{msg}");
+        }
+        eprintln!(
+            "rustflow-sanitize[{name}]: {} schedules clean ({} pruned, max {} steps/schedule)",
+            out.schedules, out.pruned, out.max_steps
+        );
+    }
+}

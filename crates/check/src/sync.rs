@@ -52,6 +52,7 @@ impl<T> Mutex<T> {
 
     /// Acquires the lock, blocking (in model mode: as a schedulable wait)
     /// until it is available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         match engine::current() {
             None => MutexGuard {
@@ -60,7 +61,7 @@ impl<T> Mutex<T> {
                 ctx: None,
             },
             Some((rt, me)) => {
-                engine::mutex_lock(&rt, me, self.addr());
+                engine::mutex_lock(&rt, me, self.addr(), std::panic::Location::caller());
                 MutexGuard {
                     lock: self,
                     raw: None,
@@ -70,9 +71,37 @@ impl<T> Mutex<T> {
         }
     }
 
+    /// Returns a mutable reference to the value — `&mut self` proves
+    /// exclusivity, so no locking (and no engine event) is needed.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
     /// Consumes the mutex and returns the value.
     pub fn into_inner(self) -> T {
-        self.data.into_inner()
+        // Retire before the field move; `Drop` no longer runs for `self`
+        // after `data` is taken apart, but destructuring a type with a
+        // `Drop` impl needs `ManuallyDrop` plumbing.
+        let this = std::mem::ManuallyDrop::new(self);
+        if let Some((rt, _)) = engine::current() {
+            engine::mutex_retire(&rt, this.addr());
+        }
+        // SAFETY: `this` is never dropped (ManuallyDrop), so each field
+        // is moved out exactly once.
+        unsafe {
+            let _ = std::ptr::read(&this.raw);
+            std::ptr::read(&this.data).into_inner()
+        }
+    }
+}
+
+impl<T> Drop for Mutex<T> {
+    fn drop(&mut self) {
+        // Forget the registration: a later allocation may reuse this
+        // address and must start with fresh lock-order/hand-off state.
+        if let Some((rt, _)) = engine::current() {
+            engine::mutex_retire(&rt, self.addr());
+        }
     }
 }
 
@@ -135,6 +164,38 @@ impl Condvar {
         }
     }
 
+    /// Atomically releases the guard's mutex and parks until notified or
+    /// until `deadline`; re-acquires the mutex before returning.
+    ///
+    /// In model mode there is no clock: the timeout fires exactly when
+    /// every live thread is blocked (the deterministic stand-in for "the
+    /// deadline passed with no notification coming").
+    #[track_caller]
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: std::time::Instant,
+    ) -> WaitTimeoutResult {
+        match guard.ctx.clone() {
+            Some((rt, me)) => WaitTimeoutResult(engine::condvar_wait_timed(
+                &rt,
+                me,
+                self.addr(),
+                guard.lock.addr(),
+            )),
+            None => {
+                let raw = guard.raw.take().expect("fallback guard holds the raw lock");
+                let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+                let (raw, res) = self
+                    .inner
+                    .wait_timeout(raw, timeout)
+                    .unwrap_or_else(|e| e.into_inner());
+                guard.raw = Some(raw);
+                WaitTimeoutResult(res.timed_out())
+            }
+        }
+    }
+
     /// Wakes one parked waiter, if any.
     pub fn notify_one(&self) {
         match engine::current() {
@@ -153,5 +214,72 @@ impl Condvar {
             }
             Some((rt, me)) => engine::condvar_notify_all(&rt, me, self.addr()),
         }
+    }
+}
+
+/// Result of a [`Condvar::wait_until`] (parking_lot-compatible shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the deadline passed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Model-aware reader-writer lock with the `parking_lot`-style API.
+///
+/// In model mode readers are serialized like writers (the model explores
+/// interleavings, so losing reader parallelism costs schedules, not
+/// soundness — and every read still participates in lock-order analysis
+/// and happens-before propagation). Outside a model it is a plain
+/// mutex-backed lock, used only on cold paths (observer registration).
+#[derive(Debug, Default)]
+pub struct RwLock<T>(Mutex<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock(Mutex::new(value))
+    }
+
+    /// Acquires shared read access (exclusive in model mode; see type
+    /// docs).
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.lock())
+    }
+
+    /// Acquires exclusive write access.
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.lock())
+    }
+}
+
+/// Shared-access RAII guard of a [`RwLock`].
+pub struct RwLockReadGuard<'a, T>(MutexGuard<'a, T>);
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// Exclusive-access RAII guard of a [`RwLock`].
+pub struct RwLockWriteGuard<'a, T>(MutexGuard<'a, T>);
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
     }
 }

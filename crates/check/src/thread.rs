@@ -48,8 +48,25 @@ where
     F: FnOnce() -> T + Send + 'static,
     T: Send + 'static,
 {
+    spawn_named(None, f)
+}
+
+/// [`spawn`] with a thread name. In model mode the backing OS thread is
+/// named after its model tid instead (the scheduler output refers to
+/// tids); outside a model the name is applied to the real thread.
+pub fn spawn_named<F, T>(name: Option<String>, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
     match engine::current() {
-        None => JoinHandle(Inner::Real(std::thread::spawn(f))),
+        None => {
+            let mut b = std::thread::Builder::new();
+            if let Some(name) = name {
+                b = b.name(name);
+            }
+            JoinHandle(Inner::Real(b.spawn(f).expect("spawn thread")))
+        }
         Some((rt, me)) => {
             let tid = engine::register_thread(&rt, me);
             let result = Arc::new(Mutex::new(None));

@@ -10,9 +10,9 @@
 //! structurally correct patterns.
 
 use crate::shared_vec::SharedVec;
+use crate::sync::Mutex;
 use crate::task::Task;
 use crate::taskflow::Taskflow;
-use parking_lot::Mutex;
 use std::ops::Range;
 use std::sync::Arc;
 

@@ -22,13 +22,12 @@ use crate::notifier::Notifier;
 use crate::observer::{ExecutorObserver, DISPATCH_LANE};
 use crate::stats::{ExecutorStats, WorkerStats};
 use crate::subflow::Subflow;
-use crate::sync::AtomicBool;
+use crate::sync::{fence, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, RwLock};
 use crate::topology::{Advance, PendingRun, RunCondition, Topology};
 use crate::wsq;
-use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -42,6 +41,10 @@ pub(crate) struct Config {
     /// After draining a chain, wake one idler with probability
     /// `1/wake_ratio` (0 disables the heuristic).
     pub wake_ratio: u64,
+    /// Initial per-worker deque capacity (power of two). The default
+    /// matches [`crate::wsq`]; tiny capacities exist so the sanitizer can
+    /// reach the deque's grow path with model-sized graphs.
+    pub queue_capacity: usize,
 }
 
 impl Default for Config {
@@ -49,6 +52,7 @@ impl Default for Config {
         Config {
             cache_slot: true,
             wake_ratio: 64,
+            queue_capacity: wsq::INITIAL_CAPACITY,
         }
     }
 }
@@ -88,6 +92,14 @@ impl ExecutorBuilder {
     /// `1/ratio` after each drained chain (0 disables it).
     pub fn wake_ratio(mut self, ratio: u64) -> Self {
         self.cfg.wake_ratio = ratio;
+        self
+    }
+
+    /// Initial per-worker deque capacity (rounded up to a power of two,
+    /// minimum 2). Defaults to the production size; the sanitizer shrinks
+    /// it so the Chase–Lev grow path is exercised by model-sized graphs.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.queue_capacity = capacity.max(2).next_power_of_two();
         self
     }
 
@@ -202,6 +214,11 @@ pub(crate) struct Inner {
     /// HTTP server). Holds a `Weak` back-reference to this `Inner`, so no
     /// cycle keeps the executor alive.
     pub(crate) introspect: RwLock<Option<Arc<IntrospectState>>>,
+    /// Seeded sanitizer bug: a cell written plainly by `execute` and read
+    /// plainly by parking workers with no ordering between them — a true
+    /// data race the happens-before detector must flag.
+    #[cfg(rustflow_weaken = "seed_plain_race")]
+    race_scratch: crate::sync_cell::SyncCell<u64>,
 }
 
 impl Inner {
@@ -222,6 +239,8 @@ impl Inner {
 /// hot paths pay a single relaxed-ish load when tracing is off.
 #[inline]
 fn notify_observers(inner: &Inner, f: impl Fn(&dyn ExecutorObserver)) {
+    // ORDERING: Acquire pairs with `observe`'s Release store, so a hook
+    // that fires sees the fully-constructed observer list.
     if inner.has_observers.load(Ordering::Acquire) {
         for ob in inner.observers.read().iter() {
             f(&**ob);
@@ -232,9 +251,12 @@ fn notify_observers(inner: &Inner, f: impl Fn(&dyn ExecutorObserver)) {
 /// A shared pool of worker threads executing task dependency graphs.
 pub struct Executor {
     inner: Arc<Inner>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Worker threads: model threads under the sanitizer, real named
+    /// threads otherwise (see [`crate::sync::thread`]).
+    threads: Mutex<Vec<crate::sync::thread::JoinHandle<()>>>,
     /// Introspection service threads (collector, HTTP acceptor); joined
-    /// on drop after their stop flag is raised.
+    /// on drop after their stop flag is raised. Always real `std` threads
+    /// — introspection is outside the model's scope.
     aux_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -248,7 +270,7 @@ impl Executor {
         let mut owners = Vec::with_capacity(workers);
         let mut shareds = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (owner, stealer) = wsq::deque();
+            let (owner, stealer) = wsq::deque_with_capacity(cfg.queue_capacity);
             owners.push(owner);
             shareds.push(WorkerShared {
                 stealer,
@@ -279,6 +301,8 @@ impl Executor {
             epoch: crate::clock::origin(),
             introspect_live: AtomicBool::new(false),
             introspect: RwLock::new(None),
+            #[cfg(rustflow_weaken = "seed_plain_race")]
+            race_scratch: crate::sync_cell::SyncCell::new(0),
         });
         let mut threads = Vec::with_capacity(workers);
         for (id, owner) in owners.into_iter().enumerate() {
@@ -290,12 +314,10 @@ impl Executor {
                 rng: 0x9E37_79B9_7F4A_7C15 ^ ((id as u64 + 1) << 17),
                 last_victim: (id + 1) % workers,
             };
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("rustflow-worker-{id}"))
-                    .spawn(move || worker_loop(&inner, ctx))
-                    .expect("failed to spawn worker thread"),
-            );
+            threads.push(crate::sync::thread::spawn_named(
+                format!("rustflow-worker-{id}"),
+                move || worker_loop(&inner, ctx),
+            ));
         }
         Arc::new(Executor {
             inner,
@@ -324,6 +346,8 @@ impl Executor {
         observer.on_observe(self.num_workers());
         let mut obs = self.inner.observers.write();
         obs.push(observer);
+        // ORDERING: Release publishes the list write above to
+        // `notify_observers`' Acquire fast-path load.
         self.inner.has_observers.store(true, Ordering::Release);
     }
 
@@ -331,6 +355,8 @@ impl Executor {
     pub fn remove_observers(&self) {
         let mut obs = self.inner.observers.write();
         obs.clear();
+        // ORDERING: Release orders the clear before the flag flip; the
+        // fast path never iterates a list mid-teardown.
         self.inner.has_observers.store(false, Ordering::Release);
     }
 
@@ -467,9 +493,10 @@ fn advance_topology(inner: &Inner, topo: &Topology, iteration_finished: bool) {
                     });
                     let k = sources.len();
                     inner.injector.lock().extend(sources.iter().copied());
-                    // Dekker fence: the pushes above must precede the idler
-                    // check inside wake_one in the SeqCst order (see
-                    // notifier docs).
+                    // ORDERING: Dekker fence — the pushes above must
+                    // precede the idler check inside wake_one in the
+                    // SeqCst total order (see notifier docs), or a
+                    // concurrently-parking worker could be missed.
                     fence(Ordering::SeqCst);
                     for _ in 0..k {
                         match inner.notifier.wake_one() {
@@ -507,6 +534,13 @@ fn advance_topology(inner: &Inner, topo: &Topology, iteration_finished: bool) {
 
 impl Drop for Executor {
     fn drop(&mut self) {
+        if crate::sync::model_teardown() {
+            // A model execution is being torn down (schedule aborted, or
+            // this drop runs during an assertion unwind): the checker owns
+            // every model thread and each shimmed wait below would wedge.
+            // Skip the shutdown protocol; the engine reclaims the threads.
+            return;
+        }
         // Let in-flight topologies finish: their node pointers reference
         // graphs that callers may drop right after their future resolves.
         // `finalize` signals `all_done` when the registry empties, so this
@@ -522,12 +556,18 @@ impl Drop for Executor {
         // stop flag with bounded sleeps, so the join is prompt.
         let introspect = self.inner.introspect.write().take();
         if let Some(state) = introspect {
+            // ORDERING: Release — workers' Relaxed `live` loads may lag,
+            // but anything they published before this store is visible to
+            // the collector's final drain.
             self.inner.introspect_live.store(false, Ordering::Release);
             state.request_stop();
         }
         for t in self.aux_threads.lock().drain(..) {
             let _ = t.join();
         }
+        // ORDERING: SeqCst puts the stop flag in the Dekker total order
+        // ahead of wake_all, so a worker that re-checks queues on its way
+        // to parking cannot miss shutdown and sleep forever.
         self.inner.stop.store(true, Ordering::SeqCst);
         self.inner.notifier.wake_all();
         for t in self.threads.lock().drain(..) {
@@ -551,6 +591,8 @@ impl std::fmt::Debug for Executor {
 
 fn worker_loop(inner: &Inner, mut ctx: WorkerCtx) {
     loop {
+        // ORDERING: Acquire pairs with the SeqCst stop store in `drop`,
+        // so a stopping worker sees all pre-shutdown writes.
         if inner.stop.load(Ordering::Acquire) {
             break;
         }
@@ -562,12 +604,21 @@ fn worker_loop(inner: &Inner, mut ctx: WorkerCtx) {
         // Line 3: steal. The spinning counter gates redundant wake-ups
         // from concurrent pushes (see Inner::num_spinning).
         if t == 0 {
+            // ORDERING: SeqCst bracket around the steal attempt — the
+            // spinner count shares the Dekker total order with
+            // `schedule`'s fence, so a submitter either sees a spinner
+            // (and skips the wake) or the spinner's scan sees its push.
             inner.num_spinning.fetch_add(1, Ordering::SeqCst);
             t = try_steal(inner, &mut ctx);
-            inner.num_spinning.fetch_sub(1, Ordering::SeqCst);
+            inner.num_spinning.fetch_sub(1, Ordering::SeqCst); // ORDERING: closes the bracket above.
         }
         // Lines 5–13: park when everything is empty.
         if t == 0 {
+            // SAFETY: deliberately WRONG — this plain read races with the
+            // plain write in `execute`; it is the bug this mutation seeds
+            // for the sanitizer to catch.
+            #[cfg(rustflow_weaken = "seed_plain_race")]
+            let _ = unsafe { *inner.race_scratch.get() };
             inner.shareds[ctx.id].parks.fetch_add(1, Ordering::Relaxed);
             notify_observers(inner, |ob| ob.on_park(ctx.id));
             inner.notifier.wait(
@@ -678,8 +729,9 @@ unsafe fn schedule(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
         return;
     }
     ctx.owner.push(item);
-    // Dekker fence: the push must precede the spinner/idler checks
-    // (notifier docs).
+    // ORDERING: Dekker fence + SeqCst load — the push must precede the
+    // spinner/idler checks in the single total order (notifier docs);
+    // otherwise the new task could go unnoticed by every worker.
     fence(Ordering::SeqCst);
     if inner.num_spinning.load(Ordering::SeqCst) == 0 {
         if let Some(woken) = inner.notifier.wake_one() {
@@ -728,6 +780,8 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
                 since_us: crate::clock::now_us(),
             });
         }
+        // ORDERING: Acquire pairs with `observe`'s Release, so span hooks
+        // run against a fully-installed observer list.
         let observed = inner.has_observers.load(Ordering::Acquire);
         // Span identity is built only when somebody is listening; the
         // zero-observer hot path pays the single Acquire load and nothing
@@ -758,6 +812,12 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
                     Work::Empty => {}
                     Work::Static(f) => {
                         if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                            if crate::sync::is_model_abort(payload.as_ref()) {
+                                // Engine-internal unwind tearing the model
+                                // execution down: the topology may already
+                                // be freed, so no bookkeeping — rethrow.
+                                std::panic::resume_unwind(payload);
+                            }
                             will_retry = attempt < retry.limit && !topo.is_cancelled();
                             failed = Some(payload);
                         }
@@ -767,6 +827,10 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
                         match catch_unwind(AssertUnwindSafe(|| f(&mut sf))) {
                             Ok(()) => deferred = spawn_subflow(inner, ctx, node, sf.is_detached()),
                             Err(payload) => {
+                                if crate::sync::is_model_abort(payload.as_ref()) {
+                                    // See the static arm above.
+                                    std::panic::resume_unwind(payload);
+                                }
                                 will_retry = attempt < retry.limit && !topo.is_cancelled();
                                 if !will_retry {
                                     // Final failure: publish whatever the
@@ -813,6 +877,13 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
             }
             break;
         }
+        // SAFETY: deliberately WRONG — this plain increment races with the
+        // plain read in `worker_loop`; it is the bug this mutation seeds
+        // for the sanitizer to catch.
+        #[cfg(rustflow_weaken = "seed_plain_race")]
+        {
+            *inner.race_scratch.get_mut() += 1;
+        }
         if live {
             *inner.shareds[ctx.id].current.lock() = None;
         }
@@ -825,6 +896,9 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
         if deferred {
             // Drop the spawn sentinel; the last finishing child (or we,
             // right now, if they all already finished) completes the node.
+            // ORDERING: AcqRel — Release publishes this side's writes to
+            // whoever hits zero; Acquire on the zero-crossing gathers
+            // every child's effects before `complete` runs.
             if (*node).state.nested.fetch_sub(1, Ordering::AcqRel) == 1 {
                 complete(inner, ctx, node);
             }
@@ -917,6 +991,9 @@ unsafe fn complete(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
         // SAFETY: successors are frozen after the build/spawn phase.
         let succs = unsafe { (*node).structure.successors.get() };
         for &s in succs.iter() {
+            // ORDERING: AcqRel — each predecessor Releases its task's
+            // effects; the zero-crossing Acquires them all, so `s` runs
+            // after every dependency in the happens-before order.
             // SAFETY: `s` targets a live boxed node of the same topology;
             // `join_counter` is atomic.
             if unsafe { (*s).state.join_counter.fetch_sub(1, Ordering::AcqRel) } == 1 {
@@ -926,6 +1003,8 @@ unsafe fn complete(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
             }
         }
     }
+    // ORDERING: AcqRel — the finalizing zero-crossing must Acquire every
+    // node's completion writes before tearing the iteration down.
     // SAFETY: `topo_ptr` is live until the last `alive` decrement — which
     // is at earliest this one.
     if unsafe { (*topo_ptr).alive.fetch_sub(1, Ordering::AcqRel) } == 1 {
@@ -935,6 +1014,8 @@ unsafe fn complete(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
         finalize(inner, topo_ptr);
         return;
     }
+    // ORDERING: AcqRel — the last joined child's effects are Acquired
+    // before the parent completes (mirror of the sentinel drop above).
     // SAFETY: a non-null parent is a live node awaiting its joined
     // children; `nested` is atomic.
     if !parent.is_null() && unsafe { (*parent).state.nested.fetch_sub(1, Ordering::AcqRel) } == 1 {

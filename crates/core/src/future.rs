@@ -9,7 +9,7 @@
 //! [`SharedFuture`] is cloneable; every clone observes the same value. The
 //! producing side is a single-use [`Promise`].
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
 

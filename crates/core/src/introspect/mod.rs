@@ -125,10 +125,13 @@ impl IntrospectState {
     /// Asks the collector and HTTP threads to exit (the executor joins
     /// them in its `Drop`).
     pub(crate) fn request_stop(&self) {
+        // ORDERING: Release publishes all pre-stop state (final ring
+        // drains, flight-recorder writes) to the exiting threads.
         self.stop.store(true, Ordering::Release);
     }
 
     pub(crate) fn stopped(&self) -> bool {
+        // ORDERING: Acquire pairs with `request_stop`'s Release.
         self.stop.load(Ordering::Acquire)
     }
 
@@ -509,6 +512,8 @@ pub(crate) fn start(
         state
     };
     executor.observe(Arc::clone(&state.tracer) as Arc<dyn ExecutorObserver>);
+    // ORDERING: Release — the service state installed above is visible to
+    // any worker whose Relaxed `live` load observes the flag.
     inner.introspect_live.store(true, Ordering::Release);
 
     let mut threads = Vec::with_capacity(2);

@@ -24,10 +24,12 @@
 use crate::sync::{AtomicBool, AtomicUsize, Condvar, Mutex};
 use std::sync::atomic::Ordering;
 
-/// Ordering of the Dekker pair — the idler's `num_idlers` increment and
-/// the submitter's fast-path load. The `rustflow_weaken` cfg deliberately
-/// breaks it so the model checker can demonstrate the lost wakeup it
-/// permits (see crates/check).
+/// ORDERING: SeqCst on the Dekker pair — the idler's `num_idlers`
+/// increment and the submitter's fast-path load — puts both in the single
+/// total order with the submitter's fence, so either the submitter sees
+/// the idler or the idler's re-scan sees the task. The `rustflow_weaken`
+/// cfg deliberately breaks it so the model checker can demonstrate the
+/// lost wakeup it permits (see crates/check).
 const DEKKER: Ordering = if cfg!(rustflow_weaken = "notifier_dekker") {
     Ordering::Relaxed
 } else {
@@ -79,6 +81,9 @@ impl Notifier {
         self.num_idlers.fetch_add(1, DEKKER);
         // ...then re-check for work and for shutdown.
         if stop.load(Ordering::Relaxed) || !all_empty() {
+            // ORDERING: SeqCst keeps the rollback in the same total order
+            // as the registration above, so a submitter never observes a
+            // phantom idler left over from an aborted park.
             self.num_idlers.fetch_sub(1, Ordering::SeqCst);
             return false;
         }
@@ -92,6 +97,9 @@ impl Notifier {
         if self.slots[w].napping.swap(false, Ordering::Relaxed) {
             if let Some(pos) = guard.iter().position(|&x| x == w) {
                 guard.swap_remove(pos);
+                // ORDERING: SeqCst — the count must leave the Dekker
+                // total order through the same door it entered (see
+                // [`DEKKER`]), or a submitter could see a stale idler.
                 self.num_idlers.fetch_sub(1, Ordering::SeqCst);
             }
         }
@@ -106,6 +114,8 @@ impl Notifier {
         }
         let mut guard = self.idlers.lock();
         let w = guard.pop()?;
+        // ORDERING: SeqCst decrement stays in the Dekker total order so
+        // concurrent submitters don't double-target the same idler.
         self.num_idlers.fetch_sub(1, Ordering::SeqCst);
         self.slots[w].napping.store(false, Ordering::Relaxed);
         self.slots[w].cv.notify_one();
@@ -131,6 +141,8 @@ impl Notifier {
             self.slots[w].napping.store(false, Ordering::Relaxed);
             self.slots[w].cv.notify_one();
         }
+        // ORDERING: SeqCst batch decrement, same Dekker total order as
+        // the per-worker registrations it cancels.
         self.num_idlers.fetch_sub(guard.len(), Ordering::SeqCst);
         guard.clear();
     }

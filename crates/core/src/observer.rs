@@ -12,8 +12,8 @@
 
 use crate::label::TaskLabel;
 use crate::ring::EventRing;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{AtomicUsize, Mutex};
+use std::sync::atomic::Ordering;
 
 /// Pseudo worker id used for events recorded off the worker threads
 /// (topology dispatch runs on the caller's thread).

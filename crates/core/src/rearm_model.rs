@@ -161,12 +161,16 @@ impl RearmHarness {
             }
             let succs = (*node).structure.successors.get();
             for &s in succs.iter() {
+                // ORDERING: AcqRel, mirroring the executor's dependency
+                // edge — predecessors Release, the zero-crossing Acquires.
                 if (*s).state.join_counter.fetch_sub(1, Ordering::AcqRel) == 1 {
                     let mut q = self.ready.lock();
                     q.push_back(s as usize);
                     self.cv.notify_all();
                 }
             }
+            // ORDERING: AcqRel — the finalizing decrement Acquires every
+            // node's writes before the driver re-arms the graph.
             if self.topo.alive.fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Final decrement of the iteration: we are the driver.
                 self.drive(true);

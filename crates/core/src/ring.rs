@@ -21,9 +21,11 @@ use crate::sync::{AtomicU64, AtomicUsize, CheckedCell};
 use std::mem::MaybeUninit;
 use std::sync::atomic::Ordering;
 
-/// Ordering of the slot-publish `seq` store. The `rustflow_weaken` cfg
-/// deliberately breaks it so the model checker can demonstrate the
-/// payload data race it causes (see crates/check).
+/// ORDERING: Release on the slot-publish `seq` store orders the payload
+/// write before the sequence number a consumer Acquire-loads, so
+/// `assume_init_read` never races the producer's write. The
+/// `rustflow_weaken` cfg deliberately breaks it so the model checker can
+/// demonstrate the payload data race it causes (see crates/check).
 const SEQ_PUBLISH: Ordering = if cfg!(rustflow_weaken = "ring_publish") {
     Ordering::Relaxed
 } else {
@@ -117,6 +119,8 @@ impl EventRing {
         let mut pos = self.head.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
+            // ORDERING: Acquire pairs with the consumer's Release `seq`
+            // store in `pop`, so a slot seen free is fully drained.
             let seq = slot.seq.load(Ordering::Acquire);
             let dif = seq as isize - pos as isize;
             if dif == 0 {
@@ -156,6 +160,8 @@ impl EventRing {
         let mut pos = self.tail.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
+            // ORDERING: Acquire pairs with [`SEQ_PUBLISH`] in `try_push`,
+            // so an occupied slot's payload is visible before it is read.
             let seq = slot.seq.load(Ordering::Acquire);
             let dif = seq as isize - pos.wrapping_add(1) as isize;
             if dif == 0 {
@@ -169,6 +175,10 @@ impl EventRing {
                         // SAFETY: the CAS gives this thread exclusive
                         // ownership of the occupied slot.
                         let value = unsafe { slot.value.with_mut(|p| (*p).assume_init_read()) };
+                        // ORDERING: Release orders the read-out above
+                        // before the slot is recycled; the producer's
+                        // Acquire `seq` load won't overwrite a payload
+                        // still being moved out.
                         slot.seq
                             .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
                         return Some(value);

@@ -53,6 +53,7 @@ impl<T> SyncCell<T> {
     /// the value (build thread, the owning worker during run, or any thread
     /// after completion).
     #[inline]
+    #[track_caller]
     pub(crate) unsafe fn get(&self) -> &T {
         // SAFETY: forwarding the caller's phase guarantee; the pointer is
         // valid for `self`'s lifetime, so laundering the borrow through it
@@ -67,6 +68,7 @@ impl<T> SyncCell<T> {
     /// build thread before dispatch, or the worker currently executing the
     /// node.
     #[inline]
+    #[track_caller]
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn get_mut(&self) -> &mut T {
         // SAFETY: forwarding the caller's uniqueness guarantee.
@@ -78,6 +80,7 @@ impl<T> SyncCell<T> {
     /// # Safety
     /// Same contract as [`SyncCell::get_mut`].
     #[inline]
+    #[track_caller]
     pub(crate) unsafe fn replace(&self, value: T) -> T {
         // SAFETY: forwarding the caller's uniqueness guarantee.
         unsafe { self.0.with_mut(|p| std::mem::replace(&mut *p, value)) }

@@ -31,11 +31,11 @@ use crate::future::SharedFuture;
 use crate::graph::{Graph, Work};
 use crate::handle::RunHandle;
 use crate::subflow::Subflow;
+use crate::sync::Mutex;
 use crate::sync_cell::SyncCell;
 use crate::task::Task;
 use crate::topology::{RunCondition, Topology};
 use crate::validate::{self, GraphDiagnostic};
-use parking_lot::Mutex;
 use std::marker::PhantomData;
 use std::sync::Arc;
 

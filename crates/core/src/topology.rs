@@ -191,14 +191,33 @@ impl Topology {
     /// interleaving model can demonstrate exactly that lost-cancel
     /// outcome (a skipped run reported as success).
     pub(crate) fn cancel(&self) -> bool {
+        // Seeded lockdep bug: holding `error` while taking `pending`
+        // inverts the crate-wide order (`record_error` below and the
+        // drain in `advance_inner` both take `error` under `pending`),
+        // closing an error → pending → error cycle in the lock graph.
+        // Dropped before `record_error` re-locks it — the cycle is an
+        // *order* violation long before any schedule actually deadlocks.
+        #[cfg(rustflow_weaken = "seed_lock_cycle")]
+        let cycle_probe = self.error.lock();
         let _q = self.pending.lock();
+        #[cfg(rustflow_weaken = "seed_lock_cycle")]
+        drop(cycle_probe);
+        // ORDERING: Acquire pairs with the Release IDLE stores in
+        // `advance_inner`, so a cancel that sees a live run also sees
+        // that run's queue state under the lock.
         if self.state.load(Ordering::Acquire) == IDLE {
             return false;
         }
+        // ORDERING: Release on `cancelled` *after* `record_error` — a
+        // worker that Acquire-loads the flag must find the Cancelled
+        // error already recorded, or a skipped batch could resolve Ok.
+        // The `cancel_publish` weaken inverts the two writes to seed
+        // exactly that bug for the sanitizer.
         #[cfg(rustflow_weaken = "cancel_publish")]
         self.cancelled.store(true, Ordering::Release);
         self.record_error(RunError::Cancelled);
         #[cfg(not(rustflow_weaken = "cancel_publish"))]
+        // ORDERING: Release, record-then-publish — see above.
         self.cancelled.store(true, Ordering::Release);
         true
     }
@@ -209,11 +228,16 @@ impl Topology {
     /// publishing; the failed batch still resolves with the panic while
     /// queued batches drain as [`RunError::Cancelled`].
     pub(crate) fn cancel_internal(&self) {
+        // ORDERING: Release — the recorded panic (under the error lock)
+        // happens-before any worker that sees the flag and skips.
         self.cancelled.store(true, Ordering::Release);
     }
 
     /// `true` once cancellation has been requested for the current run.
     pub(crate) fn is_cancelled(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release stores in `cancel` /
+        // `cancel_internal`: a worker that observes the flag also
+        // observes the error recorded before it.
         self.cancelled.load(Ordering::Acquire)
     }
 
@@ -272,6 +296,8 @@ impl Topology {
     /// `true` when no batch is executing or queued: the graph is quiescent
     /// and may be inspected (DOT dumps) or reclaimed (`gc`).
     pub(crate) fn is_settled(&self) -> bool {
+        // ORDERING: Acquire pairs with the driver's Release IDLE store,
+        // so a settled topology's final graph state is visible.
         self.state.load(Ordering::Acquire) == IDLE
     }
 
@@ -285,6 +311,9 @@ impl Topology {
     pub(crate) fn enqueue(&self, batch: PendingRun) -> bool {
         let mut q = self.pending.lock();
         q.push_back(batch);
+        // ORDERING: AcqRel — the Acquire half sees the outgoing driver's
+        // final writes behind its Release IDLE store; the Release half
+        // publishes this batch to whoever later claims the topology.
         self.state
             .compare_exchange(IDLE, RUNNING, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
@@ -348,7 +377,14 @@ impl Topology {
                     RunCondition::Until(pred) => match catch_unwind(AssertUnwindSafe(pred)) {
                         Ok(true) => Some(Ok(())),
                         Ok(false) => None,
-                        Err(payload) => Some(Err(predicate_panic(&*payload, self.iterations()))),
+                        Err(payload) => {
+                            if crate::sync::is_model_abort(payload.as_ref()) {
+                                // Engine-internal unwind: never a
+                                // predicate failure; rethrow.
+                                std::panic::resume_unwind(payload);
+                            }
+                            Some(Err(predicate_panic(&*payload, self.iterations())))
+                        }
                     },
                 }
             };
@@ -366,6 +402,9 @@ impl Topology {
         loop {
             let mut next = {
                 let mut q = self.pending.lock();
+                // ORDERING: Acquire pairs with `cancel`'s Release store,
+                // making the recorded Cancelled error visible to the
+                // drain below.
                 if self.cancelled.load(Ordering::Acquire) {
                     // Cancellation drains the whole queue: every batch that
                     // never got to run resolves `Cancelled`, the flag is
@@ -381,6 +420,9 @@ impl Topology {
                     // clear it so the next submission starts clean. Lock
                     // order pending → error matches `cancel`.
                     let _ = self.error.lock().take();
+                    // ORDERING: Release pair — the drained queue and the
+                    // cleared error are published before the flag reset
+                    // and the IDLE store that lets a new run claim us.
                     self.cancelled.store(false, Ordering::Release);
                     self.state.store(IDLE, Ordering::Release);
                     return Advance::Idle;
@@ -392,6 +434,9 @@ impl Topology {
                         // concurrent `enqueue` either hands us its batch
                         // (pushed before our pop) or claims the driver
                         // role itself (CAS after our store).
+                        // ORDERING: Release publishes the finished run's
+                        // graph state to `enqueue`'s AcqRel CAS and to
+                        // `is_settled`'s Acquire load.
                         self.state.store(IDLE, Ordering::Release);
                         return Advance::Idle;
                     }
@@ -403,7 +448,13 @@ impl Topology {
                 RunCondition::Until(pred) => match catch_unwind(AssertUnwindSafe(pred)) {
                     Ok(true) => Some(Ok(())),
                     Ok(false) => None,
-                    Err(payload) => Some(Err(predicate_panic(&*payload, self.iterations()))),
+                    Err(payload) => {
+                        if crate::sync::is_model_abort(payload.as_ref()) {
+                            // See the matching arm in the finished branch.
+                            std::panic::resume_unwind(payload);
+                        }
+                        Some(Err(predicate_panic(&*payload, self.iterations())))
+                    }
                 },
             };
             match outcome {

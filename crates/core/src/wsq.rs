@@ -29,18 +29,20 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Initial ring capacity (must be a power of two).
-const INITIAL_CAPACITY: usize = 64;
+pub const INITIAL_CAPACITY: usize = 64;
 
-/// Ordering of the buffer-pointer publication in `grow`. The
-/// `rustflow_weaken` cfg deliberately breaks it so the model checker can
-/// demonstrate the resulting lost/garbled steal (see crates/check).
+/// ORDERING: Release on the buffer-pointer publication in `grow` makes
+/// the copied slot contents visible to any thief whose Acquire load in
+/// `steal` observes the new pointer. The `rustflow_weaken` cfg
+/// deliberately breaks it so the model checker can demonstrate the
+/// resulting lost/garbled steal (see crates/check).
 const GROW_SWAP: Ordering = if cfg!(rustflow_weaken = "wsq_grow_swap") {
     Ordering::Relaxed
 } else {
     Ordering::Release
 };
 
-/// Ordering of the Dekker fence in `pop`, pairing with the SeqCst fence
+/// ORDERING: the Dekker fence in `pop`, pairing with the SeqCst fence
 /// in `steal`: it forces the owner's subsequent `top` read to observe any
 /// steal whose fence already executed. The weakened AcqRel variant keeps
 /// every happens-before edge but loses the single-total-order property,
@@ -163,6 +165,9 @@ impl Owner {
     pub fn push(&self, item: usize) {
         let inner = &*self.inner;
         let b = inner.bottom.load(Ordering::Relaxed);
+        // ORDERING: Acquire on `top` synchronizes with thieves' CAS
+        // releases, so the capacity check below never under-counts free
+        // slots that completed steals already vacated.
         let t = inner.top.load(Ordering::Acquire);
         // SAFETY: only the owner swaps the buffer pointer, and it is always
         // a valid RingBuffer allocated by this deque.
@@ -175,6 +180,9 @@ impl Owner {
         }
 
         buf.write(b, item, Ordering::Relaxed);
+        // ORDERING: Release fence before the `bottom` bump publishes the
+        // slot write; a thief's Acquire `bottom` load that sees b+1 also
+        // sees the item (the classic Chase–Lev publish edge).
         fence(Ordering::Release);
         inner.bottom.store(b + 1, Ordering::Relaxed);
     }
@@ -193,6 +201,9 @@ impl Owner {
             let item = buf.read(b, Ordering::Relaxed);
             if t == b {
                 // Last element: race against thieves for it.
+                // ORDERING: SeqCst keeps this CAS in the single total
+                // order with `steal`'s CAS — exactly one side can advance
+                // `top` from t, so the last item is taken once.
                 let won = inner
                     .top
                     .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
@@ -248,16 +259,28 @@ impl Stealer {
     /// Attempts to steal the oldest item (FIFO with respect to `push`).
     pub fn steal(&self) -> Steal {
         let inner = &*self.inner;
+        // ORDERING: Acquire on `top` synchronizes with competing thieves'
+        // CAS releases so the slot read below sees post-steal state.
         let t = inner.top.load(Ordering::Acquire);
-        // The Dekker-style fence pairing with `pop`'s [`POP_FENCE`].
+        // ORDERING: the Dekker-style SeqCst fence pairing with `pop`'s
+        // [`POP_FENCE`]: in the single total order, either this thief sees
+        // the owner's decremented `bottom`, or the owner sees the advanced
+        // `top` — never both stale.
         fence(Ordering::SeqCst);
+        // ORDERING: Acquire on `bottom` pairs with the Release fence in
+        // `push`, making the pushed item visible before it is read.
         let b = inner.bottom.load(Ordering::Acquire);
 
         if t < b {
+            // ORDERING: Acquire on the buffer pointer pairs with
+            // [`GROW_SWAP`]'s Release in `grow`, so the copied slots are
+            // visible when a freshly-installed buffer is observed.
             // SAFETY: the buffer pointer always refers to a live RingBuffer:
             // retired buffers stay allocated in the garbage list.
             let buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
             let item = buf.read(t, Ordering::Relaxed);
+            // ORDERING: SeqCst CAS in the same total order as `pop`'s
+            // last-element CAS — at most one contender claims slot t.
             if inner
                 .top
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
@@ -275,6 +298,8 @@ impl Stealer {
     /// `true` when the deque appears empty (racy, advisory).
     pub fn is_empty(&self) -> bool {
         let inner = &*self.inner;
+        // ORDERING: Acquire pairs keep this racy snapshot no staler than
+        // the callers' own synchronization; the result is advisory only.
         let t = inner.top.load(Ordering::Acquire);
         let b = inner.bottom.load(Ordering::Acquire);
         b <= t
@@ -283,6 +308,7 @@ impl Stealer {
     /// Approximate number of items (racy, advisory).
     pub fn len(&self) -> usize {
         let inner = &*self.inner;
+        // ORDERING: see `is_empty` — advisory snapshot, Acquire-bounded.
         let t = inner.top.load(Ordering::Acquire);
         let b = inner.bottom.load(Ordering::Acquire);
         (b - t).max(0) as usize

@@ -1,8 +1,16 @@
-//! Source audit: every `unsafe` block or `unsafe impl` in the core and
-//! checker crates must carry a `// SAFETY:` comment immediately above it
-//! (or trailing on the same line) stating the proof obligation it
-//! discharges. CI runs this test, so an unannotated unsafe site fails the
-//! build with its file and line.
+//! Source audits, run by CI so violations fail the build with file:line.
+//!
+//! * Every `unsafe` block or `unsafe impl` in the core and checker crates
+//!   must carry a `// SAFETY:` comment immediately above it (or trailing
+//!   on the same line) stating the proof obligation it discharges.
+//! * Every atomic operation in the core that names a non-Relaxed memory
+//!   ordering (`Acquire`/`Release`/`AcqRel`/`SeqCst`) must carry a
+//!   `// ORDERING:` comment stating what the ordering synchronizes — the
+//!   happens-before edge it creates, or the fence protocol it belongs to.
+//!   These comments are the human-readable counterpart of the sanitizer's
+//!   vector-clock evidence (`crates/check/src/sanitize.rs`): a reviewer
+//!   weakening an ordering must now contradict a written claim, not just
+//!   delete an argument that was never recorded.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -74,6 +82,84 @@ fn audit_dir(dir: &Path, violations: &mut Vec<String>) {
     }
 }
 
+/// A non-comment code line that names a non-Relaxed memory ordering.
+fn uses_nonrelaxed_ordering(code: &str) -> bool {
+    let t = code.trim_start();
+    if t.starts_with("//") {
+        return false;
+    }
+    // Strip a trailing comment so the tokens are matched in code only.
+    let code_part = match t.find("//") {
+        Some(idx) => &t[..idx],
+        None => t,
+    };
+    ["Acquire", "Release", "AcqRel", "SeqCst"]
+        .iter()
+        .any(|tok| code_part.contains(tok))
+}
+
+/// Lines the upward scan may step over between an ordering use and its
+/// ORDERING comment: comments, attributes (`#[cfg(...)]` mutation gates),
+/// and earlier lines of the same rustfmt-wrapped statement or item (a
+/// `const X: Ordering = if cfg!(..) { .. }` weaken gate spans several).
+/// The scan stops at a statement boundary — a blank line or a line ending
+/// in `;` or `}` — so a comment can only document the statement it heads.
+fn ordering_scannable(code: &str) -> bool {
+    let t = code.trim();
+    t.starts_with("//")
+        || t.starts_with("#[")
+        || (!t.is_empty() && !t.ends_with(';') && !t.ends_with('}'))
+        || uses_nonrelaxed_ordering(code)
+}
+
+fn audit_orderings(path: &Path, violations: &mut Vec<String>) {
+    let text = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        // Production code only; `#[cfg(test)]` tail modules are exempt.
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        if !uses_nonrelaxed_ordering(line) {
+            continue;
+        }
+        if line.contains("// ORDERING") {
+            continue;
+        }
+        let mut documented = false;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let above = lines[j];
+            if above.trim_start().starts_with("//") && above.contains("ORDERING") {
+                documented = true;
+                break;
+            }
+            if !ordering_scannable(above) {
+                break;
+            }
+        }
+        if !documented {
+            violations.push(format!("{}:{}: {}", path.display(), i + 1, line.trim()));
+        }
+    }
+}
+
+fn audit_orderings_dir(dir: &Path, violations: &mut Vec<String>) {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read dir {dir:?}: {e}"))
+        .map(|entry| entry.expect("dir entry").path())
+        .collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            audit_orderings_dir(&path, violations);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            audit_orderings(&path, violations);
+        }
+    }
+}
+
 #[test]
 fn every_unsafe_block_has_a_safety_comment() {
     let core_src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
@@ -84,6 +170,18 @@ fn every_unsafe_block_has_a_safety_comment() {
     assert!(
         violations.is_empty(),
         "unsafe sites missing a // SAFETY: comment:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn every_nonrelaxed_atomic_op_documents_its_ordering() {
+    let core_src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut violations = Vec::new();
+    audit_orderings_dir(&core_src, &mut violations);
+    assert!(
+        violations.is_empty(),
+        "non-Relaxed atomic ops missing a // ORDERING: comment:\n{}",
         violations.join("\n")
     );
 }
