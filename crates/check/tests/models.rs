@@ -13,7 +13,7 @@
 //! a replayable schedule. A model that cannot detect its own weakening
 //! would be vacuous.
 
-use rustflow::check_internals::{EventRing, Notifier, RearmHarness};
+use rustflow::check_internals::{EventRing, Injector, Notifier, RearmHarness};
 use rustflow::wsq::{deque_with_capacity, Steal};
 use rustflow::{SchedEvent, SchedEventKind, TaskLabel};
 use rustflow_check::atomic::{fence, AtomicBool};
@@ -211,6 +211,99 @@ fn notifier_no_lost_wakeup() {
             notifier.wake_one();
             let _ = idler.join().unwrap();
         });
+}
+
+/// The MPMC injector hands a task index from a submitting client to a
+/// consuming worker through a Vyukov slot: the producer wins the slot
+/// with a CAS on `head`, writes the payload, and publishes it by storing
+/// `seq = pos + 1` with Release ([`INJECTOR_PUBLISH`] in
+/// `crates/core/src/injector.rs`), which the consumer's Acquire `seq`
+/// load pairs with before its plain payload read.
+///
+/// Weakened by `rustflow_weaken = "injector_publish"` (the publish drops
+/// to Relaxed): the consumer can observe the occupied sequence number
+/// without the payload write ordered before its read — with two clients
+/// racing for slots, a worker can pop a stale index (a task that was
+/// never submitted) while the real one is lost. The engine reports the
+/// slot data race directly.
+#[test]
+#[cfg_attr(
+    rustflow_weaken = "injector_publish",
+    should_panic(expected = "failing interleaving")
+)]
+fn injector_two_producers_one_consumer() {
+    // The sound run peaks at 29 steps/exec; the tight step budget only
+    // bites under the weakening, where stale slot-sequence reads let a
+    // losing producer spin unboundedly and would otherwise drown the
+    // DFS in abandoned retry chains before it reaches the racy read.
+    let stats = Checker::new()
+        .preemption_bound(Some(2))
+        .max_steps(120)
+        .max_schedules(60_000)
+        .check("injector_two_producers_one_consumer", || {
+            let inj = Arc::new(Injector::new(2, false));
+            let producers: Vec<_> = [1usize, 2]
+                .into_iter()
+                .map(|v| {
+                    let inj = Arc::clone(&inj);
+                    thread::spawn(move || inj.push(v))
+                })
+                .collect();
+            // The consumer races the producers: pop what is visible now,
+            // then join and drain the rest — conservation must hold in
+            // every interleaving of the two slot claims and publishes.
+            let mut got = Vec::new();
+            got.extend(inj.pop());
+            for p in producers {
+                p.join().unwrap();
+            }
+            while let Some(v) = inj.pop() {
+                got.push(v);
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2], "each submission consumed exactly once");
+            assert!(inj.is_empty());
+        });
+    assert!(stats.dfs_complete, "schedule space must be fully explored");
+}
+
+/// Slot recycling plus the overflow spill: three pushes through a 2-slot
+/// ring force a wrap-around (the consumer's Release recycle store must
+/// be visible to the producer's Acquire free-check) and — when the
+/// consumer lags — a spill into the mutexed side queue, whose SeqCst
+/// counter keeps `is_empty` honest for the park-path Dekker handshake.
+///
+/// Weakened by `rustflow_weaken = "injector_publish"`: same Relaxed
+/// publish as above; the single-consumer wrap-around alone is enough for
+/// the engine to observe the unsynchronized payload read and report the
+/// race.
+#[test]
+#[cfg_attr(
+    rustflow_weaken = "injector_publish",
+    should_panic(expected = "failing interleaving")
+)]
+fn injector_wraparound_and_spill() {
+    let stats = Checker::new()
+        .preemption_bound(Some(2))
+        .max_schedules(60_000)
+        .check("injector_wraparound_and_spill", || {
+            let inj = Arc::new(Injector::new(2, false));
+            let i = Arc::clone(&inj);
+            let producer = thread::spawn(move || i.push_batch([1, 2, 3]));
+            let mut got = Vec::new();
+            for _ in 0..3 {
+                got.extend(inj.pop());
+            }
+            producer.join().unwrap();
+            while let Some(v) = inj.pop() {
+                got.push(v);
+            }
+            got.sort_unstable();
+            // Push never fails: whatever overflowed the ring spilled into
+            // the side queue, so all three indices come back exactly once.
+            assert_eq!(got, vec![1, 2, 3], "spill must not lose or invent tasks");
+        });
+    assert!(stats.dfs_complete, "schedule space must be fully explored");
 }
 
 /// The finalize → re-arm → re-dispatch handoff of a reusable topology:

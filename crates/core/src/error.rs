@@ -106,6 +106,43 @@ impl fmt::Display for TaskPanic {
 
 impl std::error::Error for TaskPanic {}
 
+/// Why the executor's front door turned a submission away.
+///
+/// Returned by the non-blocking tenant submission path
+/// ([`Taskflow::try_run_on`](crate::Taskflow::try_run_on)) and carried
+/// inside [`RunError::Rejected`] when an already-accepted submission is
+/// drained by shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The tenant's bounded submission queue was full. Back off and retry,
+    /// or use the blocking [`Taskflow::run_on`](crate::Taskflow::run_on)
+    /// which waits for queue space instead.
+    Saturated {
+        /// Name of the saturated tenant.
+        tenant: String,
+        /// The tenant's queue bound ([`TenantQos::max_queued`](crate::TenantQos)).
+        capacity: usize,
+    },
+    /// The executor is shutting down ([`Executor::close`](crate::Executor)
+    /// was called, or the executor is being dropped); no further work is
+    /// admitted.
+    ShuttingDown,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Saturated { tenant, capacity } => write!(
+                f,
+                "tenant '{tenant}' saturated: {capacity} submissions already queued"
+            ),
+            AdmissionError::ShuttingDown => write!(f, "executor is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
 /// Why a dispatched topology did not complete cleanly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
@@ -123,6 +160,11 @@ pub enum RunError {
     /// [`FailurePolicy::FailFast`]. Tasks already running were allowed to
     /// finish; queued-but-unstarted tasks were skipped.
     Cancelled,
+    /// The submission was accepted into a tenant queue but never
+    /// dispatched: the executor shut down (or, for a submission racing
+    /// `Executor::drop`, admission had already closed). No task of this
+    /// batch ran.
+    Rejected(AdmissionError),
 }
 
 impl RunError {
@@ -146,6 +188,15 @@ impl RunError {
     pub fn is_cancelled(&self) -> bool {
         matches!(self, RunError::Cancelled)
     }
+
+    /// The admission error, when the submission was rejected before any
+    /// task ran.
+    pub fn as_rejected(&self) -> Option<&AdmissionError> {
+        match self {
+            RunError::Rejected(a) => Some(a),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RunError {
@@ -163,6 +214,7 @@ impl fmt::Display for RunError {
                 Ok(())
             }
             RunError::Cancelled => write!(f, "run cancelled"),
+            RunError::Rejected(a) => write!(f, "submission rejected: {a}"),
         }
     }
 }

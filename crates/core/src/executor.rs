@@ -14,18 +14,19 @@
 //! (`Arc<Executor>`), mirroring the paper's `std::shared_ptr`-managed
 //! executor that avoids thread over-subscription in modular applications.
 
-use crate::error::{panic_message, FailurePolicy, RunError, RunResult, TaskPanic};
-use crate::future::SharedFuture;
+use crate::error::{panic_message, AdmissionError, FailurePolicy, RunError, RunResult, TaskPanic};
+use crate::future::{Promise, SharedFuture};
 use crate::graph::{RawNode, Work};
+use crate::injector::Injector;
 use crate::introspect::{CurrentTask, IntrospectConfig, IntrospectHandle, IntrospectState};
 use crate::notifier::Notifier;
 use crate::observer::{ExecutorObserver, DISPATCH_LANE};
-use crate::stats::{ExecutorStats, WorkerStats};
+use crate::stats::{ExecutorStats, TenantStats, WorkerStats};
 use crate::subflow::Subflow;
 use crate::sync::{fence, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, RwLock};
 use crate::topology::{Advance, PendingRun, RunCondition, Topology};
 use crate::wsq;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
@@ -45,6 +46,18 @@ pub(crate) struct Config {
     /// matches [`crate::wsq`]; tiny capacities exist so the sanitizer can
     /// reach the deque's grow path with model-sized graphs.
     pub queue_capacity: usize,
+    /// Slot count of the lock-free MPMC injector ring; dispatch bursts
+    /// past it spill into the injector's mutexed side queue.
+    pub injector_capacity: usize,
+    /// Ablation switch: route the injector through its mutexed side queue
+    /// on every operation, reproducing the seed's `Mutex<VecDeque>`
+    /// submission path for A/B benchmarking.
+    pub mutexed_injector: bool,
+    /// Admission budget: how many tenant-submitted topologies may be
+    /// dispatched-but-not-finalized at once. Submissions past it queue
+    /// per tenant and are released by weighted fair queueing.
+    /// `usize::MAX` (the default) never queues.
+    pub max_inflight: usize,
 }
 
 impl Default for Config {
@@ -53,6 +66,9 @@ impl Default for Config {
             cache_slot: true,
             wake_ratio: 64,
             queue_capacity: wsq::INITIAL_CAPACITY,
+            injector_capacity: 1024,
+            mutexed_injector: false,
+            max_inflight: usize::MAX,
         }
     }
 }
@@ -100,6 +116,32 @@ impl ExecutorBuilder {
     /// it so the Chase–Lev grow path is exercised by model-sized graphs.
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.cfg.queue_capacity = capacity.max(2).next_power_of_two();
+        self
+    }
+
+    /// Slot count of the lock-free MPMC injector ring (rounded up to a
+    /// power of two, minimum 2). Dispatch bursts larger than the ring
+    /// spill into a mutexed side queue, so no capacity loses tasks.
+    pub fn injector_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.injector_capacity = capacity.max(2).next_power_of_two();
+        self
+    }
+
+    /// Ablation switch: replace the lock-free injector with the seed's
+    /// mutexed queue on the identical code path — the baseline the
+    /// `serving` benchmark compares submission throughput against.
+    pub fn mutexed_injector(mut self, enabled: bool) -> Self {
+        self.cfg.mutexed_injector = enabled;
+        self
+    }
+
+    /// Admission budget for tenant submissions: at most `n` tenant
+    /// topologies may be dispatched-but-not-finalized at once; further
+    /// submissions wait in their tenant's bounded queue and are released
+    /// by weighted fair queueing. Defaults to unlimited (submissions
+    /// dispatch immediately and tenant queues never fill).
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.cfg.max_inflight = n.max(1);
         self
     }
 
@@ -183,8 +225,9 @@ impl WorkerCtx {
 
 pub(crate) struct Inner {
     pub(crate) shareds: Box<[WorkerShared]>,
-    /// External submission queue (dispatch pushes source tasks here).
-    pub(crate) injector: Mutex<VecDeque<usize>>,
+    /// External submission queue (dispatch pushes source tasks here):
+    /// a lock-free MPMC ring with a mutexed overflow spill.
+    pub(crate) injector: Injector,
     /// Workers currently inside a steal round. While any thief is active
     /// there is no need to wake another worker for a freshly pushed task —
     /// the spinning thief will find it (Cpp-Taskflow's notifier applies
@@ -194,11 +237,20 @@ pub(crate) struct Inner {
     num_spinning: AtomicUsize,
     pub(crate) notifier: Notifier,
     stop: AtomicBool,
-    /// Keep-alive registry: topologies currently executing.
-    pub(crate) running: Mutex<Vec<Arc<Topology>>>,
-    /// Signalled (under the `running` mutex) whenever `running` empties;
-    /// `Executor::drop` sleeps on it instead of busy-yielding.
+    /// Keep-alive registry: topologies currently executing, keyed by
+    /// stable uid, plus the authoritative shutdown flag (see
+    /// [`RunningRegistry`]).
+    pub(crate) running: Mutex<RunningRegistry>,
+    /// Signalled (under the `running` mutex) whenever the registry
+    /// empties; `Executor::drop` sleeps on it instead of busy-yielding.
     all_done: Condvar,
+    /// Fast-path mirror of [`RunningRegistry::closing`]: lets submission
+    /// paths reject without the registry lock. The registry bool (set
+    /// first, under its lock) is the authoritative race-free check.
+    closing: AtomicBool,
+    /// Tenant control plane: the tenant list and the weighted-fair-queue
+    /// dispatch state (virtual time, in-flight budget).
+    qos: Mutex<QosState>,
     observers: RwLock<Vec<Arc<dyn ExecutorObserver>>>,
     has_observers: AtomicBool,
     cfg: Config,
@@ -232,6 +284,12 @@ impl Inner {
             }
         }
         stats
+    }
+
+    /// Snapshot of every tenant's counters and gauges.
+    pub(crate) fn tenant_stats(&self) -> Vec<TenantStats> {
+        let tenants: Vec<Arc<TenantState>> = self.qos.lock().tenants.clone();
+        tenants.iter().map(|t| t.snapshot()).collect()
     }
 }
 
@@ -289,12 +347,14 @@ impl Executor {
         }
         let inner = Arc::new(Inner {
             shareds: shareds.into_boxed_slice(),
-            injector: Mutex::new(VecDeque::new()),
+            injector: Injector::new(cfg.injector_capacity, cfg.mutexed_injector),
             num_spinning: AtomicUsize::new(0),
             notifier: Notifier::new(workers),
             stop: AtomicBool::new(false),
-            running: Mutex::new(Vec::new()),
+            running: Mutex::new(RunningRegistry::default()),
             all_done: Condvar::new(),
+            closing: AtomicBool::new(false),
+            qos: Mutex::new(QosState::default()),
             observers: RwLock::new(Vec::new()),
             has_observers: AtomicBool::new(false),
             cfg,
@@ -341,6 +401,75 @@ impl Executor {
         self.inner.running.lock().len()
     }
 
+    /// Returns the tenant handle for `name`, creating it with the default
+    /// [`TenantQos`] on first use. Handles are cheap to clone and safe to
+    /// share across client threads.
+    pub fn tenant(&self, name: &str) -> Tenant {
+        self.tenant_with(name, TenantQos::default())
+    }
+
+    /// Returns the tenant handle for `name`, creating it with `qos` on
+    /// first use. A tenant that already exists keeps its original QoS —
+    /// weights are fixed at creation so the fair-queue arithmetic stays
+    /// consistent across in-flight work.
+    pub fn tenant_with(&self, name: &str, qos: TenantQos) -> Tenant {
+        let mut q = self.inner.qos.lock();
+        let state = match q.tenants.iter().find(|t| t.name == name) {
+            Some(t) => Arc::clone(t),
+            None => {
+                let state = Arc::new(TenantState::new(
+                    q.tenants.len() as u64 + 1,
+                    name.to_string(),
+                    qos,
+                ));
+                q.tenants.push(Arc::clone(&state));
+                state
+            }
+        };
+        drop(q);
+        Tenant {
+            state,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Stops admitting work: every queued tenant submission and every
+    /// later `submit`/`try_submit` resolves with
+    /// [`AdmissionError::ShuttingDown`]; topologies already dispatched run
+    /// to completion. Idempotent; called automatically by `Drop`. This is
+    /// the serving drain hook — call it before tearing a service down to
+    /// get typed rejections instead of racing the destructor.
+    pub fn close(&self) {
+        {
+            // The registry bool is authoritative: submission paths check
+            // it under the same lock that registers keep-alives, so a
+            // submission either registers before the drain below or is
+            // rejected — never silently dropped.
+            self.inner.running.lock().closing = true;
+        }
+        // ORDERING: SeqCst publishes the fast-path flag before the queue
+        // drain; a tenant submit that pushed before the drain acquired
+        // its queue lock is drained, one after sees the flag (checked
+        // under the same queue lock) and is rejected.
+        self.inner.closing.store(true, Ordering::SeqCst);
+        let tenants: Vec<Arc<TenantState>> = self.inner.qos.lock().tenants.clone();
+        for tenant in tenants {
+            let drained: Vec<QueuedRun> = {
+                let mut q = tenant.queue.lock();
+                let runs = q.drain(..).collect();
+                // Unblock submitters waiting for queue space; they
+                // re-check the closing flag and return the typed error.
+                tenant.space.notify_all();
+                runs
+            };
+            for run in drained {
+                tenant.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                run.promise
+                    .set(Err(RunError::Rejected(AdmissionError::ShuttingDown)));
+            }
+        }
+    }
+
     /// Installs an observer whose hooks run around every task execution.
     pub fn observe(&self, observer: Arc<dyn ExecutorObserver>) {
         observer.on_observe(self.num_workers());
@@ -374,6 +503,7 @@ impl Executor {
     pub fn stats(&self) -> ExecutorStats {
         ExecutorStats {
             workers: self.worker_stats(),
+            tenants: self.inner.tenant_stats(),
         }
     }
 
@@ -452,6 +582,13 @@ impl Executor {
     /// caller's thread becomes the driver: it registers the keep-alive and
     /// starts the first iteration; otherwise the batch waits FIFO and the
     /// executor's finalize path picks it up.
+    ///
+    /// A submission racing shutdown resolves with
+    /// [`RunError::Rejected`]`(`[`AdmissionError::ShuttingDown`]`)`: the
+    /// closing check and the enqueue-plus-register step share one registry
+    /// lock hold, so `Executor::drop` (which sets the flag under the same
+    /// lock before waiting for the registry to empty) can never observe
+    /// emptiness while a submission is half-registered.
     pub(crate) fn run_topology(
         &self,
         topo: &Arc<Topology>,
@@ -465,11 +602,84 @@ impl Executor {
             return SharedFuture::ready(Ok(()));
         }
         let (promise, future) = crate::future::promise_pair();
-        if topo.enqueue(PendingRun { cond, promise }) {
-            self.inner.running.lock().push(Arc::clone(topo));
+        let claimed = {
+            let mut reg = self.inner.running.lock();
+            if reg.closing {
+                return SharedFuture::ready(Err(RunError::Rejected(AdmissionError::ShuttingDown)));
+            }
+            if topo.enqueue(PendingRun { cond, promise }) {
+                reg.register(topo, None);
+                true
+            } else {
+                false
+            }
+        };
+        if claimed {
             advance_topology(&self.inner, topo, false);
         }
         future
+    }
+
+    /// Tenant-scoped submission: queues the batch in `tenant`'s bounded
+    /// queue and lets the weighted-fair-queue pump dispatch it within the
+    /// executor's in-flight budget. With `blocking` the call waits for
+    /// queue space; otherwise a full queue returns
+    /// [`AdmissionError::Saturated`] immediately.
+    pub(crate) fn run_topology_on(
+        &self,
+        tenant: &Tenant,
+        topo: &Arc<Topology>,
+        cond: RunCondition,
+        blocking: bool,
+    ) -> Result<SharedFuture<RunResult>, AdmissionError> {
+        assert!(
+            Arc::ptr_eq(&self.inner, &tenant.inner),
+            "tenant '{}' belongs to a different executor",
+            tenant.state.name
+        );
+        if let Some(fatal) = topo.fatal() {
+            return Ok(SharedFuture::ready(Err(fatal.clone())));
+        }
+        if topo.num_static_nodes() == 0 {
+            return Ok(SharedFuture::ready(Ok(())));
+        }
+        let (promise, future) = crate::future::promise_pair();
+        {
+            let state = &tenant.state;
+            let mut q = state.queue.lock();
+            // Counted per admission *attempt* (under the queue lock, so
+            // the ledger `submitted == queued + dispatched + coalesced +
+            // rejected_*` holds at every quiescent point).
+            state.submitted.fetch_add(1, Ordering::Relaxed);
+            loop {
+                // ORDERING: SeqCst pairs with `close`'s store. Checked
+                // under the queue lock: a push serialized before the
+                // drain is always drained; one after always sees the
+                // flag. Either way no submission is silently dropped.
+                if self.inner.closing.load(Ordering::SeqCst) {
+                    state.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                    return Err(AdmissionError::ShuttingDown);
+                }
+                if q.len() < state.max_queue {
+                    break;
+                }
+                if !blocking {
+                    state.rejected_saturated.fetch_add(1, Ordering::Relaxed);
+                    return Err(AdmissionError::Saturated {
+                        tenant: state.name.clone(),
+                        capacity: state.max_queue,
+                    });
+                }
+                state.space.wait(&mut q);
+            }
+            q.push_back(QueuedRun {
+                topo: Arc::clone(topo),
+                cond,
+                promise,
+            });
+        }
+        pump_tenants(&self.inner);
+        Ok(future)
     }
 }
 
@@ -492,7 +702,7 @@ fn advance_topology(inner: &Inner, topo: &Topology, iteration_finished: bool) {
                         ob.on_topology_start(topo.iteration_info(), topo.num_static_nodes())
                     });
                     let k = sources.len();
-                    inner.injector.lock().extend(sources.iter().copied());
+                    inner.injector.push_batch(sources.iter().copied());
                     // ORDERING: Dekker fence — the pushes above must
                     // precede the idler check inside wake_one in the
                     // SeqCst total order (see notifier docs), or a
@@ -512,22 +722,29 @@ fn advance_topology(inner: &Inner, topo: &Topology, iteration_finished: bool) {
         Advance::Idle => {
             // Every promise is resolved and the topology is settled: drop
             // the keep-alive. A concurrent resubmission may already have
-            // pushed its own registration for the same topology; removing
-            // one matching entry keeps the count balanced either way.
-            let keep_alive = {
+            // pushed its own registration under the same uid; removing the
+            // *oldest* registration keeps the count balanced either way
+            // (O(1) in the slab, no linear scan).
+            let (keep_alive, tenant) = {
                 let mut running = inner.running.lock();
-                let ka = running
-                    .iter()
-                    .position(|t| std::ptr::eq(Arc::as_ptr(t), topo as *const Topology))
-                    .map(|p| running.swap_remove(p));
+                let removed = running.remove_one(topo.uid());
                 if running.is_empty() {
                     // Wake a destructor waiting for quiescence
                     // (Executor::drop).
                     inner.all_done.notify_all();
                 }
-                ka
+                removed
             };
             drop(keep_alive);
+            if let Some(tenant) = tenant {
+                // Credit the tenant and return its admission slot to the
+                // budget, then let the fair-queue pump dispatch whatever
+                // the freed slot admits.
+                tenant.completed.fetch_add(1, Ordering::Relaxed);
+                tenant.inflight.fetch_sub(1, Ordering::Relaxed);
+                inner.qos.lock().inflight -= 1;
+                pump_tenants(inner);
+            }
         }
     }
 }
@@ -541,6 +758,13 @@ impl Drop for Executor {
             // Skip the shutdown protocol; the engine reclaims the threads.
             return;
         }
+        // Reject everything not yet admitted: queued tenant submissions
+        // resolve with a typed `ShuttingDown` error, and any `submit`
+        // racing this destructor is turned away instead of silently
+        // dropped (the closing flag and the keep-alive registration share
+        // the registry lock, so no submission can slip between the flag
+        // and the emptiness wait below).
+        self.close();
         // Let in-flight topologies finish: their node pointers reference
         // graphs that callers may drop right after their future resolves.
         // `finalize` signals `all_done` when the registry empties, so this
@@ -623,10 +847,7 @@ fn worker_loop(inner: &Inner, mut ctx: WorkerCtx) {
             notify_observers(inner, |ob| ob.on_park(ctx.id));
             inner.notifier.wait(
                 ctx.id,
-                || {
-                    inner.shareds.iter().all(|s| s.stealer.is_empty())
-                        && inner.injector.lock().is_empty()
-                },
+                || inner.shareds.iter().all(|s| s.stealer.is_empty()) && inner.injector.is_empty(),
                 &inner.stop,
             );
             continue;
@@ -696,8 +917,7 @@ fn try_steal(inner: &Inner, ctx: &mut WorkerCtx) -> usize {
         }
         ctx.last_victim = (v + 1) % n;
     }
-    // The injector guard drops before the observer hooks run.
-    let popped = inner.injector.lock().pop_front();
+    let popped = inner.injector.pop();
     match popped {
         Some(x) => {
             inner.shareds[me]
@@ -1035,4 +1255,338 @@ fn finalize(inner: &Inner, topo_ptr: *const Topology) {
     let topo = unsafe { &*topo_ptr };
     notify_observers(inner, |ob| ob.on_topology_stop(topo.iteration_info()));
     advance_topology(inner, topo, true);
+}
+
+// ---------------------------------------------------------------------------
+// Keep-alive registry
+// ---------------------------------------------------------------------------
+
+/// One topology's keep-alives: the `Arc` pinning its storage plus one
+/// registration per driver claim currently outstanding (a resubmission
+/// racing finalize can briefly hold two).
+struct RunningEntry {
+    topo: Arc<Topology>,
+    /// Oldest first; each slot remembers which tenant (if any) gets the
+    /// completion credit and the admission slot back when that stint
+    /// finalizes.
+    regs: VecDeque<Option<Arc<TenantState>>>,
+}
+
+/// Topologies currently executing, keyed by stable topology uid — O(1)
+/// register and finalize, replacing the seed's linear-scan `Vec`. The
+/// `closing` flag lives inside so shutdown and registration serialize on
+/// one lock: a submission either registers before `Executor::drop` starts
+/// waiting for emptiness or observes the flag and is rejected.
+#[derive(Default)]
+pub(crate) struct RunningRegistry {
+    /// Authoritative shutdown flag (mirrored by `Inner::closing` for
+    /// lock-free fast paths).
+    pub(crate) closing: bool,
+    entries: HashMap<u64, RunningEntry>,
+}
+
+impl RunningRegistry {
+    /// Adds a keep-alive registration for `topo`, crediting `tenant` (if
+    /// any) when the corresponding stint finalizes.
+    fn register(&mut self, topo: &Arc<Topology>, tenant: Option<Arc<TenantState>>) {
+        self.entries
+            .entry(topo.uid())
+            .or_insert_with(|| RunningEntry {
+                topo: Arc::clone(topo),
+                regs: VecDeque::with_capacity(1),
+            })
+            .regs
+            .push_back(tenant);
+    }
+
+    /// Removes the oldest registration for `uid` (the stint now
+    /// finalizing), returning the keep-alive `Arc` once the last
+    /// registration goes and the tenant owed the completion credit.
+    fn remove_one(&mut self, uid: u64) -> (Option<Arc<Topology>>, Option<Arc<TenantState>>) {
+        let Some(entry) = self.entries.get_mut(&uid) else {
+            return (None, None);
+        };
+        let tenant = entry.regs.pop_front().flatten();
+        if entry.regs.is_empty() {
+            let entry = self.entries.remove(&uid).expect("entry present");
+            (Some(entry.topo), tenant)
+        } else {
+            (None, tenant)
+        }
+    }
+
+    /// Number of distinct topologies currently registered.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no topology is registered (executor quiescent).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Snapshot of the registered topologies (for introspection).
+    pub(crate) fn topologies(&self) -> Vec<Arc<Topology>> {
+        self.entries.values().map(|e| Arc::clone(&e.topo)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tenants: per-client admission control + weighted fair queueing
+// ---------------------------------------------------------------------------
+
+/// Virtual-time fixed-point scale: a weight-1 tenant advances its clock by
+/// `VT_SCALE` per dispatched topology, a weight-w tenant by `VT_SCALE/w`,
+/// so over any busy interval tenants dispatch in proportion to weight.
+const VT_SCALE: u64 = 1 << 20;
+
+/// Quality-of-service parameters for a tenant, fixed at tenant creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQos {
+    /// Weighted-fair-queueing share: a weight-4 tenant dispatches 4
+    /// topologies for each one of a weight-1 tenant while both have work
+    /// queued. Clamped to at least 1.
+    pub weight: u32,
+    /// Admission bound: submissions beyond this many queued (not yet
+    /// dispatched) topologies block (`submit`) or are rejected with
+    /// [`AdmissionError::Saturated`] (`try_submit`). Clamped to at
+    /// least 1.
+    pub max_queued: usize,
+}
+
+impl Default for TenantQos {
+    fn default() -> Self {
+        TenantQos {
+            weight: 1,
+            max_queued: 1024,
+        }
+    }
+}
+
+/// A run waiting in a tenant queue for a dispatch slot.
+pub(crate) struct QueuedRun {
+    topo: Arc<Topology>,
+    cond: RunCondition,
+    promise: Promise<RunResult>,
+}
+
+/// Shared per-tenant state: the bounded submission queue plus the fair
+/// queueing clock and the counters exported as [`TenantStats`].
+pub(crate) struct TenantState {
+    /// Stable 1-based id; `0` in trace output means "untenanted".
+    pub(crate) id: u64,
+    pub(crate) name: String,
+    weight: u32,
+    max_queue: usize,
+    queue: Mutex<VecDeque<QueuedRun>>,
+    /// Signalled when queue space frees up (dispatch) or admission closes
+    /// (shutdown); blocking submitters wait on it.
+    space: Condvar,
+    /// Weighted-fair-queueing virtual finish time. Only mutated under the
+    /// executor's `qos` lock; atomic so snapshots read it lock-free.
+    vtime: AtomicU64,
+    submitted: AtomicU64,
+    dispatched: AtomicU64,
+    coalesced: AtomicU64,
+    completed: AtomicU64,
+    rejected_saturated: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    inflight: AtomicU64,
+}
+
+impl TenantState {
+    fn new(id: u64, name: String, qos: TenantQos) -> TenantState {
+        TenantState {
+            id,
+            name,
+            weight: qos.weight.max(1),
+            max_queue: qos.max_queued.max(1),
+            queue: Mutex::new(VecDeque::new()),
+            space: Condvar::new(),
+            vtime: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_saturated: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+        }
+    }
+
+    /// Point-in-time snapshot of this tenant's counters and gauges.
+    fn snapshot(&self) -> TenantStats {
+        TenantStats {
+            name: self.name.clone(),
+            weight: self.weight,
+            queued: self.queue.lock().len() as u64,
+            in_flight: self.inflight.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            dispatched: self.dispatched.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected_saturated: self.rejected_saturated.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The tenant control plane, guarded by `Inner::qos`: the tenant list and
+/// the weighted-fair-queueing dispatch state.
+#[derive(Default)]
+pub(crate) struct QosState {
+    pub(crate) tenants: Vec<Arc<TenantState>>,
+    /// Tenant topologies dispatched but not yet finalized, bounded by
+    /// `Config::max_inflight`.
+    inflight: usize,
+    /// The fair queue's notion of "now": the virtual time of the last
+    /// dispatch. A tenant idle for a while resumes from here rather than
+    /// from its stale clock, so sleeping never banks credit.
+    vnow: u64,
+}
+
+/// A client handle for one tenant of an [`Executor`] — the unit of
+/// isolation for the multi-tenant submission path.
+///
+/// Obtained from [`Executor::tenant`] / [`Executor::tenant_with`]; cheap
+/// to clone and safe to share across threads. Submissions through a
+/// tenant ([`Taskflow::run_on`](crate::Taskflow::run_on),
+/// [`Taskflow::try_run_on`](crate::Taskflow::try_run_on)) pass admission
+/// control (bounded per-tenant queue) and weighted fair queueing before
+/// they reach the executor's injector.
+#[derive(Clone)]
+pub struct Tenant {
+    pub(crate) state: Arc<TenantState>,
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl Tenant {
+    /// The tenant's name, as passed to [`Executor::tenant`].
+    pub fn name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// The tenant's fair-queueing weight.
+    pub fn weight(&self) -> u32 {
+        self.state.weight
+    }
+
+    /// The tenant's admission bound (maximum queued submissions).
+    pub fn max_queued(&self) -> usize {
+        self.state.max_queue
+    }
+
+    /// Point-in-time snapshot of this tenant's counters.
+    pub fn stats(&self) -> TenantStats {
+        self.state.snapshot()
+    }
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant")
+            .field("name", &self.state.name)
+            .field("weight", &self.state.weight)
+            .field("max_queued", &self.state.max_queue)
+            .finish()
+    }
+}
+
+/// Dispatches queued tenant runs while the admission budget has room:
+/// repeatedly picks the nonempty tenant with the smallest virtual time
+/// (weighted fair queueing) and starts its oldest queued run.
+///
+/// Called after every tenant submission and after every tenant topology
+/// finalizes, so the budget is always refilled promptly. Runs on client
+/// and worker threads alike; all steps are non-blocking.
+fn pump_tenants(inner: &Inner) {
+    loop {
+        let Some((tenant, run)) = next_dispatch(inner) else {
+            return;
+        };
+        dispatch_tenant_run(inner, tenant, run);
+    }
+}
+
+/// Picks the next run to dispatch under weighted fair queueing, or `None`
+/// when the budget is exhausted or every tenant queue is empty. On
+/// success the admission slot is already charged (`qos.inflight`).
+fn next_dispatch(inner: &Inner) -> Option<(Arc<TenantState>, QueuedRun)> {
+    let mut qos = inner.qos.lock();
+    if qos.inflight >= inner.cfg.max_inflight {
+        return None;
+    }
+    // Min-virtual-time scan. Tenant counts are small (a handful of
+    // clients); the scan under the qos lock is cheaper than a heap that
+    // would need rebalancing on every idle/busy transition.
+    let vnow = qos.vnow;
+    let mut best: Option<(usize, u64)> = None;
+    for (i, t) in qos.tenants.iter().enumerate() {
+        // Lock order: qos → tenant.queue (established here and in
+        // `Executor::close`; never the inverse).
+        if t.queue.lock().is_empty() {
+            continue;
+        }
+        // An idle tenant's stale clock fast-forwards to `vnow`: fairness
+        // applies to backlogged tenants, idling banks no credit.
+        let vt = t.vtime.load(Ordering::Relaxed).max(vnow);
+        if best.is_none_or(|(_, b)| vt < b) {
+            best = Some((i, vt));
+        }
+    }
+    let (idx, vt) = best?;
+    let tenant = Arc::clone(&qos.tenants[idx]);
+    let run = {
+        let mut q = tenant.queue.lock();
+        let run = q.pop_front()?;
+        // A blocking submitter may be waiting for exactly this slot.
+        tenant.space.notify_one();
+        run
+    };
+    qos.vnow = vt;
+    tenant
+        .vtime
+        .store(vt + VT_SCALE / u64::from(tenant.weight), Ordering::Relaxed);
+    qos.inflight += 1;
+    Some((tenant, run))
+}
+
+/// Starts a run handed out by [`next_dispatch`]: registers the keep-alive
+/// (or rejects, if shutdown began since the pop) and drives the first
+/// iteration when this run claims the topology's driver role.
+fn dispatch_tenant_run(inner: &Inner, tenant: Arc<TenantState>, run: QueuedRun) {
+    let QueuedRun {
+        topo,
+        cond,
+        promise,
+    } = run;
+    let claimed = {
+        let mut reg = inner.running.lock();
+        if reg.closing {
+            drop(reg);
+            inner.qos.lock().inflight -= 1;
+            tenant.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            promise.set(Err(RunError::Rejected(AdmissionError::ShuttingDown)));
+            return;
+        }
+        if topo.enqueue(PendingRun { cond, promise }) {
+            topo.set_tenant(tenant.id);
+            reg.register(&topo, Some(Arc::clone(&tenant)));
+            true
+        } else {
+            false
+        }
+    };
+    tenant.dispatched.fetch_add(1, Ordering::Relaxed);
+    if claimed {
+        tenant.inflight.fetch_add(1, Ordering::Relaxed);
+        advance_topology(inner, &topo, false);
+    } else {
+        // The topology is already running under another registration; the
+        // batch rides the incumbent driver's pending queue and resolves
+        // with it. The admission slot frees immediately — this dispatch
+        // put no new topology in flight.
+        tenant.coalesced.fetch_add(1, Ordering::Relaxed);
+        inner.qos.lock().inflight -= 1;
+    }
 }

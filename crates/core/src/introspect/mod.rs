@@ -165,6 +165,7 @@ impl IntrospectState {
         };
         let stats = ExecutorStats {
             workers: inner.worker_stats(),
+            tenants: inner.tenant_stats(),
         };
         let mut out = stats.prometheus_text();
         let depths: Vec<(Option<usize>, u64)> = inner
@@ -200,7 +201,13 @@ impl IntrospectState {
                 "rustflow_injector_depth",
                 "Tasks waiting in the external injector queue.",
                 "gauge",
-                inner.injector.lock().len() as u64,
+                inner.injector.len() as u64,
+            ),
+            (
+                "rustflow_injector_spills_total",
+                "Dispatch bursts that overflowed the injector ring into its mutexed side queue.",
+                "counter",
+                inner.injector.spilled_total(),
             ),
             (
                 "rustflow_parked_workers",
@@ -279,7 +286,7 @@ impl IntrospectState {
              \"parked_workers\":{},\"injector_depth\":{},\"inflight_topologies\":{},",
             self.num_workers,
             inner.notifier.num_idlers(),
-            inner.injector.lock().len(),
+            inner.injector.len(),
             inner.running.lock().len(),
         ));
         let wd = self.watchdog.counts();
@@ -323,8 +330,29 @@ impl IntrospectState {
             push_counters(&mut out, &stats[w]);
             out.push('}');
         }
+        out.push_str("],\"tenants\":[");
+        for (i, t) in inner.tenant_stats().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"weight\":{},\"queued\":{},\"in_flight\":{},\
+                 \"submitted\":{},\"dispatched\":{},\"coalesced\":{},\"completed\":{},\
+                 \"rejected_saturated\":{},\"rejected_shutdown\":{}}}",
+                escape_json(&t.name),
+                t.weight,
+                t.queued,
+                t.in_flight,
+                t.submitted,
+                t.dispatched,
+                t.coalesced,
+                t.completed,
+                t.rejected_saturated,
+                t.rejected_shutdown,
+            ));
+        }
         out.push_str("],\"topologies\":[");
-        let running: Vec<_> = inner.running.lock().clone();
+        let running: Vec<_> = inner.running.lock().topologies();
         for (i, topo) in running.iter().enumerate() {
             if i > 0 {
                 out.push(',');

@@ -244,8 +244,8 @@ pub(crate) fn check(
     // per-topology mutex (lock-order: never hold `running` across them).
     let quiescent = currents.iter().all(Option::is_none)
         && inner.shareds.iter().all(|s| s.stealer.is_empty())
-        && inner.injector.lock().is_empty();
-    let running: Vec<_> = inner.running.lock().clone();
+        && inner.injector.is_empty();
+    let running: Vec<_> = inner.running.lock().topologies();
     let mut seen = Vec::with_capacity(running.len());
     for topo in &running {
         let uid = topo.uid();

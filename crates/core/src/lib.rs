@@ -62,6 +62,7 @@ mod executor;
 mod future;
 mod graph;
 mod handle;
+mod injector;
 pub mod introspect;
 mod label;
 mod notifier;
@@ -86,13 +87,14 @@ pub mod wsq;
 #[cfg(feature = "rustflow_check")]
 #[doc(hidden)]
 pub mod check_internals {
+    pub use crate::injector::Injector;
     pub use crate::notifier::Notifier;
     pub use crate::rearm_model::RearmHarness;
     pub use crate::ring::EventRing;
 }
 
-pub use error::{FailurePolicy, RunError, RunResult, TaskPanic};
-pub use executor::{Executor, ExecutorBuilder};
+pub use error::{AdmissionError, FailurePolicy, RunError, RunResult, TaskPanic};
+pub use executor::{Executor, ExecutorBuilder, Tenant, TenantQos};
 pub use future::{Promise, SharedFuture};
 pub use handle::RunHandle;
 pub use introspect::{IntrospectConfig, IntrospectHandle, WatchdogCounts, WatchdogDiagnostic};
@@ -104,7 +106,7 @@ pub use observer::{
 };
 pub use profile::{GraphSnapshot, ProfileReport, PROFILE_SCHEMA_VERSION};
 pub use shared_vec::SharedVec;
-pub use stats::{escape_label_value, ExecutorStats, Histogram, WorkerStats};
+pub use stats::{escape_label_value, ExecutorStats, Histogram, TenantStats, WorkerStats};
 pub use subflow::Subflow;
 pub use task::{Task, TaskSet};
 pub use taskflow::Taskflow;

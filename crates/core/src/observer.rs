@@ -33,7 +33,10 @@ pub const DISPATCH_LANE: usize = usize::MAX;
 ///   [`SchedEventKind::TaskRetried`] (a panicked attempt re-armed and
 ///   re-executed under [`crate::Task::retry`], with the 1-based attempt
 ///   index).
-pub const SCHED_EVENT_SCHEMA_VERSION: u32 = 3;
+/// * **v4** — dispatch/finalize events carry the tenant id of the
+///   multi-tenant front door ([`IterationInfo::tenant`]; `0` =
+///   untenanted), giving traces per-tenant lanes.
+pub const SCHED_EVENT_SCHEMA_VERSION: u32 = 4;
 
 /// Identity of one task execution, attached to task begin/end events.
 ///
@@ -64,6 +67,9 @@ pub struct IterationInfo {
     pub topology: u64,
     /// 0-based index of this iteration within the topology's life.
     pub iteration: u64,
+    /// Id of the tenant whose dispatch drives this stint of the topology
+    /// (`0` = untenanted / direct submission). Schema v4.
+    pub tenant: u64,
 }
 
 /// What happened, for one [`SchedEvent`].
@@ -671,15 +677,28 @@ pub fn chrome_trace_json_from(events: &[SchedEvent], num_workers: usize) -> Stri
                     ));
                 }
                 SchedEventKind::TopologyDispatch { info, tasks } => {
+                    // Tenanted dispatches get their own lane past the
+                    // dispatch lane (tid = nworkers + tenant id), so each
+                    // tenant's submission stream reads as one track.
+                    let t = if info.tenant != 0 {
+                        nworkers + info.tenant as usize
+                    } else {
+                        t
+                    };
                     emit(&format!(
-                        "{{\"name\":\"topology-dispatch\",\"cat\":\"topology\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"topology\":{},\"run\":{},\"iteration\":{},\"tasks\":{}}}}}",
-                        e.ts_us, t, info.topology, info.run, info.iteration, tasks
+                        "{{\"name\":\"topology-dispatch\",\"cat\":\"topology\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"topology\":{},\"run\":{},\"iteration\":{},\"tasks\":{},\"tenant\":{}}}}}",
+                        e.ts_us, t, info.topology, info.run, info.iteration, tasks, info.tenant
                     ));
                 }
                 SchedEventKind::TopologyFinalize { info } => {
+                    let t = if info.tenant != 0 {
+                        nworkers + info.tenant as usize
+                    } else {
+                        t
+                    };
                     emit(&format!(
-                        "{{\"name\":\"topology-finalize\",\"cat\":\"topology\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"topology\":{},\"run\":{},\"iteration\":{}}}}}",
-                        e.ts_us, t, info.topology, info.run, info.iteration
+                        "{{\"name\":\"topology-finalize\",\"cat\":\"topology\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"topology\":{},\"run\":{},\"iteration\":{},\"tenant\":{}}}}}",
+                        e.ts_us, t, info.topology, info.run, info.iteration, info.tenant
                     ));
                 }
             }
@@ -829,6 +848,7 @@ mod tests {
             run: 7,
             topology: 1,
             iteration: 0,
+            tenant: 0,
         };
         t.on_topology_start(info, 3);
         t.on_topology_stop(info);
@@ -915,6 +935,7 @@ mod tests {
                 run: 100 + iteration,
                 topology: 42,
                 iteration,
+                tenant: 0,
             };
             r.on_topology_start(info, 3);
             r.on_topology_stop(info);

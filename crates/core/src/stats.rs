@@ -150,11 +150,125 @@ const METRICS: &[(&str, &str, MetricAccessor)] = &[
     ),
 ];
 
+/// Snapshot of one tenant's submission-path counters
+/// ([`crate::Executor::tenant`]).
+///
+/// Counters are relaxed atomics like [`WorkerStats`]: monotonic but not
+/// an atomic cut. `queued` and `in_flight` are gauges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant name, as passed to [`crate::Executor::tenant`].
+    pub name: String,
+    /// Weighted-fair-queueing weight ([`crate::TenantQos::weight`]).
+    pub weight: u32,
+    /// Submissions waiting in the tenant queue right now (gauge).
+    pub queued: u64,
+    /// Topologies dispatched for this tenant and not yet finalized
+    /// (gauge; counts driver claims, not coalesced piggybacks).
+    pub in_flight: u64,
+    /// Admission attempts, accepted or not: always equals
+    /// `queued + in-flight-or-done dispatches + coalesced + rejected_*`
+    /// at quiescence.
+    pub submitted: u64,
+    /// Submissions handed to the executor by the fair-queue pump.
+    pub dispatched: u64,
+    /// Dispatches that joined an already-running topology's batch queue
+    /// instead of claiming a driver role of their own.
+    pub coalesced: u64,
+    /// Driver-claimed dispatches that ran to finalization.
+    pub completed: u64,
+    /// `try_submit` rejections because the tenant queue was full.
+    pub rejected_saturated: u64,
+    /// Submissions rejected (or drained unrun) by executor shutdown.
+    pub rejected_shutdown: u64,
+}
+
+impl TenantStats {
+    /// Counter-wise `self - earlier`, saturating at zero; gauges pass
+    /// through from `self`.
+    pub fn delta(&self, earlier: &TenantStats) -> TenantStats {
+        TenantStats {
+            name: self.name.clone(),
+            weight: self.weight,
+            queued: self.queued,
+            in_flight: self.in_flight,
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            dispatched: self.dispatched.saturating_sub(earlier.dispatched),
+            coalesced: self.coalesced.saturating_sub(earlier.coalesced),
+            completed: self.completed.saturating_sub(earlier.completed),
+            rejected_saturated: self
+                .rejected_saturated
+                .saturating_sub(earlier.rejected_saturated),
+            rejected_shutdown: self
+                .rejected_shutdown
+                .saturating_sub(earlier.rejected_shutdown),
+        }
+    }
+}
+
+/// Accessor pulling one counter out of a [`TenantStats`].
+type TenantAccessor = fn(&TenantStats) -> u64;
+
+/// Tenant metric catalogue: (name, help, Prometheus type, accessor).
+const TENANT_METRICS: &[(&str, &str, &str, TenantAccessor)] = &[
+    (
+        "rustflow_tenant_submissions_total",
+        "Submissions accepted into the tenant queue.",
+        "counter",
+        |t| t.submitted,
+    ),
+    (
+        "rustflow_tenant_dispatches_total",
+        "Submissions dispatched by the fair-queue pump.",
+        "counter",
+        |t| t.dispatched,
+    ),
+    (
+        "rustflow_tenant_coalesced_total",
+        "Dispatches that joined an already-running topology.",
+        "counter",
+        |t| t.coalesced,
+    ),
+    (
+        "rustflow_tenant_completions_total",
+        "Driver-claimed dispatches that ran to finalization.",
+        "counter",
+        |t| t.completed,
+    ),
+    (
+        "rustflow_tenant_rejected_saturated_total",
+        "try_submit rejections due to a full tenant queue.",
+        "counter",
+        |t| t.rejected_saturated,
+    ),
+    (
+        "rustflow_tenant_rejected_shutdown_total",
+        "Submissions rejected or drained by executor shutdown.",
+        "counter",
+        |t| t.rejected_shutdown,
+    ),
+    (
+        "rustflow_tenant_queued",
+        "Submissions waiting in the tenant queue.",
+        "gauge",
+        |t| t.queued,
+    ),
+    (
+        "rustflow_tenant_in_flight",
+        "Tenant topologies dispatched and not yet finalized.",
+        "gauge",
+        |t| t.in_flight,
+    ),
+];
+
 /// A point-in-time snapshot of every worker's counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecutorStats {
     /// One entry per worker, indexed by worker id.
     pub workers: Vec<WorkerStats>,
+    /// One entry per tenant, in tenant creation order; empty when the
+    /// executor's multi-tenant front door is unused.
+    pub tenants: Vec<TenantStats>,
 }
 
 impl ExecutorStats {
@@ -180,6 +294,16 @@ impl ExecutorStats {
                     Some(e) => w.delta(e),
                     None => w.clone(),
                 })
+                .collect(),
+            tenants: self
+                .tenants
+                .iter()
+                .map(
+                    |t| match earlier.tenants.iter().find(|e| e.name == t.name) {
+                        Some(e) => t.delta(e),
+                        None => t.clone(),
+                    },
+                )
                 .collect(),
         }
     }
@@ -207,6 +331,29 @@ impl ExecutorStats {
             out.push_str(" counter\n");
             for (id, w) in self.workers.iter().enumerate() {
                 out.push_str(&format!("{name}{{worker=\"{id}\"}} {}\n", get(w)));
+            }
+        }
+        // Tenant families render only when the multi-tenant front door is
+        // in use; a tenant-less executor's exposition is unchanged.
+        if !self.tenants.is_empty() {
+            for (name, help, ty, get) in TENANT_METRICS {
+                out.push_str("# HELP ");
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(help);
+                out.push('\n');
+                out.push_str("# TYPE ");
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(ty);
+                out.push('\n');
+                for t in &self.tenants {
+                    out.push_str(&format!(
+                        "{name}{{tenant=\"{}\"}} {}\n",
+                        escape_label_value(&t.name),
+                        get(t)
+                    ));
+                }
             }
         }
         out
@@ -350,6 +497,7 @@ mod tests {
     fn total_sums_workers() {
         let s = ExecutorStats {
             workers: vec![stats(3, 1), stats(4, 2)],
+            tenants: vec![],
         };
         let t = s.total();
         assert_eq!(t.executed, 7);
@@ -360,9 +508,11 @@ mod tests {
     fn delta_subtracts_and_saturates() {
         let early = ExecutorStats {
             workers: vec![stats(3, 5)],
+            tenants: vec![],
         };
         let late = ExecutorStats {
             workers: vec![stats(10, 5), stats(2, 0)],
+            tenants: vec![],
         };
         let d = late.delta(&early);
         assert_eq!(d.workers[0].executed, 7);
@@ -377,6 +527,7 @@ mod tests {
     fn prometheus_text_is_valid_exposition_format() {
         let s = ExecutorStats {
             workers: vec![stats(3, 1), stats(4, 2)],
+            tenants: vec![],
         };
         let text = s.prometheus_text();
         let mut samples = 0;
@@ -407,6 +558,34 @@ mod tests {
         assert_eq!(samples, 22);
         assert!(text.contains("rustflow_tasks_executed_total{worker=\"0\"} 3"));
         assert!(text.contains("rustflow_steals_total{worker=\"1\"} 2"));
+    }
+
+    #[test]
+    fn tenant_families_render_with_escaped_labels() {
+        let s = ExecutorStats {
+            workers: vec![stats(1, 0)],
+            tenants: vec![TenantStats {
+                name: "ana\"lytics".into(),
+                weight: 4,
+                queued: 2,
+                in_flight: 1,
+                submitted: 10,
+                dispatched: 8,
+                coalesced: 1,
+                completed: 7,
+                rejected_saturated: 3,
+                rejected_shutdown: 0,
+            }],
+        };
+        let text = s.prometheus_text();
+        assert!(text.contains("# TYPE rustflow_tenant_submissions_total counter"));
+        assert!(text.contains("# TYPE rustflow_tenant_queued gauge"));
+        assert!(text.contains("rustflow_tenant_submissions_total{tenant=\"ana\\\"lytics\"} 10"));
+        assert!(text.contains("rustflow_tenant_in_flight{tenant=\"ana\\\"lytics\"} 1"));
+        // Counter-wise delta: counters subtract, gauges pass through.
+        let d = s.delta(&s);
+        assert_eq!(d.tenants[0].submitted, 0);
+        assert_eq!(d.tenants[0].queued, 2);
     }
 
     #[test]

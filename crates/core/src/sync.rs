@@ -42,8 +42,8 @@
 #[cfg(rustflow_weaken)]
 compile_error!(
     "rustflow_weaken needs a value; known mutations: wsq_pop_fence, wsq_grow_swap, \
-     ring_publish, notifier_dekker, rearm_publish, cancel_publish, seed_plain_race, \
-     seed_lock_cycle"
+     ring_publish, injector_publish, notifier_dekker, rearm_publish, cancel_publish, \
+     seed_plain_race, seed_lock_cycle"
 );
 
 #[cfg(feature = "rustflow_check")]

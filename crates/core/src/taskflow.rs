@@ -25,8 +25,8 @@
 //! docs for the idiom.
 
 use crate::dot;
-use crate::error::{FailurePolicy, RunError, RunResult};
-use crate::executor::Executor;
+use crate::error::{AdmissionError, FailurePolicy, RunError, RunResult};
+use crate::executor::{Executor, Tenant};
 use crate::future::SharedFuture;
 use crate::graph::{Graph, Work};
 use crate::handle::RunHandle;
@@ -332,6 +332,57 @@ impl Taskflow {
         let future = self.executor.run_topology(&topo, cond);
         self.waits.lock().futures.push(future.clone());
         RunHandle::new(future, Arc::downgrade(&topo))
+    }
+
+    fn submit_on(
+        &self,
+        tenant: &Tenant,
+        cond: RunCondition,
+        blocking: bool,
+    ) -> Result<RunHandle, AdmissionError> {
+        let Some(topo) = self.materialize() else {
+            return Ok(RunHandle::ready(Ok(())));
+        };
+        let future = self
+            .executor
+            .run_topology_on(tenant, &topo, cond, blocking)?;
+        self.waits.lock().futures.push(future.clone());
+        Ok(RunHandle::new(future, Arc::downgrade(&topo)))
+    }
+
+    /// Executes the taskflow's graph once **through a tenant**: the
+    /// submission passes the tenant's admission control and weighted fair
+    /// queueing before it is dispatched ([`Executor::tenant`]). Blocks
+    /// while the tenant's submission queue is full; returns
+    /// `Err(ShuttingDown)` if the executor stopped admitting work.
+    ///
+    /// ```
+    /// let ex = rustflow::Executor::new(2);
+    /// let tenant = ex.tenant("analytics");
+    /// let tf = rustflow::Taskflow::with_executor(ex.clone());
+    /// tf.emplace(|| {});
+    /// tf.run_on(&tenant).unwrap().get().unwrap();
+    /// ```
+    pub fn run_on(&self, tenant: &Tenant) -> Result<RunHandle, AdmissionError> {
+        self.run_n_on(tenant, 1)
+    }
+
+    /// [`Taskflow::run_on`] for `n` iterations (one admission, `n`
+    /// executions — the batch occupies a single in-flight slot).
+    pub fn run_n_on(&self, tenant: &Tenant, n: u64) -> Result<RunHandle, AdmissionError> {
+        self.submit_on(tenant, RunCondition::Count(n), true)
+    }
+
+    /// Non-blocking [`Taskflow::run_on`]: a full tenant queue returns
+    /// [`AdmissionError::Saturated`] immediately instead of waiting —
+    /// the backpressure signal for clients that can shed or retry.
+    pub fn try_run_on(&self, tenant: &Tenant) -> Result<RunHandle, AdmissionError> {
+        self.try_run_n_on(tenant, 1)
+    }
+
+    /// Non-blocking [`Taskflow::run_n_on`].
+    pub fn try_run_n_on(&self, tenant: &Tenant, n: u64) -> Result<RunHandle, AdmissionError> {
+        self.submit_on(tenant, RunCondition::Count(n), false)
     }
 
     /// Executes the taskflow's graph once **without rebuilding it** and

@@ -116,6 +116,10 @@ pub(crate) struct Topology {
     /// never complete (cycle / self-edge). Computed once at construction —
     /// submissions fail fast without re-walking the graph.
     fatal: Option<RunError>,
+    /// Id of the tenant whose dispatch currently drives this topology
+    /// (`0` = untenanted). Written by the dispatch that claims the driver
+    /// role; read by observer hooks for tenant-labelled traces.
+    tenant: AtomicU64,
 }
 
 // SAFETY: interior fields follow the sync_cell phase discipline (the
@@ -164,6 +168,7 @@ impl Topology {
             cancelled: AtomicBool::new(false),
             policy,
             fatal,
+            tenant: AtomicU64::new(0),
         })
     }
 
@@ -261,7 +266,15 @@ impl Topology {
             run: self.run_id(),
             topology: self.uid,
             iteration: self.iterations(),
+            tenant: self.tenant.load(Ordering::Relaxed),
         }
+    }
+
+    /// Tags this topology with the tenant driving its current stint
+    /// (`0` = untenanted). Called by the dispatch that claimed the driver
+    /// role, before the first iteration publishes.
+    pub(crate) fn set_tenant(&self, tenant: u64) {
+        self.tenant.store(tenant, Ordering::Relaxed);
     }
 
     /// Total iterations completed so far.

@@ -34,6 +34,8 @@ const ACTIVE_WEAKEN: Option<&str> = {
         Some("wsq_grow_swap")
     } else if cfg!(rustflow_weaken = "ring_publish") {
         Some("ring_publish")
+    } else if cfg!(rustflow_weaken = "injector_publish") {
+        Some("injector_publish")
     } else if cfg!(rustflow_weaken = "notifier_dekker") {
         Some("notifier_dekker")
     } else if cfg!(rustflow_weaken = "rearm_publish") {
@@ -165,6 +167,46 @@ fn chaos_panic_path_is_clean() {
             format!("{err}").contains("planned chaos fault"),
             "panic payload must survive: {err}"
         );
+    });
+}
+
+/// The multi-tenant front door under schedule fuzzing: two clients on
+/// separate threads submit through different tenants while a one-slot
+/// dispatch budget forces the WFQ pump to interleave admission, dispatch,
+/// and completion-driven re-pumping. The whole path — admission lock,
+/// qos lock, injector, registry — must be race- and cycle-free and no
+/// submission may be lost.
+#[test]
+fn tenant_submission_is_clean() {
+    use rustflow::TenantQos;
+    sanitize(None, Sanitizer::new("tenants").iters(8), || {
+        let ex = ExecutorBuilder::new().workers(2).max_inflight(1).build();
+        let hi = ex.tenant_with(
+            "hi",
+            TenantQos {
+                weight: 4,
+                max_queued: 4,
+            },
+        );
+        let lo = ex.tenant("lo");
+        let done = Arc::new(AtomicUsize::new(0));
+        let (ex2, d2, lo2) = (ex.clone(), Arc::clone(&done), lo.clone());
+        let client = rustflow_check::thread::spawn(move || {
+            let tf = Taskflow::with_executor(ex2);
+            tf.emplace(move || {
+                d2.fetch_add(1, Ordering::Relaxed);
+            });
+            tf.run_on(&lo2).unwrap().get().unwrap();
+        });
+        let tf = Taskflow::with_executor(ex);
+        let d = Arc::clone(&done);
+        tf.emplace(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        tf.run_on(&hi).unwrap().get().unwrap();
+        client.join().unwrap();
+        assert_eq!(done.load(Ordering::Relaxed), 2);
+        assert_eq!(hi.stats().completed + lo.stats().completed, 2);
     });
 }
 
@@ -309,6 +351,48 @@ fn ring_producer_consumer() {
                 got += 1;
             }
             assert_eq!(got as u64 + ring.dropped(), 3, "events lost");
+        },
+    );
+}
+
+/// MPMC injector slot publication (`injector_publish`): two client
+/// threads push task indices into a 2-slot [`Injector`] while the main
+/// thread consumes — the submission-path handoff, extracted from the
+/// executor the same way [`ring_producer_consumer`] extracts telemetry.
+/// Relaxing the Vyukov `seq` publish store lets the consumer's plain
+/// payload read race the producer's write; the happens-before detector
+/// reports the slot race with both access sites.
+#[test]
+fn injector_handoff() {
+    use rustflow::check_internals::Injector;
+    sanitize(
+        Some("injector_publish"),
+        Sanitizer::new("injector").iters(96),
+        || {
+            let inj = Arc::new(Injector::new(2, false));
+            let producers: Vec<_> = [1usize, 2, 3]
+                .chunks(2)
+                .map(|chunk| {
+                    let inj = Arc::clone(&inj);
+                    let chunk = chunk.to_vec();
+                    rustflow_check::thread::spawn(move || inj.push_batch(chunk))
+                })
+                .collect();
+            let mut got = Vec::new();
+            for _ in 0..8 {
+                got.extend(inj.pop());
+                if got.len() == 3 {
+                    break;
+                }
+            }
+            for p in producers {
+                p.join().unwrap();
+            }
+            while let Some(v) = inj.pop() {
+                got.push(v);
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2, 3], "no submission lost or invented");
         },
     );
 }

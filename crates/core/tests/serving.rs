@@ -1,0 +1,495 @@
+//! Multi-tenant serving-path tests: many client threads hammering one
+//! executor through the tenant front door (`run_on`/`try_run_on`),
+//! weighted-fair dispatch ordering, admission backpressure, and the
+//! shutdown race — no submission may ever be silently lost.
+
+use rustflow::{
+    AdmissionError, ExecutorBuilder, ExecutorObserver, IterationInfo, RunError, Taskflow, Tenant,
+    TenantQos,
+};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Builds a taskflow of one of three shapes (chain, diamond, fan-out),
+/// each task bumping `done` — mixed-size submissions, as a real serving
+/// mix would produce.
+fn mixed_flow(
+    ex: std::sync::Arc<rustflow::Executor>,
+    shape: usize,
+    done: &Arc<AtomicUsize>,
+) -> (Taskflow, usize) {
+    let tf = Taskflow::with_executor(ex);
+    let mk = || {
+        let d = Arc::clone(done);
+        tf.emplace(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        })
+    };
+    let tasks = match shape % 3 {
+        0 => {
+            // chain a -> b -> c
+            let (a, b, c) = (mk(), mk(), mk());
+            a.precede(b);
+            b.precede(c);
+            3
+        }
+        1 => {
+            // diamond a -> {b, c} -> d
+            let (a, b, c, d) = (mk(), mk(), mk(), mk());
+            a.precede([b, c]);
+            b.precede(d);
+            c.precede(d);
+            4
+        }
+        _ => {
+            // fan-out a -> {b1..b4}
+            let a = mk();
+            for _ in 0..4 {
+                a.precede(mk());
+            }
+            5
+        }
+    };
+    (tf, tasks)
+}
+
+/// Waits until the tenant's ledger has settled (`in_flight == 0` with
+/// nothing queued) and returns the final snapshot. A resolved handle
+/// proves the run's promise was set, but the finalizing worker updates
+/// the tenant counters just after — a benign snapshot race the tests
+/// must not trip on.
+fn settled(tenant: &Tenant) -> rustflow::TenantStats {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = tenant.stats();
+        if (s.in_flight == 0 && s.queued == 0) || std::time::Instant::now() > deadline {
+            return s;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// N client threads per tenant, each submitting a stream of mixed-size
+/// topologies and waiting each one out. Every submission must complete,
+/// and every tenant's counters must conserve:
+/// `submitted == dispatched + coalesced + rejected` and
+/// `completed == dispatched`.
+#[test]
+fn concurrent_clients_conserve_submissions() {
+    const CLIENTS: usize = 3;
+    const PER_CLIENT: usize = 20;
+    let ex = ExecutorBuilder::new().workers(4).build();
+    let hi = ex.tenant_with(
+        "hi",
+        TenantQos {
+            weight: 4,
+            max_queued: 64,
+        },
+    );
+    let lo = ex.tenant("lo");
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut expected_tasks = 0usize;
+    let mut clients = Vec::new();
+    for (t, tenant) in [hi.clone(), lo.clone()].into_iter().enumerate() {
+        for c in 0..CLIENTS {
+            let ex = ex.clone();
+            let done = Arc::clone(&done);
+            let tenant = tenant.clone();
+            clients.push(std::thread::spawn(move || {
+                let mut tasks = 0usize;
+                for i in 0..PER_CLIENT {
+                    let (tf, n) = mixed_flow(ex.clone(), t + c + i, &done);
+                    tasks += n;
+                    // Alternate blocking and non-blocking admission; a
+                    // saturated try_run_on falls back to the blocking
+                    // path so nothing is dropped client-side.
+                    let handle = if i % 2 == 0 {
+                        tf.run_on(&tenant).expect("no shutdown in flight")
+                    } else {
+                        match tf.try_run_on(&tenant) {
+                            Ok(h) => h,
+                            Err(AdmissionError::Saturated { .. }) => {
+                                tf.run_on(&tenant).expect("no shutdown in flight")
+                            }
+                            Err(e) => panic!("unexpected admission error: {e}"),
+                        }
+                    };
+                    handle.get().unwrap();
+                }
+                tasks
+            }));
+        }
+    }
+    for c in clients {
+        expected_tasks += c.join().unwrap();
+    }
+    assert_eq!(done.load(Ordering::Relaxed), expected_tasks);
+    for tenant in [&hi, &lo] {
+        let s = settled(tenant);
+        assert_eq!(
+            s.submitted,
+            (CLIENTS * PER_CLIENT) as u64,
+            "tenant {} admission count",
+            s.name
+        );
+        assert_eq!(
+            s.submitted,
+            s.dispatched + s.coalesced + s.rejected_saturated + s.rejected_shutdown,
+            "tenant {} conservation: {s:?}",
+            s.name
+        );
+        assert_eq!(
+            s.completed, s.dispatched,
+            "tenant {} completion: {s:?}",
+            s.name
+        );
+        assert_eq!(s.queued, 0, "tenant {} queue drained", s.name);
+        assert_eq!(s.in_flight, 0, "tenant {} nothing left in flight", s.name);
+    }
+    let stats = ex.stats();
+    assert_eq!(stats.tenants.len(), 2, "both tenants appear in stats");
+}
+
+/// Records the tenant id of every topology dispatch, in order.
+#[derive(Default)]
+struct DispatchOrder {
+    order: Mutex<Vec<u64>>,
+}
+
+impl ExecutorObserver for DispatchOrder {
+    fn on_topology_start(&self, info: IterationInfo, _num_tasks: usize) {
+        self.order.lock().unwrap().push(info.tenant);
+    }
+}
+
+/// Spins until `gate` is released; parks the executor's whole tenant
+/// dispatch budget behind it.
+fn gate_flow(ex: std::sync::Arc<rustflow::Executor>, gate: &Arc<AtomicBool>) -> Taskflow {
+    let tf = Taskflow::with_executor(ex);
+    let g = Arc::clone(gate);
+    tf.emplace(move || {
+        while !g.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+    });
+    tf
+}
+
+/// Weighted fair queueing: with a 4:1 weight ratio and both backlogs
+/// deep, the high-weight tenant must receive the lion's share of the
+/// first dispatch slots once the budget frees up. A one-slot in-flight
+/// budget serializes dispatch so the WFQ order is observable.
+#[test]
+fn weighted_fairness_orders_dispatch() {
+    const K_HI: usize = 16;
+    const K_LO: usize = 2;
+    let ex = ExecutorBuilder::new().workers(2).max_inflight(1).build();
+    let order = Arc::new(DispatchOrder::default());
+    ex.observe(order.clone());
+    let hi = ex.tenant_with(
+        "hi",
+        TenantQos {
+            weight: 4,
+            max_queued: K_HI,
+        },
+    );
+    let lo = ex.tenant_with(
+        "lo",
+        TenantQos {
+            weight: 1,
+            max_queued: K_LO,
+        },
+    );
+    let blocker = ex.tenant("blocker");
+    // Occupy the single dispatch slot so every later submission queues.
+    let gate = Arc::new(AtomicBool::new(false));
+    let gate_tf = gate_flow(ex.clone(), &gate);
+    let gate_handle = gate_tf.run_on(&blocker).unwrap();
+    while blocker.stats().dispatched == 0 {
+        std::thread::yield_now();
+    }
+    // Queue both backlogs while dispatch is parked: the WFQ decision now
+    // sees the full picture and the resulting order is deterministic.
+    let noop = Arc::new(AtomicUsize::new(0));
+    let mut flows = Vec::new();
+    for (tenant, k) in [(&hi, K_HI), (&lo, K_LO)] {
+        for i in 0..k {
+            let (tf, _) = mixed_flow(ex.clone(), i, &noop);
+            let handle = tf.try_run_on(tenant).expect("backlog fits max_queued");
+            flows.push((tf, handle));
+        }
+    }
+    assert_eq!(hi.stats().queued as usize, K_HI);
+    assert_eq!(lo.stats().queued as usize, K_LO);
+    gate.store(true, Ordering::Release);
+    gate_handle.get().unwrap();
+    for (_, handle) in &flows {
+        handle.get().unwrap();
+    }
+    // First recorded dispatch is the gate; of the next nine, WFQ at 4:1
+    // owes hi at least seven (exact order: hi lo hi hi hi hi ... with lo
+    // resurfacing once per four hi dispatches).
+    let recorded = order.order.lock().unwrap().clone();
+    let hi_id = recorded[1..]
+        .iter()
+        .copied()
+        .find(|&t| {
+            // hi got the first post-gate slot (lowest virtual time, first
+            // in the tenant scan): its id is the first non-gate entry.
+            t != recorded[0]
+        })
+        .expect("post-gate dispatches recorded");
+    let first9 = &recorded[1..10];
+    let hi_share = first9.iter().filter(|&&t| t == hi_id).count();
+    assert!(
+        hi_share >= 7,
+        "4:1 WFQ must give hi >= 7 of the first 9 slots, got {hi_share}: {recorded:?}"
+    );
+    assert_eq!(settled(&hi).completed as usize, K_HI);
+    assert_eq!(settled(&lo).completed as usize, K_LO);
+}
+
+/// Backpressure: a full tenant queue rejects `try_run_on` with
+/// `Saturated` (naming the tenant and its capacity) while the blocking
+/// path waits for space instead.
+#[test]
+fn saturation_rejects_nonblocking_submissions() {
+    let ex = ExecutorBuilder::new().workers(2).max_inflight(1).build();
+    let tenant = ex.tenant_with(
+        "narrow",
+        TenantQos {
+            weight: 1,
+            max_queued: 2,
+        },
+    );
+    let gate = Arc::new(AtomicBool::new(false));
+    let gate_tf = gate_flow(ex.clone(), &gate);
+    let gate_handle = gate_tf.run_on(&tenant).unwrap();
+    while tenant.stats().dispatched == 0 {
+        std::thread::yield_now();
+    }
+    // Fill the queue to capacity, then overflow it.
+    let noop = Arc::new(AtomicUsize::new(0));
+    let mut flows = Vec::new();
+    for i in 0..2 {
+        let (tf, _) = mixed_flow(ex.clone(), i, &noop);
+        let handle = tf.try_run_on(&tenant).expect("queue has space");
+        flows.push((tf, handle));
+    }
+    let (overflow_tf, _) = mixed_flow(ex.clone(), 0, &noop);
+    match overflow_tf.try_run_on(&tenant) {
+        Err(AdmissionError::Saturated { tenant, capacity }) => {
+            assert_eq!(tenant, "narrow");
+            assert_eq!(capacity, 2);
+        }
+        other => panic!("expected Saturated, got {other:?}"),
+    }
+    assert_eq!(tenant.stats().rejected_saturated, 1);
+    gate.store(true, Ordering::Release);
+    gate_handle.get().unwrap();
+    for (_, handle) in &flows {
+        handle.get().unwrap();
+    }
+}
+
+/// The shutdown race: submissions queued behind a long-running topology
+/// when `close()` lands must resolve with a typed rejection — and late
+/// submissions after `close()` are refused — while everything already
+/// admitted for dispatch still completes. Nothing hangs, nothing is
+/// silently dropped.
+#[test]
+fn close_rejects_queued_and_late_submissions() {
+    let ex = ExecutorBuilder::new().workers(2).max_inflight(1).build();
+    let tenant = ex.tenant_with(
+        "t",
+        TenantQos {
+            weight: 1,
+            max_queued: 16,
+        },
+    );
+    let gate = Arc::new(AtomicBool::new(false));
+    let gate_tf = gate_flow(ex.clone(), &gate);
+    let gate_handle = gate_tf.run_on(&tenant).unwrap();
+    while tenant.stats().dispatched == 0 {
+        std::thread::yield_now();
+    }
+    let noop = Arc::new(AtomicUsize::new(0));
+    let mut queued = Vec::new();
+    for i in 0..6 {
+        let (tf, _) = mixed_flow(ex.clone(), i, &noop);
+        let handle = tf.try_run_on(&tenant).expect("queue has space");
+        queued.push((tf, handle));
+    }
+    ex.close();
+    gate.store(true, Ordering::Release);
+    gate_handle.get().unwrap();
+    let mut ok = 0u64;
+    let mut rejected = 0u64;
+    for (_, handle) in &queued {
+        match handle.get() {
+            Ok(()) => ok += 1,
+            Err(RunError::Rejected(AdmissionError::ShuttingDown)) => rejected += 1,
+            Err(e) => panic!("queued run must resolve Ok or ShuttingDown, got {e}"),
+        }
+    }
+    assert_eq!(ok + rejected, 6, "every queued handle resolves");
+    // Late tenant submission: typed refusal, not a hang or a drop.
+    let (late_tf, _) = mixed_flow(ex.clone(), 0, &noop);
+    match late_tf.try_run_on(&tenant) {
+        Err(AdmissionError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    // Late direct submission (no tenant): rejected through the handle.
+    let (direct_tf, _) = mixed_flow(ex.clone(), 0, &noop);
+    let res = direct_tf.run().get();
+    match res {
+        Err(ref e) if e.as_rejected() == Some(&AdmissionError::ShuttingDown) => {}
+        other => panic!("expected rejected run, got {other:?}"),
+    }
+    let s = settled(&tenant);
+    assert_eq!(
+        s.submitted,
+        s.dispatched + s.coalesced + s.rejected_saturated + s.rejected_shutdown,
+        "conservation across shutdown: {s:?}"
+    );
+    assert_eq!(s.completed, s.dispatched, "admitted work completed: {s:?}");
+}
+
+/// Cancel and panic/retry interleavings through the tenant path: every
+/// handle resolves to a definite outcome and the per-tenant ledger still
+/// balances afterwards.
+#[test]
+fn cancel_and_chaos_interleavings_conserve() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 12;
+    let ex = ExecutorBuilder::new().workers(4).build();
+    let tenant = ex.tenant_with(
+        "chaos",
+        TenantQos {
+            weight: 2,
+            max_queued: 64,
+        },
+    );
+    let resolved = Arc::new(AtomicUsize::new(0));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let ex = ex.clone();
+            let tenant = tenant.clone();
+            let resolved = Arc::clone(&resolved);
+            std::thread::spawn(move || {
+                for i in 0..PER_CLIENT {
+                    let tf = Taskflow::with_executor(ex.clone());
+                    match (c + i) % 3 {
+                        0 => {
+                            // Flaky task rescued by one retry.
+                            let attempts = Arc::new(AtomicUsize::new(0));
+                            let a = Arc::clone(&attempts);
+                            tf.emplace(move || {
+                                if a.fetch_add(1, Ordering::Relaxed) == 0 {
+                                    panic!("flaky once");
+                                }
+                            })
+                            .retry(1);
+                            let h = tf.run_on(&tenant).unwrap();
+                            h.get().unwrap();
+                            assert_eq!(attempts.load(Ordering::Relaxed), 2);
+                        }
+                        1 => {
+                            // Slow chain cancelled mid-flight: Ok (it
+                            // outran the cancel) or Cancelled, never a hang.
+                            let a = tf.emplace(|| {
+                                std::thread::sleep(Duration::from_micros(50));
+                            });
+                            let b = tf.emplace(|| {});
+                            a.precede(b);
+                            let h = tf.run_on(&tenant).unwrap();
+                            h.cancel();
+                            match h.get() {
+                                Ok(()) => {}
+                                Err(e) if e.is_cancelled() => {}
+                                Err(e) => panic!("cancel race must not produce {e}"),
+                            }
+                        }
+                        _ => {
+                            // Unrescued panic surfaces as an error.
+                            tf.emplace(|| panic!("planned fault"));
+                            let h = tf.run_on(&tenant).unwrap();
+                            let err = h.get().expect_err("planned fault must surface");
+                            assert!(format!("{err}").contains("planned fault"));
+                        }
+                    }
+                    resolved.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    assert_eq!(resolved.load(Ordering::Relaxed), CLIENTS * PER_CLIENT);
+    let s = settled(&tenant);
+    assert_eq!(s.submitted, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(
+        s.submitted,
+        s.dispatched + s.coalesced + s.rejected_saturated + s.rejected_shutdown,
+        "conservation under chaos: {s:?}"
+    );
+    assert_eq!(s.completed, s.dispatched, "every dispatch finalized: {s:?}");
+    assert_eq!(s.queued, 0);
+    assert_eq!(s.in_flight, 0);
+}
+
+/// The ablation switch: the mutexed injector must behave identically
+/// (it reproduces the seed's submission path), so the same client storm
+/// conserves submissions with `mutexed_injector(true)`.
+#[test]
+fn mutexed_injector_ablation_behaves_identically() {
+    let ex = ExecutorBuilder::new()
+        .workers(2)
+        .mutexed_injector(true)
+        .injector_capacity(8)
+        .build();
+    let tenant = ex.tenant("ablation");
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut expected = 0usize;
+    for i in 0..10 {
+        let (tf, n) = mixed_flow(ex.clone(), i, &done);
+        expected += n;
+        tf.run_on(&tenant).unwrap().get().unwrap();
+    }
+    assert_eq!(done.load(Ordering::Relaxed), expected);
+    let s = settled(&tenant);
+    assert_eq!(s.submitted, 10);
+    assert_eq!(s.completed, s.dispatched);
+}
+
+/// `Tenant` accessors and find-or-create semantics: asking for the same
+/// name returns a handle to the same tenant; QoS on first creation wins.
+#[test]
+fn tenant_handles_are_stable() {
+    let ex = ExecutorBuilder::new().workers(1).build();
+    let a = ex.tenant_with(
+        "svc",
+        TenantQos {
+            weight: 3,
+            max_queued: 7,
+        },
+    );
+    let b = ex.tenant("svc");
+    assert_eq!(a.name(), "svc");
+    assert_eq!(b.weight(), 3, "second lookup sees the original QoS");
+    assert_eq!(b.max_queued(), 7);
+    let other = ex.tenant("other");
+    assert_eq!(other.weight(), 1, "default weight");
+    assert_eq!(ex.stats().tenants.len(), 2);
+}
+
+/// Keeps `Tenant: Send + Clone` and the admission errors exported — the
+/// client-facing surface a serving integration depends on.
+#[test]
+fn serving_surface_is_send() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Tenant>();
+    assert_send_sync::<AdmissionError>();
+}
