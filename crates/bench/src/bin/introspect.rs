@@ -1,22 +1,32 @@
 //! Introspection gate — live-observability overhead and endpoint smoke
 //! (beyond the paper; CI job `introspect-gate`).
 //!
-//! Two checks, both against real sockets:
+//! Three checks, all against real sockets:
 //!
 //! 1. **Overhead** — a wavefront workload is timed on a plain executor
 //!    and on one with the full introspection service enabled (collector
 //!    thread, HTTP endpoint, and a scraper hitting `/metrics` + `/status`
 //!    throughout). The enabled/disabled median ratio must stay ≤ 1.05×.
-//! 2. **Endpoint smoke** — while a `run_n` batch is in flight, `/metrics`
+//! 2. **Latency-layer overhead** — a tenanted serving workload (pipelined
+//!    `run_on` submissions) is timed with the per-run latency histograms
+//!    enabled vs `latency_histograms(false)`, both sides with the service
+//!    up and an active scraper merging the shards. The stamp+record path
+//!    is a handful of relaxed atomics per *run*, so the same ≤ 1.05×
+//!    median ratio applies.
+//! 3. **Endpoint smoke** — while a `run_n` batch is in flight, `/metrics`
 //!    must pass the strict [`tf_bench::prom`] parser with every expected
 //!    family present, `/status` must parse as JSON ([`tf_bench::json`])
 //!    with a worker entry per thread, and `/trace?last_ms=500` must be
 //!    valid Chrome-trace JSON whose events all sit inside the window.
+//!    A tenant with an `SloSpec` then pushes a known run count through
+//!    the front door and the `rustflow_tenant_latency_us` family and the
+//!    `/status` per-tenant percentile block are validated against it.
 //!
 //! Results land in `<out>/introspect_report.json`; any gate violation
 //! makes the process exit non-zero, failing the CI job.
 
-use rustflow::{Executor, IntrospectConfig, Taskflow};
+use rustflow::{Executor, ExecutorBuilder, IntrospectConfig, SloSpec, Taskflow, Tenant, TenantQos};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -53,6 +63,9 @@ struct GateResult {
     enabled_ms: f64,
     ratio: f64,
     scrapes: usize,
+    lat_disabled_ms: f64,
+    lat_enabled_ms: f64,
+    lat_ratio: f64,
     smoke: Vec<(String, bool, String)>,
 }
 
@@ -79,17 +92,24 @@ fn main() {
         enabled_ms: 0.0,
         ratio: 0.0,
         scrapes: 0,
+        lat_disabled_ms: 0.0,
+        lat_enabled_ms: 0.0,
+        lat_ratio: 0.0,
         smoke: Vec::new(),
     };
 
     if cli.wants_part("overhead") {
         measure_overhead(&mut result);
     }
+    if cli.wants_part("latency") {
+        measure_latency_overhead(&mut result);
+    }
     if cli.wants_part("smoke") {
         smoke(&mut result);
     }
 
     let overhead_pass = result.ratio == 0.0 || result.ratio <= RATIO_GATE;
+    let latency_pass = result.lat_ratio == 0.0 || result.lat_ratio <= RATIO_GATE;
     let smoke_pass = result.smoke.iter().all(|(_, ok, _)| *ok);
     println!(
         "introspect gate: disabled={:.2}ms enabled={:.2}ms ratio={:.3} (gate {RATIO_GATE}) {}",
@@ -98,11 +118,19 @@ fn main() {
         result.ratio,
         if overhead_pass { "ok" } else { "FAIL" },
     );
+    println!(
+        "latency layer:   disabled={:.2}ms enabled={:.2}ms ratio={:.3} (gate {RATIO_GATE}) {}",
+        result.lat_disabled_ms,
+        result.lat_enabled_ms,
+        result.lat_ratio,
+        if latency_pass { "ok" } else { "FAIL" },
+    );
     for (name, ok, note) in &result.smoke {
         println!("  {} {name} {note}", if *ok { "ok  " } else { "FAIL" });
     }
-    write_report(&cli, &result, overhead_pass && smoke_pass);
-    if !(overhead_pass && smoke_pass) {
+    let pass = overhead_pass && latency_pass && smoke_pass;
+    write_report(&cli, &result, pass);
+    if !pass {
         eprintln!("introspect gate: FAILED");
         std::process::exit(1);
     }
@@ -166,6 +194,83 @@ fn measure_overhead(result: &mut GateResult) {
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.total_cmp(b));
     samples[samples.len() / 2]
+}
+
+/// Pushes `n` pipelined single-task flows through `tenant`, keeping a
+/// bounded window in flight — the serving-shaped workload whose per-run
+/// cost the latency layer must not perturb.
+fn run_tenant_batch(ex: &Arc<Executor>, tenant: &Tenant, n: usize) {
+    const WINDOW: usize = 16;
+    let mut inflight: VecDeque<(Taskflow, rustflow::RunHandle)> = VecDeque::with_capacity(WINDOW);
+    for _ in 0..n {
+        let tf = Taskflow::with_executor(Arc::clone(ex));
+        tf.emplace(|| {});
+        let h = tf.run_on(tenant).expect("executor is not shutting down");
+        inflight.push_back((tf, h));
+        if inflight.len() == WINDOW {
+            let (_tf, h) = inflight.pop_front().expect("window is full");
+            h.get().expect("run must succeed");
+        }
+    }
+    for (_tf, h) in inflight {
+        h.get().expect("run must succeed");
+    }
+}
+
+/// Times the tenanted serving workload with the latency histograms on vs
+/// off — both sides with the introspection service live and a scraper
+/// forcing shard merges throughout, so the ratio isolates exactly the
+/// stamp/record/merge cost the always-on pipeline adds per run.
+fn measure_latency_overhead(result: &mut GateResult) {
+    let (threads, reps) = (result.threads, result.reps);
+    const SUBMISSIONS: usize = 3000;
+
+    let mk = |histograms: bool| {
+        let ex = ExecutorBuilder::new()
+            .workers(threads)
+            .latency_histograms(histograms)
+            .build();
+        let handle = ex
+            .serve_introspection_with("127.0.0.1:0", IntrospectConfig::default())
+            .expect("bind introspection endpoint");
+        let addr = handle.local_addr().expect("local addr");
+        let tenant = ex.tenant("ab");
+        (ex, handle, addr, tenant)
+    };
+    let (ex_off, _h_off, addr_off, tenant_off) = mk(false);
+    let (ex_on, _h_on, addr_on, tenant_on) = mk(true);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let _ = http_get(addr_off, "/metrics");
+                let _ = http_get(addr_on, "/metrics");
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        })
+    };
+
+    // Warm both executors and tenant paths.
+    run_tenant_batch(&ex_off, &tenant_off, SUBMISSIONS);
+    run_tenant_batch(&ex_on, &tenant_on, SUBMISSIONS);
+
+    let mut off = Vec::with_capacity(reps);
+    let mut on = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        off.push(time_ms(|| {
+            run_tenant_batch(&ex_off, &tenant_off, SUBMISSIONS)
+        }));
+        on.push(time_ms(|| {
+            run_tenant_batch(&ex_on, &tenant_on, SUBMISSIONS)
+        }));
+    }
+    stop.store(true, Ordering::Relaxed);
+    scraper.join().expect("scraper panicked");
+    result.lat_disabled_ms = median(&mut off);
+    result.lat_enabled_ms = median(&mut on);
+    result.lat_ratio = result.lat_enabled_ms / result.lat_disabled_ms;
 }
 
 /// Hits all three endpoints while a `run_n` batch is in flight and
@@ -280,6 +385,95 @@ fn smoke(result: &mut GateResult) {
     }
 
     fut.get().expect("smoke workload failed");
+
+    // Per-tenant latency surfaces: a tenant carrying an `SloSpec` pushes
+    // a known run count through the front door, then the histogram family
+    // on `/metrics` and the percentile block on `/status` must reflect it.
+    const TENANT_RUNS: usize = 24;
+    let tenant = ex.tenant_with(
+        "svc",
+        TenantQos {
+            slo: Some(SloSpec {
+                p99_us: 250_000,
+                window: Duration::from_secs(60),
+            }),
+            ..TenantQos::default()
+        },
+    );
+    for _ in 0..TENANT_RUNS {
+        let tf = Taskflow::with_executor(Arc::clone(&ex));
+        tf.emplace(|| {});
+        tf.run_on(&tenant)
+            .expect("tenant admission")
+            .get()
+            .expect("tenant run succeeds");
+    }
+    // Latency records fold in just after each promise resolves; the
+    // completion counter bumps after the fold, so wait on it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while tenant.stats().completed < TENANT_RUNS as u64 && std::time::Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+
+    let metrics = http_get(addr, "/metrics");
+    match prom::parse(&metrics) {
+        Ok(exp) => {
+            let fam = exp.family("rustflow_tenant_latency_us");
+            check(
+                "latency_family",
+                fam.is_some_and(|f| f.kind == "histogram"),
+                String::new(),
+            );
+            let count = fam
+                .and_then(|f| {
+                    f.samples.iter().find(|s| {
+                        s.name == "rustflow_tenant_latency_us_count"
+                            && s.label("tenant") == Some("svc")
+                            && s.label("phase") == Some("e2e")
+                    })
+                })
+                .map_or(-1.0, |s| s.value);
+            check(
+                "latency_e2e_count",
+                count == TENANT_RUNS as f64,
+                format!("{count} of {TENANT_RUNS} runs"),
+            );
+        }
+        Err(e) => check("latency_family", false, e),
+    }
+
+    let status = http_get(addr, "/status");
+    match json::parse(&status) {
+        Ok(v) => {
+            let svc = v.get("tenants").and_then(|t| t.as_arr()).and_then(|arr| {
+                arr.iter()
+                    .find(|t| t.get("name").and_then(|n| n.as_str()) == Some("svc"))
+            });
+            let slo_ok = svc
+                .and_then(|t| t.get("slo"))
+                .and_then(|s| s.get("p99_us"))
+                .and_then(|p| p.as_u64())
+                == Some(250_000);
+            check("status_slo_spec", slo_ok, String::new());
+            let e2e = svc
+                .and_then(|t| t.get("latency_us"))
+                .and_then(|l| l.get("e2e"));
+            let pct = |k: &str| e2e.and_then(|p| p.get(k)).and_then(json::Value::as_f64);
+            let ordered = matches!(
+                (pct("p50"), pct("p90"), pct("p99"), pct("p999")),
+                (Some(a), Some(b), Some(c), Some(d)) if a <= b && b <= c && c <= d
+            );
+            check("status_latency_percentiles", ordered, String::new());
+            check(
+                "status_latency_count",
+                e2e.and_then(|p| p.get("count"))
+                    .and_then(json::Value::as_u64)
+                    == Some(TENANT_RUNS as u64),
+                String::new(),
+            );
+        }
+        Err(e) => check("status_latency_percentiles", false, e),
+    }
 }
 
 fn http_get(addr: SocketAddr, target: &str) -> String {
@@ -313,11 +507,22 @@ fn write_report(cli: &Cli, r: &GateResult, pass: bool) {
         ));
     }
     let json_text = format!(
-        "{{\n  \"schema\": 1,\n  \"threads\": {},\n  \"dim\": {},\n  \"iters\": {},\n  \
+        "{{\n  \"schema\": 2,\n  \"threads\": {},\n  \"dim\": {},\n  \"iters\": {},\n  \
          \"reps\": {},\n  \"disabled_ms\": {:.3},\n  \"enabled_ms\": {:.3},\n  \
          \"ratio\": {:.4},\n  \"ratio_gate\": {RATIO_GATE},\n  \"scrapes\": {},\n  \
+         \"lat_disabled_ms\": {:.3},\n  \"lat_enabled_ms\": {:.3},\n  \"lat_ratio\": {:.4},\n  \
          \"smoke\": [\n{smoke}  ],\n  \"pass\": {pass}\n}}\n",
-        r.threads, r.dim, r.iters, r.reps, r.disabled_ms, r.enabled_ms, r.ratio, r.scrapes,
+        r.threads,
+        r.dim,
+        r.iters,
+        r.reps,
+        r.disabled_ms,
+        r.enabled_ms,
+        r.ratio,
+        r.scrapes,
+        r.lat_disabled_ms,
+        r.lat_enabled_ms,
+        r.lat_ratio,
     );
     let path = cli.out.join("introspect_report.json");
     std::fs::write(&path, &json_text).expect("cannot write introspect report");

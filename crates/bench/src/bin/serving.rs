@@ -22,16 +22,30 @@
 //!   (`<out>/serving_baseline.json`);
 //! * `--check` — the CI gate: (1) the lock-free injector must beat the
 //!   mutexed ablation's throughput outright at at least one client
-//!   count >= 4 and stay within 15% of it at the most contended one, and
+//!   count >= 4 and stay within 15% of it at the most contended one,
 //!   (2) no configuration may regress past the baseline's tolerance
-//!   band (one-sided: faster/lower-latency runs always pass). Exit
-//!   non-zero on violation.
+//!   band (one-sided: faster/lower-latency runs always pass), and
+//!   (3) the executor's own `/metrics` latency histograms must agree
+//!   with the client-measured percentiles (see below). Exit non-zero on
+//!   violation.
+//!
+//! Every invocation also closes the observability loop: one extra
+//! configuration runs with the introspection server attached and an
+//! active scraper, then the per-tenant `rustflow_tenant_latency_us`
+//! `e2e` histograms are merged across tenants and their interpolated
+//! p50/p99 compared against the exact client-side samples. The two
+//! views measure the same interval from opposite ends (client stamps
+//! around `run_on` → `get`, server stamps submit → finalize), so they
+//! must land within one log-linear bucket width of each other.
 
-use rustflow::{Executor, ExecutorBuilder, Taskflow, TenantQos};
+use rustflow::{Executor, ExecutorBuilder, Histogram, Taskflow, TenantQos};
 use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
-use tf_bench::json;
+use std::time::{Duration, Instant};
+use tf_bench::{json, prom};
 
 /// Per-client pipeline depth: how many submissions a client keeps in
 /// flight before waiting out the oldest. Deep enough to keep the
@@ -121,31 +135,18 @@ fn request_flow(ex: Arc<Executor>) -> Taskflow {
     tf
 }
 
-fn percentile(sorted_us: &[f64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_us.len() as f64) * p).ceil() as usize;
-    sorted_us[idx.clamp(1, sorted_us.len()) - 1]
-}
-
-/// One run of `clients` pipelined client threads against a fresh
-/// executor; returns (wall_ms, sorted per-submission latencies in µs).
-fn run_once(clients: usize, mutexed: bool, workers: usize, per_client: usize) -> (f64, Vec<f64>) {
-    let ex = ExecutorBuilder::new()
-        .workers(workers)
-        .injector_capacity(256)
-        .mutexed_injector(mutexed)
-        .build();
-    let start = Instant::now();
+/// Fans out `clients` pipelined client threads (one tenant each) against
+/// `ex`; returns the sorted per-submission submit→resolve latencies (µs).
+fn run_clients(ex: &Arc<Executor>, clients: usize, per_client: usize) -> Vec<f64> {
     let handles: Vec<_> = (0..clients)
         .map(|c| {
-            let ex = ex.clone();
+            let ex = Arc::clone(ex);
             let tenant = ex.tenant_with(
                 &format!("client-{c}"),
                 TenantQos {
                     weight: 1,
                     max_queued: WINDOW * 2,
+                    ..TenantQos::default()
                 },
             );
             std::thread::spawn(move || {
@@ -175,8 +176,21 @@ fn run_once(clients: usize, mutexed: bool, workers: usize, per_client: usize) ->
     for h in handles {
         lat_us.extend(h.join().expect("client thread panicked"));
     }
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     lat_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    lat_us
+}
+
+/// One run of `clients` pipelined client threads against a fresh
+/// executor; returns (wall_ms, sorted per-submission latencies in µs).
+fn run_once(clients: usize, mutexed: bool, workers: usize, per_client: usize) -> (f64, Vec<f64>) {
+    let ex = ExecutorBuilder::new()
+        .workers(workers)
+        .injector_capacity(256)
+        .mutexed_injector(mutexed)
+        .build();
+    let start = Instant::now();
+    let lat_us = run_clients(&ex, clients, per_client);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     (wall_ms, lat_us)
 }
 
@@ -207,14 +221,213 @@ fn measure_pair(clients: usize, flags: &Flags) -> (Measured, Measured) {
             submissions,
             wall_ms,
             throughput_per_s: submissions as f64 / (wall_ms / 1e3),
-            p50_us: percentile(&lat, 0.50),
-            p99_us: percentile(&lat, 0.99),
-            p999_us: percentile(&lat, 0.999),
+            p50_us: rustflow::percentile(&lat, 0.50),
+            p99_us: rustflow::percentile(&lat, 0.99),
+            p999_us: rustflow::percentile(&lat, 0.999),
         }
     });
     let lockfree = out.next().expect("two sides");
     let mutexed = out.next().expect("two sides");
     (lockfree, mutexed)
+}
+
+/// Client count for the server-agreement configuration: contended enough
+/// that the histograms see a real latency spread, cheap next to the sweep.
+const AGREE_CLIENTS: usize = 4;
+
+fn http_get(addr: SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect introspection endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("socket timeout");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: gate\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("malformed response");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "unexpected status for {target}: {}",
+        head.lines().next().unwrap_or("")
+    );
+    body.to_string()
+}
+
+/// Merges the `phase="e2e"` series of `rustflow_tenant_latency_us` across
+/// all tenants in a scraped exposition into one [`Histogram`]: the bucket
+/// layout is identical for every shard, so the merge is a de-cumulate and
+/// a per-bucket sum.
+fn merged_e2e(text: &str) -> Option<Histogram> {
+    let exposition = prom::parse(text).ok()?;
+    let family = exposition.family("rustflow_tenant_latency_us")?;
+    let mut bounds: Vec<u64> = Vec::new();
+    let mut counts: Vec<u64> = Vec::new();
+    let mut sum = 0u64;
+    let mut tenants = 0usize;
+    // Each tenant's bucket samples are contiguous and in `le` order (the
+    // exporter renders one series at a time and the strict parser rejects
+    // torn expositions), so a running cumulative de-cumulates each series
+    // and the shared `idx` folds every tenant onto one bucket layout.
+    let (mut prev_cum, mut idx) = (0.0f64, 0usize);
+    for sample in &family.samples {
+        if sample.label("phase") != Some("e2e") {
+            continue;
+        }
+        match sample.name.as_str() {
+            "rustflow_tenant_latency_us_bucket" => {
+                let le = sample.label("le").expect("bucket without le");
+                if le == "+Inf" {
+                    tenants += 1;
+                    (prev_cum, idx) = (0.0, 0);
+                    continue;
+                }
+                let bound: u64 = le.parse().expect("finite le is an integer");
+                if idx == bounds.len() {
+                    bounds.push(bound);
+                    counts.push(0);
+                }
+                assert_eq!(bounds[idx], bound, "tenants share one bucket layout");
+                counts[idx] += (sample.value - prev_cum) as u64;
+                prev_cum = sample.value;
+                idx += 1;
+            }
+            "rustflow_tenant_latency_us_sum" => sum += sample.value as u64,
+            _ => {}
+        }
+    }
+    if tenants == 0 {
+        return None;
+    }
+    // The overflow bucket is empty whenever every observation fit a
+    // finite bucket (true for any sane run: the top bound is ~134 s).
+    counts.push(0);
+    Histogram::from_parts(bounds, counts, sum)
+}
+
+/// Width (µs) of the log-linear bucket containing `v` — the agreement
+/// tolerance between the bucketed server view and exact client samples.
+fn bucket_width_at(bounds: &[u64], v: f64) -> f64 {
+    let idx = bounds.partition_point(|&b| (b as f64) < v);
+    match idx {
+        0 => 1.0,
+        i if i >= bounds.len() => (bounds[bounds.len() - 1] - bounds[bounds.len() - 2]) as f64,
+        i => (bounds[i] - bounds[i - 1]) as f64,
+    }
+}
+
+/// The observability loop-closer: runs a serving workload against an
+/// executor with its introspection server up and a scraper hammering
+/// `/metrics` concurrently, then checks the server's merged e2e
+/// histogram percentiles against the exact client-side samples.
+///
+/// Unlike the throughput sweep this uses *synchronous* clients (no
+/// pipeline window): the client stamp then brackets exactly the
+/// submit→resolve interval the server decomposes, so the two views must
+/// agree to within one log-linear bucket width. Each request carries a
+/// ~300 µs *sleep* (not a spin — on a single-core runner a spinning
+/// worker would sit on the CPU a freshly-resolved client needs to wake
+/// on, poisoning the client-side stamp): execution dominates both views
+/// identically and wakeup jitter stays well inside the ≤25%-wide bucket
+/// at that scale.
+fn server_agreement(flags: &Flags) -> Vec<String> {
+    let per_client = flags.per_client.min(300);
+    let ex = ExecutorBuilder::new().workers(flags.workers).build();
+    let handle = ex
+        .serve_introspection("127.0.0.1:0")
+        .expect("bind introspection listener");
+    let addr = handle.local_addr().expect("ephemeral introspection addr");
+
+    // Scrape *during* the run: shard merges must be safe (and cheap)
+    // while workers are recording into the same shards.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let _ = http_get(addr, "/metrics");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+    let lat = {
+        let handles: Vec<_> = (0..AGREE_CLIENTS)
+            .map(|c| {
+                let ex = Arc::clone(&ex);
+                let tenant = ex.tenant_with(
+                    &format!("agree-{c}"),
+                    TenantQos {
+                        weight: 1,
+                        max_queued: 4,
+                        ..TenantQos::default()
+                    },
+                );
+                std::thread::spawn(move || {
+                    let mut lat_us = Vec::with_capacity(per_client);
+                    for _ in 0..per_client {
+                        let tf = Taskflow::with_executor(ex.clone());
+                        tf.emplace(|| std::thread::sleep(Duration::from_micros(300)));
+                        let t0 = Instant::now();
+                        let h = tf.run_on(&tenant).expect("executor is not shutting down");
+                        h.get().expect("request must succeed");
+                        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                    }
+                    lat_us
+                })
+            })
+            .collect();
+        let mut lat: Vec<f64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        lat
+    };
+    stop.store(true, Ordering::Release);
+    scraper.join().expect("scraper thread panicked");
+
+    // Latency records fold in *after* each run's promise resolves, so
+    // poll the endpoint until every submission is visible server-side.
+    let expected = (AGREE_CLIENTS * per_client) as u64;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let hist = loop {
+        let merged = merged_e2e(&http_get(addr, "/metrics"));
+        match merged {
+            Some(h) if h.count() >= expected => break h,
+            _ if Instant::now() > deadline => {
+                return vec![format!(
+                    "server-side e2e histogram never reached {expected} records (got {})",
+                    merged.map_or(0, |h| h.count())
+                )];
+            }
+            _ => std::thread::sleep(Duration::from_millis(2)),
+        }
+    };
+
+    let mut failures = Vec::new();
+    if hist.count() != expected {
+        failures.push(format!(
+            "server-side e2e histogram counted {} runs, clients resolved {expected}",
+            hist.count()
+        ));
+    }
+    for (q, name) in [(0.50, "p50"), (0.99, "p99")] {
+        let client = rustflow::percentile(&lat, q);
+        let server = hist.percentile(q);
+        let tol = bucket_width_at(hist.bounds(), client.max(server)) + 1.0;
+        println!(
+            "   agreement {name}: client {client:>8.1} us  server {server:>8.1} us  (tolerance {tol:.1} us)"
+        );
+        if (client - server).abs() > tol {
+            failures.push(format!(
+                "server-side {name} ({server:.1} us) disagrees with client-measured {name} \
+                 ({client:.1} us) beyond one bucket width ({tol:.1} us)"
+            ));
+        }
+    }
+    failures
 }
 
 fn main() {
@@ -229,6 +442,16 @@ fn main() {
                 m.name, m.submissions, m.wall_ms, m.throughput_per_s, m.p50_us, m.p99_us, m.p999_us
             );
             measured.push(m);
+        }
+    }
+
+    // --- Server-side histogram agreement. --------------------------------
+    println!("server-histogram agreement ({AGREE_CLIENTS} clients, scraper attached):");
+    let agreement_failures = server_agreement(&flags);
+    if !flags.check {
+        // Outside `--check` the disagreements are advisory, not fatal.
+        for f in &agreement_failures {
+            eprintln!("serving agreement WARN: {f}");
         }
     }
 
@@ -282,7 +505,8 @@ fn main() {
     }
 
     if flags.check {
-        let failures = gate(&measured, &baseline_path);
+        let mut failures = gate(&measured, &baseline_path);
+        failures.extend(agreement_failures);
         if failures.is_empty() {
             println!("serving gate: OK ({} configs)", measured.len());
         } else {

@@ -1,0 +1,108 @@
+//! Strict validation of the executor's Prometheus histogram exposition
+//! with the harness's own [`tf_bench::prom`] parser: the per-tenant
+//! latency family must parse as a well-formed histogram with cumulative
+//! buckets, a `+Inf` bucket equal to `_count`, and label escaping that
+//! round-trips hostile tenant names.
+
+use rustflow::{Executor, IntrospectConfig, Taskflow};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tf_bench::prom;
+
+/// A tenant name exercising every escape the exporter applies: a quote,
+/// a backslash, and a newline.
+const NASTY: &str = "q\"uote\\slash\nline";
+
+const RUNS: usize = 12;
+const PHASES: [&str; 5] = ["admission", "queue", "dispatch", "exec", "e2e"];
+
+#[test]
+fn tenant_latency_family_survives_the_strict_parser() {
+    let ex = Executor::new(2);
+    let handle = ex
+        .start_introspection(IntrospectConfig::default())
+        .expect("introspection starts");
+    let tenant = ex.tenant(NASTY);
+    for _ in 0..RUNS {
+        let tf = Taskflow::with_executor(Arc::clone(&ex));
+        tf.emplace(|| {});
+        tf.run_on(&tenant)
+            .expect("admitted")
+            .get()
+            .expect("run succeeds");
+    }
+    // Latency shards fold in just after each promise resolves; the
+    // completion counter bumps after the fold.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while tenant.stats().completed < RUNS as u64 {
+        assert!(Instant::now() < deadline, "records never folded in");
+        std::thread::yield_now();
+    }
+
+    let exposition = prom::parse(&handle.metrics_text()).expect("strict parse of /metrics");
+    let family = exposition
+        .family("rustflow_tenant_latency_us")
+        .expect("latency family present");
+    assert_eq!(family.kind, "histogram");
+
+    for phase in PHASES {
+        let buckets: Vec<&prom::Sample> = family
+            .samples
+            .iter()
+            .filter(|s| {
+                s.name == "rustflow_tenant_latency_us_bucket"
+                    && s.label("phase") == Some(phase)
+                    && s.label("tenant") == Some(NASTY)
+            })
+            .collect();
+        assert!(
+            !buckets.is_empty(),
+            "phase {phase} has bucket samples for the escaped tenant"
+        );
+        // Cumulative monotonicity in exposition (= `le`) order.
+        for w in buckets.windows(2) {
+            assert!(
+                w[1].value >= w[0].value,
+                "phase {phase}: non-monotonic buckets {} -> {}",
+                w[0].value,
+                w[1].value
+            );
+        }
+        // `le` bounds strictly increase, with `+Inf` last.
+        let les: Vec<&str> = buckets.iter().map(|s| s.label("le").unwrap()).collect();
+        assert_eq!(*les.last().unwrap(), "+Inf", "phase {phase} ends at +Inf");
+        let finite: Vec<u64> = les[..les.len() - 1]
+            .iter()
+            .map(|le| le.parse().expect("finite le is an integer"))
+            .collect();
+        assert!(
+            finite.windows(2).all(|w| w[0] < w[1]),
+            "phase {phase}: le bounds not strictly increasing"
+        );
+        // The +Inf bucket equals the series' `_count`, which equals the
+        // number of runs pushed through the front door.
+        let count = family
+            .samples
+            .iter()
+            .find(|s| {
+                s.name == "rustflow_tenant_latency_us_count"
+                    && s.label("phase") == Some(phase)
+                    && s.label("tenant") == Some(NASTY)
+            })
+            .expect("series has a _count")
+            .value;
+        assert_eq!(buckets.last().unwrap().value, count, "phase {phase}");
+        assert_eq!(count, RUNS as f64, "phase {phase} recorded every run");
+        // And a `_sum` exists for the series (the parser already enforced
+        // that the suffix is legal under a histogram TYPE).
+        assert!(
+            family.samples.iter().any(|s| {
+                s.name == "rustflow_tenant_latency_us_sum"
+                    && s.label("phase") == Some(phase)
+                    && s.label("tenant") == Some(NASTY)
+            }),
+            "phase {phase} has a _sum"
+        );
+    }
+    drop(handle);
+}

@@ -21,7 +21,7 @@ use crate::injector::Injector;
 use crate::introspect::{CurrentTask, IntrospectConfig, IntrospectHandle, IntrospectState};
 use crate::notifier::Notifier;
 use crate::observer::{ExecutorObserver, DISPATCH_LANE};
-use crate::stats::{ExecutorStats, TenantStats, WorkerStats};
+use crate::stats::{AtomicHistogram, ExecutorStats, TenantStats, WorkerStats};
 use crate::subflow::Subflow;
 use crate::sync::{fence, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, RwLock};
 use crate::topology::{Advance, PendingRun, RunCondition, Topology};
@@ -31,7 +31,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tunables of the scheduling algorithm; the defaults match the paper.
 /// The ablation switches exist so the benches can quantify each heuristic.
@@ -58,6 +58,10 @@ pub(crate) struct Config {
     /// per tenant and are released by weighted fair queueing.
     /// `usize::MAX` (the default) never queues.
     pub max_inflight: usize,
+    /// Record per-tenant lifecycle latency into lock-free histogram
+    /// shards (default on; the cost is a few relaxed atomics per tenant
+    /// run). The `false` side is the introspect-gate's A/B ablation.
+    pub latency_histograms: bool,
 }
 
 impl Default for Config {
@@ -69,6 +73,7 @@ impl Default for Config {
             injector_capacity: 1024,
             mutexed_injector: false,
             max_inflight: usize::MAX,
+            latency_histograms: true,
         }
     }
 }
@@ -142,6 +147,16 @@ impl ExecutorBuilder {
     /// dispatch immediately and tenant queues never fill).
     pub fn max_inflight(mut self, n: usize) -> Self {
         self.cfg.max_inflight = n.max(1);
+        self
+    }
+
+    /// Ablation switch: record per-tenant lifecycle latency (submit →
+    /// admitted → dispatched → first task → finalize) into lock-free
+    /// histogram shards, surfaced via `/metrics` and `/status` (default
+    /// on). Disabling it removes the per-run stamping and recording —
+    /// the baseline the introspect-gate A/Bs the latency layer against.
+    pub fn latency_histograms(mut self, enabled: bool) -> Self {
+        self.cfg.latency_histograms = enabled;
         self
     }
 
@@ -291,6 +306,34 @@ impl Inner {
         let tenants: Vec<Arc<TenantState>> = self.qos.lock().tenants.clone();
         tenants.iter().map(|t| t.snapshot()).collect()
     }
+
+    /// Scrape-time merge of every tenant's latency shards: folds each
+    /// lock-free [`AtomicHistogram`](crate::AtomicHistogram) into a plain
+    /// [`Histogram`] per phase. Workers never pay for this — the fold is
+    /// a bucket-count copy done by the scraping thread.
+    pub(crate) fn tenant_latency(&self) -> Vec<TenantLatencySnapshot> {
+        let tenants: Vec<Arc<TenantState>> = self.qos.lock().tenants.clone();
+        tenants
+            .iter()
+            .map(|t| TenantLatencySnapshot {
+                name: t.name.clone(),
+                slo: t.slo,
+                phases: LATENCY_PHASES
+                    .iter()
+                    .zip(t.latency.iter())
+                    .map(|(phase, shard)| (*phase, shard.snapshot()))
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// One tenant's latency distributions, merged at scrape time: phase
+/// label → bucketed histogram, in [`LATENCY_PHASES`] order.
+pub(crate) struct TenantLatencySnapshot {
+    pub(crate) name: String,
+    pub(crate) slo: Option<SloSpec>,
+    pub(crate) phases: Vec<(&'static str, crate::stats::Histogram)>,
 }
 
 /// Runs every observer hook iff at least one observer is installed; the
@@ -615,6 +658,12 @@ impl Executor {
             }
         };
         if claimed {
+            // Untenanted claim: reset the tenant tag and lifecycle stamps
+            // a previous tenant stint may have left on this (reusable)
+            // topology, so observer events label this stint untenanted
+            // and the latency pipeline stays disarmed.
+            topo.set_tenant(0);
+            topo.stamps.clear();
             advance_topology(&self.inner, topo, false);
         }
         future
@@ -676,6 +725,14 @@ impl Executor {
                 topo: Arc::clone(topo),
                 cond,
                 promise,
+                // `.max(1)`: 0 is the "not stamped" sentinel and the
+                // clock's first microsecond is indistinguishable from it.
+                submit_us: if self.inner.cfg.latency_histograms {
+                    crate::clock::now_us().max(1)
+                } else {
+                    0
+                },
+                admitted_us: 0,
             });
         }
         pump_tenants(&self.inner);
@@ -689,6 +746,19 @@ impl Executor {
 /// publishes the next iteration — or, when every batch is done, drops the
 /// keep-alive registration.
 fn advance_topology(inner: &Inner, topo: &Topology, iteration_finished: bool) {
+    // Lifecycle stamps must be copied out *before* `advance` can
+    // transition the topology to idle: the instant it is idle, a
+    // concurrent resubmission may claim it and overwrite the stamps with
+    // its own stint's. The end stamp is taken here too — before `advance`
+    // resolves the promises — so the recorded e2e interval is bracketed
+    // by any client timing its own submit→resolve round trip (promise
+    // resolution and finalize bookkeeping can be descheduled for a long
+    // time on a loaded box, and that wait belongs to neither view). Four
+    // relaxed loads and a clock read, skipped when the pipeline is off.
+    let stamps = inner
+        .cfg
+        .latency_histograms
+        .then(|| (topo.stamps.snapshot(), crate::clock::now_us().max(1)));
     // SAFETY: the caller holds the driver role per the functions's
     // contract; at most one driver exists per topology at a time.
     match unsafe { topo.advance(iteration_finished) } {
@@ -737,6 +807,13 @@ fn advance_topology(inner: &Inner, topo: &Topology, iteration_finished: bool) {
             };
             drop(keep_alive);
             if let Some(tenant) = tenant {
+                // Fold the finished stint into the tenant's latency
+                // shards (a few relaxed fetch_adds; coalesced piggybacks
+                // never get here — they are counted separately and have
+                // no lifecycle of their own).
+                if let Some((stamps, end_us)) = stamps {
+                    record_latency(&tenant, stamps, end_us);
+                }
                 // Credit the tenant and return its admission slot to the
                 // budget, then let the fair-queue pump dispatch whatever
                 // the freed slot admits.
@@ -747,6 +824,34 @@ fn advance_topology(inner: &Inner, topo: &Topology, iteration_finished: bool) {
             }
         }
     }
+}
+
+/// Decomposes a finished tenant stint's lifecycle into the five latency
+/// phases and records each into the tenant's lock-free shards. All stamps
+/// share one clock domain ([`crate::clock::origin`]), so the end-to-end
+/// phase equals the sum of the four sub-phases exactly (modulo the
+/// `saturating_sub` clamps against clock-read reordering). `end` is
+/// stamped by the caller just before the idle transition resolves the
+/// run's promises.
+fn record_latency(tenant: &TenantState, s: crate::topology::StampSnapshot, end: u64) {
+    if s.submit == 0 {
+        // Stint never stamped: the latency pipeline was off when this
+        // dispatch claimed the driver role, or an untenanted claim.
+        return;
+    }
+    // An armed-but-unstamped latch (0: the stint ran no task, e.g. an
+    // instantly-cancelled batch) falls back to the dispatch stamp so the
+    // dispatch/exec split stays well-defined.
+    let first = if s.first_start == 0 || s.first_start == u64::MAX {
+        s.dispatched
+    } else {
+        s.first_start
+    };
+    tenant.latency[0].record(s.admitted.saturating_sub(s.submit));
+    tenant.latency[1].record(s.dispatched.saturating_sub(s.admitted));
+    tenant.latency[2].record(first.saturating_sub(s.dispatched));
+    tenant.latency[3].record(end.saturating_sub(first));
+    tenant.latency[4].record(end.saturating_sub(s.submit));
 }
 
 impl Drop for Executor {
@@ -975,6 +1080,11 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
     // `inner.running` until every node completed.
     unsafe {
         let topo = &*(*(*node).state.topology.get());
+        // First-task stamp for the per-tenant latency pipeline: a single
+        // relaxed load per task in steady state (the latch is armed only
+        // between a tenant dispatch and its first task), one CAS for the
+        // task that wins the race.
+        topo.stamps.note_first_start();
         if topo.is_cancelled() {
             // The cancel flag was published after `RunError::Cancelled`
             // was recorded (see `Topology::cancel`), so skipping here can
@@ -1352,6 +1462,12 @@ pub struct TenantQos {
     /// [`AdmissionError::Saturated`] (`try_submit`). Clamped to at
     /// least 1.
     pub max_queued: usize,
+    /// Optional latency objective. When set, the stall watchdog runs a
+    /// multi-window burn-rate check over this tenant's end-to-end latency
+    /// histogram and emits
+    /// [`WatchdogDiagnostic::SloBurn`](crate::WatchdogDiagnostic) when
+    /// the error budget burns too fast (see [`SloSpec`]).
+    pub slo: Option<SloSpec>,
 }
 
 impl Default for TenantQos {
@@ -1359,8 +1475,38 @@ impl Default for TenantQos {
         TenantQos {
             weight: 1,
             max_queued: 1024,
+            slo: None,
         }
     }
+}
+
+/// A per-tenant latency service-level objective: "99% of runs finish
+/// end-to-end (submit → finalize) within `p99_us`, judged over `window`".
+///
+/// The error budget is the 1% of runs allowed past the target. The
+/// watchdog alerts SRE-style on *burn rate* — budget consumed per unit
+/// budget allotted — over two windows at once (`window` and `window/12`),
+/// so a sustained breach fires quickly while a long-gone spike does not
+/// page ([`WatchdogDiagnostic::SloBurn`](crate::WatchdogDiagnostic)).
+///
+/// ```
+/// use std::time::Duration;
+/// let qos = rustflow::TenantQos {
+///     slo: Some(rustflow::SloSpec {
+///         p99_us: 50_000,
+///         window: Duration::from_secs(60),
+///     }),
+///     ..rustflow::TenantQos::default()
+/// };
+/// assert_eq!(qos.slo.unwrap().p99_us, 50_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloSpec {
+    /// Target 99th-percentile end-to-end latency, in microseconds.
+    pub p99_us: u64,
+    /// The long burn-rate window; the fast window is `window/12`
+    /// (clamped to one watchdog pass). Clamped to at least one second.
+    pub window: Duration,
 }
 
 /// A run waiting in a tenant queue for a dispatch slot.
@@ -1368,6 +1514,12 @@ pub(crate) struct QueuedRun {
     topo: Arc<Topology>,
     cond: RunCondition,
     promise: Promise<RunResult>,
+    /// [`crate::clock::now_us`] at admission into the tenant queue
+    /// (`.max(1)`); `0` when the latency pipeline is off.
+    submit_us: u64,
+    /// Stamped by [`next_dispatch`] when the fair-queue pump pops the
+    /// run; `0` until then (and when the pipeline is off).
+    admitted_us: u64,
 }
 
 /// Shared per-tenant state: the bounded submission queue plus the fair
@@ -1392,7 +1544,23 @@ pub(crate) struct TenantState {
     rejected_saturated: AtomicU64,
     rejected_shutdown: AtomicU64,
     inflight: AtomicU64,
+    /// Lock-free latency shards, one per [`LATENCY_PHASES`] entry.
+    /// Recorded by the finalizing driver (a few relaxed `fetch_add`s per
+    /// run), merged only at scrape time. ~4.2 KiB per tenant
+    /// (5 phases × 105 buckets × 8 B).
+    latency: [AtomicHistogram; LATENCY_PHASES.len()],
+    /// The tenant's latency objective, if any ([`TenantQos::slo`]).
+    slo: Option<SloSpec>,
 }
+
+/// Phase labels of the per-tenant latency decomposition, in the order of
+/// [`TenantState::latency`]: admission wait (submit → admitted), queue
+/// wait (admitted → dispatched), dispatch-to-first-task, execution
+/// (first task → finalize), and end-to-end (submit → finalize).
+pub(crate) const LATENCY_PHASES: [&str; 5] = ["admission", "queue", "dispatch", "exec", "e2e"];
+
+/// Index of the end-to-end phase in [`LATENCY_PHASES`].
+pub(crate) const PHASE_E2E: usize = 4;
 
 impl TenantState {
     fn new(id: u64, name: String, qos: TenantQos) -> TenantState {
@@ -1411,6 +1579,8 @@ impl TenantState {
             rejected_saturated: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicHistogram::new()),
+            slo: qos.slo,
         }
     }
 
@@ -1480,6 +1650,12 @@ impl Tenant {
     pub fn stats(&self) -> TenantStats {
         self.state.snapshot()
     }
+
+    /// The tenant's latency objective, if one was set at creation
+    /// ([`TenantQos::slo`]).
+    pub fn slo(&self) -> Option<SloSpec> {
+        self.state.slo
+    }
 }
 
 impl std::fmt::Debug for Tenant {
@@ -1538,7 +1714,12 @@ fn next_dispatch(inner: &Inner) -> Option<(Arc<TenantState>, QueuedRun)> {
     let tenant = Arc::clone(&qos.tenants[idx]);
     let run = {
         let mut q = tenant.queue.lock();
-        let run = q.pop_front()?;
+        let mut run = q.pop_front()?;
+        if run.submit_us != 0 {
+            // Admission stamp: the fair-queue pump just released this run
+            // from the tenant queue (end of the admission-wait phase).
+            run.admitted_us = crate::clock::now_us().max(1);
+        }
         // A blocking submitter may be waiting for exactly this slot.
         tenant.space.notify_one();
         run
@@ -1559,6 +1740,8 @@ fn dispatch_tenant_run(inner: &Inner, tenant: Arc<TenantState>, run: QueuedRun) 
         topo,
         cond,
         promise,
+        submit_us,
+        admitted_us,
     } = run;
     let claimed = {
         let mut reg = inner.running.lock();
@@ -1579,6 +1762,18 @@ fn dispatch_tenant_run(inner: &Inner, tenant: Arc<TenantState>, run: QueuedRun) 
     };
     tenant.dispatched.fetch_add(1, Ordering::Relaxed);
     if claimed {
+        // Stamp the stint's lifecycle and arm the first-task latch before
+        // the first iteration publishes: the claiming dispatch has
+        // exclusive access to the stamps until `begin_iteration` makes
+        // the sources visible (the injector's Release publish carries
+        // them to workers). Coalesced dispatches below ride the incumbent
+        // driver's stint and are never recorded.
+        if submit_us != 0 {
+            topo.stamps
+                .arm(submit_us, admitted_us, crate::clock::now_us().max(1));
+        } else {
+            topo.stamps.clear();
+        }
         tenant.inflight.fetch_add(1, Ordering::Relaxed);
         advance_topology(inner, &topo, false);
     } else {

@@ -251,9 +251,37 @@ impl IntrospectState {
                 "counter",
                 self.watchdog.counts().ring_saturation,
             ),
+            (
+                "rustflow_slo_breach_total",
+                "Watchdog reports of a tenant burning its latency SLO error budget too fast.",
+                "counter",
+                self.watchdog.counts().slo_burn,
+            ),
         ];
         for (name, help, kind, value) in singles {
             family(&mut out, name, help, kind, &[(None, *value)]);
+        }
+        // Per-tenant × per-phase latency histograms, merged from the
+        // lock-free shards at scrape time. One header covers every
+        // labelled series of the family (like the tenant counters, the
+        // family renders only when the front door is in use).
+        let latency = inner.tenant_latency();
+        if !latency.is_empty() {
+            out.push_str(
+                "# HELP rustflow_tenant_latency_us Run lifecycle latency by tenant and phase \
+                 (admission, queue, dispatch, exec, e2e), in microseconds.\n\
+                 # TYPE rustflow_tenant_latency_us histogram\n",
+            );
+            for t in &latency {
+                let tenant = crate::stats::escape_label_value(&t.name);
+                for (phase, hist) in &t.phases {
+                    hist.render_labelled_into(
+                        &mut out,
+                        "rustflow_tenant_latency_us",
+                        &format!("tenant=\"{tenant}\",phase=\"{phase}\""),
+                    );
+                }
+            }
         }
         out
     }
@@ -331,6 +359,7 @@ impl IntrospectState {
             out.push('}');
         }
         out.push_str("],\"tenants\":[");
+        let latency = inner.tenant_latency();
         for (i, t) in inner.tenant_stats().iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -338,7 +367,7 @@ impl IntrospectState {
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"weight\":{},\"queued\":{},\"in_flight\":{},\
                  \"submitted\":{},\"dispatched\":{},\"coalesced\":{},\"completed\":{},\
-                 \"rejected_saturated\":{},\"rejected_shutdown\":{}}}",
+                 \"rejected_saturated\":{},\"rejected_shutdown\":{}",
                 escape_json(&t.name),
                 t.weight,
                 t.queued,
@@ -350,6 +379,36 @@ impl IntrospectState {
                 t.rejected_saturated,
                 t.rejected_shutdown,
             ));
+            // Matched by name, not index: the stats and latency snapshots
+            // come from two separate lock acquisitions, so a tenant
+            // created in between could skew positions.
+            if let Some(lat) = latency.iter().find(|l| l.name == t.name) {
+                match lat.slo {
+                    Some(slo) => out.push_str(&format!(
+                        ",\"slo\":{{\"p99_us\":{},\"window_ms\":{}}}",
+                        slo.p99_us,
+                        slo.window.as_millis(),
+                    )),
+                    None => out.push_str(",\"slo\":null"),
+                }
+                out.push_str(",\"latency_us\":{");
+                for (p, (phase, hist)) in lat.phases.iter().enumerate() {
+                    if p > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\"{phase}\":{{\"count\":{},\"p50\":{:.1},\"p90\":{:.1},\
+                         \"p99\":{:.1},\"p999\":{:.1}}}",
+                        hist.count(),
+                        hist.percentile(0.50),
+                        hist.percentile(0.90),
+                        hist.percentile(0.99),
+                        hist.percentile(0.999),
+                    ));
+                }
+                out.push('}');
+            }
+            out.push('}');
         }
         out.push_str("],\"topologies\":[");
         let running: Vec<_> = inner.running.lock().topologies();

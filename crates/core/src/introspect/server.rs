@@ -79,10 +79,23 @@ fn handle(mut stream: TcpStream, state: &Arc<IntrospectState>) -> std::io::Resul
         ),
         "/status" => respond(&mut stream, 200, "application/json", &state.status_json()),
         "/trace" => {
-            let last = query_param(query, "last_ms")
-                .and_then(|v| v.parse::<u64>().ok())
-                .map(Duration::from_millis)
-                .unwrap_or(Duration::MAX);
+            // An absent `last_ms` means the full retention window; a
+            // *present but unparsable* one is a client error — serving
+            // the full window for `last_ms=5oo` would silently hand back
+            // far more (or different) data than the scraper asked for.
+            let last = match query_param(query, "last_ms") {
+                None => Duration::MAX,
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(ms) => Duration::from_millis(ms),
+                    Err(_) => {
+                        let body = format!(
+                            "{{\"error\":\"last_ms must be a non-negative integer, got \\\"{}\\\"\"}}\n",
+                            crate::observer::escape_json(raw)
+                        );
+                        return respond(&mut stream, 400, "application/json", &body);
+                    }
+                },
+            };
             respond(
                 &mut stream,
                 200,

@@ -20,18 +20,37 @@
 //! 3. **Ring saturation** — the introspection tracer dropped events
 //!    since the previous pass, i.e. the collector is not keeping up
 //!    with event production.
+//! 4. **SLO burn** — a tenant with a latency objective
+//!    ([`crate::SloSpec`]) is consuming its p99 error budget too fast.
+//!    SRE-style multi-window burn rate over the tenant's end-to-end
+//!    latency histogram: the fraction of runs past the target, divided
+//!    by the 1% budget, must exceed the fire threshold over *both* the
+//!    long window (`SloSpec::window`) and the fast window (`window/12`)
+//!    — a sustained breach fires within the fast window, while a spike
+//!    that ended long ago does not page. One report per episode; the
+//!    episode re-arms once the fast-window burn drops below 1.
 //!
 //! All state lives in [`WatchdogPass`], which the collector keeps inside
 //! the pass mutex — passes are serialized, so detection needs no atomics
 //! beyond the public counters.
 
 use super::CurrentTask;
-use crate::executor::Inner;
+use crate::executor::{Inner, PHASE_E2E};
 use crate::observer::Tracer;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Burn-rate multiple of budget-paced consumption at which an episode
+/// fires (both windows must reach it).
+const SLO_BURN_FIRE: f64 = 2.0;
+/// Fast-window burn rate below which a fired episode re-arms.
+const SLO_BURN_CLEAR: f64 = 1.0;
+/// Minimum runs inside a window before its burn rate is meaningful.
+const SLO_MIN_RUNS: u64 = 10;
+/// Error budget fraction implied by a p99 target: 1% of runs may breach.
+const SLO_BUDGET: f64 = 0.01;
 
 /// A structured stall report emitted by the introspection watchdog.
 ///
@@ -79,6 +98,24 @@ pub enum WatchdogDiagnostic {
         /// Total events lost since introspection started.
         dropped_total: u64,
     },
+    /// A tenant with a latency objective ([`crate::SloSpec`]) burned its
+    /// p99 error budget faster than the fire threshold over both the
+    /// long and the fast burn-rate windows.
+    SloBurn {
+        /// The burning tenant's name.
+        tenant: String,
+        /// The objective's target p99, in microseconds.
+        target_p99_us: u64,
+        /// The objective's long burn-rate window.
+        window: Duration,
+        /// Runs past the target inside the long window.
+        breached: u64,
+        /// Total runs inside the long window.
+        total: u64,
+        /// Long-window burn rate: budget consumed per unit allotted
+        /// (1.0 = exactly budget pace; the fire threshold is 2.0).
+        burn: f64,
+    },
 }
 
 impl std::fmt::Display for WatchdogDiagnostic {
@@ -112,6 +149,18 @@ impl std::fmt::Display for WatchdogDiagnostic {
                 f,
                 "introspection rings dropped {dropped_delta} events since last pass ({dropped_total} total)"
             ),
+            WatchdogDiagnostic::SloBurn {
+                tenant,
+                target_p99_us,
+                window,
+                breached,
+                total,
+                burn,
+            } => write!(
+                f,
+                "tenant \"{tenant}\" is burning its p99 SLO error budget at {burn:.1}x \
+                 ({breached}/{total} runs over {target_p99_us}us in the last {window:?})"
+            ),
         }
     }
 }
@@ -125,6 +174,8 @@ pub struct WatchdogCounts {
     pub stalled_topologies: u64,
     /// [`WatchdogDiagnostic::RingSaturation`] emissions.
     pub ring_saturation: u64,
+    /// [`WatchdogDiagnostic::SloBurn`] emissions.
+    pub slo_burn: u64,
 }
 
 type Subscriber = Box<dyn Fn(&WatchdogDiagnostic) + Send + Sync>;
@@ -135,6 +186,7 @@ pub(crate) struct Watchdog {
     stalled_workers: AtomicU64,
     stalled_topologies: AtomicU64,
     ring_saturation: AtomicU64,
+    slo_burn: AtomicU64,
     subscribers: Mutex<Vec<Subscriber>>,
 }
 
@@ -144,6 +196,7 @@ impl Watchdog {
             stalled_workers: AtomicU64::new(0),
             stalled_topologies: AtomicU64::new(0),
             ring_saturation: AtomicU64::new(0),
+            slo_burn: AtomicU64::new(0),
             subscribers: Mutex::new(Vec::new()),
         }
     }
@@ -157,6 +210,7 @@ impl Watchdog {
             stalled_workers: self.stalled_workers.load(Ordering::Relaxed),
             stalled_topologies: self.stalled_topologies.load(Ordering::Relaxed),
             ring_saturation: self.ring_saturation.load(Ordering::Relaxed),
+            slo_burn: self.slo_burn.load(Ordering::Relaxed),
         }
     }
 
@@ -165,6 +219,7 @@ impl Watchdog {
             WatchdogDiagnostic::StalledWorker { .. } => &self.stalled_workers,
             WatchdogDiagnostic::StalledTopology { .. } => &self.stalled_topologies,
             WatchdogDiagnostic::RingSaturation { .. } => &self.ring_saturation,
+            WatchdogDiagnostic::SloBurn { .. } => &self.slo_burn,
         };
         counter.fetch_add(1, Ordering::Relaxed);
         for s in self.subscribers.lock().iter() {
@@ -184,12 +239,58 @@ struct TopoObservation {
     reported: bool,
 }
 
+/// Per-tenant SLO burn-rate bookkeeping carried across passes.
+#[derive(Default)]
+struct SloTrack {
+    /// One `(pass timestamp µs, total runs, breached runs)` cumulative
+    /// observation per pass, evicted past the long window (one sample
+    /// older than the window is kept as the window-start baseline).
+    history: VecDeque<(u64, u64, u64)>,
+    /// Whether the current burn episode was already reported.
+    firing: bool,
+}
+
+/// Cumulative budget consumption over one burn-rate window.
+struct WindowBurn {
+    /// Burn rate: budget consumed per unit allotted.
+    rate: f64,
+    /// Runs past the target inside the window.
+    breached: u64,
+    /// Total runs inside the window.
+    total: u64,
+}
+
+/// Burn rate over the trailing `win_us`: deltas against the newest
+/// observation at least `win_us` old (or the oldest available — a history
+/// shorter than the window is all "recent"). `None` until the window
+/// holds [`SLO_MIN_RUNS`] runs.
+fn burn_over(history: &VecDeque<(u64, u64, u64)>, now_us: u64, win_us: u64) -> Option<WindowBurn> {
+    let &(_, total_now, breached_now) = history.back()?;
+    let &(_, total_base, breached_base) = history
+        .iter()
+        .rev()
+        .find(|(ts, _, _)| now_us.saturating_sub(*ts) >= win_us)
+        .unwrap_or(history.front()?);
+    let total = total_now.saturating_sub(total_base);
+    if total < SLO_MIN_RUNS {
+        return None;
+    }
+    let breached = breached_now.saturating_sub(breached_base);
+    Some(WindowBurn {
+        rate: (breached as f64 / total as f64) / SLO_BUDGET,
+        breached,
+        total,
+    })
+}
+
 /// Detection bookkeeping owned by the collection-pass mutex.
 pub(crate) struct WatchdogPass {
     /// Per worker: `since_us` of the last invocation reported as stalled.
     reported_stall: Vec<Option<u64>>,
     topologies: HashMap<u64, TopoObservation>,
     last_dropped: u64,
+    /// Per tenant (by name): SLO burn-rate history and episode state.
+    slo: HashMap<String, SloTrack>,
 }
 
 impl WatchdogPass {
@@ -198,6 +299,7 @@ impl WatchdogPass {
             reported_stall: vec![None; num_workers],
             topologies: HashMap::new(),
             last_dropped: 0,
+            slo: HashMap::new(),
         }
     }
 }
@@ -293,4 +395,43 @@ pub(crate) fn check(
             dropped_total,
         });
     }
+
+    // --- Signal 4: tenants burning their latency SLO error budget. -------
+    let latency = inner.tenant_latency();
+    for t in &latency {
+        let Some(slo) = t.slo else { continue };
+        let e2e = &t.phases[PHASE_E2E].1;
+        let total = e2e.count();
+        // `count_le` quantizes the target up to its bucket's bound (≤25%
+        // with the log-linear layout) — a breach is a run in any bucket
+        // strictly above the one holding the target.
+        let breached = total - e2e.count_le(slo.p99_us);
+        let win_us = slo.window.max(Duration::from_secs(1)).as_micros() as u64;
+        let track = pass.slo.entry(t.name.clone()).or_default();
+        track.history.push_back((now_us, total, breached));
+        while track.history.len() > 1 && now_us.saturating_sub(track.history[1].0) >= win_us {
+            track.history.pop_front();
+        }
+        let long = burn_over(&track.history, now_us, win_us);
+        let short = burn_over(&track.history, now_us, win_us / 12);
+        match (long, short) {
+            (Some(l), Some(s))
+                if l.rate >= SLO_BURN_FIRE && s.rate >= SLO_BURN_FIRE && !track.firing =>
+            {
+                track.firing = true;
+                wd.emit(&WatchdogDiagnostic::SloBurn {
+                    tenant: t.name.clone(),
+                    target_p99_us: slo.p99_us,
+                    window: slo.window,
+                    breached: l.breached,
+                    total: l.total,
+                    burn: l.rate,
+                });
+            }
+            (_, Some(s)) if s.rate < SLO_BURN_CLEAR => track.firing = false,
+            _ => {}
+        }
+    }
+    pass.slo
+        .retain(|name, _| latency.iter().any(|t| t.slo.is_some() && t.name == *name));
 }

@@ -94,7 +94,7 @@ pub mod check_internals {
 }
 
 pub use error::{AdmissionError, FailurePolicy, RunError, RunResult, TaskPanic};
-pub use executor::{Executor, ExecutorBuilder, Tenant, TenantQos};
+pub use executor::{Executor, ExecutorBuilder, SloSpec, Tenant, TenantQos};
 pub use future::{Promise, SharedFuture};
 pub use handle::RunHandle;
 pub use introspect::{IntrospectConfig, IntrospectHandle, WatchdogCounts, WatchdogDiagnostic};
@@ -106,7 +106,10 @@ pub use observer::{
 };
 pub use profile::{GraphSnapshot, ProfileReport, PROFILE_SCHEMA_VERSION};
 pub use shared_vec::SharedVec;
-pub use stats::{escape_label_value, ExecutorStats, Histogram, TenantStats, WorkerStats};
+pub use stats::{
+    escape_label_value, percentile, AtomicHistogram, ExecutorStats, Histogram, TenantStats,
+    WorkerStats,
+};
 pub use subflow::Subflow;
 pub use task::{Task, TaskSet};
 pub use taskflow::Taskflow;

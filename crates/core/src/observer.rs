@@ -36,7 +36,11 @@ pub const DISPATCH_LANE: usize = usize::MAX;
 /// * **v4** — dispatch/finalize events carry the tenant id of the
 ///   multi-tenant front door ([`IterationInfo::tenant`]; `0` =
 ///   untenanted), giving traces per-tenant lanes.
-pub const SCHED_EVENT_SCHEMA_VERSION: u32 = 4;
+/// * **v5** — dispatch/finalize events carry the submit timestamp of the
+///   tenant stint driving the topology ([`IterationInfo::submit_us`];
+///   `0` = untenanted or latency pipeline disabled), anchoring each
+///   stint's lifecycle decomposition in the trace's time domain.
+pub const SCHED_EVENT_SCHEMA_VERSION: u32 = 5;
 
 /// Identity of one task execution, attached to task begin/end events.
 ///
@@ -70,6 +74,12 @@ pub struct IterationInfo {
     /// Id of the tenant whose dispatch drives this stint of the topology
     /// (`0` = untenanted / direct submission). Schema v4.
     pub tenant: u64,
+    /// Microseconds since [`crate::clock::origin`] when the driving
+    /// tenant stint was submitted; `0` when the stint is untenanted or
+    /// the latency pipeline is disabled
+    /// ([`ExecutorBuilder::latency_histograms`](crate::ExecutorBuilder::latency_histograms)).
+    /// Schema v5.
+    pub submit_us: u64,
 }
 
 /// What happened, for one [`SchedEvent`].
@@ -849,6 +859,7 @@ mod tests {
             topology: 1,
             iteration: 0,
             tenant: 0,
+            submit_us: 0,
         };
         t.on_topology_start(info, 3);
         t.on_topology_stop(info);
@@ -936,6 +947,7 @@ mod tests {
                 topology: 42,
                 iteration,
                 tenant: 0,
+                submit_us: 0,
             };
             r.on_topology_start(info, 3);
             r.on_topology_stop(info);

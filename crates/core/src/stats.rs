@@ -14,6 +14,17 @@
 //! ([`crate::profile`]) for task-duration and steal-latency
 //! distributions, and [`escape_label_value`] implements the format's
 //! label value escaping.
+//!
+//! For the online latency pipeline, [`AtomicHistogram`] is the lock-free
+//! recording side: log-linear (HDR-style) buckets updated with two
+//! relaxed `fetch_add`s per observation, snapshotted into a [`Histogram`]
+//! only at scrape time. [`Histogram::percentile`] interpolates quantiles
+//! out of bucketed counts, and the free [`percentile`] function is the
+//! exact-sample sibling shared with `tf-bench`'s client-side latency
+//! reports.
+
+use crate::sync::AtomicU64;
+use std::sync::atomic::Ordering;
 
 /// Snapshot of one worker's diagnostic counters.
 ///
@@ -452,6 +463,87 @@ impl Histogram {
         &self.counts
     }
 
+    /// Rebuilds a histogram from its exposition parts: inclusive upper
+    /// `bounds` (strictly increasing) and per-bucket **non-cumulative**
+    /// `counts` with one extra slot for `+Inf`. This is the inverse of
+    /// what [`render_into`](Histogram::render_into) emits (after
+    /// de-cumulating the `_bucket` samples) — `tf-bench serving` uses it
+    /// to reconstruct server-side distributions from a `/metrics` scrape.
+    ///
+    /// Returns `None` when `counts.len() != bounds.len() + 1` or the
+    /// bounds are not strictly increasing.
+    pub fn from_parts(bounds: Vec<u64>, counts: Vec<u64>, sum: u64) -> Option<Histogram> {
+        if counts.len() != bounds.len() + 1 || bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        Some(Histogram {
+            bounds,
+            counts,
+            sum,
+        })
+    }
+
+    /// Interpolated quantile `q` (in `[0, 1]`) from the bucketed counts.
+    ///
+    /// Finds the bucket holding the `q`-th observation and interpolates
+    /// linearly inside its `(previous bound, bound]` range, so the error
+    /// is at most one bucket width. Observations in the `+Inf` overflow
+    /// bucket are clamped to the last finite bound. Returns 0.0 for an
+    /// empty histogram.
+    ///
+    /// ```
+    /// let mut h = rustflow::Histogram::with_bounds(vec![10, 20, 40]);
+    /// for v in [4, 8, 12, 16, 35] {
+    ///     h.observe(v);
+    /// }
+    /// let p50 = h.percentile(0.5);
+    /// assert!(p50 > 10.0 && p50 <= 20.0, "p50 = {p50}");
+    /// ```
+    pub fn percentile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += count;
+            if (cumulative as f64) < target {
+                continue;
+            }
+            if i >= self.bounds.len() {
+                // +Inf bucket: clamp to the last finite bound.
+                return self.bounds.last().copied().unwrap_or(0) as f64;
+            }
+            let upper = self.bounds[i] as f64;
+            let lower = if i == 0 {
+                0.0
+            } else {
+                self.bounds[i - 1] as f64
+            };
+            let frac = (target - before as f64) / count as f64;
+            return lower + (upper - lower) * frac;
+        }
+        self.bounds.last().copied().unwrap_or(0) as f64
+    }
+
+    /// Observations recorded at or below `value`, quantized up to the
+    /// inclusive bound of the bucket containing `value` (i.e. counts the
+    /// whole bucket `value` falls in). Used by the SLO burn-rate check,
+    /// where the ≤25% bucket-width quantization of the log-linear layout
+    /// is an acceptable threshold error.
+    pub fn count_le(&self, value: u64) -> u64 {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.bounds.len());
+        self.counts[..=idx].iter().sum()
+    }
+
     /// Renders the histogram family (`# HELP`/`# TYPE` headers, cumulative
     /// `_bucket` samples, `_sum`, `_count`) into `out`.
     pub fn render_into(&self, out: &mut String, name: &str, help: &str) {
@@ -462,15 +554,33 @@ impl Histogram {
         out.push_str("\n# TYPE ");
         out.push_str(name);
         out.push_str(" histogram\n");
+        self.render_labelled_into(out, name, "");
+    }
+
+    /// Renders only the samples (`_bucket`/`_sum`/`_count`) with `labels`
+    /// (e.g. `tenant="a",phase="e2e"`, already escaped) prefixed to the
+    /// `le` label, so one `# HELP`/`# TYPE` header can cover many
+    /// labelled series of the same family. Pass `""` for no extra labels.
+    pub fn render_labelled_into(&self, out: &mut String, name: &str, labels: &str) {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let braces = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
         let mut cumulative = 0u64;
         for (i, &b) in self.bounds.iter().enumerate() {
             cumulative += self.counts[i];
-            out.push_str(&format!("{name}_bucket{{le=\"{b}\"}} {cumulative}\n"));
+            out.push_str(&format!(
+                "{name}_bucket{{{labels}{sep}le=\"{b}\"}} {cumulative}\n"
+            ));
         }
         cumulative += self.counts[self.bounds.len()];
-        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
-        out.push_str(&format!("{name}_sum {}\n", self.sum));
-        out.push_str(&format!("{name}_count {cumulative}\n"));
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!("{name}_sum{braces} {}\n", self.sum));
+        out.push_str(&format!("{name}_count{braces} {cumulative}\n"));
     }
 
     /// The histogram family as a standalone exposition string.
@@ -478,6 +588,152 @@ impl Histogram {
         let mut out = String::new();
         self.render_into(&mut out, name, help);
         out
+    }
+}
+
+/// Interpolated quantile `q` (in `[0, 1]`) over `sorted` exact samples
+/// (ascending). Uses the standard linear rank interpolation
+/// (`rank = q·(n−1)`), matching what `/status` reports from bucketed
+/// data — this is the shared implementation `tf-bench serving` uses for
+/// its client-side latency samples. Returns 0.0 for an empty slice.
+///
+/// ```
+/// let samples = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(rustflow::percentile(&samples, 0.0), 1.0);
+/// assert_eq!(rustflow::percentile(&samples, 0.5), 2.5);
+/// assert_eq!(rustflow::percentile(&samples, 1.0), 4.0);
+/// ```
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
+}
+
+/// Linear subdivisions per octave in the log-linear bucket layout, as a
+/// power of two: 2² = 4 sub-buckets per doubling.
+const LOG_LINEAR_SUB_BITS: u32 = 2;
+/// Linear sub-buckets per octave.
+const LOG_LINEAR_SUB: u64 = 1 << LOG_LINEAR_SUB_BITS;
+/// Largest octave shift with finite buckets. The top finite bound is
+/// `(2·SUB << MAX_SHIFT) − 1` = 134 217 727 µs ≈ 134 s; anything above
+/// lands in the `+Inf` overflow bucket.
+const LOG_LINEAR_MAX_SHIFT: u64 = 24;
+/// Finite bucket count: `2·SUB` unit-width buckets for values below
+/// `2·SUB`, then `SUB` buckets per octave for shifts `1..=MAX_SHIFT`.
+const LOG_LINEAR_FINITE: usize =
+    (2 * LOG_LINEAR_SUB + LOG_LINEAR_MAX_SHIFT * LOG_LINEAR_SUB) as usize;
+
+/// A lock-free log-linear (HDR-style) histogram: the recording side of
+/// the executor's online latency pipeline.
+///
+/// [`record`](AtomicHistogram::record) is two relaxed `fetch_add`s — no
+/// locks, no allocation — so tenant latency shards can sit on the hot
+/// run-finalization path. Buckets cover `0 µs ..= ~134 s` with at most
+/// 25% relative width (4 linear sub-buckets per power-of-two octave,
+/// 104 finite buckets + `+Inf` overflow, ~0.8 KiB per shard); values
+/// past the top finite bound count toward `+Inf`.
+///
+/// [`snapshot`](AtomicHistogram::snapshot) folds the shard into a plain
+/// [`Histogram`] for rendering and quantile interpolation. Snapshots are
+/// advisory: concurrent recording can tear `_sum` against the bucket
+/// counts, but each snapshot's buckets are internally consistent enough
+/// for monotone cumulative rendering.
+///
+/// ```
+/// let h = rustflow::AtomicHistogram::new();
+/// h.record(7);
+/// h.record(1_000);
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 2);
+/// assert_eq!(snap.sum(), 1_007);
+/// ```
+pub struct AtomicHistogram {
+    /// `LOG_LINEAR_FINITE` finite buckets plus the `+Inf` overflow slot.
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// A zeroed histogram with the crate-wide log-linear layout.
+    pub fn new() -> AtomicHistogram {
+        AtomicHistogram {
+            buckets: (0..=LOG_LINEAR_FINITE).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared log-linear bucket bounds (inclusive upper bounds, the
+    /// `+Inf` overflow bucket implicit), exposed so scrape consumers can
+    /// reconstruct distributions with [`Histogram::from_parts`].
+    pub fn bounds_us() -> Vec<u64> {
+        let mut bounds = Vec::with_capacity(LOG_LINEAR_FINITE);
+        // Unit-width buckets: le="0" .. le="7".
+        for v in 0..2 * LOG_LINEAR_SUB {
+            bounds.push(v);
+        }
+        // SUB buckets per octave, each `2^shift` wide.
+        for shift in 1..=LOG_LINEAR_MAX_SHIFT {
+            for sub in 0..LOG_LINEAR_SUB {
+                bounds.push(((LOG_LINEAR_SUB + sub + 1) << shift) - 1);
+            }
+        }
+        debug_assert_eq!(bounds.len(), LOG_LINEAR_FINITE);
+        bounds
+    }
+
+    /// Bucket index for `value`: direct for small values, otherwise the
+    /// top `1 + SUB_BITS` significant bits select (octave, sub-bucket).
+    fn bucket_index(value: u64) -> usize {
+        if value < 2 * LOG_LINEAR_SUB {
+            return value as usize;
+        }
+        let msb = 63 - u64::leading_zeros(value) as u64;
+        let shift = msb - LOG_LINEAR_SUB_BITS as u64;
+        if shift > LOG_LINEAR_MAX_SHIFT {
+            return LOG_LINEAR_FINITE; // +Inf overflow bucket
+        }
+        let sub = (value >> shift) - LOG_LINEAR_SUB;
+        ((shift + 1) * LOG_LINEAR_SUB + sub) as usize
+    }
+
+    /// Records one observation: two relaxed `fetch_add`s.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Folds the shard into a plain [`Histogram`] (relaxed loads; see the
+    /// type docs for the tearing caveat).
+    pub fn snapshot(&self) -> Histogram {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let sum = self.sum.load(Ordering::Relaxed);
+        Histogram::from_parts(Self::bounds_us(), counts, sum)
+            .expect("layout invariant: FINITE+1 counts over strictly increasing bounds")
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> AtomicHistogram {
+        AtomicHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for AtomicHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("AtomicHistogram")
+            .field("count", &snap.count())
+            .field("sum", &snap.sum())
+            .finish()
     }
 }
 
@@ -617,5 +873,121 @@ mod tests {
         assert_eq!(escape_label_value("a\"b"), "a\\\"b");
         assert_eq!(escape_label_value("a\\b"), "a\\\\b");
         assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn sample_percentile_interpolates() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 0.25), 20.0);
+        assert_eq!(percentile(&v, 0.5), 30.0);
+        assert_eq!(percentile(&v, 0.9), 46.0);
+        assert_eq!(percentile(&v, 1.0), 50.0);
+        // Out-of-range q clamps.
+        assert_eq!(percentile(&v, 1.5), 50.0);
+    }
+
+    #[test]
+    fn histogram_percentile_brackets_the_true_quantile() {
+        let mut h = Histogram::with_bounds(AtomicHistogram::bounds_us());
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let est = h.percentile(q);
+            // Log-linear layout: at most one bucket width (≤25%) off.
+            assert!(
+                (est - exact).abs() <= exact * 0.25 + 1.0,
+                "p{q}: est {est} vs exact {exact}"
+            );
+        }
+        // Empty histogram reports 0.
+        assert_eq!(Histogram::new_us().percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn histogram_count_le_quantizes_to_bucket_bound() {
+        let mut h = Histogram::with_bounds(vec![10, 100, 1000]);
+        for v in [1, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count_le(10), 2);
+        // 50 falls in the (10, 100] bucket: the whole bucket counts.
+        assert_eq!(h.count_le(50), 4);
+        assert_eq!(h.count_le(1000), 4);
+        // Above the top finite bound: everything, including +Inf.
+        assert_eq!(h.count_le(u64::MAX), 5);
+    }
+
+    #[test]
+    fn from_parts_validates_shape() {
+        assert!(Histogram::from_parts(vec![1, 2], vec![0, 0, 0], 0).is_some());
+        assert!(Histogram::from_parts(vec![1, 2], vec![0, 0], 0).is_none());
+        assert!(Histogram::from_parts(vec![2, 1], vec![0, 0, 0], 0).is_none());
+        let h = Histogram::from_parts(vec![10, 100], vec![1, 2, 3], 500).unwrap();
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 500);
+        assert_eq!(h.bucket_counts(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn atomic_histogram_layout_is_consistent() {
+        let bounds = AtomicHistogram::bounds_us();
+        // 8 unit buckets then 4 per octave, strictly increasing.
+        assert_eq!(bounds.len(), LOG_LINEAR_FINITE);
+        assert_eq!(&bounds[..10], &[0, 1, 2, 3, 4, 5, 6, 7, 9, 11]);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(
+            *bounds.last().unwrap(),
+            ((2 * LOG_LINEAR_SUB) << LOG_LINEAR_MAX_SHIFT) - 1
+        );
+        // bucket_index agrees with partition_point over the bounds for
+        // values around every bucket edge (inclusive-upper convention).
+        for &b in &bounds {
+            for v in [b.saturating_sub(1), b, b + 1] {
+                let expect = bounds.partition_point(|&x| x < v).min(bounds.len());
+                assert_eq!(
+                    AtomicHistogram::bucket_index(v),
+                    expect,
+                    "value {v} (edge {b})"
+                );
+            }
+        }
+        assert_eq!(AtomicHistogram::bucket_index(u64::MAX), LOG_LINEAR_FINITE);
+        // Bucket resolution: 1 µs absolute in the unit region, ≤ 25%
+        // relative everywhere above it.
+        for w in bounds.windows(2) {
+            let width = (w[1] - w[0]) as f64;
+            assert!(
+                width <= 1.0 || width / w[1] as f64 <= 0.25 + 1e-9,
+                "bucket {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_histogram_records_and_snapshots() {
+        let h = AtomicHistogram::new();
+        for v in [0, 1, 7, 8, 9, 100, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 8);
+        // u64::MAX lands in +Inf.
+        assert_eq!(*snap.bucket_counts().last().unwrap(), 1);
+        assert_eq!(snap.count_le(7), 3);
+        // Labelled rendering: cumulative buckets, +Inf closes the family.
+        let mut out = String::new();
+        snap.render_labelled_into(&mut out, "x_us", "tenant=\"t\",phase=\"e2e\"");
+        assert!(out.contains("x_us_bucket{tenant=\"t\",phase=\"e2e\",le=\"+Inf\"} 8"));
+        assert!(out.contains("x_us_count{tenant=\"t\",phase=\"e2e\"} 8"));
+        let mut last = 0u64;
+        for line in out.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative buckets must be monotone: {line}");
+            last = v;
+        }
     }
 }

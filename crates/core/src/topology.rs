@@ -75,6 +75,90 @@ pub(crate) enum Advance {
     Idle,
 }
 
+/// Lifecycle timestamps of the tenant stint currently driving a topology,
+/// in [`crate::clock::origin`]-domain microseconds (always nonzero once
+/// stamped; `0` means "not stamped"). Written by the claiming dispatch
+/// before the first iteration publishes (driver-exclusive at that point),
+/// read by the driver at finalization and by observer hooks, so relaxed
+/// atomics suffice — cross-thread visibility rides the injector's Release
+/// publish and the iteration's `alive` AcqRel chain.
+pub(crate) struct RunStamps {
+    /// When the submission entered the tenant queue.
+    pub(crate) submit_us: AtomicU64,
+    /// When the fair-queue pump popped it for dispatch.
+    pub(crate) admitted_us: AtomicU64,
+    /// When the claiming dispatch handed it to the executor.
+    pub(crate) dispatched_us: AtomicU64,
+    /// When the first task of the stint started executing. Sentinel
+    /// protocol: `u64::MAX` = disarmed (no recording), `0` = armed and
+    /// awaiting the first task (workers CAS it exactly once), anything
+    /// else = stamped.
+    pub(crate) first_start_us: AtomicU64,
+}
+
+impl RunStamps {
+    fn new() -> RunStamps {
+        RunStamps {
+            submit_us: AtomicU64::new(0),
+            admitted_us: AtomicU64::new(0),
+            dispatched_us: AtomicU64::new(0),
+            first_start_us: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Marks the upcoming stint as unstamped (untenanted claims, or the
+    /// latency pipeline disabled): recording and the first-task latch
+    /// both become no-ops.
+    pub(crate) fn clear(&self) {
+        self.submit_us.store(0, Ordering::Relaxed);
+        self.first_start_us.store(u64::MAX, Ordering::Relaxed);
+    }
+
+    /// Stamps the queue-side lifecycle and arms the first-task latch.
+    /// Must only be called by the dispatch that claimed the driver role,
+    /// before the first iteration publishes.
+    pub(crate) fn arm(&self, submit_us: u64, admitted_us: u64, dispatched_us: u64) {
+        self.submit_us.store(submit_us, Ordering::Relaxed);
+        self.admitted_us.store(admitted_us, Ordering::Relaxed);
+        self.dispatched_us.store(dispatched_us, Ordering::Relaxed);
+        self.first_start_us.store(0, Ordering::Relaxed);
+    }
+
+    /// First-task latch: one relaxed load per task in steady state (the
+    /// stint is armed only between a tenant dispatch and its first task),
+    /// a single CAS for the task that wins the race.
+    #[inline]
+    pub(crate) fn note_first_start(&self) {
+        if self.first_start_us.load(Ordering::Relaxed) == 0 {
+            let now = crate::clock::now_us().max(1);
+            let _ =
+                self.first_start_us
+                    .compare_exchange(0, now, Ordering::Relaxed, Ordering::Relaxed);
+        }
+    }
+
+    /// A plain copy of the four stamps (relaxed loads).
+    pub(crate) fn snapshot(&self) -> StampSnapshot {
+        StampSnapshot {
+            submit: self.submit_us.load(Ordering::Relaxed),
+            admitted: self.admitted_us.load(Ordering::Relaxed),
+            dispatched: self.dispatched_us.load(Ordering::Relaxed),
+            first_start: self.first_start_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`RunStamps`], taken by the finalizing driver
+/// *before* `advance` can transition the topology to idle (after which a
+/// concurrent resubmission may claim it and overwrite the stamps).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StampSnapshot {
+    pub(crate) submit: u64,
+    pub(crate) admitted: u64,
+    pub(crate) dispatched: u64,
+    pub(crate) first_start: u64,
+}
+
 pub(crate) struct Topology {
     /// Stable id of this topology, shared by every iteration.
     uid: u64,
@@ -120,6 +204,10 @@ pub(crate) struct Topology {
     /// (`0` = untenanted). Written by the dispatch that claims the driver
     /// role; read by observer hooks for tenant-labelled traces.
     tenant: AtomicU64,
+    /// Lifecycle timestamps of the current tenant stint, feeding the
+    /// per-tenant latency histograms and the schema-v5 `submit_us` field
+    /// of [`crate::observer::IterationInfo`].
+    pub(crate) stamps: RunStamps,
 }
 
 // SAFETY: interior fields follow the sync_cell phase discipline (the
@@ -169,6 +257,7 @@ impl Topology {
             policy,
             fatal,
             tenant: AtomicU64::new(0),
+            stamps: RunStamps::new(),
         })
     }
 
@@ -267,6 +356,7 @@ impl Topology {
             topology: self.uid,
             iteration: self.iterations(),
             tenant: self.tenant.load(Ordering::Relaxed),
+            submit_us: self.stamps.submit_us.load(Ordering::Relaxed),
         }
     }
 

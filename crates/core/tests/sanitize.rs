@@ -186,6 +186,7 @@ fn tenant_submission_is_clean() {
             TenantQos {
                 weight: 4,
                 max_queued: 4,
+                ..TenantQos::default()
             },
         );
         let lo = ex.tenant("lo");

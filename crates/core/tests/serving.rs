@@ -85,6 +85,7 @@ fn concurrent_clients_conserve_submissions() {
         TenantQos {
             weight: 4,
             max_queued: 64,
+            ..TenantQos::default()
         },
     );
     let lo = ex.tenant("lo");
@@ -192,6 +193,7 @@ fn weighted_fairness_orders_dispatch() {
         TenantQos {
             weight: 4,
             max_queued: K_HI,
+            ..TenantQos::default()
         },
     );
     let lo = ex.tenant_with(
@@ -199,6 +201,7 @@ fn weighted_fairness_orders_dispatch() {
         TenantQos {
             weight: 1,
             max_queued: K_LO,
+            ..TenantQos::default()
         },
     );
     let blocker = ex.tenant("blocker");
@@ -261,6 +264,7 @@ fn saturation_rejects_nonblocking_submissions() {
         TenantQos {
             weight: 1,
             max_queued: 2,
+            ..TenantQos::default()
         },
     );
     let gate = Arc::new(AtomicBool::new(false));
@@ -306,6 +310,7 @@ fn close_rejects_queued_and_late_submissions() {
         TenantQos {
             weight: 1,
             max_queued: 16,
+            ..TenantQos::default()
         },
     );
     let gate = Arc::new(AtomicBool::new(false));
@@ -369,6 +374,7 @@ fn cancel_and_chaos_interleavings_conserve() {
         TenantQos {
             weight: 2,
             max_queued: 64,
+            ..TenantQos::default()
         },
     );
     let resolved = Arc::new(AtomicUsize::new(0));
@@ -474,6 +480,7 @@ fn tenant_handles_are_stable() {
         TenantQos {
             weight: 3,
             max_queued: 7,
+            ..TenantQos::default()
         },
     );
     let b = ex.tenant("svc");

@@ -4,8 +4,8 @@
 //! validity.
 
 use rustflow::{
-    Executor, ExecutorBuilder, ExecutorObserver, ExecutorStats, SchedEventKind, TaskLabel,
-    Taskflow, Tracer,
+    Executor, ExecutorBuilder, ExecutorObserver, ExecutorStats, IntrospectConfig, SchedEventKind,
+    SloSpec, TaskLabel, Taskflow, Tenant, TenantQos, Tracer,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -350,7 +350,7 @@ fn prometheus_text_from_live_executor_parses() {
 
 #[test]
 fn retry_events_round_trip_with_one_span_per_task() {
-    assert_eq!(rustflow::SCHED_EVENT_SCHEMA_VERSION, 4);
+    assert_eq!(rustflow::SCHED_EVENT_SCHEMA_VERSION, 5);
     let ex = Executor::new(2);
     let tracer = Arc::new(Tracer::new(2));
     ex.observe(Arc::clone(&tracer) as Arc<dyn ExecutorObserver>);
@@ -680,4 +680,220 @@ fn chrome_trace_round_trips_through_json_parser() {
         saw_nasty,
         "the escaped hostile name must decode back to the original"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Latency histogram exposition (schema v5): cumulative buckets, +Inf == count,
+// label escaping round-trip, and /status percentile JSON
+// ---------------------------------------------------------------------------
+
+/// Splits a Prometheus sample line into `(name, labels, value)`, decoding
+/// the label-value escapes (`\\`, `\"`, `\n`) the exporter applies.
+fn parse_sample(line: &str) -> (String, Vec<(String, String)>, f64) {
+    let (head, value) = line.rsplit_once(' ').expect("sample line without value");
+    let value: f64 = value.parse().expect("unparseable sample value");
+    let Some((name, rest)) = head.split_once('{') else {
+        return (head.to_string(), Vec::new(), value);
+    };
+    let body: Vec<char> = rest
+        .strip_suffix('}')
+        .expect("unterminated label set")
+        .chars()
+        .collect();
+    let mut labels = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let mut key = String::new();
+        while body[i] != '=' {
+            key.push(body[i]);
+            i += 1;
+        }
+        i += 2; // skip `="`
+        let mut val = String::new();
+        loop {
+            match body[i] {
+                '\\' => {
+                    i += 1;
+                    match body[i] {
+                        'n' => val.push('\n'),
+                        c => val.push(c),
+                    }
+                }
+                '"' => break,
+                c => val.push(c),
+            }
+            i += 1;
+        }
+        i += 1; // closing quote
+        if i < body.len() && body[i] == ',' {
+            i += 1;
+        }
+        labels.push((key, val));
+    }
+    (name.to_string(), labels, value)
+}
+
+/// Runs `runs` trivial one-task flows through `tenant` and waits until the
+/// executor has *recorded* them (latency shards fold in just before the
+/// completion counter bumps, after the promise resolves).
+fn run_recorded(ex: &Arc<Executor>, tenant: &Tenant, runs: usize) {
+    let before = tenant.stats().completed;
+    for i in 0..runs {
+        let tf = Taskflow::with_executor(Arc::clone(ex));
+        tf.emplace(|| {}).name(format!("lat-{i}"));
+        tf.run_on(tenant).expect("admitted").get().unwrap();
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while tenant.stats().completed < before + runs as u64 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "latency records never folded in: {:?}",
+            tenant.stats()
+        );
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn tenant_latency_exposition_is_cumulative_and_escaped() {
+    const RUNS: usize = 8;
+    const PHASES: [&str; 5] = ["admission", "queue", "dispatch", "exec", "e2e"];
+    let nasty = "q\"uote\\slash\nline";
+    let ex = Executor::new(2);
+    let handle = ex
+        .start_introspection(IntrospectConfig::default())
+        .expect("introspection starts");
+    let tenant = ex.tenant(nasty);
+    run_recorded(&ex, &tenant, RUNS);
+
+    let metrics = handle.metrics_text();
+    // Group the family's bucket samples by (tenant, phase), in exposition
+    // order, which is `le` order within one series.
+    type SeriesId = (String, String);
+    let mut series: Vec<(SeriesId, Vec<(String, f64)>)> = Vec::new();
+    let mut counts: Vec<((String, String), f64)> = Vec::new();
+    for line in metrics.lines().filter(|l| !l.starts_with('#')) {
+        if !line.starts_with("rustflow_tenant_latency_us") {
+            continue;
+        }
+        let (name, labels, value) = parse_sample(line);
+        let get = |k: &str| {
+            labels
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing label {k} in {line}"))
+        };
+        let id = (get("tenant"), get("phase"));
+        match name.as_str() {
+            "rustflow_tenant_latency_us_bucket" => {
+                match series.iter_mut().find(|(sid, _)| *sid == id) {
+                    Some((_, buckets)) => buckets.push((get("le"), value)),
+                    None => series.push((id, vec![(get("le"), value)])),
+                }
+            }
+            "rustflow_tenant_latency_us_count" => counts.push((id, value)),
+            "rustflow_tenant_latency_us_sum" => {}
+            other => panic!("unexpected sample {other} in family"),
+        }
+    }
+    assert_eq!(series.len(), PHASES.len(), "one series per phase");
+    for ((tenant_label, phase), buckets) in &series {
+        // Escaping round-trips: the decoded label is the original name.
+        assert_eq!(tenant_label, nasty, "tenant label escape round-trip");
+        assert!(PHASES.contains(&phase.as_str()), "unknown phase {phase}");
+        // Buckets are cumulative: non-decreasing in `le` order, ending in
+        // a `+Inf` bucket that equals the series' `_count`.
+        for w in buckets.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1,
+                "non-monotonic buckets for {phase}: {buckets:?}"
+            );
+        }
+        let (last_le, last) = buckets.last().expect("series has buckets");
+        assert_eq!(last_le, "+Inf", "last bucket is +Inf");
+        let (_, count) = counts
+            .iter()
+            .find(|(cid, _)| cid == &(tenant_label.clone(), phase.clone()))
+            .expect("every series has a _count");
+        assert_eq!(last, count, "+Inf bucket equals _count for {phase}");
+        assert_eq!(*count, RUNS as f64, "every run recorded in {phase}");
+    }
+    drop(handle);
+}
+
+#[test]
+fn status_reports_interpolated_percentiles_and_slo() {
+    const RUNS: usize = 16;
+    let ex = Executor::new(2);
+    let handle = ex
+        .start_introspection(IntrospectConfig::default())
+        .expect("introspection starts");
+    let tenant = ex.tenant_with(
+        "svc",
+        TenantQos {
+            slo: Some(SloSpec {
+                p99_us: 250_000,
+                window: std::time::Duration::from_secs(60),
+            }),
+            ..TenantQos::default()
+        },
+    );
+    run_recorded(&ex, &tenant, RUNS);
+
+    let status = handle.status_json();
+    assert!(
+        status.contains("\"slo\":{\"p99_us\":250000,\"window_ms\":60000}"),
+        "SLO spec surfaced in /status: {status}"
+    );
+    let latency = status
+        .split_once("\"latency_us\":{")
+        .expect("tenant has a latency_us object")
+        .1;
+    for phase in ["admission", "queue", "dispatch", "exec", "e2e"] {
+        let obj = latency
+            .split_once(&format!("\"{phase}\":{{"))
+            .unwrap_or_else(|| panic!("phase {phase} missing: {status}"))
+            .1;
+        let field = |key: &str| -> f64 {
+            obj.split_once(&format!("\"{key}\":"))
+                .unwrap_or_else(|| panic!("{phase} missing {key}"))
+                .1
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect::<String>()
+                .parse()
+                .unwrap_or_else(|_| panic!("{phase} {key} not a number"))
+        };
+        assert_eq!(field("count"), RUNS as f64, "{phase} count");
+        let (p50, p90, p99, p999) = (field("p50"), field("p90"), field("p99"), field("p999"));
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= p999,
+            "{phase} percentiles out of order: {p50} {p90} {p99} {p999}"
+        );
+    }
+    drop(handle);
+}
+
+#[test]
+fn latency_pipeline_can_be_disabled() {
+    let ex = ExecutorBuilder::new()
+        .workers(2)
+        .latency_histograms(false)
+        .build();
+    let handle = ex
+        .start_introspection(IntrospectConfig::default())
+        .expect("introspection starts");
+    let tenant = ex.tenant("quiet");
+    run_recorded(&ex, &tenant, 4);
+    let metrics = handle.metrics_text();
+    // The family renders (the front door is in use) but records nothing:
+    // every series stays at zero.
+    for line in metrics.lines().filter(|l| !l.starts_with('#')) {
+        if line.starts_with("rustflow_tenant_latency_us") {
+            let (_, _, value) = parse_sample(line);
+            assert_eq!(value, 0.0, "disabled pipeline recorded a sample: {line}");
+        }
+    }
+    drop(handle);
 }
