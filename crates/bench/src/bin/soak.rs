@@ -1,0 +1,799 @@
+//! Sustained-overload soak and CI resilience gate.
+//!
+//! Drives the executor at ~2x its measured capacity through the tenant
+//! front door for tens of seconds, with one *poisoned* tenant whose
+//! tasks panic on every dispatch (seeded chaos scoped via
+//! `ChaosSpec::for_tenant`). Every overload configuration is measured
+//! twice — once with the resilience layer engaged (per-run deadlines,
+//! queue-side shedding, a circuit breaker and a retry budget on the
+//! poisoned tenant) and once as the *ablation* (plain bounded queues,
+//! the seed's only backpressure) — interleaved so container load drift
+//! hits both sides equally, keeping the best run per side.
+//!
+//! The gate (`--check`) verifies, under sustained overload:
+//!
+//! * the extended admission ledger balances at quiescence for every
+//!   tenant: `submitted == dispatched + coalesced + shed + rejected_*`;
+//! * goodput (deadline-met completions/s) with shedding engaged is at
+//!   least 80% of the no-shedding ablation's, and within the committed
+//!   baseline's one-sided tolerance band;
+//! * admitted-work p99 stays bounded (deadline + grace by construction,
+//!   banded against the baseline);
+//! * the circuit breaker isolates the poisoned tenant within a bounded
+//!   number of dispatched failures, fast-rejects while open, and the
+//!   retry budget demonstrably degrades retries to failures;
+//! * the new observability surfaces round-trip: `/metrics` parses under
+//!   the strict `tf_bench::prom` parser with the shed/budget/breaker
+//!   families agreeing with the in-process stats, and `/status` is
+//!   well-formed JSON carrying the breaker and shed sections.
+//!
+//! Modes mirror the serving bench: default writes
+//! `<out>/soak_report.json`; `--write-baseline` additionally writes
+//! `<out>/soak_baseline.json`; `--check` gates and exits non-zero on
+//! violation.
+
+use rustflow::chaos::ChaosSpec;
+use rustflow::{
+    AdmissionError, BreakerSpec, Executor, ExecutorBuilder, RetryBudget, RunError, Taskflow,
+    TenantQos, TenantStats,
+};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tf_bench::{json, prom};
+
+/// Service time of one healthy request (a sleep, not a spin: workers
+/// must oversubscribe cores the same way on every runner).
+const TASK_US: u64 = 300;
+/// Per-run deadline on the resilient side; admitted work that dispatches
+/// at all dispatched before this much queueing.
+const DEADLINE_MS: u64 = 25;
+/// Slack on the client-side deadline-met judgement: execution time plus
+/// the bounded reap lag of the measurement window.
+const GRACE_MS: u64 = 10;
+/// Client pipeline depth; bounds both memory and the reap lag that the
+/// grace above absorbs.
+const WINDOW: usize = 16;
+/// Healthy open-loop clients, one tenant each.
+const HEALTHY: usize = 8;
+/// Consecutive failures that open the poisoned tenant's breaker.
+const BREAKER_FAILURES: u32 = 5;
+/// Open window of the poisoned tenant's breaker.
+const BREAKER_OPEN_MS: u64 = 500;
+
+struct Flags {
+    out: std::path::PathBuf,
+    workers: usize,
+    duration_ms: u64,
+    repeats: usize,
+    seed: u64,
+    check: bool,
+    write_baseline: bool,
+    baseline: Option<std::path::PathBuf>,
+}
+
+fn parse_flags() -> Flags {
+    let mut f = Flags {
+        out: std::path::PathBuf::from("results"),
+        workers: 4,
+        duration_ms: 7000,
+        repeats: 2,
+        seed: 1802,
+        check: false,
+        write_baseline: false,
+        baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => f.out = args.next().expect("--out needs a directory").into(),
+            "--workers" => {
+                f.workers = args
+                    .next()
+                    .expect("--workers needs a count")
+                    .parse()
+                    .expect("bad worker count");
+            }
+            "--duration-ms" => {
+                f.duration_ms = args
+                    .next()
+                    .expect("--duration-ms needs a value")
+                    .parse()
+                    .expect("bad duration");
+            }
+            "--repeats" => {
+                f.repeats = args
+                    .next()
+                    .expect("--repeats needs a count")
+                    .parse()
+                    .expect("bad repeat count");
+            }
+            "--seed" => {
+                f.seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("bad seed");
+            }
+            "--check" => f.check = true,
+            "--write-baseline" => f.write_baseline = true,
+            "--baseline" => f.baseline = Some(args.next().expect("--baseline needs a path").into()),
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --out <dir> | --workers n | --duration-ms n | --repeats n | --seed n | --check | --write-baseline | --baseline <path>"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    f
+}
+
+fn build_executor(workers: usize) -> Arc<Executor> {
+    // A bounded dispatch budget is what makes overload land in the
+    // tenant queues (where shedding lives) rather than in the injector.
+    ExecutorBuilder::new()
+        .workers(workers)
+        .max_inflight(workers * 2)
+        .build()
+}
+
+/// Outcome tallies for one client, stamped client-side.
+#[derive(Default)]
+struct Tally {
+    submitted: u64,
+    ok: u64,
+    good: u64,
+    shed: u64,
+    cancelled: u64,
+    panicked: u64,
+    saturated: u64,
+    infeasible: u64,
+    breaker_rejected: u64,
+    shutdown: u64,
+    lat_ok_us: Vec<f64>,
+}
+
+impl Tally {
+    fn fold(&mut self, other: Tally) {
+        self.submitted += other.submitted;
+        self.ok += other.ok;
+        self.good += other.good;
+        self.shed += other.shed;
+        self.cancelled += other.cancelled;
+        self.panicked += other.panicked;
+        self.saturated += other.saturated;
+        self.infeasible += other.infeasible;
+        self.breaker_rejected += other.breaker_rejected;
+        self.shutdown += other.shutdown;
+        self.lat_ok_us.extend(other.lat_ok_us);
+    }
+}
+
+/// Resolves one in-flight run into the tally. Clients reap in submission
+/// order, which is per-tenant resolve order, so the stamp at `get`'s
+/// return tracks the true resolve time to within the reap lag.
+fn resolve(t0: Instant, h: &rustflow::RunHandle, tally: &mut Tally) {
+    match h.get() {
+        Ok(()) => {
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            tally.ok += 1;
+            if us <= ((DEADLINE_MS + GRACE_MS) * 1000) as f64 {
+                tally.good += 1;
+            }
+            tally.lat_ok_us.push(us);
+        }
+        Err(RunError::Shed { .. }) => tally.shed += 1,
+        Err(RunError::Cancelled) => tally.cancelled += 1,
+        Err(RunError::Panic(_)) => tally.panicked += 1,
+        Err(RunError::Rejected(_)) => tally.shutdown += 1,
+        Err(e) => panic!("unexpected run outcome under soak: {e}"),
+    }
+}
+
+fn count_admission_error(e: AdmissionError, tally: &mut Tally) {
+    match e {
+        AdmissionError::Saturated { .. } => tally.saturated += 1,
+        AdmissionError::DeadlineInfeasible { .. } => tally.infeasible += 1,
+        AdmissionError::BreakerOpen { .. } => tally.breaker_rejected += 1,
+        AdmissionError::ShuttingDown => tally.shutdown += 1,
+    }
+}
+
+/// One paced open-loop client: submits on an absolute schedule (falling
+/// behind compresses, it never thins the offered load), keeps at most
+/// [`WINDOW`] runs in flight, drains the rest at the end.
+fn paced_client(
+    ex: Arc<Executor>,
+    submit: impl Fn(&Taskflow) -> Result<rustflow::RunHandle, AdmissionError>,
+    make_flow: impl Fn(Arc<Executor>) -> Taskflow,
+    interval: Duration,
+    end: Instant,
+) -> Tally {
+    let mut tally = Tally::default();
+    let mut inflight: VecDeque<(Instant, Taskflow, rustflow::RunHandle)> =
+        VecDeque::with_capacity(WINDOW + 1);
+    let mut next = Instant::now();
+    while Instant::now() < end {
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep(next - now);
+        }
+        next += interval;
+        let tf = make_flow(ex.clone());
+        tally.submitted += 1;
+        let t0 = Instant::now();
+        match submit(&tf) {
+            Ok(h) => inflight.push_back((t0, tf, h)),
+            Err(e) => count_admission_error(e, &mut tally),
+        }
+        while inflight.len() > WINDOW {
+            let (t0, _tf, h) = inflight.pop_front().expect("window overfull");
+            resolve(t0, &h, &mut tally);
+        }
+    }
+    for (t0, _tf, h) in inflight {
+        resolve(t0, &h, &mut tally);
+    }
+    tally
+}
+
+/// Closed-loop throughput probe: how many requests/s the executor
+/// completes when clients only wait, never pace. The overload phases
+/// offer twice this.
+fn calibrate(workers: usize) -> f64 {
+    let ex = build_executor(workers);
+    let window = Duration::from_millis(1000);
+    let start = Instant::now();
+    let end = start + window;
+    let handles: Vec<_> = (0..HEALTHY)
+        .map(|c| {
+            let ex = Arc::clone(&ex);
+            let tenant = ex.tenant(&format!("cal-{c}"));
+            std::thread::spawn(move || {
+                let mut done = 0u64;
+                let mut inflight: VecDeque<(Taskflow, rustflow::RunHandle)> =
+                    VecDeque::with_capacity(WINDOW + 1);
+                while Instant::now() < end {
+                    let tf = Taskflow::with_executor(ex.clone());
+                    tf.emplace(|| std::thread::sleep(Duration::from_micros(TASK_US)));
+                    let h = tf.run_on(&tenant).expect("calibration submit");
+                    inflight.push_back((tf, h));
+                    if inflight.len() == WINDOW {
+                        let (_tf, h) = inflight.pop_front().expect("window full");
+                        h.get().expect("calibration run");
+                        done += 1;
+                    }
+                }
+                for (_tf, h) in inflight {
+                    h.get().expect("calibration run");
+                    done += 1;
+                }
+                done
+            })
+        })
+        .collect();
+    let total: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("calibration client"))
+        .sum();
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Everything one overload phase produced, after quiescence.
+struct SideRun {
+    healthy: Tally,
+    poison: Tally,
+    tenants: Vec<TenantStats>,
+    wall_s: f64,
+}
+
+/// Runs one overload phase (resilient or ablation) against `ex` and
+/// waits out quiescence. `capacity` is the calibrated closed-loop
+/// completion rate; the offered load is twice it.
+fn run_side(
+    ex: &Arc<Executor>,
+    resilient: bool,
+    capacity: f64,
+    duration: Duration,
+    seed: u64,
+) -> SideRun {
+    let interval = Duration::from_secs_f64((HEALTHY as f64 / (2.0 * capacity)).max(100e-6));
+    let start = Instant::now();
+    let end = start + duration;
+    let mut clients = Vec::new();
+    for c in 0..HEALTHY {
+        let ex = Arc::clone(ex);
+        let tenant = ex.tenant_with(
+            &format!("h{c}"),
+            TenantQos {
+                max_queued: 256,
+                ..TenantQos::default()
+            },
+        );
+        clients.push(std::thread::spawn(move || {
+            paced_client(
+                Arc::clone(&ex),
+                move |tf| {
+                    if resilient {
+                        tf.try_run_on_deadline(&tenant, Duration::from_millis(DEADLINE_MS))
+                    } else {
+                        tf.try_run_on(&tenant)
+                    }
+                },
+                |ex| {
+                    let tf = Taskflow::with_executor(ex);
+                    tf.emplace(|| std::thread::sleep(Duration::from_micros(TASK_US)));
+                    tf
+                },
+                interval,
+                end,
+            )
+        }));
+    }
+    // The poisoned tenant: every dispatched task panics (seeded chaos,
+    // scoped to this tenant alone), retried once per attempt budgeted.
+    let poison_thread = {
+        let ex = Arc::clone(ex);
+        let tenant = ex.tenant_with(
+            "poison",
+            TenantQos {
+                max_queued: 32,
+                breaker: resilient.then(|| BreakerSpec {
+                    failures: BREAKER_FAILURES,
+                    open_for: Duration::from_millis(BREAKER_OPEN_MS),
+                }),
+                retry_budget: resilient.then_some(RetryBudget {
+                    floor: 2,
+                    per_mille: 100,
+                }),
+                ..TenantQos::default()
+            },
+        );
+        let spec = ChaosSpec::new(seed)
+            .panic_permille(1000)
+            .for_tenant(&tenant);
+        let poison_interval = interval * 8;
+        std::thread::spawn(move || {
+            paced_client(
+                Arc::clone(&ex),
+                move |tf| tf.try_run_on(&tenant),
+                move |ex| {
+                    let tf = Taskflow::with_executor(ex);
+                    tf.emplace(spec.wrap(0, || {})).retry(2);
+                    tf
+                },
+                poison_interval,
+                end,
+            )
+        })
+    };
+    let mut healthy = Tally::default();
+    for c in clients {
+        healthy.fold(c.join().expect("healthy client panicked"));
+    }
+    let poison = poison_thread.join().expect("poison client panicked");
+    let wall_s = start.elapsed().as_secs_f64();
+    // Quiescence: the ledger is only required to balance once nothing is
+    // queued or in flight.
+    let settle_deadline = Instant::now() + Duration::from_secs(10);
+    let tenants = loop {
+        let tenants = ex.stats().tenants;
+        let busy = tenants.iter().any(|t| t.queued != 0 || t.in_flight != 0);
+        if !busy || Instant::now() > settle_deadline {
+            break tenants;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    SideRun {
+        healthy,
+        poison,
+        tenants,
+        wall_s,
+    }
+}
+
+/// The extended conservation law, per tenant, at quiescence.
+fn ledger_failures(side: &str, tenants: &[TenantStats]) -> Vec<String> {
+    tenants
+        .iter()
+        .filter_map(|s| {
+            let accounted = s.dispatched
+                + s.coalesced
+                + s.shed
+                + s.rejected_saturated
+                + s.rejected_shutdown
+                + s.rejected_infeasible
+                + s.rejected_breaker;
+            (s.submitted != accounted).then(|| {
+                format!(
+                    "{side}: tenant {} ledger unbalanced: submitted {} != accounted {} ({s:?})",
+                    s.name, s.submitted, accounted
+                )
+            })
+        })
+        .collect()
+}
+
+/// One kept measurement of a side.
+struct Measured {
+    name: String,
+    goodput_per_s: f64,
+    ok_per_s: f64,
+    p99_us: f64,
+    shed: u64,
+    saturated: u64,
+    infeasible: u64,
+    breaker_rejected: u64,
+    retry_budget_exhausted: u64,
+    poisoned_dispatched: u64,
+    poisoned_submitted: u64,
+}
+
+fn summarize(name: &str, run: &SideRun) -> Measured {
+    let mut lat = run.healthy.lat_ok_us.clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let poisoned = run.tenants.iter().find(|t| t.name == "poison");
+    Measured {
+        name: name.to_string(),
+        goodput_per_s: run.healthy.good as f64 / run.wall_s,
+        ok_per_s: run.healthy.ok as f64 / run.wall_s,
+        p99_us: rustflow::percentile(&lat, 0.99),
+        shed: run.tenants.iter().map(|t| t.shed).sum(),
+        saturated: run.healthy.saturated,
+        infeasible: run.healthy.infeasible,
+        breaker_rejected: run.poison.breaker_rejected,
+        retry_budget_exhausted: poisoned.map_or(0, |t| t.retry_budget_exhausted),
+        poisoned_dispatched: poisoned.map_or(0, |t| t.dispatched),
+        poisoned_submitted: poisoned.map_or(0, |t| t.submitted),
+    }
+}
+
+fn http_get(addr: SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect introspection endpoint");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("socket timeout");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: gate\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("malformed response");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "unexpected status for {target}: {}",
+        head.lines().next().unwrap_or("")
+    );
+    body.to_string()
+}
+
+/// Sum of a family's sample values, optionally for one tenant label.
+fn family_sum(exposition: &prom::Exposition, name: &str, tenant: Option<&str>) -> Option<f64> {
+    let family = exposition.family(name)?;
+    let mut sum = 0.0;
+    let mut seen = false;
+    for s in &family.samples {
+        if let Some(t) = tenant {
+            if s.label("tenant") != Some(t) {
+                continue;
+            }
+        }
+        sum += s.value;
+        seen = true;
+    }
+    seen.then_some(sum)
+}
+
+/// The observability round-trip: a short resilient overload run with the
+/// introspection server attached and a live scraper, then the shed /
+/// budget / breaker families must agree with the in-process stats and
+/// `/status` must carry the breaker and shed sections as valid JSON.
+fn observability(flags: &Flags, capacity: f64) -> Vec<String> {
+    let ex = build_executor(flags.workers);
+    let handle = ex
+        .serve_introspection("127.0.0.1:0")
+        .expect("bind introspection listener");
+    let addr = handle.local_addr().expect("ephemeral introspection addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // Scrape both endpoints *during* the storm: merges and
+            // renders must be safe while the counters move.
+            while !stop.load(Ordering::Acquire) {
+                let _ = http_get(addr, "/metrics");
+                let _ = http_get(addr, "/status");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+    let run = run_side(&ex, true, capacity, Duration::from_millis(1500), flags.seed);
+    stop.store(true, Ordering::Release);
+    scraper.join().expect("scraper thread panicked");
+
+    let mut failures = ledger_failures("observability", &run.tenants);
+    let text = http_get(addr, "/metrics");
+    let exposition = match prom::parse(&text) {
+        Ok(e) => e,
+        Err(e) => {
+            failures.push(format!("strict parser rejected /metrics: {e}"));
+            return failures;
+        }
+    };
+    let total_shed: u64 = run.tenants.iter().map(|t| t.shed).sum();
+    match family_sum(&exposition, "rustflow_runs_shed_total", None) {
+        Some(v) if v as u64 == total_shed => {}
+        Some(v) => failures.push(format!(
+            "rustflow_runs_shed_total reports {v}, stats say {total_shed}"
+        )),
+        None => failures.push("rustflow_runs_shed_total missing from /metrics".into()),
+    }
+    match family_sum(
+        &exposition,
+        "rustflow_retry_budget_exhausted_total",
+        Some("poison"),
+    ) {
+        Some(v) if v >= 1.0 => {}
+        other => failures.push(format!(
+            "poisoned tenant's retry budget never ran dry in /metrics: {other:?}"
+        )),
+    }
+    let poisoned = run.tenants.iter().find(|t| t.name == "poison");
+    match family_sum(&exposition, "rustflow_breaker_state", Some("poison")) {
+        Some(v) if poisoned.is_some_and(|t| t.breaker_state == v as u64) => {}
+        other => failures.push(format!(
+            "rustflow_breaker_state disagrees with stats ({:?} vs metric {other:?})",
+            poisoned.map(|t| t.breaker_state)
+        )),
+    }
+    match family_sum(
+        &exposition,
+        "rustflow_tenant_rejected_breaker_total",
+        Some("poison"),
+    ) {
+        Some(v) if v >= 1.0 => {}
+        other => failures.push(format!(
+            "open breaker never fast-rejected in /metrics: {other:?}"
+        )),
+    }
+    match family_sum(&exposition, "rustflow_breaker_transitions_total", None) {
+        Some(v) if v >= 1.0 => {}
+        other => failures.push(format!(
+            "rustflow_breaker_transitions_total missing or zero: {other:?}"
+        )),
+    }
+    if family_sum(&exposition, "rustflow_watchdog_overload_shed_total", None).is_none() {
+        failures.push("rustflow_watchdog_overload_shed_total missing from /metrics".into());
+    }
+
+    let status = http_get(addr, "/status");
+    if let Err(e) = json::parse(&status) {
+        failures.push(format!("/status is not valid JSON: {e}"));
+    }
+    for key in [
+        "\"breaker\"",
+        "\"shed\"",
+        "\"retry_budget_exhausted\"",
+        "\"overload_shed\"",
+        "\"breaker_transitions\"",
+    ] {
+        if !status.contains(key) {
+            failures.push(format!("/status is missing the {key} section"));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let flags = parse_flags();
+    let capacity = calibrate(flags.workers);
+    println!("calibrated capacity: {capacity:.0} requests/s (offering 2x)");
+
+    let duration = Duration::from_millis(flags.duration_ms);
+    let mut ledger_problems = Vec::new();
+    // Interleave resilient/ablation repeats; keep the best run per side
+    // by goodput so load drift cannot bias the A/B.
+    let mut best: [Option<(SideRun, u64)>; 2] = [None, None];
+    for _ in 0..flags.repeats.max(1) {
+        for (side, resilient) in [(0usize, true), (1usize, false)] {
+            let ex = build_executor(flags.workers);
+            let run = run_side(&ex, resilient, capacity, duration, flags.seed);
+            ledger_problems.extend(ledger_failures(
+                if resilient { "resilient" } else { "ablation" },
+                &run.tenants,
+            ));
+            let good = run.healthy.good;
+            if best[side].as_ref().is_none_or(|(_, b)| good > *b) {
+                best[side] = Some((run, good));
+            }
+        }
+    }
+    let [resilient_run, ablation_run] = best.map(|b| b.expect("at least one repeat ran").0);
+    let resilient = summarize("resilient", &resilient_run);
+    let ablation = summarize("ablation", &ablation_run);
+    for m in [&resilient, &ablation] {
+        println!(
+            "{:>10}: goodput {:>8.0}/s  ok {:>8.0}/s  p99 {:>9.1} us  shed {:>6}  saturated {:>6}  infeasible {:>4}  breaker-rejected {:>5}  poisoned dispatched {}/{}",
+            m.name,
+            m.goodput_per_s,
+            m.ok_per_s,
+            m.p99_us,
+            m.shed,
+            m.saturated,
+            m.infeasible,
+            m.breaker_rejected,
+            m.poisoned_dispatched,
+            m.poisoned_submitted,
+        );
+    }
+
+    println!("observability round-trip (scraper attached):");
+    let obs_failures = observability(&flags, capacity);
+    if !flags.check {
+        for f in ledger_problems.iter().chain(&obs_failures) {
+            eprintln!("soak WARN: {f}");
+        }
+    }
+
+    std::fs::create_dir_all(&flags.out).expect("cannot create output directory");
+    let measured = [&resilient, &ablation];
+    let mut report = format!(
+        "{{\n  \"schema_version\": 1,\n  \"workers\": {},\n  \"duration_ms\": {},\n  \"seed\": {},\n  \"capacity_per_s\": {capacity:.1},\n  \"configs\": [\n",
+        flags.workers, flags.duration_ms, flags.seed
+    );
+    for (i, m) in measured.iter().enumerate() {
+        report.push_str(&format!(
+            "    {{\"name\": \"{}\", \"goodput_per_s\": {:.1}, \"ok_per_s\": {:.1}, \"p99_us\": {:.1}, \"shed\": {}, \"saturated\": {}, \"infeasible\": {}, \"breaker_rejected\": {}, \"retry_budget_exhausted\": {}, \"poisoned_dispatched\": {}, \"poisoned_submitted\": {}}}{}\n",
+            m.name,
+            m.goodput_per_s,
+            m.ok_per_s,
+            m.p99_us,
+            m.shed,
+            m.saturated,
+            m.infeasible,
+            m.breaker_rejected,
+            m.retry_budget_exhausted,
+            m.poisoned_dispatched,
+            m.poisoned_submitted,
+            if i + 1 < measured.len() { "," } else { "" }
+        ));
+    }
+    report.push_str("  ]\n}\n");
+    let path = flags.out.join("soak_report.json");
+    std::fs::write(&path, &report).expect("cannot write soak_report.json");
+    println!("  -> {}", path.display());
+
+    let baseline_path = flags
+        .baseline
+        .clone()
+        .unwrap_or_else(|| flags.out.join("soak_baseline.json"));
+    if flags.write_baseline {
+        // Only the resilient side is banded: the ablation's goodput is
+        // collapsed by design and pure noise.
+        let b = format!(
+            "{{\n  \"schema_version\": 1,\n  \"tolerance_ratio\": 8.0,\n  \"configs\": [\n    {{\"name\": \"resilient\", \"goodput_per_s\": {:.1}, \"p99_us\": {:.1}}}\n  ]\n}}\n",
+            resilient.goodput_per_s, resilient.p99_us
+        );
+        std::fs::write(&baseline_path, b).expect("cannot write baseline");
+        println!("  -> {}", baseline_path.display());
+    }
+
+    if flags.check {
+        let mut failures = ledger_problems;
+        failures.extend(gate(
+            &resilient,
+            &ablation,
+            flags.duration_ms,
+            &baseline_path,
+        ));
+        failures.extend(obs_failures);
+        if failures.is_empty() {
+            println!("soak gate: OK");
+        } else {
+            for f in &failures {
+                eprintln!("soak gate FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The resilience gate proper: live A/B plus the committed baseline's
+/// one-sided bands.
+fn gate(
+    resilient: &Measured,
+    ablation: &Measured,
+    duration_ms: u64,
+    baseline_path: &std::path::Path,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    // Shedding must not cost goodput: at 2x load, dropping doomed work
+    // early should preserve (in practice: vastly improve) deadline-met
+    // throughput relative to letting queues convoy.
+    if resilient.goodput_per_s < 0.8 * ablation.goodput_per_s {
+        failures.push(format!(
+            "goodput under shedding ({:.0}/s) fell below 80% of the no-shedding ablation ({:.0}/s)",
+            resilient.goodput_per_s, ablation.goodput_per_s
+        ));
+    }
+    // The overload must actually exercise the machinery, or the A/B is
+    // vacuous.
+    if resilient.shed == 0 {
+        failures.push("sustained 2x overload never shed a single run".into());
+    }
+    if resilient.breaker_rejected == 0 {
+        failures.push("the open breaker never fast-rejected a submission".into());
+    }
+    if resilient.retry_budget_exhausted == 0 {
+        failures.push("the retry budget never degraded a retry to a failure".into());
+    }
+    // Breaker isolation: once open, only half-open probes reach dispatch
+    // (one per open window), so dispatched failures are bounded by the
+    // opening threshold plus the probe cadence, with slack for queued
+    // stragglers admitted before the breaker opened.
+    let breaker_bound = u64::from(BREAKER_FAILURES) + duration_ms / BREAKER_OPEN_MS + 10;
+    if resilient.poisoned_dispatched > breaker_bound {
+        failures.push(format!(
+            "breaker failed to isolate the poisoned tenant: {} dispatched failures, bound {breaker_bound}",
+            resilient.poisoned_dispatched
+        ));
+    }
+
+    // Baseline tolerance band (one-sided: better never fails).
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            failures.push(format!(
+                "cannot read baseline {}: {e}",
+                baseline_path.display()
+            ));
+            return failures;
+        }
+    };
+    let base = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            failures.push(format!("baseline is not valid JSON: {e}"));
+            return failures;
+        }
+    };
+    let tol = base
+        .get("tolerance_ratio")
+        .and_then(json::Value::as_f64)
+        .unwrap_or(8.0);
+    let Some(configs) = base.get("configs").and_then(json::Value::as_arr) else {
+        failures.push("baseline has no configs array".into());
+        return failures;
+    };
+    let Some(b) = configs
+        .iter()
+        .find(|c| c.get("name").and_then(json::Value::as_str) == Some("resilient"))
+    else {
+        failures.push("resilient config missing from baseline".into());
+        return failures;
+    };
+    let get_f = |k: &str| b.get(k).and_then(json::Value::as_f64).unwrap_or(0.0);
+    let base_goodput = get_f("goodput_per_s");
+    if base_goodput > 0.0 && resilient.goodput_per_s * tol < base_goodput {
+        failures.push(format!(
+            "goodput regressed: {:.1}/s vs baseline {base_goodput:.1}/s (band x{tol})",
+            resilient.goodput_per_s
+        ));
+    }
+    let base_p99 = get_f("p99_us");
+    if base_p99 > 0.0 && resilient.p99_us > base_p99 * tol {
+        failures.push(format!(
+            "admitted-work p99 regressed: {:.1} us vs baseline {base_p99:.1} us (band x{tol})",
+            resilient.p99_us
+        ));
+    }
+    failures
+}

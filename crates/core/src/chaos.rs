@@ -54,6 +54,11 @@ pub struct ChaosSpec {
     pub delay_permille: u16,
     /// Upper bound on an injected delay, in microseconds.
     pub max_delay_us: u64,
+    /// Tenant scope: when non-zero, [`ChaosSpec::inject`] only fires for
+    /// tasks executing under this tenant id ([`ChaosSpec::for_tenant`]);
+    /// `0` injects everywhere. [`ChaosSpec::fault`] stays pure and
+    /// unscoped — the scope gates injection, not the plan.
+    pub tenant: u64,
 }
 
 /// One round of the splitmix64 output function over `x`.
@@ -78,7 +83,18 @@ impl ChaosSpec {
             panic_permille: 0,
             delay_permille: 0,
             max_delay_us: 100,
+            tenant: 0,
         }
+    }
+
+    /// Scopes injection to tasks running under `tenant`: other tenants'
+    /// runs (and untenanted runs) pass through unharmed. Lets a chaos
+    /// soak poison one tenant while the rest stay healthy — the setup
+    /// the per-tenant circuit breaker's isolation guarantee is judged
+    /// against. Returns `self`.
+    pub fn for_tenant(mut self, tenant: &crate::Tenant) -> ChaosSpec {
+        self.tenant = tenant.id();
+        self
     }
 
     /// Sets the panic rate in permille (clamped to 1000); returns `self`.
@@ -119,8 +135,12 @@ impl ChaosSpec {
     /// Injects this spec's fault for `node` at the *current* task
     /// iteration (via [`crate::this_task::iteration`]; 0 outside a task).
     /// Call at the top of a task closure; panics with a replayable
-    /// message when the panic stream fires.
+    /// message when the panic stream fires. A tenant-scoped spec
+    /// ([`ChaosSpec::for_tenant`]) is a no-op in any other tenant's task.
     pub fn inject(&self, node: u64) {
+        if self.tenant != 0 && crate::this_task::tenant_id() != self.tenant {
+            return;
+        }
         let iteration = crate::this_task::iteration().unwrap_or(0);
         match self.fault(node, iteration) {
             Fault::None => {}

@@ -5,6 +5,7 @@
 use crate::validate::GraphDiagnostic;
 use std::fmt;
 use std::sync::OnceLock;
+use std::time::Duration;
 
 /// How a [`Taskflow`](crate::Taskflow) reacts to the first task panic in
 /// a running topology.
@@ -127,6 +128,31 @@ pub enum AdmissionError {
     /// was called, or the executor is being dropped); no further work is
     /// admitted.
     ShuttingDown,
+    /// Deadline-aware admission turned the run away at submit time: the
+    /// expected tenant-queue wait (interpolated from the tenant's live
+    /// admission-phase latency histogram) already exceeds the run's
+    /// deadline, so queueing it would only burn capacity on work that is
+    /// doomed to be shed. Cheap-reject beats queue-then-cancel.
+    DeadlineInfeasible {
+        /// Name of the tenant that rejected the run.
+        tenant: String,
+        /// The run's deadline, relative to submission.
+        deadline: Duration,
+        /// Expected queue wait estimated from recent admitted runs.
+        estimated_wait: Duration,
+    },
+    /// The tenant's circuit breaker is open after too many consecutive
+    /// run failures ([`TenantQos::breaker`](crate::TenantQos)): the
+    /// submission is fast-rejected without touching the queue. Retry
+    /// after `retry_after`; the first submission past that window is
+    /// admitted as a half-open probe whose success closes the breaker.
+    BreakerOpen {
+        /// Name of the tenant whose breaker is open.
+        tenant: String,
+        /// How long until the breaker admits a half-open probe (zero
+        /// when a probe is already in flight).
+        retry_after: Duration,
+    },
 }
 
 impl fmt::Display for AdmissionError {
@@ -137,6 +163,22 @@ impl fmt::Display for AdmissionError {
                 "tenant '{tenant}' saturated: {capacity} submissions already queued"
             ),
             AdmissionError::ShuttingDown => write!(f, "executor is shutting down"),
+            AdmissionError::DeadlineInfeasible {
+                tenant,
+                deadline,
+                estimated_wait,
+            } => write!(
+                f,
+                "tenant '{tenant}' cannot meet a {deadline:?} deadline: \
+                 expected queue wait is {estimated_wait:?}"
+            ),
+            AdmissionError::BreakerOpen {
+                tenant,
+                retry_after,
+            } => write!(
+                f,
+                "tenant '{tenant}' circuit breaker is open: retry in {retry_after:?}"
+            ),
         }
     }
 }
@@ -165,6 +207,17 @@ pub enum RunError {
     /// `Executor::drop`, admission had already closed). No task of this
     /// batch ran.
     Rejected(AdmissionError),
+    /// The run was shed from its tenant queue before dispatch: its
+    /// deadline expired while it waited, or the overload controller
+    /// dropped it (newest-first) because the tenant was burning its SLO
+    /// error budget. No task of this batch ran; the topology was never
+    /// claimed, so it re-arms clean for the next submission.
+    Shed {
+        /// Name of the tenant whose queue shed the run.
+        tenant: String,
+        /// How long the run sat queued before it was shed.
+        queued_for: Duration,
+    },
 }
 
 impl RunError {
@@ -197,6 +250,12 @@ impl RunError {
             _ => None,
         }
     }
+
+    /// `true` when the run was shed from its tenant queue before
+    /// dispatch (expired deadline or overload-controller drop).
+    pub fn is_shed(&self) -> bool {
+        matches!(self, RunError::Shed { .. })
+    }
 }
 
 impl fmt::Display for RunError {
@@ -215,6 +274,11 @@ impl fmt::Display for RunError {
             }
             RunError::Cancelled => write!(f, "run cancelled"),
             RunError::Rejected(a) => write!(f, "submission rejected: {a}"),
+            RunError::Shed { tenant, queued_for } => write!(
+                f,
+                "run shed from tenant '{tenant}' queue after {queued_for:?} \
+                 (deadline expired or overload)"
+            ),
         }
     }
 }
@@ -290,6 +354,39 @@ mod tests {
             "invalid task graph: task 'X' precedes itself; \
              orphan task 'Y' (no predecessors or successors)"
         );
+    }
+
+    #[test]
+    fn overload_errors_display_and_project() {
+        let e = AdmissionError::DeadlineInfeasible {
+            tenant: "api".into(),
+            deadline: Duration::from_millis(5),
+            estimated_wait: Duration::from_millis(40),
+        };
+        assert_eq!(
+            e.to_string(),
+            "tenant 'api' cannot meet a 5ms deadline: expected queue wait is 40ms"
+        );
+        let e = AdmissionError::BreakerOpen {
+            tenant: "api".into(),
+            retry_after: Duration::from_millis(250),
+        };
+        assert_eq!(
+            e.to_string(),
+            "tenant 'api' circuit breaker is open: retry in 250ms"
+        );
+        let shed = RunError::Shed {
+            tenant: "api".into(),
+            queued_for: Duration::from_millis(12),
+        };
+        assert!(shed.is_shed());
+        assert!(!shed.is_cancelled());
+        assert!(shed.as_rejected().is_none());
+        assert_eq!(
+            shed.to_string(),
+            "run shed from tenant 'api' queue after 12ms (deadline expired or overload)"
+        );
+        assert!(!RunError::Cancelled.is_shed());
     }
 
     #[test]

@@ -499,14 +499,19 @@ impl Executor {
         for tenant in tenants {
             let drained: Vec<QueuedRun> = {
                 let mut q = tenant.queue.lock();
-                let runs = q.drain(..).collect();
+                let runs: Vec<QueuedRun> = q.drain(..).collect();
+                // Counted under the queue lock, atomically with the
+                // drain, so the ledger stays balanced for scrapers.
+                tenant
+                    .rejected_shutdown
+                    .fetch_add(runs.len() as u64, Ordering::Relaxed);
                 // Unblock submitters waiting for queue space; they
                 // re-check the closing flag and return the typed error.
                 tenant.space.notify_all();
                 runs
             };
             for run in drained {
-                tenant.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                tenant.release_probe(run.probe);
                 run.promise
                     .set(Err(RunError::Rejected(AdmissionError::ShuttingDown)));
             }
@@ -671,15 +676,19 @@ impl Executor {
 
     /// Tenant-scoped submission: queues the batch in `tenant`'s bounded
     /// queue and lets the weighted-fair-queue pump dispatch it within the
-    /// executor's in-flight budget. With `blocking` the call waits for
-    /// queue space; otherwise a full queue returns
-    /// [`AdmissionError::Saturated`] immediately.
+    /// executor's in-flight budget. `block` decides what a full queue
+    /// does: reject with [`AdmissionError::Saturated`] immediately, wait
+    /// bounded, or wait indefinitely. `deadline`, when set (or defaulted
+    /// from [`TenantQos::deadline`]), is checked for feasibility against
+    /// the live queue-wait estimate and stamped onto the queued run for
+    /// the dispatcher's shed check.
     pub(crate) fn run_topology_on(
         &self,
         tenant: &Tenant,
         topo: &Arc<Topology>,
         cond: RunCondition,
-        blocking: bool,
+        block: Block,
+        deadline: Option<Duration>,
     ) -> Result<SharedFuture<RunResult>, AdmissionError> {
         assert!(
             Arc::ptr_eq(&self.inner, &tenant.inner),
@@ -692,52 +701,157 @@ impl Executor {
         if topo.num_static_nodes() == 0 {
             return Ok(SharedFuture::ready(Ok(())));
         }
+        let state = &tenant.state;
+        // Resolve the effective deadline (per-run override beats the
+        // tenant default) and its feasibility estimate before taking the
+        // queue lock — the estimate merges the admission-phase histogram
+        // shards, which is too much work to do under the lock.
+        let deadline = deadline.or(state.deadline);
+        let estimate_us = match deadline {
+            Some(_) => state.estimated_queue_wait_us(),
+            None => None,
+        };
         let (promise, future) = crate::future::promise_pair();
-        {
-            let state = &tenant.state;
+        let mut transition = None;
+        let admitted = {
             let mut q = state.queue.lock();
             // Counted per admission *attempt* (under the queue lock, so
             // the ledger `submitted == queued + dispatched + coalesced +
-            // rejected_*` holds at every quiescent point).
+            // shed + rejected_*` holds at every quiescent point).
             state.submitted.fetch_add(1, Ordering::Relaxed);
-            loop {
-                // ORDERING: SeqCst pairs with `close`'s store. Checked
-                // under the queue lock: a push serialized before the
-                // drain is always drained; one after always sees the
-                // flag. Either way no submission is silently dropped.
-                if self.inner.closing.load(Ordering::SeqCst) {
-                    state.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
-                    return Err(AdmissionError::ShuttingDown);
-                }
-                if q.len() < state.max_queue {
-                    break;
-                }
-                if !blocking {
-                    state.rejected_saturated.fetch_add(1, Ordering::Relaxed);
-                    return Err(AdmissionError::Saturated {
-                        tenant: state.name.clone(),
-                        capacity: state.max_queue,
+            self.admit_queued(state, &mut q, block, deadline, estimate_us, &mut transition)
+                .map(|probe| {
+                    let now = crate::clock::now_us().max(1);
+                    q.push_back(QueuedRun {
+                        topo: Arc::clone(topo),
+                        cond,
+                        promise,
+                        // `.max(1)`: 0 is the "not stamped" sentinel and
+                        // the clock's first microsecond is
+                        // indistinguishable from it.
+                        submit_us: if self.inner.cfg.latency_histograms {
+                            now
+                        } else {
+                            0
+                        },
+                        admitted_us: 0,
+                        enqueued_us: now,
+                        deadline_us: deadline
+                            .map(|d| now.saturating_add(d.as_micros() as u64))
+                            .unwrap_or(0),
+                        probe,
                     });
-                }
-                state.space.wait(&mut q);
-            }
-            q.push_back(QueuedRun {
-                topo: Arc::clone(topo),
-                cond,
-                promise,
-                // `.max(1)`: 0 is the "not stamped" sentinel and the
-                // clock's first microsecond is indistinguishable from it.
-                submit_us: if self.inner.cfg.latency_histograms {
-                    crate::clock::now_us().max(1)
-                } else {
-                    0
-                },
-                admitted_us: 0,
-            });
+                })
+        };
+        // Emit outside the queue lock: diagnostic subscribers run
+        // arbitrary code.
+        if let Some((from, to)) = transition {
+            emit_breaker_transition(&self.inner, state, from, to);
         }
+        admitted?;
         pump_tenants(&self.inner);
         Ok(future)
     }
+
+    /// The admission gauntlet for one tenant submission, run under the
+    /// tenant's queue lock: shutdown check, circuit breaker, deadline
+    /// feasibility, then the bounded-queue wait according to `block`.
+    /// `Ok(probe)` clears the run for enqueue.
+    fn admit_queued(
+        &self,
+        state: &TenantState,
+        q: &mut crate::sync::MutexGuard<'_, VecDeque<QueuedRun>>,
+        block: Block,
+        deadline: Option<Duration>,
+        estimate_us: Option<u64>,
+        transition: &mut Option<(BreakerState, BreakerState)>,
+    ) -> Result<bool, AdmissionError> {
+        // ORDERING: SeqCst pairs with `close`'s store. Checked under the
+        // queue lock: a push serialized before the drain is always
+        // drained; one after always sees the flag. Either way no
+        // submission is silently dropped.
+        if self.inner.closing.load(Ordering::SeqCst) {
+            state.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(AdmissionError::ShuttingDown);
+        }
+        // Breaker before deadline: an open breaker is the cheaper (and
+        // more actionable) rejection. Checked once per submission — the
+        // space wait below does not re-run it, so a probe admitted here
+        // is never re-judged by its own claim.
+        let probe = match state.breaker_admit(crate::clock::now_us().max(1), transition) {
+            Ok(probe) => probe,
+            Err(retry_after) => {
+                state.rejected_breaker.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmissionError::BreakerOpen {
+                    tenant: state.name.clone(),
+                    retry_after,
+                });
+            }
+        };
+        // Deadline feasibility: cheap-reject beats queue-then-shed. Only
+        // ever rejects with a warm histogram (cold start admits).
+        if let (Some(deadline), Some(est)) = (deadline, estimate_us) {
+            if est > deadline.as_micros() as u64 {
+                state.rejected_infeasible.fetch_add(1, Ordering::Relaxed);
+                state.release_probe(probe);
+                return Err(AdmissionError::DeadlineInfeasible {
+                    tenant: state.name.clone(),
+                    deadline,
+                    estimated_wait: Duration::from_micros(est),
+                });
+            }
+        }
+        loop {
+            // ORDERING: SeqCst pairs with `close`'s store (same protocol
+            // as the entry check above). Re-checked after every wakeup:
+            // `close` drains the queue and notifies `space`, so a parked
+            // submitter must observe the flag rather than push into a
+            // drained queue.
+            if self.inner.closing.load(Ordering::SeqCst) {
+                state.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                state.release_probe(probe);
+                return Err(AdmissionError::ShuttingDown);
+            }
+            if q.len() < state.max_queue {
+                return Ok(probe);
+            }
+            match block {
+                Block::Never => {}
+                Block::Forever => {
+                    state.space.wait(q);
+                    continue;
+                }
+                Block::Until(until) => {
+                    // Spurious wakeups loop back with the same absolute
+                    // deadline; only a timeout with the queue still full
+                    // gives up.
+                    if !state.space.wait_until(q, until).timed_out() || q.len() < state.max_queue {
+                        continue;
+                    }
+                }
+            }
+            state.rejected_saturated.fetch_add(1, Ordering::Relaxed);
+            state.release_probe(probe);
+            return Err(AdmissionError::Saturated {
+                tenant: state.name.clone(),
+                capacity: state.max_queue,
+            });
+        }
+    }
+}
+
+/// What a tenant submission does when the queue is at `max_queued`
+/// ([`Executor::run_topology_on`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Block {
+    /// Reject with [`AdmissionError::Saturated`] immediately
+    /// (`try_run_on`).
+    Never,
+    /// Wait for space until the absolute deadline, then reject with
+    /// [`AdmissionError::Saturated`] (`run_on_timeout`).
+    Until(Instant),
+    /// Wait for space indefinitely (`run_on`).
+    Forever,
 }
 
 /// Drives a topology on behalf of the current driver (the thread that
@@ -759,6 +873,11 @@ fn advance_topology(inner: &Inner, topo: &Topology, iteration_finished: bool) {
         .cfg
         .latency_histograms
         .then(|| (topo.stamps.snapshot(), crate::clock::now_us().max(1)));
+    // The breaker's failure signal must be read before `advance` too: the
+    // idle transition consumes the recorded error while resolving the
+    // run's promises. Panics (and invalid graphs) count; a plain
+    // cancellation is the client's choice, not the tenant's health.
+    let failed = topo.tenant_id() != 0 && topo.has_panic();
     // SAFETY: the caller holds the driver role per the functions's
     // contract; at most one driver exists per topology at a time.
     match unsafe { topo.advance(iteration_finished) } {
@@ -819,6 +938,12 @@ fn advance_topology(inner: &Inner, topo: &Topology, iteration_finished: bool) {
                 // the freed slot admits.
                 tenant.completed.fetch_add(1, Ordering::Relaxed);
                 tenant.inflight.fetch_sub(1, Ordering::Relaxed);
+                // Feed the circuit breaker; no locks held, so the
+                // transition (if any) can be emitted inline.
+                if let Some((from, to)) = tenant.note_outcome(failed, crate::clock::now_us().max(1))
+                {
+                    emit_breaker_transition(inner, &tenant, from, to);
+                }
                 inner.qos.lock().inflight -= 1;
                 pump_tenants(inner);
             }
@@ -852,6 +977,77 @@ fn record_latency(tenant: &TenantState, s: crate::topology::StampSnapshot, end: 
     tenant.latency[2].record(first.saturating_sub(s.dispatched));
     tenant.latency[3].record(end.saturating_sub(first));
     tenant.latency[4].record(end.saturating_sub(s.submit));
+}
+
+/// Forwards a breaker transition to the watchdog's diagnostic stream
+/// (counter + subscribers), if introspection is live. Callers must hold
+/// no tenant/qos locks — subscribers run arbitrary code.
+fn emit_breaker_transition(
+    inner: &Inner,
+    tenant: &TenantState,
+    from: BreakerState,
+    to: BreakerState,
+) {
+    let state = inner.introspect.read().clone();
+    if let Some(state) = state {
+        state
+            .watchdog()
+            .note_breaker_transition(&tenant.name, from, to);
+    }
+}
+
+/// The overload controller's actuator, invoked from the watchdog when a
+/// tenant's SLO burn rate fires: sheds the newest half of the tenant's
+/// queued runs (newest-first — the oldest queued work is closest to
+/// dispatch and most worth finishing). Returns `(shed, still_queued)`.
+pub(crate) fn shed_overburn(inner: &Inner, tenant: &str) -> (u64, u64) {
+    let state = {
+        let qos = inner.qos.lock();
+        qos.tenants.iter().find(|t| t.name == tenant).cloned()
+    };
+    let Some(state) = state else {
+        return (0, 0);
+    };
+    let now = crate::clock::now_us().max(1);
+    let mut dropped: Vec<QueuedRun> = Vec::new();
+    let remaining = {
+        let mut q = state.queue.lock();
+        let keep = q.len() / 2;
+        while q.len() > keep {
+            // Counted under the queue lock, like the dispatcher's
+            // deadline sheds, so the ledger never transiently leaks.
+            let run = q.pop_back().expect("len > keep >= 0");
+            state.shed.fetch_add(1, Ordering::Relaxed);
+            state.space.notify_one();
+            dropped.push(run);
+        }
+        q.len() as u64
+    };
+    let count = dropped.len() as u64;
+    for run in dropped {
+        let queued_for_us = now.saturating_sub(run.enqueued_us);
+        resolve_shed(&state, run, queued_for_us);
+    }
+    (count, remaining)
+}
+
+/// Consults the run's tenant retry budget on behalf of [`execute`]'s
+/// retry path. Untenanted runs (and tenants without a budget) always
+/// retry; only reached when a task failed and would otherwise retry, so
+/// the qos-lock lookup is off the hot path.
+fn charge_retry(inner: &Inner, topo: &Topology) -> bool {
+    let id = topo.tenant_id();
+    if id == 0 {
+        return true;
+    }
+    let state = {
+        let qos = inner.qos.lock();
+        qos.tenants.get(id as usize - 1).cloned()
+    };
+    match state {
+        Some(state) => state.charge_retry(),
+        None => true,
+    }
 }
 
 impl Drop for Executor {
@@ -1148,7 +1344,12 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
                                 // be freed, so no bookkeeping — rethrow.
                                 std::panic::resume_unwind(payload);
                             }
-                            will_retry = attempt < retry.limit && !topo.is_cancelled();
+                            // Budget last: the `&&` chain charges a
+                            // retry token only when the retry would
+                            // otherwise happen.
+                            will_retry = attempt < retry.limit
+                                && !topo.is_cancelled()
+                                && charge_retry(inner, topo);
                             failed = Some(payload);
                         }
                     }
@@ -1161,7 +1362,9 @@ fn execute(inner: &Inner, ctx: &mut WorkerCtx, node: RawNode) {
                                     // See the static arm above.
                                     std::panic::resume_unwind(payload);
                                 }
-                                will_retry = attempt < retry.limit && !topo.is_cancelled();
+                                will_retry = attempt < retry.limit
+                                    && !topo.is_cancelled()
+                                    && charge_retry(inner, topo);
                                 if !will_retry {
                                     // Final failure: publish whatever the
                                     // closure managed to spawn, preserving
@@ -1468,6 +1671,30 @@ pub struct TenantQos {
     /// [`WatchdogDiagnostic::SloBurn`](crate::WatchdogDiagnostic) when
     /// the error budget burns too fast (see [`SloSpec`]).
     pub slo: Option<SloSpec>,
+    /// Default deadline applied to every run submitted on this tenant
+    /// (overridable per run via
+    /// [`Taskflow::run_on_deadline`](crate::Taskflow::run_on_deadline)).
+    /// A deadlined run is cheap-rejected at submit time when the
+    /// expected queue wait already exceeds it
+    /// ([`AdmissionError::DeadlineInfeasible`]) and shed from the queue
+    /// ([`RunError::Shed`](crate::RunError)) if it expires before the
+    /// fair-queue pump dispatches it. The deadline does **not** cancel a
+    /// run once dispatched — pair it with
+    /// [`RunHandle::wait_timeout`](crate::RunHandle::wait_timeout) for
+    /// execution-side expiry.
+    pub deadline: Option<Duration>,
+    /// Retry budget consulted by [`Task::retry`](crate::Task::retry):
+    /// when set, retries beyond `floor + per_mille/1000 ×
+    /// completions` degrade to ordinary failures instead of amplifying
+    /// load exactly when capacity is scarcest. `None` (the default)
+    /// leaves retries unbudgeted.
+    pub retry_budget: Option<RetryBudget>,
+    /// Per-tenant circuit breaker: after `failures` consecutive failed
+    /// runs the tenant's submissions are fast-rejected with
+    /// [`AdmissionError::BreakerOpen`] for `open_for`, then a single
+    /// half-open probe is admitted whose success closes the breaker.
+    /// `None` (the default) disables the breaker.
+    pub breaker: Option<BreakerSpec>,
 }
 
 impl Default for TenantQos {
@@ -1476,9 +1703,105 @@ impl Default for TenantQos {
             weight: 1,
             max_queued: 1024,
             slo: None,
+            deadline: None,
+            retry_budget: None,
+            breaker: None,
         }
     }
 }
+
+/// Retry-budget parameters ([`TenantQos::retry_budget`]): the tenant may
+/// spend `floor` retries unconditionally plus `per_mille` additional
+/// retries per 1000 successful completions. The budget is cumulative —
+/// healthy periods bank allowance that overload then draws down, so a
+/// retry storm under sustained failure degrades to plain failures once
+/// the bank is empty ([`rustflow_retry_budget_exhausted_total`]).
+///
+/// [`rustflow_retry_budget_exhausted_total`]: crate::TenantStats::retry_budget_exhausted
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudget {
+    /// Retries always available, regardless of completion history.
+    pub floor: u64,
+    /// Extra retries granted per 1000 successful completions (100 =
+    /// the canonical "10% of completions").
+    pub per_mille: u32,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            floor: 8,
+            per_mille: 100,
+        }
+    }
+}
+
+/// Circuit-breaker parameters ([`TenantQos::breaker`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerSpec {
+    /// Consecutive failed runs (task panics / invalid graphs — not
+    /// cancellations) that open the breaker. Clamped to at least 1.
+    pub failures: u32,
+    /// How long an open breaker fast-rejects submissions before
+    /// admitting one half-open probe.
+    pub open_for: Duration,
+}
+
+impl Default for BreakerSpec {
+    fn default() -> Self {
+        BreakerSpec {
+            failures: 5,
+            open_for: Duration::from_secs(1),
+        }
+    }
+}
+
+/// State of a tenant's circuit breaker (closed → open → half-open →
+/// closed). Exposed as the `rustflow_breaker_state` gauge (0, 1, 2 in
+/// declaration order) and in [`WatchdogDiagnostic::BreakerTransition`](crate::WatchdogDiagnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal admission; consecutive failures are being counted.
+    Closed,
+    /// Fast-rejecting all submissions until the open window elapses.
+    Open,
+    /// One probe run has been admitted; its outcome decides the next
+    /// state (success → closed, failure → open again).
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Gauge encoding used by `rustflow_breaker_state` and the tenant
+    /// state word: 0 = closed, 1 = open, 2 = half-open.
+    pub(crate) fn from_word(w: u64) -> BreakerState {
+        match w {
+            BREAKER_OPEN => BreakerState::Open,
+            BREAKER_HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// The state's name as rendered in `/status` and diagnostics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// [`TenantState::breaker_word`] encodings (the atomic state word of the
+/// breaker state machine).
+const BREAKER_CLOSED: u64 = 0;
+const BREAKER_OPEN: u64 = 1;
+const BREAKER_HALF_OPEN: u64 = 2;
 
 /// A per-tenant latency service-level objective: "99% of runs finish
 /// end-to-end (submit → finalize) within `p99_us`, judged over `window`".
@@ -1520,6 +1843,17 @@ pub(crate) struct QueuedRun {
     /// Stamped by [`next_dispatch`] when the fair-queue pump pops the
     /// run; `0` until then (and when the pipeline is off).
     admitted_us: u64,
+    /// [`crate::clock::now_us`] at enqueue, always stamped (unlike
+    /// `submit_us` it does not depend on the latency pipeline): the
+    /// shed path reports time spent queued from it.
+    enqueued_us: u64,
+    /// Absolute expiry ([`crate::clock::now_us`] domain) past which the
+    /// dispatcher sheds this run instead of dispatching it; `0` = none.
+    deadline_us: u64,
+    /// This run is the circuit breaker's half-open probe; shedding or
+    /// shutdown-draining it must release the probe claim so the breaker
+    /// can admit another.
+    probe: bool,
 }
 
 /// Shared per-tenant state: the bounded submission queue plus the fair
@@ -1543,6 +1877,32 @@ pub(crate) struct TenantState {
     completed: AtomicU64,
     rejected_saturated: AtomicU64,
     rejected_shutdown: AtomicU64,
+    /// Runs rejected at submit time because the expected queue wait
+    /// already exceeded their deadline ([`AdmissionError::DeadlineInfeasible`]).
+    rejected_infeasible: AtomicU64,
+    /// Runs fast-rejected by an open circuit breaker
+    /// ([`AdmissionError::BreakerOpen`]).
+    rejected_breaker: AtomicU64,
+    /// Queued runs dropped by the dispatcher — deadline expired in the
+    /// queue, or the overload controller shed them
+    /// ([`RunError::Shed`](crate::RunError)).
+    shed: AtomicU64,
+    /// Retries that the retry budget refused (the task failed instead).
+    retry_budget_exhausted: AtomicU64,
+    /// Retries charged against the budget so far (monotone; allowance is
+    /// recomputed from `completed`, so no refill bookkeeping is needed).
+    retry_spent: AtomicU64,
+    /// Consecutive failed runs; reset by any non-failed completion.
+    consecutive_failures: AtomicU64,
+    /// Circuit-breaker state word: [`BREAKER_CLOSED`]/[`BREAKER_OPEN`]/
+    /// [`BREAKER_HALF_OPEN`]. All transitions are CASes, so every
+    /// transition has exactly one witness (which emits the diagnostic).
+    breaker_word: AtomicU64,
+    /// When the current open window ends ([`crate::clock::now_us`]
+    /// domain). Written before the word transitions to open.
+    breaker_open_until_us: AtomicU64,
+    /// A half-open probe has been admitted and not yet resolved.
+    probe_inflight: AtomicBool,
     inflight: AtomicU64,
     /// Lock-free latency shards, one per [`LATENCY_PHASES`] entry.
     /// Recorded by the finalizing driver (a few relaxed `fetch_add`s per
@@ -1551,6 +1911,12 @@ pub(crate) struct TenantState {
     latency: [AtomicHistogram; LATENCY_PHASES.len()],
     /// The tenant's latency objective, if any ([`TenantQos::slo`]).
     slo: Option<SloSpec>,
+    /// Default per-run deadline, if any ([`TenantQos::deadline`]).
+    deadline: Option<Duration>,
+    /// Retry budget, if any ([`TenantQos::retry_budget`]).
+    retry_budget: Option<RetryBudget>,
+    /// Circuit-breaker parameters, if any ([`TenantQos::breaker`]).
+    breaker: Option<BreakerSpec>,
 }
 
 /// Phase labels of the per-tenant latency decomposition, in the order of
@@ -1578,18 +1944,39 @@ impl TenantState {
             completed: AtomicU64::new(0),
             rejected_saturated: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
+            rejected_infeasible: AtomicU64::new(0),
+            rejected_breaker: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            retry_budget_exhausted: AtomicU64::new(0),
+            retry_spent: AtomicU64::new(0),
+            consecutive_failures: AtomicU64::new(0),
+            breaker_word: AtomicU64::new(BREAKER_CLOSED),
+            breaker_open_until_us: AtomicU64::new(0),
+            probe_inflight: AtomicBool::new(false),
             inflight: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicHistogram::new()),
             slo: qos.slo,
+            deadline: qos.deadline,
+            retry_budget: qos.retry_budget,
+            breaker: qos.breaker,
         }
     }
 
     /// Point-in-time snapshot of this tenant's counters and gauges.
+    ///
+    /// Holds the queue lock across every read: all ledger mutations
+    /// (submit, reject, shed, dispatch) happen under the same lock, so a
+    /// scraper never observes a transiently unbalanced ledger — `queued`
+    /// and `dispatched` move together with the counters. The only
+    /// exceptions are the shutdown races documented in
+    /// [`dispatch_tenant_run`], and `completed`/`in_flight`, which by
+    /// design trail `dispatched` while work is genuinely in flight.
     fn snapshot(&self) -> TenantStats {
+        let q = self.queue.lock();
         TenantStats {
             name: self.name.clone(),
             weight: self.weight,
-            queued: self.queue.lock().len() as u64,
+            queued: q.len() as u64,
             in_flight: self.inflight.load(Ordering::Relaxed),
             submitted: self.submitted.load(Ordering::Relaxed),
             dispatched: self.dispatched.load(Ordering::Relaxed),
@@ -1597,9 +1984,191 @@ impl TenantState {
             completed: self.completed.load(Ordering::Relaxed),
             rejected_saturated: self.rejected_saturated.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            rejected_infeasible: self.rejected_infeasible.load(Ordering::Relaxed),
+            rejected_breaker: self.rejected_breaker.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            retry_budget_exhausted: self.retry_budget_exhausted.load(Ordering::Relaxed),
+            consecutive_failures: self.consecutive_failures.load(Ordering::Relaxed),
+            breaker_state: self.breaker_word.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Expected tenant-queue wait in microseconds, interpolated from the
+    /// live admission-phase histogram (p50 of submit → admitted). `None`
+    /// until at least [`ESTIMATE_MIN_SAMPLES`] runs have been recorded:
+    /// the cold start admits optimistically rather than guessing.
+    fn estimated_queue_wait_us(&self) -> Option<u64> {
+        let h = self.latency[0].snapshot();
+        if h.count() < ESTIMATE_MIN_SAMPLES {
+            return None;
+        }
+        Some(h.percentile(0.50) as u64)
+    }
+
+    /// Circuit-breaker admission check. `Ok(probe)` admits (with `probe`
+    /// set when this run is the half-open probe); `Err(retry_after)`
+    /// fast-rejects. Lock-free; callers may hold the queue lock. A state
+    /// transition taken here (open → half-open) is returned through
+    /// `transition` for the caller to emit *after* dropping its locks.
+    fn breaker_admit(
+        &self,
+        now_us: u64,
+        transition: &mut Option<(BreakerState, BreakerState)>,
+    ) -> Result<bool, Duration> {
+        let Some(spec) = self.breaker else {
+            return Ok(false);
+        };
+        loop {
+            // ORDERING: Acquire pairs with the Release CAS in
+            // `note_outcome` so an observed `open` word comes with the
+            // `breaker_open_until_us` write that preceded it.
+            match self.breaker_word.load(Ordering::Acquire) {
+                BREAKER_OPEN => {
+                    let until = self.breaker_open_until_us.load(Ordering::Relaxed);
+                    if now_us < until {
+                        return Err(Duration::from_micros(until - now_us));
+                    }
+                    // Open window elapsed: race to admit the probe. The
+                    // winner's run decides the breaker's fate; losers
+                    // re-read the new state.
+                    // ORDERING: AcqRel — the winner owns the probe slot
+                    // (store below) before any other submitter can see
+                    // `half-open`.
+                    if self
+                        .breaker_word
+                        .compare_exchange(
+                            BREAKER_OPEN,
+                            BREAKER_HALF_OPEN,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.probe_inflight.store(true, Ordering::Relaxed);
+                        *transition = Some((BreakerState::Open, BreakerState::HalfOpen));
+                        return Ok(true);
+                    }
+                }
+                BREAKER_HALF_OPEN => {
+                    // Exactly one probe at a time; everyone else waits
+                    // out roughly another open window.
+                    if !self.probe_inflight.swap(true, Ordering::Relaxed) {
+                        return Ok(true);
+                    }
+                    return Err(spec.open_for);
+                }
+                _ => return Ok(false),
+            }
+        }
+    }
+
+    /// Releases the half-open probe claim when a probe run is resolved
+    /// without executing (shed, shutdown-drained, or rejected later in
+    /// admission). Benign race: if the breaker has since closed and
+    /// reopened, this may let one extra probe through — one stray run,
+    /// never a stuck-open breaker.
+    fn release_probe(&self, probe: bool) {
+        if probe {
+            self.probe_inflight.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds a finished run's outcome into the breaker state machine.
+    /// Returns the transition this outcome caused, if any, for the
+    /// caller to emit (no locks are held here).
+    fn note_outcome(&self, failed: bool, now_us: u64) -> Option<(BreakerState, BreakerState)> {
+        let spec = self.breaker?;
+        if failed {
+            let fails = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+            // Arm the open window *before* any CAS can expose the open
+            // state; a stale overwrite by a concurrent failure only
+            // nudges the window, never unleashes admission early.
+            self.breaker_open_until_us.store(
+                now_us.saturating_add(spec.open_for.as_micros() as u64),
+                Ordering::Relaxed,
+            );
+            // A failure while half-open (the probe, or a straggler
+            // admitted before the breaker opened) re-opens immediately.
+            // ORDERING: Release on success publishes the window store
+            // above to `breaker_admit`'s Acquire load.
+            if self
+                .breaker_word
+                .compare_exchange(
+                    BREAKER_HALF_OPEN,
+                    BREAKER_OPEN,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                self.probe_inflight.store(false, Ordering::Relaxed);
+                return Some((BreakerState::HalfOpen, BreakerState::Open));
+            }
+            if fails >= u64::from(spec.failures.max(1)) {
+                // ORDERING: Release — as above.
+                if self
+                    .breaker_word
+                    .compare_exchange(
+                        BREAKER_CLOSED,
+                        BREAKER_OPEN,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    return Some((BreakerState::Closed, BreakerState::Open));
+                }
+            }
+            None
+        } else {
+            self.consecutive_failures.store(0, Ordering::Relaxed);
+            // Probe success (or a healthy straggler): close fully.
+            // ORDERING: Release orders the failure-streak reset above
+            // before the closed word becomes visible.
+            if self
+                .breaker_word
+                .compare_exchange(
+                    BREAKER_HALF_OPEN,
+                    BREAKER_CLOSED,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                self.probe_inflight.store(false, Ordering::Relaxed);
+                return Some((BreakerState::HalfOpen, BreakerState::Closed));
+            }
+            None
+        }
+    }
+
+    /// Charges one retry against the tenant's budget: allowance is
+    /// `floor + per_mille/1000 × completed`, spending is monotone.
+    /// Returns whether the retry may proceed.
+    fn charge_retry(&self) -> bool {
+        let Some(budget) = self.retry_budget else {
+            return true;
+        };
+        let allowance = budget.floor.saturating_add(
+            self.completed.load(Ordering::Relaxed) * u64::from(budget.per_mille) / 1000,
+        );
+        let spent = self.retry_spent.fetch_add(1, Ordering::Relaxed);
+        if spent < allowance {
+            true
+        } else {
+            // Over-claimed: hand the token back. Racing claimants may
+            // transiently see a pessimistic allowance — retries degrade
+            // to failures, never the reverse.
+            self.retry_spent.fetch_sub(1, Ordering::Relaxed);
+            self.retry_budget_exhausted.fetch_add(1, Ordering::Relaxed);
+            false
         }
     }
 }
+
+/// Minimum admission-phase samples before the deadline-feasibility
+/// estimate trusts the histogram ([`TenantState::estimated_queue_wait_us`]).
+const ESTIMATE_MIN_SAMPLES: u64 = 8;
 
 /// The tenant control plane, guarded by `Inner::qos`: the tenant list and
 /// the weighted-fair-queueing dispatch state.
@@ -1636,6 +2205,13 @@ impl Tenant {
         &self.state.name
     }
 
+    /// The tenant's stable 1-based id within its executor — the id trace
+    /// output and [`ChaosSpec::for_tenant`](crate::chaos::ChaosSpec::for_tenant)
+    /// scoping use (`0` there means "untenanted").
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
     /// The tenant's fair-queueing weight.
     pub fn weight(&self) -> u32 {
         self.state.weight
@@ -1655,6 +2231,18 @@ impl Tenant {
     /// ([`TenantQos::slo`]).
     pub fn slo(&self) -> Option<SloSpec> {
         self.state.slo
+    }
+
+    /// The tenant's default run deadline, if one was set at creation
+    /// ([`TenantQos::deadline`]).
+    pub fn deadline(&self) -> Option<Duration> {
+        self.state.deadline
+    }
+
+    /// Current state of the tenant's circuit breaker. Always
+    /// [`BreakerState::Closed`] when no breaker was configured.
+    pub fn breaker_state(&self) -> BreakerState {
+        BreakerState::from_word(self.state.breaker_word.load(Ordering::Relaxed))
     }
 }
 
@@ -1676,60 +2264,115 @@ impl std::fmt::Debug for Tenant {
 /// finalizes, so the budget is always refilled promptly. Runs on client
 /// and worker threads alike; all steps are non-blocking.
 fn pump_tenants(inner: &Inner) {
+    let mut shed: Vec<(Arc<TenantState>, QueuedRun, u64)> = Vec::new();
     loop {
-        let Some((tenant, run)) = next_dispatch(inner) else {
+        let next = next_dispatch(inner, &mut shed);
+        // Resolve shed runs *after* the qos/queue locks drop — promise
+        // resolution can run arbitrary waker code (same discipline as
+        // `Executor::close`).
+        for (tenant, run, queued_for_us) in shed.drain(..) {
+            resolve_shed(&tenant, run, queued_for_us);
+        }
+        let Some((tenant, run)) = next else {
             return;
         };
         dispatch_tenant_run(inner, tenant, run);
     }
 }
 
+/// Resolves one shed run: releases a probe claim it may hold and fails
+/// its promise with [`RunError::Shed`]. The run never reached
+/// `Topology::enqueue`, so the topology stays idle/claimable — re-arming
+/// after a shed needs no cleanup.
+fn resolve_shed(tenant: &TenantState, run: QueuedRun, queued_for_us: u64) {
+    tenant.release_probe(run.probe);
+    run.promise.set(Err(RunError::Shed {
+        tenant: tenant.name.clone(),
+        queued_for: Duration::from_micros(queued_for_us),
+    }));
+}
+
 /// Picks the next run to dispatch under weighted fair queueing, or `None`
 /// when the budget is exhausted or every tenant queue is empty. On
-/// success the admission slot is already charged (`qos.inflight`).
-fn next_dispatch(inner: &Inner) -> Option<(Arc<TenantState>, QueuedRun)> {
+/// success the admission slot is already charged (`qos.inflight`) and the
+/// tenant's `dispatched` counter bumped (under the queue lock, atomically
+/// with the pop, so snapshots never see the run in neither bucket).
+///
+/// Queued runs whose deadline has already expired are shed instead of
+/// dispatched: counted under the queue lock, pushed onto `shed` for the
+/// caller to resolve outside the locks.
+fn next_dispatch(
+    inner: &Inner,
+    shed: &mut Vec<(Arc<TenantState>, QueuedRun, u64)>,
+) -> Option<(Arc<TenantState>, QueuedRun)> {
     let mut qos = inner.qos.lock();
-    if qos.inflight >= inner.cfg.max_inflight {
-        return None;
+    'scan: loop {
+        if qos.inflight >= inner.cfg.max_inflight {
+            return None;
+        }
+        // Min-virtual-time scan. Tenant counts are small (a handful of
+        // clients); the scan under the qos lock is cheaper than a heap
+        // that would need rebalancing on every idle/busy transition.
+        let vnow = qos.vnow;
+        let mut best: Option<(usize, u64)> = None;
+        for (i, t) in qos.tenants.iter().enumerate() {
+            // Lock order: qos → tenant.queue (established here and in
+            // `Executor::close`; never the inverse).
+            if t.queue.lock().is_empty() {
+                continue;
+            }
+            // An idle tenant's stale clock fast-forwards to `vnow`:
+            // fairness applies to backlogged tenants, idling banks no
+            // credit.
+            let vt = t.vtime.load(Ordering::Relaxed).max(vnow);
+            if best.is_none_or(|(_, b)| vt < b) {
+                best = Some((i, vt));
+            }
+        }
+        let (idx, vt) = best?;
+        let tenant = Arc::clone(&qos.tenants[idx]);
+        let run = {
+            let mut q = tenant.queue.lock();
+            let now = crate::clock::now_us().max(1);
+            loop {
+                let Some(mut run) = q.pop_front() else {
+                    // The whole queue was doomed work; rescan — another
+                    // tenant may still have dispatchable runs.
+                    continue 'scan;
+                };
+                if run.deadline_us != 0 && now >= run.deadline_us {
+                    // Shed: the run could not be dispatched before its
+                    // deadline; dispatching it now would burn worker
+                    // time on work whose client has given up.
+                    tenant.shed.fetch_add(1, Ordering::Relaxed);
+                    tenant.space.notify_one();
+                    let queued_for_us = now.saturating_sub(run.enqueued_us);
+                    shed.push((Arc::clone(&tenant), run, queued_for_us));
+                    continue;
+                }
+                if run.submit_us != 0 {
+                    // Admission stamp: the fair-queue pump just released
+                    // this run from the tenant queue (end of the
+                    // admission-wait phase).
+                    run.admitted_us = now;
+                }
+                // Dispatched the moment it leaves the queue: same lock
+                // hold as the pop, so `queued + dispatched` is invariant
+                // across the handoff (see `TenantState::snapshot`).
+                tenant.dispatched.fetch_add(1, Ordering::Relaxed);
+                // A blocking submitter may be waiting for exactly this
+                // slot.
+                tenant.space.notify_one();
+                break run;
+            }
+        };
+        qos.vnow = vt;
+        tenant
+            .vtime
+            .store(vt + VT_SCALE / u64::from(tenant.weight), Ordering::Relaxed);
+        qos.inflight += 1;
+        return Some((tenant, run));
     }
-    // Min-virtual-time scan. Tenant counts are small (a handful of
-    // clients); the scan under the qos lock is cheaper than a heap that
-    // would need rebalancing on every idle/busy transition.
-    let vnow = qos.vnow;
-    let mut best: Option<(usize, u64)> = None;
-    for (i, t) in qos.tenants.iter().enumerate() {
-        // Lock order: qos → tenant.queue (established here and in
-        // `Executor::close`; never the inverse).
-        if t.queue.lock().is_empty() {
-            continue;
-        }
-        // An idle tenant's stale clock fast-forwards to `vnow`: fairness
-        // applies to backlogged tenants, idling banks no credit.
-        let vt = t.vtime.load(Ordering::Relaxed).max(vnow);
-        if best.is_none_or(|(_, b)| vt < b) {
-            best = Some((i, vt));
-        }
-    }
-    let (idx, vt) = best?;
-    let tenant = Arc::clone(&qos.tenants[idx]);
-    let run = {
-        let mut q = tenant.queue.lock();
-        let mut run = q.pop_front()?;
-        if run.submit_us != 0 {
-            // Admission stamp: the fair-queue pump just released this run
-            // from the tenant queue (end of the admission-wait phase).
-            run.admitted_us = crate::clock::now_us().max(1);
-        }
-        // A blocking submitter may be waiting for exactly this slot.
-        tenant.space.notify_one();
-        run
-    };
-    qos.vnow = vt;
-    tenant
-        .vtime
-        .store(vt + VT_SCALE / u64::from(tenant.weight), Ordering::Relaxed);
-    qos.inflight += 1;
-    Some((tenant, run))
 }
 
 /// Starts a run handed out by [`next_dispatch`]: registers the keep-alive
@@ -1742,13 +2385,23 @@ fn dispatch_tenant_run(inner: &Inner, tenant: Arc<TenantState>, run: QueuedRun) 
         promise,
         submit_us,
         admitted_us,
+        enqueued_us: _,
+        deadline_us: _,
+        probe,
     } = run;
     let claimed = {
         let mut reg = inner.running.lock();
         if reg.closing {
             drop(reg);
             inner.qos.lock().inflight -= 1;
+            // `next_dispatch` already counted this run dispatched (under
+            // the queue lock); move it to the rejected bucket. The two
+            // steps are not under one lock, so a scraper racing this
+            // narrow shutdown window can see the run double-counted for
+            // an instant — over-counted, never lost.
             tenant.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            tenant.dispatched.fetch_sub(1, Ordering::Relaxed);
+            tenant.release_probe(probe);
             promise.set(Err(RunError::Rejected(AdmissionError::ShuttingDown)));
             return;
         }
@@ -1760,7 +2413,6 @@ fn dispatch_tenant_run(inner: &Inner, tenant: Arc<TenantState>, run: QueuedRun) 
             false
         }
     };
-    tenant.dispatched.fetch_add(1, Ordering::Relaxed);
     if claimed {
         // Stamp the stint's lifecycle and arm the first-task latch before
         // the first iteration publishes: the claiming dispatch has
@@ -1780,7 +2432,11 @@ fn dispatch_tenant_run(inner: &Inner, tenant: Arc<TenantState>, run: QueuedRun) 
         // The topology is already running under another registration; the
         // batch rides the incumbent driver's pending queue and resolves
         // with it. The admission slot frees immediately — this dispatch
-        // put no new topology in flight.
+        // put no new topology in flight. A probe claim is handed back:
+        // the incumbent's outcome (possibly another tenant's) must not
+        // be this breaker's verdict, and holding the claim with no stint
+        // of our own to clear it would wedge the breaker half-open.
+        tenant.release_probe(probe);
         tenant.coalesced.fetch_add(1, Ordering::Relaxed);
         inner.qos.lock().inflight -= 1;
     }

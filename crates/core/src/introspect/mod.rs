@@ -122,6 +122,12 @@ impl IntrospectState {
         &self.tracer
     }
 
+    /// The watchdog, for diagnostic sources outside the collection pass
+    /// (the executor's breaker transitions).
+    pub(crate) fn watchdog(&self) -> &Watchdog {
+        &self.watchdog
+    }
+
     /// Asks the collector and HTTP threads to exit (the executor joins
     /// them in its `Drop`).
     pub(crate) fn request_stop(&self) {
@@ -257,6 +263,18 @@ impl IntrospectState {
                 "counter",
                 self.watchdog.counts().slo_burn,
             ),
+            (
+                "rustflow_watchdog_overload_shed_total",
+                "Overload-controller interventions that shed queued runs from an over-budget tenant.",
+                "counter",
+                self.watchdog.counts().overload_shed,
+            ),
+            (
+                "rustflow_breaker_transitions_total",
+                "Tenant circuit-breaker state changes (closed/open/half-open, any direction).",
+                "counter",
+                self.watchdog.counts().breaker_transitions,
+            ),
         ];
         for (name, help, kind, value) in singles {
             family(&mut out, name, help, kind, &[(None, *value)]);
@@ -321,7 +339,8 @@ impl IntrospectState {
         out.push_str(&format!(
             "\"collector\":{{\"period_ms\":{},\"window_ms\":{},\"recorder_events\":{},\
              \"recorder_dropped\":{},\"ring_dropped_total\":{ring_dropped_total}}},\
-             \"watchdog\":{{\"stalled_workers\":{},\"stalled_topologies\":{},\"ring_saturation\":{}}},",
+             \"watchdog\":{{\"stalled_workers\":{},\"stalled_topologies\":{},\"ring_saturation\":{},\
+             \"slo_burn\":{},\"overload_shed\":{},\"breaker_transitions\":{}}},",
             self.config.collect_period.as_millis(),
             self.config.window.as_millis(),
             self.recorder.len(),
@@ -329,6 +348,9 @@ impl IntrospectState {
             wd.stalled_workers,
             wd.stalled_topologies,
             wd.ring_saturation,
+            wd.slo_burn,
+            wd.overload_shed,
+            wd.breaker_transitions,
         ));
         out.push_str("\"workers\":[");
         for (w, shared) in inner.shareds.iter().enumerate() {
@@ -367,7 +389,10 @@ impl IntrospectState {
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"weight\":{},\"queued\":{},\"in_flight\":{},\
                  \"submitted\":{},\"dispatched\":{},\"coalesced\":{},\"completed\":{},\
-                 \"rejected_saturated\":{},\"rejected_shutdown\":{}",
+                 \"rejected_saturated\":{},\"rejected_shutdown\":{},\
+                 \"rejected_infeasible\":{},\"rejected_breaker\":{},\"shed\":{},\
+                 \"retry_budget_exhausted\":{},\
+                 \"breaker\":{{\"state\":\"{}\",\"consecutive_failures\":{}}}",
                 escape_json(&t.name),
                 t.weight,
                 t.queued,
@@ -378,6 +403,12 @@ impl IntrospectState {
                 t.completed,
                 t.rejected_saturated,
                 t.rejected_shutdown,
+                t.rejected_infeasible,
+                t.rejected_breaker,
+                t.shed,
+                t.retry_budget_exhausted,
+                crate::BreakerState::from_word(t.breaker_state).as_str(),
+                t.consecutive_failures,
             ));
             // Matched by name, not index: the stats and latency snapshots
             // come from two separate lock acquisitions, so a tenant

@@ -116,6 +116,30 @@ pub enum WatchdogDiagnostic {
         /// (1.0 = exactly budget pace; the fire threshold is 2.0).
         burn: f64,
     },
+    /// The overload controller shed queued runs from a tenant whose SLO
+    /// burn rate fired: queued work was failed with
+    /// [`RunError::Shed`](crate::RunError) so the remaining queue can
+    /// still meet its deadlines.
+    OverloadShed {
+        /// The over-budget tenant's name.
+        tenant: String,
+        /// Runs shed by this intervention (newest-first).
+        shed: u64,
+        /// Runs still queued after the shed.
+        queued: u64,
+    },
+    /// A tenant's circuit breaker changed state
+    /// ([`crate::BreakerState`]): consecutive failures opened it, the
+    /// open window elapsed into a half-open probe, or a probe verdict
+    /// re-opened / closed it.
+    BreakerTransition {
+        /// The tenant whose breaker transitioned.
+        tenant: String,
+        /// State before the transition.
+        from: crate::BreakerState,
+        /// State after the transition.
+        to: crate::BreakerState,
+    },
 }
 
 impl std::fmt::Display for WatchdogDiagnostic {
@@ -161,6 +185,18 @@ impl std::fmt::Display for WatchdogDiagnostic {
                 "tenant \"{tenant}\" is burning its p99 SLO error budget at {burn:.1}x \
                  ({breached}/{total} runs over {target_p99_us}us in the last {window:?})"
             ),
+            WatchdogDiagnostic::OverloadShed {
+                tenant,
+                shed,
+                queued,
+            } => write!(
+                f,
+                "overload controller shed {shed} queued runs from tenant \"{tenant}\" ({queued} still queued)"
+            ),
+            WatchdogDiagnostic::BreakerTransition { tenant, from, to } => write!(
+                f,
+                "tenant \"{tenant}\" circuit breaker: {from} -> {to}"
+            ),
         }
     }
 }
@@ -176,6 +212,10 @@ pub struct WatchdogCounts {
     pub ring_saturation: u64,
     /// [`WatchdogDiagnostic::SloBurn`] emissions.
     pub slo_burn: u64,
+    /// [`WatchdogDiagnostic::OverloadShed`] emissions.
+    pub overload_shed: u64,
+    /// [`WatchdogDiagnostic::BreakerTransition`] emissions.
+    pub breaker_transitions: u64,
 }
 
 type Subscriber = Box<dyn Fn(&WatchdogDiagnostic) + Send + Sync>;
@@ -187,6 +227,8 @@ pub(crate) struct Watchdog {
     stalled_topologies: AtomicU64,
     ring_saturation: AtomicU64,
     slo_burn: AtomicU64,
+    overload_shed: AtomicU64,
+    breaker_transitions: AtomicU64,
     subscribers: Mutex<Vec<Subscriber>>,
 }
 
@@ -197,6 +239,8 @@ impl Watchdog {
             stalled_topologies: AtomicU64::new(0),
             ring_saturation: AtomicU64::new(0),
             slo_burn: AtomicU64::new(0),
+            overload_shed: AtomicU64::new(0),
+            breaker_transitions: AtomicU64::new(0),
             subscribers: Mutex::new(Vec::new()),
         }
     }
@@ -211,7 +255,25 @@ impl Watchdog {
             stalled_topologies: self.stalled_topologies.load(Ordering::Relaxed),
             ring_saturation: self.ring_saturation.load(Ordering::Relaxed),
             slo_burn: self.slo_burn.load(Ordering::Relaxed),
+            overload_shed: self.overload_shed.load(Ordering::Relaxed),
+            breaker_transitions: self.breaker_transitions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counts and broadcasts a breaker state change on behalf of the
+    /// executor's finalize/admission paths (the only diagnostic source
+    /// outside the collection pass). Callers hold no executor locks.
+    pub(crate) fn note_breaker_transition(
+        &self,
+        tenant: &str,
+        from: crate::BreakerState,
+        to: crate::BreakerState,
+    ) {
+        self.emit(&WatchdogDiagnostic::BreakerTransition {
+            tenant: tenant.to_string(),
+            from,
+            to,
+        });
     }
 
     fn emit(&self, d: &WatchdogDiagnostic) {
@@ -220,6 +282,8 @@ impl Watchdog {
             WatchdogDiagnostic::StalledTopology { .. } => &self.stalled_topologies,
             WatchdogDiagnostic::RingSaturation { .. } => &self.ring_saturation,
             WatchdogDiagnostic::SloBurn { .. } => &self.slo_burn,
+            WatchdogDiagnostic::OverloadShed { .. } => &self.overload_shed,
+            WatchdogDiagnostic::BreakerTransition { .. } => &self.breaker_transitions,
         };
         counter.fetch_add(1, Ordering::Relaxed);
         for s in self.subscribers.lock().iter() {
@@ -427,6 +491,19 @@ pub(crate) fn check(
                     total: l.total,
                     burn: l.rate,
                 });
+                // Overload controller: an over-budget tenant's queue is
+                // its own worst enemy — shed the newest half so the work
+                // already closest to dispatch can still meet its
+                // deadlines. One intervention per burn episode (the
+                // episode re-arms below once the fast window cools).
+                let (shed, queued) = crate::executor::shed_overburn(inner, &t.name);
+                if shed > 0 {
+                    wd.emit(&WatchdogDiagnostic::OverloadShed {
+                        tenant: t.name.clone(),
+                        shed,
+                        queued,
+                    });
+                }
             }
             (_, Some(s)) if s.rate < SLO_BURN_CLEAR => track.firing = false,
             _ => {}

@@ -94,7 +94,9 @@ pub mod check_internals {
 }
 
 pub use error::{AdmissionError, FailurePolicy, RunError, RunResult, TaskPanic};
-pub use executor::{Executor, ExecutorBuilder, SloSpec, Tenant, TenantQos};
+pub use executor::{
+    BreakerSpec, BreakerState, Executor, ExecutorBuilder, RetryBudget, SloSpec, Tenant, TenantQos,
+};
 pub use future::{Promise, SharedFuture};
 pub use handle::RunHandle;
 pub use introspect::{IntrospectConfig, IntrospectHandle, WatchdogCounts, WatchdogDiagnostic};

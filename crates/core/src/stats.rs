@@ -192,6 +192,25 @@ pub struct TenantStats {
     pub rejected_saturated: u64,
     /// Submissions rejected (or drained unrun) by executor shutdown.
     pub rejected_shutdown: u64,
+    /// Submissions cheap-rejected because the expected queue wait
+    /// already exceeded their deadline
+    /// ([`AdmissionError::DeadlineInfeasible`](crate::AdmissionError)).
+    pub rejected_infeasible: u64,
+    /// Submissions fast-rejected by an open circuit breaker
+    /// ([`AdmissionError::BreakerOpen`](crate::AdmissionError)).
+    pub rejected_breaker: u64,
+    /// Queued runs dropped by the dispatcher or the overload controller
+    /// ([`RunError::Shed`](crate::RunError)).
+    pub shed: u64,
+    /// Retries refused by the tenant's retry budget (the task failed
+    /// instead of retrying).
+    pub retry_budget_exhausted: u64,
+    /// Consecutive failed runs right now (gauge; resets on any
+    /// non-failed completion).
+    pub consecutive_failures: u64,
+    /// Circuit-breaker state (gauge): 0 = closed, 1 = open,
+    /// 2 = half-open ([`crate::BreakerState`]).
+    pub breaker_state: u64,
 }
 
 impl TenantStats {
@@ -213,6 +232,18 @@ impl TenantStats {
             rejected_shutdown: self
                 .rejected_shutdown
                 .saturating_sub(earlier.rejected_shutdown),
+            rejected_infeasible: self
+                .rejected_infeasible
+                .saturating_sub(earlier.rejected_infeasible),
+            rejected_breaker: self
+                .rejected_breaker
+                .saturating_sub(earlier.rejected_breaker),
+            shed: self.shed.saturating_sub(earlier.shed),
+            retry_budget_exhausted: self
+                .retry_budget_exhausted
+                .saturating_sub(earlier.retry_budget_exhausted),
+            consecutive_failures: self.consecutive_failures,
+            breaker_state: self.breaker_state,
         }
     }
 }
@@ -257,6 +288,36 @@ const TENANT_METRICS: &[(&str, &str, &str, TenantAccessor)] = &[
         "Submissions rejected or drained by executor shutdown.",
         "counter",
         |t| t.rejected_shutdown,
+    ),
+    (
+        "rustflow_tenant_rejected_infeasible_total",
+        "Submissions cheap-rejected because the expected queue wait exceeded their deadline.",
+        "counter",
+        |t| t.rejected_infeasible,
+    ),
+    (
+        "rustflow_tenant_rejected_breaker_total",
+        "Submissions fast-rejected by an open circuit breaker.",
+        "counter",
+        |t| t.rejected_breaker,
+    ),
+    (
+        "rustflow_runs_shed_total",
+        "Queued runs dropped by the dispatcher (deadline expired) or the overload controller.",
+        "counter",
+        |t| t.shed,
+    ),
+    (
+        "rustflow_retry_budget_exhausted_total",
+        "Retries refused by the tenant retry budget (task failed instead of retrying).",
+        "counter",
+        |t| t.retry_budget_exhausted,
+    ),
+    (
+        "rustflow_breaker_state",
+        "Circuit-breaker state: 0 closed, 1 open, 2 half-open.",
+        "gauge",
+        |t| t.breaker_state,
     ),
     (
         "rustflow_tenant_queued",
@@ -831,6 +892,12 @@ mod tests {
                 completed: 7,
                 rejected_saturated: 3,
                 rejected_shutdown: 0,
+                rejected_infeasible: 2,
+                rejected_breaker: 1,
+                shed: 4,
+                retry_budget_exhausted: 5,
+                consecutive_failures: 0,
+                breaker_state: 1,
             }],
         };
         let text = s.prometheus_text();

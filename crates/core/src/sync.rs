@@ -50,11 +50,11 @@ compile_error!(
 pub(crate) use rustflow_check::{
     atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize},
     cell::CheckedCell,
-    sync::{Condvar, Mutex, RwLock},
+    sync::{Condvar, Mutex, MutexGuard, RwLock},
 };
 
 #[cfg(not(feature = "rustflow_check"))]
-pub(crate) use parking_lot::{Condvar, Mutex, RwLock};
+pub(crate) use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 #[cfg(not(feature = "rustflow_check"))]
 pub(crate) use std::sync::atomic::{
     fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize,

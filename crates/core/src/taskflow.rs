@@ -26,7 +26,7 @@
 
 use crate::dot;
 use crate::error::{AdmissionError, FailurePolicy, RunError, RunResult};
-use crate::executor::{Executor, Tenant};
+use crate::executor::{Block, Executor, Tenant};
 use crate::future::SharedFuture;
 use crate::graph::{Graph, Work};
 use crate::handle::RunHandle;
@@ -38,6 +38,7 @@ use crate::topology::{RunCondition, Topology};
 use crate::validate::{self, GraphDiagnostic};
 use std::marker::PhantomData;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Completion futures of every submitted batch/dispatch, with a watermark
 /// below which futures are known resolved — repeated
@@ -338,14 +339,15 @@ impl Taskflow {
         &self,
         tenant: &Tenant,
         cond: RunCondition,
-        blocking: bool,
+        block: Block,
+        deadline: Option<Duration>,
     ) -> Result<RunHandle, AdmissionError> {
         let Some(topo) = self.materialize() else {
             return Ok(RunHandle::ready(Ok(())));
         };
         let future = self
             .executor
-            .run_topology_on(tenant, &topo, cond, blocking)?;
+            .run_topology_on(tenant, &topo, cond, block, deadline)?;
         self.waits.lock().futures.push(future.clone());
         Ok(RunHandle::new(future, Arc::downgrade(&topo)))
     }
@@ -370,7 +372,7 @@ impl Taskflow {
     /// [`Taskflow::run_on`] for `n` iterations (one admission, `n`
     /// executions — the batch occupies a single in-flight slot).
     pub fn run_n_on(&self, tenant: &Tenant, n: u64) -> Result<RunHandle, AdmissionError> {
-        self.submit_on(tenant, RunCondition::Count(n), true)
+        self.submit_on(tenant, RunCondition::Count(n), Block::Forever, None)
     }
 
     /// Non-blocking [`Taskflow::run_on`]: a full tenant queue returns
@@ -382,7 +384,66 @@ impl Taskflow {
 
     /// Non-blocking [`Taskflow::run_n_on`].
     pub fn try_run_n_on(&self, tenant: &Tenant, n: u64) -> Result<RunHandle, AdmissionError> {
-        self.submit_on(tenant, RunCondition::Count(n), false)
+        self.submit_on(tenant, RunCondition::Count(n), Block::Never, None)
+    }
+
+    /// Bounded-blocking [`Taskflow::run_on`]: waits up to `timeout` for
+    /// tenant queue space, then gives up with
+    /// [`AdmissionError::Saturated`]. The middle ground between `run_on`
+    /// (waits forever — a convoy under overload) and `try_run_on`
+    /// (rejects instantly — busy-polls under overload); callers own the
+    /// backpressure policy.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// let ex = rustflow::Executor::new(2);
+    /// let tenant = ex.tenant("frontend");
+    /// let tf = rustflow::Taskflow::with_executor(ex.clone());
+    /// tf.emplace(|| {});
+    /// tf.run_on_timeout(&tenant, Duration::from_millis(100))
+    ///     .unwrap()
+    ///     .get()
+    ///     .unwrap();
+    /// ```
+    pub fn run_on_timeout(
+        &self,
+        tenant: &Tenant,
+        timeout: Duration,
+    ) -> Result<RunHandle, AdmissionError> {
+        let until = Instant::now() + timeout;
+        self.submit_on(tenant, RunCondition::Count(1), Block::Until(until), None)
+    }
+
+    /// [`Taskflow::run_on`] with a per-run deadline overriding the
+    /// tenant's [`TenantQos::deadline`](crate::TenantQos). Admission
+    /// rejects the run outright
+    /// ([`AdmissionError::DeadlineInfeasible`]) when the tenant's live
+    /// queue-wait estimate already exceeds `deadline`, and the
+    /// dispatcher sheds it ([`RunError::Shed`](crate::RunError)) if it
+    /// is still queued when the deadline expires.
+    pub fn run_on_deadline(
+        &self,
+        tenant: &Tenant,
+        deadline: Duration,
+    ) -> Result<RunHandle, AdmissionError> {
+        self.submit_on(
+            tenant,
+            RunCondition::Count(1),
+            Block::Forever,
+            Some(deadline),
+        )
+    }
+
+    /// Non-blocking [`Taskflow::run_on_deadline`]: a full tenant queue
+    /// returns [`AdmissionError::Saturated`] immediately instead of
+    /// waiting. The natural submit call for an open-loop client that
+    /// paces itself and sheds on rejection.
+    pub fn try_run_on_deadline(
+        &self,
+        tenant: &Tenant,
+        deadline: Duration,
+    ) -> Result<RunHandle, AdmissionError> {
+        self.submit_on(tenant, RunCondition::Count(1), Block::Never, Some(deadline))
     }
 
     /// Executes the taskflow's graph once **without rebuilding it** and

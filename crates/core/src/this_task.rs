@@ -81,3 +81,10 @@ pub fn is_cancelled() -> bool {
 pub fn iteration() -> Option<u64> {
     with_current(Topology::iterations)
 }
+
+/// The tenant id of the stint this task is executing under: `0` for
+/// untenanted runs and outside a task. Used by
+/// [`ChaosSpec::for_tenant`](crate::chaos::ChaosSpec::for_tenant) scoping.
+pub(crate) fn tenant_id() -> u64 {
+    with_current(Topology::tenant_id).unwrap_or(0)
+}

@@ -367,6 +367,12 @@ impl Topology {
         self.tenant.store(tenant, Ordering::Relaxed);
     }
 
+    /// Tenant driving the current stint (`0` = untenanted); see
+    /// [`Topology::set_tenant`].
+    pub(crate) fn tenant_id(&self) -> u64 {
+        self.tenant.load(Ordering::Relaxed)
+    }
+
     /// Total iterations completed so far.
     pub(crate) fn iterations(&self) -> u64 {
         self.iterations.load(Ordering::Relaxed)
@@ -394,6 +400,13 @@ impl Topology {
     /// driver (advisory).
     pub(crate) fn has_error(&self) -> bool {
         self.error.lock().is_some()
+    }
+
+    /// `true` while the recorded error is a genuine task failure (panic)
+    /// rather than a cancellation — the circuit breaker's signal. Read by
+    /// the driver before `advance` consumes the error.
+    pub(crate) fn has_panic(&self) -> bool {
+        matches!(&*self.error.lock(), Some(RunError::Panic(_)))
     }
 
     /// `true` when no batch is executing or queued: the graph is quiescent

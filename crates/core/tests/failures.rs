@@ -4,8 +4,11 @@
 //! failure policies, retry, deadlines) under deterministic chaos seeds.
 
 use rustflow::chaos::{ChaosSpec, Fault};
-use rustflow::{this_task, Executor, FailurePolicy, RunError, Taskflow};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use rustflow::{
+    this_task, AdmissionError, BreakerSpec, BreakerState, Executor, ExecutorBuilder, FailurePolicy,
+    RetryBudget, RunError, Taskflow, Tenant, TenantQos,
+};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -479,4 +482,570 @@ fn chaos_chain_tail<'t>(tf: &'t Taskflow, spec: ChaosSpec, n: u64) -> Option<rus
         prev = Some(t);
     }
     prev
+}
+
+// ---- Overload resilience: shedding, deadlines, budgets, breakers ---------
+//
+// These exercise the graceful-degradation paths of the tenant front door:
+// queue-side load shedding of expired deadlines (and its races against
+// cancel and against finalize), deadline-infeasible admission, retry
+// budgets, and the per-tenant circuit breaker lifecycle.
+
+/// A closure that spins until `gate` is released — parks one dispatch
+/// slot so later submissions queue behind it.
+fn spin_until_released(gate: &Arc<AtomicBool>) -> impl FnMut() + Send + 'static {
+    let gate = Arc::clone(gate);
+    move || {
+        while !gate.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Waits until the tenant's ledger has settled (nothing queued or in
+/// flight) and returns the final snapshot; finalization trails handle
+/// resolution by a benign beat the assertions must not trip on.
+fn settled(tenant: &Tenant) -> rustflow::TenantStats {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = tenant.stats();
+        if (s.in_flight == 0 && s.queued == 0) || std::time::Instant::now() > deadline {
+            return s;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// The extended admission ledger must balance at quiescence: every
+/// submission is accounted to exactly one outcome.
+fn assert_ledger_balances(s: &rustflow::TenantStats) {
+    assert_eq!(
+        s.submitted,
+        s.dispatched
+            + s.coalesced
+            + s.shed
+            + s.rejected_saturated
+            + s.rejected_shutdown
+            + s.rejected_infeasible
+            + s.rejected_breaker,
+        "extended ledger conservation: {s:?}"
+    );
+}
+
+/// Spins until `cond` holds or ten seconds pass; returns whether it held.
+fn eventually(mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::yield_now();
+    }
+    false
+}
+
+#[test]
+fn expired_deadline_is_shed_not_dispatched() {
+    let ex = ExecutorBuilder::new().workers(2).max_inflight(1).build();
+    let tenant = ex.tenant("shed");
+    let gate = Arc::new(AtomicBool::new(false));
+    let gate_tf = Taskflow::with_executor(ex.clone());
+    gate_tf.emplace(spin_until_released(&gate));
+    let gate_handle = gate_tf.run_on(&tenant).unwrap();
+    assert!(eventually(|| tenant.stats().dispatched == 1));
+    // Queue a run whose deadline will be long past when the slot frees.
+    let ran = Arc::new(AtomicUsize::new(0));
+    let tf = Taskflow::with_executor(ex.clone());
+    let r = Arc::clone(&ran);
+    tf.emplace(move || {
+        r.fetch_add(1, Ordering::SeqCst);
+    });
+    let h = tf
+        .run_on_deadline(&tenant, Duration::from_millis(5))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(25));
+    gate.store(true, Ordering::Release);
+    gate_handle.get().unwrap();
+    match h.get() {
+        Err(RunError::Shed {
+            tenant: t,
+            queued_for,
+        }) => {
+            assert_eq!(t, "shed");
+            assert!(
+                queued_for >= Duration::from_millis(5),
+                "shed must report at least the deadline's worth of queueing, got {queued_for:?}"
+            );
+        }
+        other => panic!("expired deadline must shed, got {other:?}"),
+    }
+    assert!(h.get().unwrap_err().is_shed());
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        0,
+        "no task of a shed run executes"
+    );
+    let s = settled(&tenant);
+    assert_eq!(s.shed, 1);
+    assert_ledger_balances(&s);
+}
+
+#[test]
+fn rearm_after_shed_runs_clean() {
+    // A shed run never claims its topology, so the same taskflow must
+    // re-arm and execute normally on the next submission — including a
+    // multi-iteration batch.
+    let ex = ExecutorBuilder::new().workers(2).max_inflight(1).build();
+    let tenant = ex.tenant("rearm");
+    let gate = Arc::new(AtomicBool::new(false));
+    let gate_tf = Taskflow::with_executor(ex.clone());
+    gate_tf.emplace(spin_until_released(&gate));
+    let gate_handle = gate_tf.run_on(&tenant).unwrap();
+    assert!(eventually(|| tenant.stats().dispatched == 1));
+    let ran = Arc::new(AtomicUsize::new(0));
+    let tf = Taskflow::with_executor(ex.clone());
+    let r = Arc::clone(&ran);
+    tf.emplace(move || {
+        r.fetch_add(1, Ordering::SeqCst);
+    });
+    let doomed = tf
+        .run_on_deadline(&tenant, Duration::from_millis(2))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(15));
+    gate.store(true, Ordering::Release);
+    gate_handle.get().unwrap();
+    assert!(doomed.get().unwrap_err().is_shed());
+    assert_eq!(ran.load(Ordering::SeqCst), 0);
+    // run_n continues on the topology whose previous iteration was shed.
+    tf.run_n_on(&tenant, 3).unwrap().get().unwrap();
+    assert_eq!(
+        ran.load(Ordering::SeqCst),
+        3,
+        "re-armed batch runs all iterations"
+    );
+    let s = settled(&tenant);
+    assert_eq!(s.shed, 1);
+    assert_ledger_balances(&s);
+}
+
+#[test]
+fn shed_vs_cancel_race_resolves_every_handle() {
+    // Cancel a run the dispatcher is concurrently shedding: whichever
+    // side wins, the handle resolves exactly once to a definite outcome
+    // and the ledger still balances.
+    const ROUNDS: usize = 20;
+    // Histograms off: a warm queue-wait estimate would start rejecting
+    // the tighter deadlines at admission, and this test is about the
+    // dispatch-side race, not feasibility.
+    let ex = ExecutorBuilder::new()
+        .workers(2)
+        .max_inflight(1)
+        .latency_histograms(false)
+        .build();
+    let blocker = ex.tenant("blocker");
+    let victim = ex.tenant("victim");
+    let mut outcomes = [0usize; 3]; // [ok, cancelled, shed]
+    for i in 0..ROUNDS {
+        let gate = Arc::new(AtomicBool::new(false));
+        let gate_tf = Taskflow::with_executor(ex.clone());
+        gate_tf.emplace(spin_until_released(&gate));
+        let gate_handle = gate_tf.run_on(&blocker).unwrap();
+        if !eventually(|| blocker.stats().dispatched as usize == i + 1) {
+            // Release the gate before panicking: a spinning gate task
+            // would otherwise wedge executor teardown and hang the whole
+            // test binary instead of reporting a failure.
+            gate.store(true, Ordering::Release);
+            panic!("round {i}: gate run never dispatched");
+        }
+        let tf = Taskflow::with_executor(ex.clone());
+        tf.emplace(|| {});
+        // Scan the race window: deadlines from far-expired to just-ahead
+        // of the dispatcher.
+        let h = tf
+            .run_on_deadline(&victim, Duration::from_micros(200 + 150 * i as u64))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+        gate.store(true, Ordering::Release); // dispatcher starts popping
+        h.cancel(); // ... while we cancel
+        gate_handle.get().unwrap();
+        match h.get() {
+            Ok(()) => outcomes[0] += 1,
+            Err(RunError::Cancelled) => outcomes[1] += 1,
+            Err(RunError::Shed { .. }) => outcomes[2] += 1,
+            other => panic!("round {i}: shed/cancel race produced {other:?}"),
+        }
+    }
+    assert_eq!(outcomes.iter().sum::<usize>(), ROUNDS);
+    let s = settled(&victim);
+    assert_eq!(
+        s.shed as usize, outcomes[2],
+        "ledger agrees with observed sheds"
+    );
+    assert_ledger_balances(&s);
+    assert_eq!(s.completed, s.dispatched, "every dispatch finalized: {s:?}");
+}
+
+#[test]
+fn shed_vs_finalize_straddle_never_hangs() {
+    // Deadlines tuned to land right at the moment the dispatch slot
+    // frees: either the run dispatches (and completes) or it sheds.
+    // Both are legal; a hang or a third outcome is not.
+    const ROUNDS: usize = 20;
+    // Histograms off for the same reason as the cancel race above — and
+    // doubly so here: the `i % 5 == 0` rounds submit an already-expired
+    // (zero) deadline, which a warm estimate would always reject.
+    let ex = ExecutorBuilder::new()
+        .workers(2)
+        .max_inflight(1)
+        .latency_histograms(false)
+        .build();
+    let blocker = ex.tenant("blocker");
+    let tenant = ex.tenant("straddle");
+    let mut shed = 0u64;
+    let mut ok = 0u64;
+    for i in 0..ROUNDS {
+        let gate = Arc::new(AtomicBool::new(false));
+        let gate_tf = Taskflow::with_executor(ex.clone());
+        gate_tf.emplace(spin_until_released(&gate));
+        let gate_handle = gate_tf.run_on(&blocker).unwrap();
+        if !eventually(|| blocker.stats().dispatched as usize == i + 1) {
+            // Release the gate before panicking: a spinning gate task
+            // would otherwise wedge executor teardown and hang the whole
+            // test binary instead of reporting a failure.
+            gate.store(true, Ordering::Release);
+            panic!("round {i}: gate run never dispatched");
+        }
+        let tf = Taskflow::with_executor(ex.clone());
+        tf.emplace(|| {});
+        let h = tf
+            .run_on_deadline(&tenant, Duration::from_micros(300 * (i as u64 % 5)))
+            .unwrap();
+        gate.store(true, Ordering::Release);
+        gate_handle.get().unwrap();
+        match h.get() {
+            Ok(()) => ok += 1,
+            Err(RunError::Shed { .. }) => shed += 1,
+            other => panic!("round {i}: straddle produced {other:?}"),
+        }
+    }
+    assert_eq!(ok + shed, ROUNDS as u64);
+    let s = settled(&tenant);
+    assert_eq!(s.shed, shed);
+    assert_eq!(s.completed, s.dispatched, "admitted work finalized: {s:?}");
+    assert_ledger_balances(&s);
+}
+
+#[test]
+fn infeasible_deadline_is_rejected_at_admission() {
+    let ex = ExecutorBuilder::new().workers(2).max_inflight(1).build();
+    let tenant = ex.tenant_with(
+        "est",
+        TenantQos {
+            max_queued: 16,
+            ..TenantQos::default()
+        },
+    );
+    // Warm the admission-phase histogram with >= 8 runs that each waited
+    // ~15ms behind a parked dispatch slot.
+    let gate = Arc::new(AtomicBool::new(false));
+    let gate_tf = Taskflow::with_executor(ex.clone());
+    gate_tf.emplace(spin_until_released(&gate));
+    let gate_handle = gate_tf.run_on(&tenant).unwrap();
+    assert!(eventually(|| tenant.stats().dispatched == 1));
+    let mut warm = Vec::new();
+    for _ in 0..8 {
+        let tf = Taskflow::with_executor(ex.clone());
+        tf.emplace(|| {});
+        let h = tf.try_run_on(&tenant).expect("queue has space");
+        warm.push((tf, h));
+    }
+    std::thread::sleep(Duration::from_millis(15));
+    gate.store(true, Ordering::Release);
+    gate_handle.get().unwrap();
+    for (_, h) in &warm {
+        h.get().unwrap();
+    }
+    settled(&tenant);
+    // The live estimate (p50 >= ~15ms) now dooms a 1ms deadline outright.
+    let tf = Taskflow::with_executor(ex.clone());
+    tf.emplace(|| {});
+    match tf.run_on_deadline(&tenant, Duration::from_millis(1)) {
+        Err(AdmissionError::DeadlineInfeasible {
+            tenant: t,
+            deadline,
+            estimated_wait,
+        }) => {
+            assert_eq!(t, "est");
+            assert_eq!(deadline, Duration::from_millis(1));
+            assert!(
+                estimated_wait > deadline,
+                "estimate must exceed the rejected deadline, got {estimated_wait:?}"
+            );
+        }
+        other => panic!("expected DeadlineInfeasible, got {other:?}"),
+    }
+    assert_eq!(tenant.stats().rejected_infeasible, 1);
+    // A generous deadline still admits and completes.
+    tf.run_on_deadline(&tenant, Duration::from_secs(60))
+        .unwrap()
+        .get()
+        .unwrap();
+    let s = settled(&tenant);
+    assert_ledger_balances(&s);
+}
+
+#[test]
+fn run_on_timeout_bounds_the_admission_wait() {
+    let ex = ExecutorBuilder::new().workers(2).max_inflight(1).build();
+    let tenant = ex.tenant_with(
+        "bounded",
+        TenantQos {
+            max_queued: 1,
+            ..TenantQos::default()
+        },
+    );
+    let gate = Arc::new(AtomicBool::new(false));
+    let gate_tf = Taskflow::with_executor(ex.clone());
+    gate_tf.emplace(spin_until_released(&gate));
+    let gate_handle = gate_tf.run_on(&tenant).unwrap();
+    assert!(eventually(|| tenant.stats().dispatched == 1));
+    let filler_tf = Taskflow::with_executor(ex.clone());
+    filler_tf.emplace(|| {});
+    let filler = filler_tf.try_run_on(&tenant).expect("queue has space");
+    // Queue full, slot parked: the bounded wait must expire, not hang.
+    let tf = Taskflow::with_executor(ex.clone());
+    tf.emplace(|| {});
+    let t0 = std::time::Instant::now();
+    match tf.run_on_timeout(&tenant, Duration::from_millis(100)) {
+        Err(AdmissionError::Saturated {
+            tenant: t,
+            capacity,
+        }) => {
+            assert_eq!(t, "bounded");
+            assert_eq!(capacity, 1);
+        }
+        other => panic!("expected Saturated after timeout, got {other:?}"),
+    }
+    let waited = t0.elapsed();
+    assert!(
+        waited >= Duration::from_millis(50),
+        "gave up before the timeout: {waited:?}"
+    );
+    assert!(
+        waited < Duration::from_secs(10),
+        "timeout must bound the wait"
+    );
+    assert_eq!(tenant.stats().rejected_saturated, 1);
+    gate.store(true, Ordering::Release);
+    gate_handle.get().unwrap();
+    filler.get().unwrap();
+    assert_ledger_balances(&settled(&tenant));
+}
+
+/// Submits one always-panicking run through the tenant and asserts the
+/// handle reports the panic.
+fn panic_run(ex: &Arc<Executor>, tenant: &Tenant) {
+    let tf = Taskflow::with_executor(Arc::clone(ex));
+    tf.emplace(|| panic!("poisoned"));
+    let h = tf.run_on(tenant).unwrap();
+    h.get().expect_err("panic must surface");
+}
+
+#[test]
+fn breaker_opens_after_consecutive_failures_and_fast_rejects() {
+    let ex = ExecutorBuilder::new().workers(2).build();
+    let tenant = ex.tenant_with(
+        "brk",
+        TenantQos {
+            breaker: Some(BreakerSpec {
+                failures: 3,
+                open_for: Duration::from_secs(30),
+            }),
+            ..TenantQos::default()
+        },
+    );
+    assert_eq!(tenant.breaker_state(), BreakerState::Closed);
+    for _ in 0..3 {
+        panic_run(&ex, &tenant);
+    }
+    // The third finalize trips the breaker (finalization trails the
+    // handle resolving by a beat).
+    assert!(eventually(|| tenant.breaker_state() == BreakerState::Open));
+    let tf = Taskflow::with_executor(ex.clone());
+    tf.emplace(|| {});
+    match tf.try_run_on(&tenant) {
+        Err(AdmissionError::BreakerOpen {
+            tenant: t,
+            retry_after,
+        }) => {
+            assert_eq!(t, "brk");
+            assert!(retry_after <= Duration::from_secs(30));
+        }
+        other => panic!("open breaker must fast-reject, got {other:?}"),
+    }
+    let s = settled(&tenant);
+    assert_eq!(s.rejected_breaker, 1);
+    assert_eq!(s.consecutive_failures, 3);
+    assert_eq!(s.breaker_state, 1, "stats gauge reports the open word");
+    assert_ledger_balances(&s);
+}
+
+#[test]
+fn breaker_half_open_probe_recovers_the_tenant() {
+    let ex = ExecutorBuilder::new().workers(2).build();
+    let tenant = ex.tenant_with(
+        "probe",
+        TenantQos {
+            breaker: Some(BreakerSpec {
+                failures: 2,
+                open_for: Duration::from_millis(40),
+            }),
+            ..TenantQos::default()
+        },
+    );
+    for _ in 0..2 {
+        panic_run(&ex, &tenant);
+    }
+    assert!(eventually(|| tenant.breaker_state() == BreakerState::Open));
+    std::thread::sleep(Duration::from_millis(60));
+    // First submission past the open window is admitted as the probe; it
+    // parks on a gate so we can observe half-open single-admission.
+    let gate = Arc::new(AtomicBool::new(false));
+    let probe_tf = Taskflow::with_executor(ex.clone());
+    probe_tf.emplace(spin_until_released(&gate));
+    let probe = probe_tf.run_on(&tenant).expect("probe admitted");
+    assert_eq!(tenant.breaker_state(), BreakerState::HalfOpen);
+    // While the probe is in flight, everyone else is still turned away.
+    let tf = Taskflow::with_executor(ex.clone());
+    tf.emplace(|| {});
+    match tf.try_run_on(&tenant) {
+        Err(AdmissionError::BreakerOpen { retry_after, .. }) => {
+            assert_eq!(retry_after, Duration::from_millis(40));
+        }
+        other => panic!("half-open must admit exactly one probe, got {other:?}"),
+    }
+    gate.store(true, Ordering::Release);
+    probe.get().unwrap();
+    // Probe success closes the breaker; the tenant serves normally again.
+    assert!(eventually(|| tenant.breaker_state() == BreakerState::Closed));
+    tf.run_on(&tenant).unwrap().get().unwrap();
+    let s = settled(&tenant);
+    assert_eq!(s.consecutive_failures, 0, "streak reset on success");
+    assert_ledger_balances(&s);
+}
+
+#[test]
+fn failed_probe_reopens_the_breaker() {
+    let ex = ExecutorBuilder::new().workers(2).build();
+    let tenant = ex.tenant_with(
+        "relapse",
+        TenantQos {
+            breaker: Some(BreakerSpec {
+                failures: 2,
+                open_for: Duration::from_millis(40),
+            }),
+            ..TenantQos::default()
+        },
+    );
+    for _ in 0..2 {
+        panic_run(&ex, &tenant);
+    }
+    assert!(eventually(|| tenant.breaker_state() == BreakerState::Open));
+    std::thread::sleep(Duration::from_millis(60));
+    // The probe itself fails: straight back to open, window re-armed.
+    panic_run(&ex, &tenant);
+    assert!(eventually(|| tenant.breaker_state() == BreakerState::Open));
+    let tf = Taskflow::with_executor(ex.clone());
+    tf.emplace(|| {});
+    match tf.try_run_on(&tenant) {
+        Err(AdmissionError::BreakerOpen { .. }) => {}
+        other => panic!("re-opened breaker must reject, got {other:?}"),
+    }
+    assert_ledger_balances(&settled(&tenant));
+}
+
+#[test]
+fn retry_budget_degrades_retries_to_failures() {
+    let ex = ExecutorBuilder::new().workers(2).build();
+    let tenant = ex.tenant_with(
+        "thrifty",
+        TenantQos {
+            retry_budget: Some(RetryBudget {
+                floor: 1,
+                per_mille: 0,
+            }),
+            ..TenantQos::default()
+        },
+    );
+    // Budget of one: the first doomed run gets exactly one retry ...
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let tf = Taskflow::with_executor(ex.clone());
+    let a = Arc::clone(&attempts);
+    tf.emplace(move || {
+        a.fetch_add(1, Ordering::SeqCst);
+        panic!("doomed");
+    })
+    .retry(3);
+    tf.run_on(&tenant)
+        .unwrap()
+        .get()
+        .expect_err("doomed run fails");
+    assert_eq!(
+        attempts.load(Ordering::SeqCst),
+        2,
+        "one attempt plus the single budgeted retry"
+    );
+    assert!(eventually(|| tenant.stats().retry_budget_exhausted >= 1));
+    // ... and the second gets none at all: retries degrade to failures.
+    let attempts2 = Arc::new(AtomicUsize::new(0));
+    let tf2 = Taskflow::with_executor(ex.clone());
+    let a = Arc::clone(&attempts2);
+    tf2.emplace(move || {
+        a.fetch_add(1, Ordering::SeqCst);
+        panic!("doomed again");
+    })
+    .retry(3);
+    tf2.run_on(&tenant).unwrap().get().expect_err("still fails");
+    assert_eq!(
+        attempts2.load(Ordering::SeqCst),
+        1,
+        "budget spent: no retries"
+    );
+    let s = settled(&tenant);
+    assert_eq!(s.retry_budget_exhausted, 2);
+    assert_ledger_balances(&s);
+}
+
+#[test]
+fn chaos_scoped_to_tenant_spares_others() {
+    // `ChaosSpec::for_tenant` gates *injection*, not the plan: the same
+    // spec wraps tasks everywhere, but only runs executing under the
+    // scoped tenant observe faults.
+    const SEED: u64 = 7;
+    let ex = ExecutorBuilder::new().workers(2).build();
+    let bad = ex.tenant("bad");
+    let good = ex.tenant("good");
+    let spec = ChaosSpec::new(SEED).panic_permille(1000).for_tenant(&bad);
+    assert_eq!(
+        spec.fault(0, 0),
+        Fault::Panic,
+        "the plan itself is unscoped"
+    );
+    // Scoped tenant: the seeded panic fires.
+    let tf = Taskflow::with_executor(ex.clone());
+    tf.emplace(spec.wrap(0, || {}));
+    let err = tf
+        .run_on(&bad)
+        .unwrap()
+        .get()
+        .expect_err("scoped fault fires");
+    assert!(format!("{err}").contains("chaos: injected panic"));
+    // Other tenant, same wrapped plan: untouched.
+    let tf = Taskflow::with_executor(ex.clone());
+    tf.emplace(spec.wrap(0, || {}));
+    tf.run_on(&good).unwrap().get().unwrap();
+    // Untenanted run: also untouched.
+    let tf = Taskflow::with_executor(ex.clone());
+    tf.emplace(spec.wrap(0, || {}));
+    tf.run().get().unwrap();
 }
